@@ -1,0 +1,100 @@
+//! Baseline maintenance strategies that F-IVM is compared against.
+//!
+//! The paper's performance claims are relative: maintaining the ring
+//! aggregates with factorized view trees is orders of magnitude faster than
+//! (a) recomputing from scratch and (b) maintaining the join result itself
+//! (the DBToaster-style strategy), and sharing the whole aggregate batch in
+//! one compound payload beats maintaining every scalar aggregate separately.
+//! This crate implements those three strategies on the same substrate
+//! (`fivm-relation` / `fivm-ring`) so benchmark comparisons isolate the
+//! maintenance strategy:
+//!
+//! * [`NaiveReevaluation`] — stores the base tables and recomputes the
+//!   aggregate by joining everything on demand.
+//! * [`JoinMaintenance`] — first-order IVM: keeps the full join result
+//!   materialized, updates it with delta joins, and folds the aggregate over
+//!   the delta tuples.
+//! * [`UnsharedCovar`] — maintains every scalar aggregate of the COVAR batch
+//!   (count, sums, products) with its own independent F-IVM engine over the
+//!   real ring, i.e. without the sharing provided by the cofactor ring.
+
+pub mod join_ivm;
+pub mod naive;
+pub mod unshared;
+
+pub use join_ivm::JoinMaintenance;
+pub use naive::NaiveReevaluation;
+pub use unshared::UnsharedCovar;
+
+use fivm_common::{FivmError, RelId, Result, Value, VarId};
+use fivm_query::QuerySpec;
+use fivm_relation::{Database, Tuple};
+
+/// Column bindings from source-table layouts to a query's relation variables
+/// (shared by the baselines; the engine has its own equivalent).
+#[derive(Clone, Debug, Default)]
+pub struct Bindings {
+    cols: Vec<Option<Vec<usize>>>,
+}
+
+impl Bindings {
+    /// Empty bindings for a query.
+    pub fn new(spec: &QuerySpec) -> Self {
+        Bindings {
+            cols: vec![None; spec.num_relations()],
+        }
+    }
+
+    /// Binds every query relation to the same-named table of a database.
+    pub fn bind_database(&mut self, spec: &QuerySpec, db: &Database) -> Result<()> {
+        for rel in 0..spec.num_relations() {
+            let def = spec.relation(rel);
+            let table = db.table(&def.name).ok_or_else(|| {
+                FivmError::InvalidUpdate(format!("database has no table named `{}`", def.name))
+            })?;
+            let mut cols = Vec::with_capacity(def.vars.len());
+            for &v in &def.vars {
+                let name = spec.var_name(v);
+                let col = table.schema.position(name).ok_or_else(|| {
+                    FivmError::InvalidUpdate(format!(
+                        "table `{}` has no column `{name}`",
+                        def.name
+                    ))
+                })?;
+                cols.push(col);
+            }
+            self.cols[rel] = Some(cols);
+        }
+        Ok(())
+    }
+
+    /// Projects a source row onto the query variables of a relation.
+    pub fn project(&self, spec: &QuerySpec, rel: RelId, row: &Tuple) -> Result<Tuple> {
+        match &self.cols[rel] {
+            Some(cols) => Ok(cols
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()),
+            None => {
+                if row.len() != spec.relation(rel).vars.len() {
+                    return Err(FivmError::InvalidUpdate(format!(
+                        "row arity {} does not match relation `{}`",
+                        row.len(),
+                        spec.relation(rel).name
+                    )));
+                }
+                Ok(row.clone())
+            }
+        }
+    }
+}
+
+/// Reads the value of a query variable out of a tuple over `vars`.
+pub(crate) fn value_of(vars: &[VarId], tuple: &Tuple, var: VarId) -> Value {
+    let pos = vars
+        .iter()
+        .position(|&v| v == var)
+        .expect("variable present in join result");
+    tuple[pos].clone()
+}

@@ -1,0 +1,177 @@
+//! Naive re-evaluation: store the base tables, recompute the aggregate from
+//! scratch whenever it is requested.
+
+use crate::{value_of, Bindings};
+use fivm_common::{FivmError, Result};
+use fivm_query::QuerySpec;
+use fivm_relation::{Database, Relation, Update};
+use fivm_ring::{LiftFn, Ring};
+
+/// The from-scratch baseline.
+///
+/// Updates are cheap (they only touch the stored base tables); reading the
+/// aggregate joins all relations and folds the per-variable lifts over every
+/// result tuple.  This is the lower bound the paper's incremental approach is
+/// measured against.
+pub struct NaiveReevaluation<R: Ring> {
+    spec: QuerySpec,
+    lifts: Vec<LiftFn<R>>,
+    relations: Vec<Relation<i64>>,
+    bindings: Bindings,
+}
+
+impl<R: Ring> NaiveReevaluation<R> {
+    /// Creates the baseline for a query with one lift per variable.
+    pub fn new(spec: QuerySpec, lifts: Vec<LiftFn<R>>) -> Result<Self> {
+        if lifts.len() != spec.num_vars() {
+            return Err(FivmError::InvalidQuery(format!(
+                "expected {} lifts, got {}",
+                spec.num_vars(),
+                lifts.len()
+            )));
+        }
+        let relations = spec
+            .relations()
+            .iter()
+            .map(|r| Relation::new(r.vars.clone()))
+            .collect();
+        let bindings = Bindings::new(&spec);
+        Ok(NaiveReevaluation {
+            spec,
+            lifts,
+            relations,
+            bindings,
+        })
+    }
+
+    /// The query this baseline maintains.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Loads an initial database (tables matched by name, columns by name).
+    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+        self.bindings.bind_database(&self.spec, db)?;
+        for rel in 0..self.spec.num_relations() {
+            let table = db
+                .table(&self.spec.relation(rel).name)
+                .expect("bind_database checked the table exists");
+            for (row, mult) in &table.rows {
+                let key = self.bindings.project(&self.spec, rel, row)?;
+                self.relations[rel].add(key, *mult);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an update batch (only touches the stored base table).
+    pub fn apply_update(&mut self, update: &Update) -> Result<()> {
+        let rel = self.spec.relation_id(&update.table).ok_or_else(|| {
+            FivmError::InvalidUpdate(format!("unknown relation `{}`", update.table))
+        })?;
+        for (row, mult) in &update.rows {
+            let key = self.bindings.project(&self.spec, rel, row)?;
+            self.relations[rel].add(key, *mult);
+        }
+        Ok(())
+    }
+
+    /// Recomputes the aggregate from scratch: joins every base table and
+    /// folds the lifts over each result tuple.
+    pub fn result(&self) -> R {
+        let mut join = self.relations[0].clone();
+        for rel in &self.relations[1..] {
+            join = join.natural_join(rel);
+        }
+        let vars = join.vars().to_vec();
+        let mut acc = R::zero();
+        for (t, m) in join.iter() {
+            let mut contribution = R::one();
+            for (v, lift) in self.lifts.iter().enumerate() {
+                if lift.is_identity() {
+                    continue;
+                }
+                contribution = contribution.mul(&lift.apply(&value_of(&vars, t, v)));
+            }
+            acc.add_assign(&contribution.scale_int(*m));
+        }
+        acc
+    }
+
+    /// Number of rows currently stored across the base tables.
+    pub fn stored_rows(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::Value;
+    use fivm_core::apps;
+    use fivm_data::figure1::{figure1_database, figure1_tree};
+    use fivm_relation::tuple;
+    use fivm_ring::{ApproxEq, Cofactor};
+
+    fn count_lifts(n: usize) -> Vec<LiftFn<i64>> {
+        vec![LiftFn::identity(); n]
+    }
+
+    #[test]
+    fn matches_engine_on_figure1() {
+        let tree = figure1_tree(false);
+        let spec = tree.spec().clone();
+        let db = figure1_database();
+
+        let mut engine = apps::count_engine(tree).unwrap();
+        engine.load_database(&db).unwrap();
+
+        let mut naive = NaiveReevaluation::new(spec.clone(), count_lifts(spec.num_vars())).unwrap();
+        naive.load_database(&db).unwrap();
+
+        assert_eq!(naive.result(), engine.result());
+        assert_eq!(naive.result(), 3);
+        assert_eq!(naive.stored_rows(), 5);
+
+        // Apply the same update to both.
+        let update = Update::inserts("R", vec![tuple([Value::int(1), Value::int(9)])]);
+        engine.apply_update(&update).unwrap();
+        naive.apply_update(&update).unwrap();
+        assert_eq!(naive.result(), engine.result());
+        assert_eq!(naive.result(), 5);
+
+        // And a delete.
+        let delete = update.inverse();
+        engine.apply_update(&delete).unwrap();
+        naive.apply_update(&delete).unwrap();
+        assert_eq!(naive.result(), 3);
+    }
+
+    #[test]
+    fn covar_lifts_match_engine() {
+        let tree = figure1_tree(false);
+        let spec = tree.spec().clone();
+        let db = figure1_database();
+        let dim = 3;
+        let mut lifts: Vec<LiftFn<Cofactor>> = vec![LiftFn::identity(); spec.num_vars()];
+        for (idx, name) in ["B", "C", "D"].iter().enumerate() {
+            let v = spec.var_id(name).unwrap();
+            lifts[v] = fivm_ring::lift::cofactor_continuous_lift(dim, idx, name);
+        }
+        let mut naive = NaiveReevaluation::new(spec, lifts).unwrap();
+        naive.load_database(&db).unwrap();
+        let mut engine = apps::covar_engine(figure1_tree(false)).unwrap();
+        engine.load_database(&db).unwrap();
+        assert!(naive.result().approx_eq(&engine.result(), 1e-9));
+    }
+
+    #[test]
+    fn rejects_wrong_lift_count_and_unknown_table() {
+        let tree = figure1_tree(false);
+        let spec = tree.spec().clone();
+        assert!(NaiveReevaluation::<i64>::new(spec.clone(), count_lifts(1)).is_err());
+        let mut naive = NaiveReevaluation::new(spec, count_lifts(4)).unwrap();
+        let bad = Update::inserts("Nope", vec![]);
+        assert!(naive.apply_update(&bad).is_err());
+    }
+}

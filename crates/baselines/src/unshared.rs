@@ -1,0 +1,183 @@
+//! Ablation: maintaining every scalar aggregate of the COVAR batch with its
+//! own independent engine.
+//!
+//! The cofactor ring maintains the whole batch — the count, the `m` linear
+//! aggregates and the `m(m+1)/2` quadratic aggregates — as one compound
+//! payload, sharing the scalar parts of the computation across the batch.
+//! This ablation strips that sharing away: each scalar aggregate becomes its
+//! own F-IVM engine over the real ring.  It uses the same view tree and the
+//! same maintenance code, so the measured difference is exactly the sharing
+//! benefit of the compound ring.
+
+use fivm_common::{FivmError, Result};
+use fivm_core::{AggregateLayout, Engine};
+use fivm_query::ViewTree;
+use fivm_relation::{Database, Update};
+use fivm_ring::{Cofactor, LiftFn, Ring};
+
+/// One engine per scalar aggregate of the COVAR batch.
+pub struct UnsharedCovar {
+    layout: AggregateLayout,
+    /// `(label, engine)` pairs: the count, each `SUM(X_i)` and each
+    /// `SUM(X_i * X_j)` for `i <= j`.
+    engines: Vec<(String, Engine<f64>)>,
+}
+
+impl UnsharedCovar {
+    /// Builds the per-aggregate engines for a (continuous-feature) query.
+    pub fn new(tree: ViewTree) -> Result<Self> {
+        let spec = tree.spec().clone();
+        let layout = AggregateLayout::of(&spec);
+        for (pos, &v) in layout.vars.iter().enumerate() {
+            if layout.kinds[pos].is_categorical() {
+                return Err(FivmError::RingMismatch(format!(
+                    "variable `{}` is categorical; the unshared ablation covers the \
+                     continuous COVAR batch only",
+                    spec.var_name(v)
+                )));
+            }
+        }
+        let m = layout.dim();
+        let mut engines = Vec::with_capacity(1 + m + m * (m + 1) / 2);
+
+        // COUNT(*).
+        engines.push((
+            "count".to_string(),
+            Engine::new(tree.clone(), vec![LiftFn::<f64>::identity(); spec.num_vars()])?,
+        ));
+        // SUM(X_i).
+        for (i, &vi) in layout.vars.iter().enumerate() {
+            let mut lifts = vec![LiftFn::<f64>::identity(); spec.num_vars()];
+            lifts[vi] = fivm_ring::lift::real_value_lift(&layout.names[i]);
+            engines.push((format!("sum({})", layout.names[i]), Engine::new(tree.clone(), lifts)?));
+        }
+        // SUM(X_i * X_j) for i <= j.
+        for (i, &vi) in layout.vars.iter().enumerate() {
+            for (j, &vj) in layout.vars.iter().enumerate().skip(i) {
+                let mut lifts = vec![LiftFn::<f64>::identity(); spec.num_vars()];
+                if i == j {
+                    let name = layout.names[i].clone();
+                    lifts[vi] = LiftFn::new(format!("sq({name})"), |v| {
+                        let x = v.as_f64().unwrap_or(0.0);
+                        x * x
+                    });
+                } else {
+                    lifts[vi] = fivm_ring::lift::real_value_lift(&layout.names[i]);
+                    lifts[vj] = fivm_ring::lift::real_value_lift(&layout.names[j]);
+                }
+                engines.push((
+                    format!("sum({}*{})", layout.names[i], layout.names[j]),
+                    Engine::new(tree.clone(), lifts)?,
+                ));
+            }
+        }
+        Ok(UnsharedCovar { layout, engines })
+    }
+
+    /// Number of independently maintained aggregates.
+    pub fn num_aggregates(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Loads an initial database into every engine.
+    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+        for (_, e) in &mut self.engines {
+            e.load_database(db)?;
+        }
+        Ok(())
+    }
+
+    /// Applies an update batch to every engine.
+    pub fn apply_update(&mut self, update: &Update) -> Result<()> {
+        for (_, e) in &mut self.engines {
+            e.apply_update(update)?;
+        }
+        Ok(())
+    }
+
+    /// Assembles the maintained scalars back into a cofactor payload, so the
+    /// ablation's output can be compared against the shared engine's.
+    pub fn result(&self) -> Cofactor {
+        let m = self.layout.dim();
+        let mut acc = Cofactor::Elem(fivm_ring::cofactor::CofactorElem::zeros(m));
+        if let Cofactor::Elem(e) = &mut acc {
+            let mut idx = 0;
+            e.count = self.engines[idx].1.result();
+            idx += 1;
+            for i in 0..m {
+                e.sums[i] = self.engines[idx].1.result();
+                idx += 1;
+            }
+            for i in 0..m {
+                for j in i..m {
+                    e.prods.set(i, j, self.engines[idx].1.result());
+                    idx += 1;
+                }
+            }
+        }
+        if acc.is_zero() {
+            Cofactor::zero()
+        } else {
+            acc
+        }
+    }
+
+    /// The aggregate labels, in the order the engines were created.
+    pub fn aggregate_names(&self) -> Vec<&str> {
+        self.engines.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_core::apps;
+    use fivm_data::figure1::{figure1_database, figure1_tree};
+    use fivm_data::retailer;
+    use fivm_ring::ApproxEq;
+
+    #[test]
+    fn unshared_result_matches_shared_engine_on_figure1() {
+        let tree = figure1_tree(false);
+        let db = figure1_database();
+        let mut unshared = UnsharedCovar::new(tree.clone()).unwrap();
+        unshared.load_database(&db).unwrap();
+        let mut shared = apps::covar_engine(tree).unwrap();
+        shared.load_database(&db).unwrap();
+        // 1 count + 3 sums + 6 products.
+        assert_eq!(unshared.num_aggregates(), 10);
+        assert!(unshared.result().approx_eq(&shared.result(), 1e-9));
+        assert_eq!(unshared.aggregate_names()[0], "count");
+    }
+
+    #[test]
+    fn unshared_result_tracks_updates_on_retailer() {
+        let cfg = retailer::RetailerConfig::tiny();
+        let db = cfg.generate();
+        let spec = retailer::retailer_query_continuous();
+        let tree = retailer::retailer_tree(spec);
+        let mut unshared = UnsharedCovar::new(tree.clone()).unwrap();
+        unshared.load_database(&db).unwrap();
+        let mut shared = apps::covar_engine(tree).unwrap();
+        shared.load_database(&db).unwrap();
+
+        let stream = cfg.update_stream(fivm_data::StreamConfig {
+            bulks: 2,
+            bulk_size: 40,
+            delete_fraction: 0.25,
+            seed: 3,
+        });
+        for bulk in stream.bulks() {
+            unshared.apply_update(bulk).unwrap();
+            shared.apply_update(bulk).unwrap();
+        }
+        assert!(unshared.result().approx_eq(&shared.result(), 1e-6));
+    }
+
+    #[test]
+    fn categorical_features_are_rejected() {
+        let spec = retailer::retailer_query_mixed();
+        let tree = retailer::retailer_tree(spec);
+        assert!(UnsharedCovar::new(tree).is_err());
+    }
+}

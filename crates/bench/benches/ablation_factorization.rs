@@ -1,0 +1,89 @@
+//! Ablation A2: maintaining the COVAR aggregate through the factorized view
+//! tree (F-IVM) versus maintaining the materialized join result and folding
+//! the aggregate over its deltas (DBToaster-style first-order IVM), and
+//! versus naive re-evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fivm_baselines::{JoinMaintenance, NaiveReevaluation};
+use fivm_bench::Workload;
+use fivm_core::AggregateLayout;
+use fivm_ring::{Cofactor, LiftFn};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn covar_lifts(spec: &fivm_query::QuerySpec) -> Vec<LiftFn<Cofactor>> {
+    let layout = AggregateLayout::of(spec);
+    let mut lifts = vec![LiftFn::identity(); spec.num_vars()];
+    for (idx, &v) in layout.vars.iter().enumerate() {
+        lifts[v] = fivm_ring::lift::cofactor_continuous_lift(layout.dim(), idx, &layout.names[idx]);
+    }
+    lifts
+}
+
+fn bench_factorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_factorization");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let workload = Workload::retailer(
+        fivm_data::RetailerConfig::default(),
+        fivm_data::StreamConfig {
+            bulks: 1,
+            bulk_size: 200,
+            delete_fraction: 0.2,
+            seed: 19,
+        },
+        true,
+    );
+
+    group.bench_function("fivm_view_tree", |b| {
+        let mut engine = workload.covar_engine();
+        engine.load_database(&workload.database).unwrap();
+        b.iter_batched(
+            || workload.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("join_maintenance", |b| {
+        let mut jm = JoinMaintenance::new(workload.spec.clone(), covar_lifts(&workload.spec)).unwrap();
+        jm.load_database(&workload.database).unwrap();
+        b.iter_batched(
+            || workload.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(jm.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("naive_reevaluation", |b| {
+        let mut naive =
+            NaiveReevaluation::new(workload.spec.clone(), covar_lifts(&workload.spec)).unwrap();
+        naive.load_database(&workload.database).unwrap();
+        b.iter_batched(
+            || workload.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    naive.apply_update(&u).unwrap();
+                }
+                black_box(naive.result())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation A1: maintaining the whole COVAR batch as one compound cofactor
+//! payload versus maintaining every scalar aggregate with its own engine.
+//! The difference is the sharing benefit of the degree-m matrix ring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fivm_baselines::UnsharedCovar;
+use fivm_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sharing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let workload = Workload::retailer(
+        fivm_data::RetailerConfig::default(),
+        fivm_data::StreamConfig {
+            bulks: 1,
+            bulk_size: 200,
+            delete_fraction: 0.2,
+            seed: 17,
+        },
+        true,
+    );
+
+    group.bench_function("shared_cofactor_ring", |b| {
+        let mut engine = workload.covar_engine();
+        engine.load_database(&workload.database).unwrap();
+        b.iter_batched(
+            || workload.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("unshared_scalar_aggregates", |b| {
+        let mut unshared = UnsharedCovar::new(workload.tree.clone()).unwrap();
+        unshared.load_database(&workload.database).unwrap();
+        b.iter_batched(
+            || workload.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(unshared.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

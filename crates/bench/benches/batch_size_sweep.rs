@@ -1,0 +1,51 @@
+//! Benchmark: COVAR maintenance cost as the update-bulk size grows
+//! (the demo processes bulks of 10K updates; smaller bulks stress per-update
+//! overhead, larger bulks amortize it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use fivm_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_size_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for bulk_size in [10usize, 100, 1_000] {
+        let workload = Workload::retailer(
+            fivm_data::RetailerConfig::default(),
+            fivm_data::StreamConfig {
+                bulks: 1,
+                bulk_size,
+                delete_fraction: 0.2,
+                seed: 13,
+            },
+            true,
+        );
+        group.throughput(Throughput::Elements(bulk_size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("covar_bulk", bulk_size),
+            &workload,
+            |b, w| {
+                let mut engine = w.covar_engine();
+                engine.load_database(&w.database).unwrap();
+                b.iter_batched(
+                    || w.updates.clone(),
+                    |bulk| {
+                        for u in bulk {
+                            black_box(engine.apply_update(&u).unwrap());
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_sizes);
+criterion_main!(benches);

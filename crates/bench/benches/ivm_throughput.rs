@@ -1,0 +1,88 @@
+//! Macro benchmark: applying one bulk of updates to the Retailer and
+//! Favorita workloads under the COUNT, COVAR and MI rings (Experiment E2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fivm_bench::Workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn stream() -> fivm_data::StreamConfig {
+    fivm_data::StreamConfig {
+        bulks: 1,
+        bulk_size: 500,
+        delete_fraction: 0.2,
+        seed: 3,
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivm_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let retailer = Workload::retailer(fivm_data::RetailerConfig::default(), stream(), true);
+    let favorita = Workload::favorita(fivm_data::FavoritaConfig::default(), stream());
+
+    group.bench_function("retailer_count_bulk500", |b| {
+        let mut engine = retailer.count_engine();
+        engine.load_database(&retailer.database).unwrap();
+        b.iter_batched(
+            || retailer.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("retailer_covar_bulk500", |b| {
+        let mut engine = retailer.covar_engine();
+        engine.load_database(&retailer.database).unwrap();
+        b.iter_batched(
+            || retailer.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("retailer_mi_bulk500", |b| {
+        let mut engine = retailer.mi_engine();
+        engine.load_database(&retailer.database).unwrap();
+        b.iter_batched(
+            || retailer.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("favorita_gen_covar_bulk500", |b| {
+        let mut engine = favorita.gen_covar_engine();
+        engine.load_database(&favorita.database).unwrap();
+        b.iter_batched(
+            || favorita.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    black_box(engine.apply_update(&u).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Microbenchmarks of the ring operations that dominate view maintenance:
+//! cofactor addition/multiplication, generalized-cofactor multiplication and
+//! relational-value joins.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fivm_common::Value;
+use fivm_ring::{Cofactor, GenCofactor, RelValue, Ring};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cofactor_of(dim: usize, seed: u64) -> Cofactor {
+    let mut acc = Cofactor::zero();
+    for i in 0..4u64 {
+        let mut t = Cofactor::one();
+        for idx in 0..dim {
+            t = t.mul(&Cofactor::lift(dim, idx, ((seed + i) * (idx as u64 + 3) % 17) as f64));
+        }
+        acc.add_assign(&t);
+    }
+    acc
+}
+
+fn gen_cofactor_of(dim: usize, seed: u64) -> GenCofactor {
+    let mut acc = GenCofactor::zero();
+    for i in 0..4u64 {
+        let mut t = GenCofactor::one();
+        for idx in 0..dim {
+            let lifted = if idx % 2 == 0 {
+                GenCofactor::lift_continuous(dim, idx, ((seed + i) % 13) as f64)
+            } else {
+                GenCofactor::lift_categorical(dim, idx, idx, Value::int(((seed + i) % 5) as i64))
+            };
+            t = t.mul(&lifted);
+        }
+        acc.add_assign(&t);
+    }
+    acc
+}
+
+fn bench_rings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_ops");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for dim in [3usize, 8] {
+        let a = cofactor_of(dim, 1);
+        let b = cofactor_of(dim, 2);
+        group.bench_function(format!("cofactor_mul_dim{dim}"), |bencher| {
+            bencher.iter(|| black_box(a.mul(black_box(&b))))
+        });
+        group.bench_function(format!("cofactor_add_dim{dim}"), |bencher| {
+            bencher.iter(|| black_box(a.add(black_box(&b))))
+        });
+
+        let ga = gen_cofactor_of(dim, 1);
+        let gb = gen_cofactor_of(dim, 2);
+        group.bench_function(format!("gen_cofactor_mul_dim{dim}"), |bencher| {
+            bencher.iter(|| black_box(ga.mul(black_box(&gb))))
+        });
+    }
+
+    // Relational-value join on small relations (the categorical hot path).
+    let mut left = RelValue::empty();
+    let mut right = RelValue::empty();
+    for i in 0..16i64 {
+        left.add_assign(&RelValue::weighted(0, Value::int(i), 1.0));
+        right.add_assign(&RelValue::weighted(1, Value::int(i % 4), 1.0));
+    }
+    group.bench_function("relvalue_join_16x16", |bencher| {
+        bencher.iter_batched(
+            || (left.clone(), right.clone()),
+            |(l, r)| black_box(l.mul(&r)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rings);
+criterion_main!(benches);

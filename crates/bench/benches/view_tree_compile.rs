@@ -1,0 +1,43 @@
+//! Benchmark of the query-compilation path: heuristic variable orders, view
+//! tree construction and execution-plan compilation for the Retailer and
+//! Favorita queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fivm_core::ExecutionPlan;
+use fivm_query::{EliminationHeuristic, VariableOrder, ViewTree};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_tree_compile");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let retailer = fivm_data::retailer::retailer_query_mixed();
+    let favorita = fivm_data::favorita::favorita_query();
+
+    for (name, spec) in [("retailer", &retailer), ("favorita", &favorita)] {
+        group.bench_function(format!("{name}_min_degree_order"), |b| {
+            b.iter(|| {
+                black_box(
+                    VariableOrder::heuristic(black_box(spec), EliminationHeuristic::MinDegree)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_function(format!("{name}_full_plan_compile"), |b| {
+            b.iter(|| {
+                let vo =
+                    VariableOrder::heuristic(spec, EliminationHeuristic::MinFill).unwrap();
+                let tree = ViewTree::new(spec.clone(), vo).unwrap();
+                black_box(ExecutionPlan::compile(tree).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

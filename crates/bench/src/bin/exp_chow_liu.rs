@@ -1,0 +1,79 @@
+//! Experiment E5 — the "Chow-Liu Tree" tab (Figure 2c): the pairwise mutual
+//! information matrix over all aggregate attributes and the Chow-Liu tree
+//! built from it, refreshed after bulks of updates.
+
+use fivm_bench::{print_table, Workload};
+use fivm_core::AggregateLayout;
+use fivm_ml::{chow_liu_tree, mi_matrix};
+
+fn run(dataset: &str, workload: &Workload) {
+    let layout = AggregateLayout::of(&workload.spec);
+    let mut engine = workload.mi_engine();
+    engine.load_database(&workload.database).unwrap();
+
+    println!("== E5 ({dataset}): MI matrix and Chow-Liu tree ==\n");
+    let report = |engine: &fivm_core::Engine<fivm_ring::GenCofactor>, stage: &str| {
+        let payload = engine.result();
+        let mi = mi_matrix(&payload, layout.dim());
+        println!("-- {stage}: training tuples = {:.0}", payload.count());
+        // MI matrix (diagonal = entropy).
+        let mut rows = Vec::new();
+        for (i, name) in layout.names.iter().enumerate() {
+            let mut row = vec![name.clone()];
+            row.extend(mi[i].iter().map(|v| format!("{v:.3}")));
+            rows.push(row);
+        }
+        let mut headers: Vec<&str> = vec!["MI"];
+        headers.extend(layout.names.iter().map(String::as_str));
+        print_table(&headers, &rows);
+
+        // Chow-Liu tree rooted at the label (or attribute 0).
+        let root = layout.label.unwrap_or(0);
+        let tree = chow_liu_tree(&mi, root).unwrap();
+        println!(
+            "\nChow-Liu tree (root = {}, total MI = {:.3}):",
+            layout.names[root], tree.total_mi
+        );
+        print!("{}", tree.render(&layout.names));
+        println!();
+    };
+
+    report(&engine, "initial database");
+    for (i, bulk) in workload.updates.iter().enumerate() {
+        engine.apply_update(bulk).unwrap();
+        if i + 1 == workload.updates.len() {
+            report(&engine, &format!("after {} update bulks", i + 1));
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let stream = if quick {
+        fivm_data::StreamConfig {
+            bulks: 2,
+            bulk_size: 100,
+            delete_fraction: 0.2,
+            seed: 5,
+        }
+    } else {
+        fivm_data::StreamConfig {
+            bulks: 5,
+            bulk_size: 2_000,
+            delete_fraction: 0.2,
+            seed: 5,
+        }
+    };
+    let retailer_cfg = if quick {
+        fivm_data::RetailerConfig::tiny()
+    } else {
+        fivm_data::RetailerConfig::default()
+    };
+    let favorita_cfg = if quick {
+        fivm_data::FavoritaConfig::tiny()
+    } else {
+        fivm_data::FavoritaConfig::default()
+    };
+    run("Retailer", &Workload::retailer(retailer_cfg, stream, false));
+    run("Favorita", &Workload::favorita(favorita_cfg, stream));
+}

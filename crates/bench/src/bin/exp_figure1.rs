@@ -1,0 +1,128 @@
+//! Experiment E1 — reproduces the worked example of Figure 1.
+//!
+//! Prints, for the toy database `R(A,B)`, `S(A,C,D)`, the maintained payloads
+//! of the views `V_R`, `V_S` and the query result `Q` under four rings
+//! (count, COVAR over continuous attributes, COVAR with categorical `C`,
+//! MI), and then replays the figure's update `δR` scenario.
+
+use fivm_bench::print_table;
+use fivm_common::Value;
+use fivm_core::apps;
+use fivm_data::figure1::{figure1_database, figure1_tree};
+use fivm_relation::{tuple, Update};
+use std::collections::HashMap;
+
+fn main() {
+    let db = figure1_database();
+    println!("== Figure 1: toy database ==");
+    println!("R = {{(a1,b1), (a2,b2)}}, S = {{(a1,c1,d1), (a1,c2,d3), (a2,c2,d2)}}\n");
+
+    // --- Count aggregate (Z ring) -------------------------------------------------
+    let mut count = apps::count_engine(figure1_tree(false)).unwrap();
+    count.load_database(&db).unwrap();
+    println!("[Z ring]       COUNT(R ⋈ S) = {}", count.result());
+
+    // --- COVAR over continuous B, C, D -------------------------------------------
+    let mut covar = apps::covar_engine(figure1_tree(false)).unwrap();
+    covar.load_database(&db).unwrap();
+    let q = covar.result();
+    println!("[degree-3 ring] COVAR payload (continuous B, C, D):");
+    let names = ["B", "C", "D"];
+    let mut rows = vec![vec![
+        "count".to_string(),
+        format!("{}", q.count()),
+        String::new(),
+        String::new(),
+    ]];
+    for i in 0..3 {
+        rows.push(vec![
+            format!("SUM({})", names[i]),
+            format!("{}", q.sum(i)),
+            format!("SUM({0}*{0})", names[i]),
+            format!("{}", q.prod(i, i)),
+        ]);
+    }
+    rows.push(vec![
+        "SUM(B*C)".into(),
+        format!("{}", q.prod(0, 1)),
+        "SUM(B*D) / SUM(C*D)".into(),
+        format!("{} / {}", q.prod(0, 2), q.prod(1, 2)),
+    ]);
+    print_table(&["aggregate", "value", "aggregate", "value"], &rows);
+
+    // --- COVAR with categorical C --------------------------------------------------
+    let mut gen = apps::gen_covar_engine(figure1_tree(true)).unwrap();
+    gen.load_database(&db).unwrap();
+    let g = gen.result();
+    println!("\n[generalized ring] COVAR with categorical C:");
+    println!("  count              = {}", g.count());
+    println!("  SUM(1) GROUP BY C  = {:?}", collect(&g.sum(1)));
+    println!("  SUM(B) GROUP BY C  = {:?}", collect(&g.prod(0, 1)));
+    println!("  SUM(D) GROUP BY C  = {:?}", collect(&g.prod(1, 2)));
+    println!("  SUM(B*D)           = {}", g.prod(0, 2).scalar_part());
+
+    // --- MI payload (all categorical) ----------------------------------------------
+    let spec = {
+        let mut b = fivm_query::QuerySpec::builder("figure1_mi");
+        let a = b.key("A");
+        let bb = b.categorical_feature("B");
+        let c = b.categorical_feature("C");
+        let d = b.categorical_feature("D");
+        b.relation("R", &[a, bb]);
+        b.relation("S", &[a, c, d]);
+        b.build().unwrap()
+    };
+    let a = spec.var_id("A").unwrap();
+    let c = spec.var_id("C").unwrap();
+    let mut parents = vec![None; 4];
+    parents[spec.var_id("B").unwrap()] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").unwrap()] = Some(c);
+    let tree = fivm_query::ViewTree::from_parent_vars(spec, &parents).unwrap();
+    let mut mi = apps::mi_engine(tree, &HashMap::new()).unwrap();
+    mi.load_database(&db).unwrap();
+    let m = mi.result();
+    println!("\n[MI payload] C_∅ = {}", m.count());
+    println!("  C_B  = {:?}", collect(&m.sum(0)));
+    println!("  C_BC = {:?}", collect(&m.prod(0, 1)));
+    println!("  I(B,C) = {:.6} nats", fivm_ml::mutual_information(&m, 0, 1));
+    println!("  I(C,D) = {:.6} nats", fivm_ml::mutual_information(&m, 1, 2));
+
+    // --- Delta propagation for updates to R (right side of the figure) -------------
+    println!("\n== Updates δR (insert (a1,b1), insert (a2,b2), delete (a1,b1)) ==");
+    let mut engine = apps::count_engine(figure1_tree(false)).unwrap();
+    engine
+        .apply_rows(1, figure1_database().table("S").unwrap().rows.clone())
+        .unwrap();
+    let steps = [
+        (Update::inserts("R", vec![tuple([Value::int(1), Value::int(1)])]), "insert (a1, b1)"),
+        (Update::inserts("R", vec![tuple([Value::int(2), Value::int(2)])]), "insert (a2, b2)"),
+        (Update::deletes("R", vec![tuple([Value::int(1), Value::int(1)])]), "delete (a1, b1)"),
+    ];
+    let mut rows = Vec::new();
+    for (update, label) in steps {
+        let outcome = engine.apply_update(&update).unwrap();
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", outcome.delta_entries),
+            format!("{}", engine.result()),
+        ]);
+    }
+    print_table(&["update", "delta entries touched", "COUNT(R ⋈ S)"], &rows);
+}
+
+fn collect(r: &fivm_ring::RelValue) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = r
+        .iter()
+        .map(|(k, w)| {
+            let key = k
+                .iter()
+                .map(|(_, v)| v.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            (key, w)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}

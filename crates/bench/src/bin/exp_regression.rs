@@ -1,0 +1,97 @@
+//! Experiment E4 — the "Regression" tab (Figure 2b): maintain the COVAR
+//! matrix under bulks of updates and resume batch gradient descent from the
+//! previous parameters after every bulk, comparing against the closed-form
+//! solution on the same maintained COVAR matrix.
+
+use fivm_bench::{print_table, Workload};
+use fivm_core::AggregateLayout;
+use fivm_ml::{DenseCovar, RidgeSolver};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cfg, stream) = if quick {
+        (
+            fivm_data::RetailerConfig::tiny(),
+            fivm_data::StreamConfig {
+                bulks: 2,
+                bulk_size: 100,
+                delete_fraction: 0.2,
+                seed: 11,
+            },
+        )
+    } else {
+        (
+            fivm_data::RetailerConfig::default(),
+            fivm_data::StreamConfig {
+                bulks: 5,
+                bulk_size: 2_000,
+                delete_fraction: 0.2,
+                seed: 11,
+            },
+        )
+    };
+    let workload = Workload::retailer(cfg, stream, true);
+    let layout = AggregateLayout::of(&workload.spec);
+    let label = layout.label.expect("label declared");
+
+    let mut engine = workload.covar_engine();
+    engine.load_database(&workload.database).unwrap();
+
+    let solver = RidgeSolver {
+        lambda: 1e-3,
+        learning_rate: 0.5,
+        max_iterations: 50_000,
+        tolerance: 1e-9,
+    };
+
+    println!("== E4: ridge regression on Retailer (label = inventoryunits, λ = {}) ==\n", solver.lambda);
+
+    let mut params: Option<Vec<f64>> = None;
+    let mut rows = Vec::new();
+    let solve = |stage: String,
+                     engine: &fivm_core::Engine<fivm_ring::Cofactor>,
+                     params: &mut Option<Vec<f64>>|
+     -> Vec<String> {
+        let covar = DenseCovar::from_cofactor(&engine.result(), &layout.names, label).unwrap();
+        let gd = solver
+            .solve_gradient_descent(&covar, params.as_deref())
+            .unwrap();
+        let exact = solver.solve_closed_form(&covar).unwrap();
+        let max_dev = gd
+            .params
+            .iter()
+            .zip(exact.params.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        *params = Some(gd.params.clone());
+        vec![
+            stage,
+            format!("{:.0}", covar.count),
+            format!("{}", gd.iterations),
+            format!("{:.4}", gd.objective),
+            format!("{max_dev:.2e}"),
+        ]
+    };
+
+    rows.push(solve("initial".to_string(), &engine, &mut params));
+    for (i, bulk) in workload.updates.iter().enumerate() {
+        engine.apply_update(bulk).unwrap();
+        rows.push(solve(format!("after bulk {}", i + 1), &engine, &mut params));
+    }
+    print_table(
+        &["stage", "training tuples", "BGD iterations (warm start)", "objective", "max |BGD - closed form|"],
+        &rows,
+    );
+
+    // Show the final model.
+    let covar = DenseCovar::from_cofactor(&engine.result(), &layout.names, label).unwrap();
+    let model = solver.solve_closed_form(&covar).unwrap();
+    println!("\nfinal model parameters:");
+    let rows: Vec<Vec<String>> = model
+        .feature_names
+        .iter()
+        .zip(model.params.iter())
+        .map(|(n, p)| vec![n.clone(), format!("{p:.6}")])
+        .collect();
+    print_table(&["feature", "θ"], &rows);
+}

@@ -1,0 +1,32 @@
+//! Experiment E6 — the "Maintenance Strategy" tab (Figure 2d): the view tree
+//! of the Retailer query and the M3-like definition of every view.
+
+use fivm_data::retailer;
+use fivm_query::{m3, EliminationHeuristic, PlanStats, VariableOrder, ViewTree};
+
+fn main() {
+    let spec = retailer::retailer_query_mixed();
+    let tree = retailer::retailer_tree(spec.clone());
+
+    println!("== Retailer view tree (paper-style variable order, Figure 2d) ==\n");
+    print!("{}", m3::render_tree_ascii(&tree));
+    println!("\nplan statistics: {}\n", PlanStats::of(&tree).summary());
+
+    println!("== M3-like view definitions ==\n");
+    let layout = fivm_core::AggregateLayout::of(&spec);
+    let ring = format!("RingCofactor<double, {}>", layout.dim());
+    print!("{}", m3::render_all_views(&tree, &ring));
+
+    println!("== Graphviz rendering ==\n");
+    print!("{}", m3::render_tree_dot(&tree));
+
+    println!("\n== Heuristic variable orders ==\n");
+    for (name, h) in [
+        ("min-degree", EliminationHeuristic::MinDegree),
+        ("min-fill", EliminationHeuristic::MinFill),
+    ] {
+        let vo = VariableOrder::heuristic(&spec, h).unwrap();
+        let t = ViewTree::new(spec.clone(), vo).unwrap();
+        println!("{name:<12} {}", PlanStats::of(&t).summary());
+    }
+}

@@ -1,0 +1,74 @@
+//! The error type shared by the F-IVM crates.
+
+use std::fmt;
+
+/// Result alias using [`FivmError`].
+pub type Result<T> = std::result::Result<T, FivmError>;
+
+/// Errors raised while compiling queries or maintaining views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FivmError {
+    /// A query specification is malformed (duplicate names, unknown
+    /// attributes, empty schemas, ...).
+    InvalidQuery(String),
+    /// A variable order is not valid for the query (a relation's schema does
+    /// not lie on a single root-to-leaf path, a variable is missing, ...).
+    InvalidVariableOrder(String),
+    /// An update refers to a relation or has an arity that does not match the
+    /// compiled query.
+    InvalidUpdate(String),
+    /// Ring values of incompatible shapes (e.g. cofactor dimensions) were
+    /// combined.
+    RingMismatch(String),
+    /// An ML routine received degenerate inputs (empty dataset, singular
+    /// system, ...).
+    Numerical(String),
+}
+
+impl FivmError {
+    /// Short machine-readable category name, useful in logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FivmError::InvalidQuery(_) => "invalid_query",
+            FivmError::InvalidVariableOrder(_) => "invalid_variable_order",
+            FivmError::InvalidUpdate(_) => "invalid_update",
+            FivmError::RingMismatch(_) => "ring_mismatch",
+            FivmError::Numerical(_) => "numerical",
+        }
+    }
+}
+
+impl fmt::Display for FivmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FivmError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            FivmError::InvalidVariableOrder(msg) => write!(f, "invalid variable order: {msg}"),
+            FivmError::InvalidUpdate(msg) => write!(f, "invalid update: {msg}"),
+            FivmError::RingMismatch(msg) => write!(f, "ring mismatch: {msg}"),
+            FivmError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FivmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message_and_kind_is_stable() {
+        let e = FivmError::InvalidQuery("dup attribute".into());
+        assert!(e.to_string().contains("dup attribute"));
+        assert_eq!(e.kind(), "invalid_query");
+        let e = FivmError::RingMismatch("dim 2 vs 3".into());
+        assert_eq!(e.kind(), "ring_mismatch");
+        assert!(e.to_string().contains("dim 2 vs 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FivmError::Numerical("singular".into()));
+    }
+}

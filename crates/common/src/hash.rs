@@ -1,0 +1,175 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s FxHash.
+//!
+//! View maintenance is dominated by hash-map probes on short keys (a handful
+//! of 64-bit words).  The default SipHash hasher of the standard library is
+//! noticeably slower for this access pattern, and the Rust performance
+//! guidance for database-style workloads recommends an Fx/FNV-style hasher.
+//! We implement the ~30-line Fx mixer here rather than pulling in an extra
+//! dependency.
+//!
+//! The hash is **not** HashDoS-resistant; F-IVM hashes trusted, internally
+//! generated keys, so this is an acceptable trade-off (the same one made by
+//! rustc itself).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit rotation-multiply mixer used by FxHash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast hasher for short, trusted keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(buf)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Creates an empty [`FxHashMap`].
+#[inline]
+pub fn new_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Creates an empty [`FxHashSet`].
+#[inline]
+pub fn new_set<K>() -> FxHashSet<K> {
+    FxHashSet::default()
+}
+
+/// Creates an [`FxHashMap`] with at least `cap` capacity.
+#[inline]
+pub fn map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxBuildHasher::default().build_hasher();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+        assert_eq!(hash_one(&(1u32, 2u64)), hash_one(&(1u32, 2u64)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(hash_one(&i));
+        }
+        // A decent mixer should not collide on a dense integer range.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map = new_map::<u64, &str>();
+        map.insert(7, "seven");
+        map.insert(11, "eleven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        assert_eq!(map.len(), 2);
+
+        let mut set = new_set::<&str>();
+        set.insert("a");
+        set.insert("a");
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn handles_byte_slices_of_every_tail_length() {
+        // Exercise the 8/4/2/1-byte tails of `write`.
+        for len in 0..=17 {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let a = hash_one(&bytes);
+            let b = hash_one(&bytes);
+            assert_eq!(a, b);
+        }
+    }
+}

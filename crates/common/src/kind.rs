@@ -1,0 +1,39 @@
+//! Attribute kinds.
+
+/// Whether an attribute is continuous (participates in sums/products
+/// numerically) or categorical (one-hot encoded via relational values).
+///
+/// The kind decides which attribute function (lift) the engine installs for
+/// a feature variable: continuous attributes use numeric lifts, categorical
+/// attributes use indicator-relation lifts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Numeric attribute with a continuous domain.
+    Continuous,
+    /// Attribute over a finite set of categories (ids, strings, ...).
+    Categorical,
+}
+
+impl AttrKind {
+    /// Whether the kind is [`AttrKind::Categorical`].
+    pub fn is_categorical(self) -> bool {
+        matches!(self, AttrKind::Categorical)
+    }
+
+    /// Whether the kind is [`AttrKind::Continuous`].
+    pub fn is_continuous(self) -> bool {
+        matches!(self, AttrKind::Continuous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(AttrKind::Categorical.is_categorical());
+        assert!(!AttrKind::Categorical.is_continuous());
+        assert!(AttrKind::Continuous.is_continuous());
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared primitives used across the F-IVM workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks every other
+//! crate relies on:
+//!
+//! * [`Value`] — the dynamically typed attribute value stored in tuples and
+//!   used as (parts of) keys in materialized views,
+//! * [`OrdF64`] — a total-order, hashable wrapper around `f64` so continuous
+//!   values can participate in keys,
+//! * [`FxHashMap`]/[`FxHashSet`] — hash containers using a fast,
+//!   non-cryptographic hash (an FxHash-style mixer) suitable for the short
+//!   integer-heavy keys that dominate view maintenance,
+//! * [`FivmError`] — the error type shared by the query compiler and engine.
+
+pub mod error;
+pub mod hash;
+pub mod kind;
+pub mod value;
+
+pub use error::{FivmError, Result};
+pub use hash::{new_map, new_set, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use kind::AttrKind;
+pub use value::{OrdF64, Value};
+
+/// Identifier of a query variable (attribute) inside a compiled query.
+///
+/// Variables are numbered densely from zero in the order they are declared in
+/// the [`fivm-query`] query specification; all crates use this index to refer
+/// to attributes without carrying strings around.
+pub type VarId = usize;
+
+/// Identifier of a base relation inside a compiled query.
+pub type RelId = usize;

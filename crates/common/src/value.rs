@@ -1,0 +1,286 @@
+//! Dynamically typed attribute values.
+//!
+//! Tuples in base relations and keys of materialized views are sequences of
+//! [`Value`]s.  Keys must be hashable and totally ordered, so continuous
+//! values are stored via [`OrdF64`], a bit-pattern wrapper over `f64` that
+//! provides `Eq`/`Ord`/`Hash` (NaNs compare equal to themselves and sort
+//! last, which is sufficient for grouping).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// An `f64` with total ordering and hashing, usable inside keys.
+///
+/// Two `OrdF64`s are equal iff their normalized bit patterns are equal
+/// (`-0.0` is normalized to `0.0`, all NaNs to one canonical NaN).
+#[derive(Clone, Copy)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wraps a float, normalizing `-0.0` and NaN payloads.
+    #[inline]
+    pub fn new(x: f64) -> Self {
+        if x == 0.0 {
+            OrdF64(0.0)
+        } else if x.is_nan() {
+            OrdF64(f64::NAN)
+        } else {
+            OrdF64(x)
+        }
+    }
+
+    /// The wrapped float.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    #[inline]
+    fn key(self) -> u64 {
+        // Canonical NaN so that all NaNs hash identically.
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for OrdF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl Hash for OrdF64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.0.partial_cmp(&other.0) {
+            Some(ord) => ord,
+            // NaNs sort after everything; two NaNs are equal.
+            None => match (self.0.is_nan(), other.0.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => Ordering::Equal,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(x: f64) -> Self {
+        OrdF64::new(x)
+    }
+}
+
+/// A dynamically typed attribute value.
+///
+/// Strings are reference-counted so that cloning tuples (which happens on
+/// every view update) does not copy string payloads.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// Absent / SQL NULL.  Joins never match on `Null`.
+    Null,
+    /// 64-bit integer (also used for dictionary-encoded categories and keys).
+    Int(i64),
+    /// Continuous value.
+    Double(OrdF64),
+    /// Categorical string value.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for [`Value::Int`].
+    #[inline]
+    pub fn int(x: i64) -> Self {
+        Value::Int(x)
+    }
+
+    /// Convenience constructor for [`Value::Double`].
+    #[inline]
+    pub fn double(x: f64) -> Self {
+        Value::Double(OrdF64::new(x))
+    }
+
+    /// Convenience constructor for [`Value::Str`].
+    #[inline]
+    pub fn str<S: AsRef<str>>(s: S) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Whether this value is NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a float, for lifting continuous attributes.
+    ///
+    /// Integers are widened; NULL maps to `0.0`; strings map to `None`.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Null => Some(0.0),
+            Value::Int(x) => Some(*x as f64),
+            Value::Double(x) => Some(x.get()),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Interprets the value as an integer, if it is one.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string, if it is one.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Double(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Int(x)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(x: i32) -> Self {
+        Value::Int(i64::from(x))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::double(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordf64_normalizes_zero_and_nan() {
+        assert_eq!(OrdF64::new(0.0), OrdF64::new(-0.0));
+        assert_eq!(hash_of(&OrdF64::new(0.0)), hash_of(&OrdF64::new(-0.0)));
+        assert_eq!(OrdF64::new(f64::NAN), OrdF64::new(-f64::NAN));
+        assert_eq!(
+            hash_of(&OrdF64::new(f64::NAN)),
+            hash_of(&OrdF64::new(f64::from_bits(0x7ff8_0000_0000_0001)))
+        );
+    }
+
+    #[test]
+    fn ordf64_orders_like_f64_and_puts_nan_last() {
+        let mut xs = vec![
+            OrdF64::new(3.0),
+            OrdF64::new(f64::NAN),
+            OrdF64::new(-1.5),
+            OrdF64::new(0.0),
+        ];
+        xs.sort();
+        assert_eq!(xs[0].get(), -1.5);
+        assert_eq!(xs[1].get(), 0.0);
+        assert_eq!(xs[2].get(), 3.0);
+        assert!(xs[3].get().is_nan());
+    }
+
+    #[test]
+    fn value_constructors_and_accessors() {
+        assert_eq!(Value::int(7).as_i64(), Some(7));
+        assert_eq!(Value::int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::str("abc").as_f64(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn value_equality_across_variants() {
+        assert_ne!(Value::int(1), Value::double(1.0));
+        assert_eq!(Value::str("x"), Value::from("x"));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(2.0f64), Value::double(2.0));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::int(4).to_string(), "4");
+        assert_eq!(Value::double(1.5).to_string(), "1.5");
+        assert_eq!(Value::str("a").to_string(), "a");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,264 @@
+//! Ready-made engine configurations for the paper's applications.
+//!
+//! Each constructor picks a ring and installs the matching attribute
+//! functions (lifts) for the query's feature/label variables:
+//!
+//! * [`count_engine`] — the `Z` ring; maintains `COUNT(*)` of the join.
+//! * [`covar_engine`] — the degree-m cofactor ring over the continuous
+//!   features/label; maintains the COVAR matrix used by ridge regression.
+//! * [`gen_covar_engine`] — the generalized cofactor ring; COVAR over a mix
+//!   of continuous and categorical attributes (categorical interactions are
+//!   grouped relations, i.e. compact one-hot encodings).
+//! * [`mi_engine`] — the generalized cofactor ring with *every* aggregate
+//!   attribute lifted categorically (continuous ones via equi-width
+//!   binning); maintains the count aggregates needed for pairwise mutual
+//!   information.
+//! * [`relational_engine`] — the relation ring; maintains the listing of the
+//!   join result projected onto the aggregate attributes (factorized
+//!   conjunctive query evaluation).
+
+use crate::engine::Engine;
+use fivm_common::{AttrKind, FivmError, Result, Value, VarId};
+use fivm_query::{QuerySpec, ViewTree};
+use fivm_ring::lift::{
+    cofactor_continuous_lift, gen_categorical_lift, gen_continuous_lift, relational_lift,
+};
+use fivm_ring::{Cofactor, GenCofactor, LiftFn, RelValue};
+use std::collections::HashMap;
+
+/// The layout of the aggregate batch: which query variables participate, in
+/// which order, and with which kind.  Positions in this layout are the
+/// indices used by the cofactor rings and by the ML routines downstream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateLayout {
+    /// The participating variables (features first, label last).
+    pub vars: Vec<VarId>,
+    /// Their names, aligned with `vars`.
+    pub names: Vec<String>,
+    /// Their kinds, aligned with `vars`.
+    pub kinds: Vec<AttrKind>,
+    /// Index (within `vars`) of the label, if the query declared one.
+    pub label: Option<usize>,
+}
+
+impl AggregateLayout {
+    /// Extracts the aggregate layout of a query.
+    pub fn of(spec: &QuerySpec) -> Self {
+        let vars = spec.aggregate_vars();
+        let names = vars.iter().map(|&v| spec.var_name(v).to_string()).collect();
+        let kinds = vars.iter().map(|&v| spec.var(v).kind).collect();
+        let label = spec
+            .label_var()
+            .and_then(|l| vars.iter().position(|&v| v == l));
+        AggregateLayout {
+            vars,
+            names,
+            kinds,
+            label,
+        }
+    }
+
+    /// Number of attributes in the batch (the cofactor dimension `m`).
+    pub fn dim(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The batch index of a variable, if it participates.
+    pub fn index_of(&self, var: VarId) -> Option<usize> {
+        self.vars.iter().position(|&v| v == var)
+    }
+}
+
+/// Equi-width binning of a continuous attribute, used to discretize it for
+/// the mutual-information application (as the paper does).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BinSpec {
+    /// Lower bound of the value range.
+    pub lo: f64,
+    /// Upper bound of the value range.
+    pub hi: f64,
+    /// Number of bins.
+    pub bins: usize,
+}
+
+impl BinSpec {
+    /// Creates a binning over `[lo, hi]` with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "binning needs at least one bin");
+        assert!(hi > lo, "binning range must be non-empty");
+        BinSpec { lo, hi, bins }
+    }
+
+    /// The bin index of a value (clamped to the range).
+    pub fn bin(&self, x: f64) -> i64 {
+        let width = (self.hi - self.lo) / self.bins as f64;
+        let raw = ((x - self.lo) / width).floor() as i64;
+        raw.clamp(0, self.bins as i64 - 1)
+    }
+
+    /// Bins a [`Value`], interpreting non-numeric values as bin 0.
+    pub fn bin_value(&self, v: &Value) -> Value {
+        Value::Int(self.bin(v.as_f64().unwrap_or(0.0)))
+    }
+}
+
+/// Builds a count engine (`Z` ring): every variable uses the identity lift.
+pub fn count_engine(tree: ViewTree) -> Result<Engine<i64>> {
+    let n = tree.spec().num_vars();
+    Engine::new(tree, vec![LiftFn::identity(); n])
+}
+
+/// Builds a COVAR engine over continuous attributes only.
+///
+/// Returns an error if any feature/label variable is categorical — use
+/// [`gen_covar_engine`] for mixed attribute kinds.
+pub fn covar_engine(tree: ViewTree) -> Result<Engine<Cofactor>> {
+    let spec = tree.spec().clone();
+    let layout = AggregateLayout::of(&spec);
+    let dim = layout.dim();
+    let mut lifts: Vec<LiftFn<Cofactor>> = vec![LiftFn::identity(); spec.num_vars()];
+    for (idx, &v) in layout.vars.iter().enumerate() {
+        if spec.var(v).kind == AttrKind::Categorical {
+            return Err(FivmError::RingMismatch(format!(
+                "variable `{}` is categorical; the plain cofactor ring only supports \
+                 continuous attributes (use gen_covar_engine)",
+                spec.var_name(v)
+            )));
+        }
+        lifts[v] = cofactor_continuous_lift(dim, idx, spec.var_name(v));
+    }
+    Engine::new(tree, lifts)
+}
+
+/// Builds a COVAR engine over mixed continuous/categorical attributes using
+/// the generalized cofactor ring.  Categorical values are tagged with their
+/// *batch index* inside relational keys.
+pub fn gen_covar_engine(tree: ViewTree) -> Result<Engine<GenCofactor>> {
+    let spec = tree.spec().clone();
+    let layout = AggregateLayout::of(&spec);
+    let dim = layout.dim();
+    let mut lifts: Vec<LiftFn<GenCofactor>> = vec![LiftFn::identity(); spec.num_vars()];
+    for (idx, &v) in layout.vars.iter().enumerate() {
+        let name = spec.var_name(v);
+        lifts[v] = match spec.var(v).kind {
+            AttrKind::Continuous => gen_continuous_lift(dim, idx, name),
+            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, name),
+        };
+    }
+    Engine::new(tree, lifts)
+}
+
+/// Builds a mutual-information engine: every aggregate attribute is lifted
+/// categorically, with continuous attributes discretized through the
+/// supplied equi-width binnings (keyed by variable id).
+///
+/// Returns an error if a continuous aggregate attribute has no binning.
+pub fn mi_engine(
+    tree: ViewTree,
+    binnings: &HashMap<VarId, BinSpec>,
+) -> Result<Engine<GenCofactor>> {
+    let spec = tree.spec().clone();
+    let layout = AggregateLayout::of(&spec);
+    let dim = layout.dim();
+    let mut lifts: Vec<LiftFn<GenCofactor>> = vec![LiftFn::identity(); spec.num_vars()];
+    for (idx, &v) in layout.vars.iter().enumerate() {
+        let name = spec.var_name(v).to_string();
+        lifts[v] = match spec.var(v).kind {
+            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, &name),
+            AttrKind::Continuous => {
+                let bin = *binnings.get(&v).ok_or_else(|| {
+                    FivmError::InvalidQuery(format!(
+                        "continuous variable `{name}` needs a BinSpec for the MI application"
+                    ))
+                })?;
+                LiftFn::new(format!("mi_binned<{dim}>[{idx}]({name})"), move |value| {
+                    GenCofactor::lift_categorical(dim, idx, idx, bin.bin_value(value))
+                })
+            }
+        };
+    }
+    Engine::new(tree, lifts)
+}
+
+/// Builds a factorized-evaluation engine over the relation ring: the result
+/// payload is the listing of the join result projected onto the aggregate
+/// attributes, keyed by variable id.
+pub fn relational_engine(tree: ViewTree) -> Result<Engine<RelValue>> {
+    let spec = tree.spec().clone();
+    let layout = AggregateLayout::of(&spec);
+    let mut lifts: Vec<LiftFn<RelValue>> = vec![LiftFn::identity(); spec.num_vars()];
+    for &v in &layout.vars {
+        lifts[v] = relational_lift(v, spec.var_name(v));
+    }
+    Engine::new(tree, lifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_query::spec::figure1_query;
+    use fivm_query::{EliminationHeuristic, VariableOrder, ViewTree};
+
+    fn tree(categorical_c: bool) -> ViewTree {
+        let spec = figure1_query(categorical_c);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        ViewTree::new(spec, vo).unwrap()
+    }
+
+    #[test]
+    fn aggregate_layout_of_figure1() {
+        let spec = figure1_query(true);
+        let layout = AggregateLayout::of(&spec);
+        assert_eq!(layout.dim(), 3);
+        assert_eq!(layout.names, vec!["B", "C", "D"]);
+        assert_eq!(layout.kinds[1], AttrKind::Categorical);
+        assert_eq!(layout.label, None);
+        assert_eq!(layout.index_of(spec.var_id("D").unwrap()), Some(2));
+        assert_eq!(layout.index_of(spec.var_id("A").unwrap()), None);
+    }
+
+    #[test]
+    fn covar_engine_rejects_categorical_features() {
+        let err = covar_engine(tree(true)).unwrap_err();
+        assert_eq!(err.kind(), "ring_mismatch");
+        assert!(covar_engine(tree(false)).is_ok());
+    }
+
+    #[test]
+    fn mi_engine_requires_binnings_for_continuous() {
+        let t = tree(false);
+        let err = mi_engine(t.clone(), &HashMap::new()).unwrap_err();
+        assert_eq!(err.kind(), "invalid_query");
+        let spec = t.spec().clone();
+        let mut bins = HashMap::new();
+        for name in ["B", "C", "D"] {
+            bins.insert(spec.var_id(name).unwrap(), BinSpec::new(0.0, 10.0, 5));
+        }
+        assert!(mi_engine(t, &bins).is_ok());
+    }
+
+    #[test]
+    fn bin_spec_clamps_and_bins() {
+        let b = BinSpec::new(0.0, 10.0, 5);
+        assert_eq!(b.bin(-3.0), 0);
+        assert_eq!(b.bin(0.0), 0);
+        assert_eq!(b.bin(3.9), 1);
+        assert_eq!(b.bin(9.99), 4);
+        assert_eq!(b.bin(123.0), 4);
+        assert_eq!(b.bin_value(&Value::double(4.1)), Value::Int(2));
+        assert_eq!(b.bin_value(&Value::str("x")), Value::Int(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn bin_spec_rejects_zero_bins() {
+        let _ = BinSpec::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn other_engines_construct() {
+        assert!(count_engine(tree(false)).is_ok());
+        assert!(gen_covar_engine(tree(true)).is_ok());
+        assert!(relational_engine(tree(true)).is_ok());
+    }
+}

@@ -1,0 +1,421 @@
+//! The F-IVM maintenance engine.
+//!
+//! An [`Engine`] materializes every view of a view tree (plus one leaf view
+//! per base relation) with payloads from an application ring `R`, and keeps
+//! them consistent under inserts and deletes:
+//!
+//! 1. An update to relation `K` is turned into a delta over the leaf view's
+//!    key (payload = `1` scaled by the signed multiplicity).
+//! 2. The delta is propagated along the leaf-to-root maintenance path.  At
+//!    each view `V@X`, the delta of the updating child is joined against the
+//!    *materialized* sibling views (using the probes fixed by the
+//!    [`ExecutionPlan`]), multiplied by the lift `g_X`, marginalized over
+//!    `X`, applied to `V@X`, and handed to the parent as its child delta.
+//! 3. Views on other branches are untouched — this is the core of F-IVM's
+//!    efficiency.
+//!
+//! The engine is completely generic in the ring; the applications in
+//! [`crate::apps`] merely pick a ring and a set of lifts.
+
+use crate::plan::{DeltaPlan, ExecutionPlan, NodePlan, ProbeKind, ALREADY_BOUND};
+use crate::view::MaterializedView;
+use fivm_common::{FivmError, FxHashMap, RelId, Result, Value};
+use fivm_query::ViewTree;
+use fivm_relation::{Database, Relation, Tuple, Update};
+use fivm_ring::{LiftFn, Ring};
+
+/// Counters describing the work performed by the engine so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of update batches applied.
+    pub updates_applied: usize,
+    /// Number of input rows across all update batches.
+    pub rows_applied: usize,
+    /// Number of delta entries pushed into views (all levels).
+    pub delta_entries: usize,
+}
+
+/// Result of applying one update batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Rows in the input batch.
+    pub input_rows: usize,
+    /// Delta entries written across all views on the maintenance path.
+    pub delta_entries: usize,
+}
+
+/// The F-IVM engine for a fixed query, view tree and ring.
+pub struct Engine<R: Ring> {
+    plan: ExecutionPlan,
+    lifts: Vec<LiftFn<R>>,
+    views: Vec<MaterializedView<R>>,
+    /// Per-relation column bindings: for each relation variable, the column
+    /// of the source table it is read from.  Set by [`Engine::bind_table`] /
+    /// [`Engine::load_database`]; identity if never bound.
+    bindings: Vec<Option<Vec<usize>>>,
+    stats: EngineStats,
+}
+
+impl<R: Ring> Engine<R> {
+    /// Builds an engine from a view tree and one lift per query variable.
+    ///
+    /// `lifts[v]` is the attribute function `g_v`; pass
+    /// [`LiftFn::identity`] for join keys.
+    pub fn new(tree: ViewTree, lifts: Vec<LiftFn<R>>) -> Result<Self> {
+        if lifts.len() != tree.spec().num_vars() {
+            return Err(FivmError::InvalidQuery(format!(
+                "expected {} lifts (one per variable), got {}",
+                tree.spec().num_vars(),
+                lifts.len()
+            )));
+        }
+        let plan = ExecutionPlan::compile(tree)?;
+        let mut views = Vec::with_capacity(plan.num_views());
+        for np in plan.node_plans() {
+            views.push(MaterializedView::new(np.key_vars.clone()));
+        }
+        for lp in plan.leaf_plans() {
+            views.push(MaterializedView::new(lp.vars.clone()));
+        }
+        // Register the planned secondary indexes, in plan order so the ids
+        // used by `ProbeKind::Index` line up.
+        for (view_idx, reqs) in plan.index_requirements().iter().enumerate() {
+            for positions in reqs {
+                views[view_idx].ensure_index(positions.clone());
+            }
+        }
+        let num_rels = plan.leaf_plans().len();
+        Ok(Engine {
+            plan,
+            lifts,
+            views,
+            bindings: vec![None; num_rels],
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The query's view tree.
+    pub fn tree(&self) -> &ViewTree {
+        self.plan.tree()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The materialized view of a view-tree node, as a relation.
+    pub fn view_relation(&self, node_id: usize) -> Relation<R> {
+        self.views[node_id].to_relation()
+    }
+
+    /// Number of keys stored across all materialized views.
+    pub fn total_view_entries(&self) -> usize {
+        self.views.iter().map(MaterializedView::len).sum()
+    }
+
+    /// The query result for queries without group-by variables: the product
+    /// of the root views' payloads (each keyed by the empty tuple).
+    pub fn result(&self) -> R {
+        let empty: Tuple = Vec::new().into_boxed_slice();
+        let mut acc = R::one();
+        for &root in self.plan.tree().roots() {
+            match self.views[root].get(&empty) {
+                Some(p) => acc = acc.mul(p),
+                None => return R::zero(),
+            }
+        }
+        acc
+    }
+
+    /// The query result as a relation over the free variables (general form;
+    /// equals a singleton over the empty key when there is no group-by).
+    pub fn result_relation(&self) -> Relation<R> {
+        let roots = self.plan.tree().roots();
+        let mut acc: Option<Relation<R>> = None;
+        for &root in roots {
+            let rel = self.views[root].to_relation();
+            acc = Some(match acc {
+                None => rel,
+                Some(prev) => prev.natural_join(&rel),
+            });
+        }
+        acc.unwrap_or_else(|| {
+            let mut r = Relation::new(Vec::new());
+            r.add(Vec::new().into_boxed_slice(), R::one());
+            r
+        })
+    }
+
+    /// Binds a relation of the query to the column layout of a source table:
+    /// each relation variable is matched to the table column with the same
+    /// name.  Rows of subsequent updates to this relation are expected in the
+    /// table's layout.
+    pub fn bind_table(&mut self, rel: RelId, schema: &fivm_relation::Schema) -> Result<()> {
+        let spec = self.plan.tree().spec();
+        let def = spec.relation(rel);
+        let mut cols = Vec::with_capacity(def.vars.len());
+        for &v in &def.vars {
+            let name = spec.var_name(v);
+            let col = schema.position(name).ok_or_else(|| {
+                FivmError::InvalidUpdate(format!(
+                    "table bound to relation `{}` has no column `{name}`",
+                    def.name
+                ))
+            })?;
+            cols.push(col);
+        }
+        self.bindings[rel] = Some(cols);
+        Ok(())
+    }
+
+    /// Loads an initial database: every table whose name matches a query
+    /// relation is bound by column name and its rows are applied as inserts.
+    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+        let spec = self.plan.tree().spec().clone();
+        for rel in 0..spec.num_relations() {
+            let name = &spec.relation(rel).name;
+            let table = db.table(name).ok_or_else(|| {
+                FivmError::InvalidUpdate(format!("database has no table named `{name}`"))
+            })?;
+            self.bind_table(rel, &table.schema)?;
+            self.apply_rows(rel, table.rows.iter().cloned())?;
+        }
+        Ok(())
+    }
+
+    /// Applies an update batch addressed by table name.
+    pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome> {
+        let rel = self
+            .plan
+            .tree()
+            .spec()
+            .relation_id(&update.table)
+            .ok_or_else(|| {
+                FivmError::InvalidUpdate(format!(
+                    "update targets unknown relation `{}`",
+                    update.table
+                ))
+            })?;
+        self.apply_rows(rel, update.rows.iter().cloned())
+    }
+
+    /// Applies a batch of `(row, multiplicity)` changes to a relation.
+    ///
+    /// Rows are in the bound table layout if [`Engine::bind_table`] was
+    /// called for this relation, otherwise they must list exactly the
+    /// relation's query variables in declaration order.
+    pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> Result<UpdateOutcome>
+    where
+        I: IntoIterator<Item = (Tuple, i64)>,
+    {
+        let leaf = &self.plan.leaf_plans()[rel];
+        let arity = leaf.vars.len();
+        let binding = self.bindings[rel].clone();
+
+        // Accumulate the leaf delta, merging duplicate keys.
+        let mut delta: FxHashMap<Tuple, R> = FxHashMap::default();
+        let mut input_rows = 0usize;
+        for (row, mult) in rows {
+            input_rows += 1;
+            if mult == 0 {
+                continue;
+            }
+            let key: Tuple = match &binding {
+                Some(cols) => cols
+                    .iter()
+                    .map(|&c| {
+                        row.get(c).cloned().ok_or_else(|| {
+                            FivmError::InvalidUpdate(format!(
+                                "row has {} columns but column {c} was bound",
+                                row.len()
+                            ))
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?
+                    .into_boxed_slice(),
+                None => {
+                    if row.len() != arity {
+                        return Err(FivmError::InvalidUpdate(format!(
+                            "row arity {} does not match relation arity {arity}",
+                            row.len()
+                        )));
+                    }
+                    row
+                }
+            };
+            let payload = R::one().scale_int(mult);
+            match delta.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(payload);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    o.get_mut().add_assign(&payload);
+                }
+            }
+        }
+        delta.retain(|_, p| !p.is_zero());
+
+        let mut outcome = UpdateOutcome {
+            input_rows,
+            delta_entries: 0,
+        };
+        if delta.is_empty() {
+            self.stats.updates_applied += 1;
+            self.stats.rows_applied += input_rows;
+            return Ok(outcome);
+        }
+
+        // Apply to the leaf view.
+        let leaf_view_idx = leaf.view_idx;
+        let mut current: Vec<(Tuple, R)> = delta.into_iter().collect();
+        for (k, p) in &current {
+            self.views[leaf_view_idx].add(k.clone(), p.clone());
+        }
+        outcome.delta_entries += current.len();
+
+        // Propagate along the maintenance path.
+        let (mut node_id, mut child_pos) = leaf.parent;
+        loop {
+            let produced = self.propagate_at_node(node_id, child_pos, &current);
+            outcome.delta_entries += produced.len();
+            for (k, p) in &produced {
+                self.views[node_id].add(k.clone(), p.clone());
+            }
+            current = produced;
+            if current.is_empty() {
+                break;
+            }
+            match self.plan.node_plans()[node_id].parent {
+                Some((parent, pos)) => {
+                    node_id = parent;
+                    child_pos = pos;
+                }
+                None => break,
+            }
+        }
+
+        self.stats.updates_applied += 1;
+        self.stats.rows_applied += input_rows;
+        self.stats.delta_entries += outcome.delta_entries;
+        Ok(outcome)
+    }
+
+    /// Computes the delta of view `node_id` given the delta of its child at
+    /// position `child_pos`, without modifying any view.
+    fn propagate_at_node(
+        &self,
+        node_id: usize,
+        child_pos: usize,
+        child_delta: &[(Tuple, R)],
+    ) -> Vec<(Tuple, R)> {
+        let np = &self.plan.node_plans()[node_id];
+        let dp = &np.delta_plans[child_pos];
+        let lift = &self.lifts[np.var];
+        let mut out: FxHashMap<Tuple, R> = FxHashMap::default();
+        let mut assignment: Vec<Value> = vec![Value::Null; np.local_vars.len()];
+
+        for (key, payload) in child_delta {
+            for (col, &pos) in dp.scatter.iter().enumerate() {
+                assignment[pos] = key[col].clone();
+            }
+            self.extend_assignment(np, dp, lift, 0, &mut assignment, payload, &mut out);
+        }
+
+        out.retain(|_, p| !p.is_zero());
+        out.into_iter().collect()
+    }
+
+    /// Recursively extends a partial assignment by probing siblings, then
+    /// applies the lift and emits the marginalized contribution.
+    #[allow(clippy::too_many_arguments)]
+    fn extend_assignment(
+        &self,
+        np: &NodePlan,
+        dp: &DeltaPlan,
+        lift: &LiftFn<R>,
+        step_idx: usize,
+        assignment: &mut Vec<Value>,
+        acc: &R,
+        out: &mut FxHashMap<Tuple, R>,
+    ) {
+        if step_idx == dp.steps.len() {
+            let mut payload = acc.clone();
+            if !lift.is_identity() {
+                payload = payload.mul(&lift.apply(&assignment[dp.var_position]));
+            }
+            if payload.is_zero() {
+                return;
+            }
+            let key: Tuple = dp
+                .key_positions
+                .iter()
+                .map(|&p| assignment[p].clone())
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            match out.entry(key) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(payload);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    o.get_mut().add_assign(&payload);
+                }
+            }
+            return;
+        }
+
+        let step = &dp.steps[step_idx];
+        let view = &self.views[step.sibling_view];
+        let probe: Tuple = step
+            .probe_positions
+            .iter()
+            .map(|&p| assignment[p].clone())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+
+        match &step.probe {
+            ProbeKind::Primary => {
+                if let Some(p) = view.get(&probe) {
+                    let next = acc.mul(p);
+                    if !next.is_zero() {
+                        self.extend_assignment(np, dp, lift, step_idx + 1, assignment, &next, out);
+                    }
+                }
+            }
+            ProbeKind::Index(idx) => {
+                // Collect matches first to keep the borrow of `self.views`
+                // from overlapping with the recursive call's mutable use of
+                // `assignment` only (views are only read).
+                let matches: Vec<(Tuple, R)> = view
+                    .probe_index(*idx, &probe)
+                    .map(|(k, p)| (k.clone(), p.clone()))
+                    .collect();
+                for (full_key, p) in matches {
+                    for (col, &pos) in step.write_positions.iter().enumerate() {
+                        if pos != ALREADY_BOUND {
+                            assignment[pos] = full_key[col].clone();
+                        }
+                    }
+                    let next = acc.mul(&p);
+                    if !next.is_zero() {
+                        self.extend_assignment(np, dp, lift, step_idx + 1, assignment, &next, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<R: Ring> std::fmt::Debug for Engine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("views", &self.views.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

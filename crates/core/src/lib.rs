@@ -1,0 +1,47 @@
+//! The F-IVM incremental view maintenance engine.
+//!
+//! This crate is the paper's primary contribution: maintenance of batches of
+//! aggregates over project-join queries under inserts and deletes, by
+//! materializing a tree of views whose payloads live in an
+//! application-specific ring and propagating deltas along leaf-to-root paths.
+//!
+//! The typical flow is:
+//!
+//! ```
+//! use fivm_core::apps;
+//! use fivm_query::{VariableOrder, ViewTree, EliminationHeuristic};
+//! use fivm_relation::tuple;
+//! use fivm_common::Value;
+//!
+//! // SELECT SUM(1) FROM R(A, B) NATURAL JOIN S(A, C, D)
+//! let spec = fivm_query::spec::figure1_query(false);
+//! let order = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+//! let tree = ViewTree::new(spec, order).unwrap();
+//! let mut engine = apps::count_engine(tree).unwrap();
+//!
+//! engine.apply_rows(0, vec![(tuple([Value::int(1), Value::int(10)]), 1)]).unwrap();
+//! engine.apply_rows(1, vec![(tuple([Value::int(1), Value::int(7), Value::int(8)]), 1)]).unwrap();
+//! assert_eq!(engine.result(), 1);
+//!
+//! // Deletes are inserts with negative multiplicity.
+//! engine.apply_rows(0, vec![(tuple([Value::int(1), Value::int(10)]), -1)]).unwrap();
+//! assert_eq!(engine.result(), 0);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`engine`] — the generic, ring-agnostic maintenance engine.
+//! * [`plan`] — compilation of view trees into static probe/index plans.
+//! * [`view`] — materialized views with planned secondary indexes.
+//! * [`apps`] — preconfigured engines for the paper's applications (count,
+//!   COVAR, mixed COVAR, mutual information, factorized evaluation).
+
+pub mod apps;
+pub mod engine;
+pub mod plan;
+pub mod view;
+
+pub use apps::{AggregateLayout, BinSpec};
+pub use engine::{Engine, EngineStats, UpdateOutcome};
+pub use plan::ExecutionPlan;
+pub use view::MaterializedView;

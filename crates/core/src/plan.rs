@@ -1,0 +1,409 @@
+//! Compilation of a [`ViewTree`] into an executable maintenance plan.
+//!
+//! The plan fixes, ahead of time, everything the engine does per update:
+//!
+//! * the layout of the *assignment* (the variables bound while joining at a
+//!   node, `local_vars = key(X) ∪ {X}`),
+//! * for every (node, updating child) pair, the sequence of sibling probes
+//!   (with the secondary index each probe uses) that extends a delta tuple of
+//!   the child to full assignments of the node,
+//! * which secondary indexes every materialized view must maintain.
+//!
+//! Planning probes statically keeps the hot maintenance path free of any
+//! decision making and guarantees the engine never builds an index lazily.
+
+use fivm_common::{FivmError, RelId, Result, VarId};
+use fivm_query::{ChildRef, ViewTree};
+
+/// A marker for "this sibling column is already bound by the assignment".
+pub const ALREADY_BOUND: usize = usize::MAX;
+
+/// How a sibling is probed during delta propagation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// The probe key covers the sibling's whole key: use the primary map.
+    Primary,
+    /// Use the secondary index with this id (per-view numbering).
+    Index(usize),
+}
+
+/// One sibling probe performed while extending a delta assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaStep {
+    /// Index (into the engine's view array) of the sibling being probed.
+    pub sibling_view: usize,
+    /// Primary-map or secondary-index probe.
+    pub probe: ProbeKind,
+    /// Assignment positions to gather, in the order expected by the probe
+    /// (primary: the sibling's key order; index: the index's column order).
+    pub probe_positions: Vec<usize>,
+    /// For every column of the sibling's key: the assignment position to
+    /// write the matched value into, or [`ALREADY_BOUND`] if the column was
+    /// part of the probe.
+    pub write_positions: Vec<usize>,
+}
+
+/// The full recipe for propagating a delta arriving from one child of a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaPlan {
+    /// For every column of the incoming delta tuple: its assignment position.
+    pub scatter: Vec<usize>,
+    /// Sibling probes, in execution order.
+    pub steps: Vec<DeltaStep>,
+    /// Assignment position of the node's own variable (read by the lift).
+    pub var_position: usize,
+    /// Assignment positions forming the output key (the node's `key_vars`).
+    pub key_positions: Vec<usize>,
+}
+
+/// A child of a node, as seen by the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChildInfo {
+    /// Index into the engine's view array (lower view or relation leaf view).
+    pub view_idx: usize,
+    /// The variables of the child's key, in its column order.
+    pub cover: Vec<VarId>,
+}
+
+/// The compiled plan of one view-tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodePlan {
+    /// The node id (also the index of the node's view in the view array).
+    pub node_id: usize,
+    /// The variable marginalized at this node.
+    pub var: VarId,
+    /// The node's group-by variables.
+    pub key_vars: Vec<VarId>,
+    /// `key_vars ∪ {var}`, the assignment layout.
+    pub local_vars: Vec<VarId>,
+    /// The node's children.
+    pub children: Vec<ChildInfo>,
+    /// One delta plan per child position.
+    pub delta_plans: Vec<DeltaPlan>,
+    /// `(parent node id, this node's position among the parent's children)`.
+    pub parent: Option<(usize, usize)>,
+}
+
+/// The compiled plan of one base-relation leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeafPlan {
+    /// The relation id.
+    pub rel: RelId,
+    /// Index of the leaf's view in the engine's view array.
+    pub view_idx: usize,
+    /// The relation's variables (the leaf view's key).
+    pub vars: Vec<VarId>,
+    /// `(attachment node id, position among that node's children)`.
+    pub parent: (usize, usize),
+}
+
+/// The complete executable plan.
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    tree: ViewTree,
+    node_plans: Vec<NodePlan>,
+    leaf_plans: Vec<LeafPlan>,
+    /// Secondary indexes required per view (view idx → list of key-position
+    /// lists).  Engine construction registers them in this exact order, so
+    /// [`ProbeKind::Index`] ids line up with `MaterializedView::ensure_index`.
+    index_requirements: Vec<Vec<Vec<usize>>>,
+}
+
+impl ExecutionPlan {
+    /// Compiles a view tree into an execution plan.
+    pub fn compile(tree: ViewTree) -> Result<Self> {
+        let num_nodes = tree.len();
+        let num_rels = tree.spec().num_relations();
+        let num_views = num_nodes + num_rels;
+        let mut index_requirements: Vec<Vec<Vec<usize>>> = vec![Vec::new(); num_views];
+
+        // Child covers and view indices.
+        let child_info = |child: &ChildRef| -> ChildInfo {
+            match child {
+                ChildRef::View(c) => ChildInfo {
+                    view_idx: *c,
+                    cover: tree.node(*c).key_vars.clone(),
+                },
+                ChildRef::Relation(r) => ChildInfo {
+                    view_idx: num_nodes + r,
+                    cover: tree.spec().relation(*r).vars.clone(),
+                },
+            }
+        };
+
+        let mut node_plans = Vec::with_capacity(num_nodes);
+        for node in tree.nodes() {
+            let children: Vec<ChildInfo> = node.children.iter().map(child_info).collect();
+            let local_vars = node.local_vars.clone();
+            let pos_of = |v: VarId| -> Result<usize> {
+                local_vars.iter().position(|&x| x == v).ok_or_else(|| {
+                    FivmError::InvalidVariableOrder(format!(
+                        "variable {v} not among local variables of view {}",
+                        node.id
+                    ))
+                })
+            };
+
+            let mut delta_plans = Vec::with_capacity(children.len());
+            for (j, updating) in children.iter().enumerate() {
+                // Scatter: delta tuple columns (the child's cover) into the
+                // assignment.
+                let scatter = updating
+                    .cover
+                    .iter()
+                    .map(|&v| pos_of(v))
+                    .collect::<Result<Vec<_>>>()?;
+
+                let mut known: Vec<VarId> = updating.cover.clone();
+                let mut remaining: Vec<usize> = (0..children.len()).filter(|&i| i != j).collect();
+                let mut steps = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    // Greedily pick the sibling sharing the most variables
+                    // with the already-bound set (ties by child order) to
+                    // keep intermediate fan-out small.
+                    let best_i = *remaining
+                        .iter()
+                        .max_by_key(|&&i| {
+                            let overlap = children[i]
+                                .cover
+                                .iter()
+                                .filter(|v| known.contains(v))
+                                .count();
+                            (overlap, usize::MAX - i)
+                        })
+                        .expect("remaining is non-empty");
+                    remaining.retain(|&i| i != best_i);
+                    let sibling = &children[best_i];
+
+                    // Probe columns: sibling key columns already bound.
+                    let probe_cols: Vec<usize> = sibling
+                        .cover
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| known.contains(v))
+                        .map(|(c, _)| c)
+                        .collect();
+                    let probe_positions = probe_cols
+                        .iter()
+                        .map(|&c| pos_of(sibling.cover[c]))
+                        .collect::<Result<Vec<_>>>()?;
+                    let probe = if probe_cols.len() == sibling.cover.len() {
+                        ProbeKind::Primary
+                    } else {
+                        // Register the secondary index on the sibling view.
+                        let reqs = &mut index_requirements[sibling.view_idx];
+                        let id = match reqs.iter().position(|r| *r == probe_cols) {
+                            Some(id) => id,
+                            None => {
+                                reqs.push(probe_cols.clone());
+                                reqs.len() - 1
+                            }
+                        };
+                        ProbeKind::Index(id)
+                    };
+                    // For primary probes the gather order must be the
+                    // sibling's full key order.
+                    let probe_positions = if probe == ProbeKind::Primary {
+                        sibling
+                            .cover
+                            .iter()
+                            .map(|&v| pos_of(v))
+                            .collect::<Result<Vec<_>>>()?
+                    } else {
+                        probe_positions
+                    };
+
+                    let write_positions = sibling
+                        .cover
+                        .iter()
+                        .map(|&v| {
+                            if known.contains(&v) {
+                                Ok(ALREADY_BOUND)
+                            } else {
+                                pos_of(v)
+                            }
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    for &v in &sibling.cover {
+                        if !known.contains(&v) {
+                            known.push(v);
+                        }
+                    }
+                    steps.push(DeltaStep {
+                        sibling_view: sibling.view_idx,
+                        probe,
+                        probe_positions,
+                        write_positions,
+                    });
+                }
+
+                // Sanity: all local variables are bound after all steps.
+                for &v in &local_vars {
+                    if !known.contains(&v) {
+                        return Err(FivmError::InvalidVariableOrder(format!(
+                            "variable {v} of view {} is never bound when child {j} is updated",
+                            node.id
+                        )));
+                    }
+                }
+
+                delta_plans.push(DeltaPlan {
+                    scatter,
+                    steps,
+                    var_position: pos_of(node.var)?,
+                    key_positions: node
+                        .key_vars
+                        .iter()
+                        .map(|&v| pos_of(v))
+                        .collect::<Result<Vec<_>>>()?,
+                });
+            }
+
+            let parent = node.parent.map(|p| {
+                let pos = tree
+                    .node(p)
+                    .children
+                    .iter()
+                    .position(|c| *c == ChildRef::View(node.id))
+                    .expect("parent lists this node as a child");
+                (p, pos)
+            });
+
+            node_plans.push(NodePlan {
+                node_id: node.id,
+                var: node.var,
+                key_vars: node.key_vars.clone(),
+                local_vars,
+                children,
+                delta_plans,
+                parent,
+            });
+        }
+
+        let leaf_plans = (0..num_rels)
+            .map(|r| {
+                let attach = tree.attach_node(r);
+                let pos = tree
+                    .node(attach)
+                    .children
+                    .iter()
+                    .position(|c| *c == ChildRef::Relation(r))
+                    .expect("attachment node lists the relation as a child");
+                LeafPlan {
+                    rel: r,
+                    view_idx: num_nodes + r,
+                    vars: tree.spec().relation(r).vars.clone(),
+                    parent: (attach, pos),
+                }
+            })
+            .collect();
+
+        Ok(ExecutionPlan {
+            tree,
+            node_plans,
+            leaf_plans,
+            index_requirements,
+        })
+    }
+
+    /// The view tree this plan was compiled from.
+    pub fn tree(&self) -> &ViewTree {
+        &self.tree
+    }
+
+    /// Per-node plans, indexed by node id.
+    pub fn node_plans(&self) -> &[NodePlan] {
+        &self.node_plans
+    }
+
+    /// Per-relation leaf plans, indexed by relation id.
+    pub fn leaf_plans(&self) -> &[LeafPlan] {
+        &self.leaf_plans
+    }
+
+    /// Secondary-index requirements per view.
+    pub fn index_requirements(&self) -> &[Vec<Vec<usize>>] {
+        &self.index_requirements
+    }
+
+    /// Total number of materialized views (variable views + relation leaves).
+    pub fn num_views(&self) -> usize {
+        self.node_plans.len() + self.leaf_plans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_query::spec::figure1_query;
+    use fivm_query::ViewTree;
+
+    fn figure1_plan() -> ExecutionPlan {
+        let spec = figure1_query(false);
+        let a = spec.var_id("A").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let mut parents = vec![None; 4];
+        parents[spec.var_id("B").unwrap()] = Some(a);
+        parents[c] = Some(a);
+        parents[spec.var_id("D").unwrap()] = Some(c);
+        let tree = ViewTree::from_parent_vars(spec, &parents).unwrap();
+        ExecutionPlan::compile(tree).unwrap()
+    }
+
+    #[test]
+    fn plan_has_views_for_variables_and_leaves() {
+        let plan = figure1_plan();
+        assert_eq!(plan.node_plans().len(), 4);
+        assert_eq!(plan.leaf_plans().len(), 2);
+        assert_eq!(plan.num_views(), 6);
+        assert_eq!(plan.index_requirements().len(), 6);
+    }
+
+    #[test]
+    fn root_delta_plans_probe_the_sibling_view() {
+        let plan = figure1_plan();
+        let spec = plan.tree().spec().clone();
+        let a_node = plan.tree().vorder().node_of(spec.var_id("A").unwrap());
+        let np = &plan.node_plans()[a_node];
+        assert_eq!(np.children.len(), 2);
+        // When either child changes, the other is probed on its full key (A).
+        for dp in &np.delta_plans {
+            assert_eq!(dp.steps.len(), 1);
+            assert_eq!(dp.steps[0].probe, ProbeKind::Primary);
+        }
+        assert!(np.key_vars.is_empty());
+        assert_eq!(np.parent, None);
+    }
+
+    #[test]
+    fn single_child_nodes_have_no_probe_steps() {
+        let plan = figure1_plan();
+        let spec = plan.tree().spec().clone();
+        let b_node = plan.tree().vorder().node_of(spec.var_id("B").unwrap());
+        let np = &plan.node_plans()[b_node];
+        assert_eq!(np.children.len(), 1);
+        assert_eq!(np.delta_plans[0].steps.len(), 0);
+        // The delta plan projects (A, B) down to (A).
+        assert_eq!(np.delta_plans[0].key_positions.len(), 1);
+        // B's parent is the root.
+        let a_node = plan.tree().vorder().node_of(spec.var_id("A").unwrap());
+        assert_eq!(np.parent.unwrap().0, a_node);
+    }
+
+    #[test]
+    fn leaf_plans_point_to_attachment_nodes() {
+        let plan = figure1_plan();
+        let spec = plan.tree().spec().clone();
+        let lp_r = &plan.leaf_plans()[0];
+        assert_eq!(lp_r.vars, spec.relation(0).vars);
+        assert_eq!(
+            plan.node_plans()[lp_r.parent.0].var,
+            spec.var_id("B").unwrap()
+        );
+        let lp_s = &plan.leaf_plans()[1];
+        assert_eq!(
+            plan.node_plans()[lp_s.parent.0].var,
+            spec.var_id("D").unwrap()
+        );
+    }
+}

@@ -1,0 +1,241 @@
+//! Materialized views with planned secondary indexes.
+//!
+//! Each view stores a primary map from its group-by key to a ring payload.
+//! Delta propagation needs to probe *sibling* views on subsets of their key
+//! variables (the variables already bound by the incoming delta), so views
+//! additionally maintain secondary indexes from those sub-keys to the full
+//! keys.  Which indexes exist is decided once, at plan compilation time —
+//! never ad hoc during maintenance.
+
+use fivm_common::{FxHashMap, Value, VarId};
+use fivm_relation::{Relation, Tuple};
+use fivm_ring::Ring;
+
+/// A secondary index: maps a projection of the key to the list of full keys
+/// currently present in the view.
+#[derive(Clone, Debug)]
+struct SecondaryIndex {
+    /// Positions (within the view key) of the indexed columns.
+    positions: Vec<usize>,
+    /// Probe key → full keys with that probe key.
+    map: FxHashMap<Tuple, Vec<Tuple>>,
+}
+
+impl SecondaryIndex {
+    fn probe_key(&self, key: &[Value]) -> Tuple {
+        self.positions
+            .iter()
+            .map(|&p| key[p].clone())
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    fn insert(&mut self, key: &Tuple) {
+        self.map
+            .entry(self.probe_key(key))
+            .or_default()
+            .push(key.clone());
+    }
+
+    fn remove(&mut self, key: &Tuple) {
+        let probe = self.probe_key(key);
+        if let Some(bucket) = self.map.get_mut(&probe) {
+            if let Some(pos) = bucket.iter().position(|k| k == key) {
+                bucket.swap_remove(pos);
+            }
+            if bucket.is_empty() {
+                self.map.remove(&probe);
+            }
+        }
+    }
+}
+
+/// A materialized view: group-by keys over `key_vars` mapped to ring
+/// payloads, plus the secondary indexes registered by the execution plan.
+#[derive(Clone, Debug)]
+pub struct MaterializedView<R: Ring> {
+    key_vars: Vec<VarId>,
+    map: FxHashMap<Tuple, R>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl<R: Ring> MaterializedView<R> {
+    /// An empty view keyed by the given variables.
+    pub fn new(key_vars: Vec<VarId>) -> Self {
+        MaterializedView {
+            key_vars,
+            map: FxHashMap::default(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The view's group-by variables.
+    pub fn key_vars(&self) -> &[VarId] {
+        &self.key_vars
+    }
+
+    /// Registers (or reuses) a secondary index over the given key positions
+    /// and returns its id.  Must be called before any data is inserted (the
+    /// engine registers all indexes at construction time).
+    pub fn ensure_index(&mut self, positions: Vec<usize>) -> usize {
+        debug_assert!(
+            self.map.is_empty(),
+            "secondary indexes must be registered before loading data"
+        );
+        if let Some(existing) = self.indexes.iter().position(|i| i.positions == positions) {
+            return existing;
+        }
+        self.indexes.push(SecondaryIndex {
+            positions,
+            map: FxHashMap::default(),
+        });
+        self.indexes.len() - 1
+    }
+
+    /// Number of registered secondary indexes.
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Number of keys with a non-zero payload.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The payload of a key, if present.
+    pub fn get(&self, key: &[Value]) -> Option<&R> {
+        self.map.get(key)
+    }
+
+    /// Adds a delta payload to a key, maintaining secondary indexes and
+    /// removing the key if its payload becomes zero.
+    pub fn add(&mut self, key: Tuple, delta: R) {
+        if delta.is_zero() {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.map.entry(key) {
+            Entry::Vacant(v) => {
+                let key_ref = v.key().clone();
+                v.insert(delta);
+                for idx in &mut self.indexes {
+                    idx.insert(&key_ref);
+                }
+            }
+            Entry::Occupied(mut o) => {
+                o.get_mut().add_assign(&delta);
+                if o.get().is_zero() {
+                    let (key, _) = o.remove_entry();
+                    for idx in &mut self.indexes {
+                        idx.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates over all `(key, payload)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> + '_ {
+        self.map.iter()
+    }
+
+    /// Probes a secondary index with a probe key and visits every matching
+    /// `(full key, payload)` pair.
+    pub fn probe_index<'a>(
+        &'a self,
+        index_id: usize,
+        probe: &[Value],
+    ) -> impl Iterator<Item = (&'a Tuple, &'a R)> + 'a {
+        self.indexes[index_id]
+            .map
+            .get(probe)
+            .into_iter()
+            .flatten()
+            .filter_map(move |k| self.map.get(k).map(|p| (k, p)))
+    }
+
+    /// Converts the view into a plain relation (copying all entries).
+    pub fn to_relation(&self) -> Relation<R> {
+        Relation::from_entries(
+            self.key_vars.clone(),
+            self.map.iter().map(|(k, p)| (k.clone(), p.clone())),
+        )
+    }
+
+    /// Sums all payloads.
+    pub fn total(&self) -> R {
+        let mut acc = R::zero();
+        for p in self.map.values() {
+            acc.add_assign(p);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_relation::tuple;
+
+    fn t(vals: &[i64]) -> Tuple {
+        tuple(vals.iter().map(|&v| Value::int(v)))
+    }
+
+    #[test]
+    fn add_get_and_zero_removal() {
+        let mut v: MaterializedView<i64> = MaterializedView::new(vec![0, 1]);
+        v.add(t(&[1, 2]), 3);
+        v.add(t(&[1, 2]), 4);
+        assert_eq!(v.get(&t(&[1, 2])), Some(&7));
+        v.add(t(&[1, 2]), -7);
+        assert!(v.get(&t(&[1, 2])).is_none());
+        assert!(v.is_empty());
+        v.add(t(&[9, 9]), 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn secondary_index_tracks_inserts_and_removals() {
+        let mut v: MaterializedView<i64> = MaterializedView::new(vec![10, 20]);
+        let idx = v.ensure_index(vec![0]);
+        assert_eq!(idx, 0);
+        // Re-registering the same positions reuses the index.
+        assert_eq!(v.ensure_index(vec![0]), 0);
+        assert_eq!(v.num_indexes(), 1);
+
+        v.add(t(&[1, 100]), 2);
+        v.add(t(&[1, 200]), 3);
+        v.add(t(&[2, 100]), 5);
+
+        let hits: Vec<i64> = v
+            .probe_index(idx, &t(&[1]))
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits.iter().sum::<i64>(), 5);
+
+        // Deleting one entry removes it from the index bucket.
+        v.add(t(&[1, 100]), -2);
+        let hits: Vec<i64> = v.probe_index(idx, &t(&[1])).map(|(_, p)| *p).collect();
+        assert_eq!(hits, vec![3]);
+        // Probing a missing key yields nothing.
+        assert_eq!(v.probe_index(idx, &t(&[42])).count(), 0);
+    }
+
+    #[test]
+    fn to_relation_and_total() {
+        let mut v: MaterializedView<i64> = MaterializedView::new(vec![0]);
+        v.add(t(&[1]), 2);
+        v.add(t(&[2]), 3);
+        let r = v.to_relation();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(&t(&[2])), Some(&3));
+        assert_eq!(v.total(), 5);
+        assert_eq!(v.key_vars(), &[0]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Equivalence of incremental maintenance with from-scratch evaluation.
+//!
+//! For randomly generated databases and random insert/delete streams over a
+//! multi-relation join, the engine's maintained result must equal the result
+//! computed from scratch on the final database state.  The from-scratch
+//! reference is built directly on `fivm_relation` joins, independent of the
+//! engine's code paths.
+
+use fivm_common::{Value, VarId};
+use fivm_core::apps;
+use fivm_core::Engine;
+use fivm_query::{EliminationHeuristic, QuerySpec, VariableOrder, ViewTree};
+use fivm_relation::{tuple, Relation, Tuple};
+use fivm_ring::{ApproxEq, Cofactor, GenCofactor, Ring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A three-relation star query:
+/// `R(A, B) ⋈ S(A, C, D) ⋈ T(C, E)` with continuous features B, D, E.
+fn star_query() -> QuerySpec {
+    let mut b = QuerySpec::builder("star");
+    let a = b.key("A");
+    let bb = b.continuous_feature("B");
+    let c = b.key("C");
+    let d = b.continuous_feature("D");
+    let e = b.continuous_feature("E");
+    b.relation("R", &[a, bb]);
+    b.relation("S", &[a, c, d]);
+    b.relation("T", &[c, e]);
+    b.build().unwrap()
+}
+
+/// Same join shape but with categorical D and E, for the generalized ring.
+fn star_query_mixed() -> QuerySpec {
+    let mut b = QuerySpec::builder("star_mixed");
+    let a = b.key("A");
+    let bb = b.continuous_feature("B");
+    let c = b.key("C");
+    let d = b.categorical_feature("D");
+    let e = b.categorical_feature("E");
+    b.relation("R", &[a, bb]);
+    b.relation("S", &[a, c, d]);
+    b.relation("T", &[c, e]);
+    b.build().unwrap()
+}
+
+fn tree_of(spec: &QuerySpec, heuristic: EliminationHeuristic) -> ViewTree {
+    let vo = VariableOrder::heuristic(spec, heuristic).unwrap();
+    ViewTree::new(spec.clone(), vo).unwrap()
+}
+
+/// Generates a random row for a relation: small key domains to force joins,
+/// small value domains to force duplicate keys and cancellations.
+fn random_row(rng: &mut StdRng, spec: &QuerySpec, rel: usize) -> Tuple {
+    let vars = &spec.relation(rel).vars;
+    tuple(vars.iter().map(|&v| {
+        let name = spec.var_name(v);
+        match name {
+            "A" => Value::int(rng.gen_range(0..6)),
+            "C" => Value::int(rng.gen_range(0..5)),
+            _ => Value::int(rng.gen_range(1..8)),
+        }
+    }))
+}
+
+/// Tracks the exact multiset state of each base relation.
+struct Shadow {
+    relations: Vec<Relation<i64>>,
+}
+
+impl Shadow {
+    fn new(spec: &QuerySpec) -> Self {
+        Shadow {
+            relations: spec
+                .relations()
+                .iter()
+                .map(|r| Relation::new(r.vars.clone()))
+                .collect(),
+        }
+    }
+
+    fn apply(&mut self, rel: usize, row: &Tuple, mult: i64) {
+        self.relations[rel].add(row.clone(), mult);
+    }
+
+    /// The full natural join of the current database state.
+    fn join(&self) -> Relation<i64> {
+        let mut acc = self.relations[0].clone();
+        for r in &self.relations[1..] {
+            acc = acc.natural_join(r);
+        }
+        acc
+    }
+
+    /// Folds a per-tuple ring contribution over the join result.
+    fn aggregate<R: Ring>(&self, _spec: &QuerySpec, contribution: impl Fn(&[VarId], &Tuple) -> R) -> R {
+        let join = self.join();
+        let mut acc = R::zero();
+        for (t, m) in join.iter() {
+            acc.add_assign(&contribution(join.vars(), t).scale_int(*m));
+        }
+        acc
+    }
+}
+
+fn value_of(vars: &[VarId], t: &Tuple, v: VarId) -> Value {
+    let pos = vars.iter().position(|&x| x == v).unwrap();
+    t[pos].clone()
+}
+
+/// Runs a random insert/delete stream through the engine and the shadow
+/// database, then compares against the from-scratch aggregate.
+fn run_stream<R: Ring + ApproxEq>(
+    spec: &QuerySpec,
+    mut engine: Engine<R>,
+    reference: impl Fn(&Shadow) -> R,
+    seed: u64,
+    steps: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = Shadow::new(spec);
+    // Remember inserted rows so deletes target existing tuples most of the time.
+    let mut history: Vec<(usize, Tuple)> = Vec::new();
+
+    for step in 0..steps {
+        let rel = rng.gen_range(0..spec.num_relations());
+        let delete = !history.is_empty() && rng.gen_bool(0.3);
+        let (rel, row, mult) = if delete {
+            let idx = rng.gen_range(0..history.len());
+            let (rel, row) = history.swap_remove(idx);
+            (rel, row, -1)
+        } else {
+            let row = random_row(&mut rng, spec, rel);
+            history.push((rel, row.clone()));
+            (rel, row, 1)
+        };
+        shadow.apply(rel, &row, mult);
+        engine.apply_rows(rel, vec![(row, mult)]).unwrap();
+
+        // Check at a few points along the stream, not only at the end.
+        if step % 25 == 24 || step + 1 == steps {
+            let expected = reference(&shadow);
+            let actual = engine.result();
+            assert!(
+                actual.approx_eq(&expected, 1e-7),
+                "divergence at step {step}: engine={actual:?} expected={expected:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn count_matches_reevaluation_under_random_streams() {
+    let spec = star_query();
+    for (seed, heuristic) in [
+        (1u64, EliminationHeuristic::MinDegree),
+        (2, EliminationHeuristic::MinFill),
+        (3, EliminationHeuristic::MinDegree),
+    ] {
+        let engine = apps::count_engine(tree_of(&spec, heuristic)).unwrap();
+        run_stream(
+            &spec,
+            engine,
+            |shadow| shadow.join().total(),
+            seed,
+            200,
+        );
+    }
+}
+
+#[test]
+fn covar_matches_reevaluation_under_random_streams() {
+    let spec = star_query();
+    let layout = fivm_core::AggregateLayout::of(&spec);
+    let dim = layout.dim();
+    let agg_vars = layout.vars.clone();
+    let engine = apps::covar_engine(tree_of(&spec, EliminationHeuristic::MinDegree)).unwrap();
+    let spec_for_ref = spec.clone();
+    run_stream(
+        &spec,
+        engine,
+        move |shadow| {
+            shadow.aggregate::<Cofactor>(&spec_for_ref, |vars, t| {
+                let mut acc = Cofactor::one();
+                for (idx, &v) in agg_vars.iter().enumerate() {
+                    let x = value_of(vars, t, v).as_f64().unwrap();
+                    acc = acc.mul(&Cofactor::lift(dim, idx, x));
+                }
+                acc
+            })
+        },
+        7,
+        200,
+    );
+}
+
+#[test]
+fn gen_covar_matches_reevaluation_under_random_streams() {
+    let spec = star_query_mixed();
+    let layout = fivm_core::AggregateLayout::of(&spec);
+    let dim = layout.dim();
+    let agg_vars = layout.vars.clone();
+    let kinds = layout.kinds.clone();
+    let engine = apps::gen_covar_engine(tree_of(&spec, EliminationHeuristic::MinFill)).unwrap();
+    let spec_for_ref = spec.clone();
+    run_stream(
+        &spec,
+        engine,
+        move |shadow| {
+            shadow.aggregate::<GenCofactor>(&spec_for_ref, |vars, t| {
+                let mut acc = GenCofactor::one();
+                for (idx, &v) in agg_vars.iter().enumerate() {
+                    let val = value_of(vars, t, v);
+                    let lifted = if kinds[idx].is_categorical() {
+                        GenCofactor::lift_categorical(dim, idx, idx, val)
+                    } else {
+                        GenCofactor::lift_continuous(dim, idx, val.as_f64().unwrap())
+                    };
+                    acc = acc.mul(&lifted);
+                }
+                acc
+            })
+        },
+        11,
+        160,
+    );
+}
+
+#[test]
+fn different_variable_orders_agree() {
+    // The maintained result must be independent of the chosen variable order.
+    let spec = star_query();
+    let mut engines: Vec<_> = [
+        EliminationHeuristic::MinDegree,
+        EliminationHeuristic::MinFill,
+    ]
+    .into_iter()
+    .map(|h| apps::covar_engine(tree_of(&spec, h)).unwrap())
+    .collect();
+    // Also include an explicit chain order A-C-B-D-E.
+    let by_name = |n: &str| spec.var_id(n).unwrap();
+    let chain = [by_name("E"), by_name("D"), by_name("B"), by_name("C"), by_name("A")];
+    let vo = VariableOrder::from_elimination_order(&spec, &chain).unwrap();
+    engines.push(apps::covar_engine(ViewTree::new(spec.clone(), vo).unwrap()).unwrap());
+
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..150 {
+        let rel = rng.gen_range(0..spec.num_relations());
+        let row = random_row(&mut rng, &spec, rel);
+        let mult = if rng.gen_bool(0.25) { -1 } else { 1 };
+        for e in &mut engines {
+            e.apply_rows(rel, vec![(row.clone(), mult)]).unwrap();
+        }
+    }
+    let first = engines[0].result();
+    for e in &engines[1..] {
+        assert!(e.result().approx_eq(&first, 1e-7));
+    }
+}
+
+#[test]
+fn full_deletion_returns_every_view_to_empty() {
+    let spec = star_query();
+    let mut engine = apps::covar_engine(tree_of(&spec, EliminationHeuristic::MinDegree)).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut inserted: Vec<(usize, Tuple)> = Vec::new();
+    for _ in 0..120 {
+        let rel = rng.gen_range(0..spec.num_relations());
+        let row = random_row(&mut rng, &spec, rel);
+        inserted.push((rel, row.clone()));
+        engine.apply_rows(rel, vec![(row, 1)]).unwrap();
+    }
+    assert!(engine.total_view_entries() > 0);
+    for (rel, row) in inserted.into_iter().rev() {
+        engine.apply_rows(rel, vec![(row, -1)]).unwrap();
+    }
+    // Exact cancellation: every key disappears from every view.
+    assert_eq!(engine.total_view_entries(), 0);
+    assert!(engine.result().is_zero());
+}
+
+#[test]
+fn grouped_query_result_relation_matches_reevaluation() {
+    // A query with a free (group-by) variable: COUNT(*) GROUP BY C.
+    let mut b = QuerySpec::builder("grouped");
+    let a = b.key("A");
+    let c = b.key("C");
+    let x = b.continuous_feature("X");
+    b.relation("R", &[a, x]);
+    b.relation("S", &[a, c]);
+    b.group_by(&[c]);
+    let spec = b.build().unwrap();
+    let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+    let tree = ViewTree::new(spec.clone(), vo).unwrap();
+    let mut engine = apps::count_engine(tree).unwrap();
+
+    let mut shadow = Shadow::new(&spec);
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..150 {
+        let rel = rng.gen_range(0..2);
+        let row = random_row(&mut rng, &spec, rel);
+        let mult = if rng.gen_bool(0.2) { -1 } else { 1 };
+        shadow.apply(rel, &row, mult);
+        engine.apply_rows(rel, vec![(row, mult)]).unwrap();
+    }
+    let expected = shadow.join().marginalize(&[c]);
+    let got = engine.result_relation().marginalize(&[c]);
+    assert_eq!(got.len(), expected.len());
+    for (k, v) in expected.iter() {
+        assert_eq!(got.get(k), Some(v), "mismatch for group {k:?}");
+    }
+}
+
+#[test]
+fn batched_updates_equal_row_at_a_time_updates() {
+    let spec = star_query();
+    let tree = tree_of(&spec, EliminationHeuristic::MinDegree);
+    let mut batched = apps::covar_engine(tree.clone()).unwrap();
+    let mut single = apps::covar_engine(tree).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..10 {
+        for rel in 0..spec.num_relations() {
+            let rows: Vec<(Tuple, i64)> = (0..50)
+                .map(|_| {
+                    let row = random_row(&mut rng, &spec, rel);
+                    let mult = if rng.gen_bool(0.2) { -1 } else { 1 };
+                    (row, mult)
+                })
+                .collect();
+            for (row, mult) in &rows {
+                single.apply_rows(rel, vec![(row.clone(), *mult)]).unwrap();
+            }
+            batched.apply_rows(rel, rows).unwrap();
+        }
+    }
+    assert!(batched.result().approx_eq(&single.result(), 1e-7));
+    let stats = batched.stats();
+    assert!(stats.updates_applied > 0);
+    assert!(stats.rows_applied >= 1500);
+}

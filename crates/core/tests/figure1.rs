@@ -1,0 +1,271 @@
+//! Reproduces the worked example of Figure 1 of the paper: the query
+//! `SUM(g_B(B) * g_C(C) * g_D(D))` over `R(A,B) ⋈ S(A,C,D)` on the toy
+//! database, under the Z ring (counts), the degree-3 cofactor ring (COVAR
+//! over continuous B, C, D), the generalized ring (COVAR with categorical C)
+//! and the MI payload (all attributes categorical), plus the delta
+//! propagation for updates to R shown on the right of the figure.
+
+use fivm_common::Value;
+use fivm_core::apps;
+use fivm_query::spec::figure1_query;
+use fivm_query::ViewTree;
+use fivm_relation::tuple;
+use std::collections::HashMap;
+
+/// The Figure 1 variable order: A at the root, B under A (with R), C under A
+/// and D under C (with S).
+fn figure1_tree(categorical_c: bool) -> ViewTree {
+    let spec = figure1_query(categorical_c);
+    let a = spec.var_id("A").unwrap();
+    let c = spec.var_id("C").unwrap();
+    let mut parents = vec![None; 4];
+    parents[spec.var_id("B").unwrap()] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").unwrap()] = Some(c);
+    ViewTree::from_parent_vars(spec, &parents).unwrap()
+}
+
+/// The toy database of Figure 1.  Values follow the paper's convention
+/// `b_i = c_i = d_i = i`; A-values are 1 and 2.
+/// R = {(a1,b1), (a2,b2)},  S = {(a1,c1,d1), (a1,c2,d3), (a2,c2,d2)}.
+fn r_rows() -> Vec<(fivm_relation::Tuple, i64)> {
+    vec![
+        (tuple([Value::int(1), Value::int(1)]), 1),
+        (tuple([Value::int(2), Value::int(2)]), 1),
+    ]
+}
+
+fn s_rows() -> Vec<(fivm_relation::Tuple, i64)> {
+    vec![
+        (tuple([Value::int(1), Value::int(1), Value::int(1)]), 1),
+        (tuple([Value::int(1), Value::int(2), Value::int(3)]), 1),
+        (tuple([Value::int(2), Value::int(2), Value::int(2)]), 1),
+    ]
+}
+
+/// For the categorical scenarios the C column uses string categories `c1`,
+/// `c2` as in the figure.
+fn s_rows_categorical() -> Vec<(fivm_relation::Tuple, i64)> {
+    vec![
+        (tuple([Value::int(1), Value::str("c1"), Value::int(1)]), 1),
+        (tuple([Value::int(1), Value::str("c2"), Value::int(3)]), 1),
+        (tuple([Value::int(2), Value::str("c2"), Value::int(2)]), 1),
+    ]
+}
+
+#[test]
+fn count_aggregate_matches_figure() {
+    let mut engine = apps::count_engine(figure1_tree(false)).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+    // |R ⋈ S| = 3 (a1 joins two S tuples, a2 joins one).
+    assert_eq!(engine.result(), 3);
+
+    // The intermediate views hold the per-A partial counts of the figure:
+    // V_R(a1)=1, V_R(a2)=1; V_S(a1)=2, V_S(a2)=1.
+    let spec = engine.tree().spec().clone();
+    let b_node = engine.tree().vorder().node_of(spec.var_id("B").unwrap());
+    let vr = engine.view_relation(b_node);
+    assert_eq!(vr.get(&tuple([Value::int(1)])), Some(&1));
+    assert_eq!(vr.get(&tuple([Value::int(2)])), Some(&1));
+    let c_node = engine.tree().vorder().node_of(spec.var_id("C").unwrap());
+    let vs = engine.view_relation(c_node);
+    assert_eq!(vs.get(&tuple([Value::int(1)])), Some(&2));
+    assert_eq!(vs.get(&tuple([Value::int(2)])), Some(&1));
+}
+
+#[test]
+fn count_aggregate_under_updates_to_r() {
+    // Right-hand side of Figure 1: maintain under updates δR.
+    let mut engine = apps::count_engine(figure1_tree(false)).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+    assert_eq!(engine.result(), 0);
+
+    // Insert (a1, b1): joins the two S tuples with A = a1.
+    engine
+        .apply_rows(0, vec![(tuple([Value::int(1), Value::int(1)]), 1)])
+        .unwrap();
+    assert_eq!(engine.result(), 2);
+
+    // Insert (a2, b2): one more joining tuple.
+    engine
+        .apply_rows(0, vec![(tuple([Value::int(2), Value::int(2)]), 1)])
+        .unwrap();
+    assert_eq!(engine.result(), 3);
+
+    // Delete (a1, b1) again: back to 1.
+    engine
+        .apply_rows(0, vec![(tuple([Value::int(1), Value::int(1)]), -1)])
+        .unwrap();
+    assert_eq!(engine.result(), 1);
+}
+
+#[test]
+fn covar_continuous_matches_hand_computation() {
+    // COVAR payload for continuous B, C, D with b_i = c_i = d_i = i.
+    // Join result (B, C, D) rows: (1,1,1), (1,2,3), (2,2,2).
+    let mut engine = apps::covar_engine(figure1_tree(false)).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+    let q = engine.result();
+
+    assert_eq!(q.count(), 3.0);
+    // Batch order is (B, C, D).
+    assert_eq!(q.sum(0), 1.0 + 1.0 + 2.0); // SUM(B) = 4
+    assert_eq!(q.sum(1), 1.0 + 2.0 + 2.0); // SUM(C) = 5
+    assert_eq!(q.sum(2), 1.0 + 3.0 + 2.0); // SUM(D) = 6
+    assert_eq!(q.prod(0, 0), 1.0 + 1.0 + 4.0); // SUM(B*B) = 6
+    assert_eq!(q.prod(0, 1), 1.0 + 2.0 + 4.0); // SUM(B*C) = 7
+    assert_eq!(q.prod(0, 2), 1.0 + 3.0 + 4.0); // SUM(B*D) = 8
+    assert_eq!(q.prod(1, 1), 1.0 + 4.0 + 4.0); // SUM(C*C) = 9
+    assert_eq!(q.prod(1, 2), 1.0 + 6.0 + 4.0); // SUM(C*D) = 11
+    assert_eq!(q.prod(2, 2), 1.0 + 9.0 + 4.0); // SUM(D*D) = 14
+}
+
+#[test]
+fn covar_continuous_is_maintained_under_deletes() {
+    let mut engine = apps::covar_engine(figure1_tree(false)).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+
+    // Delete the S tuple (a1, c2, d3) and check SUM(C*D) drops by 6.
+    engine
+        .apply_rows(
+            1,
+            vec![(tuple([Value::int(1), Value::int(2), Value::int(3)]), -1)],
+        )
+        .unwrap();
+    let q = engine.result();
+    assert_eq!(q.count(), 2.0);
+    assert_eq!(q.prod(1, 2), 1.0 + 4.0);
+
+    // Delete everything else: the result becomes zero.
+    engine
+        .apply_rows(
+            1,
+            vec![
+                (tuple([Value::int(1), Value::int(1), Value::int(1)]), -1),
+                (tuple([Value::int(2), Value::int(2), Value::int(2)]), -1),
+            ],
+        )
+        .unwrap();
+    assert!(fivm_ring::Ring::is_zero(&engine.result()));
+}
+
+#[test]
+fn covar_with_categorical_c_matches_figure() {
+    // COVAR with categorical C and continuous B, D (paper's middle payload
+    // column).  Batch order is (B, C, D) with indices (0, 1, 2).
+    let mut engine = apps::gen_covar_engine(figure1_tree(true)).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows_categorical()).unwrap();
+    let q = engine.result();
+
+    assert_eq!(q.count(), 3.0);
+    // s_B = SUM(B) = 4 (continuous → scalar relation).
+    assert_eq!(q.sum(0).scalar_part(), 4.0);
+    // s_C = SUM(1) GROUP BY C = {c1 -> 1, c2 -> 2}.
+    assert_eq!(q.sum(1).get(&[(1, Value::str("c1"))]), 1.0);
+    assert_eq!(q.sum(1).get(&[(1, Value::str("c2"))]), 2.0);
+    // s_D = SUM(D) = 6.
+    assert_eq!(q.sum(2).scalar_part(), 6.0);
+    // Q_BC = SUM(B) GROUP BY C = {c1 -> 1, c2 -> 3}.
+    assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c1"))]), 1.0);
+    assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c2"))]), 3.0);
+    // Q_BD = SUM(B*D) = 1 + 3 + 4 = 8.
+    assert_eq!(q.prod(0, 2).scalar_part(), 8.0);
+    // Q_CD = SUM(D) GROUP BY C = {c1 -> 1, c2 -> 5}.
+    assert_eq!(q.prod(1, 2).get(&[(1, Value::str("c1"))]), 1.0);
+    assert_eq!(q.prod(1, 2).get(&[(1, Value::str("c2"))]), 5.0);
+    // Q_CC = SUM(1) GROUP BY C.
+    assert_eq!(q.prod(1, 1).get(&[(1, Value::str("c2"))]), 2.0);
+}
+
+#[test]
+fn mi_payload_matches_figure() {
+    // MI payload: all of B, C, D categorical (paper's last payload column).
+    // We reuse the mixed-ring engine with a query declaring them categorical.
+    let spec = {
+        let mut b = fivm_query::QuerySpec::builder("figure1_mi");
+        let a = b.key("A");
+        let bb = b.categorical_feature("B");
+        let c = b.categorical_feature("C");
+        let d = b.categorical_feature("D");
+        b.relation("R", &[a, bb]);
+        b.relation("S", &[a, c, d]);
+        b.build().unwrap()
+    };
+    let a = spec.var_id("A").unwrap();
+    let c = spec.var_id("C").unwrap();
+    let mut parents = vec![None; 4];
+    parents[spec.var_id("B").unwrap()] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").unwrap()] = Some(c);
+    let tree = ViewTree::from_parent_vars(spec, &parents).unwrap();
+    let mut engine = apps::mi_engine(tree, &HashMap::new()).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+    let q = engine.result();
+
+    // C_∅ = 3.
+    assert_eq!(q.count(), 3.0);
+    // C_B = SUM(1) GROUP BY B = {1 -> 2, 2 -> 1}.
+    assert_eq!(q.sum(0).get(&[(0, Value::int(1))]), 2.0);
+    assert_eq!(q.sum(0).get(&[(0, Value::int(2))]), 1.0);
+    // C_BC = SUM(1) GROUP BY (B, C): (1,1)->1, (1,2)->1, (2,2)->1.
+    assert_eq!(
+        q.prod(0, 1).get(&[(0, Value::int(1)), (1, Value::int(1))]),
+        1.0
+    );
+    assert_eq!(
+        q.prod(0, 1).get(&[(0, Value::int(1)), (1, Value::int(2))]),
+        1.0
+    );
+    assert_eq!(
+        q.prod(0, 1).get(&[(0, Value::int(2)), (1, Value::int(2))]),
+        1.0
+    );
+    // C_CD = SUM(1) GROUP BY (C, D): (1,1)->1, (2,3)->1, (2,2)->1.
+    assert_eq!(
+        q.prod(1, 2).get(&[(1, Value::int(2)), (2, Value::int(3))]),
+        1.0
+    );
+}
+
+#[test]
+fn factorized_evaluation_lists_the_join_result() {
+    // The relation ring maintains the listing of the join projected onto the
+    // aggregate variables (B, C, D).
+    let mut engine = apps::relational_engine(figure1_tree(false)).unwrap();
+    engine.apply_rows(0, r_rows()).unwrap();
+    engine.apply_rows(1, s_rows()).unwrap();
+    let listing = engine.result();
+    let spec = figure1_query(false);
+    let b = spec.var_id("B").unwrap() as u32;
+    let c = spec.var_id("C").unwrap() as u32;
+    let d = spec.var_id("D").unwrap() as u32;
+    assert_eq!(listing.len(), 3);
+    assert_eq!(
+        listing.get(&[(b, Value::int(1)), (c, Value::int(1)), (d, Value::int(1))]),
+        1.0
+    );
+    assert_eq!(
+        listing.get(&[(b, Value::int(1)), (c, Value::int(2)), (d, Value::int(3))]),
+        1.0
+    );
+    assert_eq!(
+        listing.get(&[(b, Value::int(2)), (c, Value::int(2)), (d, Value::int(2))]),
+        1.0
+    );
+}
+
+#[test]
+fn view_tree_m3_rendering_mentions_every_view() {
+    let tree = figure1_tree(false);
+    let text = fivm_query::m3::render_all_views(&tree, "RingCofactor<double, 3>");
+    for name in ["V@A", "V@B", "V@C", "V@D"] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+    let ascii = fivm_query::m3::render_tree_ascii(&tree);
+    assert!(ascii.contains("V@A[]"));
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the maintenance engine: for arbitrary update
+//! sequences over the Figure-1 join, the incrementally maintained result
+//! equals the result computed from scratch, and applying a sequence followed
+//! by its inverse is a no-op.
+
+use fivm_common::Value;
+use fivm_core::apps;
+use fivm_query::spec::figure1_query;
+use fivm_query::{EliminationHeuristic, VariableOrder, ViewTree};
+use fivm_relation::{tuple, Relation, Tuple};
+use fivm_ring::{ApproxEq, Cofactor, Ring};
+use proptest::prelude::*;
+
+/// One update in a generated stream.
+#[derive(Clone, Debug)]
+struct Step {
+    rel: usize,
+    row: Vec<i64>,
+    mult: i64,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (0usize..2, 0i64..4, 1i64..6, 1i64..6, prop::bool::ANY).prop_map(|(rel, a, x, y, delete)| {
+        let row = if rel == 0 { vec![a, x] } else { vec![a, x, y] };
+        Step {
+            rel,
+            row,
+            mult: if delete { -1 } else { 1 },
+        }
+    })
+}
+
+fn as_tuple(row: &[i64]) -> Tuple {
+    tuple(row.iter().map(|&v| Value::int(v)))
+}
+
+/// From-scratch COVAR over the current multiset state of R and S.
+fn reference(r: &Relation<i64>, s: &Relation<i64>) -> Cofactor {
+    let join = r.natural_join(s);
+    let vars = join.vars().to_vec();
+    let pos = |v: usize| vars.iter().position(|&x| x == v).unwrap();
+    let (b, c, d) = (pos(1), pos(2), pos(3));
+    let mut acc = Cofactor::zero();
+    for (t, m) in join.iter() {
+        let term = Cofactor::lift(3, 0, t[b].as_f64().unwrap())
+            .mul(&Cofactor::lift(3, 1, t[c].as_f64().unwrap()))
+            .mul(&Cofactor::lift(3, 2, t[d].as_f64().unwrap()));
+        acc.add_assign(&term.scale_int(*m));
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn maintained_covar_equals_reevaluation(steps in prop::collection::vec(arb_step(), 1..40)) {
+        let spec = figure1_query(false);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        let tree = ViewTree::new(spec, vo).unwrap();
+        let mut engine = apps::covar_engine(tree).unwrap();
+        let mut r: Relation<i64> = Relation::new(vec![0, 1]);
+        let mut s: Relation<i64> = Relation::new(vec![0, 2, 3]);
+
+        for step in &steps {
+            let row = as_tuple(&step.row);
+            if step.rel == 0 {
+                r.add(row.clone(), step.mult);
+            } else {
+                s.add(row.clone(), step.mult);
+            }
+            engine.apply_rows(step.rel, vec![(row, step.mult)]).unwrap();
+        }
+        let expected = reference(&r, &s);
+        prop_assert!(
+            engine.result().approx_eq(&expected, 1e-7),
+            "engine={:?} expected={:?}",
+            engine.result(),
+            expected
+        );
+    }
+
+    #[test]
+    fn applying_a_stream_and_its_inverse_is_a_noop(steps in prop::collection::vec(arb_step(), 1..30)) {
+        let spec = figure1_query(false);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinFill).unwrap();
+        let tree = ViewTree::new(spec, vo).unwrap();
+        let mut engine = apps::covar_engine(tree).unwrap();
+
+        // Seed with a couple of fixed rows so the initial state is non-trivial.
+        engine.apply_rows(0, vec![(as_tuple(&[1, 2]), 1)]).unwrap();
+        engine.apply_rows(1, vec![(as_tuple(&[1, 3, 4]), 1)]).unwrap();
+        let before = engine.result();
+        let entries_before = engine.total_view_entries();
+
+        for step in &steps {
+            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult)]).unwrap();
+        }
+        for step in steps.iter().rev() {
+            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), -step.mult)]).unwrap();
+        }
+        prop_assert!(engine.result().approx_eq(&before, 1e-7));
+        prop_assert_eq!(engine.total_view_entries(), entries_before);
+    }
+
+    #[test]
+    fn count_never_goes_negative_for_insert_only_streams(
+        steps in prop::collection::vec(arb_step(), 1..40)
+    ) {
+        let spec = figure1_query(false);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        let tree = ViewTree::new(spec, vo).unwrap();
+        let mut engine = apps::count_engine(tree).unwrap();
+        for step in &steps {
+            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult.abs())]).unwrap();
+            prop_assert!(engine.result() >= 0);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Synthetic Favorita dataset.
+//!
+//! Kaggle's "Corporación Favorita Grocery Sales Forecasting" data is a star
+//! schema around a `Sales` fact table:
+//!
+//! ```text
+//! Sales        (date, store, item, unitsales, onpromotion)
+//! Items        (item, family, class, perishable)
+//! Stores       (store, city, state, stype, cluster)
+//! Transactions (date, store, transactions)
+//! Oil          (date, oilprice)
+//! Holidays     (date, holidaytype)
+//! ```
+//!
+//! The generator keeps the join structure (keys `date`, `store`, `item`),
+//! the fact-table dominance and the attribute kinds; values are synthetic.
+
+use crate::stream::{StreamConfig, UpdateStream};
+use fivm_common::Value;
+use fivm_query::{QuerySpec, VariableOrder, ViewTree};
+use fivm_relation::{tuple, AttrKind, BaseTable, Database, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic Favorita generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FavoritaConfig {
+    /// Number of dates.
+    pub dates: usize,
+    /// Number of stores.
+    pub stores: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Fraction of (date, store, item) combinations present in Sales.
+    pub sales_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FavoritaConfig {
+    fn default() -> Self {
+        FavoritaConfig {
+            dates: 50,
+            stores: 20,
+            items: 80,
+            sales_density: 0.06,
+            seed: 0xFA_B0_12,
+        }
+    }
+}
+
+impl FavoritaConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        FavoritaConfig {
+            dates: 6,
+            stores: 4,
+            items: 10,
+            sales_density: 0.3,
+            seed: 13,
+        }
+    }
+
+    /// A configuration sized for benchmark runs.
+    pub fn benchmark() -> Self {
+        FavoritaConfig {
+            dates: 150,
+            stores: 50,
+            items: 300,
+            sales_density: 0.02,
+            seed: 2017,
+        }
+    }
+
+    /// Generates the database.
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut db = Database::new();
+
+        let mut items = BaseTable::new(
+            "Items",
+            Schema::of(&[
+                ("item", AttrKind::Categorical),
+                ("family", AttrKind::Categorical),
+                ("class", AttrKind::Categorical),
+                ("perishable", AttrKind::Categorical),
+            ]),
+        );
+        let mut item_family = Vec::with_capacity(self.items);
+        let mut item_perishable = Vec::with_capacity(self.items);
+        for item in 0..self.items {
+            let family = rng.gen_range(0..12i64);
+            let perishable = rng.gen_range(0..2i64);
+            item_family.push(family);
+            item_perishable.push(perishable);
+            items.push(tuple([
+                Value::int(item as i64),
+                Value::int(family),
+                Value::int(family * 20 + rng.gen_range(0..6)),
+                Value::int(perishable),
+            ]));
+        }
+        db.add_table(items).expect("unique name");
+
+        let mut stores = BaseTable::new(
+            "Stores",
+            Schema::of(&[
+                ("store", AttrKind::Categorical),
+                ("city", AttrKind::Categorical),
+                ("state", AttrKind::Categorical),
+                ("stype", AttrKind::Categorical),
+                ("cluster", AttrKind::Categorical),
+            ]),
+        );
+        for store in 0..self.stores {
+            let state = rng.gen_range(0..6);
+            stores.push(tuple([
+                Value::int(store as i64),
+                Value::int(state * 4 + rng.gen_range(0..3)),
+                Value::int(state),
+                Value::int(rng.gen_range(0..5)),
+                Value::int(rng.gen_range(0..17)),
+            ]));
+        }
+        db.add_table(stores).expect("unique name");
+
+        let mut transactions = BaseTable::new(
+            "Transactions",
+            Schema::of(&[
+                ("date", AttrKind::Categorical),
+                ("store", AttrKind::Categorical),
+                ("transactions", AttrKind::Continuous),
+            ]),
+        );
+        for date in 0..self.dates {
+            for store in 0..self.stores {
+                transactions.push(tuple([
+                    Value::int(date as i64),
+                    Value::int(store as i64),
+                    Value::double(rng.gen_range(200.0..4_000.0)),
+                ]));
+            }
+        }
+        db.add_table(transactions).expect("unique name");
+
+        let mut oil = BaseTable::new(
+            "Oil",
+            Schema::of(&[
+                ("date", AttrKind::Categorical),
+                ("oilprice", AttrKind::Continuous),
+            ]),
+        );
+        let mut price = 45.0f64;
+        for date in 0..self.dates {
+            price += rng.gen_range(-1.5..1.5);
+            oil.push(tuple([Value::int(date as i64), Value::double(price)]));
+        }
+        db.add_table(oil).expect("unique name");
+
+        let mut holidays = BaseTable::new(
+            "Holidays",
+            Schema::of(&[
+                ("date", AttrKind::Categorical),
+                ("holidaytype", AttrKind::Categorical),
+            ]),
+        );
+        for date in 0..self.dates {
+            // 0 = workday, 1..4 = holiday kinds.
+            let kind = if rng.gen_bool(0.2) {
+                rng.gen_range(1..5)
+            } else {
+                0
+            };
+            holidays.push(tuple([Value::int(date as i64), Value::int(kind)]));
+        }
+        db.add_table(holidays).expect("unique name");
+
+        // Sales is the fact table; unit sales correlate with promotions, the
+        // item family and perishability so the ML demos have signal to find.
+        let mut sales = BaseTable::new("Sales", Self::sales_schema());
+        for date in 0..self.dates {
+            for store in 0..self.stores {
+                for item in 0..self.items {
+                    if rng.gen_bool(self.sales_density) {
+                        let promo = rng.gen_range(0..2i64);
+                        let units = 5.0
+                            + 20.0 * promo as f64
+                            + 2.0 * item_family[item] as f64
+                            + 6.0 * item_perishable[item] as f64
+                            + rng.gen_range(0.0..10.0);
+                        sales.push(Self::sales_row(
+                            date as i64,
+                            store as i64,
+                            item as i64,
+                            units,
+                            promo,
+                        ));
+                    }
+                }
+            }
+        }
+        db.add_table(sales).expect("unique name");
+        db
+    }
+
+    /// The Sales fact-table schema.
+    pub fn sales_schema() -> Schema {
+        Schema::of(&[
+            ("date", AttrKind::Categorical),
+            ("store", AttrKind::Categorical),
+            ("item", AttrKind::Categorical),
+            ("unitsales", AttrKind::Continuous),
+            ("onpromotion", AttrKind::Categorical),
+        ])
+    }
+
+    /// Builds one Sales row.
+    pub fn sales_row(date: i64, store: i64, item: i64, unitsales: f64, promo: i64) -> Tuple {
+        tuple([
+            Value::int(date),
+            Value::int(store),
+            Value::int(item),
+            Value::double(unitsales),
+            Value::int(promo),
+        ])
+    }
+
+    /// An update stream of bulk inserts/deletes against the Sales fact table.
+    pub fn update_stream(&self, stream: StreamConfig) -> UpdateStream {
+        let cfg = self.clone();
+        UpdateStream::generate(stream, "Sales", move |rng| cfg.random_sales_row(rng))
+    }
+
+    /// A random Sales row drawn from the configured key domains.
+    pub fn random_sales_row(&self, rng: &mut StdRng) -> Tuple {
+        Self::sales_row(
+            rng.gen_range(0..self.dates) as i64,
+            rng.gen_range(0..self.stores) as i64,
+            rng.gen_range(0..self.items) as i64,
+            rng.gen_range(0.0..60.0),
+            rng.gen_range(0..2),
+        )
+    }
+}
+
+/// The Favorita regression/MI query: label `unitsales`; continuous features
+/// `transactions`, `oilprice`; categorical features `onpromotion`, `family`,
+/// `perishable`, `city`, `stype`, `cluster`, `holidaytype`.
+pub fn favorita_query() -> QuerySpec {
+    let mut b = QuerySpec::builder("favorita");
+    let date = b.key("date");
+    let store = b.key("store");
+    let item = b.key("item");
+    let unitsales = b.label("unitsales");
+    let onpromotion = b.categorical_feature("onpromotion");
+    let family = b.categorical_feature("family");
+    let perishable = b.categorical_feature("perishable");
+    let city = b.categorical_feature("city");
+    let stype = b.categorical_feature("stype");
+    let cluster = b.categorical_feature("cluster");
+    let transactions = b.continuous_feature("transactions");
+    let oilprice = b.continuous_feature("oilprice");
+    let holidaytype = b.categorical_feature("holidaytype");
+    b.relation("Sales", &[date, store, item, unitsales, onpromotion]);
+    b.relation("Items", &[item, family, perishable]);
+    b.relation("Stores", &[store, city, stype, cluster]);
+    b.relation("Transactions", &[date, store, transactions]);
+    b.relation("Oil", &[date, oilprice]);
+    b.relation("Holidays", &[date, holidaytype]);
+    b.build().expect("favorita query is valid")
+}
+
+/// A hand-written variable order for the Favorita query: `date` at the root,
+/// `store` below `date`, `item` below `store`, and each table's payload
+/// attributes chained below that table's deepest join key.
+pub fn favorita_variable_order(spec: &QuerySpec) -> VariableOrder {
+    let id = |name: &str| spec.var_id(name).expect("known variable");
+    let mut parents: Vec<Option<usize>> = vec![None; spec.num_vars()];
+    let date = id("date");
+    let store = id("store");
+    let item = id("item");
+    parents[store] = Some(date);
+    parents[item] = Some(store);
+    crate::retailer::chain_payload_attributes(spec, &mut parents, &[date, store, item]);
+    VariableOrder::from_parent_vars(spec, &parents).expect("favorita order is valid")
+}
+
+/// Convenience: the view tree of the Favorita query under the hand-written
+/// order.
+pub fn favorita_tree(spec: QuerySpec) -> ViewTree {
+    let order = favorita_variable_order(&spec);
+    ViewTree::new(spec, order).expect("favorita tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_query::{EliminationHeuristic, PlanStats};
+
+    #[test]
+    fn generator_produces_all_six_tables() {
+        let cfg = FavoritaConfig::tiny();
+        let db = cfg.generate();
+        assert_eq!(db.len(), 6);
+        for name in ["Sales", "Items", "Stores", "Transactions", "Oil", "Holidays"] {
+            assert!(db.table(name).is_some(), "missing table {name}");
+        }
+        assert_eq!(db.table("Oil").unwrap().len(), cfg.dates);
+        assert_eq!(db.table("Transactions").unwrap().len(), cfg.dates * cfg.stores);
+        assert!(!db.table("Sales").unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_compiles_under_hand_written_and_heuristic_orders() {
+        let spec = favorita_query();
+        let tree = favorita_tree(spec.clone());
+        let stats = PlanStats::of(&tree);
+        assert_eq!(stats.num_relations, 6);
+        assert!(stats.max_key_width <= 5, "{}", stats.summary());
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinFill).unwrap();
+        assert!(ViewTree::new(spec, vo).is_ok());
+    }
+
+    #[test]
+    fn update_stream_targets_sales() {
+        let cfg = FavoritaConfig::tiny();
+        let stream = cfg.update_stream(StreamConfig {
+            bulks: 2,
+            bulk_size: 25,
+            delete_fraction: 0.2,
+            seed: 4,
+        });
+        assert_eq!(stream.total_updates(), 50);
+        assert!(stream.bulks().iter().all(|b| b.table == "Sales"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The toy database of Figure 1: `R(A, B)` and `S(A, C, D)`.
+
+use fivm_common::Value;
+use fivm_query::{QuerySpec, ViewTree};
+use fivm_relation::{tuple, AttrKind, BaseTable, Database, Schema};
+
+/// The toy database of Figure 1 with `b_i = c_i = d_i = i`:
+/// `R = {(a1,b1), (a2,b2)}`, `S = {(a1,c1,d1), (a1,c2,d3), (a2,c2,d2)}`.
+///
+/// A-values are encoded as integers 1, 2; the B/C/D columns are numeric so
+/// the same database serves the count, COVAR and MI scenarios.
+pub fn figure1_database() -> Database {
+    let mut db = Database::new();
+    let mut r = BaseTable::new(
+        "R",
+        Schema::of(&[("A", AttrKind::Categorical), ("B", AttrKind::Continuous)]),
+    );
+    r.push(tuple([Value::int(1), Value::int(1)]));
+    r.push(tuple([Value::int(2), Value::int(2)]));
+    db.add_table(r).expect("unique table name");
+
+    let mut s = BaseTable::new(
+        "S",
+        Schema::of(&[
+            ("A", AttrKind::Categorical),
+            ("C", AttrKind::Continuous),
+            ("D", AttrKind::Continuous),
+        ]),
+    );
+    s.push(tuple([Value::int(1), Value::int(1), Value::int(1)]));
+    s.push(tuple([Value::int(1), Value::int(2), Value::int(3)]));
+    s.push(tuple([Value::int(2), Value::int(2), Value::int(2)]));
+    db.add_table(s).expect("unique table name");
+    db
+}
+
+/// The Figure 1 view tree (variable order: A at the root, B under A with R
+/// attached, C under A, D under C with S attached), over the query returned
+/// by [`fivm_query::spec::figure1_query`].
+pub fn figure1_tree(categorical_c: bool) -> ViewTree {
+    let spec: QuerySpec = fivm_query::spec::figure1_query(categorical_c);
+    let a = spec.var_id("A").expect("A exists");
+    let c = spec.var_id("C").expect("C exists");
+    let mut parents = vec![None; spec.num_vars()];
+    parents[spec.var_id("B").expect("B exists")] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").expect("D exists")] = Some(c);
+    ViewTree::from_parent_vars(spec, &parents).expect("figure 1 order is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_matches_the_paper() {
+        let db = figure1_database();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.table("R").unwrap().len(), 2);
+        assert_eq!(db.table("S").unwrap().len(), 3);
+        assert_eq!(db.total_rows(), 5);
+    }
+
+    #[test]
+    fn tree_has_one_view_per_variable() {
+        let t = figure1_tree(false);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.roots().len(), 1);
+        let t_cat = figure1_tree(true);
+        assert_eq!(t_cat.spec().variables()[2].kind, AttrKind::Categorical);
+    }
+}

@@ -1,0 +1,26 @@
+//! Datasets and update streams for the F-IVM reproduction.
+//!
+//! The paper evaluates on two databases that we cannot redistribute: the
+//! proprietary Retailer dataset and Kaggle's Favorita dataset.  This crate
+//! provides synthetic generators with the same schemas, join structure and
+//! update patterns (bulk inserts/deletes against the fact table), plus the
+//! toy database of Figure 1:
+//!
+//! * [`figure1`] — the two-relation toy database used throughout the paper's
+//!   worked example,
+//! * [`retailer`] — the 5-relation Retailer snowflake (Inventory, Location,
+//!   Census, Item, Weather) and its natural-join queries,
+//! * [`favorita`] — the 6-relation Favorita schema (Sales, Items, Stores,
+//!   Transactions, Oil, Holidays) and its natural-join queries,
+//! * [`stream`] — bulk update-stream generation (the demo processes bulks of
+//!   10 000 updates at a time).
+
+pub mod favorita;
+pub mod figure1;
+pub mod retailer;
+pub mod stream;
+
+pub use favorita::FavoritaConfig;
+pub use figure1::{figure1_database, figure1_tree};
+pub use retailer::RetailerConfig;
+pub use stream::{StreamConfig, UpdateStream};

@@ -1,0 +1,447 @@
+//! Synthetic Retailer dataset.
+//!
+//! The Retailer database used in the paper (and in the LMFAO/F-IVM line of
+//! work) is a snowflake around an `Inventory` fact table:
+//!
+//! ```text
+//! Inventory(locn, dateid, ksn, inventoryunits)
+//! Location (locn, zip, rgn_cd, clim_zn_nbr, avghhi, distance_to_competitor)
+//! Census   (zip, population, medianage, households, males, females)
+//! Item     (ksn, subcategory, category, categoryCluster, price)
+//! Weather  (locn, dateid, rain, snow, maxtemp, mintemp, thunder)
+//! ```
+//!
+//! The generator reproduces the structural properties relevant to F-IVM:
+//! key/foreign-key joins over `locn`, `dateid`, `ksn` and `zip`, a fact table
+//! that dominates the database size, and numeric plus categorical attributes
+//! on every dimension table.  Absolute values are synthetic.
+
+use crate::stream::{StreamConfig, UpdateStream};
+use fivm_common::Value;
+use fivm_query::{QueryBuilder, QuerySpec, VariableOrder, ViewTree};
+use fivm_relation::{tuple, AttrKind, BaseTable, Database, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic Retailer generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetailerConfig {
+    /// Number of store locations.
+    pub locations: usize,
+    /// Number of dates.
+    pub dates: usize,
+    /// Number of stock-keeping units (items).
+    pub items: usize,
+    /// Number of zip codes (each location maps to one zip).
+    pub zips: usize,
+    /// Fraction of (locn, dateid, ksn) combinations present in Inventory.
+    pub inventory_density: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetailerConfig {
+    fn default() -> Self {
+        RetailerConfig {
+            locations: 20,
+            dates: 40,
+            items: 60,
+            zips: 12,
+            inventory_density: 0.08,
+            seed: 0xF1_5C_AF_EE,
+        }
+    }
+}
+
+impl RetailerConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        RetailerConfig {
+            locations: 4,
+            dates: 6,
+            items: 8,
+            zips: 3,
+            inventory_density: 0.3,
+            seed: 7,
+        }
+    }
+
+    /// A configuration sized for benchmark runs.
+    pub fn benchmark() -> Self {
+        RetailerConfig {
+            locations: 60,
+            dates: 200,
+            items: 400,
+            zips: 30,
+            inventory_density: 0.02,
+            seed: 2020,
+        }
+    }
+
+    /// Generates the database.
+    pub fn generate(&self) -> Database {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut db = Database::new();
+
+        // Location(locn, zip, rgn_cd, clim_zn_nbr, avghhi, competitordistance)
+        let mut location = BaseTable::new(
+            "Location",
+            Schema::of(&[
+                ("locn", AttrKind::Categorical),
+                ("zip", AttrKind::Categorical),
+                ("rgn_cd", AttrKind::Categorical),
+                ("clim_zn_nbr", AttrKind::Categorical),
+                ("avghhi", AttrKind::Continuous),
+                ("competitordistance", AttrKind::Continuous),
+            ]),
+        );
+        let mut zip_of_locn = Vec::with_capacity(self.locations);
+        for locn in 0..self.locations {
+            let zip = rng.gen_range(0..self.zips) as i64;
+            zip_of_locn.push(zip);
+            location.push(tuple([
+                Value::int(locn as i64),
+                Value::int(zip),
+                Value::int(rng.gen_range(0..8)),
+                Value::int(rng.gen_range(0..5)),
+                Value::double(30_000.0 + rng.gen_range(0.0..90_000.0)),
+                Value::double(rng.gen_range(0.5..40.0)),
+            ]));
+        }
+        db.add_table(location).expect("unique name");
+
+        // Census(zip, population, medianage, households, males, females)
+        let mut census = BaseTable::new(
+            "Census",
+            Schema::of(&[
+                ("zip", AttrKind::Categorical),
+                ("population", AttrKind::Continuous),
+                ("medianage", AttrKind::Continuous),
+                ("households", AttrKind::Continuous),
+                ("males", AttrKind::Continuous),
+                ("females", AttrKind::Continuous),
+            ]),
+        );
+        for zip in 0..self.zips {
+            let population = rng.gen_range(5_000.0..200_000.0f64);
+            let males = population * rng.gen_range(0.45..0.55);
+            census.push(tuple([
+                Value::int(zip as i64),
+                Value::double(population),
+                Value::double(rng.gen_range(25.0..55.0)),
+                Value::double(population / rng.gen_range(2.0..3.5)),
+                Value::double(males),
+                Value::double(population - males),
+            ]));
+        }
+        db.add_table(census).expect("unique name");
+
+        // Item(ksn, subcategory, category, categoryCluster, price)
+        let mut item = BaseTable::new(
+            "Item",
+            Schema::of(&[
+                ("ksn", AttrKind::Categorical),
+                ("subcategory", AttrKind::Categorical),
+                ("category", AttrKind::Categorical),
+                ("categoryCluster", AttrKind::Categorical),
+                ("price", AttrKind::Continuous),
+            ]),
+        );
+        let mut item_category = Vec::with_capacity(self.items);
+        let mut item_price = Vec::with_capacity(self.items);
+        for ksn in 0..self.items {
+            let category = rng.gen_range(0..9i64);
+            let price = rng.gen_range(0.5..80.0f64);
+            item_category.push(category);
+            item_price.push(price);
+            item.push(tuple([
+                Value::int(ksn as i64),
+                Value::int(category * 10 + rng.gen_range(0..4)),
+                Value::int(category),
+                Value::int(category % 3),
+                Value::double(price),
+            ]));
+        }
+        db.add_table(item).expect("unique name");
+
+        // Weather(locn, dateid, rain, snow, maxtemp, mintemp, thunder)
+        let mut weather = BaseTable::new(
+            "Weather",
+            Schema::of(&[
+                ("locn", AttrKind::Categorical),
+                ("dateid", AttrKind::Categorical),
+                ("rain", AttrKind::Categorical),
+                ("snow", AttrKind::Categorical),
+                ("maxtemp", AttrKind::Continuous),
+                ("mintemp", AttrKind::Continuous),
+                ("thunder", AttrKind::Categorical),
+            ]),
+        );
+        for locn in 0..self.locations {
+            for dateid in 0..self.dates {
+                let min = rng.gen_range(-15.0..20.0f64);
+                weather.push(tuple([
+                    Value::int(locn as i64),
+                    Value::int(dateid as i64),
+                    Value::int(rng.gen_range(0..2)),
+                    Value::int(if min < 0.0 { rng.gen_range(0..2) } else { 0 }),
+                    Value::double(min + rng.gen_range(2.0..18.0)),
+                    Value::double(min),
+                    Value::int(rng.gen_range(0..2)),
+                ]));
+            }
+        }
+        db.add_table(weather).expect("unique name");
+
+        // Inventory(locn, dateid, ksn, inventoryunits) — the fact table.  The
+        // label correlates with the item's category and price so the
+        // model-selection, regression and Chow-Liu demos have signal to find
+        // (the real Retailer data has exactly this kind of dependency).
+        let mut inventory = BaseTable::new("Inventory", Self::inventory_schema());
+        for locn in 0..self.locations {
+            for dateid in 0..self.dates {
+                for ksn in 0..self.items {
+                    if rng.gen_bool(self.inventory_density) {
+                        let units = (40.0 + 30.0 * item_category[ksn] as f64
+                            - 1.5 * item_price[ksn]
+                            + rng.gen_range(0.0..60.0))
+                        .max(0.0);
+                        inventory.push(Self::inventory_row(
+                            locn as i64,
+                            dateid as i64,
+                            ksn as i64,
+                            units,
+                        ));
+                    }
+                }
+            }
+        }
+        db.add_table(inventory).expect("unique name");
+        db
+    }
+
+    /// The Inventory fact-table schema.
+    pub fn inventory_schema() -> Schema {
+        Schema::of(&[
+            ("locn", AttrKind::Categorical),
+            ("dateid", AttrKind::Categorical),
+            ("ksn", AttrKind::Categorical),
+            ("inventoryunits", AttrKind::Continuous),
+        ])
+    }
+
+    /// Builds one Inventory row.
+    pub fn inventory_row(locn: i64, dateid: i64, ksn: i64, units: f64) -> Tuple {
+        tuple([
+            Value::int(locn),
+            Value::int(dateid),
+            Value::int(ksn),
+            Value::double(units),
+        ])
+    }
+
+    /// An update stream of bulk inserts/deletes against the Inventory fact
+    /// table, mirroring the demo's processing of 10K-update bulks.
+    pub fn update_stream(&self, stream: StreamConfig) -> UpdateStream {
+        let cfg = self.clone();
+        UpdateStream::generate(stream, "Inventory", move |rng| {
+            cfg.random_inventory_row(rng)
+        })
+    }
+
+    /// A random Inventory row drawn from the configured key domains.
+    pub fn random_inventory_row(&self, rng: &mut StdRng) -> Tuple {
+        Self::inventory_row(
+            rng.gen_range(0..self.locations) as i64,
+            rng.gen_range(0..self.dates) as i64,
+            rng.gen_range(0..self.items) as i64,
+            rng.gen_range(0.0..500.0),
+        )
+    }
+}
+
+/// Declares the shared (join-key) variables of the Retailer query.
+fn retailer_keys(b: &mut QueryBuilder) -> (usize, usize, usize, usize) {
+    let locn = b.key("locn");
+    let dateid = b.key("dateid");
+    let ksn = b.key("ksn");
+    let zip = b.key("zip");
+    (locn, dateid, ksn, zip)
+}
+
+/// The Retailer regression query with **continuous** features only:
+/// label `inventoryunits`; features `price`, `avghhi`, `competitordistance`,
+/// `population`, `medianage`, `maxtemp`, `mintemp`.
+pub fn retailer_query_continuous() -> QuerySpec {
+    let mut b = QuerySpec::builder("retailer_continuous");
+    let (locn, dateid, ksn, zip) = retailer_keys(&mut b);
+    let units = b.label("inventoryunits");
+    let price = b.continuous_feature("price");
+    let avghhi = b.continuous_feature("avghhi");
+    let dist = b.continuous_feature("competitordistance");
+    let population = b.continuous_feature("population");
+    let medianage = b.continuous_feature("medianage");
+    let maxtemp = b.continuous_feature("maxtemp");
+    let mintemp = b.continuous_feature("mintemp");
+    b.relation("Inventory", &[locn, dateid, ksn, units]);
+    b.relation("Location", &[locn, zip, avghhi, dist]);
+    b.relation("Census", &[zip, population, medianage]);
+    b.relation("Item", &[ksn, price]);
+    b.relation("Weather", &[locn, dateid, maxtemp, mintemp]);
+    b.build().expect("retailer continuous query is valid")
+}
+
+/// The Retailer query with a **mix** of continuous and categorical features,
+/// matching the demo's model-selection/regression tabs: label
+/// `inventoryunits`, continuous `price`, `avghhi`, `population`, `maxtemp`,
+/// categorical `category`, `subcategory`, `categoryCluster`, `rain`, `snow`.
+pub fn retailer_query_mixed() -> QuerySpec {
+    let mut b = QuerySpec::builder("retailer_mixed");
+    let (locn, dateid, ksn, zip) = retailer_keys(&mut b);
+    let units = b.label("inventoryunits");
+    let price = b.continuous_feature("price");
+    let avghhi = b.continuous_feature("avghhi");
+    let population = b.continuous_feature("population");
+    let maxtemp = b.continuous_feature("maxtemp");
+    let category = b.categorical_feature("category");
+    let subcategory = b.categorical_feature("subcategory");
+    let cluster = b.categorical_feature("categoryCluster");
+    let rain = b.categorical_feature("rain");
+    let snow = b.categorical_feature("snow");
+    b.relation("Inventory", &[locn, dateid, ksn, units]);
+    b.relation("Location", &[locn, zip, avghhi]);
+    b.relation("Census", &[zip, population]);
+    b.relation("Item", &[ksn, subcategory, category, cluster, price]);
+    b.relation("Weather", &[locn, dateid, rain, snow, maxtemp]);
+    b.build().expect("retailer mixed query is valid")
+}
+
+/// Chains the non-key attributes of every relation below the deepest join
+/// key of that relation, so each relation's schema lies on one root-to-leaf
+/// path.  `parents` must already connect the join keys.
+pub(crate) fn chain_payload_attributes(
+    spec: &QuerySpec,
+    parents: &mut [Option<usize>],
+    keys: &[usize],
+) {
+    // Depth of each key variable in the key hierarchy.
+    fn depth_of(parents: &[Option<usize>], mut v: usize) -> usize {
+        let mut d = 0;
+        while let Some(p) = parents[v] {
+            d += 1;
+            v = p;
+        }
+        d
+    }
+    for rel in spec.relations() {
+        let anchor = rel
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| keys.contains(v))
+            .max_by_key(|&v| depth_of(parents, v))
+            .expect("every relation joins on at least one key");
+        let mut prev = anchor;
+        for &v in &rel.vars {
+            if keys.contains(&v) {
+                continue;
+            }
+            parents[v] = Some(prev);
+            prev = v;
+        }
+    }
+}
+
+/// The Figure 2d variable order for the Retailer query: `locn` at the root,
+/// `dateid` and `zip` below it, `ksn` below `dateid`, and each table's
+/// payload attributes chained below that table's deepest join key.  Works
+/// for both Retailer query variants.
+pub fn retailer_variable_order(spec: &QuerySpec) -> VariableOrder {
+    let id = |name: &str| spec.var_id(name).expect("known variable");
+    let mut parents: Vec<Option<usize>> = vec![None; spec.num_vars()];
+    let locn = id("locn");
+    let dateid = id("dateid");
+    let ksn = id("ksn");
+    let zip = id("zip");
+    parents[dateid] = Some(locn);
+    parents[zip] = Some(locn);
+    parents[ksn] = Some(dateid);
+    chain_payload_attributes(spec, &mut parents, &[locn, dateid, ksn, zip]);
+    VariableOrder::from_parent_vars(spec, &parents).expect("retailer order is valid")
+}
+
+/// Convenience: the view tree of a Retailer query under the Figure 2d order.
+pub fn retailer_tree(spec: QuerySpec) -> ViewTree {
+    let order = retailer_variable_order(&spec);
+    ViewTree::new(spec, order).expect("retailer tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_query::{EliminationHeuristic, PlanStats};
+
+    #[test]
+    fn generator_produces_all_five_tables_with_consistent_keys() {
+        let cfg = RetailerConfig::tiny();
+        let db = cfg.generate();
+        assert_eq!(db.len(), 5);
+        for name in ["Inventory", "Location", "Census", "Item", "Weather"] {
+            assert!(db.table(name).is_some(), "missing table {name}");
+        }
+        assert_eq!(db.table("Location").unwrap().len(), cfg.locations);
+        assert_eq!(db.table("Census").unwrap().len(), cfg.zips);
+        assert_eq!(db.table("Item").unwrap().len(), cfg.items);
+        assert_eq!(
+            db.table("Weather").unwrap().len(),
+            cfg.locations * cfg.dates
+        );
+        assert!(!db.table("Inventory").unwrap().is_empty());
+        // Every Inventory key refers to an existing location/date/item.
+        for (row, _) in &db.table("Inventory").unwrap().rows {
+            assert!(row[0].as_i64().unwrap() < cfg.locations as i64);
+            assert!(row[1].as_i64().unwrap() < cfg.dates as i64);
+            assert!(row[2].as_i64().unwrap() < cfg.items as i64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = RetailerConfig::tiny().generate();
+        let b = RetailerConfig::tiny().generate();
+        assert_eq!(a.table("Inventory").unwrap().len(), b.table("Inventory").unwrap().len());
+        assert_eq!(a.table("Item").unwrap().rows, b.table("Item").unwrap().rows);
+    }
+
+    #[test]
+    fn queries_compile_under_the_paper_order_and_heuristics() {
+        for spec in [retailer_query_continuous(), retailer_query_mixed()] {
+            let tree = retailer_tree(spec.clone());
+            let stats = PlanStats::of(&tree);
+            assert_eq!(stats.num_views, spec.num_vars());
+            assert_eq!(stats.num_relations, 5);
+            // The snowflake has small widths under the Figure 2d order.
+            assert!(stats.max_key_width <= 5, "{}", stats.summary());
+
+            let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+            let tree2 = ViewTree::new(spec, vo).unwrap();
+            assert_eq!(PlanStats::of(&tree2).num_relations, 5);
+        }
+    }
+
+    #[test]
+    fn update_stream_targets_inventory() {
+        let cfg = RetailerConfig::tiny();
+        let stream = cfg.update_stream(StreamConfig {
+            bulks: 3,
+            bulk_size: 10,
+            delete_fraction: 0.3,
+            seed: 1,
+        });
+        assert_eq!(stream.bulks().len(), 3);
+        for bulk in stream.bulks() {
+            assert_eq!(bulk.table, "Inventory");
+            assert_eq!(bulk.len(), 10);
+        }
+    }
+}

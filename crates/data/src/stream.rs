@@ -1,0 +1,155 @@
+//! Bulk update-stream generation.
+//!
+//! The demo processes updates in bulks (10 000 updates at a time) that mix
+//! inserts with deletes of previously inserted rows.  [`UpdateStream`]
+//! reproduces that pattern against a single fact table using a caller
+//! supplied row generator.
+
+use fivm_relation::{Tuple, Update};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an update stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamConfig {
+    /// Number of bulks to generate.
+    pub bulks: usize,
+    /// Number of updates per bulk (the demo uses 10 000).
+    pub bulk_size: usize,
+    /// Fraction of updates that are deletes of previously inserted rows.
+    pub delete_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            bulks: 10,
+            bulk_size: 1_000,
+            delete_fraction: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated sequence of update bulks against one table.
+#[derive(Clone, Debug)]
+pub struct UpdateStream {
+    bulks: Vec<Update>,
+}
+
+impl UpdateStream {
+    /// Generates a stream: each update is either a fresh insert (drawn from
+    /// `row_gen`) or, with probability `delete_fraction`, a delete of a row
+    /// inserted earlier in the stream (each row is deleted at most once).
+    pub fn generate(
+        config: StreamConfig,
+        table: &str,
+        mut row_gen: impl FnMut(&mut StdRng) -> Tuple,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut live: Vec<Tuple> = Vec::new();
+        let mut bulks = Vec::with_capacity(config.bulks);
+        for _ in 0..config.bulks {
+            let mut rows = Vec::with_capacity(config.bulk_size);
+            for _ in 0..config.bulk_size {
+                let delete = !live.is_empty() && rng.gen_bool(config.delete_fraction);
+                if delete {
+                    let idx = rng.gen_range(0..live.len());
+                    let row = live.swap_remove(idx);
+                    rows.push((row, -1));
+                } else {
+                    let row = row_gen(&mut rng);
+                    live.push(row.clone());
+                    rows.push((row, 1));
+                }
+            }
+            bulks.push(Update::with_multiplicities(table, rows));
+        }
+        UpdateStream { bulks }
+    }
+
+    /// The generated bulks, in order.
+    pub fn bulks(&self) -> &[Update] {
+        &self.bulks
+    }
+
+    /// Total number of individual updates across all bulks.
+    pub fn total_updates(&self) -> usize {
+        self.bulks.iter().map(Update::len).sum()
+    }
+
+    /// Consumes the stream, returning its bulks.
+    pub fn into_bulks(self) -> Vec<Update> {
+        self.bulks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::Value;
+    use fivm_relation::tuple;
+    use std::collections::HashMap;
+
+    fn gen_stream(delete_fraction: f64, seed: u64) -> UpdateStream {
+        let mut next = 0i64;
+        UpdateStream::generate(
+            StreamConfig {
+                bulks: 5,
+                bulk_size: 100,
+                delete_fraction,
+                seed,
+            },
+            "T",
+            move |rng| {
+                next += 1;
+                tuple([Value::int(next), Value::int(rng.gen_range(0..10))])
+            },
+        )
+    }
+
+    #[test]
+    fn produces_requested_shape() {
+        let s = gen_stream(0.25, 3);
+        assert_eq!(s.bulks().len(), 5);
+        assert_eq!(s.total_updates(), 500);
+        assert!(s.bulks().iter().all(|b| b.table == "T" && b.len() == 100));
+    }
+
+    #[test]
+    fn deletes_only_target_previously_inserted_rows() {
+        let s = gen_stream(0.4, 9);
+        let mut multiplicity: HashMap<Tuple, i64> = HashMap::new();
+        for bulk in s.bulks() {
+            for (row, m) in &bulk.rows {
+                let e = multiplicity.entry(row.clone()).or_insert(0);
+                *e += m;
+                assert!(*e >= 0, "row deleted before being inserted: {row:?}");
+            }
+        }
+        // Some rows should have been deleted overall.
+        assert!(multiplicity.values().any(|&m| m == 0));
+    }
+
+    #[test]
+    fn zero_delete_fraction_only_inserts() {
+        let s = gen_stream(0.0, 5);
+        assert!(s
+            .bulks()
+            .iter()
+            .all(|b| b.rows.iter().all(|(_, m)| *m == 1)));
+        let bulks = s.into_bulks();
+        assert_eq!(bulks.len(), 5);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = gen_stream(0.3, 11);
+        let b = gen_stream(0.3, 11);
+        assert_eq!(a.bulks()[0].rows, b.bulks()[0].rows);
+        let c = gen_stream(0.3, 12);
+        assert_ne!(a.bulks()[0].rows, c.bulks()[0].rows);
+    }
+}

@@ -1,0 +1,205 @@
+//! Chow-Liu trees: optimal tree-shaped Bayesian networks.
+//!
+//! The Chow-Liu algorithm builds a maximum spanning tree over the complete
+//! graph whose edge weights are the pairwise mutual information of the
+//! attributes.  The demo (Figure 2c) recomputes the tree after every bulk of
+//! updates from the maintained MI matrix.
+
+use fivm_common::{FivmError, Result};
+
+/// A Chow-Liu tree over a set of attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChowLiuTree {
+    /// The root attribute chosen by the caller.
+    pub root: usize,
+    /// `parent[i]` is the parent attribute of attribute `i` (`None` for the
+    /// root).
+    pub parent: Vec<Option<usize>>,
+    /// The edges `(parent, child, mutual information)` in insertion order.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Total mutual information captured by the tree.
+    pub total_mi: f64,
+}
+
+impl ChowLiuTree {
+    /// The children of an attribute.
+    pub fn children(&self, attr: usize) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Some(attr))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Depth of an attribute in the tree (root has depth 0).
+    pub fn depth(&self, attr: usize) -> usize {
+        let mut d = 0;
+        let mut cur = attr;
+        while let Some(p) = self.parent[cur] {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Renders the tree as an indented ASCII listing.
+    pub fn render(&self, names: &[String]) -> String {
+        fn recurse(tree: &ChowLiuTree, node: usize, names: &[String], depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&names[node]);
+            out.push('\n');
+            for c in tree.children(node) {
+                recurse(tree, c, names, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        recurse(self, self.root, names, 0, &mut out);
+        out
+    }
+}
+
+/// Builds the Chow-Liu tree from a symmetric pairwise MI matrix using Prim's
+/// algorithm (maximum spanning tree), rooted at `root`.
+pub fn chow_liu_tree(mi: &[Vec<f64>], root: usize) -> Result<ChowLiuTree> {
+    let n = mi.len();
+    if n == 0 {
+        return Err(FivmError::Numerical("empty MI matrix".into()));
+    }
+    if root >= n {
+        return Err(FivmError::Numerical(format!(
+            "root {root} out of range for {n} attributes"
+        )));
+    }
+    for row in mi {
+        if row.len() != n {
+            return Err(FivmError::Numerical("MI matrix is not square".into()));
+        }
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut best_weight = vec![f64::NEG_INFINITY; n];
+    let mut best_parent = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut total_mi = 0.0;
+
+    in_tree[root] = true;
+    for v in 0..n {
+        if v != root {
+            best_weight[v] = mi[root][v];
+            best_parent[v] = Some(root);
+        }
+    }
+
+    for _ in 1..n {
+        // Pick the attribute outside the tree with the largest MI to the tree.
+        let mut pick = None;
+        for v in 0..n {
+            if !in_tree[v] {
+                match pick {
+                    None => pick = Some(v),
+                    Some(p) if best_weight[v] > best_weight[p] => pick = Some(v),
+                    _ => {}
+                }
+            }
+        }
+        let v = pick.expect("there is always an attribute left to add");
+        in_tree[v] = true;
+        let p = best_parent[v].expect("non-root attributes always have a best parent");
+        parent[v] = Some(p);
+        edges.push((p, v, best_weight[v]));
+        total_mi += best_weight[v].max(0.0);
+        for u in 0..n {
+            if !in_tree[u] && mi[v][u] > best_weight[u] {
+                best_weight[u] = mi[v][u];
+                best_parent[u] = Some(v);
+            }
+        }
+    }
+
+    Ok(ChowLiuTree {
+        root,
+        parent,
+        edges,
+        total_mi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_strongest_edges() {
+        // 4 attributes; MI strongly links 0-1, 1-2, 2-3; weak elsewhere.
+        let mi = vec![
+            vec![1.0, 0.9, 0.1, 0.1],
+            vec![0.9, 1.0, 0.8, 0.1],
+            vec![0.1, 0.8, 1.0, 0.7],
+            vec![0.1, 0.1, 0.7, 1.0],
+        ];
+        let tree = chow_liu_tree(&mi, 0).unwrap();
+        assert_eq!(tree.parent[0], None);
+        assert_eq!(tree.parent[1], Some(0));
+        assert_eq!(tree.parent[2], Some(1));
+        assert_eq!(tree.parent[3], Some(2));
+        assert!((tree.total_mi - (0.9 + 0.8 + 0.7)).abs() < 1e-12);
+        assert_eq!(tree.edges.len(), 3);
+        assert_eq!(tree.children(1), vec![2]);
+        assert_eq!(tree.depth(3), 3);
+    }
+
+    #[test]
+    fn star_shaped_mi_produces_star_tree() {
+        // Attribute 2 is the hub.
+        let mi = vec![
+            vec![0.0, 0.0, 0.9, 0.0],
+            vec![0.0, 0.0, 0.8, 0.0],
+            vec![0.9, 0.8, 0.0, 0.7],
+            vec![0.0, 0.0, 0.7, 0.0],
+        ];
+        let tree = chow_liu_tree(&mi, 2).unwrap();
+        assert_eq!(tree.parent[0], Some(2));
+        assert_eq!(tree.parent[1], Some(2));
+        assert_eq!(tree.parent[3], Some(2));
+        let mut kids = tree.children(2);
+        kids.sort();
+        assert_eq!(kids, vec![0, 1, 3]);
+        // Rendering lists every attribute.
+        let names: Vec<String> = (0..4).map(|i| format!("a{i}")).collect();
+        let text = tree.render(&names);
+        for n in &names {
+            assert!(text.contains(n));
+        }
+    }
+
+    #[test]
+    fn root_choice_does_not_change_edge_set_weight() {
+        let mi = vec![
+            vec![0.0, 0.5, 0.2],
+            vec![0.5, 0.0, 0.4],
+            vec![0.2, 0.4, 0.0],
+        ];
+        let t0 = chow_liu_tree(&mi, 0).unwrap();
+        let t2 = chow_liu_tree(&mi, 2).unwrap();
+        assert!((t0.total_mi - t2.total_mi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(chow_liu_tree(&[], 0).is_err());
+        let mi = vec![vec![0.0, 0.1], vec![0.1, 0.0]];
+        assert!(chow_liu_tree(&mi, 5).is_err());
+        let ragged = vec![vec![0.0, 0.1], vec![0.1]];
+        assert!(chow_liu_tree(&ragged, 0).is_err());
+    }
+
+    #[test]
+    fn single_attribute_tree() {
+        let tree = chow_liu_tree(&[vec![0.0]], 0).unwrap();
+        assert_eq!(tree.edges.len(), 0);
+        assert_eq!(tree.parent, vec![None]);
+        assert_eq!(tree.total_mi, 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Expansion of (generalized) cofactor payloads into dense design-matrix
+//! summaries.
+//!
+//! Ridge regression needs `X^T X` and `X^T y` over the design matrix whose
+//! columns are the intercept, the continuous features and the one-hot
+//! encoded categories of the categorical features.  The cofactor payloads
+//! maintained by F-IVM contain exactly those sums; this module lays them out
+//! densely and keeps the mapping from matrix columns back to attributes and
+//! categories.
+
+use fivm_common::{AttrKind, FivmError, Result, Value};
+use fivm_ring::{Cofactor, GenCofactor};
+
+/// One column of the expanded feature space.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeatureColumn {
+    /// The intercept (all-ones) column.
+    Intercept,
+    /// A continuous attribute, identified by its batch index.
+    Continuous {
+        /// Batch index of the attribute.
+        attr: usize,
+    },
+    /// One category of a categorical attribute.
+    Categorical {
+        /// Batch index of the attribute.
+        attr: usize,
+        /// The category value.
+        category: Value,
+    },
+}
+
+/// The expanded (one-hot encoded) feature space of an aggregate batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureSpace {
+    /// Columns in order: intercept, then per batch attribute its column(s).
+    pub columns: Vec<FeatureColumn>,
+    /// Human-readable attribute names, indexed by batch index.
+    pub attr_names: Vec<String>,
+}
+
+impl FeatureSpace {
+    /// Number of expanded columns (including the intercept).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the space has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// A readable name for a column, e.g. `price` or `category=c2`.
+    pub fn column_name(&self, idx: usize) -> String {
+        match &self.columns[idx] {
+            FeatureColumn::Intercept => "(intercept)".to_string(),
+            FeatureColumn::Continuous { attr } => self.attr_names[*attr].clone(),
+            FeatureColumn::Categorical { attr, category } => {
+                format!("{}={}", self.attr_names[*attr], category)
+            }
+        }
+    }
+
+    /// The columns belonging to one batch attribute.
+    pub fn columns_of_attr(&self, attr: usize) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| match c {
+                FeatureColumn::Continuous { attr: a } => *a == attr,
+                FeatureColumn::Categorical { attr: a, .. } => *a == attr,
+                FeatureColumn::Intercept => false,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A dense design-matrix summary: `count`, `X^T X` and the cross terms with
+/// the label (`X^T y`), over an expanded [`FeatureSpace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseCovar {
+    /// The expanded feature space (columns of `X`).
+    pub features: FeatureSpace,
+    /// Number of training tuples (the count aggregate).
+    pub count: f64,
+    /// `X^T X`, row-major, dimension `features.len()`.
+    pub xtx: Vec<f64>,
+    /// `X^T y`, dimension `features.len()`.
+    pub xty: Vec<f64>,
+    /// `y^T y` (needed for the training loss).
+    pub yty: f64,
+}
+
+impl DenseCovar {
+    fn n(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Entry of `X^T X`.
+    pub fn xtx_at(&self, i: usize, j: usize) -> f64 {
+        self.xtx[i * self.n() + j]
+    }
+
+    /// Builds the summary from a plain (continuous) cofactor payload.
+    ///
+    /// `names` are the batch attribute names, `label` the batch index of the
+    /// label attribute.
+    pub fn from_cofactor(payload: &Cofactor, names: &[String], label: usize) -> Result<Self> {
+        let dim = names.len();
+        if label >= dim {
+            return Err(FivmError::Numerical(format!(
+                "label index {label} out of range for {dim} attributes"
+            )));
+        }
+        let dense = payload.to_dense(dim);
+        let mut columns = vec![FeatureColumn::Intercept];
+        for attr in 0..dim {
+            if attr != label {
+                columns.push(FeatureColumn::Continuous { attr });
+            }
+        }
+        let features = FeatureSpace {
+            columns,
+            attr_names: names.to_vec(),
+        };
+        let n = features.len();
+        let mut xtx = vec![0.0; n * n];
+        let mut xty = vec![0.0; n];
+        let value_of = |col: &FeatureColumn, other: Option<&FeatureColumn>| -> f64 {
+            // Helper resolving <col, other> products from the cofactor.
+            match (col, other) {
+                (FeatureColumn::Intercept, None) => dense.count,
+                (FeatureColumn::Continuous { attr }, None) => dense.sums[*attr],
+                (FeatureColumn::Intercept, Some(FeatureColumn::Intercept)) => dense.count,
+                (FeatureColumn::Intercept, Some(FeatureColumn::Continuous { attr }))
+                | (FeatureColumn::Continuous { attr }, Some(FeatureColumn::Intercept)) => {
+                    dense.sums[*attr]
+                }
+                (
+                    FeatureColumn::Continuous { attr: a },
+                    Some(FeatureColumn::Continuous { attr: b }),
+                ) => dense.prods.get(*a, *b),
+                _ => unreachable!("categorical columns cannot appear here"),
+            }
+        };
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i * n + j] = value_of(&features.columns[i], Some(&features.columns[j]));
+            }
+            // X^T y: product of column i with the label attribute.
+            xty[i] = match &features.columns[i] {
+                FeatureColumn::Intercept => dense.sums[label],
+                FeatureColumn::Continuous { attr } => dense.prods.get(*attr, label),
+                FeatureColumn::Categorical { .. } => unreachable!(),
+            };
+        }
+        Ok(DenseCovar {
+            features,
+            count: dense.count,
+            xtx,
+            xty,
+            yty: dense.prods.get(label, label),
+        })
+    }
+
+    /// Builds the summary from a generalized cofactor payload with mixed
+    /// continuous/categorical attributes.
+    ///
+    /// Categorical attributes contribute one column per category observed in
+    /// the join result (the compact one-hot encoding of the paper).  The
+    /// label must be continuous.
+    pub fn from_gen_cofactor(
+        payload: &GenCofactor,
+        names: &[String],
+        kinds: &[AttrKind],
+        label: usize,
+    ) -> Result<Self> {
+        let dim = names.len();
+        if label >= dim {
+            return Err(FivmError::Numerical(format!(
+                "label index {label} out of range for {dim} attributes"
+            )));
+        }
+        if kinds[label] == AttrKind::Categorical {
+            return Err(FivmError::Numerical(
+                "the regression label must be continuous".into(),
+            ));
+        }
+        let dense = payload.to_dense(dim);
+
+        // Enumerate categories of each categorical attribute from s_X.
+        let mut columns = vec![FeatureColumn::Intercept];
+        for attr in 0..dim {
+            if attr == label {
+                continue;
+            }
+            match kinds[attr] {
+                AttrKind::Continuous => columns.push(FeatureColumn::Continuous { attr }),
+                AttrKind::Categorical => {
+                    let mut cats: Vec<Value> = dense.sums[attr]
+                        .iter()
+                        .map(|(k, _)| k[0].1.clone())
+                        .collect();
+                    cats.sort();
+                    for category in cats {
+                        columns.push(FeatureColumn::Categorical { attr, category });
+                    }
+                }
+            }
+        }
+        let features = FeatureSpace {
+            columns,
+            attr_names: names.to_vec(),
+        };
+        let n = features.len();
+
+        // Looks up the aggregate SUM(col_i * col_j) from the payload.
+        let pair_value = |a: &FeatureColumn, b: &FeatureColumn| -> f64 {
+            use FeatureColumn as F;
+            match (a, b) {
+                (F::Intercept, F::Intercept) => dense.count,
+                (F::Intercept, F::Continuous { attr }) | (F::Continuous { attr }, F::Intercept) => {
+                    dense.sums[*attr].scalar_part()
+                }
+                (F::Intercept, F::Categorical { attr, category })
+                | (F::Categorical { attr, category }, F::Intercept) => {
+                    dense.sums[*attr].get(&[(*attr as u32, category.clone())])
+                }
+                (F::Continuous { attr: a }, F::Continuous { attr: b }) => {
+                    dense.prod(*a, *b).scalar_part()
+                }
+                (F::Continuous { attr: c }, F::Categorical { attr: k, category })
+                | (F::Categorical { attr: k, category }, F::Continuous { attr: c }) => dense
+                    .prod(*c, *k)
+                    .get(&[(*k as u32, category.clone())]),
+                (
+                    F::Categorical {
+                        attr: k1,
+                        category: c1,
+                    },
+                    F::Categorical {
+                        attr: k2,
+                        category: c2,
+                    },
+                ) => {
+                    if k1 == k2 {
+                        // Different categories of one attribute never co-occur.
+                        if c1 == c2 {
+                            dense.prod(*k1, *k1).get(&[(*k1 as u32, c1.clone())])
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        dense.prod(*k1, *k2).get(&[
+                            (*k1 as u32, c1.clone()),
+                            (*k2 as u32, c2.clone()),
+                        ])
+                    }
+                }
+            }
+        };
+
+        let label_col = FeatureColumn::Continuous { attr: label };
+        let mut xtx = vec![0.0; n * n];
+        let mut xty = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i * n + j] = pair_value(&features.columns[i], &features.columns[j]);
+            }
+            xty[i] = pair_value(&features.columns[i], &label_col);
+        }
+        Ok(DenseCovar {
+            features,
+            count: dense.count,
+            xtx,
+            xty,
+            yty: dense.prod(label, label).scalar_part(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_ring::Ring;
+
+    /// Builds the cofactor payload of the tiny dataset
+    /// rows (B, C, D): (1,1,1), (1,2,3), (2,2,2) — Figure 1's join result.
+    fn figure1_cofactor() -> Cofactor {
+        let rows = [[1.0, 1.0, 1.0], [1.0, 2.0, 3.0], [2.0, 2.0, 2.0]];
+        let mut acc = Cofactor::zero();
+        for row in rows {
+            let mut t = Cofactor::one();
+            for (idx, x) in row.iter().enumerate() {
+                t = t.mul(&Cofactor::lift(3, idx, *x));
+            }
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    #[test]
+    fn continuous_expansion_matches_hand_computation() {
+        let names = vec!["B".to_string(), "C".to_string(), "D".to_string()];
+        let c = DenseCovar::from_cofactor(&figure1_cofactor(), &names, 2).unwrap();
+        // Columns: intercept, B, C.
+        assert_eq!(c.features.len(), 3);
+        assert_eq!(c.count, 3.0);
+        assert_eq!(c.xtx_at(0, 0), 3.0); // N
+        assert_eq!(c.xtx_at(0, 1), 4.0); // SUM(B)
+        assert_eq!(c.xtx_at(1, 1), 6.0); // SUM(B*B)
+        assert_eq!(c.xtx_at(1, 2), 7.0); // SUM(B*C)
+        assert_eq!(c.xty, vec![6.0, 8.0, 11.0]); // SUM(D), SUM(B*D), SUM(C*D)
+        assert_eq!(c.yty, 14.0); // SUM(D*D)
+        assert_eq!(c.features.column_name(0), "(intercept)");
+        assert_eq!(c.features.column_name(2), "C");
+    }
+
+    #[test]
+    fn label_index_validation() {
+        let names = vec!["B".to_string(), "C".to_string(), "D".to_string()];
+        assert!(DenseCovar::from_cofactor(&figure1_cofactor(), &names, 9).is_err());
+    }
+
+    /// The same dataset with C categorical (values "c1", "c2", "c2").
+    fn figure1_gen_cofactor() -> GenCofactor {
+        let rows: [(f64, &str, f64); 3] = [(1.0, "c1", 1.0), (1.0, "c2", 3.0), (2.0, "c2", 2.0)];
+        let mut acc = GenCofactor::zero();
+        for (b, c, d) in rows {
+            let t = GenCofactor::lift_continuous(3, 0, b)
+                .mul(&GenCofactor::lift_categorical(3, 1, 1, Value::str(c)))
+                .mul(&GenCofactor::lift_continuous(3, 2, d));
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    #[test]
+    fn categorical_expansion_one_hot_encodes() {
+        let names = vec!["B".to_string(), "C".to_string(), "D".to_string()];
+        let kinds = vec![
+            AttrKind::Continuous,
+            AttrKind::Categorical,
+            AttrKind::Continuous,
+        ];
+        let c = DenseCovar::from_gen_cofactor(&figure1_gen_cofactor(), &names, &kinds, 2).unwrap();
+        // Columns: intercept, B, C=c1, C=c2.
+        assert_eq!(c.features.len(), 4);
+        assert_eq!(c.features.column_name(2), "C=c1");
+        assert_eq!(c.features.column_name(3), "C=c2");
+        assert_eq!(c.xtx_at(0, 0), 3.0);
+        assert_eq!(c.xtx_at(0, 2), 1.0); // count of c1
+        assert_eq!(c.xtx_at(0, 3), 2.0); // count of c2
+        assert_eq!(c.xtx_at(1, 2), 1.0); // SUM(B) where C=c1
+        assert_eq!(c.xtx_at(1, 3), 3.0); // SUM(B) where C=c2
+        assert_eq!(c.xtx_at(2, 3), 0.0); // categories are exclusive
+        assert_eq!(c.xtx_at(2, 2), 1.0);
+        assert_eq!(c.xty, vec![6.0, 8.0, 1.0, 5.0]); // SUM(D), SUM(B*D), SUM(D|c1), SUM(D|c2)
+        assert_eq!(c.features.columns_of_attr(1), vec![2, 3]);
+        assert_eq!(c.features.columns_of_attr(0), vec![1]);
+    }
+
+    #[test]
+    fn categorical_label_is_rejected() {
+        let names = vec!["B".to_string(), "C".to_string()];
+        let kinds = vec![AttrKind::Continuous, AttrKind::Categorical];
+        let payload = GenCofactor::lift_continuous(2, 0, 1.0)
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::str("x")));
+        assert!(DenseCovar::from_gen_cofactor(&payload, &names, &kinds, 1).is_err());
+    }
+}

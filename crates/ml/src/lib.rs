@@ -1,0 +1,35 @@
+//! Machine learning on top of F-IVM ring payloads.
+//!
+//! The F-IVM engine maintains compound aggregates — the COVAR matrix (plain
+//! or with relational values for categorical attributes) and the count
+//! aggregates behind pairwise mutual information.  This crate turns those
+//! payloads into the applications demonstrated by the paper:
+//!
+//! * [`regression`] — ridge linear regression by batch gradient descent
+//!   (warm-started across update bulks, as in the demo) or a closed-form
+//!   Cholesky solve, over continuous or mixed continuous/categorical
+//!   features,
+//! * [`mi`] — pairwise mutual information and entropies from the generalized
+//!   cofactor payload,
+//! * [`model_selection`] — ranking attributes by their MI with a label and
+//!   thresholding to select model features (Figure 2a),
+//! * [`chow_liu`] — optimal tree-shaped Bayesian networks via maximum
+//!   spanning trees over the MI matrix (Figure 2c),
+//! * [`covar`] — expansion of (generalized) cofactor payloads into dense
+//!   design-matrix summaries (`X^T X`, `X^T y`), including the compact
+//!   one-hot encoding of categorical interactions,
+//! * [`linalg`] — the small dense linear-algebra kernel (Cholesky solve)
+//!   used by the closed-form solver.
+
+pub mod chow_liu;
+pub mod covar;
+pub mod linalg;
+pub mod mi;
+pub mod model_selection;
+pub mod regression;
+
+pub use chow_liu::{chow_liu_tree, ChowLiuTree};
+pub use covar::{DenseCovar, FeatureSpace};
+pub use mi::{entropy, mi_matrix, mutual_information};
+pub use model_selection::{rank_by_mi, ModelSelection};
+pub use regression::{RidgeModel, RidgeSolver};

@@ -1,0 +1,122 @@
+//! Minimal dense linear algebra: symmetric positive definite solves.
+
+use fivm_common::{FivmError, Result};
+
+/// Solves `A x = b` for a symmetric positive-definite matrix `A` (given in
+/// row-major order) using a Cholesky factorization.
+///
+/// Returns an error if the matrix is not positive definite (within a small
+/// tolerance), which in the ridge-regression setting means the
+/// regularization parameter is too small for a rank-deficient design.
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Result<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "vector size mismatch");
+    // Cholesky: A = L L^T, lower triangular L stored dense.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 1e-12 {
+                    return Err(FivmError::Numerical(format!(
+                        "matrix is not positive definite at pivot {i} (value {sum:.3e})"
+                    )));
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Backward substitution: L^T x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Multiplies a dense row-major `n × n` matrix by a vector.
+pub fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..n {
+            sum += a[i * n + j] * x[j];
+        }
+        out[i] = sum;
+    }
+    out
+}
+
+/// The Euclidean norm of a vector.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 8] → x = [1.75, 1.5].
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 8.0];
+        let x = solve_spd(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_against_matvec() {
+        // Random-ish SPD matrix: M = B B^T + I.
+        let n = 4;
+        let b_mat: Vec<f64> = (0..n * n).map(|i| ((i * 31 % 17) as f64) / 7.0).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b_mat[i * n + k] * b_mat[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = matvec(&a, &x_true, n);
+        let x = solve_spd(&a, &b, n).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        let err = solve_spd(&a, &[1.0, 1.0], 2).unwrap_err();
+        assert_eq!(err.kind(), "numerical");
+    }
+
+    #[test]
+    fn norm_and_matvec() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(matvec(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0], 2), vec![3.0, 7.0]);
+    }
+}

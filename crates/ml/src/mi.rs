@@ -1,0 +1,179 @@
+//! Pairwise mutual information from the generalized cofactor payload.
+//!
+//! With every aggregate attribute lifted categorically, the payload contains
+//! exactly the count aggregates of the paper's MI formulation:
+//! `C_∅ = SUM(1)`, `C_X = SUM(1) GROUP BY X` (in the sum vector) and
+//! `C_XY = SUM(1) GROUP BY (X, Y)` (in the interaction matrix).  This module
+//! evaluates
+//!
+//! ```text
+//! I(X, Y) = Σ_x Σ_y  C_XY(x,y)/C_∅ · log( C_∅ · C_XY(x,y) / (C_X(x) · C_Y(y)) )
+//! ```
+//!
+//! and the marginal entropies `H(X)` used on the diagonal of the MI matrix.
+
+use fivm_ring::GenCofactor;
+
+/// The marginal entropy `H(X)` (natural log) of attribute `x` of the batch.
+///
+/// Returns 0 for an empty dataset.
+pub fn entropy(payload: &GenCofactor, x: usize) -> f64 {
+    let total = payload.count();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for (_, c) in payload.sum(x).iter() {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// The mutual information `I(X, Y)` (natural log) between attributes `x` and
+/// `y` of the batch.  For `x == y` this equals the entropy `H(X)`.
+///
+/// Returns 0 for an empty dataset.
+pub fn mutual_information(payload: &GenCofactor, x: usize, y: usize) -> f64 {
+    if x == y {
+        return entropy(payload, x);
+    }
+    let total = payload.count();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let cx = payload.sum(x);
+    let cy = payload.sum(y);
+    let cxy = payload.prod(x, y);
+    let mut mi = 0.0;
+    for (key, joint) in cxy.iter() {
+        if joint <= 0.0 {
+            continue;
+        }
+        // The joint key holds both attribute assignments; split it.
+        let x_key: Vec<(u32, fivm_common::Value)> = key
+            .iter()
+            .filter(|(a, _)| *a == x as u32)
+            .cloned()
+            .collect();
+        let y_key: Vec<(u32, fivm_common::Value)> = key
+            .iter()
+            .filter(|(a, _)| *a == y as u32)
+            .cloned()
+            .collect();
+        let cx_v = cx.get(&x_key);
+        let cy_v = cy.get(&y_key);
+        if cx_v <= 0.0 || cy_v <= 0.0 {
+            continue;
+        }
+        mi += joint / total * ((total * joint) / (cx_v * cy_v)).ln();
+    }
+    mi.max(0.0)
+}
+
+/// The full pairwise MI matrix over a batch of `dim` attributes; the
+/// diagonal holds the marginal entropies.
+pub fn mi_matrix(payload: &GenCofactor, dim: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![vec![0.0; dim]; dim];
+    for i in 0..dim {
+        for j in i..dim {
+            let v = mutual_information(payload, i, j);
+            out[i][j] = v;
+            out[j][i] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::Value;
+    use fivm_ring::Ring;
+
+    /// Builds an MI payload from explicit categorical rows.
+    fn payload_from_rows(rows: &[Vec<i64>]) -> GenCofactor {
+        let dim = rows[0].len();
+        let mut acc = GenCofactor::zero();
+        for row in rows {
+            let mut t = GenCofactor::one();
+            for (idx, v) in row.iter().enumerate() {
+                t = t.mul(&GenCofactor::lift_categorical(dim, idx, idx, Value::int(*v)));
+            }
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    #[test]
+    fn identical_attributes_have_mi_equal_to_entropy() {
+        // X and Y perfectly correlated (Y = X): I(X, Y) = H(X).
+        let rows: Vec<Vec<i64>> = (0..20).map(|i| vec![i % 4, i % 4]).collect();
+        let p = payload_from_rows(&rows);
+        let h = entropy(&p, 0);
+        let i = mutual_information(&p, 0, 1);
+        assert!((h - (4.0f64).ln()).abs() < 1e-9); // uniform over 4 values
+        assert!((i - h).abs() < 1e-9);
+        // The diagonal of the matrix is the entropy.
+        let m = mi_matrix(&p, 2);
+        assert!((m[0][0] - h).abs() < 1e-12);
+        assert!((m[0][1] - m[1][0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_attributes_have_zero_mi() {
+        // X uniform over {0,1}, Y uniform over {0,1,2,3,4}, independent by
+        // construction (full cross product).
+        let mut rows = Vec::new();
+        for x in 0..2 {
+            for y in 0..5 {
+                rows.push(vec![x, y]);
+            }
+        }
+        let p = payload_from_rows(&rows);
+        let i = mutual_information(&p, 0, 1);
+        assert!(i.abs() < 1e-12, "expected 0, got {i}");
+    }
+
+    #[test]
+    fn partially_correlated_attributes_have_intermediate_mi() {
+        // Y = X for half the rows, random-ish otherwise.
+        let mut rows = Vec::new();
+        for i in 0..40i64 {
+            let x = i % 2;
+            let y = if i % 4 < 2 { x } else { (i / 4) % 2 };
+            rows.push(vec![x, y]);
+        }
+        let p = payload_from_rows(&rows);
+        let i01 = mutual_information(&p, 0, 1);
+        let h0 = entropy(&p, 0);
+        assert!(i01 > 0.0);
+        assert!(i01 < h0);
+    }
+
+    #[test]
+    fn empty_payload_yields_zero() {
+        let p = GenCofactor::zero();
+        assert_eq!(entropy(&p, 0), 0.0);
+        assert_eq!(mutual_information(&p, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn mi_is_nonnegative_and_bounded_by_min_entropy() {
+        let rows: Vec<Vec<i64>> = (0..60)
+            .map(|i| vec![i % 3, (i * 7 + i % 5) % 4, i % 2])
+            .collect();
+        let p = payload_from_rows(&rows);
+        let m = mi_matrix(&p, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(m[i][j] >= 0.0);
+                if i != j {
+                    assert!(m[i][j] <= m[i][i].min(m[j][j]) + 1e-9);
+                }
+            }
+        }
+    }
+}

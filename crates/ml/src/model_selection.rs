@@ -1,0 +1,132 @@
+//! Model selection: ranking attributes by mutual information with a label.
+//!
+//! This is the "Model Selection" tab of the demo (Figure 2a): the user picks
+//! a label attribute and a threshold; the attributes are ranked by their
+//! pairwise MI with the label and only those above the threshold are kept as
+//! model features.
+
+use crate::mi::mutual_information;
+use fivm_ring::GenCofactor;
+
+/// The result of ranking attributes against a label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSelection {
+    /// Batch index of the label attribute.
+    pub label: usize,
+    /// `(attribute index, MI with the label)` sorted by decreasing MI.
+    pub ranking: Vec<(usize, f64)>,
+    /// The threshold used for selection.
+    pub threshold: f64,
+    /// Attribute indices whose MI is at least the threshold.
+    pub selected: Vec<usize>,
+}
+
+impl ModelSelection {
+    /// Whether an attribute was selected.
+    pub fn is_selected(&self, attr: usize) -> bool {
+        self.selected.contains(&attr)
+    }
+
+    /// Renders the ranking as text rows `name  mi  [selected]`.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = String::new();
+        for (attr, mi) in &self.ranking {
+            let marker = if self.is_selected(*attr) { "✓" } else { " " };
+            out.push_str(&format!("{marker} {:<28} {mi:.6}\n", names[*attr]));
+        }
+        out
+    }
+}
+
+/// Ranks every non-label attribute of the batch by its MI with the label and
+/// selects those with MI at least `threshold`.
+pub fn rank_by_mi(
+    payload: &GenCofactor,
+    dim: usize,
+    label: usize,
+    threshold: f64,
+) -> ModelSelection {
+    let mut ranking: Vec<(usize, f64)> = (0..dim)
+        .filter(|&i| i != label)
+        .map(|i| (i, mutual_information(payload, i, label)))
+        .collect();
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let selected = ranking
+        .iter()
+        .filter(|(_, mi)| *mi >= threshold)
+        .map(|(i, _)| *i)
+        .collect();
+    ModelSelection {
+        label,
+        ranking,
+        threshold,
+        selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::Value;
+    use fivm_ring::Ring;
+
+    /// Three attributes plus a label: attribute 0 equals the label, attribute
+    /// 1 is weakly related, attribute 2 is independent noise.
+    fn payload() -> GenCofactor {
+        let dim = 4;
+        let mut acc = GenCofactor::zero();
+        for i in 0..120i64 {
+            let label = i % 3;
+            let strong = label;
+            let weak = if i % 5 < 3 { label } else { i % 2 };
+            let noise = (i * 7 + 3) % 4;
+            let row = [strong, weak, noise, label];
+            let mut t = GenCofactor::one();
+            for (idx, v) in row.iter().enumerate() {
+                t = t.mul(&GenCofactor::lift_categorical(dim, idx, idx, Value::int(*v)));
+            }
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    #[test]
+    fn ranking_orders_by_relevance() {
+        let sel = rank_by_mi(&payload(), 4, 3, 0.05);
+        assert_eq!(sel.ranking.len(), 3);
+        // The perfectly correlated attribute comes first, noise last.
+        assert_eq!(sel.ranking[0].0, 0);
+        assert_eq!(sel.ranking[2].0, 2);
+        assert!(sel.ranking[0].1 > sel.ranking[1].1);
+        assert!(sel.ranking[1].1 > sel.ranking[2].1);
+    }
+
+    #[test]
+    fn threshold_controls_selection() {
+        let p = payload();
+        let all = rank_by_mi(&p, 4, 3, 0.0);
+        assert_eq!(all.selected.len(), 3);
+        let strict = rank_by_mi(&p, 4, 3, 0.5);
+        assert!(strict.selected.len() < all.selected.len());
+        assert!(strict.is_selected(0));
+        assert!(!strict.is_selected(2));
+        // A threshold above every MI selects nothing.
+        let none = rank_by_mi(&p, 4, 3, 1e9);
+        assert!(none.selected.is_empty());
+    }
+
+    #[test]
+    fn render_lists_names_and_marks_selected() {
+        let names = vec![
+            "strong".to_string(),
+            "weak".to_string(),
+            "noise".to_string(),
+            "label".to_string(),
+        ];
+        let sel = rank_by_mi(&payload(), 4, 3, 0.5);
+        let text = sel.render(&names);
+        assert!(text.contains("strong"));
+        assert!(text.contains("noise"));
+        assert!(text.lines().next().unwrap().starts_with('✓'));
+    }
+}

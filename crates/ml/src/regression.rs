@@ -1,0 +1,271 @@
+//! Ridge linear regression from COVAR payloads.
+//!
+//! The training dataset is the join result, but it is never materialized:
+//! the gradient of the ridge objective only needs `X^T X`, `X^T y` and the
+//! tuple count, all of which are read off the (generalized) cofactor payload
+//! maintained by the engine ([`crate::covar::DenseCovar`]).
+//!
+//! Two solvers are provided:
+//!
+//! * [`RidgeSolver::solve_closed_form`] — Cholesky solve of
+//!   `(X^T X + λ I) θ = X^T y` (the intercept is not regularized),
+//! * [`RidgeSolver::solve_gradient_descent`] — batch gradient descent with a
+//!   warm start, matching the demo's behaviour of resuming convergence from
+//!   the previous parameters after every bulk of updates.
+
+use crate::covar::DenseCovar;
+use crate::linalg::{matvec, norm2, solve_spd};
+use fivm_common::{FivmError, Result};
+
+/// A trained ridge regression model over an expanded feature space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RidgeModel {
+    /// Model parameters, aligned with the columns of the feature space
+    /// (index 0 is the intercept).
+    pub params: Vec<f64>,
+    /// Column names, aligned with `params`.
+    pub feature_names: Vec<String>,
+    /// Training objective value (mean squared error + ridge penalty).
+    pub objective: f64,
+    /// Number of gradient-descent iterations performed (0 for closed form).
+    pub iterations: usize,
+}
+
+impl RidgeModel {
+    /// Predicts the label for a dense feature vector laid out like the
+    /// feature space (the intercept column must be 1).
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        self.params
+            .iter()
+            .zip(features.iter())
+            .map(|(p, x)| p * x)
+            .sum()
+    }
+}
+
+/// Configuration of the ridge solvers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RidgeSolver {
+    /// Ridge regularization strength λ.
+    pub lambda: f64,
+    /// Gradient-descent learning rate (step size).
+    pub learning_rate: f64,
+    /// Maximum gradient-descent iterations per call.
+    pub max_iterations: usize,
+    /// Convergence threshold on the gradient norm (relative to the count).
+    pub tolerance: f64,
+}
+
+impl Default for RidgeSolver {
+    fn default() -> Self {
+        RidgeSolver {
+            lambda: 1e-3,
+            learning_rate: 0.1,
+            max_iterations: 10_000,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+impl RidgeSolver {
+    /// A solver with the given regularization and default descent settings.
+    pub fn with_lambda(lambda: f64) -> Self {
+        RidgeSolver {
+            lambda,
+            ..Default::default()
+        }
+    }
+
+    /// The ridge objective `(‖y - Xθ‖² + λ‖θ₋₀‖²) / N` computed from the
+    /// summary.
+    pub fn objective(&self, covar: &DenseCovar, params: &[f64]) -> f64 {
+        let n = covar.features.len();
+        let xtx_theta = matvec(&covar.xtx, params, n);
+        let mut quad = 0.0;
+        let mut lin = 0.0;
+        for i in 0..n {
+            quad += params[i] * xtx_theta[i];
+            lin += params[i] * covar.xty[i];
+        }
+        let penalty: f64 = params.iter().skip(1).map(|p| p * p).sum::<f64>() * self.lambda;
+        let count = covar.count.max(1.0);
+        (covar.yty - 2.0 * lin + quad + penalty) / count
+    }
+
+    /// Solves the normal equations `(X^T X + λ I) θ = X^T y` exactly.
+    pub fn solve_closed_form(&self, covar: &DenseCovar) -> Result<RidgeModel> {
+        if covar.count <= 0.0 {
+            return Err(FivmError::Numerical(
+                "cannot train a model on an empty training dataset".into(),
+            ));
+        }
+        let n = covar.features.len();
+        let mut a = covar.xtx.clone();
+        for i in 1..n {
+            a[i * n + i] += self.lambda;
+        }
+        // A tiny jitter on the intercept keeps the system positive definite
+        // even for degenerate data.
+        a[0] += 1e-12;
+        let params = solve_spd(&a, &covar.xty, n)?;
+        let objective = self.objective(covar, &params);
+        Ok(RidgeModel {
+            params,
+            feature_names: (0..n).map(|i| covar.features.column_name(i)).collect(),
+            objective,
+            iterations: 0,
+        })
+    }
+
+    /// Runs batch gradient descent, optionally warm-starting from previous
+    /// parameters (the demo resumes convergence after every update bulk).
+    pub fn solve_gradient_descent(
+        &self,
+        covar: &DenseCovar,
+        warm_start: Option<&[f64]>,
+    ) -> Result<RidgeModel> {
+        if covar.count <= 0.0 {
+            return Err(FivmError::Numerical(
+                "cannot train a model on an empty training dataset".into(),
+            ));
+        }
+        let n = covar.features.len();
+        let mut params = match warm_start {
+            Some(p) if p.len() == n => p.to_vec(),
+            _ => vec![0.0; n],
+        };
+        let count = covar.count.max(1.0);
+        // Normalizing by the count and by the largest diagonal entry keeps
+        // the step size stable across dataset sizes and feature scales.
+        let max_diag = (0..n)
+            .map(|i| covar.xtx[i * n + i])
+            .fold(1.0f64, |a, b| a.max(b))
+            / count;
+        let step = self.learning_rate / max_diag;
+        let mut iterations = 0;
+        for _ in 0..self.max_iterations {
+            let xtx_theta = matvec(&covar.xtx, &params, n);
+            let mut grad = vec![0.0; n];
+            for i in 0..n {
+                grad[i] = (xtx_theta[i] - covar.xty[i]) / count;
+                if i > 0 {
+                    grad[i] += self.lambda * params[i] / count;
+                }
+            }
+            let gnorm = norm2(&grad);
+            if gnorm < self.tolerance {
+                break;
+            }
+            for i in 0..n {
+                params[i] -= step * grad[i];
+            }
+            iterations += 1;
+        }
+        let objective = self.objective(covar, &params);
+        Ok(RidgeModel {
+            params,
+            feature_names: (0..n).map(|i| covar.features.column_name(i)).collect(),
+            objective,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_ring::{Cofactor, Ring};
+
+    /// Builds a cofactor payload for rows generated by a known linear model
+    /// `y = 2 + 3·x1 - x2` (no noise), attributes (x1, x2, y).
+    fn synthetic_cofactor() -> Cofactor {
+        let mut acc = Cofactor::zero();
+        for i in 0..40 {
+            let x1 = (i % 7) as f64;
+            let x2 = ((i * 3) % 5) as f64;
+            let y = 2.0 + 3.0 * x1 - x2;
+            let t = Cofactor::lift(3, 0, x1)
+                .mul(&Cofactor::lift(3, 1, x2))
+                .mul(&Cofactor::lift(3, 2, y));
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    fn names() -> Vec<String> {
+        vec!["x1".into(), "x2".into(), "y".into()]
+    }
+
+    #[test]
+    fn closed_form_recovers_generating_model() {
+        let covar = DenseCovar::from_cofactor(&synthetic_cofactor(), &names(), 2).unwrap();
+        let model = RidgeSolver::with_lambda(1e-9)
+            .solve_closed_form(&covar)
+            .unwrap();
+        assert!((model.params[0] - 2.0).abs() < 1e-5, "{:?}", model.params);
+        assert!((model.params[1] - 3.0).abs() < 1e-5);
+        assert!((model.params[2] + 1.0).abs() < 1e-5);
+        assert!(model.objective < 1e-8);
+        assert_eq!(model.feature_names[0], "(intercept)");
+        assert_eq!(model.iterations, 0);
+        // Prediction uses the intercept column.
+        let pred = model.predict(&[1.0, 2.0, 1.0]);
+        assert!((pred - (2.0 + 6.0 - 1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_descent_converges_to_closed_form() {
+        let covar = DenseCovar::from_cofactor(&synthetic_cofactor(), &names(), 2).unwrap();
+        let solver = RidgeSolver {
+            lambda: 1e-6,
+            learning_rate: 0.5,
+            max_iterations: 50_000,
+            tolerance: 1e-12,
+        };
+        let exact = solver.solve_closed_form(&covar).unwrap();
+        let gd = solver.solve_gradient_descent(&covar, None).unwrap();
+        for (a, b) in exact.params.iter().zip(gd.params.iter()) {
+            assert!((a - b).abs() < 1e-4, "exact={exact:?} gd={gd:?}");
+        }
+        assert!(gd.iterations > 0);
+    }
+
+    #[test]
+    fn warm_start_resumes_quickly() {
+        let covar = DenseCovar::from_cofactor(&synthetic_cofactor(), &names(), 2).unwrap();
+        let solver = RidgeSolver {
+            lambda: 1e-6,
+            learning_rate: 0.5,
+            max_iterations: 200_000,
+            tolerance: 1e-10,
+        };
+        let cold = solver.solve_gradient_descent(&covar, None).unwrap();
+        // Re-solving from the converged parameters takes (almost) no steps.
+        let warm = solver
+            .solve_gradient_descent(&covar, Some(&cold.params))
+            .unwrap();
+        assert!(warm.iterations <= cold.iterations / 10 + 1);
+    }
+
+    #[test]
+    fn ridge_penalty_shrinks_parameters() {
+        let covar = DenseCovar::from_cofactor(&synthetic_cofactor(), &names(), 2).unwrap();
+        let small = RidgeSolver::with_lambda(1e-9)
+            .solve_closed_form(&covar)
+            .unwrap();
+        let large = RidgeSolver::with_lambda(1e4)
+            .solve_closed_form(&covar)
+            .unwrap();
+        let norm = |m: &RidgeModel| m.params.iter().skip(1).map(|p| p * p).sum::<f64>();
+        assert!(norm(&large) < norm(&small));
+    }
+
+    #[test]
+    fn empty_dataset_is_an_error() {
+        let covar = DenseCovar::from_cofactor(&Cofactor::zero(), &names(), 2).unwrap();
+        assert!(RidgeSolver::default().solve_closed_form(&covar).is_err());
+        assert!(RidgeSolver::default()
+            .solve_gradient_descent(&covar, None)
+            .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Query specifications and view-tree plans for F-IVM.
+//!
+//! The compilation pipeline mirrors the paper:
+//!
+//! 1. A [`QuerySpec`] declares the query variables (with continuous or
+//!    categorical kinds and feature/label roles) and the natural-join
+//!    structure of the base relations.
+//! 2. A [`VariableOrder`] arranges the variables in a forest such that every
+//!    relation's schema lies on one root-to-leaf path.  Orders can be
+//!    supplied explicitly or derived with the min-degree / min-fill
+//!    heuristics over the query's primal graph.
+//! 3. A [`ViewTree`] assigns one view `V@X[key(X)]` to every variable `X`:
+//!    the view joins the views of `X`'s children and the relations attached
+//!    at `X`, multiplies the lift of `X`, and marginalizes `X` away.  This is
+//!    the structure the engine materializes and maintains.
+//!
+//! The [`m3`] module renders view trees in an M3-like textual form (the
+//! "Maintenance Strategy" tab of the paper's Figure 2d), and [`stats`]
+//! summarizes structural plan properties used by tests and benchmarks.
+
+pub mod m3;
+pub mod spec;
+pub mod stats;
+pub mod view_tree;
+pub mod vorder;
+
+pub use spec::{QueryBuilder, QuerySpec, RelationDef, VarRole, VariableDef};
+pub use stats::PlanStats;
+pub use view_tree::{ChildRef, ViewNode, ViewTree};
+pub use vorder::{EliminationHeuristic, VariableOrder, VoNode};

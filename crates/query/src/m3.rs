@@ -1,0 +1,218 @@
+//! M3-like textual rendering of view trees (the "Maintenance Strategy" tab).
+//!
+//! The paper's demo shows, for every view, its definition in DBToaster's M3
+//! intermediate representation (Figure 2d).  We reproduce the same shape of
+//! output — a `DECLARE MAP` per view with an `AggSum` over the product of its
+//! children and the lift of its variable — plus an ASCII drawing and a
+//! Graphviz rendering of the view tree itself.
+
+use crate::view_tree::{ChildRef, ViewTree};
+use std::fmt::Write as _;
+
+/// Renders the declaration of a single view in M3-like syntax.
+pub fn render_view(tree: &ViewTree, id: usize, ring_name: &str) -> String {
+    let spec = tree.spec();
+    let node = tree.node(id);
+    let keys = node
+        .key_vars
+        .iter()
+        .map(|&v| spec.var_name(v))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut factors: Vec<String> = Vec::new();
+    for child in &node.children {
+        match child {
+            ChildRef::View(c) => {
+                let child_node = tree.node(*c);
+                let child_keys = child_node
+                    .key_vars
+                    .iter()
+                    .map(|&v| spec.var_name(v))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                factors.push(format!("{}[{}]<Local>", tree.view_name(*c), child_keys));
+            }
+            ChildRef::Relation(r) => {
+                let rel = spec.relation(*r);
+                let rel_vars = rel
+                    .vars
+                    .iter()
+                    .map(|&v| spec.var_name(v))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                factors.push(format!("{}[{}]", rel.name, rel_vars));
+            }
+        }
+    }
+    factors.push(format!(
+        "[lift: {ring_name}]({})",
+        spec.var_name(node.var)
+    ));
+    format!(
+        "DECLARE MAP {name}({ring})[][{keys}] :=\n  AggSum([{keys}],\n    {body}\n  );",
+        name = tree.view_name(id),
+        ring = ring_name,
+        keys = keys,
+        body = factors.join("\n    * ")
+    )
+}
+
+/// Renders the declarations of every view, roots first.
+pub fn render_all_views(tree: &ViewTree, ring_name: &str) -> String {
+    let mut out = String::new();
+    for id in 0..tree.len() {
+        let _ = writeln!(out, "{}\n", render_view(tree, id, ring_name));
+    }
+    out
+}
+
+/// Renders the view tree as an indented ASCII drawing, e.g.
+///
+/// ```text
+/// V@locn[]
+/// ├── V@dateid[locn]
+/// │   └── V@ksn[dateid, locn]
+/// │       ├── Inventory[locn, dateid, ksn, ...]
+/// ...
+/// ```
+pub fn render_tree_ascii(tree: &ViewTree) -> String {
+    fn recurse(tree: &ViewTree, id: usize, prefix: &str, is_last: bool, out: &mut String) {
+        let spec = tree.spec();
+        let node = tree.node(id);
+        let connector = if prefix.is_empty() {
+            ""
+        } else if is_last {
+            "└── "
+        } else {
+            "├── "
+        };
+        let keys = node
+            .key_vars
+            .iter()
+            .map(|&v| spec.var_name(v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "{prefix}{connector}{}[{keys}]", tree.view_name(id));
+        let child_prefix = if prefix.is_empty() {
+            String::new()
+        } else if is_last {
+            format!("{prefix}    ")
+        } else {
+            format!("{prefix}│   ")
+        };
+        let children = &node.children;
+        for (i, child) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            match child {
+                ChildRef::View(c) => {
+                    recurse(tree, *c, &child_prefix, last, out);
+                }
+                ChildRef::Relation(r) => {
+                    let rel = spec.relation(*r);
+                    let vars = rel
+                        .vars
+                        .iter()
+                        .map(|&v| spec.var_name(v))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let conn = if last { "└── " } else { "├── " };
+                    let _ = writeln!(out, "{child_prefix}{conn}{}[{vars}]", rel.name);
+                }
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, &root) in tree.roots().iter().enumerate() {
+        recurse(tree, root, "", i + 1 == tree.roots().len(), &mut out);
+    }
+    out
+}
+
+/// Renders the view tree in Graphviz `dot` syntax.
+pub fn render_tree_dot(tree: &ViewTree) -> String {
+    let spec = tree.spec();
+    let mut out = String::from("digraph view_tree {\n  rankdir=BT;\n  node [shape=box];\n");
+    for node in tree.nodes() {
+        let keys = node
+            .key_vars
+            .iter()
+            .map(|&v| spec.var_name(v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{}[{}]\"];",
+            node.id,
+            tree.view_name(node.id),
+            keys
+        );
+        if let Some(parent) = node.parent {
+            let _ = writeln!(out, "  v{} -> v{};", node.id, parent);
+        }
+    }
+    for (rid, rel) in spec.relations().iter().enumerate() {
+        let attach = tree.attach_node(rid);
+        let _ = writeln!(out, "  r{rid} [label=\"{}\", shape=ellipse];", rel.name);
+        let _ = writeln!(out, "  r{rid} -> v{attach};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_query;
+    use crate::view_tree::ViewTree;
+
+    fn tree() -> ViewTree {
+        let spec = figure1_query(false);
+        let a = spec.var_id("A").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let mut parents = vec![None; 4];
+        parents[spec.var_id("B").unwrap()] = Some(a);
+        parents[c] = Some(a);
+        parents[spec.var_id("D").unwrap()] = Some(c);
+        ViewTree::from_parent_vars(spec, &parents).unwrap()
+    }
+
+    #[test]
+    fn view_declaration_mentions_children_and_lift() {
+        let t = tree();
+        let b_id = t.vorder().node_of(t.spec().var_id("B").unwrap());
+        let text = render_view(&t, b_id, "RingCofactor<double, 3>");
+        assert!(text.contains("DECLARE MAP V@B(RingCofactor<double, 3>)"));
+        assert!(text.contains("AggSum([A]"));
+        assert!(text.contains("R[A, B]"));
+        assert!(text.contains("[lift: RingCofactor<double, 3>](B)"));
+    }
+
+    #[test]
+    fn all_views_render_and_include_every_view() {
+        let t = tree();
+        let text = render_all_views(&t, "RingZ");
+        for id in 0..t.len() {
+            assert!(text.contains(&t.view_name(id)));
+        }
+    }
+
+    #[test]
+    fn ascii_tree_lists_views_and_relations() {
+        let t = tree();
+        let text = render_tree_ascii(&t);
+        assert!(text.contains("V@A[]"));
+        assert!(text.contains("V@C[A]"));
+        assert!(text.contains("R[A, B]"));
+        assert!(text.contains("S[A, C, D]"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let t = tree();
+        let text = render_tree_dot(&t);
+        assert!(text.starts_with("digraph view_tree {"));
+        assert!(text.trim_end().ends_with('}'));
+        assert_eq!(text.matches("shape=ellipse").count(), 2);
+    }
+}

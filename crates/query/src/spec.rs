@@ -1,0 +1,411 @@
+//! Query specifications: variables, relations and the aggregate batch.
+
+use fivm_common::{AttrKind, FivmError, FxHashSet, RelId, Result, VarId};
+
+/// The role a variable plays in the analytics application on top of the
+/// query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VarRole {
+    /// A join key / plain attribute: lifted with the identity function.
+    Key,
+    /// A feature of the aggregate batch (appears in the COVAR/MI matrix).
+    Feature,
+    /// The label of a predictive model; also part of the aggregate batch.
+    Label,
+}
+
+/// A query variable (attribute of the natural join).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariableDef {
+    /// Variable name, unique within the query.
+    pub name: String,
+    /// Continuous or categorical.
+    pub kind: AttrKind,
+    /// Role in the aggregate batch.
+    pub role: VarRole,
+}
+
+/// A base relation participating in the natural join.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDef {
+    /// Relation name, unique within the query.
+    pub name: String,
+    /// The query variables forming the relation's schema, in column order.
+    pub vars: Vec<VarId>,
+}
+
+/// A natural-join query with an aggregate batch over its feature variables.
+///
+/// The query computed by F-IVM is
+/// `SELECT free_vars, SUM(Π_X g_X(X)) FROM R1 NATURAL JOIN ... NATURAL JOIN Rk
+/// GROUP BY free_vars`, where the `g_X` are the per-variable attribute
+/// functions chosen by the application (ring).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    vars: Vec<VariableDef>,
+    relations: Vec<RelationDef>,
+    free_vars: Vec<VarId>,
+}
+
+impl QuerySpec {
+    /// Starts building a query.
+    pub fn builder(name_hint: impl Into<String>) -> QueryBuilder {
+        QueryBuilder::new(name_hint)
+    }
+
+    /// The variables, indexed by [`VarId`].
+    pub fn variables(&self) -> &[VariableDef] {
+        &self.vars
+    }
+
+    /// The relations, indexed by [`RelId`].
+    pub fn relations(&self) -> &[RelationDef] {
+        &self.relations
+    }
+
+    /// The group-by (free) variables of the query result.
+    pub fn free_vars(&self) -> &[VarId] {
+        &self.free_vars
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name)
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.vars[id].name
+    }
+
+    /// The definition of a variable.
+    pub fn var(&self, id: VarId) -> &VariableDef {
+        &self.vars[id]
+    }
+
+    /// Looks up a relation id by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.relations.iter().position(|r| r.name == name)
+    }
+
+    /// The definition of a relation.
+    pub fn relation(&self, id: RelId) -> &RelationDef {
+        &self.relations[id]
+    }
+
+    /// The variables participating in the aggregate batch (features first,
+    /// then the label if any), in declaration order.
+    ///
+    /// Their position in this list is the index used by the cofactor rings.
+    pub fn aggregate_vars(&self) -> Vec<VarId> {
+        let mut features: Vec<VarId> = (0..self.vars.len())
+            .filter(|&v| self.vars[v].role == VarRole::Feature)
+            .collect();
+        let labels: Vec<VarId> = (0..self.vars.len())
+            .filter(|&v| self.vars[v].role == VarRole::Label)
+            .collect();
+        features.extend(labels);
+        features
+    }
+
+    /// The label variable, if one was declared.
+    pub fn label_var(&self) -> Option<VarId> {
+        (0..self.vars.len()).find(|&v| self.vars[v].role == VarRole::Label)
+    }
+
+    /// Edges of the primal graph: two variables are adjacent iff they occur
+    /// together in some relation's schema.
+    pub fn primal_edges(&self) -> FxHashSet<(VarId, VarId)> {
+        let mut edges = FxHashSet::default();
+        for rel in &self.relations {
+            for (i, &a) in rel.vars.iter().enumerate() {
+                for &b in &rel.vars[i + 1..] {
+                    let e = if a < b { (a, b) } else { (b, a) };
+                    if a != b {
+                        edges.insert(e);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Validates the specification; called by the builder.
+    fn validate(&self) -> Result<()> {
+        if self.relations.is_empty() {
+            return Err(FivmError::InvalidQuery("query has no relations".into()));
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if self.vars[..i].iter().any(|w| w.name == v.name) {
+                return Err(FivmError::InvalidQuery(format!(
+                    "duplicate variable `{}`",
+                    v.name
+                )));
+            }
+        }
+        for (i, r) in self.relations.iter().enumerate() {
+            if self.relations[..i].iter().any(|s| s.name == r.name) {
+                return Err(FivmError::InvalidQuery(format!(
+                    "duplicate relation `{}`",
+                    r.name
+                )));
+            }
+            if r.vars.is_empty() {
+                return Err(FivmError::InvalidQuery(format!(
+                    "relation `{}` has an empty schema",
+                    r.name
+                )));
+            }
+            let mut seen = FxHashSet::default();
+            for &v in &r.vars {
+                if v >= self.vars.len() {
+                    return Err(FivmError::InvalidQuery(format!(
+                        "relation `{}` references unknown variable id {v}",
+                        r.name
+                    )));
+                }
+                if !seen.insert(v) {
+                    return Err(FivmError::InvalidQuery(format!(
+                        "relation `{}` repeats variable `{}`",
+                        r.name, self.vars[v].name
+                    )));
+                }
+            }
+        }
+        // Every variable must occur in at least one relation.
+        let mut used = vec![false; self.vars.len()];
+        for r in &self.relations {
+            for &v in &r.vars {
+                used[v] = true;
+            }
+        }
+        if let Some(unused) = used.iter().position(|u| !u) {
+            return Err(FivmError::InvalidQuery(format!(
+                "variable `{}` does not occur in any relation",
+                self.vars[unused].name
+            )));
+        }
+        for &v in &self.free_vars {
+            if v >= self.vars.len() {
+                return Err(FivmError::InvalidQuery(format!(
+                    "free variable id {v} is out of range"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`QuerySpec`].
+#[derive(Clone, Debug)]
+pub struct QueryBuilder {
+    #[allow(dead_code)]
+    name: String,
+    vars: Vec<VariableDef>,
+    relations: Vec<RelationDef>,
+    free_vars: Vec<VarId>,
+}
+
+impl QueryBuilder {
+    /// Starts a new builder.  The name is only used in error messages.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            relations: Vec::new(),
+            free_vars: Vec::new(),
+        }
+    }
+
+    /// Declares a variable and returns its id.
+    pub fn var(&mut self, name: impl Into<String>, kind: AttrKind, role: VarRole) -> VarId {
+        self.vars.push(VariableDef {
+            name: name.into(),
+            kind,
+            role,
+        });
+        self.vars.len() - 1
+    }
+
+    /// Declares a join-key variable (identity lift).
+    pub fn key(&mut self, name: impl Into<String>) -> VarId {
+        self.var(name, AttrKind::Categorical, VarRole::Key)
+    }
+
+    /// Declares a continuous feature variable.
+    pub fn continuous_feature(&mut self, name: impl Into<String>) -> VarId {
+        self.var(name, AttrKind::Continuous, VarRole::Feature)
+    }
+
+    /// Declares a categorical feature variable.
+    pub fn categorical_feature(&mut self, name: impl Into<String>) -> VarId {
+        self.var(name, AttrKind::Categorical, VarRole::Feature)
+    }
+
+    /// Declares the (continuous) label variable.
+    pub fn label(&mut self, name: impl Into<String>) -> VarId {
+        self.var(name, AttrKind::Continuous, VarRole::Label)
+    }
+
+    /// Adds a relation over previously declared variables.
+    pub fn relation(&mut self, name: impl Into<String>, vars: &[VarId]) -> RelId {
+        self.relations.push(RelationDef {
+            name: name.into(),
+            vars: vars.to_vec(),
+        });
+        self.relations.len() - 1
+    }
+
+    /// Adds a relation, looking its variables up by name.
+    pub fn relation_by_names(&mut self, name: impl Into<String>, vars: &[&str]) -> Result<RelId> {
+        let ids = vars
+            .iter()
+            .map(|n| {
+                self.vars
+                    .iter()
+                    .position(|v| v.name == *n)
+                    .ok_or_else(|| FivmError::InvalidQuery(format!("unknown variable `{n}`")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self.relation(name, &ids))
+    }
+
+    /// Declares the query's group-by variables (rare; most F-IVM queries
+    /// aggregate down to a single payload).
+    pub fn group_by(&mut self, vars: &[VarId]) -> &mut Self {
+        self.free_vars = vars.to_vec();
+        self
+    }
+
+    /// Finishes and validates the specification.
+    pub fn build(self) -> Result<QuerySpec> {
+        let spec = QuerySpec {
+            vars: self.vars,
+            relations: self.relations,
+            free_vars: self.free_vars,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Builds the paper's running example: `R(A, B) ⋈ S(A, C, D)` with features
+/// `B`, `C`, `D` (Figure 1).  `categorical_c` controls whether `C` is
+/// declared categorical (the mixed COVAR scenario) or continuous.
+pub fn figure1_query(categorical_c: bool) -> QuerySpec {
+    let mut b = QuerySpec::builder("figure1");
+    let a = b.key("A");
+    let bb = b.continuous_feature("B");
+    let c = if categorical_c {
+        b.categorical_feature("C")
+    } else {
+        b.continuous_feature("C")
+    };
+    let d = b.continuous_feature("D");
+    b.relation("R", &[a, bb]);
+    b.relation("S", &[a, c, d]);
+    b.build().expect("figure 1 query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_spec() {
+        let q = figure1_query(false);
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.num_relations(), 2);
+        assert_eq!(q.var_id("C"), Some(2));
+        assert_eq!(q.var_name(0), "A");
+        assert_eq!(q.relation_id("S"), Some(1));
+        assert_eq!(q.relation(1).vars, vec![0, 2, 3]);
+        assert_eq!(q.aggregate_vars(), vec![1, 2, 3]);
+        assert!(q.label_var().is_none());
+        assert!(q.free_vars().is_empty());
+    }
+
+    #[test]
+    fn aggregate_vars_put_label_last() {
+        let mut b = QuerySpec::builder("q");
+        let k = b.key("k");
+        let y = b.label("y");
+        let x = b.continuous_feature("x");
+        b.relation("R", &[k, x]);
+        b.relation("S", &[k, y]);
+        let q = b.build().unwrap();
+        assert_eq!(q.aggregate_vars(), vec![x, y]);
+        assert_eq!(q.label_var(), Some(y));
+    }
+
+    #[test]
+    fn primal_edges_cover_cooccurring_pairs() {
+        let q = figure1_query(false);
+        let edges = q.primal_edges();
+        assert!(edges.contains(&(0, 1))); // A-B from R
+        assert!(edges.contains(&(0, 2))); // A-C from S
+        assert!(edges.contains(&(2, 3))); // C-D from S
+        assert!(!edges.contains(&(1, 2))); // B and C never co-occur
+        assert_eq!(edges.len(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        // No relations.
+        let b = QuerySpec::builder("empty");
+        assert!(b.build().is_err());
+
+        // Duplicate variable names.
+        let mut b = QuerySpec::builder("dup");
+        b.key("x");
+        b.key("x");
+        let v = 0;
+        b.relation("R", &[v]);
+        assert!(b.build().is_err());
+
+        // Unknown variable id.
+        let mut b = QuerySpec::builder("oob");
+        let x = b.key("x");
+        b.relation("R", &[x, 99]);
+        assert!(b.build().is_err());
+
+        // Unused variable.
+        let mut b = QuerySpec::builder("unused");
+        let x = b.key("x");
+        b.key("y");
+        b.relation("R", &[x]);
+        assert!(b.build().is_err());
+
+        // Repeated variable within a relation.
+        let mut b = QuerySpec::builder("repeat");
+        let x = b.key("x");
+        b.relation("R", &[x, x]);
+        assert!(b.build().is_err());
+
+        // Duplicate relation names.
+        let mut b = QuerySpec::builder("duprel");
+        let x = b.key("x");
+        b.relation("R", &[x]);
+        b.relation("R", &[x]);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn relation_by_names_resolves_or_errors() {
+        let mut b = QuerySpec::builder("byname");
+        b.key("a");
+        b.continuous_feature("b");
+        assert!(b.relation_by_names("R", &["a", "b"]).is_ok());
+        assert!(b.relation_by_names("S", &["a", "nope"]).is_err());
+    }
+}

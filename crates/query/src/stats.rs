@@ -1,0 +1,97 @@
+//! Structural statistics of view-tree plans.
+//!
+//! These are used to compare variable-order heuristics, to report plan
+//! properties in the experiment harnesses, and as cheap sanity checks in
+//! tests (e.g. "the Retailer plan has width ≤ 3").
+
+use crate::view_tree::ViewTree;
+
+/// Summary statistics of a view tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Number of views (= number of query variables).
+    pub num_views: usize,
+    /// Number of base relations.
+    pub num_relations: usize,
+    /// The largest number of group-by variables of any view.
+    pub max_key_width: usize,
+    /// The largest number of variables joined at any view
+    /// (`|key(X) ∪ {X}|`).
+    pub max_local_width: usize,
+    /// The largest number of children of any view.
+    pub max_fanin: usize,
+    /// The longest maintenance path (in views) of any relation.
+    pub max_path_length: usize,
+    /// Per-view key widths, in node order.
+    pub key_widths: Vec<usize>,
+}
+
+impl PlanStats {
+    /// Computes statistics for a view tree.
+    pub fn of(tree: &ViewTree) -> Self {
+        let key_widths: Vec<usize> = tree.nodes().iter().map(|n| n.key_vars.len()).collect();
+        let max_key_width = key_widths.iter().copied().max().unwrap_or(0);
+        let max_local_width = tree
+            .nodes()
+            .iter()
+            .map(|n| n.local_vars.len())
+            .max()
+            .unwrap_or(0);
+        let max_fanin = tree
+            .nodes()
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0);
+        let max_path_length = (0..tree.spec().num_relations())
+            .map(|r| tree.maintenance_path(r).len())
+            .max()
+            .unwrap_or(0);
+        PlanStats {
+            num_views: tree.len(),
+            num_relations: tree.spec().num_relations(),
+            max_key_width,
+            max_local_width,
+            max_fanin,
+            max_path_length,
+            key_widths,
+        }
+    }
+
+    /// Renders the statistics as a short human-readable table row.
+    pub fn summary(&self) -> String {
+        format!(
+            "views={} relations={} max_key_width={} max_local_width={} max_fanin={} max_path={}",
+            self.num_views,
+            self.num_relations,
+            self.max_key_width,
+            self.max_local_width,
+            self.max_fanin,
+            self.max_path_length
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_query;
+    use crate::view_tree::ViewTree;
+    use crate::vorder::{EliminationHeuristic, VariableOrder};
+
+    #[test]
+    fn figure1_stats() {
+        let spec = figure1_query(false);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        let tree = ViewTree::new(spec, vo).unwrap();
+        let stats = PlanStats::of(&tree);
+        assert_eq!(stats.num_views, 4);
+        assert_eq!(stats.num_relations, 2);
+        assert!(stats.max_key_width <= 2);
+        assert!(stats.max_local_width <= 3);
+        assert!(stats.max_path_length >= 2);
+        assert_eq!(stats.key_widths.len(), 4);
+        let s = stats.summary();
+        assert!(s.contains("views=4"));
+    }
+}

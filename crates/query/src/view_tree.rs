@@ -1,0 +1,266 @@
+//! View trees: one view per query variable, derived from a variable order.
+
+use crate::spec::QuerySpec;
+use crate::vorder::VariableOrder;
+use fivm_common::{RelId, Result, VarId};
+
+/// A child of a view node: either another view or a base relation leaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChildRef {
+    /// A lower view, by node index in the [`ViewTree`].
+    View(usize),
+    /// A base relation, by relation id.
+    Relation(RelId),
+}
+
+/// One view `V@var[key_vars]` of the view tree.
+///
+/// The view is defined as
+/// `AggSum(key_vars, Π children × lift(var))`, i.e. the natural join of its
+/// children (lower views and base relations) multiplied by the lift of `var`
+/// and marginalized over `var` (and any other local variables not in
+/// `key_vars`, of which there are none by construction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewNode {
+    /// Index of this node within the tree.
+    pub id: usize,
+    /// The variable marginalized away by this view.
+    pub var: VarId,
+    /// The group-by variables of the view (the dependency set `key(var)`).
+    pub key_vars: Vec<VarId>,
+    /// All variables present when joining the children: `key_vars ∪ {var}`.
+    /// Ordered with `key_vars` first and `var` last.
+    pub local_vars: Vec<VarId>,
+    /// The children joined by this view.
+    pub children: Vec<ChildRef>,
+    /// The parent view, `None` for roots.
+    pub parent: Option<usize>,
+}
+
+/// A view tree for a query under a variable order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewTree {
+    spec: QuerySpec,
+    vorder: VariableOrder,
+    nodes: Vec<ViewNode>,
+    roots: Vec<usize>,
+    /// For each relation: the view node indices on the path from the view
+    /// where the relation is attached up to its root (leaf-side first).
+    relation_paths: Vec<Vec<usize>>,
+}
+
+impl ViewTree {
+    /// Builds the view tree induced by a variable order.
+    ///
+    /// A view marginalizes its variable away unless the variable is *free*
+    /// (a group-by variable of the query), in which case it is kept in the
+    /// view's key and carried up to the roots.
+    pub fn new(spec: QuerySpec, vorder: VariableOrder) -> Result<Self> {
+        let free: Vec<VarId> = spec.free_vars().to_vec();
+        let num_nodes = vorder.len();
+        // Compute, bottom-up (descendants have larger indices), the variables
+        // present when joining at each node (`local_vars`) and the group-by
+        // key each view exposes to its parent (`key_vars`).
+        let mut local_of: Vec<Vec<VarId>> = vec![Vec::new(); num_nodes];
+        let mut key_of: Vec<Vec<VarId>> = vec![Vec::new(); num_nodes];
+        for idx in (0..num_nodes).rev() {
+            let vnode = vorder.node(idx);
+            let mut local: Vec<VarId> = vnode
+                .key
+                .iter()
+                .copied()
+                .filter(|&v| v != vnode.var)
+                .collect();
+            let push_unique = |local: &mut Vec<VarId>, v: VarId| {
+                if v != vnode.var && !local.contains(&v) {
+                    local.push(v);
+                }
+            };
+            for &c in &vnode.children {
+                for &v in &key_of[c] {
+                    push_unique(&mut local, v);
+                }
+            }
+            for &r in &vnode.relations {
+                for &v in &spec.relation(r).vars {
+                    push_unique(&mut local, v);
+                }
+            }
+            local.push(vnode.var);
+            let key = if free.contains(&vnode.var) {
+                local.clone()
+            } else {
+                local[..local.len() - 1].to_vec()
+            };
+            local_of[idx] = local;
+            key_of[idx] = key;
+        }
+
+        let mut nodes: Vec<ViewNode> = Vec::with_capacity(num_nodes);
+        for (idx, vnode) in vorder.nodes().iter().enumerate() {
+            let mut children: Vec<ChildRef> =
+                vnode.children.iter().map(|&c| ChildRef::View(c)).collect();
+            children.extend(vnode.relations.iter().map(|&r| ChildRef::Relation(r)));
+            nodes.push(ViewNode {
+                id: idx,
+                var: vnode.var,
+                key_vars: key_of[idx].clone(),
+                local_vars: local_of[idx].clone(),
+                children,
+                parent: vnode.parent,
+            });
+        }
+        let roots = vorder.roots().to_vec();
+        let relation_paths = (0..spec.num_relations())
+            .map(|r| vorder.path_to_root_of_relation(r))
+            .collect();
+        Ok(ViewTree {
+            spec,
+            vorder,
+            nodes,
+            roots,
+            relation_paths,
+        })
+    }
+
+    /// Convenience: build the query's view tree from an explicit parent list.
+    pub fn from_parent_vars(spec: QuerySpec, parents: &[Option<VarId>]) -> Result<Self> {
+        let vorder = VariableOrder::from_parent_vars(&spec, parents)?;
+        ViewTree::new(spec, vorder)
+    }
+
+    /// The query this tree was built for.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// The underlying variable order.
+    pub fn vorder(&self) -> &VariableOrder {
+        &self.vorder
+    }
+
+    /// The view nodes, ancestors before descendants.
+    pub fn nodes(&self) -> &[ViewNode] {
+        &self.nodes
+    }
+
+    /// A single view node.
+    pub fn node(&self, id: usize) -> &ViewNode {
+        &self.nodes[id]
+    }
+
+    /// The root view indices.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The view node at which a relation is attached (its leaf parent).
+    pub fn attach_node(&self, rel: RelId) -> usize {
+        self.relation_paths[rel][0]
+    }
+
+    /// The view node indices on the maintenance path of a relation, from the
+    /// attachment node up to the root.
+    pub fn maintenance_path(&self, rel: RelId) -> &[usize] {
+        &self.relation_paths[rel]
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The display name of a view, e.g. `V@ksn`.
+    pub fn view_name(&self, id: usize) -> String {
+        format!("V@{}", self.spec.var_name(self.nodes[id].var))
+    }
+
+    /// Iterates the node ids bottom-up (descendants before ancestors), the
+    /// order in which initial evaluation materializes views.
+    pub fn bottom_up(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).rev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_query;
+
+    fn figure1_tree() -> ViewTree {
+        let spec = figure1_query(false);
+        let a = spec.var_id("A").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let mut parents = vec![None; 4];
+        parents[spec.var_id("B").unwrap()] = Some(a);
+        parents[c] = Some(a);
+        parents[spec.var_id("D").unwrap()] = Some(c);
+        ViewTree::from_parent_vars(spec, &parents).unwrap()
+    }
+
+    #[test]
+    fn figure1_views_have_expected_keys_and_children() {
+        let t = figure1_tree();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.roots().len(), 1);
+        let spec = t.spec().clone();
+        let a = spec.var_id("A").unwrap();
+        let b = spec.var_id("B").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let d = spec.var_id("D").unwrap();
+
+        // V@B[A] has child relation R.
+        let vb = t.node(t.vorder().node_of(b));
+        assert_eq!(vb.key_vars, vec![a]);
+        assert_eq!(vb.children, vec![ChildRef::Relation(0)]);
+        assert_eq!(vb.local_vars, vec![a, b]);
+
+        // V@D[A, C] has child relation S.
+        let vd = t.node(t.vorder().node_of(d));
+        assert_eq!(vd.children, vec![ChildRef::Relation(1)]);
+        assert_eq!(vd.local_vars.last(), Some(&d));
+
+        // V@C[A] has child V@D.
+        let vc = t.node(t.vorder().node_of(c));
+        assert_eq!(vc.key_vars, vec![a]);
+        assert_eq!(vc.children, vec![ChildRef::View(t.vorder().node_of(d))]);
+
+        // The root V@A[] joins V@B and V@C.
+        let va = t.node(t.vorder().node_of(a));
+        assert!(va.key_vars.is_empty());
+        assert_eq!(va.children.len(), 2);
+        assert_eq!(t.view_name(va.id), "V@A");
+    }
+
+    #[test]
+    fn maintenance_paths_run_leaf_to_root() {
+        let t = figure1_tree();
+        let spec = t.spec();
+        let path_r = t.maintenance_path(0);
+        // R is attached at B; path = [V@B, V@A].
+        assert_eq!(path_r.len(), 2);
+        assert_eq!(t.node(path_r[0]).var, spec.var_id("B").unwrap());
+        assert_eq!(t.node(path_r[1]).var, spec.var_id("A").unwrap());
+        let path_s = t.maintenance_path(1);
+        // S is attached at D; path = [V@D, V@C, V@A].
+        assert_eq!(path_s.len(), 3);
+        assert_eq!(t.attach_node(1), path_s[0]);
+    }
+
+    #[test]
+    fn bottom_up_visits_children_before_parents() {
+        let t = figure1_tree();
+        let order: Vec<usize> = t.bottom_up().collect();
+        let pos = |id: usize| order.iter().position(|&x| x == id).unwrap();
+        for node in t.nodes() {
+            if let Some(parent) = node.parent {
+                assert!(pos(node.id) < pos(parent));
+            }
+        }
+    }
+}

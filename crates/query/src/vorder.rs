@@ -1,0 +1,492 @@
+//! Variable orders: forests over the query variables that drive view trees.
+//!
+//! A variable order is valid for a query if the schema of every relation lies
+//! on a single root-to-leaf path.  Orders can be given explicitly as a parent
+//! list or derived from an *elimination order* of the primal graph: the
+//! elimination tree of a (fill-in completed) graph has the property that
+//! every clique — in particular every relation schema — lies on one
+//! root-to-leaf path.
+
+use crate::spec::QuerySpec;
+use fivm_common::{FivmError, FxHashSet, RelId, Result, VarId};
+
+/// Heuristics for choosing an elimination order automatically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EliminationHeuristic {
+    /// Repeatedly eliminate the variable with the fewest neighbours.
+    MinDegree,
+    /// Repeatedly eliminate the variable adding the fewest fill-in edges.
+    MinFill,
+}
+
+/// One node of a variable order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VoNode {
+    /// The query variable at this node.
+    pub var: VarId,
+    /// Parent variable (as a node index), `None` for roots.
+    pub parent: Option<usize>,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// Relations attached at this node (their deepest variable is `var`).
+    pub relations: Vec<RelId>,
+    /// The dependency set `key(var)`: ancestor variables on which the views
+    /// of this subtree depend (i.e. the group-by variables of `V@var`).
+    pub key: Vec<VarId>,
+}
+
+/// A variable order (forest) for a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariableOrder {
+    nodes: Vec<VoNode>,
+    roots: Vec<usize>,
+    /// Node index of each variable (`node_of[var]`).
+    node_of: Vec<usize>,
+}
+
+impl VariableOrder {
+    /// Builds a variable order from an elimination order (first variable is
+    /// eliminated first, i.e. ends up deepest in the forest).
+    ///
+    /// Every query variable must appear exactly once.
+    pub fn from_elimination_order(spec: &QuerySpec, elim: &[VarId]) -> Result<Self> {
+        let n = spec.num_vars();
+        if elim.len() != n {
+            return Err(FivmError::InvalidVariableOrder(format!(
+                "elimination order has {} variables, query has {}",
+                elim.len(),
+                n
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &v in elim {
+            if v >= n || seen[v] {
+                return Err(FivmError::InvalidVariableOrder(format!(
+                    "elimination order repeats or exceeds variable id {v}"
+                )));
+            }
+            seen[v] = true;
+        }
+
+        // Adjacency of the primal graph, extended with fill-in edges.
+        let mut adj: Vec<FxHashSet<VarId>> = vec![FxHashSet::default(); n];
+        for (a, b) in spec.primal_edges() {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        let mut position = vec![0usize; n];
+        for (i, &v) in elim.iter().enumerate() {
+            position[v] = i;
+        }
+
+        // parent_var[v] = the neighbour of v (in the induced graph) that is
+        // eliminated earliest after v.
+        let mut parent_var: Vec<Option<VarId>> = vec![None; n];
+        let mut eliminated = vec![false; n];
+        for &v in elim {
+            let higher: Vec<VarId> = adj[v]
+                .iter()
+                .copied()
+                .filter(|&u| !eliminated[u])
+                .collect();
+            // Fill-in: connect all not-yet-eliminated neighbours pairwise.
+            for i in 0..higher.len() {
+                for j in i + 1..higher.len() {
+                    let (a, b) = (higher[i], higher[j]);
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+            parent_var[v] = higher.iter().copied().min_by_key(|&u| position[u]);
+            eliminated[v] = true;
+        }
+
+        Self::from_parent_vars(spec, &parent_var)
+    }
+
+    /// Builds a variable order from an explicit parent assignment
+    /// (`parents[v]` is the parent variable of `v`, or `None` for roots).
+    ///
+    /// The order is validated: it must be acyclic and every relation's schema
+    /// must lie on a single root-to-leaf path.
+    pub fn from_parent_vars(spec: &QuerySpec, parents: &[Option<VarId>]) -> Result<Self> {
+        let n = spec.num_vars();
+        if parents.len() != n {
+            return Err(FivmError::InvalidVariableOrder(format!(
+                "parent list has {} entries, query has {} variables",
+                parents.len(),
+                n
+            )));
+        }
+        for (v, p) in parents.iter().enumerate() {
+            if let Some(p) = p {
+                if *p >= n {
+                    return Err(FivmError::InvalidVariableOrder(format!(
+                        "parent of variable {v} is out of range"
+                    )));
+                }
+                if *p == v {
+                    return Err(FivmError::InvalidVariableOrder(format!(
+                        "variable {v} cannot be its own parent"
+                    )));
+                }
+            }
+        }
+
+        // Depth check also detects cycles.
+        let mut depth = vec![usize::MAX; n];
+        fn depth_of(
+            v: VarId,
+            parents: &[Option<VarId>],
+            depth: &mut [usize],
+            visiting: &mut [bool],
+        ) -> Result<usize> {
+            if depth[v] != usize::MAX {
+                return Ok(depth[v]);
+            }
+            if visiting[v] {
+                return Err(FivmError::InvalidVariableOrder(format!(
+                    "cycle through variable {v}"
+                )));
+            }
+            visiting[v] = true;
+            let d = match parents[v] {
+                None => 0,
+                Some(p) => depth_of(p, parents, depth, visiting)? + 1,
+            };
+            visiting[v] = false;
+            depth[v] = d;
+            Ok(d)
+        }
+        let mut visiting = vec![false; n];
+        for v in 0..n {
+            depth_of(v, parents, &mut depth, &mut visiting)?;
+        }
+
+        // Node order: ancestors before descendants (sort by depth).
+        let mut order: Vec<VarId> = (0..n).collect();
+        order.sort_by_key(|&v| depth[v]);
+        let mut node_of = vec![usize::MAX; n];
+        for (idx, &v) in order.iter().enumerate() {
+            node_of[v] = idx;
+        }
+
+        let mut nodes: Vec<VoNode> = order
+            .iter()
+            .map(|&v| VoNode {
+                var: v,
+                parent: parents[v].map(|p| node_of[p]),
+                children: Vec::new(),
+                relations: Vec::new(),
+                key: Vec::new(),
+            })
+            .collect();
+        let mut roots = Vec::new();
+        for idx in 0..nodes.len() {
+            match nodes[idx].parent {
+                Some(p) => nodes[p].children.push(idx),
+                None => roots.push(idx),
+            }
+        }
+
+        // Attach each relation at its deepest variable and validate the path
+        // property: the relation's schema must be a subset of the ancestors
+        // of that deepest variable (inclusive).
+        for (rel_id, rel) in spec.relations().iter().enumerate() {
+            let &deepest = rel
+                .vars
+                .iter()
+                .max_by_key(|&&v| depth[v])
+                .expect("relations have non-empty schemas");
+            let mut ancestors = FxHashSet::default();
+            let mut cur = Some(node_of[deepest]);
+            while let Some(idx) = cur {
+                ancestors.insert(nodes[idx].var);
+                cur = nodes[idx].parent;
+            }
+            for &v in &rel.vars {
+                if !ancestors.contains(&v) {
+                    return Err(FivmError::InvalidVariableOrder(format!(
+                        "relation `{}` does not lie on a single root-to-leaf path: \
+                         variable `{}` is not an ancestor of `{}`",
+                        rel.name,
+                        spec.var_name(v),
+                        spec.var_name(deepest)
+                    )));
+                }
+            }
+            nodes[node_of[deepest]].relations.push(rel_id);
+        }
+
+        // Compute dependency sets bottom-up:
+        // key(X) = (⋃ key(child) ∪ ⋃ schema(relations at X)) \ {X}.
+        for idx in (0..nodes.len()).rev() {
+            let mut key: FxHashSet<VarId> = FxHashSet::default();
+            for &c in &nodes[idx].children {
+                key.extend(nodes[c].key.iter().copied());
+            }
+            for &r in &nodes[idx].relations {
+                key.extend(spec.relation(r).vars.iter().copied());
+            }
+            key.remove(&nodes[idx].var);
+            let mut key: Vec<VarId> = key.into_iter().collect();
+            // Deterministic order: by depth (shallowest ancestor first).
+            key.sort_by_key(|&v| (depth[v], v));
+            nodes[idx].key = key;
+        }
+
+        Ok(VariableOrder {
+            nodes,
+            roots,
+            node_of,
+        })
+    }
+
+    /// Derives a variable order with a greedy elimination heuristic.
+    ///
+    /// Free (group-by) variables of the query are kept closest to the roots,
+    /// as required for the root views to be grouped by them.
+    pub fn heuristic(spec: &QuerySpec, heuristic: EliminationHeuristic) -> Result<Self> {
+        let n = spec.num_vars();
+        let mut adj: Vec<FxHashSet<VarId>> = vec![FxHashSet::default(); n];
+        for (a, b) in spec.primal_edges() {
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        let free: FxHashSet<VarId> = spec.free_vars().iter().copied().collect();
+        let mut remaining: FxHashSet<VarId> = (0..n).collect();
+        let mut elim = Vec::with_capacity(n);
+
+        while !remaining.is_empty() {
+            // Prefer eliminating bound variables; free variables go last.
+            let candidates: Vec<VarId> = {
+                let bound: Vec<VarId> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|v| !free.contains(v))
+                    .collect();
+                if bound.is_empty() {
+                    remaining.iter().copied().collect()
+                } else {
+                    bound
+                }
+            };
+            let score = |v: VarId| -> (usize, VarId) {
+                let neigh: Vec<VarId> = adj[v]
+                    .iter()
+                    .copied()
+                    .filter(|u| remaining.contains(u))
+                    .collect();
+                let cost = match heuristic {
+                    EliminationHeuristic::MinDegree => neigh.len(),
+                    EliminationHeuristic::MinFill => {
+                        let mut fill = 0;
+                        for i in 0..neigh.len() {
+                            for j in i + 1..neigh.len() {
+                                if !adj[neigh[i]].contains(&neigh[j]) {
+                                    fill += 1;
+                                }
+                            }
+                        }
+                        fill
+                    }
+                };
+                (cost, v)
+            };
+            let &best = candidates
+                .iter()
+                .min_by_key(|&&v| score(v))
+                .expect("candidates is non-empty");
+            // Eliminate `best`: connect its remaining neighbours.
+            let neigh: Vec<VarId> = adj[best]
+                .iter()
+                .copied()
+                .filter(|u| remaining.contains(u))
+                .collect();
+            for i in 0..neigh.len() {
+                for j in i + 1..neigh.len() {
+                    adj[neigh[i]].insert(neigh[j]);
+                    adj[neigh[j]].insert(neigh[i]);
+                }
+            }
+            remaining.remove(&best);
+            elim.push(best);
+        }
+
+        Self::from_elimination_order(spec, &elim)
+    }
+
+    /// The nodes, ordered so that ancestors precede descendants.
+    pub fn nodes(&self) -> &[VoNode] {
+        &self.nodes
+    }
+
+    /// The root node indices.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The node index of a variable.
+    pub fn node_of(&self, var: VarId) -> usize {
+        self.node_of[var]
+    }
+
+    /// The node of a variable.
+    pub fn node(&self, idx: usize) -> &VoNode {
+        &self.nodes[idx]
+    }
+
+    /// Number of nodes (= number of query variables).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node indices on the path from the node where `rel` is attached up
+    /// to its root (inclusive), leaf first.
+    pub fn path_to_root_of_relation(&self, rel: RelId) -> Vec<usize> {
+        let start = self
+            .nodes
+            .iter()
+            .position(|n| n.relations.contains(&rel))
+            .expect("relation is attached to some node");
+        let mut path = vec![start];
+        let mut cur = self.nodes[start].parent;
+        while let Some(idx) = cur {
+            path.push(idx);
+            cur = self.nodes[idx].parent;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_query;
+
+    /// The Figure 1 variable order: A root; children B (with R) and C; D
+    /// below C (with S).
+    fn figure1_order(spec: &QuerySpec) -> VariableOrder {
+        let a = spec.var_id("A").unwrap();
+        let b = spec.var_id("B").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let d = spec.var_id("D").unwrap();
+        let mut parents = vec![None; 4];
+        parents[b] = Some(a);
+        parents[c] = Some(a);
+        parents[d] = Some(c);
+        VariableOrder::from_parent_vars(spec, &parents).unwrap()
+    }
+
+    #[test]
+    fn explicit_figure1_order_has_expected_structure() {
+        let spec = figure1_query(false);
+        let vo = figure1_order(&spec);
+        assert_eq!(vo.len(), 4);
+        assert_eq!(vo.roots().len(), 1);
+        let a_node = vo.node(vo.node_of(spec.var_id("A").unwrap()));
+        assert_eq!(a_node.children.len(), 2);
+        assert!(a_node.key.is_empty());
+        let b_node = vo.node(vo.node_of(spec.var_id("B").unwrap()));
+        assert_eq!(b_node.key, vec![spec.var_id("A").unwrap()]);
+        assert_eq!(b_node.relations, vec![0]); // R attached at B
+        let d_node = vo.node(vo.node_of(spec.var_id("D").unwrap()));
+        assert_eq!(d_node.relations, vec![1]); // S attached at D
+        // key(D) = {A, C}
+        let mut key = d_node.key.clone();
+        key.sort();
+        assert_eq!(
+            key,
+            vec![spec.var_id("A").unwrap(), spec.var_id("C").unwrap()]
+        );
+        let c_node = vo.node(vo.node_of(spec.var_id("C").unwrap()));
+        assert_eq!(c_node.key, vec![spec.var_id("A").unwrap()]);
+    }
+
+    #[test]
+    fn invalid_order_is_rejected() {
+        let spec = figure1_query(false);
+        let a = spec.var_id("A").unwrap();
+        let b = spec.var_id("B").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let d = spec.var_id("D").unwrap();
+        // Put D under B: S(A, C, D) no longer lies on one path.
+        let mut parents = vec![None; 4];
+        parents[b] = Some(a);
+        parents[c] = Some(a);
+        parents[d] = Some(b);
+        let err = VariableOrder::from_parent_vars(&spec, &parents).unwrap_err();
+        assert_eq!(err.kind(), "invalid_variable_order");
+    }
+
+    #[test]
+    fn cycles_and_bad_parents_are_rejected() {
+        let spec = figure1_query(false);
+        let err = VariableOrder::from_parent_vars(&spec, &[Some(1), Some(0), None, Some(2)])
+            .unwrap_err();
+        assert_eq!(err.kind(), "invalid_variable_order");
+        assert!(VariableOrder::from_parent_vars(&spec, &[None, None, None, Some(99)]).is_err());
+        assert!(VariableOrder::from_parent_vars(&spec, &[None, None, None]).is_err());
+        assert!(VariableOrder::from_parent_vars(&spec, &[Some(0), None, None, None]).is_err());
+    }
+
+    #[test]
+    fn elimination_order_always_yields_valid_order() {
+        let spec = figure1_query(false);
+        // Eliminate deepest-first: D, B, C, A.
+        let elim = vec![
+            spec.var_id("D").unwrap(),
+            spec.var_id("B").unwrap(),
+            spec.var_id("C").unwrap(),
+            spec.var_id("A").unwrap(),
+        ];
+        let vo = VariableOrder::from_elimination_order(&spec, &elim).unwrap();
+        assert_eq!(vo.len(), 4);
+        // Validity is enforced internally; additionally check relation paths.
+        let path_r = vo.path_to_root_of_relation(0);
+        let path_s = vo.path_to_root_of_relation(1);
+        assert!(path_r.len() >= 2);
+        assert!(path_s.len() >= 2);
+    }
+
+    #[test]
+    fn elimination_order_input_is_validated() {
+        let spec = figure1_query(false);
+        assert!(VariableOrder::from_elimination_order(&spec, &[0, 1]).is_err());
+        assert!(VariableOrder::from_elimination_order(&spec, &[0, 1, 2, 2]).is_err());
+        assert!(VariableOrder::from_elimination_order(&spec, &[0, 1, 2, 9]).is_err());
+    }
+
+    #[test]
+    fn heuristics_produce_valid_orders_for_figure1() {
+        let spec = figure1_query(true);
+        for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+            let vo = VariableOrder::heuristic(&spec, h).unwrap();
+            assert_eq!(vo.len(), spec.num_vars());
+            // Every relation is attached exactly once.
+            let attached: usize = vo.nodes().iter().map(|n| n.relations.len()).sum();
+            assert_eq!(attached, spec.num_relations());
+        }
+    }
+
+    #[test]
+    fn free_variables_stay_near_the_root() {
+        let mut b = QuerySpec::builder("grouped");
+        let a = b.key("a");
+        let x = b.continuous_feature("x");
+        let g = b.key("g");
+        b.relation("R", &[a, x]);
+        b.relation("S", &[a, g]);
+        b.group_by(&[g]);
+        let spec = b.build().unwrap();
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        // g must be an ancestor of every variable it co-occurs with, i.e. a root here.
+        let g_node = vo.node(vo.node_of(g));
+        assert!(g_node.parent.is_none() || vo.node(g_node.parent.unwrap()).parent.is_none());
+    }
+}

@@ -1,0 +1,237 @@
+//! Databases, base tables and update streams.
+//!
+//! This is the exchange format between the dataset generators
+//! (`fivm-data`), the F-IVM engine (`fivm-core`) and the baselines
+//! (`fivm-baselines`): plain named tables with rows and multiplicities, plus
+//! per-relation update batches.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use fivm_common::{FivmError, RelId, Result};
+
+/// A named base table with rows and multiplicities.
+#[derive(Clone, Debug)]
+pub struct BaseTable {
+    /// Table name, unique within a database.
+    pub name: String,
+    /// The table's schema.
+    pub schema: Schema,
+    /// Rows with multiplicities (inserts are positive).
+    pub rows: Vec<(Tuple, i64)>,
+}
+
+impl BaseTable {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        BaseTable {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row with multiplicity 1; panics if the arity mismatches.
+    pub fn push(&mut self, row: Tuple) {
+        self.push_with_multiplicity(row, 1);
+    }
+
+    /// Appends a row with an explicit multiplicity.
+    pub fn push_with_multiplicity(&mut self, row: Tuple, multiplicity: i64) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} does not match schema arity {} of table {}",
+            row.len(),
+            self.schema.arity(),
+            self.name
+        );
+        self.rows.push((row, multiplicity));
+    }
+
+    /// Number of stored rows (not collapsed by multiplicity).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A collection of named base tables.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: Vec<BaseTable>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a table, rejecting duplicate names.
+    pub fn add_table(&mut self, table: BaseTable) -> Result<RelId> {
+        if self.tables.iter().any(|t| t.name == table.name) {
+            return Err(FivmError::InvalidQuery(format!(
+                "duplicate table name `{}`",
+                table.name
+            )));
+        }
+        self.tables.push(table);
+        Ok(self.tables.len() - 1)
+    }
+
+    /// The tables in insertion order.
+    pub fn tables(&self) -> &[BaseTable] {
+        &self.tables
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Option<&BaseTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a table id by name.
+    pub fn table_id(&self, name: &str) -> Option<RelId> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// Mutable access to a table by name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut BaseTable> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the database has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(BaseTable::len).sum()
+    }
+}
+
+/// A batch of changes to a single base table.
+///
+/// Positive multiplicities are inserts, negative multiplicities are deletes —
+/// exactly the encoding the paper uses for the `Z` ring and, through
+/// [`fivm_ring::Ring::scale_int`], for every other ring.
+#[derive(Clone, Debug)]
+pub struct Update {
+    /// The table being updated, by name.
+    pub table: String,
+    /// The changed rows with signed multiplicities.
+    pub rows: Vec<(Tuple, i64)>,
+}
+
+impl Update {
+    /// An update that inserts the given rows (multiplicity +1 each).
+    pub fn inserts(table: impl Into<String>, rows: Vec<Tuple>) -> Self {
+        Update {
+            table: table.into(),
+            rows: rows.into_iter().map(|r| (r, 1)).collect(),
+        }
+    }
+
+    /// An update that deletes the given rows (multiplicity -1 each).
+    pub fn deletes(table: impl Into<String>, rows: Vec<Tuple>) -> Self {
+        Update {
+            table: table.into(),
+            rows: rows.into_iter().map(|r| (r, -1)).collect(),
+        }
+    }
+
+    /// An update with explicit signed multiplicities.
+    pub fn with_multiplicities(table: impl Into<String>, rows: Vec<(Tuple, i64)>) -> Self {
+        Update {
+            table: table.into(),
+            rows,
+        }
+    }
+
+    /// Number of changed rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the update is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The inverse update (deletes become inserts and vice versa); applying
+    /// an update followed by its inverse leaves every view unchanged.
+    pub fn inverse(&self) -> Update {
+        Update {
+            table: self.table.clone(),
+            rows: self.rows.iter().map(|(t, m)| (t.clone(), -m)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrKind, Schema};
+    use crate::tuple::tuple;
+    use fivm_common::Value;
+
+    fn schema2() -> Schema {
+        Schema::of(&[("a", AttrKind::Categorical), ("b", AttrKind::Continuous)])
+    }
+
+    #[test]
+    fn base_table_push_checks_arity() {
+        let mut t = BaseTable::new("R", schema2());
+        t.push(tuple([Value::int(1), Value::double(2.0)]));
+        t.push_with_multiplicity(tuple([Value::int(2), Value::double(3.0)]), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn base_table_rejects_wrong_arity() {
+        let mut t = BaseTable::new("R", schema2());
+        t.push(tuple([Value::int(1)]));
+    }
+
+    #[test]
+    fn database_lookup_and_duplicates() {
+        let mut db = Database::new();
+        let r_id = db.add_table(BaseTable::new("R", schema2())).unwrap();
+        assert_eq!(r_id, 0);
+        assert!(db.add_table(BaseTable::new("R", schema2())).is_err());
+        db.add_table(BaseTable::new("S", schema2())).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.table_id("S"), Some(1));
+        assert!(db.table("missing").is_none());
+        db.table_mut("R")
+            .unwrap()
+            .push(tuple([Value::int(1), Value::double(0.5)]));
+        assert_eq!(db.total_rows(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn updates_and_inverse() {
+        let u = Update::inserts("R", vec![tuple([Value::int(1)]), tuple([Value::int(2)])]);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_empty());
+        assert!(u.rows.iter().all(|(_, m)| *m == 1));
+        let d = Update::deletes("R", vec![tuple([Value::int(1)])]);
+        assert_eq!(d.rows[0].1, -1);
+        let inv = u.inverse();
+        assert!(inv.rows.iter().all(|(_, m)| *m == -1));
+        let mixed = Update::with_multiplicities("R", vec![(tuple([Value::int(5)]), 3)]);
+        assert_eq!(mixed.inverse().rows[0].1, -3);
+    }
+}

@@ -1,0 +1,24 @@
+//! Schemas, tuples and ring-payload relations for F-IVM.
+//!
+//! F-IVM generalizes relations to maps from key tuples to ring payloads: a
+//! base table maps tuples to multiplicities (the `Z` ring) and materialized
+//! views map group-by keys to aggregate payloads of the application's ring.
+//! This crate provides:
+//!
+//! * [`Schema`]/[`Attribute`] — named, typed attribute lists,
+//! * [`Tuple`] and projection helpers,
+//! * [`Relation`] — the generic keyed map with union, natural join and
+//!   marginalization operators (the building blocks of both the engine and
+//!   the baselines),
+//! * [`Database`], [`BaseTable`], [`Update`] — the dataset and update-stream
+//!   representation shared by the engine, baselines and generators.
+
+pub mod database;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+
+pub use database::{BaseTable, Database, Update};
+pub use relation::Relation;
+pub use schema::{AttrKind, Attribute, Schema};
+pub use tuple::{project_tuple, tuple, Projection, Tuple};

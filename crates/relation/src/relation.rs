@@ -1,0 +1,308 @@
+//! The generic keyed relation: a map from key tuples to ring payloads.
+
+use crate::tuple::{Projection, Tuple};
+use fivm_common::{FxHashMap, Value, VarId};
+use fivm_ring::Ring;
+
+/// A relation mapping key tuples (over an ordered list of query variables)
+/// to payloads from a ring `R`.
+///
+/// * Base tables are `Relation<i64>` — payloads are tuple multiplicities.
+/// * Materialized views are `Relation<R>` for the application ring `R`.
+/// * Deltas are plain relations whose payloads may be negative.
+///
+/// Keys whose payload becomes exactly zero are removed, so the map only ever
+/// holds "present" keys.
+#[derive(Clone, Debug)]
+pub struct Relation<R: Ring> {
+    vars: Vec<VarId>,
+    data: FxHashMap<Tuple, R>,
+}
+
+impl<R: Ring> Relation<R> {
+    /// An empty relation keyed by the given variables.
+    pub fn new(vars: Vec<VarId>) -> Self {
+        Relation {
+            vars,
+            data: FxHashMap::default(),
+        }
+    }
+
+    /// An empty relation with pre-allocated capacity.
+    pub fn with_capacity(vars: Vec<VarId>, cap: usize) -> Self {
+        Relation {
+            vars,
+            data: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Builds a relation from `(tuple, payload)` pairs, summing duplicates.
+    pub fn from_entries<I>(vars: Vec<VarId>, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Tuple, R)>,
+    {
+        let mut rel = Relation::new(vars);
+        for (t, p) in entries {
+            rel.add(t, p);
+        }
+        rel
+    }
+
+    /// The key variables, in column order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+
+    /// Number of key columns.
+    pub fn arity(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of keys with non-zero payload.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the relation has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The payload of a key, if present.
+    pub fn get(&self, key: &[Value]) -> Option<&R> {
+        self.data.get(key)
+    }
+
+    /// Adds `payload` to the entry for `key`, removing the entry if the
+    /// result is zero.
+    pub fn add(&mut self, key: Tuple, payload: R) {
+        debug_assert_eq!(key.len(), self.vars.len(), "tuple arity mismatch");
+        if payload.is_zero() {
+            return;
+        }
+        use std::collections::hash_map::Entry;
+        match self.data.entry(key) {
+            Entry::Vacant(v) => {
+                v.insert(payload);
+            }
+            Entry::Occupied(mut o) => {
+                o.get_mut().add_assign(&payload);
+                if o.get().is_zero() {
+                    o.remove();
+                }
+            }
+        }
+    }
+
+    /// Merges another relation into this one (payload-wise union).  Both
+    /// relations must be keyed by the same variables in the same order.
+    pub fn union_add(&mut self, other: &Relation<R>) {
+        debug_assert_eq!(self.vars, other.vars, "union over mismatched variables");
+        for (k, p) in &other.data {
+            self.add(k.clone(), p.clone());
+        }
+    }
+
+    /// Iterates over `(key, payload)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> + '_ {
+        self.data.iter()
+    }
+
+    /// Applies a function to every payload, producing a relation over a
+    /// possibly different ring.  Zero results are dropped.
+    pub fn map_payload<S: Ring>(&self, f: impl Fn(&Tuple, &R) -> S) -> Relation<S> {
+        let mut out = Relation::with_capacity(self.vars.clone(), self.len());
+        for (k, p) in &self.data {
+            out.add(k.clone(), f(k, p));
+        }
+        out
+    }
+
+    /// The additive inverse of every payload (used to encode deletions).
+    pub fn neg(&self) -> Relation<R> {
+        self.map_payload(|_, p| p.neg())
+    }
+
+    /// Scales every payload by an integer multiplicity.
+    pub fn scale_int(&self, k: i64) -> Relation<R> {
+        self.map_payload(|_, p| p.scale_int(k))
+    }
+
+    /// Sums all payloads (the "grand total" aggregate).
+    pub fn total(&self) -> R {
+        let mut acc = R::zero();
+        for p in self.data.values() {
+            acc.add_assign(p);
+        }
+        acc
+    }
+
+    /// Marginalizes the relation onto a subset of its variables: keys are
+    /// projected onto `keep_vars` and payloads of collapsing keys are summed.
+    pub fn marginalize(&self, keep_vars: &[VarId]) -> Relation<R> {
+        let proj = Projection::new(&self.vars, keep_vars);
+        let mut out = Relation::with_capacity(keep_vars.to_vec(), self.len());
+        for (k, p) in &self.data {
+            out.add(proj.apply(k), p.clone());
+        }
+        out
+    }
+
+    /// Natural join: matches keys on the shared variables, multiplies
+    /// payloads, and returns a relation over `self.vars ∪ other.vars`
+    /// (self's order first, then other's non-shared variables).
+    pub fn natural_join(&self, other: &Relation<R>) -> Relation<R> {
+        let shared: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect();
+        let other_extra: Vec<VarId> = other
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !shared.contains(v))
+            .collect();
+        let mut out_vars = self.vars.clone();
+        out_vars.extend(other_extra.iter().copied());
+
+        // Index the smaller side by the shared variables.
+        let self_proj = Projection::new(&self.vars, &shared);
+        let other_proj = Projection::new(&other.vars, &shared);
+        let other_extra_proj = Projection::new(&other.vars, &other_extra);
+
+        let mut index: FxHashMap<Tuple, Vec<(&Tuple, &R)>> = FxHashMap::default();
+        for (k, p) in &other.data {
+            index.entry(other_proj.apply(k)).or_default().push((k, p));
+        }
+
+        let mut out = Relation::new(out_vars);
+        for (k, p) in &self.data {
+            let probe = self_proj.apply(k);
+            if let Some(matches) = index.get(&probe) {
+                for (ok, op) in matches {
+                    let mut key: Vec<Value> = k.to_vec();
+                    key.extend(other_extra_proj.apply(ok).iter().cloned());
+                    out.add(key.into_boxed_slice(), p.mul(op));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<R: Ring> PartialEq for Relation<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars && self.data == other.data
+    }
+}
+
+impl<R: Ring> Default for Relation<R> {
+    fn default() -> Self {
+        Relation::new(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple;
+
+    fn t(vals: &[i64]) -> Tuple {
+        tuple(vals.iter().map(|&v| Value::int(v)))
+    }
+
+    #[test]
+    fn add_accumulates_and_removes_zero() {
+        let mut r: Relation<i64> = Relation::new(vec![0]);
+        r.add(t(&[1]), 2);
+        r.add(t(&[1]), 3);
+        assert_eq!(r.get(&t(&[1])), Some(&5));
+        r.add(t(&[1]), -5);
+        assert_eq!(r.get(&t(&[1])), None);
+        assert!(r.is_empty());
+        r.add(t(&[2]), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_add_merges() {
+        let mut a: Relation<i64> = Relation::from_entries(vec![0], [(t(&[1]), 1), (t(&[2]), 2)]);
+        let b: Relation<i64> = Relation::from_entries(vec![0], [(t(&[2]), -2), (t(&[3]), 5)]);
+        a.union_add(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(&t(&[1])), Some(&1));
+        assert_eq!(a.get(&t(&[3])), Some(&5));
+        assert_eq!(a.get(&t(&[2])), None);
+    }
+
+    #[test]
+    fn marginalize_sums_collapsed_keys() {
+        // Relation over (A=0, B=1): marginalize onto A.
+        let r: Relation<i64> = Relation::from_entries(
+            vec![0, 1],
+            [(t(&[1, 10]), 1), (t(&[1, 20]), 2), (t(&[2, 10]), 4)],
+        );
+        let m = r.marginalize(&[0]);
+        assert_eq!(m.vars(), &[0]);
+        assert_eq!(m.get(&t(&[1])), Some(&3));
+        assert_eq!(m.get(&t(&[2])), Some(&4));
+        let empty_key = r.marginalize(&[]);
+        assert_eq!(empty_key.get(&t(&[])), Some(&7));
+    }
+
+    #[test]
+    fn natural_join_multiplies_payloads() {
+        // R(A, B) join S(A, C) on A.
+        let r: Relation<i64> = Relation::from_entries(
+            vec![0, 1],
+            [(t(&[1, 10]), 2), (t(&[2, 20]), 3)],
+        );
+        let s: Relation<i64> = Relation::from_entries(
+            vec![0, 2],
+            [(t(&[1, 100]), 5), (t(&[1, 200]), 7), (t(&[3, 300]), 11)],
+        );
+        let j = r.natural_join(&s);
+        assert_eq!(j.vars(), &[0, 1, 2]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(&t(&[1, 10, 100])), Some(&10));
+        assert_eq!(j.get(&t(&[1, 10, 200])), Some(&14));
+    }
+
+    #[test]
+    fn join_without_shared_vars_is_cartesian_product() {
+        let r: Relation<i64> = Relation::from_entries(vec![0], [(t(&[1]), 2), (t(&[2]), 3)]);
+        let s: Relation<i64> = Relation::from_entries(vec![1], [(t(&[10]), 5)]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get(&t(&[1, 10])), Some(&10));
+        assert_eq!(j.get(&t(&[2, 10])), Some(&15));
+    }
+
+    #[test]
+    fn map_payload_and_totals() {
+        let r: Relation<i64> = Relation::from_entries(vec![0], [(t(&[1]), 2), (t(&[2]), -2)]);
+        assert_eq!(r.total(), 0);
+        let doubled = r.scale_int(2);
+        assert_eq!(doubled.get(&t(&[1])), Some(&4));
+        let negated = r.neg();
+        assert_eq!(negated.get(&t(&[2])), Some(&2));
+        let as_floats: Relation<f64> = r.map_payload(|_, p| *p as f64);
+        assert_eq!(as_floats.get(&t(&[1])), Some(&2.0));
+    }
+
+    #[test]
+    fn insert_then_delete_restores_empty_state() {
+        let mut r: Relation<i64> = Relation::new(vec![0, 1]);
+        let rows = [(t(&[1, 2]), 1), (t(&[3, 4]), 2), (t(&[5, 6]), 1)];
+        for (k, m) in &rows {
+            r.add(k.clone(), *m);
+        }
+        assert_eq!(r.len(), 3);
+        for (k, m) in &rows {
+            r.add(k.clone(), -m);
+        }
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Named, typed attribute lists.
+
+use fivm_common::{FivmError, Result};
+
+pub use fivm_common::AttrKind;
+
+/// A named attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within a schema.
+    pub name: String,
+    /// Continuous or categorical.
+    pub kind: AttrKind,
+}
+
+impl Attribute {
+    /// A continuous attribute.
+    pub fn continuous(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Continuous,
+        }
+    }
+
+    /// A categorical attribute.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical,
+        }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(FivmError::InvalidQuery(format!(
+                    "duplicate attribute `{}` in schema",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Builds a schema from `(name, kind)` pairs; panics on duplicates
+    /// (convenience for tests and generators).
+    pub fn of(attrs: &[(&str, AttrKind)]) -> Self {
+        Schema::new(
+            attrs
+                .iter()
+                .map(|(n, k)| Attribute {
+                    name: (*n).to_string(),
+                    kind: *k,
+                })
+                .collect(),
+        )
+        .expect("invalid schema literal")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// The position of an attribute by name.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute at a position.
+    pub fn attr(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// The attribute names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attrs.iter().map(|a| a.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_positions_and_arity() {
+        let s = Schema::of(&[
+            ("locn", AttrKind::Categorical),
+            ("dateid", AttrKind::Categorical),
+            ("inventoryunits", AttrKind::Continuous),
+        ]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.position("dateid"), Some(1));
+        assert_eq!(s.position("missing"), None);
+        assert_eq!(s.attr(2).kind, AttrKind::Continuous);
+        assert_eq!(s.names(), vec!["locn", "dateid", "inventoryunits"]);
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let err = Schema::new(vec![
+            Attribute::continuous("x"),
+            Attribute::categorical("x"),
+        ])
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_query");
+    }
+
+    #[test]
+    fn attribute_constructors() {
+        assert_eq!(Attribute::continuous("a").kind, AttrKind::Continuous);
+        assert_eq!(Attribute::categorical("b").kind, AttrKind::Categorical);
+    }
+}

@@ -1,0 +1,113 @@
+//! Tuples and projections.
+
+use fivm_common::{Value, VarId};
+
+/// A tuple of attribute values.  Boxed slices keep the footprint at two words
+/// and avoid spare capacity, since tuples are stored by the millions as view
+/// keys.
+pub type Tuple = Box<[Value]>;
+
+/// Builds a tuple from anything convertible to [`Value`].
+///
+/// ```
+/// use fivm_relation::tuple;
+/// let t = tuple([1i64.into(), fivm_common::Value::str("red")]);
+/// assert_eq!(t.len(), 2);
+/// ```
+pub fn tuple<I: IntoIterator<Item = Value>>(values: I) -> Tuple {
+    values.into_iter().collect::<Vec<_>>().into_boxed_slice()
+}
+
+/// Projects a tuple defined over `from_vars` onto `to_vars`.
+///
+/// Every variable in `to_vars` must appear in `from_vars`; the function
+/// panics otherwise (projection lists are computed by the query compiler, so
+/// a miss is a programming error).
+pub fn project_tuple(tuple: &[Value], from_vars: &[VarId], to_vars: &[VarId]) -> Tuple {
+    to_vars
+        .iter()
+        .map(|v| {
+            let pos = from_vars
+                .iter()
+                .position(|f| f == v)
+                .unwrap_or_else(|| panic!("variable {v} not present in source tuple variables"));
+            tuple[pos].clone()
+        })
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
+/// Precomputed projection positions: maps `to_vars` to their positions in
+/// `from_vars`, so repeated projections avoid the linear search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Projection {
+    positions: Vec<usize>,
+}
+
+impl Projection {
+    /// Builds a projection plan from `from_vars` onto `to_vars`.
+    pub fn new(from_vars: &[VarId], to_vars: &[VarId]) -> Self {
+        let positions = to_vars
+            .iter()
+            .map(|v| {
+                from_vars
+                    .iter()
+                    .position(|f| f == v)
+                    .unwrap_or_else(|| panic!("variable {v} not present in source variables"))
+            })
+            .collect();
+        Projection { positions }
+    }
+
+    /// Applies the projection to a tuple over `from_vars`.
+    #[inline]
+    pub fn apply(&self, tuple: &[Value]) -> Tuple {
+        self.positions
+            .iter()
+            .map(|&p| tuple[p].clone())
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    }
+
+    /// The source positions selected by this projection.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_builder_collects_values() {
+        let t = tuple([Value::int(1), Value::str("a"), Value::double(2.5)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0], Value::int(1));
+    }
+
+    #[test]
+    fn projection_reorders_and_drops() {
+        let from = [10usize, 20, 30];
+        let t = tuple([Value::int(1), Value::int(2), Value::int(3)]);
+        let p = project_tuple(&t, &from, &[30, 10]);
+        assert_eq!(&*p, &[Value::int(3), Value::int(1)]);
+        let empty = project_tuple(&t, &from, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn precomputed_projection_matches_ad_hoc() {
+        let from = [0usize, 5, 9];
+        let plan = Projection::new(&from, &[9, 0]);
+        let t = tuple([Value::str("x"), Value::int(7), Value::double(1.0)]);
+        assert_eq!(plan.apply(&t), project_tuple(&t, &from, &[9, 0]));
+        assert_eq!(plan.positions(), &[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn projection_panics_on_missing_variable() {
+        let _ = project_tuple(&tuple([Value::int(1)]), &[0], &[1]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Reusable ring-axiom checkers.
+//!
+//! These helpers are used by the unit and property tests of every ring
+//! implementation (and by downstream crates that define their own payloads)
+//! to verify that the algebraic laws the F-IVM engine relies on actually
+//! hold, up to a floating-point tolerance.
+
+use crate::ring::{ApproxEq, Ring};
+
+/// Asserts `a + b == b + a`.
+pub fn check_add_commutative<R: Ring + ApproxEq>(a: &R, b: &R, tol: f64) {
+    let ab = a.add(b);
+    let ba = b.add(a);
+    assert!(
+        ab.approx_eq(&ba, tol),
+        "addition not commutative:\n  a+b = {ab:?}\n  b+a = {ba:?}"
+    );
+}
+
+/// Asserts `(a + b) + c == a + (b + c)`.
+pub fn check_add_associative<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    let left = a.add(b).add(c);
+    let right = a.add(&b.add(c));
+    assert!(
+        left.approx_eq(&right, tol),
+        "addition not associative:\n  (a+b)+c = {left:?}\n  a+(b+c) = {right:?}"
+    );
+}
+
+/// Asserts `a + 0 == a` and `a + (-a) == 0`.
+pub fn check_add_identity_and_inverse<R: Ring + ApproxEq>(a: &R, tol: f64) {
+    let with_zero = a.add(&R::zero());
+    assert!(
+        with_zero.approx_eq(a, tol),
+        "zero is not the additive identity: a+0 = {with_zero:?}, a = {a:?}"
+    );
+    let cancelled = a.add(&a.neg());
+    assert!(
+        cancelled.approx_eq(&R::zero(), tol),
+        "negation is not the additive inverse: a + (-a) = {cancelled:?}"
+    );
+}
+
+/// Asserts `(a * b) * c == a * (b * c)`.
+pub fn check_mul_associative<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    let left = a.mul(b).mul(c);
+    let right = a.mul(&b.mul(c));
+    assert!(
+        left.approx_eq(&right, tol),
+        "multiplication not associative:\n  (a*b)*c = {left:?}\n  a*(b*c) = {right:?}"
+    );
+}
+
+/// Asserts `a * 1 == a == 1 * a` and `a * 0 == 0`.
+pub fn check_mul_identity_and_annihilator<R: Ring + ApproxEq>(a: &R, tol: f64) {
+    assert!(
+        a.mul(&R::one()).approx_eq(a, tol),
+        "one is not a right multiplicative identity for {a:?}"
+    );
+    assert!(
+        R::one().mul(a).approx_eq(a, tol),
+        "one is not a left multiplicative identity for {a:?}"
+    );
+    assert!(
+        a.mul(&R::zero()).approx_eq(&R::zero(), tol),
+        "zero does not annihilate under multiplication for {a:?}"
+    );
+}
+
+/// Asserts both distributive laws.
+pub fn check_distributive<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    let left = a.mul(&b.add(c));
+    let right = a.mul(b).add(&a.mul(c));
+    assert!(
+        left.approx_eq(&right, tol),
+        "left distributivity fails:\n  a*(b+c) = {left:?}\n  a*b+a*c = {right:?}"
+    );
+    let left = b.add(c).mul(a);
+    let right = b.mul(a).add(&c.mul(a));
+    assert!(
+        left.approx_eq(&right, tol),
+        "right distributivity fails:\n  (b+c)*a = {left:?}\n  b*a+c*a = {right:?}"
+    );
+}
+
+/// Asserts `scale_int` agrees with repeated addition for small factors.
+pub fn check_scale_int<R: Ring + ApproxEq>(a: &R, tol: f64) {
+    let mut acc = R::zero();
+    for k in 0..=4i64 {
+        assert!(
+            a.scale_int(k).approx_eq(&acc, tol),
+            "scale_int({k}) disagrees with repeated addition"
+        );
+        assert!(
+            a.scale_int(-k).approx_eq(&acc.neg(), tol),
+            "scale_int({}) disagrees with negated repeated addition",
+            -k
+        );
+        acc.add_assign(a);
+    }
+}
+
+/// Runs every axiom check on a triple of elements.
+pub fn check_ring_axioms<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    check_add_commutative(a, b, tol);
+    check_add_associative(a, b, c, tol);
+    check_add_identity_and_inverse(a, tol);
+    check_add_identity_and_inverse(b, tol);
+    check_mul_associative(a, b, c, tol);
+    check_mul_identity_and_annihilator(a, tol);
+    check_mul_identity_and_annihilator(c, tol);
+    check_distributive(a, b, c, tol);
+    check_scale_int(a, tol);
+    // sub is consistent with add/neg.
+    assert!(
+        a.sub(b).approx_eq(&a.add(&b.neg()), tol),
+        "sub is inconsistent with add/neg"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axioms_pass_for_integers() {
+        check_ring_axioms(&3i64, &-7i64, &11i64, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "additive inverse")]
+    fn broken_ring_is_detected() {
+        // A deliberately broken "ring" whose neg is the identity.
+        #[derive(Clone, Debug, PartialEq)]
+        struct Broken(i64);
+        impl Ring for Broken {
+            fn zero() -> Self {
+                Broken(0)
+            }
+            fn one() -> Self {
+                Broken(1)
+            }
+            fn is_zero(&self) -> bool {
+                self.0 == 0
+            }
+            fn add(&self, rhs: &Self) -> Self {
+                Broken(self.0 + rhs.0)
+            }
+            fn mul(&self, rhs: &Self) -> Self {
+                Broken(self.0 * rhs.0)
+            }
+            fn neg(&self) -> Self {
+                Broken(self.0) // wrong on purpose
+            }
+        }
+        impl ApproxEq for Broken {
+            fn approx_eq(&self, other: &Self, _tol: f64) -> bool {
+                self == other
+            }
+        }
+        check_add_identity_and_inverse(&Broken(2), 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The degree-m matrix ring ("cofactor ring") over continuous attributes.
+//!
+//! An element is the compound aggregate `(c, s, Q)` from the paper:
+//!
+//! * `c` — the count aggregate `SUM(1)`,
+//! * `s` — the vector of linear aggregates `SUM(X)` for each of the `m`
+//!   attributes in the aggregate batch,
+//! * `Q` — the symmetric matrix of quadratic aggregates `SUM(X*Y)`.
+//!
+//! Addition is component-wise; multiplication is
+//!
+//! ```text
+//! (ca, sa, Qa) * (cb, sb, Qb)
+//!   = (ca·cb,  cb·sa + ca·sb,  cb·Qa + ca·Qb + sa·sbᵀ + sb·saᵀ)
+//! ```
+//!
+//! Together these make the COVAR matrix over the join computable by pushing
+//! the compound aggregate past the joins exactly like a count.
+//!
+//! The ring's `zero`/`one` cannot know the query-dependent dimension `m`, so
+//! elements with no linear/quadratic part are represented by the
+//! [`Cofactor::Scalar`] variant (`Scalar(c)` ≡ `(c, 0, 0)` for every `m`).
+
+use crate::ring::{approx_f64, ApproxEq, Ring};
+use crate::symmatrix::SymMatrix;
+
+/// A value of the degree-m cofactor ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cofactor {
+    /// `(c, 0, 0)` — a pure count, valid for any dimension.
+    Scalar(f64),
+    /// A full `(c, s, Q)` triple with a concrete dimension.
+    Elem(CofactorElem),
+}
+
+/// The dense representation of a cofactor element.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CofactorElem {
+    /// The count aggregate `SUM(1)`.
+    pub count: f64,
+    /// Linear aggregates `SUM(X_i)`, one per attribute in the batch.
+    pub sums: Vec<f64>,
+    /// Quadratic aggregates `SUM(X_i * X_j)`.
+    pub prods: SymMatrix,
+}
+
+impl CofactorElem {
+    /// A zero element of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        CofactorElem {
+            count: 0.0,
+            sums: vec![0.0; dim],
+            prods: SymMatrix::zeros(dim),
+        }
+    }
+
+    /// The dimension `m` of the aggregate batch.
+    pub fn dim(&self) -> usize {
+        self.sums.len()
+    }
+}
+
+impl Cofactor {
+    /// Lifts a continuous attribute value `x` of attribute `idx` into the
+    /// ring: `(1, e_idx·x, e_idx e_idxᵀ·x²)`.
+    ///
+    /// This is the attribute function `g_X(x)` from the paper.
+    pub fn lift(dim: usize, idx: usize, x: f64) -> Self {
+        assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
+        let mut e = CofactorElem::zeros(dim);
+        e.count = 1.0;
+        e.sums[idx] = x;
+        e.prods.set(idx, idx, x * x);
+        Cofactor::Elem(e)
+    }
+
+    /// A pure count element `(c, 0, 0)`.
+    pub fn scalar(c: f64) -> Self {
+        Cofactor::Scalar(c)
+    }
+
+    /// The count component `c`.
+    pub fn count(&self) -> f64 {
+        match self {
+            Cofactor::Scalar(c) => *c,
+            Cofactor::Elem(e) => e.count,
+        }
+    }
+
+    /// The linear aggregate `SUM(X_idx)`, or 0 for scalar elements.
+    pub fn sum(&self, idx: usize) -> f64 {
+        match self {
+            Cofactor::Scalar(_) => 0.0,
+            Cofactor::Elem(e) => e.sums.get(idx).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The quadratic aggregate `SUM(X_i * X_j)`, or 0 for scalar elements.
+    pub fn prod(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Cofactor::Scalar(_) => 0.0,
+            Cofactor::Elem(e) => e.prods.get(i, j),
+        }
+    }
+
+    /// The dimension, if the element carries one.
+    pub fn dim(&self) -> Option<usize> {
+        match self {
+            Cofactor::Scalar(_) => None,
+            Cofactor::Elem(e) => Some(e.dim()),
+        }
+    }
+
+    /// Materializes the element as a dense `(c, s, Q)` triple of dimension
+    /// `dim` (scalar elements expand to zero vectors/matrices).
+    pub fn to_dense(&self, dim: usize) -> CofactorElem {
+        match self {
+            Cofactor::Scalar(c) => {
+                let mut e = CofactorElem::zeros(dim);
+                e.count = *c;
+                e
+            }
+            Cofactor::Elem(e) => {
+                assert_eq!(e.dim(), dim, "cofactor dimension mismatch");
+                e.clone()
+            }
+        }
+    }
+
+    fn scale_all(&self, k: f64) -> Self {
+        match self {
+            Cofactor::Scalar(c) => Cofactor::Scalar(c * k),
+            Cofactor::Elem(e) => {
+                let mut out = e.clone();
+                out.count *= k;
+                for s in &mut out.sums {
+                    *s *= k;
+                }
+                out.prods.scale_in_place(k);
+                Cofactor::Elem(out)
+            }
+        }
+    }
+}
+
+impl Ring for Cofactor {
+    fn zero() -> Self {
+        Cofactor::Scalar(0.0)
+    }
+
+    fn one() -> Self {
+        Cofactor::Scalar(1.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        match self {
+            Cofactor::Scalar(c) => *c == 0.0,
+            Cofactor::Elem(e) => {
+                e.count == 0.0 && e.sums.iter().all(|&x| x == 0.0) && e.prods.is_zero()
+            }
+        }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (Cofactor::Scalar(a), Cofactor::Scalar(b)) => Cofactor::Scalar(a + b),
+            (Cofactor::Scalar(a), Cofactor::Elem(e)) | (Cofactor::Elem(e), Cofactor::Scalar(a)) => {
+                let mut out = e.clone();
+                out.count += a;
+                Cofactor::Elem(out)
+            }
+            (Cofactor::Elem(a), Cofactor::Elem(b)) => {
+                assert_eq!(
+                    a.dim(),
+                    b.dim(),
+                    "cannot add cofactor elements of dimensions {} and {}",
+                    a.dim(),
+                    b.dim()
+                );
+                let mut out = a.clone();
+                out.count += b.count;
+                for (x, y) in out.sums.iter_mut().zip(b.sums.iter()) {
+                    *x += y;
+                }
+                out.prods.add_scaled(&b.prods, 1.0);
+                Cofactor::Elem(out)
+            }
+        }
+    }
+
+    fn add_assign(&mut self, rhs: &Self) {
+        match (&mut *self, rhs) {
+            (Cofactor::Scalar(a), Cofactor::Scalar(b)) => *a += b,
+            (Cofactor::Elem(a), Cofactor::Scalar(b)) => a.count += b,
+            (Cofactor::Elem(a), Cofactor::Elem(b)) => {
+                assert_eq!(a.dim(), b.dim(), "cofactor dimension mismatch in add_assign");
+                a.count += b.count;
+                for (x, y) in a.sums.iter_mut().zip(b.sums.iter()) {
+                    *x += y;
+                }
+                a.prods.add_scaled(&b.prods, 1.0);
+            }
+            (slot @ Cofactor::Scalar(_), Cofactor::Elem(_)) => {
+                let merged = slot.add(rhs);
+                *slot = merged;
+            }
+        }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (Cofactor::Scalar(a), Cofactor::Scalar(b)) => Cofactor::Scalar(a * b),
+            (Cofactor::Scalar(a), other @ Cofactor::Elem(_)) => other.scale_all(*a),
+            (other @ Cofactor::Elem(_), Cofactor::Scalar(b)) => other.scale_all(*b),
+            (Cofactor::Elem(a), Cofactor::Elem(b)) => {
+                assert_eq!(
+                    a.dim(),
+                    b.dim(),
+                    "cannot multiply cofactor elements of dimensions {} and {}",
+                    a.dim(),
+                    b.dim()
+                );
+                let dim = a.dim();
+                let mut out = CofactorElem::zeros(dim);
+                out.count = a.count * b.count;
+                for i in 0..dim {
+                    out.sums[i] = b.count * a.sums[i] + a.count * b.sums[i];
+                }
+                out.prods.add_scaled(&a.prods, b.count);
+                out.prods.add_scaled(&b.prods, a.count);
+                out.prods.add_symmetric_outer(&a.sums, &b.sums);
+                Cofactor::Elem(out)
+            }
+        }
+    }
+
+    fn neg(&self) -> Self {
+        self.scale_all(-1.0)
+    }
+
+    fn scale_int(&self, k: i64) -> Self {
+        self.scale_all(k as f64)
+    }
+}
+
+impl ApproxEq for Cofactor {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        // Compare in a dense representation so Scalar(c) == Elem(c, 0, 0).
+        let dim = self.dim().or(other.dim()).unwrap_or(0);
+        let a = self.to_dense_or_scalar(dim);
+        let b = other.to_dense_or_scalar(dim);
+        match (a, b) {
+            (Cofactor::Scalar(x), Cofactor::Scalar(y)) => approx_f64(x, y, tol),
+            (Cofactor::Elem(x), Cofactor::Elem(y)) => {
+                approx_f64(x.count, y.count, tol)
+                    && x.sums
+                        .iter()
+                        .zip(y.sums.iter())
+                        .all(|(p, q)| approx_f64(*p, *q, tol))
+                    && x.prods.approx_eq(&y.prods, tol)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Cofactor {
+    fn to_dense_or_scalar(&self, dim: usize) -> Cofactor {
+        if dim == 0 {
+            match self {
+                Cofactor::Scalar(c) => Cofactor::Scalar(*c),
+                Cofactor::Elem(e) => Cofactor::Scalar(e.count),
+            }
+        } else {
+            Cofactor::Elem(self.to_dense(dim))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn lift_produces_unit_count_and_squared_diagonal() {
+        let g = Cofactor::lift(3, 1, 4.0);
+        assert_eq!(g.count(), 1.0);
+        assert_eq!(g.sum(0), 0.0);
+        assert_eq!(g.sum(1), 4.0);
+        assert_eq!(g.prod(1, 1), 16.0);
+        assert_eq!(g.prod(0, 1), 0.0);
+        assert_eq!(g.dim(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn lift_rejects_out_of_range_index() {
+        let _ = Cofactor::lift(2, 2, 1.0);
+    }
+
+    #[test]
+    fn paper_multiplication_formula_on_two_lifts() {
+        // g_C(c) * g_D(d) with dim 3, indices 1 and 2 (as in Figure 1's V_S):
+        // count 1, sums = [0, c, d], Q = [[0,0,0],[0,c²,cd],[0,cd,d²]].
+        let c = 5.0;
+        let d = 7.0;
+        let p = Cofactor::lift(3, 1, c).mul(&Cofactor::lift(3, 2, d));
+        assert_eq!(p.count(), 1.0);
+        assert_eq!(p.sum(1), c);
+        assert_eq!(p.sum(2), d);
+        assert_eq!(p.prod(1, 1), c * c);
+        assert_eq!(p.prod(2, 2), d * d);
+        assert_eq!(p.prod(1, 2), c * d);
+        assert_eq!(p.prod(0, 1), 0.0);
+    }
+
+    #[test]
+    fn figure1_covar_payload_for_a1() {
+        // Figure 1, continuous B, C, D with b_i = c_i = d_i = i.
+        // V_S(a1) = g_C(c1)*g_D(d1) + g_C(c2)*g_D(d3) (c1=1, d1=1, c2=2, d3=3)
+        let vs_a1 = Cofactor::lift(3, 1, 1.0)
+            .mul(&Cofactor::lift(3, 2, 1.0))
+            .add(&Cofactor::lift(3, 1, 2.0).mul(&Cofactor::lift(3, 2, 3.0)));
+        assert_eq!(vs_a1.count(), 2.0);
+        assert_eq!(vs_a1.sum(1), 3.0); // c1 + c2
+        assert_eq!(vs_a1.sum(2), 4.0); // d1 + d3
+        assert_eq!(vs_a1.prod(1, 2), 1.0 * 1.0 + 2.0 * 3.0);
+
+        // V_R(a1) = g_B(b1), b1 = 1
+        let vr_a1 = Cofactor::lift(3, 0, 1.0);
+        let q_a1 = vr_a1.mul(&vs_a1);
+        // count = 2 tuples joining through a1
+        assert_eq!(q_a1.count(), 2.0);
+        // SUM(B) over the two joined tuples = 1 + 1
+        assert_eq!(q_a1.sum(0), 2.0);
+        // SUM(B*C) = 1*1 + 1*2 = 3
+        assert_eq!(q_a1.prod(0, 1), 3.0);
+        // SUM(B*D) = 1*1 + 1*3 = 4
+        assert_eq!(q_a1.prod(0, 2), 4.0);
+    }
+
+    #[test]
+    fn scalar_acts_as_count_only_element() {
+        let e = Cofactor::lift(2, 0, 3.0);
+        let s = Cofactor::scalar(2.0);
+        let prod = s.mul(&e);
+        assert_eq!(prod.count(), 2.0);
+        assert_eq!(prod.sum(0), 6.0);
+        assert_eq!(prod.prod(0, 0), 18.0);
+        let sum = s.add(&e);
+        assert_eq!(sum.count(), 3.0);
+        assert_eq!(sum.sum(0), 3.0);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let a = Cofactor::lift(2, 0, 1.5);
+        let b = Cofactor::lift(2, 1, -2.0);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c, a.add(&b));
+        let mut s = Cofactor::scalar(2.0);
+        s.add_assign(&b);
+        assert_eq!(s, Cofactor::scalar(2.0).add(&b));
+    }
+
+    #[test]
+    fn deletes_cancel_inserts() {
+        let x = Cofactor::lift(3, 0, 2.0).mul(&Cofactor::lift(3, 1, 5.0));
+        let cancelled = x.add(&x.neg());
+        assert!(cancelled.is_zero());
+        assert_eq!(x.scale_int(-1), x.neg());
+        assert!(x.scale_int(0).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn mixing_dimensions_panics() {
+        let _ = Cofactor::lift(2, 0, 1.0).add(&Cofactor::lift(3, 0, 1.0));
+    }
+
+    #[test]
+    fn ring_axioms_hold_approximately() {
+        let a = Cofactor::lift(3, 0, 1.5);
+        let b = Cofactor::lift(3, 1, -2.0).mul(&Cofactor::lift(3, 2, 0.5));
+        let c = Cofactor::scalar(3.0).add(&Cofactor::lift(3, 2, 4.0));
+        axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+
+    #[test]
+    fn approx_eq_bridges_scalar_and_dense() {
+        let s = Cofactor::scalar(2.0);
+        let mut e = CofactorElem::zeros(3);
+        e.count = 2.0;
+        assert!(s.approx_eq(&Cofactor::Elem(e), 1e-12));
+        assert!(!s.approx_eq(&Cofactor::scalar(3.0), 1e-12));
+    }
+}

@@ -1,0 +1,430 @@
+//! The generalized degree-m matrix ring with relational values.
+//!
+//! This is the composition of the cofactor ring with the relation ring used
+//! by the paper to unify continuous and categorical attributes: the entries
+//! of the sum vector `s` and the interaction matrix `Q` are relations
+//! ([`RelValue`]) instead of scalars.
+//!
+//! * For a continuous attribute `X`, `s_X` and `Q_XX` hold relations over the
+//!   empty schema (plain sums).
+//! * For a categorical attribute `X`, `s_X = SUM(1) GROUP BY X` and
+//!   `Q_XY = SUM(...) GROUP BY` the categorical attributes among `{X, Y}` —
+//!   a compact one-hot encoding that only stores categories present in the
+//!   join result.
+//!
+//! The very same structure doubles as the **mutual information (MI)** payload
+//! when every attribute is lifted categorically: `c = SUM(1)`,
+//! `s_X = SUM(1) GROUP BY X` and `Q_XY = SUM(1) GROUP BY (X, Y)` are exactly
+//! the aggregates needed to compute pairwise MI.
+//!
+//! The count component stays a scalar: it is never grouped by anything.
+
+use crate::relvalue::RelValue;
+use crate::ring::{approx_f64, ApproxEq, Ring};
+use fivm_common::{Value, VarId};
+
+/// A value of the generalized (relational) cofactor ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GenCofactor {
+    /// `(c, 0, 0)` — a pure count, valid for any dimension.
+    Scalar(f64),
+    /// A full `(c, s, Q)` triple with relational entries.
+    Elem(GenCofactorElem),
+}
+
+/// Dense representation of a generalized cofactor element of dimension `m`:
+/// `sums` has `m` entries and `prods` stores the packed upper triangle
+/// (`m·(m+1)/2` entries).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenCofactorElem {
+    /// The count aggregate `SUM(1)`.
+    pub count: f64,
+    /// Per-attribute linear aggregates (relations).
+    pub sums: Vec<RelValue>,
+    /// Pairwise interaction aggregates (relations), packed upper triangle.
+    pub prods: Vec<RelValue>,
+}
+
+#[inline]
+fn tri_len(dim: usize) -> usize {
+    dim * (dim + 1) / 2
+}
+
+#[inline]
+fn tri_index(dim: usize, i: usize, j: usize) -> usize {
+    let (i, j) = if i <= j { (i, j) } else { (j, i) };
+    debug_assert!(j < dim);
+    i * dim - i * (i + 1) / 2 + j
+}
+
+impl GenCofactorElem {
+    /// A zero element of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        GenCofactorElem {
+            count: 0.0,
+            sums: vec![RelValue::empty(); dim],
+            prods: vec![RelValue::empty(); tri_len(dim)],
+        }
+    }
+
+    /// The dimension `m`.
+    pub fn dim(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// The interaction relation at `(i, j)`.
+    pub fn prod(&self, i: usize, j: usize) -> &RelValue {
+        &self.prods[tri_index(self.dim(), i, j)]
+    }
+
+    /// Mutable access to the interaction relation at `(i, j)`.
+    pub fn prod_mut(&mut self, i: usize, j: usize) -> &mut RelValue {
+        let idx = tri_index(self.dim(), i, j);
+        &mut self.prods[idx]
+    }
+}
+
+impl GenCofactor {
+    /// Lifts a **continuous** attribute value: `s_idx = {() -> x}`,
+    /// `Q_idx,idx = {() -> x²}`.
+    pub fn lift_continuous(dim: usize, idx: usize, x: f64) -> Self {
+        assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
+        let mut e = GenCofactorElem::zeros(dim);
+        e.count = 1.0;
+        e.sums[idx] = RelValue::scalar(x);
+        *e.prod_mut(idx, idx) = RelValue::scalar(x * x);
+        GenCofactor::Elem(e)
+    }
+
+    /// Lifts a **categorical** attribute value: `s_idx = {(attr=v) -> 1}`,
+    /// `Q_idx,idx = {(attr=v) -> 1}`.
+    ///
+    /// `attr` is the attribute tag used inside relational keys; by convention
+    /// the engine passes the feature index so keys are self-describing.
+    pub fn lift_categorical(dim: usize, idx: usize, attr: VarId, value: Value) -> Self {
+        assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
+        let mut e = GenCofactorElem::zeros(dim);
+        e.count = 1.0;
+        e.sums[idx] = RelValue::indicator(attr, value.clone());
+        *e.prod_mut(idx, idx) = RelValue::indicator(attr, value);
+        GenCofactor::Elem(e)
+    }
+
+    /// A pure count element.
+    pub fn scalar(c: f64) -> Self {
+        GenCofactor::Scalar(c)
+    }
+
+    /// The count component.
+    pub fn count(&self) -> f64 {
+        match self {
+            GenCofactor::Scalar(c) => *c,
+            GenCofactor::Elem(e) => e.count,
+        }
+    }
+
+    /// The linear aggregate relation for attribute `idx` (empty for scalars).
+    pub fn sum(&self, idx: usize) -> RelValue {
+        match self {
+            GenCofactor::Scalar(_) => RelValue::empty(),
+            GenCofactor::Elem(e) => e.sums.get(idx).cloned().unwrap_or_default(),
+        }
+    }
+
+    /// The interaction relation for `(i, j)` (empty for scalars).
+    pub fn prod(&self, i: usize, j: usize) -> RelValue {
+        match self {
+            GenCofactor::Scalar(_) => RelValue::empty(),
+            GenCofactor::Elem(e) => e.prod(i, j).clone(),
+        }
+    }
+
+    /// The dimension, if the element carries one.
+    pub fn dim(&self) -> Option<usize> {
+        match self {
+            GenCofactor::Scalar(_) => None,
+            GenCofactor::Elem(e) => Some(e.dim()),
+        }
+    }
+
+    /// Materializes a dense element of dimension `dim`.
+    pub fn to_dense(&self, dim: usize) -> GenCofactorElem {
+        match self {
+            GenCofactor::Scalar(c) => {
+                let mut e = GenCofactorElem::zeros(dim);
+                e.count = *c;
+                e
+            }
+            GenCofactor::Elem(e) => {
+                assert_eq!(e.dim(), dim, "generalized cofactor dimension mismatch");
+                e.clone()
+            }
+        }
+    }
+
+    fn scale_all(&self, k: f64) -> Self {
+        if k == 0.0 {
+            return GenCofactor::Scalar(0.0);
+        }
+        match self {
+            GenCofactor::Scalar(c) => GenCofactor::Scalar(c * k),
+            GenCofactor::Elem(e) => {
+                let scale = RelValue::scalar(k);
+                GenCofactor::Elem(GenCofactorElem {
+                    count: e.count * k,
+                    sums: e.sums.iter().map(|s| s.mul(&scale)).collect(),
+                    prods: e.prods.iter().map(|q| q.mul(&scale)).collect(),
+                })
+            }
+        }
+    }
+}
+
+impl Ring for GenCofactor {
+    fn zero() -> Self {
+        GenCofactor::Scalar(0.0)
+    }
+
+    fn one() -> Self {
+        GenCofactor::Scalar(1.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        match self {
+            GenCofactor::Scalar(c) => *c == 0.0,
+            GenCofactor::Elem(e) => {
+                e.count == 0.0
+                    && e.sums.iter().all(RelValue::is_zero)
+                    && e.prods.iter().all(RelValue::is_zero)
+            }
+        }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    fn add_assign(&mut self, rhs: &Self) {
+        match (&mut *self, rhs) {
+            (GenCofactor::Scalar(a), GenCofactor::Scalar(b)) => *a += b,
+            (GenCofactor::Elem(a), GenCofactor::Scalar(b)) => a.count += b,
+            (GenCofactor::Elem(a), GenCofactor::Elem(b)) => {
+                assert_eq!(
+                    a.dim(),
+                    b.dim(),
+                    "cannot add generalized cofactors of dimensions {} and {}",
+                    a.dim(),
+                    b.dim()
+                );
+                a.count += b.count;
+                for (x, y) in a.sums.iter_mut().zip(b.sums.iter()) {
+                    x.add_assign(y);
+                }
+                for (x, y) in a.prods.iter_mut().zip(b.prods.iter()) {
+                    x.add_assign(y);
+                }
+            }
+            (slot @ GenCofactor::Scalar(_), GenCofactor::Elem(b)) => {
+                let mut out = b.clone();
+                if let GenCofactor::Scalar(a) = slot {
+                    out.count += *a;
+                }
+                *slot = GenCofactor::Elem(out);
+            }
+        }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (GenCofactor::Scalar(a), GenCofactor::Scalar(b)) => GenCofactor::Scalar(a * b),
+            (GenCofactor::Scalar(a), other @ GenCofactor::Elem(_)) => other.scale_all(*a),
+            (other @ GenCofactor::Elem(_), GenCofactor::Scalar(b)) => other.scale_all(*b),
+            (GenCofactor::Elem(a), GenCofactor::Elem(b)) => {
+                assert_eq!(
+                    a.dim(),
+                    b.dim(),
+                    "cannot multiply generalized cofactors of dimensions {} and {}",
+                    a.dim(),
+                    b.dim()
+                );
+                let dim = a.dim();
+                let ca = RelValue::scalar(a.count);
+                let cb = RelValue::scalar(b.count);
+                let mut out = GenCofactorElem::zeros(dim);
+                out.count = a.count * b.count;
+                for i in 0..dim {
+                    out.sums[i] = a.sums[i].mul(&cb).add(&b.sums[i].mul(&ca));
+                }
+                for i in 0..dim {
+                    for j in i..dim {
+                        let mut q = a.prod(i, j).mul(&cb);
+                        q.add_assign(&b.prod(i, j).mul(&ca));
+                        // Cross terms: s_a[i]·s_b[j] + s_b[i]·s_a[j].
+                        q.add_assign(&a.sums[i].mul(&b.sums[j]));
+                        q.add_assign(&b.sums[i].mul(&a.sums[j]));
+                        *out.prod_mut(i, j) = q;
+                    }
+                }
+                GenCofactor::Elem(out)
+            }
+        }
+    }
+
+    fn neg(&self) -> Self {
+        match self {
+            GenCofactor::Scalar(c) => GenCofactor::Scalar(-c),
+            GenCofactor::Elem(e) => GenCofactor::Elem(GenCofactorElem {
+                count: -e.count,
+                sums: e.sums.iter().map(Ring::neg).collect(),
+                prods: e.prods.iter().map(Ring::neg).collect(),
+            }),
+        }
+    }
+
+    fn scale_int(&self, k: i64) -> Self {
+        self.scale_all(k as f64)
+    }
+}
+
+impl ApproxEq for GenCofactor {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        let dim = self.dim().or(other.dim());
+        match dim {
+            None => approx_f64(self.count(), other.count(), tol),
+            Some(dim) => {
+                let a = self.to_dense(dim);
+                let b = other.to_dense(dim);
+                approx_f64(a.count, b.count, tol)
+                    && a.sums
+                        .iter()
+                        .zip(b.sums.iter())
+                        .all(|(x, y)| x.approx_eq(y, tol))
+                    && a.prods
+                        .iter()
+                        .zip(b.prods.iter())
+                        .all(|(x, y)| x.approx_eq(y, tol))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn continuous_lift_matches_cofactor_semantics() {
+        let g = GenCofactor::lift_continuous(3, 1, 4.0);
+        assert_eq!(g.count(), 1.0);
+        assert_eq!(g.sum(1).scalar_part(), 4.0);
+        assert_eq!(g.prod(1, 1).scalar_part(), 16.0);
+        assert!(g.prod(0, 1).is_zero());
+    }
+
+    #[test]
+    fn categorical_lift_one_hot_encodes() {
+        let g = GenCofactor::lift_categorical(3, 2, 2, Value::str("red"));
+        assert_eq!(g.count(), 1.0);
+        assert_eq!(g.sum(2).get(&[(2, Value::str("red"))]), 1.0);
+        assert_eq!(g.prod(2, 2).get(&[(2, Value::str("red"))]), 1.0);
+        assert!(g.sum(0).is_zero());
+    }
+
+    #[test]
+    fn figure1_covar_with_categorical_c() {
+        // Figure 1, COVAR with categorical C and continuous B, D (b_i = d_i = i).
+        // Variables indexed: B = 0, C = 1, D = 2.
+        // V_S(a1) = g_C(c1)*g_D(d1) + g_C(c2)*g_D(d3)
+        let term1 = GenCofactor::lift_categorical(3, 1, 1, Value::str("c1"))
+            .mul(&GenCofactor::lift_continuous(3, 2, 1.0));
+        let term2 = GenCofactor::lift_categorical(3, 1, 1, Value::str("c2"))
+            .mul(&GenCofactor::lift_continuous(3, 2, 3.0));
+        let vs_a1 = term1.add(&term2);
+        assert_eq!(vs_a1.count(), 2.0);
+        // s_C = SUM(1) GROUP BY C = {c1 -> 1, c2 -> 1}
+        assert_eq!(vs_a1.sum(1).get(&[(1, Value::str("c1"))]), 1.0);
+        assert_eq!(vs_a1.sum(1).get(&[(1, Value::str("c2"))]), 1.0);
+        // s_D = SUM(D) = 1 + 3
+        assert_eq!(vs_a1.sum(2).scalar_part(), 4.0);
+        // Q_CD = SUM(D) GROUP BY C = {c1 -> 1, c2 -> 3}
+        assert_eq!(vs_a1.prod(1, 2).get(&[(1, Value::str("c1"))]), 1.0);
+        assert_eq!(vs_a1.prod(1, 2).get(&[(1, Value::str("c2"))]), 3.0);
+
+        // Join with V_R(a1) = g_B(b1) (B continuous, b1 = 1).
+        let vr_a1 = GenCofactor::lift_continuous(3, 0, 1.0);
+        let q = vr_a1.mul(&vs_a1);
+        assert_eq!(q.count(), 2.0);
+        // Q_BC = SUM(B) GROUP BY C = {c1 -> 1, c2 -> 1}
+        assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c1"))]), 1.0);
+        assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c2"))]), 1.0);
+        // Q_BD = SUM(B*D) = 1*1 + 1*3 = 4
+        assert_eq!(q.prod(0, 2).scalar_part(), 4.0);
+    }
+
+    #[test]
+    fn mi_payload_counts_pairwise_cooccurrences() {
+        // All attributes categorical: the payload holds C_X and C_XY counts.
+        let t1 = GenCofactor::lift_categorical(2, 0, 0, Value::int(1))
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::int(10)));
+        let t2 = GenCofactor::lift_categorical(2, 0, 0, Value::int(1))
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::int(20)));
+        let total = t1.add(&t2);
+        assert_eq!(total.count(), 2.0);
+        assert_eq!(total.sum(0).get(&[(0, Value::int(1))]), 2.0);
+        assert_eq!(total.sum(1).get(&[(1, Value::int(10))]), 1.0);
+        assert_eq!(
+            total
+                .prod(0, 1)
+                .get(&[(0, Value::int(1)), (1, Value::int(10))]),
+            1.0
+        );
+        assert_eq!(
+            total
+                .prod(0, 1)
+                .get(&[(0, Value::int(1)), (1, Value::int(20))]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn deletes_cancel() {
+        let x = GenCofactor::lift_categorical(2, 0, 0, Value::str("a"))
+            .mul(&GenCofactor::lift_continuous(2, 1, 2.0));
+        assert!(x.add(&x.neg()).is_zero());
+        assert!(x.scale_int(0).is_zero());
+        assert_eq!(x.scale_int(-1), x.neg());
+    }
+
+    #[test]
+    fn scalar_interactions() {
+        let e = GenCofactor::lift_categorical(2, 0, 0, Value::int(5));
+        let s = GenCofactor::scalar(3.0);
+        let prod = s.mul(&e);
+        assert_eq!(prod.count(), 3.0);
+        assert_eq!(prod.sum(0).get(&[(0, Value::int(5))]), 3.0);
+        let sum = s.add(&e);
+        assert_eq!(sum.count(), 4.0);
+        assert_eq!(sum.sum(0).get(&[(0, Value::int(5))]), 1.0);
+        let sum_rev = e.add(&s);
+        assert_eq!(sum, sum_rev);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn dimension_mismatch_panics() {
+        let _ = GenCofactor::lift_continuous(2, 0, 1.0)
+            .mul(&GenCofactor::lift_continuous(3, 0, 1.0));
+    }
+
+    #[test]
+    fn ring_axioms_hold_approximately() {
+        let a = GenCofactor::lift_categorical(3, 0, 0, Value::str("x"));
+        let b = GenCofactor::lift_continuous(3, 1, 2.5)
+            .mul(&GenCofactor::lift_categorical(3, 2, 2, Value::int(7)));
+        let c = GenCofactor::scalar(2.0).add(&GenCofactor::lift_continuous(3, 1, -1.0));
+        axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! Attribute functions ("lifts"): per-variable maps from attribute values
+//! into ring elements.
+//!
+//! The engine applies the lift of a variable `X` when it marginalizes `X`
+//! away at the view `V@X` — this is the `[lift<k>](X)` factor in the M3 code
+//! of Figure 2d.  Variables that are plain join keys use the identity lift
+//! (`g_X(x) = 1`), which the engine can skip entirely.
+
+use crate::cofactor::Cofactor;
+use crate::gencofactor::GenCofactor;
+use crate::relvalue::RelValue;
+use crate::ring::Ring;
+use fivm_common::{Value, VarId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A lift (attribute function) producing payloads of ring `R`.
+#[derive(Clone)]
+pub struct LiftFn<R> {
+    name: String,
+    is_identity: bool,
+    f: Arc<dyn Fn(&Value) -> R + Send + Sync>,
+}
+
+impl<R: Ring> LiftFn<R> {
+    /// Wraps an arbitrary attribute function.
+    pub fn new<F>(name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&Value) -> R + Send + Sync + 'static,
+    {
+        LiftFn {
+            name: name.into(),
+            is_identity: false,
+            f: Arc::new(f),
+        }
+    }
+
+    /// The identity lift `g_X(x) = 1`, used for join keys that do not
+    /// participate in the aggregate batch.
+    pub fn identity() -> Self {
+        LiftFn {
+            name: "1".to_string(),
+            is_identity: true,
+            f: Arc::new(|_| R::one()),
+        }
+    }
+
+    /// Whether this is the identity lift (so multiplication can be skipped).
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.is_identity
+    }
+
+    /// A short human-readable name, used when rendering plans.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the lift to a value.
+    #[inline]
+    pub fn apply(&self, v: &Value) -> R {
+        (self.f)(v)
+    }
+}
+
+impl<R> fmt::Debug for LiftFn<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LiftFn({})", self.name)
+    }
+}
+
+/// Lifts for the count / `Z` ring: every value maps to 1.
+pub fn count_lift() -> LiftFn<i64> {
+    LiftFn::identity()
+}
+
+/// Lift of a continuous attribute into the real ring: `g_X(x) = x`.
+pub fn real_value_lift(name: &str) -> LiftFn<f64> {
+    LiftFn::new(format!("val({name})"), |v| v.as_f64().unwrap_or(0.0))
+}
+
+/// Lift of a continuous attribute `idx` of an aggregate batch of size `dim`
+/// into the cofactor (COVAR) ring.
+pub fn cofactor_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<Cofactor> {
+    LiftFn::new(format!("cofactor<{dim}>[{idx}]({name})"), move |v| {
+        Cofactor::lift(dim, idx, v.as_f64().unwrap_or(0.0))
+    })
+}
+
+/// Lift of a continuous attribute into the generalized cofactor ring.
+pub fn gen_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<GenCofactor> {
+    LiftFn::new(format!("gen_cofactor<{dim}>[{idx}:cont]({name})"), move |v| {
+        GenCofactor::lift_continuous(dim, idx, v.as_f64().unwrap_or(0.0))
+    })
+}
+
+/// Lift of a categorical attribute into the generalized cofactor ring; the
+/// attribute tag `attr` is stored inside relational keys (one-hot encoding).
+pub fn gen_categorical_lift(dim: usize, idx: usize, attr: VarId, name: &str) -> LiftFn<GenCofactor> {
+    LiftFn::new(format!("gen_cofactor<{dim}>[{idx}:cat]({name})"), move |v| {
+        GenCofactor::lift_categorical(dim, idx, attr, v.clone())
+    })
+}
+
+/// Lift of an attribute into the relation ring: `g_X(x) = {(X = x) -> 1}`.
+///
+/// Maintaining the query with these lifts maintains the listing
+/// representation of the (projected) join result — factorized query
+/// evaluation.
+pub fn relational_lift(attr: VarId, name: &str) -> LiftFn<RelValue> {
+    LiftFn::new(format!("rel[{name}]"), move |v| {
+        RelValue::indicator(attr, v.clone())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_lift_is_one_and_flagged() {
+        let l: LiftFn<i64> = LiftFn::identity();
+        assert!(l.is_identity());
+        assert_eq!(l.apply(&Value::int(42)), 1);
+        assert_eq!(l.name(), "1");
+        assert_eq!(format!("{l:?}"), "LiftFn(1)");
+    }
+
+    #[test]
+    fn real_and_count_lifts() {
+        assert_eq!(count_lift().apply(&Value::str("x")), 1);
+        assert_eq!(real_value_lift("B").apply(&Value::double(2.5)), 2.5);
+        assert_eq!(real_value_lift("B").apply(&Value::int(3)), 3.0);
+        assert_eq!(real_value_lift("B").apply(&Value::str("oops")), 0.0);
+    }
+
+    #[test]
+    fn cofactor_lifts_produce_expected_shape() {
+        let l = cofactor_continuous_lift(3, 1, "C");
+        let g = l.apply(&Value::double(4.0));
+        assert_eq!(g.count(), 1.0);
+        assert_eq!(g.sum(1), 4.0);
+        assert_eq!(g.prod(1, 1), 16.0);
+        assert!(!l.is_identity());
+        assert!(l.name().contains("cofactor<3>[1]"));
+    }
+
+    #[test]
+    fn generalized_lifts_produce_expected_shape() {
+        let cont = gen_continuous_lift(2, 0, "B").apply(&Value::int(2));
+        assert_eq!(cont.sum(0).scalar_part(), 2.0);
+        let cat = gen_categorical_lift(2, 1, 7, "C").apply(&Value::str("red"));
+        assert_eq!(cat.sum(1).get(&[(7, Value::str("red"))]), 1.0);
+    }
+
+    #[test]
+    fn relational_lift_builds_indicators() {
+        let l = relational_lift(3, "D");
+        let r = l.apply(&Value::int(9));
+        assert_eq!(r.get(&[(3, Value::int(9))]), 1.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! A dynamically sized matrix ring, used for the paper's matrix chain
+//! multiplication application.
+//!
+//! Elements are either a scalar multiple of the identity (shape-free, so the
+//! ring has a well-defined `zero`/`one`) or a dense `rows × cols` matrix.
+//! Addition is element-wise, multiplication is matrix multiplication.  The
+//! ring is non-commutative; the F-IVM engine multiplies children in a
+//! deterministic order, so chain products such as `A·B·C` are maintained
+//! correctly under updates to any factor.
+
+use crate::ring::{approx_f64, ApproxEq, Ring};
+
+/// A value of the dynamic matrix ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixValue {
+    /// `c · I` for every compatible shape.
+    Scalar(f64),
+    /// A dense matrix.
+    Mat(DenseMatrix),
+}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Builds a matrix from row-major data; panics if sizes disagree.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matrix shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.data[k * other.cols + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn scaled(&self, k: f64) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+}
+
+impl MatrixValue {
+    /// Wraps a dense matrix.
+    pub fn matrix(m: DenseMatrix) -> Self {
+        MatrixValue::Mat(m)
+    }
+
+    /// Builds a dense matrix value from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        MatrixValue::Mat(DenseMatrix::new(rows, cols, data))
+    }
+
+    /// The dense matrix, materializing `Scalar(c)` as `c·I(n)`.
+    pub fn to_dense(&self, n: usize) -> DenseMatrix {
+        match self {
+            MatrixValue::Scalar(c) => DenseMatrix::identity(n).scaled(*c),
+            MatrixValue::Mat(m) => m.clone(),
+        }
+    }
+
+    /// Entry `(i, j)` of a dense value; panics for scalar values.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            MatrixValue::Scalar(_) => panic!("get() on a scalar matrix value"),
+            MatrixValue::Mat(m) => m.get(i, j),
+        }
+    }
+}
+
+impl Ring for MatrixValue {
+    fn zero() -> Self {
+        MatrixValue::Scalar(0.0)
+    }
+
+    fn one() -> Self {
+        MatrixValue::Scalar(1.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        match self {
+            MatrixValue::Scalar(c) => *c == 0.0,
+            MatrixValue::Mat(m) => m.data.iter().all(|&x| x == 0.0),
+        }
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (MatrixValue::Scalar(a), MatrixValue::Scalar(b)) => MatrixValue::Scalar(a + b),
+            (MatrixValue::Scalar(a), MatrixValue::Mat(m))
+            | (MatrixValue::Mat(m), MatrixValue::Scalar(a)) => {
+                assert_eq!(
+                    m.rows, m.cols,
+                    "cannot add a scalar identity to a non-square matrix"
+                );
+                let mut out = m.clone();
+                for i in 0..m.rows {
+                    out.data[i * m.cols + i] += a;
+                }
+                MatrixValue::Mat(out)
+            }
+            (MatrixValue::Mat(a), MatrixValue::Mat(b)) => {
+                assert_eq!(a.rows, b.rows, "matrix row mismatch in add");
+                assert_eq!(a.cols, b.cols, "matrix col mismatch in add");
+                let mut out = a.clone();
+                for (x, y) in out.data.iter_mut().zip(b.data.iter()) {
+                    *x += y;
+                }
+                MatrixValue::Mat(out)
+            }
+        }
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        match (self, rhs) {
+            (MatrixValue::Scalar(a), MatrixValue::Scalar(b)) => MatrixValue::Scalar(a * b),
+            (MatrixValue::Scalar(a), MatrixValue::Mat(m)) => MatrixValue::Mat(m.scaled(*a)),
+            (MatrixValue::Mat(m), MatrixValue::Scalar(b)) => MatrixValue::Mat(m.scaled(*b)),
+            (MatrixValue::Mat(a), MatrixValue::Mat(b)) => MatrixValue::Mat(a.matmul(b)),
+        }
+    }
+
+    fn neg(&self) -> Self {
+        match self {
+            MatrixValue::Scalar(c) => MatrixValue::Scalar(-c),
+            MatrixValue::Mat(m) => MatrixValue::Mat(m.scaled(-1.0)),
+        }
+    }
+
+    fn scale_int(&self, k: i64) -> Self {
+        match self {
+            MatrixValue::Scalar(c) => MatrixValue::Scalar(c * k as f64),
+            MatrixValue::Mat(m) => MatrixValue::Mat(m.scaled(k as f64)),
+        }
+    }
+}
+
+impl ApproxEq for MatrixValue {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        match (self, other) {
+            (MatrixValue::Scalar(a), MatrixValue::Scalar(b)) => approx_f64(*a, *b, tol),
+            (MatrixValue::Mat(a), MatrixValue::Mat(b)) => {
+                a.rows == b.rows
+                    && a.cols == b.cols
+                    && a.data
+                        .iter()
+                        .zip(b.data.iter())
+                        .all(|(x, y)| approx_f64(*x, *y, tol))
+            }
+            (MatrixValue::Scalar(a), MatrixValue::Mat(m))
+            | (MatrixValue::Mat(m), MatrixValue::Scalar(a)) => {
+                m.rows == m.cols
+                    && m.approx_eq_dense(&DenseMatrix::identity(m.rows).scaled(*a), tol)
+            }
+        }
+    }
+}
+
+impl DenseMatrix {
+    fn approx_eq_dense(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(x, y)| approx_f64(*x, *y, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(a: f64, b: f64, c: f64, d: f64) -> MatrixValue {
+        MatrixValue::from_rows(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn matrix_multiplication() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(5.0, 6.0, 7.0, 8.0);
+        let ab = a.mul(&b);
+        assert_eq!(ab.get(0, 0), 19.0);
+        assert_eq!(ab.get(0, 1), 22.0);
+        assert_eq!(ab.get(1, 0), 43.0);
+        assert_eq!(ab.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn rectangular_chain() {
+        // (2x3) * (3x1) = 2x1
+        let a = MatrixValue::from_rows(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, 1.0]);
+        let b = MatrixValue::from_rows(3, 1, vec![3.0, 4.0, 5.0]);
+        let ab = a.mul(&b);
+        assert_eq!(ab.get(0, 0), 13.0);
+        assert_eq!(ab.get(1, 0), 9.0);
+    }
+
+    #[test]
+    fn scalar_identity_behaviour() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(MatrixValue::one().mul(&a), a);
+        assert_eq!(a.mul(&MatrixValue::one()), a);
+        assert!(MatrixValue::zero().mul(&a).is_zero());
+        let shifted = a.add(&MatrixValue::Scalar(10.0));
+        assert_eq!(shifted.get(0, 0), 11.0);
+        assert_eq!(shifted.get(1, 1), 14.0);
+        assert_eq!(shifted.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn addition_negation_scaling() {
+        let a = m2(1.0, 2.0, 3.0, 4.0);
+        let b = m2(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(a.add(&b), m2(1.5, 2.5, 3.5, 4.5));
+        assert!(a.add(&a.neg()).is_zero());
+        assert_eq!(a.scale_int(2), m2(2.0, 4.0, 6.0, 8.0));
+        assert_eq!(a.sub(&b), m2(0.5, 1.5, 2.5, 3.5));
+    }
+
+    #[test]
+    fn identity_and_dense_materialization() {
+        let i3 = DenseMatrix::identity(3);
+        assert_eq!(i3.get(1, 1), 1.0);
+        assert_eq!(i3.get(0, 1), 0.0);
+        let dense = MatrixValue::Scalar(2.0).to_dense(2);
+        assert_eq!(dense.get(0, 0), 2.0);
+        assert_eq!(dense.get(0, 1), 0.0);
+        assert!(MatrixValue::Scalar(1.0).approx_eq(&MatrixValue::Mat(DenseMatrix::identity(4)), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = MatrixValue::from_rows(2, 3, vec![0.0; 6]);
+        let b = MatrixValue::from_rows(2, 3, vec![0.0; 6]);
+        let _ = a.mul(&b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Numeric rings: `Z` (i64), the reals (f64), and the product of two rings.
+
+use crate::ring::{approx_f64, ApproxEq, Ring};
+
+impl Ring for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+    #[inline]
+    fn one() -> Self {
+        1
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn add_assign(&mut self, rhs: &Self) {
+        *self += rhs;
+    }
+    #[inline]
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+    #[inline]
+    fn scale_int(&self, k: i64) -> Self {
+        self * k
+    }
+}
+
+impl Ring for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    #[inline]
+    fn add(&self, rhs: &Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn add_assign(&mut self, rhs: &Self) {
+        *self += rhs;
+    }
+    #[inline]
+    fn mul(&self, rhs: &Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+    #[inline]
+    fn scale_int(&self, k: i64) -> Self {
+        self * (k as f64)
+    }
+}
+
+/// The product ring of two rings: component-wise addition and multiplication.
+///
+/// Useful for maintaining two applications over the same view tree in one
+/// pass, e.g. a count alongside a COVAR matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairRing<A, B>(pub A, pub B);
+
+impl<A: Ring, B: Ring> Ring for PairRing<A, B> {
+    fn zero() -> Self {
+        PairRing(A::zero(), B::zero())
+    }
+    fn one() -> Self {
+        PairRing(A::one(), B::one())
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero()
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        PairRing(self.0.add(&rhs.0), self.1.add(&rhs.1))
+    }
+    fn add_assign(&mut self, rhs: &Self) {
+        self.0.add_assign(&rhs.0);
+        self.1.add_assign(&rhs.1);
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        PairRing(self.0.mul(&rhs.0), self.1.mul(&rhs.1))
+    }
+    fn neg(&self) -> Self {
+        PairRing(self.0.neg(), self.1.neg())
+    }
+    fn scale_int(&self, k: i64) -> Self {
+        PairRing(self.0.scale_int(k), self.1.scale_int(k))
+    }
+}
+
+impl<A: ApproxEq, B: ApproxEq> ApproxEq for PairRing<A, B> {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.0.approx_eq(&other.0, tol) && self.1.approx_eq(&other.1, tol)
+    }
+}
+
+/// Approximate equality for floating point helpers re-exported for callers.
+pub fn f64_approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    approx_f64(a, b, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    #[test]
+    fn z_ring_basic_ops() {
+        assert_eq!(<i64 as Ring>::zero(), 0);
+        assert_eq!(<i64 as Ring>::one(), 1);
+        assert_eq!(3i64.add(&4), 7);
+        assert_eq!(3i64.mul(&4), 12);
+        assert_eq!(3i64.neg(), -3);
+        assert_eq!(3i64.sub(&5), -2);
+        assert_eq!(3i64.scale_int(-2), -6);
+        assert!(0i64.is_zero());
+        assert!(!1i64.is_zero());
+    }
+
+    #[test]
+    fn real_ring_basic_ops() {
+        assert_eq!(2.5f64.add(&0.5), 3.0);
+        assert_eq!(2.0f64.mul(&4.0), 8.0);
+        assert_eq!(2.0f64.neg(), -2.0);
+        assert_eq!(1.5f64.scale_int(4), 6.0);
+        assert!(<f64 as Ring>::zero().is_zero());
+    }
+
+    #[test]
+    fn z_ring_axioms() {
+        for (a, b, c) in [(1, 2, 3), (-4, 7, 0), (100, -100, 17)] {
+            axioms::check_ring_axioms(&a, &b, &c, 0.0);
+        }
+    }
+
+    #[test]
+    fn real_ring_axioms() {
+        for (a, b, c) in [(1.5, -2.25, 3.0), (0.0, 4.0, -1.0)] {
+            axioms::check_ring_axioms(&a, &b, &c, 1e-12);
+        }
+    }
+
+    #[test]
+    fn pair_ring_combines_componentwise() {
+        let a = PairRing(2i64, 3.0f64);
+        let b = PairRing(5i64, 0.5f64);
+        assert_eq!(a.add(&b), PairRing(7, 3.5));
+        assert_eq!(a.mul(&b), PairRing(10, 1.5));
+        assert_eq!(a.neg(), PairRing(-2, -3.0));
+        assert_eq!(a.scale_int(3), PairRing(6, 9.0));
+        assert_eq!(PairRing::<i64, f64>::one(), PairRing(1, 1.0));
+        assert!(PairRing::<i64, f64>::zero().is_zero());
+        axioms::check_ring_axioms(&a, &b, &PairRing(-1, 2.0), 1e-12);
+    }
+}

@@ -1,0 +1,360 @@
+//! The relation ring: relations as ring values.
+//!
+//! A [`RelValue`] is a (small) relation mapping tuples of categorical values
+//! to real weights.  Addition is union with summed weights; multiplication is
+//! natural join with multiplied weights; the empty relation is `0`; the
+//! relation containing only the empty tuple with weight 1 is `1`.
+//!
+//! Keys are sorted lists of `(attribute id, value)` pairs so the join is
+//! schema-aware without threading schemas through ring operations: shared
+//! attributes must match, the remaining attributes are concatenated in
+//! attribute order.
+//!
+//! `RelValue` is used in two places:
+//!
+//! * on its own, it is the ring of the paper's *factorized conjunctive query
+//!   evaluation*: maintaining the query with `RelValue` payloads maintains a
+//!   (listing of the) join result,
+//! * as the scalar type of the generalized cofactor ring
+//!   ([`crate::GenCofactor`]) that handles categorical attributes and the
+//!   mutual-information matrix.
+
+use crate::ring::{approx_f64, ApproxEq, Ring};
+use fivm_common::{FxHashMap, Value, VarId};
+
+/// The key of one entry: categorical assignments, sorted by attribute id.
+pub type CatKey = Box<[(u32, Value)]>;
+
+/// A relation-valued ring element.
+#[derive(Clone, Debug, Default)]
+pub struct RelValue {
+    entries: FxHashMap<CatKey, f64>,
+}
+
+impl RelValue {
+    /// The empty relation (ring zero).
+    pub fn empty() -> Self {
+        RelValue::default()
+    }
+
+    /// The relation `{() -> w}` over the empty schema.
+    pub fn scalar(w: f64) -> Self {
+        let mut entries = FxHashMap::default();
+        if w != 0.0 {
+            entries.insert(Vec::new().into_boxed_slice(), w);
+        }
+        RelValue { entries }
+    }
+
+    /// The indicator relation `{(attr = value) -> 1}` used to one-hot encode a
+    /// categorical value.
+    pub fn indicator(attr: VarId, value: Value) -> Self {
+        Self::weighted(attr, value, 1.0)
+    }
+
+    /// The singleton relation `{(attr = value) -> w}`.
+    pub fn weighted(attr: VarId, value: Value, w: f64) -> Self {
+        let mut entries = FxHashMap::default();
+        if w != 0.0 {
+            entries.insert(vec![(attr as u32, value)].into_boxed_slice(), w);
+        }
+        RelValue { entries }
+    }
+
+    /// Builds a relation from `(key, weight)` pairs; keys need not be sorted.
+    pub fn from_entries<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<(u32, Value)>, f64)>,
+    {
+        let mut out = RelValue::empty();
+        for (mut key, w) in pairs {
+            key.sort_by_key(|(a, _)| *a);
+            out.add_entry(key.into_boxed_slice(), w);
+        }
+        out
+    }
+
+    /// Number of tuples with non-zero weight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Weight of the empty tuple (the "scalar part"), or 0.
+    pub fn scalar_part(&self) -> f64 {
+        self.get(&[])
+    }
+
+    /// Weight of a specific key, or 0 if absent.  The key need not be sorted.
+    pub fn get(&self, key: &[(u32, Value)]) -> f64 {
+        let mut k: Vec<(u32, Value)> = key.to_vec();
+        k.sort_by_key(|(a, _)| *a);
+        self.entries.get(k.as_slice()).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(key, weight)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&CatKey, f64)> + '_ {
+        self.entries.iter().map(|(k, &w)| (k, w))
+    }
+
+    /// Sum of all weights (the count aggregate if weights are counts).
+    pub fn total(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    fn add_entry(&mut self, key: CatKey, w: f64) {
+        if w == 0.0 {
+            return;
+        }
+        let slot = self.entries.entry(key).or_insert(0.0);
+        *slot += w;
+        if *slot == 0.0 {
+            // Exact cancellation (e.g. insert followed by delete): drop key.
+            let key_to_remove: Vec<CatKey> = self
+                .entries
+                .iter()
+                .filter(|(_, &v)| v == 0.0)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in key_to_remove {
+                self.entries.remove(&k);
+            }
+        }
+    }
+
+    /// Joins two keys: shared attributes must match, the union is returned in
+    /// attribute order.  Returns `None` if the shared attributes disagree.
+    fn join_keys(a: &CatKey, b: &CatKey) -> Option<CatKey> {
+        let mut out: Vec<(u32, Value)> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        return None;
+                    }
+                    out.push(a[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Some(out.into_boxed_slice())
+    }
+
+    fn map_weights(&self, f: impl Fn(f64) -> f64) -> Self {
+        let mut entries = FxHashMap::default();
+        for (k, &w) in &self.entries {
+            let nw = f(w);
+            if nw != 0.0 {
+                entries.insert(k.clone(), nw);
+            }
+        }
+        RelValue { entries }
+    }
+}
+
+impl PartialEq for RelValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Ring for RelValue {
+    fn zero() -> Self {
+        RelValue::empty()
+    }
+
+    fn one() -> Self {
+        RelValue::scalar(1.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
+    }
+
+    fn add_assign(&mut self, rhs: &Self) {
+        for (k, &w) in &rhs.entries {
+            let slot = self.entries.entry(k.clone()).or_insert(0.0);
+            *slot += w;
+        }
+        self.entries.retain(|_, w| *w != 0.0);
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        // Iterate over the smaller operand on the outside.
+        let (small, large) = if self.len() <= rhs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = RelValue::empty();
+        for (ka, &wa) in &small.entries {
+            for (kb, &wb) in &large.entries {
+                if let Some(key) = Self::join_keys(ka, kb) {
+                    let slot = out.entries.entry(key).or_insert(0.0);
+                    *slot += wa * wb;
+                }
+            }
+        }
+        out.entries.retain(|_, w| *w != 0.0);
+        out
+    }
+
+    fn neg(&self) -> Self {
+        self.map_weights(|w| -w)
+    }
+
+    fn scale_int(&self, k: i64) -> Self {
+        if k == 0 {
+            return RelValue::empty();
+        }
+        self.map_weights(|w| w * k as f64)
+    }
+}
+
+impl ApproxEq for RelValue {
+    fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        // Every key of either side must match approximately.
+        for (k, &w) in &self.entries {
+            if !approx_f64(w, other.entries.get(k).copied().unwrap_or(0.0), tol) {
+                return false;
+            }
+        }
+        for (k, &w) in &other.entries {
+            if !approx_f64(w, self.entries.get(k).copied().unwrap_or(0.0), tol) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms;
+
+    fn key(parts: &[(u32, i64)]) -> Vec<(u32, Value)> {
+        parts.iter().map(|(a, v)| (*a, Value::int(*v))).collect()
+    }
+
+    #[test]
+    fn scalar_and_indicator_construction() {
+        let s = RelValue::scalar(3.0);
+        assert_eq!(s.scalar_part(), 3.0);
+        assert_eq!(s.len(), 1);
+        assert!(RelValue::scalar(0.0).is_empty());
+
+        let ind = RelValue::indicator(2, Value::str("red"));
+        assert_eq!(ind.get(&[(2, Value::str("red"))]), 1.0);
+        assert_eq!(ind.get(&[(2, Value::str("blue"))]), 0.0);
+        assert_eq!(ind.total(), 1.0);
+    }
+
+    #[test]
+    fn addition_is_union_with_summed_weights() {
+        let a = RelValue::indicator(0, Value::int(1));
+        let b = RelValue::indicator(0, Value::int(1));
+        let c = RelValue::indicator(0, Value::int(2));
+        let sum = a.add(&b).add(&c);
+        assert_eq!(sum.get(&[(0, Value::int(1))]), 2.0);
+        assert_eq!(sum.get(&[(0, Value::int(2))]), 1.0);
+        assert_eq!(sum.len(), 2);
+        assert_eq!(sum.total(), 3.0);
+    }
+
+    #[test]
+    fn deletion_cancels_and_removes_keys() {
+        let a = RelValue::indicator(0, Value::int(1));
+        let cancelled = a.add(&a.neg());
+        assert!(cancelled.is_zero());
+        assert_eq!(cancelled.len(), 0);
+        assert!(a.scale_int(0).is_zero());
+        assert_eq!(a.scale_int(-2).get(&[(0, Value::int(1))]), -2.0);
+    }
+
+    #[test]
+    fn multiplication_is_join_on_shared_attributes() {
+        // {(A=1) -> 2} * {(B=5) -> 3} = {(A=1, B=5) -> 6}
+        let a = RelValue::weighted(0, Value::int(1), 2.0);
+        let b = RelValue::weighted(1, Value::int(5), 3.0);
+        let ab = a.mul(&b);
+        assert_eq!(ab.get(&key(&[(0, 1), (1, 5)])), 6.0);
+
+        // Shared attribute must match: {(A=1)} * {(A=2)} = empty.
+        let c = RelValue::indicator(0, Value::int(2));
+        assert!(a.mul(&c).is_zero());
+        // Matching shared attribute multiplies weights.
+        let a2 = RelValue::weighted(0, Value::int(1), 5.0);
+        assert_eq!(a.mul(&a2).get(&key(&[(0, 1)])), 10.0);
+    }
+
+    #[test]
+    fn multiplication_by_scalar_scales_weights() {
+        let a = RelValue::indicator(3, Value::str("x"));
+        let s = RelValue::scalar(4.0);
+        let out = a.mul(&s);
+        assert_eq!(out.get(&[(3, Value::str("x"))]), 4.0);
+        // One is the multiplicative identity.
+        assert_eq!(a.mul(&RelValue::one()), a);
+        assert!(a.mul(&RelValue::zero()).is_zero());
+    }
+
+    #[test]
+    fn join_orders_attributes_canonically() {
+        let a = RelValue::indicator(5, Value::int(9));
+        let b = RelValue::indicator(1, Value::int(4));
+        let ab = a.mul(&b);
+        let ba = b.mul(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get(&key(&[(1, 4), (5, 9)])), 1.0);
+    }
+
+    #[test]
+    fn from_entries_normalizes_key_order() {
+        let r = RelValue::from_entries(vec![
+            (key(&[(3, 7), (1, 2)]), 1.5),
+            (key(&[(1, 2), (3, 7)]), 0.5),
+        ]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&key(&[(1, 2), (3, 7)])), 2.0);
+    }
+
+    #[test]
+    fn ring_axioms_hold() {
+        let a = RelValue::indicator(0, Value::int(1)).add(&RelValue::weighted(1, Value::int(2), 3.0));
+        let b = RelValue::scalar(2.0).add(&RelValue::indicator(0, Value::int(1)));
+        let c = RelValue::weighted(2, Value::str("z"), -1.5);
+        axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = RelValue::weighted(0, Value::int(1), 1.0);
+        let b = RelValue::weighted(0, Value::int(1), 1.0 + 1e-13);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = RelValue::weighted(0, Value::int(2), 1.0);
+        assert!(!a.approx_eq(&c, 1e-9));
+    }
+}

@@ -1,0 +1,200 @@
+//! A packed symmetric matrix of `f64`, used by the cofactor (COVAR) ring.
+
+use crate::ring::approx_f64;
+
+/// A symmetric `dim × dim` matrix stored as its packed upper triangle
+/// (`dim * (dim + 1) / 2` entries, row-major).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymMatrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// A zero matrix of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        SymMatrix {
+            dim,
+            data: vec![0.0; dim * (dim + 1) / 2],
+        }
+    }
+
+    /// The dimension (number of rows = columns).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (upper-triangle) entries.
+    #[inline]
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Packed index of `(i, j)` with `i <= j`.
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        let (i, j) = if i <= j { (i, j) } else { (j, i) };
+        debug_assert!(j < self.dim);
+        i * self.dim - i * (i + 1) / 2 + j
+    }
+
+    /// Reads entry `(i, j)` (symmetric access).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)]
+    }
+
+    /// Writes entry `(i, j)` (and its mirror).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] += v;
+    }
+
+    /// `self += scale * other`; panics if dimensions differ.
+    pub fn add_scaled(&mut self, other: &SymMatrix, scale: f64) {
+        assert_eq!(
+            self.dim, other.dim,
+            "SymMatrix dimension mismatch: {} vs {}",
+            self.dim, other.dim
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Adds the symmetrized outer product `s_a s_b^T + s_b s_a^T`.
+    ///
+    /// This is the cross term in the cofactor-ring multiplication.
+    pub fn add_symmetric_outer(&mut self, sa: &[f64], sb: &[f64]) {
+        debug_assert_eq!(sa.len(), self.dim);
+        debug_assert_eq!(sb.len(), self.dim);
+        for i in 0..self.dim {
+            let (sai, sbi) = (sa[i], sb[i]);
+            if sai == 0.0 && sbi == 0.0 {
+                continue;
+            }
+            let row = i * self.dim - i * (i + 1) / 2;
+            for j in i..self.dim {
+                self.data[row + j] += sai * sb[j] + sbi * sa[j];
+            }
+        }
+    }
+
+    /// Multiplies every entry by `scale`.
+    pub fn scale_in_place(&mut self, scale: f64) {
+        for a in &mut self.data {
+            *a *= scale;
+        }
+    }
+
+    /// Whether every entry is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0.0)
+    }
+
+    /// Approximate component-wise equality.
+    pub fn approx_eq(&self, other: &SymMatrix, tol: f64) -> bool {
+        self.dim == other.dim
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| approx_f64(*a, *b, tol))
+    }
+
+    /// Materializes the full dense `dim × dim` matrix in row-major order.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim * self.dim];
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                out[i * self.dim + j] = self.get(i, j);
+            }
+        }
+        out
+    }
+
+    /// Iterates over the packed upper triangle as `(i, j, value)`.
+    pub fn iter_upper(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.dim).flat_map(move |i| (i..self.dim).map(move |j| (i, j, self.get(i, j))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_indexing_is_symmetric() {
+        let mut m = SymMatrix::zeros(4);
+        m.set(1, 3, 5.0);
+        assert_eq!(m.get(1, 3), 5.0);
+        assert_eq!(m.get(3, 1), 5.0);
+        m.add_at(3, 1, 2.0);
+        assert_eq!(m.get(1, 3), 7.0);
+        assert_eq!(m.packed_len(), 10);
+        assert_eq!(m.dim(), 4);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 1, 3.0);
+        let mut b = SymMatrix::zeros(2);
+        b.set(0, 0, 10.0);
+        b.set(1, 1, 20.0);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.get(0, 0), 6.0);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 1), 13.0);
+        a.scale_in_place(2.0);
+        assert_eq!(a.get(0, 0), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_scaled_panics_on_dim_mismatch() {
+        let mut a = SymMatrix::zeros(2);
+        let b = SymMatrix::zeros(3);
+        a.add_scaled(&b, 1.0);
+    }
+
+    #[test]
+    fn symmetric_outer_product() {
+        // sa = [1, 2], sb = [3, 4]:
+        // sa sb^T + sb sa^T = [[6, 10], [10, 16]]
+        let mut m = SymMatrix::zeros(2);
+        m.add_symmetric_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m.get(0, 0), 6.0);
+        assert_eq!(m.get(0, 1), 10.0);
+        assert_eq!(m.get(1, 0), 10.0);
+        assert_eq!(m.get(1, 1), 16.0);
+    }
+
+    #[test]
+    fn dense_round_trip_and_iteration() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 2, 4.0);
+        m.set(1, 1, 9.0);
+        let dense = m.to_dense();
+        assert_eq!(dense[0 * 3 + 2], 4.0);
+        assert_eq!(dense[2 * 3 + 0], 4.0);
+        assert_eq!(dense[1 * 3 + 1], 9.0);
+        let entries: Vec<_> = m.iter_upper().collect();
+        assert_eq!(entries.len(), 6);
+        assert!(entries.contains(&(0, 2, 4.0)));
+        assert!(m.approx_eq(&m.clone(), 0.0));
+        assert!(!m.is_zero());
+        assert!(SymMatrix::zeros(3).is_zero());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the ring axioms for every ring implementation.
+//!
+//! The F-IVM engine is only correct if its payload types really behave like
+//! rings (commutative addition with inverses, associative multiplication,
+//! distributivity).  These tests generate random elements of each ring and
+//! check the axioms with the shared checkers from `fivm_ring::axioms`.
+
+use fivm_common::Value;
+use fivm_ring::{axioms, Cofactor, GenCofactor, MatrixValue, RelValue, Ring};
+use proptest::prelude::*;
+
+const DIM: usize = 3;
+
+fn arb_cofactor() -> impl Strategy<Value = Cofactor> {
+    // A random sum of products of lifts and scalars.
+    let term = (0usize..DIM, -8.0f64..8.0).prop_map(|(idx, x)| Cofactor::lift(DIM, idx, x));
+    let scalar = (-4.0f64..4.0).prop_map(Cofactor::scalar);
+    let factor = prop_oneof![term, scalar];
+    prop::collection::vec((factor.clone(), factor), 0..3).prop_map(|pairs| {
+        let mut acc = Cofactor::zero();
+        for (a, b) in pairs {
+            acc.add_assign(&a.mul(&b));
+        }
+        acc
+    })
+}
+
+fn arb_relvalue() -> impl Strategy<Value = RelValue> {
+    prop::collection::vec((0u32..3, -3i64..4, -3.0f64..3.0), 0..4).prop_map(|entries| {
+        let mut acc = RelValue::empty();
+        for (attr, val, w) in entries {
+            acc.add_assign(&RelValue::weighted(attr as usize, Value::int(val), w));
+        }
+        acc
+    })
+}
+
+fn arb_gen_cofactor() -> impl Strategy<Value = GenCofactor> {
+    let cont = (0usize..DIM, -5.0f64..5.0)
+        .prop_map(|(idx, x)| GenCofactor::lift_continuous(DIM, idx, x));
+    let cat = (0usize..DIM, 0i64..4)
+        .prop_map(|(idx, v)| GenCofactor::lift_categorical(DIM, idx, idx, Value::int(v)));
+    let scalar = (-3.0f64..3.0).prop_map(GenCofactor::scalar);
+    let factor = prop_oneof![cont, cat, scalar];
+    prop::collection::vec((factor.clone(), factor), 0..3).prop_map(|pairs| {
+        let mut acc = GenCofactor::zero();
+        for (a, b) in pairs {
+            acc.add_assign(&a.mul(&b));
+        }
+        acc
+    })
+}
+
+fn arb_matrix() -> impl Strategy<Value = MatrixValue> {
+    prop::collection::vec(-4.0f64..4.0, 4).prop_map(|data| MatrixValue::from_rows(2, 2, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integer_ring_axioms(a in -50i64..50, b in -50i64..50, c in -50i64..50) {
+        axioms::check_ring_axioms(&a, &b, &c, 0.0);
+    }
+
+    #[test]
+    fn real_ring_axioms(a in -50.0f64..50.0, b in -50.0f64..50.0, c in -50.0f64..50.0) {
+        axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+
+    #[test]
+    fn cofactor_ring_axioms(a in arb_cofactor(), b in arb_cofactor(), c in arb_cofactor()) {
+        axioms::check_ring_axioms(&a, &b, &c, 1e-6);
+    }
+
+    #[test]
+    fn relvalue_ring_axioms(a in arb_relvalue(), b in arb_relvalue(), c in arb_relvalue()) {
+        axioms::check_ring_axioms(&a, &b, &c, 1e-6);
+    }
+
+    #[test]
+    fn gen_cofactor_ring_axioms(
+        a in arb_gen_cofactor(),
+        b in arb_gen_cofactor(),
+        c in arb_gen_cofactor(),
+    ) {
+        axioms::check_ring_axioms(&a, &b, &c, 1e-6);
+    }
+
+    #[test]
+    fn matrix_ring_axioms_without_mul_commutativity(
+        a in arb_matrix(),
+        b in arb_matrix(),
+        c in arb_matrix(),
+    ) {
+        // Matrix multiplication is not commutative, but all the checked
+        // axioms (associativity, distributivity, identities) must hold.
+        axioms::check_ring_axioms(&a, &b, &c, 1e-6);
+    }
+
+    #[test]
+    fn cofactor_deletion_cancels_insertion(a in arb_cofactor()) {
+        use fivm_ring::ApproxEq;
+        let cancelled = a.add(&a.neg());
+        let is_cancelled = cancelled.is_zero() || cancelled.approx_eq(&Cofactor::zero(), 1e-9);
+        prop_assert!(is_cancelled);
+    }
+
+    #[test]
+    fn gen_cofactor_scale_matches_repeated_add(a in arb_gen_cofactor(), k in 0i64..5) {
+        use fivm_ring::ApproxEq;
+        let mut acc = GenCofactor::zero();
+        for _ in 0..k {
+            acc.add_assign(&a);
+        }
+        prop_assert!(a.scale_int(k).approx_eq(&acc, 1e-7));
+    }
+}

@@ -1,0 +1,71 @@
+//! Walks through Figure 1 of the paper: the same join maintained under four
+//! different rings (count, COVAR continuous, COVAR with a categorical
+//! attribute, mutual information).
+//!
+//! Run with `cargo run --example figure1`.
+
+use fivm::core::apps;
+use fivm::data::{figure1_database, figure1_tree};
+use fivm::ml;
+use std::collections::HashMap;
+
+fn main() {
+    let db = figure1_database();
+
+    // Z ring: tuple multiplicities.
+    let mut count = apps::count_engine(figure1_tree(false)).unwrap();
+    count.load_database(&db).unwrap();
+    println!("count payload:   Q() = {}", count.result());
+
+    // Degree-3 matrix ring: COVAR over continuous B, C, D.
+    let mut covar = apps::covar_engine(figure1_tree(false)).unwrap();
+    covar.load_database(&db).unwrap();
+    let q = covar.result();
+    println!("\nCOVAR (continuous B, C, D):");
+    println!("  count = {}", q.count());
+    println!("  s     = [{}, {}, {}]", q.sum(0), q.sum(1), q.sum(2));
+    for i in 0..3 {
+        println!(
+            "  Q[{i}] = [{:5.1} {:5.1} {:5.1}]",
+            q.prod(i, 0),
+            q.prod(i, 1),
+            q.prod(i, 2)
+        );
+    }
+
+    // Generalized ring: COVAR with categorical C.
+    let mut gen = apps::gen_covar_engine(figure1_tree(true)).unwrap();
+    gen.load_database(&db).unwrap();
+    let g = gen.result();
+    println!("\nCOVAR (categorical C): SUM(1) GROUP BY C has {} categories", g.sum(1).len());
+
+    // MI payload: every attribute categorical.
+    let spec = {
+        let mut b = fivm::query::QuerySpec::builder("figure1_mi");
+        let a = b.key("A");
+        let bb = b.categorical_feature("B");
+        let c = b.categorical_feature("C");
+        let d = b.categorical_feature("D");
+        b.relation("R", &[a, bb]);
+        b.relation("S", &[a, c, d]);
+        b.build().unwrap()
+    };
+    let a = spec.var_id("A").unwrap();
+    let c = spec.var_id("C").unwrap();
+    let mut parents = vec![None; 4];
+    parents[spec.var_id("B").unwrap()] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").unwrap()] = Some(c);
+    let tree = fivm::query::ViewTree::from_parent_vars(spec, &parents).unwrap();
+    let mut mi = apps::mi_engine(tree, &HashMap::new()).unwrap();
+    mi.load_database(&db).unwrap();
+    let payload = mi.result();
+    let matrix = ml::mi_matrix(&payload, 3);
+    println!("\nMI matrix (B, C, D):");
+    for row in &matrix {
+        println!("  {:?}", row.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+    }
+    let tree = ml::chow_liu_tree(&matrix, 0).unwrap();
+    println!("\nChow-Liu tree rooted at B:");
+    print!("{}", tree.render(&["B".into(), "C".into(), "D".into()]));
+}

@@ -1,0 +1,61 @@
+//! Ridge linear regression over the Retailer join, maintained under bulks of
+//! updates: the COVAR matrix is kept incrementally by F-IVM and the model is
+//! re-converged by warm-started batch gradient descent after every bulk —
+//! the training dataset (the join) is never materialized.
+//!
+//! Run with `cargo run --release --example linear_regression`.
+
+use fivm::core::{apps, AggregateLayout};
+use fivm::data::{retailer, RetailerConfig, StreamConfig};
+use fivm::ml::{DenseCovar, RidgeSolver};
+
+fn main() {
+    let cfg = RetailerConfig::default();
+    let db = cfg.generate();
+    let spec = retailer::retailer_query_continuous();
+    let layout = AggregateLayout::of(&spec);
+    let label = layout.label.expect("inventoryunits is the label");
+    let tree = retailer::retailer_tree(spec);
+
+    let mut engine = apps::covar_engine(tree).unwrap();
+    engine.load_database(&db).unwrap();
+    println!(
+        "loaded Retailer: {} rows across {} tables; training tuples in the join = {}",
+        db.total_rows(),
+        db.len(),
+        engine.result().count()
+    );
+
+    let solver = RidgeSolver::with_lambda(1e-3);
+    let mut params: Option<Vec<f64>> = None;
+
+    let stream = cfg.update_stream(StreamConfig {
+        bulks: 5,
+        bulk_size: 1_000,
+        delete_fraction: 0.2,
+        seed: 99,
+    });
+    for (i, bulk) in stream.bulks().iter().enumerate() {
+        engine.apply_update(bulk).unwrap();
+        let covar = DenseCovar::from_cofactor(&engine.result(), &layout.names, label).unwrap();
+        let model = solver
+            .solve_gradient_descent(&covar, params.as_deref())
+            .unwrap();
+        println!(
+            "bulk {:>2}: tuples={:>9.0}  BGD iterations={:>6}  objective={:.4}",
+            i + 1,
+            covar.count,
+            model.iterations,
+            model.objective
+        );
+        params = Some(model.params);
+    }
+
+    // The final model, solved exactly for reference.
+    let covar = DenseCovar::from_cofactor(&engine.result(), &layout.names, label).unwrap();
+    let exact = solver.solve_closed_form(&covar).unwrap();
+    println!("\nfinal ridge model (closed form):");
+    for (name, theta) in exact.feature_names.iter().zip(exact.params.iter()) {
+        println!("  {name:<22} {theta:>12.6}");
+    }
+}

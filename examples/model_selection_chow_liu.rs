@@ -1,0 +1,55 @@
+//! Model selection and Chow-Liu trees over the Favorita join: maintain the
+//! mutual-information payload under update bulks, rank the attributes
+//! against the label, and rebuild the Chow-Liu tree after each bulk.
+//!
+//! Run with `cargo run --release --example model_selection_chow_liu`.
+
+use fivm::core::{apps, AggregateLayout, BinSpec};
+use fivm::data::{favorita, FavoritaConfig, StreamConfig};
+use fivm::ml::{chow_liu_tree, mi_matrix, rank_by_mi};
+use std::collections::HashMap;
+
+fn main() {
+    let cfg = FavoritaConfig::default();
+    let db = cfg.generate();
+    let spec = favorita::favorita_query();
+    let layout = AggregateLayout::of(&spec);
+    let label = layout.label.expect("unitsales is the label");
+    let tree = favorita::favorita_tree(spec.clone());
+
+    // Continuous attributes are discretized for the MI application.
+    let mut bins = HashMap::new();
+    for (pos, &v) in layout.vars.iter().enumerate() {
+        if layout.kinds[pos].is_continuous() {
+            bins.insert(v, BinSpec::new(0.0, 5_000.0, 10));
+        }
+    }
+    let mut engine = apps::mi_engine(tree, &bins).unwrap();
+    engine.load_database(&db).unwrap();
+
+    let stream = cfg.update_stream(StreamConfig {
+        bulks: 3,
+        bulk_size: 1_000,
+        delete_fraction: 0.2,
+        seed: 2023,
+    });
+    for bulk in stream.bulks() {
+        engine.apply_update(bulk).unwrap();
+    }
+    let payload = engine.result();
+    println!(
+        "maintained MI payload over {} training tuples\n",
+        payload.count()
+    );
+
+    // Model selection: which attributes predict unitsales?
+    let selection = rank_by_mi(&payload, layout.dim(), label, 0.01);
+    println!("attributes ranked by MI with `unitsales` (threshold 0.01):");
+    print!("{}", selection.render(&layout.names));
+
+    // Chow-Liu tree over all attributes.
+    let matrix = mi_matrix(&payload, layout.dim());
+    let tree = chow_liu_tree(&matrix, label).unwrap();
+    println!("\nChow-Liu tree rooted at `unitsales` (total MI {:.3}):", tree.total_mi);
+    print!("{}", tree.render(&layout.names));
+}

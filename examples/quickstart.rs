@@ -1,0 +1,54 @@
+//! Quickstart: maintain a count and a COVAR matrix over a two-relation join
+//! under inserts and deletes.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fivm::common::Value;
+use fivm::core::apps;
+use fivm::data::{figure1_database, figure1_tree};
+use fivm::relation::{tuple, Update};
+
+fn main() {
+    // The query: SELECT SUM(g_B(B) * g_C(C) * g_D(D))
+    //            FROM R(A, B) NATURAL JOIN S(A, C, D)
+    // The ring decides what the SUM means.
+    let db = figure1_database();
+
+    // 1. Count aggregate: the Z ring.
+    let mut count = apps::count_engine(figure1_tree(false)).unwrap();
+    count.load_database(&db).unwrap();
+    println!("initial |R ⋈ S|            = {}", count.result());
+
+    // 2. COVAR matrix: the degree-3 cofactor ring over B, C, D.
+    let mut covar = apps::covar_engine(figure1_tree(false)).unwrap();
+    covar.load_database(&db).unwrap();
+    let q = covar.result();
+    println!(
+        "initial COVAR: count={} SUM(B)={} SUM(B*D)={} SUM(D*D)={}",
+        q.count(),
+        q.sum(0),
+        q.prod(0, 2),
+        q.prod(2, 2)
+    );
+
+    // 3. Updates: inserts and deletes are handled uniformly.
+    let insert = Update::inserts("R", vec![tuple([Value::int(1), Value::int(4)])]);
+    let delete = Update::deletes(
+        "S",
+        vec![tuple([Value::int(1), Value::int(1), Value::int(1)])],
+    );
+    for (label, update) in [("insert into R", &insert), ("delete from S", &delete)] {
+        count.apply_update(update).unwrap();
+        covar.apply_update(update).unwrap();
+        let q = covar.result();
+        println!(
+            "after {label:<15}: |join|={} count={} SUM(B)={}",
+            count.result(),
+            q.count(),
+            q.sum(0)
+        );
+    }
+
+    // 4. The maintenance strategy (view tree) behind the scenes.
+    println!("\nview tree:\n{}", fivm::query::m3::render_tree_ascii(covar.tree()));
+}

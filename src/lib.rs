@@ -1,0 +1,53 @@
+//! # F-IVM — learning over fast-evolving relational data
+//!
+//! A Rust reproduction of *F-IVM: Learning over Fast-Evolving Relational
+//! Data* (SIGMOD 2020): incremental maintenance of analytics — count
+//! aggregates, COVAR matrices for ridge regression, mutual-information
+//! matrices for model selection and Chow-Liu trees — over natural-join
+//! queries under inserts and deletes.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`common`] | `fivm-common` | values, hashing, errors |
+//! | [`ring`] | `fivm-ring` | the ring abstraction and the concrete rings |
+//! | [`relation`] | `fivm-relation` | schemas, tuples, keyed relations, databases, updates |
+//! | [`query`] | `fivm-query` | query specs, variable orders, view trees, M3 rendering |
+//! | [`core`] | `fivm-core` | the maintenance engine and per-application constructors |
+//! | [`ml`] | `fivm-ml` | regression, mutual information, model selection, Chow-Liu trees |
+//! | [`data`] | `fivm-data` | Figure-1 toy data, Retailer/Favorita generators, update streams |
+//! | [`baselines`] | `fivm-baselines` | naive re-evaluation, join maintenance, unshared aggregates |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fivm::core::apps;
+//! use fivm::data::{figure1_database, figure1_tree};
+//! use fivm::relation::{tuple, Update};
+//! use fivm::common::Value;
+//!
+//! // COUNT(*) over R(A,B) ⋈ S(A,C,D), maintained under updates.
+//! let mut engine = apps::count_engine(figure1_tree(false)).unwrap();
+//! engine.load_database(&figure1_database()).unwrap();
+//! assert_eq!(engine.result(), 3);
+//!
+//! engine.apply_update(&Update::inserts(
+//!     "R",
+//!     vec![tuple([Value::int(1), Value::int(5)])],
+//! )).unwrap();
+//! assert_eq!(engine.result(), 5);
+//! ```
+//!
+//! See the `examples/` directory for the regression, model-selection and
+//! Chow-Liu walkthroughs, and `crates/bench` for the experiment harnesses
+//! that regenerate the paper's figures.
+
+pub use fivm_baselines as baselines;
+pub use fivm_common as common;
+pub use fivm_core as core;
+pub use fivm_data as data;
+pub use fivm_ml as ml;
+pub use fivm_query as query;
+pub use fivm_relation as relation;
+pub use fivm_ring as ring;

@@ -1,0 +1,214 @@
+//! End-to-end integration tests spanning every crate: datasets → query
+//! compilation → incremental maintenance → ML applications, checked against
+//! the baselines.
+
+use fivm::baselines::{JoinMaintenance, NaiveReevaluation};
+use fivm::core::{apps, AggregateLayout, Engine};
+use fivm::data::{retailer, FavoritaConfig, RetailerConfig, StreamConfig};
+use fivm::ml::{chow_liu_tree, mi_matrix, rank_by_mi, DenseCovar, RidgeSolver};
+use fivm::query::{EliminationHeuristic, VariableOrder, ViewTree};
+use fivm::ring::{ApproxEq, Cofactor, LiftFn};
+
+fn retailer_workload() -> (fivm::relation::Database, Vec<fivm::relation::Update>) {
+    let cfg = RetailerConfig::tiny();
+    let db = cfg.generate();
+    let stream = cfg.update_stream(StreamConfig {
+        bulks: 4,
+        bulk_size: 50,
+        delete_fraction: 0.3,
+        seed: 2,
+    });
+    (db, stream.into_bulks())
+}
+
+fn covar_lifts(spec: &fivm::query::QuerySpec) -> Vec<LiftFn<Cofactor>> {
+    let layout = AggregateLayout::of(spec);
+    let mut lifts = vec![LiftFn::identity(); spec.num_vars()];
+    for (idx, &v) in layout.vars.iter().enumerate() {
+        lifts[v] =
+            fivm::ring::lift::cofactor_continuous_lift(layout.dim(), idx, &layout.names[idx]);
+    }
+    lifts
+}
+
+#[test]
+fn retailer_covar_agrees_with_both_baselines_under_update_stream() {
+    let (db, updates) = retailer_workload();
+    let spec = retailer::retailer_query_continuous();
+    let tree = retailer::retailer_tree(spec.clone());
+
+    let mut engine = apps::covar_engine(tree).unwrap();
+    engine.load_database(&db).unwrap();
+    let mut naive = NaiveReevaluation::new(spec.clone(), covar_lifts(&spec)).unwrap();
+    naive.load_database(&db).unwrap();
+    let mut join_ivm = JoinMaintenance::new(spec.clone(), covar_lifts(&spec)).unwrap();
+    join_ivm.load_database(&db).unwrap();
+
+    assert!(engine.result().approx_eq(&naive.result(), 1e-6));
+    for bulk in &updates {
+        engine.apply_update(bulk).unwrap();
+        naive.apply_update(bulk).unwrap();
+        join_ivm.apply_update(bulk).unwrap();
+        assert!(engine.result().approx_eq(&naive.result(), 1e-6));
+        assert!(engine.result().approx_eq(&join_ivm.result(), 1e-6));
+    }
+}
+
+#[test]
+fn retailer_covar_is_order_independent_and_heuristic_agnostic() {
+    let (db, updates) = retailer_workload();
+    let spec = retailer::retailer_query_continuous();
+    let mut engines: Vec<Engine<Cofactor>> = Vec::new();
+    engines.push(apps::covar_engine(retailer::retailer_tree(spec.clone())).unwrap());
+    for h in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+        let vo = VariableOrder::heuristic(&spec, h).unwrap();
+        engines.push(apps::covar_engine(ViewTree::new(spec.clone(), vo).unwrap()).unwrap());
+    }
+    for e in &mut engines {
+        e.load_database(&db).unwrap();
+    }
+    for bulk in &updates {
+        for e in &mut engines {
+            e.apply_update(bulk).unwrap();
+        }
+    }
+    let reference = engines[0].result();
+    for e in &engines[1..] {
+        assert!(e.result().approx_eq(&reference, 1e-6));
+    }
+}
+
+#[test]
+fn regression_model_trained_on_maintained_covar_is_sane() {
+    let (db, updates) = retailer_workload();
+    let spec = retailer::retailer_query_continuous();
+    let layout = AggregateLayout::of(&spec);
+    let mut engine = apps::covar_engine(retailer::retailer_tree(spec)).unwrap();
+    engine.load_database(&db).unwrap();
+    for bulk in &updates {
+        engine.apply_update(bulk).unwrap();
+    }
+    let covar =
+        DenseCovar::from_cofactor(&engine.result(), &layout.names, layout.label.unwrap()).unwrap();
+    assert!(covar.count > 0.0);
+    let solver = RidgeSolver::with_lambda(1e-2);
+    let exact = solver.solve_closed_form(&covar).unwrap();
+    let gd = solver.solve_gradient_descent(&covar, None).unwrap();
+    assert_eq!(exact.params.len(), covar.features.len());
+    for p in &exact.params {
+        assert!(p.is_finite());
+    }
+    // BGD's objective cannot be much better than the exact solution's.
+    assert!(gd.objective + 1e-6 >= exact.objective - 1e-6);
+}
+
+#[test]
+fn mi_model_selection_and_chow_liu_run_on_favorita() {
+    let cfg = FavoritaConfig::tiny();
+    let db = cfg.generate();
+    let spec = fivm::data::favorita::favorita_query();
+    let layout = AggregateLayout::of(&spec);
+    let tree = fivm::data::favorita::favorita_tree(spec.clone());
+    let mut bins = std::collections::HashMap::new();
+    for (pos, &v) in layout.vars.iter().enumerate() {
+        if layout.kinds[pos].is_continuous() {
+            bins.insert(v, fivm::core::BinSpec::new(0.0, 5_000.0, 8));
+        }
+    }
+    let mut engine = apps::mi_engine(tree, &bins).unwrap();
+    engine.load_database(&db).unwrap();
+    let stream = cfg.update_stream(StreamConfig {
+        bulks: 2,
+        bulk_size: 40,
+        delete_fraction: 0.25,
+        seed: 5,
+    });
+    for bulk in stream.bulks() {
+        engine.apply_update(bulk).unwrap();
+    }
+    let payload = engine.result();
+    assert!(payload.count() > 0.0);
+
+    let matrix = mi_matrix(&payload, layout.dim());
+    // Symmetric, non-negative, diagonal = entropy ≥ off-diagonal pair MI.
+    for i in 0..layout.dim() {
+        for j in 0..layout.dim() {
+            assert!(matrix[i][j] >= 0.0);
+            assert!((matrix[i][j] - matrix[j][i]).abs() < 1e-12);
+        }
+    }
+    let label = layout.label.unwrap();
+    let selection = rank_by_mi(&payload, layout.dim(), label, 0.0);
+    assert_eq!(selection.ranking.len(), layout.dim() - 1);
+    let tree = chow_liu_tree(&matrix, label).unwrap();
+    assert_eq!(tree.edges.len(), layout.dim() - 1);
+    assert_eq!(tree.parent[label], None);
+}
+
+#[test]
+fn deleting_the_whole_stream_restores_the_initial_result() {
+    let (db, updates) = retailer_workload();
+    let spec = retailer::retailer_query_continuous();
+    let mut engine = apps::covar_engine(retailer::retailer_tree(spec)).unwrap();
+    engine.load_database(&db).unwrap();
+    let before = engine.result();
+    for bulk in &updates {
+        engine.apply_update(bulk).unwrap();
+    }
+    for bulk in updates.iter().rev() {
+        engine.apply_update(&bulk.inverse()).unwrap();
+    }
+    assert!(engine.result().approx_eq(&before, 1e-6));
+}
+
+#[test]
+fn count_engine_matches_naive_on_favorita() {
+    let cfg = FavoritaConfig::tiny();
+    let db = cfg.generate();
+    let spec = fivm::data::favorita::favorita_query();
+    let tree = fivm::data::favorita::favorita_tree(spec.clone());
+    let mut engine = apps::count_engine(tree).unwrap();
+    engine.load_database(&db).unwrap();
+    let mut naive =
+        NaiveReevaluation::<i64>::new(spec.clone(), vec![LiftFn::identity(); spec.num_vars()])
+            .unwrap();
+    naive.load_database(&db).unwrap();
+    assert_eq!(engine.result(), naive.result());
+    assert!(engine.result() > 0);
+
+    let stream = cfg.update_stream(StreamConfig {
+        bulks: 3,
+        bulk_size: 30,
+        delete_fraction: 0.3,
+        seed: 8,
+    });
+    for bulk in stream.bulks() {
+        engine.apply_update(bulk).unwrap();
+        naive.apply_update(bulk).unwrap();
+        assert_eq!(engine.result(), naive.result());
+    }
+}
+
+#[test]
+fn engine_reports_errors_for_malformed_inputs() {
+    let spec = retailer::retailer_query_continuous();
+    let tree = retailer::retailer_tree(spec.clone());
+    let mut engine = apps::covar_engine(tree).unwrap();
+    // Unknown table in an update.
+    let bad = fivm::relation::Update::inserts("NoSuchTable", vec![]);
+    assert!(engine.apply_update(&bad).is_err());
+    // Database missing one of the query's tables.
+    let mut db = fivm::relation::Database::new();
+    db.add_table(fivm::relation::BaseTable::new(
+        "Inventory",
+        RetailerConfig::inventory_schema(),
+    ))
+    .unwrap();
+    assert!(engine.load_database(&db).is_err());
+    // Wrong number of lifts.
+    assert!(Engine::<i64>::new(
+        retailer::retailer_tree(spec),
+        vec![LiftFn::identity(); 2]
+    )
+    .is_err());
+}
