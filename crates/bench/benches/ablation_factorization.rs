@@ -59,7 +59,7 @@ fn bench_factorization(c: &mut Criterion) {
             || workload.updates.clone(),
             |bulk| {
                 for u in bulk {
-                    black_box(jm.apply_update(&u).unwrap());
+                    jm.apply_update(&u).unwrap();
                 }
             },
             BatchSize::SmallInput,

@@ -81,6 +81,35 @@ fn bench_throughput(c: &mut Criterion) {
         )
     });
 
+    // Ablation of batched grouping: the same 500-row bulk applied one row
+    // at a time (each row is its own batch, so nothing groups and every
+    // row walks the whole leaf-to-root path alone).  The gap between this
+    // and `retailer_covar_bulk500` is what batch grouping buys.
+    group.bench_function("retailer_covar_bulk500_rowwise", |b| {
+        let mut engine = retailer.covar_engine();
+        engine.load_database(&retailer.database).unwrap();
+        b.iter_batched(
+            || retailer.updates.clone(),
+            |bulk| {
+                for u in bulk {
+                    for (row, mult) in u.rows.iter() {
+                        let rel = engine
+                            .tree()
+                            .spec()
+                            .relation_id(&u.table)
+                            .expect("known relation");
+                        black_box(
+                            engine
+                                .apply_rows(rel, std::iter::once((row.clone(), *mult)))
+                                .unwrap(),
+                        );
+                    }
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
     group.finish();
 }
 

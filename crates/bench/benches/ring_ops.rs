@@ -54,10 +54,49 @@ fn bench_rings(c: &mut Criterion) {
             bencher.iter(|| black_box(a.add(black_box(&b))))
         });
 
+        // In-place counterparts: same math, reused buffers, no allocation.
+        // Comparing these against `mul`/`add` above is the bench-level
+        // witness that the in-place ring API pays off.
+        group.bench_function(format!("cofactor_mul_into_dim{dim}"), |bencher| {
+            let mut out = a.mul(&b);
+            bencher.iter(|| {
+                a.mul_into(black_box(&b), &mut out);
+                black_box(&out);
+            })
+        });
+        group.bench_function(format!("cofactor_fma_dim{dim}"), |bencher| {
+            let mut acc = a.mul(&b);
+            let mut sign = 1i64;
+            bencher.iter(|| {
+                // Alternate signs so the accumulator stays bounded.
+                acc.fma_scaled(black_box(&a), black_box(&b), sign);
+                sign = -sign;
+                black_box(&acc);
+            })
+        });
+        group.bench_function(format!("cofactor_fma_lift_dim{dim}"), |bencher| {
+            let mut acc = a.mul(&b);
+            let mut sign = 1i64;
+            bencher.iter(|| {
+                acc.fma_lift_continuous(black_box(&a), dim, 1, 2.5, sign);
+                sign = -sign;
+                black_box(&acc);
+            })
+        });
+
         let ga = gen_cofactor_of(dim, 1);
         let gb = gen_cofactor_of(dim, 2);
         group.bench_function(format!("gen_cofactor_mul_dim{dim}"), |bencher| {
             bencher.iter(|| black_box(ga.mul(black_box(&gb))))
+        });
+        group.bench_function(format!("gen_cofactor_fma_dim{dim}"), |bencher| {
+            let mut acc = ga.mul(&gb);
+            let mut sign = 1i64;
+            bencher.iter(|| {
+                acc.fma_scaled(black_box(&ga), black_box(&gb), sign);
+                sign = -sign;
+                black_box(&acc);
+            })
         });
     }
 
@@ -74,6 +113,13 @@ fn bench_rings(c: &mut Criterion) {
             |(l, r)| black_box(l.mul(&r)),
             BatchSize::SmallInput,
         )
+    });
+    group.bench_function("relvalue_join_16x16_into", |bencher| {
+        let mut out = left.mul(&right);
+        bencher.iter(|| {
+            left.mul_into(black_box(&right), &mut out);
+            black_box(&out);
+        })
     });
     group.finish();
 }

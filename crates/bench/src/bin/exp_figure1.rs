@@ -34,11 +34,11 @@ fn main() {
         String::new(),
         String::new(),
     ]];
-    for i in 0..3 {
+    for (i, name) in names.iter().enumerate() {
         rows.push(vec![
-            format!("SUM({})", names[i]),
+            format!("SUM({name})"),
             format!("{}", q.sum(i)),
-            format!("SUM({0}*{0})", names[i]),
+            format!("SUM({name}*{name})"),
             format!("{}", q.prod(i, i)),
         ]);
     }

@@ -7,12 +7,20 @@
 //! scratch.  Absolute numbers depend on the machine; the ordering and rough
 //! ratios are what this experiment checks.
 //!
-//! Run with `--quick` for a fast smoke-test configuration.
+//! Also emits `BENCH_ivm.json` — the machine-readable perf baseline
+//! (rows/second, delta entries and ring-operation counts per F-IVM
+//! workload) that later perf PRs are measured against.
+//!
+//! Run with `--quick` for a fast smoke-test configuration; `--json PATH`
+//! overrides the artifact location.
 
 use fivm_baselines::{JoinMaintenance, NaiveReevaluation, UnsharedCovar};
-use fivm_bench::{format_speedup, measure, print_table, Throughput, Workload};
-use fivm_core::AggregateLayout;
-use fivm_ring::{Cofactor, LiftFn};
+use fivm_bench::{
+    format_speedup, measure, print_table, write_bench_json, BenchRecord, Throughput, Workload,
+};
+use fivm_core::{AggregateLayout, Engine, EngineStats};
+use fivm_relation::Update;
+use fivm_ring::{Cofactor, LiftFn, Ring};
 
 fn covar_lifts(spec: &fivm_query::QuerySpec) -> Vec<LiftFn<Cofactor>> {
     let layout = AggregateLayout::of(spec);
@@ -23,8 +31,24 @@ fn covar_lifts(spec: &fivm_query::QuerySpec) -> Vec<LiftFn<Cofactor>> {
     lifts
 }
 
+/// Replays the update stream through an F-IVM engine, returning wall-clock
+/// timing and the engine's own work counters for the update phase only.
+fn run_fivm<R: Ring>(engine: &mut Engine<R>, updates: &[Update]) -> (Throughput, EngineStats) {
+    let before = engine.stats();
+    let t = measure(updates, |b| {
+        engine.apply_update(b).unwrap();
+    });
+    (t, engine.stats().delta_since(&before))
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ivm.json".to_string());
     let (retailer_cfg, favorita_cfg, stream) = if quick {
         (
             fivm_data::RetailerConfig::tiny(),
@@ -49,8 +73,24 @@ fn main() {
         )
     };
 
-    println!("== E2: update throughput (updates/second), bulk size {} ==\n", stream.bulk_size);
+    println!(
+        "== E2: update throughput (updates/second), bulk size {} ==\n",
+        stream.bulk_size
+    );
     let mut rows = Vec::new();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut record = |dataset: &str, app: &str, t: Throughput, stats: EngineStats| {
+        records.push(BenchRecord {
+            dataset: dataset.to_string(),
+            app: app.to_string(),
+            bulk_size: stream.bulk_size,
+            updates: t.updates,
+            seconds: t.seconds,
+            delta_entries: stats.delta_entries,
+            ring_adds: stats.ring_adds,
+            ring_muls: stats.ring_muls,
+        });
+    };
 
     for dataset in ["Retailer", "Favorita"] {
         let workload = match dataset {
@@ -67,56 +107,41 @@ fn main() {
         // --- F-IVM: COUNT, COVAR (or generalized COVAR), MI ----------------
         let mut count = workload.count_engine();
         count.load_database(&workload.database).unwrap();
-        let t_count = measure(&workload.updates, |b| {
-            count.apply_update(b).unwrap();
-        });
-        push_row(&mut rows, dataset, "F-IVM", "COUNT", t_count, None);
+        let (t_count, s_count) = run_fivm(&mut count, &workload.updates);
+        record(dataset, "COUNT", t_count, s_count);
+        push_row(&mut rows, dataset, "F-IVM", "COUNT", t_count, Some(s_count), None);
 
-        let fivm_covar: Throughput;
-        if dataset == "Retailer" {
+        let (fivm_covar, s_covar) = if dataset == "Retailer" {
             let mut covar = workload.covar_engine();
             covar.load_database(&workload.database).unwrap();
-            fivm_covar = measure(&workload.updates, |b| {
-                covar.apply_update(b).unwrap();
-            });
+            run_fivm(&mut covar, &workload.updates)
         } else {
             let mut covar = workload.gen_covar_engine();
             covar.load_database(&workload.database).unwrap();
-            fivm_covar = measure(&workload.updates, |b| {
-                covar.apply_update(b).unwrap();
-            });
-        }
-        push_row(&mut rows, dataset, "F-IVM", "COVAR", fivm_covar, None);
+            run_fivm(&mut covar, &workload.updates)
+        };
+        record(dataset, "COVAR", fivm_covar, s_covar);
+        push_row(&mut rows, dataset, "F-IVM", "COVAR", fivm_covar, Some(s_covar), None);
 
         let mut mi = workload.mi_engine();
         mi.load_database(&workload.database).unwrap();
-        let t_mi = measure(&workload.updates, |b| {
-            mi.apply_update(b).unwrap();
-        });
-        push_row(&mut rows, dataset, "F-IVM", "MI", t_mi, None);
+        let (t_mi, s_mi) = run_fivm(&mut mi, &workload.updates);
+        record(dataset, "MI", t_mi, s_mi);
+        push_row(&mut rows, dataset, "F-IVM", "MI", t_mi, Some(s_mi), None);
 
         // --- Baseline: first-order join maintenance (COVAR aggregate) ------
-        let lifts = if dataset == "Retailer" {
-            covar_lifts(&workload.spec)
-        } else {
-            // Favorita's mixed query: reuse continuous lifts for the
-            // continuous attributes only (join maintenance cost is dominated
-            // by the join either way).
-            covar_lifts(&fivm_data::retailer::retailer_query_continuous())
-        };
-        let join_covar = if dataset == "Retailer" {
+        if dataset == "Retailer" {
+            let lifts = covar_lifts(&workload.spec);
             let mut jm = JoinMaintenance::new(workload.spec.clone(), lifts).unwrap();
             jm.load_database(&workload.database).unwrap();
             let t = measure(&workload.updates, |b| {
                 jm.apply_update(b).unwrap();
             });
-            println!("  join-maintenance materialized join size: {} tuples", jm.join_size());
-            Some(t)
-        } else {
-            None
-        };
-        if let Some(t) = join_covar {
-            push_row(&mut rows, dataset, "join-maintenance", "COVAR", t, Some(fivm_covar));
+            println!(
+                "  join-maintenance materialized join size: {} tuples",
+                jm.join_size()
+            );
+            push_row(&mut rows, dataset, "join-maintenance", "COVAR", t, None, Some(fivm_covar));
         } else {
             // Favorita: the join-maintenance baseline maintains the join with
             // a count aggregate on top (its cost is dominated by the join).
@@ -129,8 +154,19 @@ fn main() {
             let t = measure(&workload.updates, |b| {
                 jm.apply_update(b).unwrap();
             });
-            println!("  join-maintenance materialized join size: {} tuples", jm.join_size());
-            push_row(&mut rows, dataset, "join-maintenance", "COUNT (join kept)", t, Some(t_count));
+            println!(
+                "  join-maintenance materialized join size: {} tuples",
+                jm.join_size()
+            );
+            push_row(
+                &mut rows,
+                dataset,
+                "join-maintenance",
+                "COUNT (join kept)",
+                t,
+                None,
+                Some(t_count),
+            );
         }
 
         // --- Baseline: naive re-evaluation after every bulk ----------------
@@ -144,7 +180,7 @@ fn main() {
                 naive.apply_update(b).unwrap();
                 std::hint::black_box(naive.result());
             });
-            push_row(&mut rows, dataset, "naive re-evaluation", "COVAR", t, Some(fivm_covar));
+            push_row(&mut rows, dataset, "naive re-evaluation", "COVAR", t, None, Some(fivm_covar));
 
             // --- Ablation: unshared per-aggregate maintenance --------------
             let tree = fivm_data::retailer::retailer_tree(spec);
@@ -153,35 +189,63 @@ fn main() {
             let t = measure(subset, |b| {
                 unshared.apply_update(b).unwrap();
             });
-            push_row(&mut rows, dataset, "unshared aggregates", "COVAR", t, Some(fivm_covar));
+            push_row(&mut rows, dataset, "unshared aggregates", "COVAR", t, None, Some(fivm_covar));
         }
         println!();
     }
 
     print_table(
-        &["dataset", "system", "application", "updates/s", "slowdown vs F-IVM"],
+        &[
+            "dataset",
+            "system",
+            "application",
+            "updates/s",
+            "delta entries",
+            "ring adds",
+            "ring muls",
+            "slowdown vs F-IVM",
+        ],
         &rows,
     );
+
+    match write_bench_json(&json_path, &records) {
+        Ok(()) => println!("\nwrote {json_path} ({} records)", records.len()),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
     println!("\n(paper's claim: F-IVM averages ~10K updates/s and beats DBToaster-style");
     println!(" join maintenance by orders of magnitude on these workloads)");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn push_row(
     rows: &mut Vec<Vec<String>>,
     dataset: &str,
     system: &str,
     app: &str,
     t: Throughput,
+    stats: Option<EngineStats>,
     fivm_reference: Option<Throughput>,
 ) {
     let slowdown = fivm_reference
         .map(|r| format_speedup(r.updates_per_second() / t.updates_per_second()))
         .unwrap_or_else(|| "-".to_string());
+    let (de, ra, rm) = stats
+        .map(|s| {
+            (
+                s.delta_entries.to_string(),
+                s.ring_adds.to_string(),
+                s.ring_muls.to_string(),
+            )
+        })
+        .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
     rows.push(vec![
         dataset.to_string(),
         system.to_string(),
         app.to_string(),
         format!("{:.0}", t.updates_per_second()),
+        de,
+        ra,
+        rm,
         slowdown,
     ]);
 }

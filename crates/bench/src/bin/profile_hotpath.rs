@@ -1,0 +1,101 @@
+//! Diagnostic: allocation counts and phase timings on the maintenance hot
+//! path.  Not an experiment from the paper — a tool for keeping the
+//! in-place hot path honest (run after changes to `fivm-core`/`fivm-ring`
+//! to see allocations/row and where the time goes).
+
+use fivm_bench::Workload;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workload = Workload::retailer(
+        fivm_data::RetailerConfig::default(),
+        fivm_data::StreamConfig {
+            bulks: if quick { 10 } else { 100 },
+            bulk_size: 1_000,
+            delete_fraction: 0.2,
+            seed: 1,
+        },
+        true,
+    );
+    let rows: usize = workload.updates.iter().map(|u| u.len()).sum();
+    println!("Retailer, {} update rows in {} bulks", rows, workload.updates.len());
+
+    // COUNT engine.
+    let mut count = workload.count_engine();
+    count.load_database(&workload.database).unwrap();
+    let (a0, t0) = (allocs(), Instant::now());
+    for u in &workload.updates {
+        black_box(count.apply_update(u).unwrap());
+    }
+    let (dt, da) = (t0.elapsed(), allocs() - a0);
+    println!(
+        "COUNT : {:>8.0} rows/s  {:>6.1} allocs/row  {:>7.0} ns/row  stats={:?}",
+        rows as f64 / dt.as_secs_f64(),
+        da as f64 / rows as f64,
+        dt.as_nanos() as f64 / rows as f64,
+        count.stats()
+    );
+
+    // COVAR engine.
+    let mut covar = workload.covar_engine();
+    covar.load_database(&workload.database).unwrap();
+    let (a0, t0) = (allocs(), Instant::now());
+    for u in &workload.updates {
+        black_box(covar.apply_update(u).unwrap());
+    }
+    let (dt, da) = (t0.elapsed(), allocs() - a0);
+    println!(
+        "COVAR : {:>8.0} rows/s  {:>6.1} allocs/row  {:>7.0} ns/row  stats={:?}",
+        rows as f64 / dt.as_secs_f64(),
+        da as f64 / rows as f64,
+        dt.as_nanos() as f64 / rows as f64,
+        covar.stats()
+    );
+
+    // Baseline cost of just iterating + cloning the update rows (what any
+    // engine pays before touching views).
+    let (a0, t0) = (allocs(), Instant::now());
+    let mut n = 0usize;
+    for u in &workload.updates {
+        for (row, m) in u.rows.iter() {
+            black_box((row.clone(), m));
+            n += 1;
+        }
+    }
+    let (dt, da) = (t0.elapsed(), allocs() - a0);
+    println!(
+        "clone : {:>8.0} rows/s  {:>6.1} allocs/row  {:>7.0} ns/row  ({n} rows)",
+        rows as f64 / dt.as_secs_f64(),
+        da as f64 / rows as f64,
+        dt.as_nanos() as f64 / rows as f64,
+    );
+}

@@ -175,6 +175,70 @@ pub fn measure<F: FnMut(&Update)>(updates: &[Update], mut apply: F) -> Throughpu
     }
 }
 
+/// One measured F-IVM configuration, as recorded in `BENCH_ivm.json`.
+///
+/// The JSON file gives every future perf PR a machine-readable baseline:
+/// rows/second plus the engine's own work counters (delta entries and ring
+/// operations), so a regression in either wall-clock or algorithmic work
+/// is visible from the artifact alone.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Dataset name (`Retailer`, `Favorita`).
+    pub dataset: String,
+    /// Application / ring (`COUNT`, `COVAR`, `MI`).
+    pub app: String,
+    /// Updates per bulk in the replayed stream.
+    pub bulk_size: usize,
+    /// Individual updates applied.
+    pub updates: usize,
+    /// Wall-clock seconds spent applying them.
+    pub seconds: f64,
+    /// Delta entries pushed into views (update phase only).
+    pub delta_entries: usize,
+    /// Ring additions (update phase only).
+    pub ring_adds: usize,
+    /// Ring multiplications (update phase only).
+    pub ring_muls: usize,
+}
+
+impl BenchRecord {
+    /// Updates (rows) per second.
+    pub fn rows_per_sec(&self) -> f64 {
+        if self.seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            self.updates as f64 / self.seconds
+        }
+    }
+}
+
+/// Writes the benchmark records as a `BENCH_*.json` artifact (hand-rolled
+/// JSON — the build environment has no serde).
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"benchmark\": \"ivm_throughput\",\n  \"workloads\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"app\": \"{}\", \"bulk_size\": {}, ",
+                "\"updates\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, ",
+                "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}}}{}\n"
+            ),
+            r.dataset,
+            r.app,
+            r.bulk_size,
+            r.updates,
+            r.seconds,
+            r.rows_per_sec(),
+            r.delta_entries,
+            r.ring_adds,
+            r.ring_muls,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Formats a ratio like `123.4x` with a sensible precision.
 pub fn format_speedup(ratio: f64) -> String {
     if ratio >= 100.0 {

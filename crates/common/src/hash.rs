@@ -126,9 +126,7 @@ mod tests {
     use std::hash::{BuildHasher, Hash};
 
     fn hash_one<T: Hash>(value: &T) -> u64 {
-        let mut hasher = FxBuildHasher::default().build_hasher();
-        value.hash(&mut hasher);
-        hasher.finish()
+        FxBuildHasher::default().hash_one(value)
     }
 
     #[test]

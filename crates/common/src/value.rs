@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn ordf64_orders_like_f64_and_puts_nan_last() {
-        let mut xs = vec![
+        let mut xs = [
             OrdF64::new(3.0),
             OrdF64::new(f64::NAN),
             OrdF64::new(-1.5),

@@ -4,8 +4,9 @@
 //! per base relation) with payloads from an application ring `R`, and keeps
 //! them consistent under inserts and deletes:
 //!
-//! 1. An update to relation `K` is turned into a delta over the leaf view's
-//!    key (payload = `1` scaled by the signed multiplicity).
+//! 1. An update batch to relation `K` is **grouped by key** into one delta
+//!    entry per distinct key (payload = `1` scaled by the summed signed
+//!    multiplicity) — rows that cancel inside the batch never propagate.
 //! 2. The delta is propagated along the leaf-to-root maintenance path.  At
 //!    each view `V@X`, the delta of the updating child is joined against the
 //!    *materialized* sibling views (using the probes fixed by the
@@ -14,10 +15,19 @@
 //! 3. Views on other branches are untouched — this is the core of F-IVM's
 //!    efficiency.
 //!
+//! The hot path is allocation-conscious: partial products along a probe
+//! chain are computed with [`Ring::mul_into`] into per-depth scratch
+//! buffers reused across updates, contributions are accumulated into the
+//! per-level delta map with [`Ring::fma_scaled`] (no temporaries for dense
+//! cofactor payloads), probe keys are gathered into a reusable buffer
+//! instead of freshly boxed tuples, and the per-level delta containers
+//! themselves persist across updates.  Zero payloads are erased in place
+//! after each level.
+//!
 //! The engine is completely generic in the ring; the applications in
 //! [`crate::apps`] merely pick a ring and a set of lifts.
 
-use crate::plan::{DeltaPlan, ExecutionPlan, NodePlan, ProbeKind, ALREADY_BOUND};
+use crate::plan::{DeltaPlan, ExecutionPlan, ProbeKind, ALREADY_BOUND};
 use crate::view::MaterializedView;
 use fivm_common::{FivmError, FxHashMap, RelId, Result, Value};
 use fivm_query::ViewTree;
@@ -33,6 +43,26 @@ pub struct EngineStats {
     pub rows_applied: usize,
     /// Number of delta entries pushed into views (all levels).
     pub delta_entries: usize,
+    /// Number of ring additions (`add_assign` and the add half of
+    /// `fma_scaled`) performed on the maintenance path.
+    pub ring_adds: usize,
+    /// Number of ring multiplications (`mul`, `mul_into`, and the multiply
+    /// half of `fma_scaled`) performed on the maintenance path.
+    pub ring_muls: usize,
+}
+
+impl EngineStats {
+    /// The work performed since an earlier snapshot (field-wise
+    /// difference) — useful for excluding initial load from measurements.
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied - earlier.updates_applied,
+            rows_applied: self.rows_applied - earlier.rows_applied,
+            delta_entries: self.delta_entries - earlier.delta_entries,
+            ring_adds: self.ring_adds - earlier.ring_adds,
+            ring_muls: self.ring_muls - earlier.ring_muls,
+        }
+    }
 }
 
 /// Result of applying one update batch.
@@ -44,6 +74,35 @@ pub struct UpdateOutcome {
     pub delta_entries: usize,
 }
 
+/// Reusable buffers for delta propagation, kept across updates so the hot
+/// path performs no per-update container allocation.
+struct PropagationScratch<R: Ring> {
+    /// The delta entering the current level (drained from `next`).
+    current: Vec<(Tuple, R)>,
+    /// The delta being produced for the next level.
+    next: FxHashMap<Tuple, R>,
+    /// Per-probe-depth partial products (`acc * sibling payload`); their
+    /// inner allocations (vectors, matrices, maps) are reused by
+    /// [`Ring::mul_into`].
+    partials: Vec<R>,
+    /// Gather buffer for probe keys and output keys.
+    key_buf: Vec<Value>,
+    /// The assignment (bound variable values) at the current node.
+    assignment: Vec<Value>,
+}
+
+impl<R: Ring> PropagationScratch<R> {
+    fn new(max_probe_depth: usize, max_local_vars: usize) -> Self {
+        PropagationScratch {
+            current: Vec::new(),
+            next: FxHashMap::default(),
+            partials: (0..max_probe_depth).map(|_| R::zero()).collect(),
+            key_buf: Vec::new(),
+            assignment: vec![Value::Null; max_local_vars],
+        }
+    }
+}
+
 /// The F-IVM engine for a fixed query, view tree and ring.
 pub struct Engine<R: Ring> {
     plan: ExecutionPlan,
@@ -53,6 +112,7 @@ pub struct Engine<R: Ring> {
     /// of the source table it is read from.  Set by [`Engine::bind_table`] /
     /// [`Engine::load_database`]; identity if never bound.
     bindings: Vec<Option<Vec<usize>>>,
+    scratch: PropagationScratch<R>,
     stats: EngineStats,
 }
 
@@ -84,12 +144,26 @@ impl<R: Ring> Engine<R> {
                 views[view_idx].ensure_index(positions.clone());
             }
         }
+        let max_probe_depth = plan
+            .node_plans()
+            .iter()
+            .flat_map(|np| np.delta_plans.iter())
+            .map(|dp| dp.steps.len())
+            .max()
+            .unwrap_or(0);
+        let max_local_vars = plan
+            .node_plans()
+            .iter()
+            .map(|np| np.local_vars.len())
+            .max()
+            .unwrap_or(0);
         let num_rels = plan.leaf_plans().len();
         Ok(Engine {
             plan,
             lifts,
             views,
             bindings: vec![None; num_rels],
+            scratch: PropagationScratch::new(max_probe_depth, max_local_vars),
             stats: EngineStats::default(),
         })
     }
@@ -190,6 +264,9 @@ impl<R: Ring> Engine<R> {
     }
 
     /// Applies an update batch addressed by table name.
+    ///
+    /// Works by reference: rows are projected straight into the grouped
+    /// leaf delta without cloning whole tuples first.
     pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome> {
         let rel = self
             .plan
@@ -202,7 +279,23 @@ impl<R: Ring> Engine<R> {
                     update.table
                 ))
             })?;
-        self.apply_rows(rel, update.rows.iter().cloned())
+        let arity = self.plan.leaf_plans()[rel].vars.len();
+        let one = R::one();
+        let mut input_rows = 0usize;
+        for (row, mult) in &update.rows {
+            input_rows += 1;
+            group_row(
+                &mut self.scratch.next,
+                &mut self.scratch.key_buf,
+                &mut self.stats,
+                &one,
+                self.bindings[rel].as_deref(),
+                arity,
+                row,
+                *mult,
+            )?;
+        }
+        self.propagate_grouped(rel, input_rows)
     }
 
     /// Applies a batch of `(row, multiplicity)` changes to a relation.
@@ -210,84 +303,109 @@ impl<R: Ring> Engine<R> {
     /// Rows are in the bound table layout if [`Engine::bind_table`] was
     /// called for this relation, otherwise they must list exactly the
     /// relation's query variables in declaration order.
+    ///
+    /// The whole batch is grouped by key before propagation, so the
+    /// per-level work is bounded by the number of *distinct* keys, not the
+    /// number of input rows.
     pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> Result<UpdateOutcome>
     where
         I: IntoIterator<Item = (Tuple, i64)>,
     {
-        let leaf = &self.plan.leaf_plans()[rel];
-        let arity = leaf.vars.len();
-        let binding = self.bindings[rel].clone();
-
-        // Accumulate the leaf delta, merging duplicate keys.
-        let mut delta: FxHashMap<Tuple, R> = FxHashMap::default();
+        let arity = self.plan.leaf_plans()[rel].vars.len();
+        let one = R::one();
         let mut input_rows = 0usize;
         for (row, mult) in rows {
             input_rows += 1;
-            if mult == 0 {
-                continue;
-            }
-            let key: Tuple = match &binding {
-                Some(cols) => cols
-                    .iter()
-                    .map(|&c| {
-                        row.get(c).cloned().ok_or_else(|| {
-                            FivmError::InvalidUpdate(format!(
-                                "row has {} columns but column {c} was bound",
-                                row.len()
-                            ))
-                        })
-                    })
-                    .collect::<Result<Vec<_>>>()?
-                    .into_boxed_slice(),
-                None => {
-                    if row.len() != arity {
-                        return Err(FivmError::InvalidUpdate(format!(
-                            "row arity {} does not match relation arity {arity}",
-                            row.len()
-                        )));
-                    }
-                    row
-                }
-            };
-            let payload = R::one().scale_int(mult);
-            match delta.entry(key) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(payload);
-                }
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    o.get_mut().add_assign(&payload);
-                }
-            }
+            group_row(
+                &mut self.scratch.next,
+                &mut self.scratch.key_buf,
+                &mut self.stats,
+                &one,
+                self.bindings[rel].as_deref(),
+                arity,
+                &row,
+                mult,
+            )?;
         }
+        self.propagate_grouped(rel, input_rows)
+    }
+
+    /// Shared tail of every update path: erases cancelled keys from the
+    /// grouped leaf delta waiting in `scratch.next`, applies it to the leaf
+    /// view and propagates level by level to the root.
+    fn propagate_grouped(&mut self, rel: RelId, input_rows: usize) -> Result<UpdateOutcome> {
+        let leaf = &self.plan.leaf_plans()[rel];
+        let leaf_view_idx = leaf.view_idx;
+        let leaf_parent = leaf.parent;
+
+        let delta = &mut self.scratch.next;
         delta.retain(|_, p| !p.is_zero());
 
         let mut outcome = UpdateOutcome {
             input_rows,
             delta_entries: 0,
         };
+        self.stats.updates_applied += 1;
+        self.stats.rows_applied += input_rows;
         if delta.is_empty() {
-            self.stats.updates_applied += 1;
-            self.stats.rows_applied += input_rows;
             return Ok(outcome);
         }
 
-        // Apply to the leaf view.
-        let leaf_view_idx = leaf.view_idx;
-        let mut current: Vec<(Tuple, R)> = delta.into_iter().collect();
-        for (k, p) in &current {
-            self.views[leaf_view_idx].add(k.clone(), p.clone());
+        // Apply to the leaf view and start the leaf-to-root walk.
+        let current = &mut self.scratch.current;
+        current.clear();
+        current.extend(delta.drain());
+        for (k, p) in current.iter() {
+            if self.views[leaf_view_idx].add_ref(k, p) {
+                self.stats.ring_adds += 1;
+            }
         }
         outcome.delta_entries += current.len();
 
         // Propagate along the maintenance path.
-        let (mut node_id, mut child_pos) = leaf.parent;
+        let (mut node_id, mut child_pos) = leaf_parent;
         loop {
-            let produced = self.propagate_at_node(node_id, child_pos, &current);
-            outcome.delta_entries += produced.len();
-            for (k, p) in &produced {
-                self.views[node_id].add(k.clone(), p.clone());
+            let np = &self.plan.node_plans()[node_id];
+            let dp = &np.delta_plans[child_pos];
+            let lift = &self.lifts[np.var];
+            let produced = &mut self.scratch.next;
+            debug_assert!(produced.is_empty(), "scratch delta not drained");
+
+            self.scratch
+                .assignment
+                .iter_mut()
+                .for_each(|v| *v = Value::Null);
+            for (key, payload) in self.scratch.current.iter() {
+                for (col, &pos) in dp.scatter.iter().enumerate() {
+                    self.scratch.assignment[pos] = key[col].clone();
+                }
+                extend_assignment(
+                    &self.views,
+                    dp,
+                    lift,
+                    &dp.steps,
+                    &mut self.scratch.assignment,
+                    &mut self.scratch.key_buf,
+                    payload,
+                    &mut self.scratch.partials,
+                    produced,
+                    &mut self.stats,
+                );
             }
-            current = produced;
+
+            // Erase zero payloads in place before the delta is applied or
+            // handed to the parent.
+            produced.retain(|_, p| !p.is_zero());
+
+            let current = &mut self.scratch.current;
+            current.clear();
+            current.extend(produced.drain());
+            outcome.delta_entries += current.len();
+            for (k, p) in current.iter() {
+                if self.views[node_id].add_ref(k, p) {
+                    self.stats.ring_adds += 1;
+                }
+            }
             if current.is_empty() {
                 break;
             }
@@ -299,112 +417,179 @@ impl<R: Ring> Engine<R> {
                 None => break,
             }
         }
+        self.scratch.current.clear();
 
-        self.stats.updates_applied += 1;
-        self.stats.rows_applied += input_rows;
         self.stats.delta_entries += outcome.delta_entries;
         Ok(outcome)
     }
+}
 
-    /// Computes the delta of view `node_id` given the delta of its child at
-    /// position `child_pos`, without modifying any view.
-    fn propagate_at_node(
-        &self,
-        node_id: usize,
-        child_pos: usize,
-        child_delta: &[(Tuple, R)],
-    ) -> Vec<(Tuple, R)> {
-        let np = &self.plan.node_plans()[node_id];
-        let dp = &np.delta_plans[child_pos];
-        let lift = &self.lifts[np.var];
-        let mut out: FxHashMap<Tuple, R> = FxHashMap::default();
-        let mut assignment: Vec<Value> = vec![Value::Null; np.local_vars.len()];
-
-        for (key, payload) in child_delta {
-            for (col, &pos) in dp.scatter.iter().enumerate() {
-                assignment[pos] = key[col].clone();
-            }
-            self.extend_assignment(np, dp, lift, 0, &mut assignment, payload, &mut out);
-        }
-
-        out.retain(|_, p| !p.is_zero());
-        out.into_iter().collect()
+/// Merges one input row into the grouped leaf delta: projects the row
+/// through the table binding (or validates its arity) into `key_buf`, then
+/// accumulates `1 · mult` under that key.  Boxes a fresh key only when the
+/// key is not already grouped; duplicate keys allocate nothing.
+///
+/// Shared by [`Engine::apply_update`] and [`Engine::apply_rows`] so the
+/// validation and grouping semantics cannot diverge.  On error the grouped
+/// delta is cleared so the scratch stays drained for the next batch.
+#[allow(clippy::too_many_arguments)]
+fn group_row<R: Ring>(
+    delta: &mut FxHashMap<Tuple, R>,
+    key_buf: &mut Vec<Value>,
+    stats: &mut EngineStats,
+    one: &R,
+    binding: Option<&[usize]>,
+    arity: usize,
+    row: &[Value],
+    mult: i64,
+) -> Result<()> {
+    if mult == 0 {
+        return Ok(());
     }
-
-    /// Recursively extends a partial assignment by probing siblings, then
-    /// applies the lift and emits the marginalized contribution.
-    #[allow(clippy::too_many_arguments)]
-    fn extend_assignment(
-        &self,
-        np: &NodePlan,
-        dp: &DeltaPlan,
-        lift: &LiftFn<R>,
-        step_idx: usize,
-        assignment: &mut Vec<Value>,
-        acc: &R,
-        out: &mut FxHashMap<Tuple, R>,
-    ) {
-        if step_idx == dp.steps.len() {
-            let mut payload = acc.clone();
-            if !lift.is_identity() {
-                payload = payload.mul(&lift.apply(&assignment[dp.var_position]));
-            }
-            if payload.is_zero() {
-                return;
-            }
-            let key: Tuple = dp
-                .key_positions
-                .iter()
-                .map(|&p| assignment[p].clone())
-                .collect::<Vec<_>>()
-                .into_boxed_slice();
-            match out.entry(key) {
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(payload);
-                }
-                std::collections::hash_map::Entry::Occupied(mut o) => {
-                    o.get_mut().add_assign(&payload);
+    key_buf.clear();
+    match binding {
+        Some(cols) => {
+            for &c in cols {
+                match row.get(c) {
+                    Some(v) => key_buf.push(v.clone()),
+                    None => {
+                        delta.clear();
+                        return Err(FivmError::InvalidUpdate(format!(
+                            "row has {} columns but column {c} was bound",
+                            row.len()
+                        )));
+                    }
                 }
             }
-            return;
         }
+        None => {
+            if row.len() != arity {
+                delta.clear();
+                return Err(FivmError::InvalidUpdate(format!(
+                    "row arity {} does not match relation arity {arity}",
+                    row.len()
+                )));
+            }
+            key_buf.extend_from_slice(row);
+        }
+    }
+    match delta.get_mut(key_buf.as_slice()) {
+        Some(slot) => {
+            slot.fma_scaled(one, one, mult);
+            stats.ring_adds += 1;
+        }
+        None => {
+            delta.insert(key_buf.clone().into_boxed_slice(), one.scale_int(mult));
+        }
+    }
+    Ok(())
+}
 
-        let step = &dp.steps[step_idx];
-        let view = &self.views[step.sibling_view];
-        let probe: Tuple = step
-            .probe_positions
-            .iter()
-            .map(|&p| assignment[p].clone())
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-
-        match &step.probe {
-            ProbeKind::Primary => {
-                if let Some(p) = view.get(&probe) {
-                    let next = acc.mul(p);
-                    if !next.is_zero() {
-                        self.extend_assignment(np, dp, lift, step_idx + 1, assignment, &next, out);
+/// Extends a partial assignment by probing the remaining siblings, then
+/// applies the lift and accumulates the marginalized contribution into
+/// `out`.
+///
+/// Partial products are written into `partials` (one slot per probe depth,
+/// reused across calls via [`Ring::mul_into`]); the final contribution is
+/// accumulated with [`Ring::fma_scaled`], so the dense-payload hot path
+/// performs no ring allocation.
+#[allow(clippy::too_many_arguments)]
+fn extend_assignment<R: Ring>(
+    views: &[MaterializedView<R>],
+    dp: &DeltaPlan,
+    lift: &LiftFn<R>,
+    steps: &[crate::plan::DeltaStep],
+    assignment: &mut [Value],
+    key_buf: &mut Vec<Value>,
+    acc: &R,
+    partials: &mut [R],
+    out: &mut FxHashMap<Tuple, R>,
+    stats: &mut EngineStats,
+) {
+    let Some((step, rest)) = steps.split_first() else {
+        // All siblings probed: apply the lift and emit the contribution
+        // under the node's output key.
+        key_buf.clear();
+        key_buf.extend(dp.key_positions.iter().map(|&p| assignment[p].clone()));
+        if lift.is_identity() {
+            match out.get_mut(key_buf.as_slice()) {
+                Some(slot) => {
+                    slot.add_assign(acc);
+                    stats.ring_adds += 1;
+                }
+                None => {
+                    out.insert(key_buf.clone().into_boxed_slice(), acc.clone());
+                }
+            }
+        } else {
+            // Fused lift-multiply-accumulate: `slot += acc · g(v)` without
+            // materializing the (sparse) lifted element when the lift
+            // carries a specialization.
+            let v = &assignment[dp.var_position];
+            match out.get_mut(key_buf.as_slice()) {
+                Some(slot) => {
+                    lift.fma_apply(v, acc, 1, slot);
+                    stats.ring_adds += 1;
+                    stats.ring_muls += 1;
+                }
+                None => {
+                    let mut payload = R::zero();
+                    lift.fma_apply(v, acc, 1, &mut payload);
+                    stats.ring_muls += 1;
+                    if !payload.is_zero() {
+                        out.insert(key_buf.clone().into_boxed_slice(), payload);
                     }
                 }
             }
-            ProbeKind::Index(idx) => {
-                // Collect matches first to keep the borrow of `self.views`
-                // from overlapping with the recursive call's mutable use of
-                // `assignment` only (views are only read).
-                let matches: Vec<(Tuple, R)> = view
-                    .probe_index(*idx, &probe)
-                    .map(|(k, p)| (k.clone(), p.clone()))
-                    .collect();
-                for (full_key, p) in matches {
-                    for (col, &pos) in step.write_positions.iter().enumerate() {
-                        if pos != ALREADY_BOUND {
-                            assignment[pos] = full_key[col].clone();
-                        }
+        }
+        return;
+    };
+
+    let view = &views[step.sibling_view];
+    key_buf.clear();
+    key_buf.extend(step.probe_positions.iter().map(|&p| assignment[p].clone()));
+
+    match &step.probe {
+        ProbeKind::Primary => {
+            if let Some(p) = view.get(key_buf.as_slice()) {
+                let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
+                acc.mul_into(p, head);
+                stats.ring_muls += 1;
+                if !head.is_zero() {
+                    // Move `head` out of the mutable borrow: recursion only
+                    // needs it immutably, and `tail` covers deeper levels.
+                    let next: &R = head;
+                    extend_assignment(
+                        views, dp, lift, rest, assignment, key_buf, next, tail, out, stats,
+                    );
+                }
+            }
+        }
+        ProbeKind::Index(idx) => {
+            // `index_bucket` returns a slice borrowing only the view (the
+            // borrow of `key_buf` ends with the call), so matches stream
+            // straight out of the index while the recursion reuses the
+            // scratch buffers — no collecting, no cloned matches.
+            let Some(bucket) = view.index_bucket(*idx, key_buf.as_slice()) else {
+                return;
+            };
+            for full_key in bucket {
+                let Some(p) = view.get(full_key) else {
+                    continue;
+                };
+                for (col, &pos) in step.write_positions.iter().enumerate() {
+                    if pos != ALREADY_BOUND {
+                        assignment[pos] = full_key[col].clone();
                     }
-                    let next = acc.mul(&p);
-                    if !next.is_zero() {
-                        self.extend_assignment(np, dp, lift, step_idx + 1, assignment, &next, out);
-                    }
+                }
+                let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
+                acc.mul_into(p, head);
+                stats.ring_muls += 1;
+                if !head.is_zero() {
+                    let next: &R = head;
+                    extend_assignment(
+                        views, dp, lift, rest, assignment, key_buf, next, tail, out, stats,
+                    );
                 }
             }
         }

@@ -19,32 +19,37 @@ struct SecondaryIndex {
     positions: Vec<usize>,
     /// Probe key → full keys with that probe key.
     map: FxHashMap<Tuple, Vec<Tuple>>,
+    /// Reusable projection buffer, so probing an existing bucket allocates
+    /// nothing (a boxed probe key is built only when a bucket is created).
+    probe_buf: Vec<Value>,
 }
 
 impl SecondaryIndex {
-    fn probe_key(&self, key: &[Value]) -> Tuple {
-        self.positions
-            .iter()
-            .map(|&p| key[p].clone())
-            .collect::<Vec<_>>()
-            .into_boxed_slice()
+    fn fill_probe_buf(&mut self, key: &[Value]) {
+        self.probe_buf.clear();
+        let positions = &self.positions;
+        self.probe_buf.extend(positions.iter().map(|&p| key[p].clone()));
     }
 
     fn insert(&mut self, key: &Tuple) {
-        self.map
-            .entry(self.probe_key(key))
-            .or_default()
-            .push(key.clone());
+        self.fill_probe_buf(key);
+        match self.map.get_mut(self.probe_buf.as_slice()) {
+            Some(bucket) => bucket.push(key.clone()),
+            None => {
+                self.map
+                    .insert(self.probe_buf.clone().into_boxed_slice(), vec![key.clone()]);
+            }
+        }
     }
 
     fn remove(&mut self, key: &Tuple) {
-        let probe = self.probe_key(key);
-        if let Some(bucket) = self.map.get_mut(&probe) {
+        self.fill_probe_buf(key);
+        if let Some(bucket) = self.map.get_mut(self.probe_buf.as_slice()) {
             if let Some(pos) = bucket.iter().position(|k| k == key) {
                 bucket.swap_remove(pos);
             }
             if bucket.is_empty() {
-                self.map.remove(&probe);
+                self.map.remove(self.probe_buf.as_slice());
             }
         }
     }
@@ -88,6 +93,7 @@ impl<R: Ring> MaterializedView<R> {
         self.indexes.push(SecondaryIndex {
             positions,
             map: FxHashMap::default(),
+            probe_buf: Vec::new(),
         });
         self.indexes.len() - 1
     }
@@ -114,6 +120,10 @@ impl<R: Ring> MaterializedView<R> {
 
     /// Adds a delta payload to a key, maintaining secondary indexes and
     /// removing the key if its payload becomes zero.
+    ///
+    /// Takes ownership of the key, so a fresh insert stores it without
+    /// cloning; the secondary indexes read it from the entry in place
+    /// (each index bucket keeps its own copy — the only clone left).
     pub fn add(&mut self, key: Tuple, delta: R) {
         if delta.is_zero() {
             return;
@@ -121,11 +131,12 @@ impl<R: Ring> MaterializedView<R> {
         use std::collections::hash_map::Entry;
         match self.map.entry(key) {
             Entry::Vacant(v) => {
-                let key_ref = v.key().clone();
-                v.insert(delta);
+                // Disjoint field borrows: `v` holds `self.map`, the index
+                // maintenance walks `self.indexes`.
                 for idx in &mut self.indexes {
-                    idx.insert(&key_ref);
+                    idx.insert(v.key());
                 }
+                v.insert(delta);
             }
             Entry::Occupied(mut o) => {
                 o.get_mut().add_assign(&delta);
@@ -137,6 +148,34 @@ impl<R: Ring> MaterializedView<R> {
                 }
             }
         }
+    }
+
+    /// Adds a delta payload by reference: the common occupied-key case
+    /// accumulates with [`Ring::add_assign`] and clones nothing; only a
+    /// fresh insert clones the key and payload.
+    ///
+    /// Returns whether a ring addition was performed (an existing payload
+    /// was accumulated into) — fresh inserts and zero deltas return
+    /// `false`, so callers can keep exact ring-op counters.
+    pub fn add_ref(&mut self, key: &Tuple, delta: &R) -> bool {
+        if delta.is_zero() {
+            return false;
+        }
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.add_assign(delta);
+            if slot.is_zero() {
+                let (owned, _) = self.map.remove_entry(key).expect("key probed above");
+                for idx in &mut self.indexes {
+                    idx.remove(&owned);
+                }
+            }
+            return true;
+        }
+        for idx in &mut self.indexes {
+            idx.insert(key);
+        }
+        self.map.insert(key.clone(), delta.clone());
+        false
     }
 
     /// Iterates over all `(key, payload)` entries.
@@ -151,12 +190,18 @@ impl<R: Ring> MaterializedView<R> {
         index_id: usize,
         probe: &[Value],
     ) -> impl Iterator<Item = (&'a Tuple, &'a R)> + 'a {
-        self.indexes[index_id]
-            .map
-            .get(probe)
+        self.index_bucket(index_id, probe)
             .into_iter()
             .flatten()
             .filter_map(move |k| self.map.get(k).map(|p| (k, p)))
+    }
+
+    /// The full keys a secondary index stores for a probe key.
+    ///
+    /// The returned slice borrows only the view (not `probe`), which lets
+    /// the engine stream matches while reusing its probe-key buffer.
+    pub fn index_bucket(&self, index_id: usize, probe: &[Value]) -> Option<&[Tuple]> {
+        self.indexes[index_id].map.get(probe).map(Vec::as_slice)
     }
 
     /// Converts the view into a plain relation (copying all entries).

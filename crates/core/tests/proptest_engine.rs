@@ -1,7 +1,12 @@
-//! Property-based tests of the maintenance engine: for arbitrary update
-//! sequences over the Figure-1 join, the incrementally maintained result
-//! equals the result computed from scratch, and applying a sequence followed
-//! by its inverse is a no-op.
+//! Randomized property tests of the maintenance engine: for arbitrary
+//! update sequences over the Figure-1 join, the incrementally maintained
+//! result equals the result computed from scratch, applying a sequence
+//! followed by its inverse is a no-op, and batched (grouped, in-place)
+//! propagation is ring-equivalent to one-row-at-a-time propagation.
+//!
+//! (The environment has no crates.io access, so this uses a seeded RNG
+//! harness instead of `proptest`; every case is deterministic and
+//! reproducible from the printed seed.)
 
 use fivm_common::Value;
 use fivm_core::apps;
@@ -9,7 +14,8 @@ use fivm_query::spec::figure1_query;
 use fivm_query::{EliminationHeuristic, VariableOrder, ViewTree};
 use fivm_relation::{tuple, Relation, Tuple};
 use fivm_ring::{ApproxEq, Cofactor, Ring};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One update in a generated stream.
 #[derive(Clone, Debug)]
@@ -19,19 +25,46 @@ struct Step {
     mult: i64,
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    (0usize..2, 0i64..4, 1i64..6, 1i64..6, prop::bool::ANY).prop_map(|(rel, a, x, y, delete)| {
-        let row = if rel == 0 { vec![a, x] } else { vec![a, x, y] };
-        Step {
-            rel,
-            row,
-            mult: if delete { -1 } else { 1 },
+fn rand_step(rng: &mut StdRng) -> Step {
+    let rel = rng.gen_range(0..2usize);
+    let a = rng.gen_range(0..4i64);
+    let x = rng.gen_range(1..6i64);
+    let y = rng.gen_range(1..6i64);
+    let row = if rel == 0 { vec![a, x] } else { vec![a, x, y] };
+    Step {
+        rel,
+        row,
+        mult: if rng.gen_bool(0.5) { -1 } else { 1 },
+    }
+}
+
+fn rand_steps(rng: &mut StdRng, max: usize) -> Vec<Step> {
+    let n = rng.gen_range(1..max);
+    (0..n).map(|_| rand_step(rng)).collect()
+}
+
+/// Runs `body` once per case with a per-case RNG, labelling failures with
+/// the case seed.
+fn for_cases(test: &str, cases: u64, body: impl Fn(&mut StdRng)) {
+    for case in 0..cases {
+        let seed = 0xE46 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(err) = result {
+            eprintln!("{test}: failing case seed = {seed}");
+            std::panic::resume_unwind(err);
         }
-    })
+    }
 }
 
 fn as_tuple(row: &[i64]) -> Tuple {
     tuple(row.iter().map(|&v| Value::int(v)))
+}
+
+fn figure1_tree(heuristic: EliminationHeuristic) -> ViewTree {
+    let spec = figure1_query(false);
+    let vo = VariableOrder::heuristic(&spec, heuristic).unwrap();
+    ViewTree::new(spec, vo).unwrap()
 }
 
 /// From-scratch COVAR over the current multiset state of R and S.
@@ -50,19 +83,14 @@ fn reference(r: &Relation<i64>, s: &Relation<i64>) -> Cofactor {
     acc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn maintained_covar_equals_reevaluation(steps in prop::collection::vec(arb_step(), 1..40)) {
-        let spec = figure1_query(false);
-        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
-        let tree = ViewTree::new(spec, vo).unwrap();
-        let mut engine = apps::covar_engine(tree).unwrap();
+#[test]
+fn maintained_covar_equals_reevaluation() {
+    for_cases("maintained_covar_equals_reevaluation", 24, |rng| {
+        let mut engine = apps::covar_engine(figure1_tree(EliminationHeuristic::MinDegree)).unwrap();
         let mut r: Relation<i64> = Relation::new(vec![0, 1]);
         let mut s: Relation<i64> = Relation::new(vec![0, 2, 3]);
 
-        for step in &steps {
+        for step in rand_steps(rng, 40) {
             let row = as_tuple(&step.row);
             if step.rel == 0 {
                 r.add(row.clone(), step.mult);
@@ -72,48 +100,116 @@ proptest! {
             engine.apply_rows(step.rel, vec![(row, step.mult)]).unwrap();
         }
         let expected = reference(&r, &s);
-        prop_assert!(
+        assert!(
             engine.result().approx_eq(&expected, 1e-7),
             "engine={:?} expected={:?}",
             engine.result(),
             expected
         );
-    }
+    });
+}
 
-    #[test]
-    fn applying_a_stream_and_its_inverse_is_a_noop(steps in prop::collection::vec(arb_step(), 1..30)) {
-        let spec = figure1_query(false);
-        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinFill).unwrap();
-        let tree = ViewTree::new(spec, vo).unwrap();
-        let mut engine = apps::covar_engine(tree).unwrap();
+#[test]
+fn applying_a_stream_and_its_inverse_is_a_noop() {
+    for_cases("applying_a_stream_and_its_inverse_is_a_noop", 24, |rng| {
+        let mut engine = apps::covar_engine(figure1_tree(EliminationHeuristic::MinFill)).unwrap();
 
-        // Seed with a couple of fixed rows so the initial state is non-trivial.
+        // Seed with a couple of fixed rows so the initial state is
+        // non-trivial.
         engine.apply_rows(0, vec![(as_tuple(&[1, 2]), 1)]).unwrap();
         engine.apply_rows(1, vec![(as_tuple(&[1, 3, 4]), 1)]).unwrap();
         let before = engine.result();
         let entries_before = engine.total_view_entries();
 
+        let steps = rand_steps(rng, 30);
         for step in &steps {
-            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult)]).unwrap();
+            engine
+                .apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult)])
+                .unwrap();
         }
         for step in steps.iter().rev() {
-            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), -step.mult)]).unwrap();
+            engine
+                .apply_rows(step.rel, vec![(as_tuple(&step.row), -step.mult)])
+                .unwrap();
         }
-        prop_assert!(engine.result().approx_eq(&before, 1e-7));
-        prop_assert_eq!(engine.total_view_entries(), entries_before);
-    }
+        assert!(engine.result().approx_eq(&before, 1e-7));
+        assert_eq!(engine.total_view_entries(), entries_before);
+    });
+}
 
-    #[test]
-    fn count_never_goes_negative_for_insert_only_streams(
-        steps in prop::collection::vec(arb_step(), 1..40)
-    ) {
-        let spec = figure1_query(false);
-        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
-        let tree = ViewTree::new(spec, vo).unwrap();
-        let mut engine = apps::count_engine(tree).unwrap();
-        for step in &steps {
-            engine.apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult.abs())]).unwrap();
-            prop_assert!(engine.result() >= 0);
+#[test]
+fn count_never_goes_negative_for_insert_only_streams() {
+    for_cases("count_never_goes_negative", 24, |rng| {
+        let mut engine = apps::count_engine(figure1_tree(EliminationHeuristic::MinDegree)).unwrap();
+        for step in rand_steps(rng, 40) {
+            engine
+                .apply_rows(step.rel, vec![(as_tuple(&step.row), step.mult.abs())])
+                .unwrap();
+            assert!(engine.result() >= 0);
         }
-    }
+    });
+}
+
+/// The tentpole property of the batched hot path: applying a whole batch at
+/// once (grouped by key, propagated with the in-place ring ops) must be
+/// ring-equivalent to applying the same rows one at a time, including
+/// insert/delete interleavings that cancel to zero inside one batch.
+#[test]
+fn batched_propagation_equals_row_at_a_time() {
+    for_cases("batched_propagation_equals_row_at_a_time", 32, |rng| {
+        let mut batched = apps::covar_engine(figure1_tree(EliminationHeuristic::MinDegree)).unwrap();
+        let mut row_wise = apps::covar_engine(figure1_tree(EliminationHeuristic::MinDegree)).unwrap();
+
+        // A few batches per case; each batch mixes relations, duplicates and
+        // exact insert/delete cancellations.
+        for _ in 0..rng.gen_range(1..4usize) {
+            let mut steps = rand_steps(rng, 24);
+            // Force some exact cancellations within the batch: append the
+            // inverse of a random prefix of the batch.
+            let cancel = rng.gen_range(0..=steps.len());
+            let inverses: Vec<Step> = steps[..cancel]
+                .iter()
+                .map(|s| Step {
+                    rel: s.rel,
+                    row: s.row.clone(),
+                    mult: -s.mult,
+                })
+                .collect();
+            steps.extend(inverses);
+
+            // Batched: group the batch per relation (apply_rows applies one
+            // relation's rows as a single grouped delta).
+            for rel in 0..2usize {
+                let rows: Vec<(Tuple, i64)> = steps
+                    .iter()
+                    .filter(|s| s.rel == rel)
+                    .map(|s| (as_tuple(&s.row), s.mult))
+                    .collect();
+                if !rows.is_empty() {
+                    batched.apply_rows(rel, rows).unwrap();
+                }
+            }
+            // Row-at-a-time, same per-relation order as the batched variant.
+            for rel in 0..2usize {
+                for s in steps.iter().filter(|s| s.rel == rel) {
+                    row_wise
+                        .apply_rows(s.rel, vec![(as_tuple(&s.row), s.mult)])
+                        .unwrap();
+                }
+            }
+
+            assert!(
+                batched.result().approx_eq(&row_wise.result(), 1e-7),
+                "batched={:?} row_wise={:?}",
+                batched.result(),
+                row_wise.result()
+            );
+            // Every materialized view must agree, not just the root result.
+            assert_eq!(
+                batched.total_view_entries(),
+                row_wise.total_view_entries(),
+                "view sizes diverge between batched and row-at-a-time"
+            );
+        }
+    });
 }

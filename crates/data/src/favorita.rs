@@ -96,7 +96,7 @@ impl FavoritaConfig {
             items.push(tuple([
                 Value::int(item as i64),
                 Value::int(family),
-                Value::int(family * 20 + rng.gen_range(0..6)),
+                Value::int(family * 20 + rng.gen_range(0..6i64)),
                 Value::int(perishable),
             ]));
         }
@@ -116,7 +116,7 @@ impl FavoritaConfig {
             let state = rng.gen_range(0..6);
             stores.push(tuple([
                 Value::int(store as i64),
-                Value::int(state * 4 + rng.gen_range(0..3)),
+                Value::int(state * 4 + rng.gen_range(0..3i64)),
                 Value::int(state),
                 Value::int(rng.gen_range(0..5)),
                 Value::int(rng.gen_range(0..17)),

@@ -156,7 +156,7 @@ impl RetailerConfig {
             item_price.push(price);
             item.push(tuple([
                 Value::int(ksn as i64),
-                Value::int(category * 10 + rng.gen_range(0..4)),
+                Value::int(category * 10 + rng.gen_range(0..4i64)),
                 Value::int(category),
                 Value::int(category % 3),
                 Value::double(price),
@@ -204,7 +204,7 @@ impl RetailerConfig {
                     if rng.gen_bool(self.inventory_density) {
                         let units = (40.0 + 30.0 * item_category[ksn] as f64
                             - 1.5 * item_price[ksn]
-                            + rng.gen_range(0.0..60.0))
+                            + rng.gen_range(0.0..60.0f64))
                         .max(0.0);
                         inventory.push(Self::inventory_row(
                             locn as i64,

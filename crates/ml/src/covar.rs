@@ -191,11 +191,11 @@ impl DenseCovar {
 
         // Enumerate categories of each categorical attribute from s_X.
         let mut columns = vec![FeatureColumn::Intercept];
-        for attr in 0..dim {
+        for (attr, kind) in kinds.iter().enumerate().take(dim) {
             if attr == label {
                 continue;
             }
-            match kinds[attr] {
+            match kind {
                 AttrKind::Continuous => columns.push(FeatureColumn::Continuous { attr }),
                 AttrKind::Categorical => {
                     let mut cats: Vec<Value> = dense.sums[attr]

@@ -77,6 +77,9 @@ pub fn mutual_information(payload: &GenCofactor, x: usize, y: usize) -> f64 {
 /// diagonal holds the marginal entropies.
 pub fn mi_matrix(payload: &GenCofactor, dim: usize) -> Vec<Vec<f64>> {
     let mut out = vec![vec![0.0; dim]; dim];
+    // Symmetric fill: both (i, j) and (j, i) are written, so an indexed
+    // loop is clearer than iterator adapters here.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..dim {
         for j in i..dim {
             let v = mutual_information(payload, i, j);

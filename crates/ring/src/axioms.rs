@@ -100,6 +100,39 @@ pub fn check_scale_int<R: Ring + ApproxEq>(a: &R, tol: f64) {
     }
 }
 
+/// Asserts the in-place operations agree with their allocating
+/// counterparts: `mul_into` with `out` of various prior shapes matches
+/// `mul`, and `fma_scaled` matches `acc + (a·b)·k` for small `k`.
+pub fn check_inplace_ops<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    let expected = a.mul(b);
+    // mul_into over accumulators of every prior shape that can occur on
+    // the maintenance path: zero, one, and an arbitrary same-ring element.
+    for prior in [R::zero(), R::one(), c.clone(), expected.clone()] {
+        let mut out = prior;
+        a.mul_into(b, &mut out);
+        assert!(
+            out.approx_eq(&expected, tol),
+            "mul_into disagrees with mul:\n  got      {out:?}\n  expected {expected:?}"
+        );
+    }
+    for k in -2i64..=2 {
+        let mut acc = c.clone();
+        acc.fma_scaled(a, b, k);
+        let expected = c.add(&a.mul(b).scale_int(k));
+        assert!(
+            acc.approx_eq(&expected, tol),
+            "fma_scaled(k={k}) disagrees with add(mul·k):\n  got      {acc:?}\n  expected {expected:?}"
+        );
+        // Accumulating into zero must also work (the fresh-key case).
+        let mut acc = R::zero();
+        acc.fma_scaled(a, b, k);
+        assert!(
+            acc.approx_eq(&a.mul(b).scale_int(k), tol),
+            "fma_scaled(k={k}) into zero disagrees with mul·k"
+        );
+    }
+}
+
 /// Runs every axiom check on a triple of elements.
 pub fn check_ring_axioms<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
     check_add_commutative(a, b, tol);
@@ -111,6 +144,7 @@ pub fn check_ring_axioms<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
     check_mul_identity_and_annihilator(c, tol);
     check_distributive(a, b, c, tol);
     check_scale_int(a, tol);
+    check_inplace_ops(a, b, c, tol);
     // sub is consistent with add/neg.
     assert!(
         a.sub(b).approx_eq(&a.add(&b.neg()), tol),

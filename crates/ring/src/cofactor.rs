@@ -141,6 +141,65 @@ impl Cofactor {
             }
         }
     }
+
+    /// Fused lift-multiply-accumulate:
+    /// `self += (acc · g_idx(x)) · k`, where `g_idx(x)` is the continuous
+    /// lift [`Cofactor::lift`] of dimension `dim`.
+    ///
+    /// The lift element is `(1, x·e_idx, x²·E_idx,idx)`, so the product has
+    /// the closed form
+    /// `(c, s + c·x·e_idx, Q + c·x²·E_idx,idx + x·(s e_idxᵀ + e_idx sᵀ))`
+    /// for `acc = (c, s, Q)` — accumulated here without materializing the
+    /// (almost entirely zero) lifted element.  For a scalar `acc` this
+    /// touches `O(1)` entries; for a dense `acc` it saves the dense scans
+    /// of the lift's zero sum/product blocks.
+    pub fn fma_lift_continuous(&mut self, acc: &Cofactor, dim: usize, idx: usize, x: f64, k: i64) {
+        if k == 0 {
+            return;
+        }
+        let kf = k as f64;
+        match acc {
+            Cofactor::Scalar(c) => {
+                if *c == 0.0 {
+                    return;
+                }
+                let o = self.promote_to_elem(dim);
+                let kc = kf * c;
+                o.count += kc;
+                o.sums[idx] += kc * x;
+                o.prods.add_at(idx, idx, kc * x * x);
+            }
+            Cofactor::Elem(e) => {
+                assert_eq!(e.dim(), dim, "cofactor dimension mismatch in lift fma");
+                let o = self.promote_to_elem(dim);
+                o.count += kf * e.count;
+                for (dst, src) in o.sums.iter_mut().zip(e.sums.iter()) {
+                    *dst += kf * src;
+                }
+                o.sums[idx] += kf * e.count * x;
+                o.prods.add_scaled(&e.prods, kf);
+                o.prods.add_at(idx, idx, kf * e.count * x * x);
+                o.prods.add_rank_one_cross_scaled(idx, &e.sums, kf * x);
+            }
+        }
+    }
+
+    /// Turns `self` into a dense element of dimension `dim` (keeping the
+    /// count) and returns it; allocates only when `self` was a scalar.
+    fn promote_to_elem(&mut self, dim: usize) -> &mut CofactorElem {
+        if let Cofactor::Scalar(c) = *self {
+            let mut e = CofactorElem::zeros(dim);
+            e.count = c;
+            *self = Cofactor::Elem(e);
+        }
+        match self {
+            Cofactor::Elem(e) => {
+                assert_eq!(e.dim(), dim, "cofactor dimension mismatch");
+                e
+            }
+            Cofactor::Scalar(_) => unreachable!("promoted above"),
+        }
+    }
 }
 
 impl Ring for Cofactor {
@@ -230,6 +289,96 @@ impl Ring for Cofactor {
                 out.prods.add_scaled(&b.prods, a.count);
                 out.prods.add_symmetric_outer(&a.sums, &b.sums);
                 Cofactor::Elem(out)
+            }
+        }
+    }
+
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        match (self, rhs) {
+            (Cofactor::Scalar(a), Cofactor::Scalar(b)) => *out = Cofactor::Scalar(a * b),
+            (Cofactor::Scalar(a), Cofactor::Elem(e)) | (Cofactor::Elem(e), Cofactor::Scalar(a)) => {
+                if let Cofactor::Elem(o) = out {
+                    if o.dim() == e.dim() {
+                        o.count = a * e.count;
+                        for (dst, src) in o.sums.iter_mut().zip(e.sums.iter()) {
+                            *dst = a * src;
+                        }
+                        o.prods.assign_scaled(&e.prods, *a);
+                        return;
+                    }
+                }
+                *out = self.mul(rhs);
+            }
+            (Cofactor::Elem(a), Cofactor::Elem(b)) => {
+                assert_eq!(
+                    a.dim(),
+                    b.dim(),
+                    "cannot multiply cofactor elements of dimensions {} and {}",
+                    a.dim(),
+                    b.dim()
+                );
+                let dim = a.dim();
+                let reusable = matches!(out, Cofactor::Elem(o) if o.dim() == dim);
+                if !reusable {
+                    *out = Cofactor::Elem(CofactorElem::zeros(dim));
+                }
+                let Cofactor::Elem(o) = out else {
+                    unreachable!("out replaced with a dense element above")
+                };
+                o.count = a.count * b.count;
+                for i in 0..dim {
+                    o.sums[i] = b.count * a.sums[i] + a.count * b.sums[i];
+                }
+                o.prods.clear();
+                o.prods.add_scaled(&a.prods, b.count);
+                o.prods.add_scaled(&b.prods, a.count);
+                o.prods.add_symmetric_outer(&a.sums, &b.sums);
+            }
+        }
+    }
+
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        if scale == 0 {
+            return;
+        }
+        let s = scale as f64;
+        match (a, b) {
+            (Cofactor::Scalar(x), Cofactor::Scalar(y)) => match self {
+                Cofactor::Scalar(c) => *c += s * x * y,
+                Cofactor::Elem(e) => e.count += s * x * y,
+            },
+            (Cofactor::Scalar(x), Cofactor::Elem(e)) | (Cofactor::Elem(e), Cofactor::Scalar(x)) => {
+                let k = s * x;
+                if k == 0.0 {
+                    return;
+                }
+                let o = self.promote_to_elem(e.dim());
+                o.count += k * e.count;
+                for (dst, src) in o.sums.iter_mut().zip(e.sums.iter()) {
+                    *dst += k * src;
+                }
+                o.prods.add_scaled(&e.prods, k);
+            }
+            (Cofactor::Elem(ea), Cofactor::Elem(eb)) => {
+                assert_eq!(
+                    ea.dim(),
+                    eb.dim(),
+                    "cannot multiply cofactor elements of dimensions {} and {}",
+                    ea.dim(),
+                    eb.dim()
+                );
+                let dim = ea.dim();
+                // The hot case of the maintenance path: a dense accumulator
+                // receiving dense products.  Everything below accumulates
+                // into existing buffers — no heap allocation.
+                let o = self.promote_to_elem(dim);
+                o.count += s * ea.count * eb.count;
+                for i in 0..dim {
+                    o.sums[i] += s * (eb.count * ea.sums[i] + ea.count * eb.sums[i]);
+                }
+                o.prods.add_scaled(&ea.prods, s * eb.count);
+                o.prods.add_scaled(&eb.prods, s * ea.count);
+                o.prods.add_symmetric_outer_scaled(&ea.sums, &eb.sums, s);
             }
         }
     }

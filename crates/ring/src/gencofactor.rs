@@ -178,6 +178,23 @@ impl GenCofactor {
             }
         }
     }
+
+    /// Turns `self` into a dense element of dimension `dim` (keeping the
+    /// count) and returns it; allocates only when `self` was a scalar.
+    fn promote_to_elem(&mut self, dim: usize) -> &mut GenCofactorElem {
+        if let GenCofactor::Scalar(c) = *self {
+            let mut e = GenCofactorElem::zeros(dim);
+            e.count = c;
+            *self = GenCofactor::Elem(e);
+        }
+        match self {
+            GenCofactor::Elem(e) => {
+                assert_eq!(e.dim(), dim, "generalized cofactor dimension mismatch");
+                e
+            }
+            GenCofactor::Scalar(_) => unreachable!("promoted above"),
+        }
+    }
 }
 
 impl Ring for GenCofactor {
@@ -268,6 +285,86 @@ impl Ring for GenCofactor {
                     }
                 }
                 GenCofactor::Elem(out)
+            }
+        }
+    }
+
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        if scale == 0 {
+            return;
+        }
+        let s = scale as f64;
+        match (a, b) {
+            (GenCofactor::Scalar(x), GenCofactor::Scalar(y)) => match self {
+                GenCofactor::Scalar(c) => *c += s * x * y,
+                GenCofactor::Elem(e) => e.count += s * x * y,
+            },
+            (GenCofactor::Scalar(x), GenCofactor::Elem(e))
+            | (GenCofactor::Elem(e), GenCofactor::Scalar(x)) => {
+                let k = s * x;
+                if k == 0.0 {
+                    return;
+                }
+                let o = self.promote_to_elem(e.dim());
+                o.count += k * e.count;
+                for (dst, src) in o.sums.iter_mut().zip(e.sums.iter()) {
+                    dst.add_scaled(src, k);
+                }
+                for (dst, src) in o.prods.iter_mut().zip(e.prods.iter()) {
+                    dst.add_scaled(src, k);
+                }
+            }
+            (GenCofactor::Elem(ea), GenCofactor::Elem(eb)) => {
+                assert_eq!(
+                    ea.dim(),
+                    eb.dim(),
+                    "cannot multiply generalized cofactors of dimensions {} and {}",
+                    ea.dim(),
+                    eb.dim()
+                );
+                let dim = ea.dim();
+                let o = self.promote_to_elem(dim);
+                o.count += s * ea.count * eb.count;
+                for i in 0..dim {
+                    o.sums[i].add_scaled(&ea.sums[i], s * eb.count);
+                    o.sums[i].add_scaled(&eb.sums[i], s * ea.count);
+                }
+                for i in 0..dim {
+                    for j in i..dim {
+                        let q = &mut o.prods[tri_index(dim, i, j)];
+                        q.add_scaled(ea.prod(i, j), s * eb.count);
+                        q.add_scaled(eb.prod(i, j), s * ea.count);
+                        // Cross terms: s·(s_a[i] ⋈ s_b[j]) + s·(s_b[i] ⋈ s_a[j]).
+                        q.add_product_scaled(&ea.sums[i], &eb.sums[j], s);
+                        q.add_product_scaled(&eb.sums[i], &ea.sums[j], s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        match (self, rhs) {
+            (GenCofactor::Scalar(a), GenCofactor::Scalar(b)) => {
+                *out = GenCofactor::Scalar(a * b);
+            }
+            _ => {
+                // Reuse `out`'s relation buffers when its shape matches by
+                // resetting it to zero and running the fused accumulate.
+                let dim = self.dim().or(rhs.dim()).expect("one operand is dense");
+                match out {
+                    GenCofactor::Elem(o) if o.dim() == dim => {
+                        o.count = 0.0;
+                        for s in &mut o.sums {
+                            s.clear();
+                        }
+                        for q in &mut o.prods {
+                            q.clear();
+                        }
+                    }
+                    _ => *out = GenCofactor::Elem(GenCofactorElem::zeros(dim)),
+                }
+                out.fma_scaled(self, rhs, 1);
             }
         }
     }

@@ -14,12 +14,22 @@ use fivm_common::{Value, VarId};
 use std::fmt;
 use std::sync::Arc;
 
+/// Signature of a fused lift-multiply-accumulate:
+/// `slot += (acc · g(v)) · scale`.
+pub type LiftFmaFn<R> = Arc<dyn Fn(&Value, &R, i64, &mut R) + Send + Sync>;
+
 /// A lift (attribute function) producing payloads of ring `R`.
 #[derive(Clone)]
 pub struct LiftFn<R> {
     name: String,
     is_identity: bool,
     f: Arc<dyn Fn(&Value) -> R + Send + Sync>,
+    /// Optional fused lift-multiply-accumulate.  Lift elements are usually
+    /// extremely sparse (one linear entry, one quadratic entry), so a fused
+    /// form can accumulate `acc · g(v)` into a slot in `O(dim)` work and
+    /// without materializing the dense lifted element — the engine uses it
+    /// on the maintenance hot path when present.
+    fma: Option<LiftFmaFn<R>>,
 }
 
 impl<R: Ring> LiftFn<R> {
@@ -32,7 +42,22 @@ impl<R: Ring> LiftFn<R> {
             name: name.into(),
             is_identity: false,
             f: Arc::new(f),
+            fma: None,
         }
+    }
+
+    /// Attaches a fused lift-multiply-accumulate implementation.
+    ///
+    /// The closure must satisfy `slot += (acc · g(v)) · scale` for the same
+    /// `g` as the plain apply function; `fivm_ring::axioms` offers
+    /// [`crate::axioms::check_inplace_ops`]-style coverage via the engine's
+    /// equivalence tests.
+    pub fn with_fma<F>(mut self, fma: F) -> Self
+    where
+        F: Fn(&Value, &R, i64, &mut R) + Send + Sync + 'static,
+    {
+        self.fma = Some(Arc::new(fma));
+        self
     }
 
     /// The identity lift `g_X(x) = 1`, used for join keys that do not
@@ -42,6 +67,7 @@ impl<R: Ring> LiftFn<R> {
             name: "1".to_string(),
             is_identity: true,
             f: Arc::new(|_| R::one()),
+            fma: None,
         }
     }
 
@@ -60,6 +86,17 @@ impl<R: Ring> LiftFn<R> {
     #[inline]
     pub fn apply(&self, v: &Value) -> R {
         (self.f)(v)
+    }
+
+    /// Fused accumulate `slot += (acc · g(v)) · scale`, using the attached
+    /// specialization when present and the generic materialize-then-fma
+    /// path otherwise.
+    #[inline]
+    pub fn fma_apply(&self, v: &Value, acc: &R, scale: i64, slot: &mut R) {
+        match &self.fma {
+            Some(fma) => fma(v, acc, scale, slot),
+            None => slot.fma_scaled(acc, &self.apply(v), scale),
+        }
     }
 }
 
@@ -81,9 +118,16 @@ pub fn real_value_lift(name: &str) -> LiftFn<f64> {
 
 /// Lift of a continuous attribute `idx` of an aggregate batch of size `dim`
 /// into the cofactor (COVAR) ring.
+///
+/// Carries the fused lift-multiply-accumulate
+/// ([`Cofactor::fma_lift_continuous`]), which the engine uses on the hot
+/// path: `O(dim)` accumulation without materializing the lifted element.
 pub fn cofactor_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<Cofactor> {
     LiftFn::new(format!("cofactor<{dim}>[{idx}]({name})"), move |v| {
         Cofactor::lift(dim, idx, v.as_f64().unwrap_or(0.0))
+    })
+    .with_fma(move |v, acc, scale, slot| {
+        slot.fma_lift_continuous(acc, dim, idx, v.as_f64().unwrap_or(0.0), scale);
     })
 }
 

@@ -73,15 +73,27 @@ impl DenseMatrix {
     }
 
     fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        self.matmul_accumulate(other, &mut out, 1.0);
+        out
+    }
+
+    /// `out += scale * (self * other)`, accumulating into `out`'s existing
+    /// buffer; panics if any shape disagrees.
+    fn matmul_accumulate(&self, other: &DenseMatrix, out: &mut DenseMatrix, scale: f64) {
         assert_eq!(
             self.cols, other.rows,
             "matrix shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matrix accumulator shape mismatch"
+        );
         for i in 0..self.rows {
             for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
+                let a = scale * self.data[i * self.cols + k];
                 if a == 0.0 {
                     continue;
                 }
@@ -90,7 +102,26 @@ impl DenseMatrix {
                 }
             }
         }
-        out
+    }
+
+    /// `self += scale * other` element-wise; panics on shape mismatch.
+    fn add_scaled(&mut self, other: &DenseMatrix, scale: f64) {
+        assert_eq!(self.rows, other.rows, "matrix row mismatch in add");
+        assert_eq!(self.cols, other.cols, "matrix col mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Adds `c` to the diagonal; panics if the matrix is not square.
+    fn add_diagonal(&mut self, c: f64) {
+        assert_eq!(
+            self.rows, self.cols,
+            "cannot add a scalar identity to a non-square matrix"
+        );
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += c;
+        }
     }
 
     fn scaled(&self, k: f64) -> DenseMatrix {
@@ -179,6 +210,57 @@ impl Ring for MatrixValue {
             (MatrixValue::Scalar(a), MatrixValue::Mat(m)) => MatrixValue::Mat(m.scaled(*a)),
             (MatrixValue::Mat(m), MatrixValue::Scalar(b)) => MatrixValue::Mat(m.scaled(*b)),
             (MatrixValue::Mat(a), MatrixValue::Mat(b)) => MatrixValue::Mat(a.matmul(b)),
+        }
+    }
+
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        match (self, rhs) {
+            (MatrixValue::Mat(a), MatrixValue::Mat(b)) => {
+                if let MatrixValue::Mat(o) = out {
+                    if (o.rows, o.cols) == (a.rows, b.cols) {
+                        o.data.iter_mut().for_each(|x| *x = 0.0);
+                        a.matmul_accumulate(b, o, 1.0);
+                        return;
+                    }
+                }
+                *out = MatrixValue::Mat(a.matmul(b));
+            }
+            _ => *out = self.mul(rhs),
+        }
+    }
+
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        if scale == 0 {
+            return;
+        }
+        let s = scale as f64;
+        match (a, b) {
+            (MatrixValue::Scalar(x), MatrixValue::Scalar(y)) => match self {
+                MatrixValue::Scalar(c) => *c += s * x * y,
+                MatrixValue::Mat(m) => m.add_diagonal(s * x * y),
+            },
+            (MatrixValue::Scalar(x), MatrixValue::Mat(m))
+            | (MatrixValue::Mat(m), MatrixValue::Scalar(x)) => match self {
+                MatrixValue::Mat(o) => o.add_scaled(m, s * x),
+                MatrixValue::Scalar(c) => {
+                    let mut o = m.scaled(s * x);
+                    if *c != 0.0 {
+                        o.add_diagonal(*c);
+                    }
+                    *self = MatrixValue::Mat(o);
+                }
+            },
+            (MatrixValue::Mat(ma), MatrixValue::Mat(mb)) => match self {
+                MatrixValue::Mat(o) => ma.matmul_accumulate(mb, o, s),
+                MatrixValue::Scalar(c) => {
+                    let mut o = DenseMatrix::zeros(ma.rows, mb.cols);
+                    ma.matmul_accumulate(mb, &mut o, s);
+                    if *c != 0.0 {
+                        o.add_diagonal(*c);
+                    }
+                    *self = MatrixValue::Mat(o);
+                }
+            },
         }
     }
 

@@ -28,6 +28,14 @@ impl Ring for i64 {
         self * rhs
     }
     #[inline]
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        *out = self * rhs;
+    }
+    #[inline]
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        *self += a * b * scale;
+    }
+    #[inline]
     fn neg(&self) -> Self {
         -self
     }
@@ -61,6 +69,14 @@ impl Ring for f64 {
     #[inline]
     fn mul(&self, rhs: &Self) -> Self {
         self * rhs
+    }
+    #[inline]
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        *out = self * rhs;
+    }
+    #[inline]
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        *self += a * b * (scale as f64);
     }
     #[inline]
     fn neg(&self) -> Self {
@@ -98,6 +114,14 @@ impl<A: Ring, B: Ring> Ring for PairRing<A, B> {
     }
     fn mul(&self, rhs: &Self) -> Self {
         PairRing(self.0.mul(&rhs.0), self.1.mul(&rhs.1))
+    }
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        self.0.mul_into(&rhs.0, &mut out.0);
+        self.1.mul_into(&rhs.1, &mut out.1);
+    }
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        self.0.fma_scaled(&a.0, &b.0, scale);
+        self.1.fma_scaled(&a.1, &b.1, scale);
     }
     fn neg(&self) -> Self {
         PairRing(self.0.neg(), self.1.neg())

@@ -156,6 +156,51 @@ impl RelValue {
         Some(out.into_boxed_slice())
     }
 
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// `self += k * other`, pruning exactly cancelled keys so
+    /// [`Ring::is_zero`] stays exact.
+    pub fn add_scaled(&mut self, other: &RelValue, k: f64) {
+        if k == 0.0 {
+            return;
+        }
+        for (key, &w) in &other.entries {
+            match self.entries.get_mut(key) {
+                Some(slot) => *slot += k * w,
+                None => {
+                    self.entries.insert(key.clone(), k * w);
+                }
+            }
+        }
+        self.entries.retain(|_, w| *w != 0.0);
+    }
+
+    /// `self += k * (a ⋈ b)` — the fused multiply-add on the relation
+    /// ring, accumulating the weighted join directly into `self` without
+    /// materializing the product relation.
+    pub fn add_product_scaled(&mut self, a: &RelValue, b: &RelValue, k: f64) {
+        if k == 0.0 || a.is_empty() || b.is_empty() {
+            return;
+        }
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        for (ka, &wa) in &small.entries {
+            for (kb, &wb) in &large.entries {
+                if let Some(key) = Self::join_keys(ka, kb) {
+                    match self.entries.get_mut(&key) {
+                        Some(slot) => *slot += k * wa * wb,
+                        None => {
+                            self.entries.insert(key, k * wa * wb);
+                        }
+                    }
+                }
+            }
+        }
+        self.entries.retain(|_, w| *w != 0.0);
+    }
+
     fn map_weights(&self, f: impl Fn(f64) -> f64) -> Self {
         let mut entries = FxHashMap::default();
         for (k, &w) in &self.entries {
@@ -219,6 +264,15 @@ impl Ring for RelValue {
         }
         out.entries.retain(|_, w| *w != 0.0);
         out
+    }
+
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        out.entries.clear();
+        out.add_product_scaled(self, rhs, 1.0);
+    }
+
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        self.add_product_scaled(a, b, scale as f64);
     }
 
     fn neg(&self) -> Self {

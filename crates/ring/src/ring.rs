@@ -42,6 +42,43 @@ pub trait Ring: Clone + Debug + PartialEq + Send + Sync + 'static {
     /// Ring multiplication.
     fn mul(&self, rhs: &Self) -> Self;
 
+    /// In-place ring multiplication: `*out = self * rhs`.
+    ///
+    /// `out` can never alias `self` or `rhs` (the borrow checker forbids
+    /// it), so implementations may freely overwrite `out` while reading the
+    /// operands.  Implementations reuse `out`'s existing allocations
+    /// (vectors, matrices, hash maps) whenever the shapes match, which is
+    /// what makes the maintenance hot path allocation-free; the previous
+    /// contents of `out` are discarded.  The default delegates to
+    /// [`Ring::mul`].
+    fn mul_into(&self, rhs: &Self, out: &mut Self) {
+        *out = self.mul(rhs);
+    }
+
+    /// Fused multiply-add: `self += (a * b) · scale`, with the integer
+    /// scale applied as in [`Ring::scale_int`] (`scale = -1` subtracts the
+    /// product, which is how deletes ride the same code path as inserts).
+    ///
+    /// Specialized implementations accumulate directly into `self`'s
+    /// components without materializing the product `a * b`.  After the
+    /// call `self` may be an *exact-zero* element that still owns
+    /// allocations (for example a dense cofactor triple whose entries all
+    /// cancelled to `0.0`); callers that erase zeros must test
+    /// [`Ring::is_zero`] — it is exact for every ring in this crate.
+    /// The default materializes the product and delegates to
+    /// [`Ring::add_assign`].
+    fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
+        if scale == 0 {
+            return;
+        }
+        let prod = a.mul(b);
+        if scale == 1 {
+            self.add_assign(&prod);
+        } else {
+            self.add_assign(&prod.scale_int(scale));
+        }
+    }
+
     /// The additive inverse: `x.add(&x.neg())` is zero.
     fn neg(&self) -> Self;
 

@@ -75,10 +75,16 @@ impl SymMatrix {
     ///
     /// This is the cross term in the cofactor-ring multiplication.
     pub fn add_symmetric_outer(&mut self, sa: &[f64], sb: &[f64]) {
+        self.add_symmetric_outer_scaled(sa, sb, 1.0);
+    }
+
+    /// Adds `scale * (s_a s_b^T + s_b s_a^T)`, the cross term of the fused
+    /// multiply-add on the cofactor ring.
+    pub fn add_symmetric_outer_scaled(&mut self, sa: &[f64], sb: &[f64], scale: f64) {
         debug_assert_eq!(sa.len(), self.dim);
         debug_assert_eq!(sb.len(), self.dim);
         for i in 0..self.dim {
-            let (sai, sbi) = (sa[i], sb[i]);
+            let (sai, sbi) = (sa[i] * scale, sb[i] * scale);
             if sai == 0.0 && sbi == 0.0 {
                 continue;
             }
@@ -86,6 +92,39 @@ impl SymMatrix {
             for j in i..self.dim {
                 self.data[row + j] += sai * sb[j] + sbi * sa[j];
             }
+        }
+    }
+
+    /// Adds `scale * (s e_iᵀ + e_i sᵀ)` — the cross term of multiplying by
+    /// a lift element whose sum vector is `x·e_i` (with `x` folded into
+    /// `scale`).  `O(dim)` instead of the `O(dim²)` general outer product.
+    pub fn add_rank_one_cross_scaled(&mut self, i: usize, s: &[f64], scale: f64) {
+        debug_assert_eq!(s.len(), self.dim);
+        debug_assert!(i < self.dim);
+        for (j, &sj) in s.iter().enumerate() {
+            self.add_at(j, i, scale * sj);
+        }
+        // The diagonal receives both rank-one halves.
+        self.add_at(i, i, scale * s[i]);
+    }
+
+    /// Overwrites every entry with zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for a in &mut self.data {
+            *a = 0.0;
+        }
+    }
+
+    /// Overwrites `self` with `scale * other`, keeping the allocation;
+    /// panics if dimensions differ.
+    pub fn assign_scaled(&mut self, other: &SymMatrix, scale: f64) {
+        assert_eq!(
+            self.dim, other.dim,
+            "SymMatrix dimension mismatch: {} vs {}",
+            self.dim, other.dim
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = scale * b;
         }
     }
 
@@ -187,9 +226,9 @@ mod tests {
         m.set(0, 2, 4.0);
         m.set(1, 1, 9.0);
         let dense = m.to_dense();
-        assert_eq!(dense[0 * 3 + 2], 4.0);
-        assert_eq!(dense[2 * 3 + 0], 4.0);
-        assert_eq!(dense[1 * 3 + 1], 9.0);
+        assert_eq!(dense[2], 4.0); // (0, 2)
+        assert_eq!(dense[6], 4.0); // (2, 0)
+        assert_eq!(dense[4], 9.0); // (1, 1)
         let entries: Vec<_> = m.iter_upper().collect();
         assert_eq!(entries.len(), 6);
         assert!(entries.contains(&(0, 2, 4.0)));

@@ -1,0 +1,96 @@
+//! Verifies the acceptance criterion of the in-place ring API: the fused
+//! multiply-add on the cofactor ring performs **no heap allocation** in the
+//! `Elem × Elem` case (a dense accumulator receiving dense products), which
+//! is the op that dominates COVAR maintenance.
+//!
+//! A counting global allocator records every allocation; the assertion
+//! would catch any regression that reintroduces temporaries on this path.
+
+use fivm_ring::{Cofactor, Ring};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn cofactor_fma_elem_elem_does_not_allocate() {
+    let dim = 8;
+    let a = Cofactor::lift(dim, 1, 3.5).mul(&Cofactor::lift(dim, 4, -2.0));
+    let b = Cofactor::lift(dim, 0, 1.25).mul(&Cofactor::lift(dim, 7, 6.0));
+    // Dense accumulator, same dimension — the hot case.
+    let mut acc = a.mul(&b);
+
+    let allocs = allocations_during(|| {
+        for sign in [1i64, -1, 1, -1, 2, -2] {
+            acc.fma_scaled(&a, &b, sign);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "Cofactor::fma_scaled allocated {allocs} times in the Elem×Elem case"
+    );
+
+    // The accumulated value must still be correct (the loop above sums to
+    // zero net, so acc is back to a·b).
+    assert_eq!(acc, a.mul(&b));
+}
+
+#[test]
+fn cofactor_fma_scalar_elem_does_not_allocate_into_dense_accumulator() {
+    let dim = 6;
+    let e = Cofactor::lift(dim, 2, 4.0);
+    let s = Cofactor::scalar(3.0);
+    let mut acc = e.mul(&e);
+    let allocs = allocations_during(|| {
+        acc.fma_scaled(&s, &e, 1);
+        acc.fma_scaled(&e, &s, -1);
+    });
+    assert_eq!(
+        allocs, 0,
+        "Cofactor::fma_scaled allocated {allocs} times in the Scalar×Elem case"
+    );
+}
+
+#[test]
+fn cofactor_mul_into_reuses_matching_accumulator() {
+    let dim = 8;
+    let a = Cofactor::lift(dim, 1, 3.5);
+    let b = Cofactor::lift(dim, 0, 1.25);
+    let mut out = a.mul(&b); // correctly shaped buffer
+    let allocs = allocations_during(|| {
+        a.mul_into(&b, &mut out);
+        b.mul_into(&a, &mut out);
+    });
+    assert_eq!(
+        allocs, 0,
+        "Cofactor::mul_into allocated {allocs} times with a matching out buffer"
+    );
+    assert_eq!(out, b.mul(&a));
+}

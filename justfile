@@ -1,0 +1,31 @@
+# Developer entry points.  `just ci` is the gate the CI workflow runs —
+# build, tests, clippy-as-errors, and bench compilation so bench code
+# cannot rot.
+
+default: ci
+
+# The full CI gate.
+ci: build test clippy bench-build
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q
+
+clippy:
+    cargo clippy --all-targets -- -D warnings
+
+# Compile (but do not run) every benchmark target.
+bench-build:
+    cargo bench --no-run
+
+# Regenerate the machine-readable perf baseline (writes BENCH_ivm.json).
+bench-ivm:
+    cargo build --release --bin exp_throughput
+    ./target/release/exp_throughput
+
+# Quick hot-path diagnostic: allocations/row and ns/row per engine.
+profile:
+    cargo build --release --bin profile_hotpath
+    ./target/release/profile_hotpath --quick

@@ -11,13 +11,29 @@
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`common`] | `fivm-common` | values, hashing, errors |
-//! | [`ring`] | `fivm-ring` | the ring abstraction and the concrete rings |
+//! | [`ring`] | `fivm-ring` | the ring abstraction (incl. in-place `mul_into`/`fma_scaled`) and the concrete rings |
 //! | [`relation`] | `fivm-relation` | schemas, tuples, keyed relations, databases, updates |
 //! | [`query`] | `fivm-query` | query specs, variable orders, view trees, M3 rendering |
-//! | [`core`] | `fivm-core` | the maintenance engine and per-application constructors |
+//! | [`core`] | `fivm-core` | the maintenance engine (batched, allocation-free hot path) and per-application constructors |
 //! | [`ml`] | `fivm-ml` | regression, mutual information, model selection, Chow-Liu trees |
 //! | [`data`] | `fivm-data` | Figure-1 toy data, Retailer/Favorita generators, update streams |
 //! | [`baselines`] | `fivm-baselines` | naive re-evaluation, join maintenance, unshared aggregates |
+//!
+//! Two crates are not re-exported: `fivm-bench` (experiment binaries and
+//! Criterion benchmarks; `exp_throughput` also emits the machine-readable
+//! `BENCH_ivm.json` perf baseline) and the offline dependency shims under
+//! `crates/shims/` (see `crates/shims/README.md`).
+//!
+//! ## Performance model
+//!
+//! Updates are applied in batches: each batch is grouped by key into one
+//! delta entry per distinct key, and the delta is propagated along a single
+//! leaf-to-root path using the in-place ring operations
+//! ([`ring::Ring::mul_into`], [`ring::Ring::fma_scaled`]) and per-level
+//! buffers that persist across updates — the dense-payload hot path
+//! performs no heap allocation (see `crates/ring/tests/alloc_fma.rs` and
+//! the "performance notes" section of `ROADMAP.md` for the exact API
+//! contract).
 //!
 //! ## Quickstart
 //!

@@ -131,6 +131,7 @@ fn mi_model_selection_and_chow_liu_run_on_favorita() {
 
     let matrix = mi_matrix(&payload, layout.dim());
     // Symmetric, non-negative, diagonal = entropy ≥ off-diagonal pair MI.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..layout.dim() {
         for j in 0..layout.dim() {
             assert!(matrix[i][j] >= 0.0);
