@@ -9,7 +9,7 @@
 //! `J` can be far larger than any view and contains many repeating values —
 //! this struct is the concrete strategy that claim is measured against.
 
-use crate::{value_of, Bindings};
+use crate::{Bindings, LiftPlan};
 use fivm_common::{FivmError, Result};
 use fivm_query::QuerySpec;
 use fivm_relation::{Database, Relation, Tuple, Update};
@@ -105,17 +105,11 @@ impl<R: Ring> JoinMaintenance<R> {
             }
         }
 
-        // Fold the aggregate over the delta-join tuples.
-        let vars = delta_join.vars().to_vec();
+        // Fold the aggregate over the delta-join tuples: lift positions are
+        // resolved once per batch, not once per tuple per lift.
+        let plan = LiftPlan::new(delta_join.vars(), &self.lifts);
         for (t, m) in delta_join.iter() {
-            let mut contribution = R::one();
-            for (v, lift) in self.lifts.iter().enumerate() {
-                if lift.is_identity() {
-                    continue;
-                }
-                contribution = contribution.mul(&lift.apply(&value_of(&vars, t, v)));
-            }
-            self.aggregate.add_assign(&contribution.scale_int(*m));
+            self.aggregate.add_assign(&plan.contribution(t).scale_int(*m));
         }
 
         // Maintain the materialized join (projected onto the fixed variable

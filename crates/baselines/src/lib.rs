@@ -29,6 +29,7 @@ pub use unshared::UnsharedCovar;
 use fivm_common::{FivmError, RelId, Result, Value, VarId};
 use fivm_query::QuerySpec;
 use fivm_relation::{Database, Tuple};
+use fivm_ring::{LiftFn, Ring};
 
 /// Column bindings from source-table layouts to a query's relation variables
 /// (shared by the baselines; the engine has its own equivalent).
@@ -90,11 +91,44 @@ impl Bindings {
     }
 }
 
-/// Reads the value of a query variable out of a tuple over `vars`.
-pub(crate) fn value_of(vars: &[VarId], tuple: &Tuple, var: VarId) -> Value {
-    let pos = vars
-        .iter()
-        .position(|&v| v == var)
-        .expect("variable present in join result");
-    tuple[pos].clone()
+/// The non-identity lifts of a query, resolved once to positions inside a
+/// join-result tuple layout.
+///
+/// Folding an aggregate over a join result applies each lift to its
+/// variable's value in every tuple; scanning the variable list per tuple
+/// per lift is an `O(|tuples| · |vars| · |lifts|)` position search.  This
+/// plan performs the search once per layout (the baselines build it once
+/// per delta join / re-evaluation) and the fold reads values by position.
+pub(crate) struct LiftPlan<'a, R> {
+    /// `(tuple position, lift)` for every non-identity lift.
+    positions: Vec<(usize, &'a LiftFn<R>)>,
+}
+
+impl<'a, R: Ring> LiftPlan<'a, R> {
+    /// Resolves `lifts` (indexed by variable id) against a tuple layout.
+    pub(crate) fn new(vars: &[VarId], lifts: &'a [LiftFn<R>]) -> Self {
+        LiftPlan {
+            positions: lifts
+                .iter()
+                .enumerate()
+                .filter(|(_, lift)| !lift.is_identity())
+                .map(|(var, lift)| {
+                    let pos = vars
+                        .iter()
+                        .position(|&v| v == var)
+                        .expect("lifted variable present in join result");
+                    (pos, lift)
+                })
+                .collect(),
+        }
+    }
+
+    /// The product of all lifted values of one tuple.
+    pub(crate) fn contribution(&self, tuple: &[Value]) -> R {
+        let mut acc = R::one();
+        for (pos, lift) in &self.positions {
+            acc = acc.mul(&lift.apply(&tuple[*pos]));
+        }
+        acc
+    }
 }

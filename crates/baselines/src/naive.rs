@@ -1,7 +1,7 @@
 //! Naive re-evaluation: store the base tables, recompute the aggregate from
 //! scratch whenever it is requested.
 
-use crate::{value_of, Bindings};
+use crate::{Bindings, LiftPlan};
 use fivm_common::{FivmError, Result};
 use fivm_query::QuerySpec;
 use fivm_relation::{Database, Relation, Update};
@@ -83,17 +83,10 @@ impl<R: Ring> NaiveReevaluation<R> {
         for rel in &self.relations[1..] {
             join = join.natural_join(rel);
         }
-        let vars = join.vars().to_vec();
+        let plan = LiftPlan::new(join.vars(), &self.lifts);
         let mut acc = R::zero();
         for (t, m) in join.iter() {
-            let mut contribution = R::one();
-            for (v, lift) in self.lifts.iter().enumerate() {
-                if lift.is_identity() {
-                    continue;
-                }
-                contribution = contribution.mul(&lift.apply(&value_of(&vars, t, v)));
-            }
-            acc.add_assign(&contribution.scale_int(*m));
+            acc.add_assign(&plan.contribution(t).scale_int(*m));
         }
         acc
     }

@@ -2,7 +2,7 @@
 //! Favorita workloads under the COUNT, COVAR and MI rings (Experiment E2).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fivm_bench::Workload;
+use fivm_bench::{ProbeAblation, Workload};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -108,6 +108,18 @@ fn bench_throughput(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         )
+    });
+
+    // Ablation of the key representation: the identical key set and probe
+    // sequence under boxed `Value` tuples (FxHashMap) vs dictionary-encoded
+    // keys with precomputed hashes (RawTable).  The gap is the probe-path
+    // gain of hash-once encoding, isolated from the rest of the engine.
+    let ablation = ProbeAblation::from_workload(&retailer);
+    group.bench_function("retailer_probe_boxed_keys", |b| {
+        b.iter(|| black_box(ablation.run_boxed()))
+    });
+    group.bench_function("retailer_probe_encoded_keys", |b| {
+        b.iter(|| black_box(ablation.run_encoded()))
     });
 
     group.finish();

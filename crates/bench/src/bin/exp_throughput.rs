@@ -16,7 +16,8 @@
 
 use fivm_baselines::{JoinMaintenance, NaiveReevaluation, UnsharedCovar};
 use fivm_bench::{
-    format_speedup, measure, print_table, write_bench_json, BenchRecord, Throughput, Workload,
+    format_speedup, measure, print_table, write_bench_json, BenchRecord, ProbeAblation,
+    Throughput, Workload,
 };
 use fivm_core::{AggregateLayout, Engine, EngineStats};
 use fivm_relation::Update;
@@ -79,18 +80,6 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut records: Vec<BenchRecord> = Vec::new();
-    let mut record = |dataset: &str, app: &str, t: Throughput, stats: EngineStats| {
-        records.push(BenchRecord {
-            dataset: dataset.to_string(),
-            app: app.to_string(),
-            bulk_size: stream.bulk_size,
-            updates: t.updates,
-            seconds: t.seconds,
-            delta_entries: stats.delta_entries,
-            ring_adds: stats.ring_adds,
-            ring_muls: stats.ring_muls,
-        });
-    };
 
     for dataset in ["Retailer", "Favorita"] {
         let workload = match dataset {
@@ -108,7 +97,7 @@ fn main() {
         let mut count = workload.count_engine();
         count.load_database(&workload.database).unwrap();
         let (t_count, s_count) = run_fivm(&mut count, &workload.updates);
-        record(dataset, "COUNT", t_count, s_count);
+        record(&mut records, dataset, "COUNT", stream.bulk_size, t_count, s_count);
         push_row(&mut rows, dataset, "F-IVM", "COUNT", t_count, Some(s_count), None);
 
         let (fivm_covar, s_covar) = if dataset == "Retailer" {
@@ -120,13 +109,13 @@ fn main() {
             covar.load_database(&workload.database).unwrap();
             run_fivm(&mut covar, &workload.updates)
         };
-        record(dataset, "COVAR", fivm_covar, s_covar);
+        record(&mut records, dataset, "COVAR", stream.bulk_size, fivm_covar, s_covar);
         push_row(&mut rows, dataset, "F-IVM", "COVAR", fivm_covar, Some(s_covar), None);
 
         let mut mi = workload.mi_engine();
         mi.load_database(&workload.database).unwrap();
         let (t_mi, s_mi) = run_fivm(&mut mi, &workload.updates);
-        record(dataset, "MI", t_mi, s_mi);
+        record(&mut records, dataset, "MI", stream.bulk_size, t_mi, s_mi);
         push_row(&mut rows, dataset, "F-IVM", "MI", t_mi, Some(s_mi), None);
 
         // --- Baseline: first-order join maintenance (COVAR aggregate) ------
@@ -169,6 +158,39 @@ fn main() {
             );
         }
 
+        // --- Ablation: encoded (hash-once) vs boxed probe keys --------------
+        {
+            let ablation = ProbeAblation::from_workload(&workload);
+            let passes = if quick { 5 } else { 20 };
+            let boxed = ablation.measure(false, passes);
+            let encoded = ablation.measure(true, passes);
+            println!(
+                "  probe ablation ({} keys, {} probes/pass): boxed {:.2}M probes/s, \
+                 encoded {:.2}M probes/s ({} from dictionary encoding)",
+                ablation.len(),
+                ablation.num_probes(),
+                boxed / 1e6,
+                encoded / 1e6,
+                format_speedup(encoded / boxed),
+            );
+            let probes = ablation.num_probes() * passes;
+            for (app, rate) in [("PROBE-boxed", boxed), ("PROBE-encoded", encoded)] {
+                records.push(BenchRecord {
+                    dataset: dataset.to_string(),
+                    app: app.to_string(),
+                    bulk_size: stream.bulk_size,
+                    updates: probes,
+                    seconds: probes as f64 / rate,
+                    delta_entries: 0,
+                    ring_adds: 0,
+                    ring_muls: 0,
+                    probes,
+                    probe_hits: 0,
+                    rehashes: 0,
+                });
+            }
+        }
+
         // --- Baseline: naive re-evaluation after every bulk ----------------
         if dataset == "Retailer" {
             let spec = fivm_data::retailer::retailer_query_continuous();
@@ -203,6 +225,8 @@ fn main() {
             "delta entries",
             "ring adds",
             "ring muls",
+            "probes",
+            "probe hits",
             "slowdown vs F-IVM",
         ],
         &rows,
@@ -214,6 +238,30 @@ fn main() {
     }
     println!("\n(paper's claim: F-IVM averages ~10K updates/s and beats DBToaster-style");
     println!(" join maintenance by orders of magnitude on these workloads)");
+}
+
+/// Appends one measured F-IVM configuration to the JSON record list.
+fn record(
+    records: &mut Vec<BenchRecord>,
+    dataset: &str,
+    app: &str,
+    bulk_size: usize,
+    t: Throughput,
+    stats: EngineStats,
+) {
+    records.push(BenchRecord {
+        dataset: dataset.to_string(),
+        app: app.to_string(),
+        bulk_size,
+        updates: t.updates,
+        seconds: t.seconds,
+        delta_entries: stats.delta_entries,
+        ring_adds: stats.ring_adds,
+        ring_muls: stats.ring_muls,
+        probes: stats.probes,
+        probe_hits: stats.probe_hits,
+        rehashes: stats.rehashes,
+    });
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -229,15 +277,17 @@ fn push_row(
     let slowdown = fivm_reference
         .map(|r| format_speedup(r.updates_per_second() / t.updates_per_second()))
         .unwrap_or_else(|| "-".to_string());
-    let (de, ra, rm) = stats
+    let (de, ra, rm, pr, ph) = stats
         .map(|s| {
             (
                 s.delta_entries.to_string(),
                 s.ring_adds.to_string(),
                 s.ring_muls.to_string(),
+                s.probes.to_string(),
+                s.probe_hits.to_string(),
             )
         })
-        .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        .unwrap_or_else(|| ("-".into(), "-".into(), "-".into(), "-".into(), "-".into()));
     rows.push(vec![
         dataset.to_string(),
         system.to_string(),
@@ -246,6 +296,8 @@ fn push_row(
         de,
         ra,
         rm,
+        pr,
+        ph,
         slowdown,
     ]);
 }

@@ -1,9 +1,11 @@
 //! Diagnostic: allocation counts and phase timings on the maintenance hot
 //! path.  Not an experiment from the paper — a tool for keeping the
 //! in-place hot path honest (run after changes to `fivm-core`/`fivm-ring`
-//! to see allocations/row and where the time goes).
+//! to see allocations/row, probe volume and where the time goes; the
+//! trailing ablation compares allocs/probe and ns/probe between the boxed
+//! and dictionary-encoded key representations).
 
-use fivm_bench::Workload;
+use fivm_bench::{ProbeAblation, Workload};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -80,6 +82,33 @@ fn main() {
         dt.as_nanos() as f64 / rows as f64,
         covar.stats()
     );
+
+    // Probe ablation: the same fact-table keys probed as boxed Value
+    // tuples vs dictionary-encoded keys (allocs/probe must be 0 for both —
+    // probing never allocates — the difference is pure probe cost).
+    let ablation = ProbeAblation::from_workload(&workload);
+    let passes = if quick { 20 } else { 100 };
+    for (label, encoded) in [("boxed ", false), ("encode", true)] {
+        let (a0, t0) = (allocs(), Instant::now());
+        let mut acc = 0i64;
+        for _ in 0..passes {
+            acc += if encoded {
+                ablation.run_encoded()
+            } else {
+                ablation.run_boxed()
+            };
+        }
+        black_box(acc);
+        let (dt, da) = (t0.elapsed(), allocs() - a0);
+        let probes = (ablation.num_probes() * passes) as f64;
+        println!(
+            "{label}: {:>8.1}M probes/s  {:>6.1} allocs/probe  {:>7.1} ns/probe  ({} keys)",
+            probes / dt.as_secs_f64() / 1e6,
+            da as f64 / probes,
+            dt.as_nanos() as f64 / probes,
+            ablation.len(),
+        );
+    }
 
     // Baseline cost of just iterating + cloning the update rows (what any
     // engine pays before touching views).

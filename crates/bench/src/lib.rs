@@ -5,9 +5,10 @@
 //! the Criterion benchmarks in `benches/` provide statistically sound
 //! micro/macro measurements of the same scenarios.
 
-use fivm_core::{apps, BinSpec, Engine};
+use fivm_common::{Dict, EncodedKey, FxHashMap};
+use fivm_core::{apps, BinSpec, Engine, MaterializedView};
 use fivm_query::{QuerySpec, ViewTree};
-use fivm_relation::{Database, Update};
+use fivm_relation::{Database, Tuple, Update};
 use fivm_ring::{Cofactor, GenCofactor};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -140,6 +141,117 @@ impl Workload {
     }
 }
 
+/// The encoded-vs-boxed key ablation: the same key set stored and probed
+/// under both view-storage designs, so the probe-path gain of dictionary
+/// encoding is measurable in isolation from the rest of the engine.
+///
+/// * **Boxed** — the pre-encoding view storage: an `FxHashMap` keyed by
+///   boxed `Value` tuples (enum-tag matching, `Arc<str>` compares, one
+///   heap allocation per key), payloads inline.
+/// * **Encoded** — the hash-once view storage, measured on the real
+///   [`MaterializedView`]: dictionary-encoded flat-word keys in a slot
+///   slab behind a [`fivm_common::RawTable`] of precomputed hashes.
+///
+/// Both sides hold identical logical keys (the fact table of a workload)
+/// and are probed with the identical probe sequence (the keys of the
+/// update stream — a realistic hit/miss mix).  Probe-key hashing is inside
+/// the measured loop for both, as it is on the engine's hot path.
+pub struct ProbeAblation {
+    boxed: FxHashMap<Tuple, i64>,
+    boxed_probes: Vec<Tuple>,
+    encoded: MaterializedView<i64>,
+    encoded_probes: Vec<EncodedKey>,
+}
+
+impl ProbeAblation {
+    /// Builds both representations from a workload's fact table and update
+    /// stream.
+    pub fn from_workload(workload: &Workload) -> ProbeAblation {
+        let fact_name = &workload.updates[0].table;
+        let fact = workload
+            .database
+            .table(fact_name)
+            .expect("update stream targets a database table");
+        let mut dict = Dict::new();
+        let mut boxed: FxHashMap<Tuple, i64> = FxHashMap::default();
+        let mut encoded: MaterializedView<i64> =
+            MaterializedView::new((0..fact.schema.arity()).collect());
+        for (row, mult) in &fact.rows {
+            *boxed.entry(row.clone()).or_insert(0) += mult;
+            encoded.add(&mut dict, row, *mult);
+        }
+        boxed.retain(|_, m| *m != 0);
+        let mut boxed_probes = Vec::new();
+        let mut encoded_probes = Vec::new();
+        for bulk in &workload.updates {
+            for (row, _) in &bulk.rows {
+                boxed_probes.push(row.clone());
+                encoded_probes.push(dict.encode_key(row));
+            }
+        }
+        ProbeAblation {
+            boxed,
+            boxed_probes,
+            encoded,
+            encoded_probes,
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.boxed.len()
+    }
+
+    /// Whether the ablation holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.boxed.is_empty()
+    }
+
+    /// Number of probes per pass.
+    pub fn num_probes(&self) -> usize {
+        self.boxed_probes.len()
+    }
+
+    /// One probe pass over the boxed representation; returns the payload
+    /// sum of the hits (both passes must agree).
+    pub fn run_boxed(&self) -> i64 {
+        let mut acc = 0;
+        for key in &self.boxed_probes {
+            if let Some(v) = self.boxed.get(&key[..]) {
+                acc += *v;
+            }
+        }
+        acc
+    }
+
+    /// One probe pass over the encoded representation (hash once, probe
+    /// the primary map, read the payload out of the slab).
+    pub fn run_encoded(&self) -> i64 {
+        let mut acc = 0;
+        for key in &self.encoded_probes {
+            let hash = key.fx_hash();
+            if let Some(slot) = self.encoded.find_slot(hash, key) {
+                acc += *self.encoded.slot_payload(slot);
+            }
+        }
+        acc
+    }
+
+    /// Times `passes` probe passes of one representation, returning
+    /// probes/second (the hit sums are checked for agreement first).
+    pub fn measure(&self, encoded: bool, passes: usize) -> f64 {
+        assert_eq!(self.run_boxed(), self.run_encoded(), "representations diverge");
+        let start = Instant::now();
+        let mut acc = 0i64;
+        for _ in 0..passes {
+            acc += if encoded { self.run_encoded() } else { self.run_boxed() };
+        }
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        (self.num_probes() * passes) as f64 / secs
+    }
+}
+
 /// Timing result of replaying an update stream through a maintenance
 /// strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -199,6 +311,13 @@ pub struct BenchRecord {
     pub ring_adds: usize,
     /// Ring multiplications (update phase only).
     pub ring_muls: usize,
+    /// Sibling-view probes requested during propagation (update phase
+    /// only) — with hash-once probing each counts one key hash.
+    pub probes: usize,
+    /// Probes that found a match (update phase only).
+    pub probe_hits: usize,
+    /// View-table rehash events (update phase only; steady state is 0).
+    pub rehashes: usize,
 }
 
 impl BenchRecord {
@@ -221,7 +340,8 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
             concat!(
                 "    {{\"dataset\": \"{}\", \"app\": \"{}\", \"bulk_size\": {}, ",
                 "\"updates\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, ",
-                "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}}}{}\n"
+                "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}, ",
+                "\"probes\": {}, \"probe_hits\": {}, \"rehashes\": {}}}{}\n"
             ),
             r.dataset,
             r.app,
@@ -232,6 +352,9 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
             r.delta_entries,
             r.ring_adds,
             r.ring_muls,
+            r.probes,
+            r.probe_hits,
+            r.rehashes,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -322,6 +445,19 @@ mod tests {
         let mut e = w.gen_covar_engine();
         e.load_database(&w.database).unwrap();
         assert!(e.result().count() > 0.0);
+    }
+
+    #[test]
+    fn probe_ablation_representations_agree() {
+        let w = tiny_retailer();
+        let ab = ProbeAblation::from_workload(&w);
+        assert!(!ab.is_empty());
+        assert_eq!(ab.num_probes(), 40);
+        // Both representations must return identical hit sums, and the
+        // measurement helper enforces that before timing.
+        assert_eq!(ab.run_boxed(), ab.run_encoded());
+        assert!(ab.measure(true, 2) > 0.0);
+        assert!(ab.measure(false, 2) > 0.0);
     }
 
     #[test]

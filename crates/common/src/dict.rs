@@ -1,0 +1,478 @@
+//! Dictionary encoding of [`Value`]s into fixed-width keys.
+//!
+//! View maintenance is dominated by hash-map probes over short tuples of
+//! dynamically typed [`Value`]s.  Hashing and comparing boxed `Value` slices
+//! touches one heap allocation per key, matches an enum discriminant per
+//! column, and bumps `Arc<str>` reference counts for string columns — all of
+//! it memory traffic the probe working set cannot afford.  This module
+//! encodes every key once, at ingestion, into an [`EncodedKey`]: a flat
+//! sequence of `u64` words with `O(words)` hash/equality and no pointer
+//! chasing for short keys.  Keys are decoded back into `Value`s only at
+//! output boundaries (results, view listings, display).
+//!
+//! Layout of an encoded key of arity `n`:
+//!
+//! * `ceil(n / 16)` *tag words*, packing one 4-bit type tag per column
+//!   (`Null`, `Int`, `Double`, `Str`), followed by
+//! * `n` *payload words*, one per column: the integer bits, the canonical
+//!   [`OrdF64`] float bits, or the [`Dict`] id of an interned string.
+//!
+//! Keys whose words fit [`INLINE_WORDS`] are stored inline (no heap);
+//! longer keys spill to one boxed slice.  The encoding is injective given a
+//! fixed dictionary, so word-wise equality coincides with `Value`-wise
+//! equality, and two encodings of the same tuple are bit-identical
+//! (`OrdF64` canonicalizes `-0.0`/NaN before the bits are taken).
+//!
+//! [`Dict`] is the per-database string interner: it assigns dense `u32` ids
+//! to distinct strings, in first-seen order.  Encoding interns; probing a
+//! dictionary for a string it has never seen means the probed key cannot be
+//! present in any view built from that dictionary ([`Dict::try_encode_key`]
+//! returns `None`).
+
+use crate::hash::{fx_hash_words, FxHashMap};
+use crate::value::{OrdF64, Value};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Type tag of an encoded column (4 bits in the key's tag words).
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_DOUBLE: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Number of `u64` words an [`EncodedKey`] stores without heap allocation.
+///
+/// One tag word plus five payload words covers every key of arity ≤ 5 —
+/// wider than any view key of the paper's workloads — while keeping the
+/// inline struct a cache-line-friendly 56 bytes.
+pub const INLINE_WORDS: usize = 6;
+
+/// A single dictionary-encoded value: a 4-bit type tag plus a 64-bit
+/// payload word.  `Copy`, so assignments and key gathering are plain word
+/// moves with no refcount traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EncodedValue {
+    /// Type tag (`Null`/`Int`/`Double`/`Str`).
+    pub tag: u8,
+    /// Payload bits (integer, canonical float bits, or string id).
+    pub word: u64,
+}
+
+impl EncodedValue {
+    /// The encoding of [`Value::Null`] (also a safe "unbound" filler).
+    pub const NULL: EncodedValue = EncodedValue { tag: TAG_NULL, word: 0 };
+}
+
+#[inline]
+fn tag_words(arity: usize) -> usize {
+    arity.div_ceil(16)
+}
+
+#[inline]
+fn num_words(arity: usize) -> usize {
+    tag_words(arity) + arity
+}
+
+/// Word storage of an [`EncodedKey`]: inline for short keys, boxed beyond
+/// [`INLINE_WORDS`].  The variant is a deterministic function of the arity,
+/// so equal keys always share a representation.
+#[derive(Clone)]
+enum KeyWords {
+    Inline([u64; INLINE_WORDS]),
+    Spilled(Box<[u64]>),
+}
+
+/// A dictionary-encoded key: a tuple of [`Value`]s flattened into tagged
+/// `u64` words (see the module docs for the layout).
+///
+/// Hashing and equality are word-wise — `O(words)` with no allocation, no
+/// branches per value type and no `Arc` traffic.  The engine computes
+/// [`EncodedKey::fx_hash`] exactly once per key per propagation level and
+/// hands the `(hash, key)` pair to [`crate::table::RawTable`].
+#[derive(Clone)]
+pub struct EncodedKey {
+    arity: u8,
+    words: KeyWords,
+}
+
+impl EncodedKey {
+    /// Builds a key of the given arity, reading column `i` from `col(i)`
+    /// (the zero-copy constructor behind every gather/projection).
+    #[inline]
+    pub fn from_fn(arity: usize, col: impl FnMut(usize) -> EncodedValue) -> EncodedKey {
+        EncodedKey::build(arity, col)
+    }
+
+    /// Builds a key of the given arity, reading column `i` from `col(i)`.
+    #[inline]
+    fn build(arity: usize, mut col: impl FnMut(usize) -> EncodedValue) -> EncodedKey {
+        assert!(arity <= u8::MAX as usize, "key arity {arity} exceeds 255");
+        let nw = num_words(arity);
+        let tw = tag_words(arity);
+        let mut fill = |words: &mut [u64]| {
+            for i in 0..arity {
+                let ev = col(i);
+                words[i >> 4] |= u64::from(ev.tag) << ((i & 15) * 4);
+                words[tw + i] = ev.word;
+            }
+        };
+        let words = if nw <= INLINE_WORDS {
+            let mut w = [0u64; INLINE_WORDS];
+            fill(&mut w);
+            KeyWords::Inline(w)
+        } else {
+            let mut w = vec![0u64; nw];
+            fill(&mut w);
+            KeyWords::Spilled(w.into_boxed_slice())
+        };
+        EncodedKey {
+            arity: arity as u8,
+            words,
+        }
+    }
+
+    /// The empty key (arity 0) — the key of every fully marginalized view.
+    #[inline]
+    pub fn empty() -> EncodedKey {
+        EncodedKey::build(0, |_| EncodedValue::NULL)
+    }
+
+    /// Builds a key from already-encoded values.
+    #[inline]
+    pub fn from_values(values: &[EncodedValue]) -> EncodedKey {
+        EncodedKey::build(values.len(), |i| values[i])
+    }
+
+    /// Builds a key by gathering `positions` out of an assignment of
+    /// encoded values.  Copy-only: no allocation for inline-sized keys.
+    #[inline]
+    pub fn gather(assignment: &[EncodedValue], positions: &[usize]) -> EncodedKey {
+        EncodedKey::build(positions.len(), |i| assignment[positions[i]])
+    }
+
+    /// Projects this key onto a subset of its columns (e.g. the columns of
+    /// a secondary index).  Copy-only: no allocation for inline-sized keys.
+    #[inline]
+    pub fn project(&self, positions: &[usize]) -> EncodedKey {
+        EncodedKey::build(positions.len(), |i| self.col(positions[i]))
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        usize::from(self.arity)
+    }
+
+    /// The key's words (tag words followed by payload words).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        let nw = num_words(usize::from(self.arity));
+        match &self.words {
+            KeyWords::Inline(w) => &w[..nw],
+            KeyWords::Spilled(w) => w,
+        }
+    }
+
+    /// The encoded value of column `i`.
+    #[inline]
+    pub fn col(&self, i: usize) -> EncodedValue {
+        debug_assert!(i < self.arity(), "column {i} out of range");
+        let words = match &self.words {
+            KeyWords::Inline(w) => &w[..],
+            KeyWords::Spilled(w) => w,
+        };
+        let tag = ((words[i >> 4] >> ((i & 15) * 4)) & 0xF) as u8;
+        EncodedValue {
+            tag,
+            word: words[tag_words(usize::from(self.arity)) + i],
+        }
+    }
+
+    /// The key's 64-bit Fx hash.  Callers are expected to compute this
+    /// **once** per key and reuse it across every table that stores or
+    /// probes the key (the whole point of hash-once probing).
+    #[inline]
+    pub fn fx_hash(&self) -> u64 {
+        fx_hash_words(self.words())
+    }
+}
+
+impl PartialEq for EncodedKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.words() == other.words()
+    }
+}
+
+impl Eq for EncodedKey {}
+
+impl Hash for EncodedKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for &w in self.words() {
+            state.write_u64(w);
+        }
+    }
+}
+
+impl fmt::Debug for EncodedKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EncodedKey(arity={}, words={:x?})", self.arity, self.words())
+    }
+}
+
+/// The per-database string interner and `Value` codec.
+///
+/// Owns the mapping between strings and their dense `u32` ids.  One `Dict`
+/// serves one engine (all views of a query share it); ids are meaningless
+/// across dictionaries.
+#[derive(Clone, Debug, Default)]
+pub struct Dict {
+    ids: FxHashMap<Arc<str>, u32>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Dict {
+    /// An empty dictionary.
+    pub fn new() -> Dict {
+        Dict::default()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Interns a string, returning its id (existing id if already seen).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let id = u32::try_from(self.strings.len()).expect("dictionary overflow");
+        self.strings.push(arc.clone());
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// The id of a string, if it has been interned.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.ids.get(s).copied()
+    }
+
+    /// The string with the given id; panics on an id this dictionary never
+    /// produced (a programming error, not data-dependent).
+    pub fn resolve(&self, id: u32) -> &Arc<str> {
+        &self.strings[id as usize]
+    }
+
+    /// Encodes one value, interning strings on first sight.
+    #[inline]
+    pub fn encode_value(&mut self, v: &Value) -> EncodedValue {
+        match v {
+            Value::Null => EncodedValue::NULL,
+            Value::Int(x) => EncodedValue {
+                tag: TAG_INT,
+                word: *x as u64,
+            },
+            Value::Double(x) => EncodedValue {
+                tag: TAG_DOUBLE,
+                word: x.canonical_bits(),
+            },
+            Value::Str(s) => EncodedValue {
+                tag: TAG_STR,
+                word: u64::from(self.intern(s)),
+            },
+        }
+    }
+
+    /// Encodes one value without interning: returns `None` for a string the
+    /// dictionary has never seen (such a value cannot be part of any stored
+    /// key).
+    #[inline]
+    pub fn try_encode_value(&self, v: &Value) -> Option<EncodedValue> {
+        Some(match v {
+            Value::Null => EncodedValue::NULL,
+            Value::Int(x) => EncodedValue {
+                tag: TAG_INT,
+                word: *x as u64,
+            },
+            Value::Double(x) => EncodedValue {
+                tag: TAG_DOUBLE,
+                word: x.canonical_bits(),
+            },
+            Value::Str(s) => EncodedValue {
+                tag: TAG_STR,
+                word: u64::from(self.lookup(s)?),
+            },
+        })
+    }
+
+    /// Decodes one value.  `Str` decoding clones the interned `Arc` (a
+    /// refcount bump, no allocation).
+    #[inline]
+    pub fn decode_value(&self, ev: EncodedValue) -> Value {
+        match ev.tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Int(ev.word as i64),
+            TAG_DOUBLE => Value::Double(OrdF64::new(f64::from_bits(ev.word))),
+            TAG_STR => Value::Str(self.resolve(ev.word as u32).clone()),
+            t => unreachable!("corrupt encoded value tag {t}"),
+        }
+    }
+
+    /// Encodes a tuple of values into a key, interning strings.
+    pub fn encode_key(&mut self, values: &[Value]) -> EncodedKey {
+        EncodedKey::build(values.len(), |i| self.encode_value(&values[i]))
+    }
+
+    /// Encodes a tuple without interning; `None` if any string is unknown.
+    pub fn try_encode_key(&self, values: &[Value]) -> Option<EncodedKey> {
+        let mut missing = false;
+        let key = EncodedKey::build(values.len(), |i| {
+            self.try_encode_value(&values[i]).unwrap_or_else(|| {
+                missing = true;
+                EncodedValue::NULL
+            })
+        });
+        (!missing).then_some(key)
+    }
+
+    /// Decodes a key back into owned values (an output-boundary operation).
+    pub fn decode_key(&self, key: &EncodedKey) -> Box<[Value]> {
+        (0..key.arity())
+            .map(|i| self.decode_value(key.col(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dict: &mut Dict, values: &[Value]) {
+        let key = dict.encode_key(values);
+        assert_eq!(key.arity(), values.len());
+        let decoded = dict.decode_key(&key);
+        assert_eq!(&*decoded, values, "round trip changed the tuple");
+        // Re-encoding is bit-identical and hash-identical.
+        let again = dict.encode_key(values);
+        assert_eq!(key, again);
+        assert_eq!(key.fx_hash(), again.fx_hash());
+        // try_encode agrees once all strings are interned.
+        assert_eq!(dict.try_encode_key(values).as_ref(), Some(&key));
+    }
+
+    #[test]
+    fn roundtrips_every_value_kind() {
+        let mut d = Dict::new();
+        roundtrip(&mut d, &[]);
+        roundtrip(&mut d, &[Value::Null]);
+        roundtrip(&mut d, &[Value::int(0), Value::int(-1), Value::int(i64::MAX), Value::int(i64::MIN)]);
+        roundtrip(&mut d, &[Value::double(2.5), Value::str("red"), Value::Null, Value::int(7)]);
+        roundtrip(&mut d, &[Value::str(""), Value::str("red"), Value::str("blue")]);
+    }
+
+    #[test]
+    fn double_edge_cases_canonicalize_and_roundtrip() {
+        let mut d = Dict::new();
+        // -0.0 and 0.0 are the same key (same OrdF64), and decode to 0.0.
+        let pos = d.encode_key(&[Value::double(0.0)]);
+        let neg = d.encode_key(&[Value::double(-0.0)]);
+        assert_eq!(pos, neg);
+        assert_eq!(d.decode_key(&neg)[0], Value::double(0.0));
+        // All NaN payloads collapse to one canonical key that still decodes
+        // to a NaN (grouped, like OrdF64 ordering treats them).
+        let nan_a = d.encode_key(&[Value::double(f64::NAN)]);
+        let nan_b = d.encode_key(&[Value::double(f64::from_bits(0x7ff8_0000_0000_0001))]);
+        assert_eq!(nan_a, nan_b);
+        assert!(matches!(d.decode_key(&nan_a)[0], Value::Double(x) if x.get().is_nan()));
+        // Infinities survive.
+        roundtrip(&mut d, &[Value::double(f64::INFINITY), Value::double(f64::NEG_INFINITY)]);
+    }
+
+    #[test]
+    fn null_and_zero_variants_stay_distinct() {
+        // Null, Int(0), Double(0.0) and the first interned string all have
+        // payload word 0 — the tags must keep them distinct keys.
+        let mut d = Dict::new();
+        let null = d.encode_key(&[Value::Null]);
+        let int0 = d.encode_key(&[Value::int(0)]);
+        let dbl0 = d.encode_key(&[Value::double(0.0)]);
+        let str0 = d.encode_key(&[Value::str("s")]);
+        assert_eq!(d.lookup("s"), Some(0));
+        let keys = [&null, &int0, &dbl0, &str0];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                assert_eq!(a == b, i == j, "keys {i} and {j} confused");
+            }
+        }
+        // Int(1) vs Double(1.0) also differ (different tag and bits).
+        assert_ne!(d.encode_key(&[Value::int(1)]), d.encode_key(&[Value::double(1.0)]));
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let mut d = Dict::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(&**d.resolve(a), "alpha");
+        assert_eq!(d.lookup("gamma"), None);
+        assert!(!d.is_empty());
+        // try_encode of an unseen string refuses instead of interning.
+        assert_eq!(d.try_encode_key(&[Value::str("gamma")]), None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn spilled_keys_roundtrip_and_match_inline_semantics() {
+        let mut d = Dict::new();
+        // Arity 6 needs 7 words > INLINE_WORDS, forcing the spilled path.
+        let values: Vec<Value> = (0..20)
+            .map(|i| match i % 4 {
+                0 => Value::int(i),
+                1 => Value::double(i as f64 * 0.5),
+                2 => Value::str(format!("s{i}")),
+                _ => Value::Null,
+            })
+            .collect();
+        roundtrip(&mut d, &values);
+        let key = d.encode_key(&values);
+        assert_eq!(key.words().len(), num_words(20));
+        // Projection out of a spilled key gathers the right columns.
+        let sub = key.project(&[19, 2, 0]);
+        assert_eq!(
+            &*d.decode_key(&sub),
+            &[values[19].clone(), values[2].clone(), values[0].clone()]
+        );
+    }
+
+    #[test]
+    fn gather_and_project_agree() {
+        let mut d = Dict::new();
+        let values = [Value::int(4), Value::str("x"), Value::double(-3.5)];
+        let key = d.encode_key(&values);
+        let assignment: Vec<EncodedValue> = values.iter().map(|v| d.encode_value(v)).collect();
+        let gathered = EncodedKey::gather(&assignment, &[2, 0]);
+        assert_eq!(gathered, key.project(&[2, 0]));
+        assert_eq!(gathered.fx_hash(), key.project(&[2, 0]).fx_hash());
+        assert_eq!(EncodedKey::from_values(&assignment), key);
+    }
+
+    #[test]
+    fn empty_key_is_consistent() {
+        let empty = EncodedKey::empty();
+        assert_eq!(empty.arity(), 0);
+        assert!(empty.words().is_empty());
+        assert_eq!(empty, Dict::new().encode_key(&[]));
+    }
+}

@@ -93,6 +93,20 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes a slice of words with the Fx mixer — the primitive behind
+/// hash-once probing: encoded keys (`crate::dict::EncodedKey`) are flat
+/// word sequences, so their hash is this fold, computed once by the caller
+/// and reused across every table the key touches (`crate::table::RawTable`
+/// never hashes keys itself).
+#[inline]
+pub fn fx_hash_words(words: &[u64]) -> u64 {
+    let mut hash = 0u64;
+    for &w in words {
+        hash = (hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+    hash
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

@@ -10,16 +10,26 @@
 //! * [`FxHashMap`]/[`FxHashSet`] — hash containers using a fast,
 //!   non-cryptographic hash (an FxHash-style mixer) suitable for the short
 //!   integer-heavy keys that dominate view maintenance,
+//! * [`Dict`]/[`EncodedKey`] — dictionary encoding of values into
+//!   fixed-width `u64` keys with `O(words)` hash/equality (the probe-path
+//!   key representation),
+//! * [`RawTable`] — an open-addressing hash table keyed by precomputed
+//!   hashes, so a key is hashed once and the hash reused across the
+//!   primary map, every secondary index and the delta accumulators,
 //! * [`FivmError`] — the error type shared by the query compiler and engine.
 
+pub mod dict;
 pub mod error;
 pub mod hash;
 pub mod kind;
+pub mod table;
 pub mod value;
 
+pub use dict::{Dict, EncodedKey, EncodedValue};
 pub use error::{FivmError, Result};
-pub use hash::{new_map, new_set, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{fx_hash_words, new_map, new_set, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kind::AttrKind;
+pub use table::{Probe, RawTable};
 pub use value::{OrdF64, Value};
 
 /// Identifier of a query variable (attribute) inside a compiled query.

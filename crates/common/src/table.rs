@@ -1,0 +1,651 @@
+//! An open-addressing hash table keyed by **precomputed** 64-bit hashes.
+//!
+//! # Why `std::collections::HashMap` is not enough
+//!
+//! The F-IVM maintenance hot path probes the same key against several
+//! tables per propagation level: a view's primary map, one or more
+//! secondary indexes, and the per-level delta accumulator.  With `std`'s
+//! `HashMap` every one of those probes re-hashes the key, because the map
+//! owns the hashing: there is no stable API to probe or insert with a hash
+//! computed by the caller (`raw_entry` never stabilized, and
+//! `HashMap::entry` additionally demands an owned key up front, forcing a
+//! clone per probe).  [`RawTable`] inverts the contract — every operation
+//! takes `(hash, key)` — so the engine hashes each key exactly once per
+//! level and reuses the hash everywhere, including on growth: entries store
+//! their hash, so resizing never touches key bytes at all.
+//!
+//! The table is a compact swiss-table-style design: power-of-two capacity,
+//! one control byte per slot carrying a 7-bit hash fragment, probed in
+//! groups of eight bytes with portable SWAR word tricks (no SIMD
+//! intrinsics, no `unsafe`) so most mismatched slots are rejected eight at
+//! a time without reading any entry.  Groups are visited in triangular
+//! order (every group reached, no primary clustering), and deletion uses
+//! tombstones.  Tombstone-heavy tables are compacted in place by a
+//! same-size rehash instead of growing.  Growth events are counted in
+//! [`RawTable::rehashes`], which the engine surfaces as an `EngineStats`
+//! counter — a key is re-bucketed (never re-hashed) only when a table
+//! grows or compacts.
+//!
+//! Like the rest of the workspace the table is keyed by trusted,
+//! internally generated hashes ([`crate::hash::FxHasher`]-style mixing);
+//! it is not HashDoS-resistant.
+
+use std::fmt;
+
+/// Control byte: slot has never held an entry (probe chains stop here).
+const CTRL_EMPTY: u8 = 0x80;
+/// Control byte: slot held an entry that was removed (probe chains go on).
+const CTRL_TOMBSTONE: u8 = 0x81;
+
+/// The 7-bit hash fragment stored in a slot's control byte.
+#[inline]
+fn h2(hash: u64) -> u8 {
+    ((hash >> 57) & 0x7f) as u8
+}
+
+/// Control bytes are probed in groups of this many (one `u64` at a time).
+const GROUP: usize = 8;
+
+/// `b` repeated in every byte of a word.
+#[inline]
+fn repeat(b: u8) -> u64 {
+    u64::from_ne_bytes([b; 8])
+}
+
+/// SWAR mask with the high bit set in every byte of `x` that is zero
+/// (the classic "hasless" trick) — used to locate matching control bytes
+/// eight at a time without SIMD intrinsics.
+#[inline]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(0x0101_0101_0101_0101) & !x & 0x8080_8080_8080_8080
+}
+
+/// Mask of bytes in `word` equal to `b` (high bit per matching byte).
+#[inline]
+fn match_bytes(word: u64, b: u8) -> u64 {
+    zero_bytes(word ^ repeat(b))
+}
+
+/// Loads the control group starting at slot `g * GROUP` (little-endian, so
+/// `trailing_zeros / 8` of a byte mask is the in-group offset).
+#[inline]
+fn load_group(ctrl: &[u8], g: usize) -> u64 {
+    u64::from_le_bytes(
+        ctrl[g * GROUP..g * GROUP + GROUP]
+            .try_into()
+            .expect("full control group"),
+    )
+}
+
+/// Result of [`RawTable::probe`]: the matching entry's slot index, or the
+/// slot index a new entry for the probed key should occupy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Probe {
+    /// An entry matched at this slot index.
+    Found(usize),
+    /// No match; a new entry may be placed at this slot index via
+    /// [`RawTable::occupy`].
+    Vacant(usize),
+}
+
+/// An open-addressing hash table mapping `K` to `V` under caller-supplied
+/// hashes.  See the module docs for the design rationale.
+///
+/// Contract: for the table to behave like a map, equal keys must always be
+/// presented with equal hashes, and [`RawTable::insert`] must only be
+/// called for keys not currently present (use [`RawTable::get_mut`] /
+/// [`RawTable::find_idx`] first — with the hash already in hand the extra
+/// probe is a handful of word compares).
+pub struct RawTable<K, V> {
+    /// One control byte per slot (`CTRL_EMPTY`, `CTRL_TOMBSTONE`, or the
+    /// entry's `h2` fragment).  Length is the capacity, always a power of
+    /// two (or zero before the first insert).
+    ctrl: Box<[u8]>,
+    /// Entry storage: `(full hash, key, value)` per occupied slot.
+    slots: Vec<Option<(u64, K, V)>>,
+    len: usize,
+    tombstones: usize,
+    rehashes: u64,
+}
+
+impl<K, V> Default for RawTable<K, V> {
+    fn default() -> Self {
+        RawTable::new()
+    }
+}
+
+impl<K, V> RawTable<K, V> {
+    /// An empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        RawTable {
+            ctrl: Box::from([]),
+            slots: Vec::new(),
+            len: 0,
+            tombstones: 0,
+            rehashes: 0,
+        }
+    }
+
+    /// An empty table that can hold `cap` entries without growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut t = RawTable::new();
+        if cap > 0 {
+            t.rehash((cap * 4).div_ceil(3).next_power_of_two().max(8));
+            t.rehashes = 0; // initial sizing is not a rehash
+        }
+        t
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ctrl.len()
+    }
+
+    /// Number of rehashes (growth or tombstone compaction) performed.
+    /// Entries are re-bucketed from their *stored* hashes — keys are never
+    /// re-hashed by the table.
+    #[inline]
+    pub fn rehashes(&self) -> u64 {
+        self.rehashes
+    }
+
+    /// Index of the entry matching `hash` and `eq`, if present.
+    ///
+    /// The returned index is stable until the next mutating call and can be
+    /// used with [`RawTable::at`] / [`RawTable::value_at_mut`] — this is
+    /// what lets probe results be memoized for the duration of a
+    /// propagation level.
+    #[inline]
+    pub fn find_idx(&self, hash: u64, mut eq: impl FnMut(&K, &V) -> bool) -> Option<usize> {
+        let cap = self.ctrl.len();
+        if cap == 0 {
+            return None;
+        }
+        let groups = cap / GROUP;
+        let gmask = groups - 1;
+        let fragment = h2(hash);
+        let mut g = (hash as usize) & gmask;
+        let mut step = 0;
+        loop {
+            let word = load_group(&self.ctrl, g);
+            // Candidate slots: control bytes matching the hash fragment.
+            let mut candidates = match_bytes(word, fragment);
+            while candidates != 0 {
+                let i = g * GROUP + (candidates.trailing_zeros() as usize) / 8;
+                if let Some((h, k, v)) = &self.slots[i] {
+                    if *h == hash && eq(k, v) {
+                        return Some(i);
+                    }
+                }
+                candidates &= candidates - 1;
+            }
+            // A never-occupied slot in the group ends the probe chain.
+            if match_bytes(word, CTRL_EMPTY) != 0 {
+                return None;
+            }
+            step += 1;
+            if step > groups {
+                return None;
+            }
+            g = (g + step) & gmask;
+        }
+    }
+
+    /// The entry at a slot index returned by [`RawTable::find_idx`].
+    #[inline]
+    pub fn at(&self, idx: usize) -> (&K, &V) {
+        let (_, k, v) = self.slots[idx].as_ref().expect("slot index of a live entry");
+        (k, v)
+    }
+
+    /// Mutable value access by slot index.
+    #[inline]
+    pub fn value_at_mut(&mut self, idx: usize) -> &mut V {
+        let (_, _, v) = self.slots[idx].as_mut().expect("slot index of a live entry");
+        v
+    }
+
+    /// The entry matching `hash` and `eq`, if present.
+    #[inline]
+    pub fn find(&self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(&K, &V)> {
+        self.find_idx(hash, eq).map(|i| self.at(i))
+    }
+
+    /// Mutable variant of [`RawTable::find`].
+    #[inline]
+    pub fn find_mut(&mut self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(&K, &mut V)> {
+        let idx = self.find_idx(hash, eq)?;
+        let (_, k, v) = self.slots[idx].as_mut().expect("found index is live");
+        Some((&*k, v))
+    }
+
+    /// Probes for `hash`/`eq` in a single walk, returning either the
+    /// matching slot or the slot a new entry should occupy — the upsert
+    /// primitive: one probe sequence serves both the hit and the miss.
+    ///
+    /// Capacity for one insert is reserved up front, so a
+    /// [`Probe::Vacant`] index stays valid until the next mutating call
+    /// and can be passed to [`RawTable::occupy`] (or simply discarded).
+    pub fn probe(&mut self, hash: u64, mut eq: impl FnMut(&K, &V) -> bool) -> Probe {
+        self.reserve_one();
+        let groups = self.ctrl.len() / GROUP;
+        let gmask = groups - 1;
+        let fragment = h2(hash);
+        let mut g = (hash as usize) & gmask;
+        let mut step = 0;
+        let mut insert_at = usize::MAX;
+        loop {
+            let word = load_group(&self.ctrl, g);
+            let mut candidates = match_bytes(word, fragment);
+            while candidates != 0 {
+                let i = g * GROUP + (candidates.trailing_zeros() as usize) / 8;
+                if let Some((h, k, v)) = &self.slots[i] {
+                    if *h == hash && eq(k, v) {
+                        return Probe::Found(i);
+                    }
+                }
+                candidates &= candidates - 1;
+            }
+            if insert_at == usize::MAX {
+                // Remember the first reusable tombstone along the chain.
+                let tombs = match_bytes(word, CTRL_TOMBSTONE);
+                if tombs != 0 {
+                    insert_at = g * GROUP + (tombs.trailing_zeros() as usize) / 8;
+                }
+            }
+            let empties = match_bytes(word, CTRL_EMPTY);
+            if empties != 0 {
+                return Probe::Vacant(if insert_at == usize::MAX {
+                    g * GROUP + (empties.trailing_zeros() as usize) / 8
+                } else {
+                    insert_at
+                });
+            }
+            step += 1;
+            g = (g + step) & gmask;
+        }
+    }
+
+    /// Fills a vacant slot returned by [`RawTable::probe`] (same hash, no
+    /// mutation in between).
+    pub fn occupy(&mut self, idx: usize, hash: u64, key: K, value: V) {
+        debug_assert!(
+            self.ctrl[idx] == CTRL_EMPTY || self.ctrl[idx] == CTRL_TOMBSTONE,
+            "occupy() target slot is live"
+        );
+        if self.ctrl[idx] == CTRL_TOMBSTONE {
+            self.tombstones -= 1;
+        }
+        self.ctrl[idx] = h2(hash);
+        self.slots[idx] = Some((hash, key, value));
+        self.len += 1;
+    }
+
+    /// Removes the entry at a slot index returned by
+    /// [`RawTable::find_idx`] / [`RawTable::probe`].
+    pub fn remove_at(&mut self, idx: usize) -> Option<(K, V)> {
+        let entry = self.slots[idx].take()?;
+        self.ctrl[idx] = CTRL_TOMBSTONE;
+        self.len -= 1;
+        self.tombstones += 1;
+        Some((entry.1, entry.2))
+    }
+
+    /// Inserts an entry **known to be absent** (the caller has already
+    /// probed with the same hash).  Reuses tombstone slots.
+    pub fn insert(&mut self, hash: u64, key: K, value: V) {
+        self.reserve_one();
+        let groups = self.ctrl.len() / GROUP;
+        let gmask = groups - 1;
+        let mut g = (hash as usize) & gmask;
+        let mut step = 0;
+        loop {
+            let word = load_group(&self.ctrl, g);
+            // Any dead byte (EMPTY or TOMBSTONE — both have the high bit
+            // set) in the group can hold the new entry.
+            let dead = word & 0x8080_8080_8080_8080;
+            if dead != 0 {
+                let i = g * GROUP + (dead.trailing_zeros() as usize) / 8;
+                self.occupy(i, hash, key, value);
+                return;
+            }
+            step += 1;
+            g = (g + step) & gmask;
+        }
+    }
+
+    /// Removes and returns the entry matching `hash` and `eq`.
+    pub fn remove_with(&mut self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(K, V)> {
+        let idx = self.find_idx(hash, eq)?;
+        self.ctrl[idx] = CTRL_TOMBSTONE;
+        self.len -= 1;
+        self.tombstones += 1;
+        self.slots[idx].take().map(|(_, k, v)| (k, v))
+    }
+
+    /// Visits the indices of every live slot, in storage order.  Scans the
+    /// control bytes (1 byte per slot, eight at a time) instead of the
+    /// entry array, so sparse tables never touch the memory of empty
+    /// slots — full-table walks cost `O(capacity)` byte reads plus
+    /// `O(len)` entry reads.
+    #[inline]
+    fn for_each_live(ctrl: &[u8], mut visit: impl FnMut(usize)) {
+        const ALL_EMPTY: u64 = u64::from_ne_bytes([CTRL_EMPTY; 8]);
+        let mut base = 0;
+        let mut chunks = ctrl.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+            if word != ALL_EMPTY {
+                for (off, &c) in chunk.iter().enumerate() {
+                    if c < CTRL_EMPTY {
+                        visit(base + off);
+                    }
+                }
+            }
+            base += 8;
+        }
+        for (off, &c) in chunks.remainder().iter().enumerate() {
+            if c < CTRL_EMPTY {
+                visit(base + off);
+            }
+        }
+    }
+
+    /// Keeps only the entries for which `f` returns `true`.  Scans control
+    /// bytes like [`RawTable::for_each_live`], eight at a time.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        const ALL_EMPTY: u64 = u64::from_ne_bytes([CTRL_EMPTY; 8]);
+        let cap = self.ctrl.len();
+        let mut removed = 0;
+        let mut base = 0;
+        while base + 8 <= cap {
+            let word =
+                u64::from_ne_bytes(self.ctrl[base..base + 8].try_into().expect("8-byte chunk"));
+            if word != ALL_EMPTY {
+                for i in base..base + 8 {
+                    removed += usize::from(self.retain_slot(i, &mut f));
+                }
+            }
+            base += 8;
+        }
+        for i in base..cap {
+            removed += usize::from(self.retain_slot(i, &mut f));
+        }
+        self.len -= removed;
+        self.tombstones += removed;
+    }
+
+    /// Applies the retain predicate to one slot; returns whether the slot
+    /// was removed.
+    #[inline]
+    fn retain_slot(&mut self, i: usize, f: &mut impl FnMut(&K, &mut V) -> bool) -> bool {
+        if self.ctrl[i] >= CTRL_EMPTY {
+            return false;
+        }
+        let keep = match &mut self.slots[i] {
+            Some((_, k, v)) => f(k, v),
+            None => return false,
+        };
+        if keep {
+            false
+        } else {
+            self.slots[i] = None;
+            self.ctrl[i] = CTRL_TOMBSTONE;
+            true
+        }
+    }
+
+    /// Moves every `(hash, key, value)` entry into `out` and clears the
+    /// table, keeping its capacity (the drained hashes stay reusable — this
+    /// is how the engine hands a level's delta to the next level without
+    /// re-hashing anything).
+    pub fn drain_into(&mut self, out: &mut Vec<(u64, K, V)>) {
+        if self.len > 0 {
+            out.reserve(self.len);
+            let slots = &mut self.slots;
+            Self::for_each_live(&self.ctrl, |i| {
+                if let Some(entry) = slots[i].take() {
+                    out.push(entry);
+                }
+            });
+        }
+        self.ctrl.fill(CTRL_EMPTY);
+        self.len = 0;
+        self.tombstones = 0;
+    }
+
+    /// Removes every entry, keeping capacity.
+    pub fn clear(&mut self) {
+        let slots = &mut self.slots;
+        Self::for_each_live(&self.ctrl, |i| {
+            slots[i] = None;
+        });
+        self.ctrl.fill(CTRL_EMPTY);
+        self.len = 0;
+        self.tombstones = 0;
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.  Guided by
+    /// the control bytes, so iteration reads `O(len)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.ctrl
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c < CTRL_EMPTY)
+            .filter_map(|(i, _)| self.slots[i].as_ref().map(|(_, k, v)| (k, v)))
+    }
+
+    /// Ensures a free slot exists, growing or compacting when the load
+    /// factor (live + tombstones) would exceed 3/4.
+    fn reserve_one(&mut self) {
+        let cap = self.ctrl.len();
+        if cap == 0 {
+            self.rehash(8);
+            self.rehashes = 0; // initial allocation is not a rehash
+            return;
+        }
+        if (self.len + self.tombstones + 1) * 4 > cap * 3 {
+            // Grow only if the *live* entries justify it; otherwise rehash
+            // at the same size, which clears the tombstones.
+            let new_cap = if (self.len + 1) * 4 > cap * 2 { cap * 2 } else { cap };
+            self.rehash(new_cap);
+        }
+    }
+
+    /// Re-buckets every entry into a table of `new_cap` slots using the
+    /// stored hashes.
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two() && new_cap >= GROUP);
+        self.rehashes += 1;
+        let old: Vec<Option<(u64, K, V)>> = std::mem::take(&mut self.slots);
+        self.ctrl = vec![CTRL_EMPTY; new_cap].into_boxed_slice();
+        self.slots = (0..new_cap).map(|_| None).collect();
+        self.tombstones = 0;
+        let gmask = new_cap / GROUP - 1;
+        for entry in old.into_iter().flatten() {
+            let mut g = (entry.0 as usize) & gmask;
+            let mut step = 0;
+            loop {
+                let word = load_group(&self.ctrl, g);
+                let empties = match_bytes(word, CTRL_EMPTY);
+                if empties != 0 {
+                    let i = g * GROUP + (empties.trailing_zeros() as usize) / 8;
+                    self.ctrl[i] = h2(entry.0);
+                    self.slots[i] = Some(entry);
+                    break;
+                }
+                step += 1;
+                g = (g + step) & gmask;
+            }
+        }
+    }
+}
+
+impl<K: Eq, V> RawTable<K, V> {
+    /// The value stored under `key`, if present.
+    #[inline]
+    pub fn get(&self, hash: u64, key: &K) -> Option<&V> {
+        self.find(hash, |k, _| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable variant of [`RawTable::get`].
+    #[inline]
+    pub fn get_mut(&mut self, hash: u64, key: &K) -> Option<&mut V> {
+        self.find_mut(hash, |k, _| k == key).map(|(_, v)| v)
+    }
+
+    /// Removes `key`'s entry, returning its value.
+    pub fn remove(&mut self, hash: u64, key: &K) -> Option<V> {
+        self.remove_with(hash, |k, _| k == key).map(|(_, v)| v)
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for RawTable<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Clone, V: Clone> Clone for RawTable<K, V> {
+    fn clone(&self) -> Self {
+        RawTable {
+            ctrl: self.ctrl.clone(),
+            slots: self.slots.clone(),
+            len: self.len,
+            tombstones: self.tombstones,
+            rehashes: self.rehashes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fx_hash_words;
+
+    fn h(k: u64) -> u64 {
+        fx_hash_words(&[k])
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: RawTable<u64, String> = RawTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(h(1), &1), None);
+        t.insert(h(1), 1, "one".into());
+        t.insert(h(2), 2, "two".into());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(h(1), &1).map(String::as_str), Some("one"));
+        assert_eq!(t.get(h(3), &3), None);
+        *t.get_mut(h(2), &2).unwrap() = "TWO".into();
+        assert_eq!(t.remove(h(2), &2).as_deref(), Some("TWO"));
+        assert_eq!(t.remove(h(2), &2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn growth_keeps_all_entries_and_counts_rehashes() {
+        let mut t: RawTable<u64, u64> = RawTable::new();
+        for k in 0..10_000u64 {
+            t.insert(h(k), k, k * 3);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.rehashes() > 0, "growth to 10k entries must rehash");
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(h(k), &k), Some(&(k * 3)));
+        }
+        assert!(t.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn drain_into_empties_but_keeps_capacity() {
+        let mut t: RawTable<u64, u64> = RawTable::new();
+        for k in 0..100 {
+            t.insert(h(k), k, k);
+        }
+        let cap = t.capacity();
+        let mut out = Vec::new();
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), 100);
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), cap);
+        // Drained entries carry their stored hash.
+        assert!(out.iter().all(|(hash, k, _)| *hash == h(*k)));
+        t.insert(h(7), 7, 7);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut t: RawTable<u64, u64> = RawTable::new();
+        for k in 0..50 {
+            t.insert(h(k), k, k);
+        }
+        t.retain(|k, _| k % 2 == 0);
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.get(h(3), &3), None);
+        assert_eq!(t.get(h(4), &4), Some(&4));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn probe_occupy_upsert_in_one_walk() {
+        let mut t: RawTable<u64, u64> = RawTable::new();
+        for k in 0..200u64 {
+            match t.probe(h(k), |key, _| *key == k) {
+                Probe::Found(_) => panic!("fresh key reported found"),
+                Probe::Vacant(idx) => t.occupy(idx, h(k), k, k * 2),
+            }
+        }
+        assert_eq!(t.len(), 200);
+        for k in 0..200u64 {
+            match t.probe(h(k), |key, _| *key == k) {
+                Probe::Found(idx) => {
+                    assert_eq!(t.at(idx), (&k, &(k * 2)));
+                    *t.value_at_mut(idx) += 1;
+                }
+                Probe::Vacant(_) => panic!("stored key reported vacant"),
+            }
+        }
+        assert_eq!(t.get(h(9), &9), Some(&19));
+        // remove_at via probe, then the tombstone is reused by occupy.
+        let Probe::Found(idx) = t.probe(h(9), |key, _| *key == 9) else {
+            panic!("expected hit");
+        };
+        assert_eq!(t.remove_at(idx), Some((9, 19)));
+        assert_eq!(t.get(h(9), &9), None);
+        let Probe::Vacant(idx) = t.probe(h(9), |key, _| *key == 9) else {
+            panic!("expected vacancy");
+        };
+        t.occupy(idx, h(9), 9, 0);
+        assert_eq!(t.get(h(9), &9), Some(&0));
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn find_idx_is_stable_between_mutations() {
+        let mut t: RawTable<u64, u64> = RawTable::with_capacity(64);
+        for k in 0..20 {
+            t.insert(h(k), k, k);
+        }
+        let idx = t.find_idx(h(11), |k, _| *k == 11).unwrap();
+        assert_eq!(t.at(idx), (&11, &11));
+        *t.value_at_mut(idx) = 99;
+        assert_eq!(t.get(h(11), &11), Some(&99));
+    }
+}

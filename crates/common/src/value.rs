@@ -46,6 +46,14 @@ impl OrdF64 {
             self.0.to_bits()
         }
     }
+
+    /// The canonical bit pattern backing `Eq`/`Hash`: equal `OrdF64`s have
+    /// equal canonical bits.  This is the payload word of the dictionary
+    /// encoding (`crate::dict`).
+    #[inline]
+    pub fn canonical_bits(self) -> u64 {
+        self.key()
+    }
 }
 
 impl PartialEq for OrdF64 {

@@ -15,21 +15,28 @@
 //! 3. Views on other branches are untouched — this is the core of F-IVM's
 //!    efficiency.
 //!
-//! The hot path is allocation-conscious: partial products along a probe
+//! The hot path is allocation- and *memory*-conscious.  Keys are
+//! dictionary-encoded once, at ingestion, into flat-word
+//! [`EncodedKey`]s (strings interned in the engine's [`Dict`]) and decoded
+//! only at output boundaries.  Every key is **hashed at most once per
+//! propagation level**: the grouped leaf delta, the per-level delta
+//! accumulator and every view table are [`RawTable`]s keyed by precomputed
+//! hashes, and a level's delta carries its hashes along when it is applied
+//! to the view and handed to the parent.  Probe keys are gathered out of an
+//! encoded assignment by plain word copies, a per-level memo short-circuits
+//! repeated probes of the same (skewed) key, partial products along a probe
 //! chain are computed with [`Ring::mul_into`] into per-depth scratch
-//! buffers reused across updates, contributions are accumulated into the
-//! per-level delta map with [`Ring::fma_scaled`] (no temporaries for dense
-//! cofactor payloads), probe keys are gathered into a reusable buffer
-//! instead of freshly boxed tuples, and the per-level delta containers
-//! themselves persist across updates.  Zero payloads are erased in place
-//! after each level.
+//! buffers, and contributions are accumulated with [`Ring::fma_scaled`].
+//! Zero payloads are erased in place after each level.
 //!
 //! The engine is completely generic in the ring; the applications in
 //! [`crate::apps`] merely pick a ring and a set of lifts.
 
 use crate::plan::{DeltaPlan, ExecutionPlan, ProbeKind, ALREADY_BOUND};
 use crate::view::MaterializedView;
-use fivm_common::{FivmError, FxHashMap, RelId, Result, Value};
+use fivm_common::{
+    Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, RelId, Result, Value,
+};
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Relation, Tuple, Update};
 use fivm_ring::{LiftFn, Ring};
@@ -49,6 +56,18 @@ pub struct EngineStats {
     /// Number of ring multiplications (`mul`, `mul_into`, and the multiply
     /// half of `fma_scaled`) performed on the maintenance path.
     pub ring_muls: usize,
+    /// Number of sibling-view probe lookups requested during delta
+    /// propagation (primary-map and secondary-index probes; memo-served
+    /// repeats count too, so the number reflects algorithmic probe volume,
+    /// not cache luck).
+    pub probes: usize,
+    /// Probes that found a matching entry/bucket.
+    pub probe_hits: usize,
+    /// Table rehash events (growth or tombstone compaction) across all
+    /// view tables.  Rehashing re-buckets entries from their *stored*
+    /// hashes — keys are never re-hashed, so this counts bucket moves, not
+    /// extra key hashing.
+    pub rehashes: usize,
 }
 
 impl EngineStats {
@@ -61,6 +80,9 @@ impl EngineStats {
             delta_entries: self.delta_entries - earlier.delta_entries,
             ring_adds: self.ring_adds - earlier.ring_adds,
             ring_muls: self.ring_muls - earlier.ring_muls,
+            probes: self.probes - earlier.probes,
+            probe_hits: self.probe_hits - earlier.probe_hits,
+            rehashes: self.rehashes - earlier.rehashes,
         }
     }
 }
@@ -74,31 +96,124 @@ pub struct UpdateOutcome {
     pub delta_entries: usize,
 }
 
+/// A memoized probe result for one probe depth, valid for the duration of
+/// one propagation level (views are immutable while a level's delta is
+/// being extended).  Grouped deltas on skewed data repeatedly probe the
+/// same sub-key; the memo answers those repeats with a stored slot/bucket
+/// handle instead of a table walk.
+struct StepMemo {
+    hash: u64,
+    key: EncodedKey,
+    state: MemoState,
+}
+
+enum MemoState {
+    /// The memo holds nothing (level boundary).
+    Invalid,
+    /// Last probe of this depth missed.
+    Miss,
+    /// Last primary probe hit this view slot.
+    Slot(u32),
+    /// Last index probe hit this bucket handle.
+    Bucket(usize),
+}
+
+impl StepMemo {
+    fn new() -> Self {
+        StepMemo {
+            hash: 0,
+            key: EncodedKey::empty(),
+            state: MemoState::Invalid,
+        }
+    }
+
+    fn invalidate(&mut self) {
+        self.state = MemoState::Invalid;
+    }
+
+    #[inline]
+    fn matches(&self, hash: u64, key: &EncodedKey) -> bool {
+        !matches!(self.state, MemoState::Invalid) && self.hash == hash && self.key == *key
+    }
+
+    /// Resolves a primary probe, consulting the memo first.
+    #[inline]
+    fn probe_primary<R: Ring>(
+        &mut self,
+        view: &MaterializedView<R>,
+        hash: u64,
+        key: EncodedKey,
+    ) -> Option<u32> {
+        if self.matches(hash, &key) {
+            return match self.state {
+                MemoState::Slot(slot) => Some(slot),
+                _ => None,
+            };
+        }
+        let found = view.find_slot(hash, &key);
+        self.hash = hash;
+        self.key = key;
+        self.state = match found {
+            Some(slot) => MemoState::Slot(slot),
+            None => MemoState::Miss,
+        };
+        found
+    }
+
+    /// Resolves a secondary-index probe, consulting the memo first.
+    #[inline]
+    fn probe_index<R: Ring>(
+        &mut self,
+        view: &MaterializedView<R>,
+        index_id: usize,
+        hash: u64,
+        key: EncodedKey,
+    ) -> Option<usize> {
+        if self.matches(hash, &key) {
+            return match self.state {
+                MemoState::Bucket(bucket) => Some(bucket),
+                _ => None,
+            };
+        }
+        let found = view.find_index_bucket(index_id, hash, &key);
+        self.hash = hash;
+        self.key = key;
+        self.state = match found {
+            Some(bucket) => MemoState::Bucket(bucket),
+            None => MemoState::Miss,
+        };
+        found
+    }
+}
+
 /// Reusable buffers for delta propagation, kept across updates so the hot
 /// path performs no per-update container allocation.
 struct PropagationScratch<R: Ring> {
-    /// The delta entering the current level (drained from `next`).
-    current: Vec<(Tuple, R)>,
-    /// The delta being produced for the next level.
-    next: FxHashMap<Tuple, R>,
+    /// The delta entering the current level, with the precomputed hash of
+    /// every key (drained from `next`, hashes and all).
+    current: Vec<(u64, EncodedKey, R)>,
+    /// The delta being produced for the next level, keyed by precomputed
+    /// hashes.
+    next: RawTable<EncodedKey, R>,
     /// Per-probe-depth partial products (`acc * sibling payload`); their
     /// inner allocations (vectors, matrices, maps) are reused by
     /// [`Ring::mul_into`].
     partials: Vec<R>,
-    /// Gather buffer for probe keys and output keys.
-    key_buf: Vec<Value>,
-    /// The assignment (bound variable values) at the current node.
-    assignment: Vec<Value>,
+    /// Per-probe-depth memoized probe results (valid within one level).
+    memo: Vec<StepMemo>,
+    /// The assignment (bound variable values) at the current node, in
+    /// encoded form — scatters and gathers are plain word copies.
+    assignment: Vec<EncodedValue>,
 }
 
 impl<R: Ring> PropagationScratch<R> {
     fn new(max_probe_depth: usize, max_local_vars: usize) -> Self {
         PropagationScratch {
             current: Vec::new(),
-            next: FxHashMap::default(),
+            next: RawTable::new(),
             partials: (0..max_probe_depth).map(|_| R::zero()).collect(),
-            key_buf: Vec::new(),
-            assignment: vec![Value::Null; max_local_vars],
+            memo: (0..max_probe_depth).map(|_| StepMemo::new()).collect(),
+            assignment: vec![EncodedValue::NULL; max_local_vars],
         }
     }
 }
@@ -108,6 +223,10 @@ pub struct Engine<R: Ring> {
     plan: ExecutionPlan,
     lifts: Vec<LiftFn<R>>,
     views: Vec<MaterializedView<R>>,
+    /// The per-database string dictionary: every key the engine stores or
+    /// probes is encoded through it (interning at ingestion, decoding at
+    /// output boundaries).
+    dict: Dict,
     /// Per-relation column bindings: for each relation variable, the column
     /// of the source table it is read from.  Set by [`Engine::bind_table`] /
     /// [`Engine::load_database`]; identity if never bound.
@@ -162,6 +281,7 @@ impl<R: Ring> Engine<R> {
             plan,
             lifts,
             views,
+            dict: Dict::new(),
             bindings: vec![None; num_rels],
             scratch: PropagationScratch::new(max_probe_depth, max_local_vars),
             stats: EngineStats::default(),
@@ -178,14 +298,27 @@ impl<R: Ring> Engine<R> {
         self.plan.tree()
     }
 
-    /// Work counters.
-    pub fn stats(&self) -> EngineStats {
-        self.stats
+    /// The engine's string dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
     }
 
-    /// The materialized view of a view-tree node, as a relation.
+    /// Work counters.  `rehashes` is read live from the view tables; the
+    /// other counters accumulate on the maintenance path.
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = self.stats;
+        stats.rehashes = self
+            .views
+            .iter()
+            .map(|v| v.rehashes())
+            .sum::<u64>() as usize;
+        stats
+    }
+
+    /// The materialized view of a view-tree node, as a relation (an output
+    /// boundary: keys are decoded through the dictionary).
     pub fn view_relation(&self, node_id: usize) -> Relation<R> {
-        self.views[node_id].to_relation()
+        self.views[node_id].to_relation(&self.dict)
     }
 
     /// Number of keys stored across all materialized views.
@@ -196,10 +329,11 @@ impl<R: Ring> Engine<R> {
     /// The query result for queries without group-by variables: the product
     /// of the root views' payloads (each keyed by the empty tuple).
     pub fn result(&self) -> R {
-        let empty: Tuple = Vec::new().into_boxed_slice();
+        let empty = EncodedKey::empty();
+        let hash = empty.fx_hash();
         let mut acc = R::one();
         for &root in self.plan.tree().roots() {
-            match self.views[root].get(&empty) {
+            match self.views[root].get_encoded(hash, &empty) {
                 Some(p) => acc = acc.mul(p),
                 None => return R::zero(),
             }
@@ -213,7 +347,7 @@ impl<R: Ring> Engine<R> {
         let roots = self.plan.tree().roots();
         let mut acc: Option<Relation<R>> = None;
         for &root in roots {
-            let rel = self.views[root].to_relation();
+            let rel = self.views[root].to_relation(&self.dict);
             acc = Some(match acc {
                 None => rel,
                 Some(prev) => prev.natural_join(&rel),
@@ -265,7 +399,7 @@ impl<R: Ring> Engine<R> {
 
     /// Applies an update batch addressed by table name.
     ///
-    /// Works by reference: rows are projected straight into the grouped
+    /// Works by reference: rows are encoded straight into the grouped
     /// leaf delta without cloning whole tuples first.
     pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome> {
         let rel = self
@@ -286,7 +420,7 @@ impl<R: Ring> Engine<R> {
             input_rows += 1;
             group_row(
                 &mut self.scratch.next,
-                &mut self.scratch.key_buf,
+                &mut self.dict,
                 &mut self.stats,
                 &one,
                 self.bindings[rel].as_deref(),
@@ -318,7 +452,7 @@ impl<R: Ring> Engine<R> {
             input_rows += 1;
             group_row(
                 &mut self.scratch.next,
-                &mut self.scratch.key_buf,
+                &mut self.dict,
                 &mut self.stats,
                 &one,
                 self.bindings[rel].as_deref(),
@@ -332,7 +466,8 @@ impl<R: Ring> Engine<R> {
 
     /// Shared tail of every update path: erases cancelled keys from the
     /// grouped leaf delta waiting in `scratch.next`, applies it to the leaf
-    /// view and propagates level by level to the root.
+    /// view and propagates level by level to the root.  Hashes travel with
+    /// the delta: a key is hashed when it is first built and never again.
     fn propagate_grouped(&mut self, rel: RelId, input_rows: usize) -> Result<UpdateOutcome> {
         let leaf = &self.plan.leaf_plans()[rel];
         let leaf_view_idx = leaf.view_idx;
@@ -354,9 +489,9 @@ impl<R: Ring> Engine<R> {
         // Apply to the leaf view and start the leaf-to-root walk.
         let current = &mut self.scratch.current;
         current.clear();
-        current.extend(delta.drain());
-        for (k, p) in current.iter() {
-            if self.views[leaf_view_idx].add_ref(k, p) {
+        delta.drain_into(current);
+        for (hash, key, payload) in current.iter() {
+            if self.views[leaf_view_idx].add_encoded(*hash, key, payload) {
                 self.stats.ring_adds += 1;
             }
         }
@@ -371,26 +506,50 @@ impl<R: Ring> Engine<R> {
             let produced = &mut self.scratch.next;
             debug_assert!(produced.is_empty(), "scratch delta not drained");
 
-            self.scratch
-                .assignment
-                .iter_mut()
-                .for_each(|v| *v = Value::Null);
-            for (key, payload) in self.scratch.current.iter() {
-                for (col, &pos) in dp.scatter.iter().enumerate() {
-                    self.scratch.assignment[pos] = key[col].clone();
+            if let Some(direct) = &dp.direct {
+                // Probe-free level: the output key is a plain projection of
+                // the delta key — no assignment scatter, no probes.
+                for (_, key, payload) in self.scratch.current.iter() {
+                    let out_key = key.project(&direct.key_cols);
+                    let hash = out_key.fx_hash();
+                    emit(
+                        produced,
+                        lift,
+                        || self.dict.decode_value(key.col(direct.var_col)),
+                        out_key,
+                        hash,
+                        payload,
+                        &mut self.stats,
+                    );
                 }
-                extend_assignment(
-                    &self.views,
-                    dp,
-                    lift,
-                    &dp.steps,
-                    &mut self.scratch.assignment,
-                    &mut self.scratch.key_buf,
-                    payload,
-                    &mut self.scratch.partials,
-                    produced,
-                    &mut self.stats,
-                );
+            } else {
+                self.scratch
+                    .assignment
+                    .iter_mut()
+                    .for_each(|v| *v = EncodedValue::NULL);
+                // Views are immutable for the whole level; probe memos
+                // reset at the level boundary.
+                for memo in self.scratch.memo.iter_mut() {
+                    memo.invalidate();
+                }
+                for (_, key, payload) in self.scratch.current.iter() {
+                    for (col, &pos) in dp.scatter.iter().enumerate() {
+                        self.scratch.assignment[pos] = key.col(col);
+                    }
+                    extend_assignment(
+                        &self.views,
+                        &self.dict,
+                        dp,
+                        lift,
+                        &dp.steps,
+                        &mut self.scratch.memo,
+                        &mut self.scratch.assignment,
+                        payload,
+                        &mut self.scratch.partials,
+                        produced,
+                        &mut self.stats,
+                    );
+                }
             }
 
             // Erase zero payloads in place before the delta is applied or
@@ -399,10 +558,10 @@ impl<R: Ring> Engine<R> {
 
             let current = &mut self.scratch.current;
             current.clear();
-            current.extend(produced.drain());
+            produced.drain_into(current);
             outcome.delta_entries += current.len();
-            for (k, p) in current.iter() {
-                if self.views[node_id].add_ref(k, p) {
+            for (hash, key, payload) in current.iter() {
+                if self.views[node_id].add_encoded(*hash, key, payload) {
                     self.stats.ring_adds += 1;
                 }
             }
@@ -424,18 +583,18 @@ impl<R: Ring> Engine<R> {
     }
 }
 
-/// Merges one input row into the grouped leaf delta: projects the row
-/// through the table binding (or validates its arity) into `key_buf`, then
-/// accumulates `1 · mult` under that key.  Boxes a fresh key only when the
-/// key is not already grouped; duplicate keys allocate nothing.
+/// Merges one input row into the grouped leaf delta: encodes the row
+/// through the table binding (or validates its arity) directly into an
+/// [`EncodedKey`], hashes the key **once**, then accumulates `1 · mult`
+/// under that key.
 ///
 /// Shared by [`Engine::apply_update`] and [`Engine::apply_rows`] so the
 /// validation and grouping semantics cannot diverge.  On error the grouped
 /// delta is cleared so the scratch stays drained for the next batch.
 #[allow(clippy::too_many_arguments)]
 fn group_row<R: Ring>(
-    delta: &mut FxHashMap<Tuple, R>,
-    key_buf: &mut Vec<Value>,
+    delta: &mut RawTable<EncodedKey, R>,
+    dict: &mut Dict,
     stats: &mut EngineStats,
     one: &R,
     binding: Option<&[usize]>,
@@ -446,21 +605,18 @@ fn group_row<R: Ring>(
     if mult == 0 {
         return Ok(());
     }
-    key_buf.clear();
-    match binding {
+    // Encode the projected row straight into the key — one pass, no
+    // intermediate buffer.
+    let key = match binding {
         Some(cols) => {
-            for &c in cols {
-                match row.get(c) {
-                    Some(v) => key_buf.push(v.clone()),
-                    None => {
-                        delta.clear();
-                        return Err(FivmError::InvalidUpdate(format!(
-                            "row has {} columns but column {c} was bound",
-                            row.len()
-                        )));
-                    }
-                }
+            if let Some(&c) = cols.iter().find(|&&c| c >= row.len()) {
+                delta.clear();
+                return Err(FivmError::InvalidUpdate(format!(
+                    "row has {} columns but column {c} was bound",
+                    row.len()
+                )));
             }
+            EncodedKey::from_fn(cols.len(), |i| dict.encode_value(&row[cols[i]]))
         }
         None => {
             if row.len() != arity {
@@ -470,125 +626,162 @@ fn group_row<R: Ring>(
                     row.len()
                 )));
             }
-            key_buf.extend_from_slice(row);
+            EncodedKey::from_fn(arity, |i| dict.encode_value(&row[i]))
         }
-    }
-    match delta.get_mut(key_buf.as_slice()) {
-        Some(slot) => {
-            slot.fma_scaled(one, one, mult);
+    };
+    let hash = key.fx_hash();
+    match delta.probe(hash, |k, _| *k == key) {
+        Probe::Found(idx) => {
+            delta.value_at_mut(idx).fma_scaled(one, one, mult);
             stats.ring_adds += 1;
         }
-        None => {
-            delta.insert(key_buf.clone().into_boxed_slice(), one.scale_int(mult));
+        Probe::Vacant(idx) => {
+            delta.occupy(idx, hash, key, one.scale_int(mult));
         }
     }
     Ok(())
+}
+
+/// Accumulates one contribution under an output key into a level's delta
+/// table.  `hash` is the key's precomputed hash; `lift_value` decodes the
+/// lifted variable's value and is only called for non-identity lifts (the
+/// sole place a `Value` materializes on the hot path).
+#[inline]
+fn emit<R: Ring>(
+    out: &mut RawTable<EncodedKey, R>,
+    lift: &LiftFn<R>,
+    lift_value: impl FnOnce() -> Value,
+    key: EncodedKey,
+    hash: u64,
+    acc: &R,
+    stats: &mut EngineStats,
+) {
+    if lift.is_identity() {
+        match out.probe(hash, |k, _| *k == key) {
+            Probe::Found(idx) => {
+                out.value_at_mut(idx).add_assign(acc);
+                stats.ring_adds += 1;
+            }
+            Probe::Vacant(idx) => {
+                out.occupy(idx, hash, key, acc.clone());
+            }
+        }
+    } else {
+        // Fused lift-multiply-accumulate: `slot += acc · g(v)` without
+        // materializing the (sparse) lifted element when the lift carries a
+        // specialization.
+        let v = lift_value();
+        match out.probe(hash, |k, _| *k == key) {
+            Probe::Found(idx) => {
+                lift.fma_apply(&v, acc, 1, out.value_at_mut(idx));
+                stats.ring_adds += 1;
+                stats.ring_muls += 1;
+            }
+            Probe::Vacant(idx) => {
+                let mut payload = R::zero();
+                lift.fma_apply(&v, acc, 1, &mut payload);
+                stats.ring_muls += 1;
+                if !payload.is_zero() {
+                    out.occupy(idx, hash, key, payload);
+                }
+            }
+        }
+    }
 }
 
 /// Extends a partial assignment by probing the remaining siblings, then
 /// applies the lift and accumulates the marginalized contribution into
 /// `out`.
 ///
-/// Partial products are written into `partials` (one slot per probe depth,
-/// reused across calls via [`Ring::mul_into`]); the final contribution is
-/// accumulated with [`Ring::fma_scaled`], so the dense-payload hot path
-/// performs no ring allocation.
+/// Probe keys and output keys are gathered from the encoded assignment by
+/// word copies and hashed exactly once each; probe results are memoized per
+/// depth for the duration of the level.  Partial products are written into
+/// `partials` (one slot per probe depth, reused across calls via
+/// [`Ring::mul_into`]); the final contribution is accumulated with
+/// [`Ring::fma_scaled`], so the dense-payload hot path performs no ring
+/// allocation.
 #[allow(clippy::too_many_arguments)]
 fn extend_assignment<R: Ring>(
     views: &[MaterializedView<R>],
+    dict: &Dict,
     dp: &DeltaPlan,
     lift: &LiftFn<R>,
     steps: &[crate::plan::DeltaStep],
-    assignment: &mut [Value],
-    key_buf: &mut Vec<Value>,
+    memo: &mut [StepMemo],
+    assignment: &mut [EncodedValue],
     acc: &R,
     partials: &mut [R],
-    out: &mut FxHashMap<Tuple, R>,
+    out: &mut RawTable<EncodedKey, R>,
     stats: &mut EngineStats,
 ) {
     let Some((step, rest)) = steps.split_first() else {
         // All siblings probed: apply the lift and emit the contribution
-        // under the node's output key.
-        key_buf.clear();
-        key_buf.extend(dp.key_positions.iter().map(|&p| assignment[p].clone()));
-        if lift.is_identity() {
-            match out.get_mut(key_buf.as_slice()) {
-                Some(slot) => {
-                    slot.add_assign(acc);
-                    stats.ring_adds += 1;
-                }
-                None => {
-                    out.insert(key_buf.clone().into_boxed_slice(), acc.clone());
-                }
-            }
-        } else {
-            // Fused lift-multiply-accumulate: `slot += acc · g(v)` without
-            // materializing the (sparse) lifted element when the lift
-            // carries a specialization.
-            let v = &assignment[dp.var_position];
-            match out.get_mut(key_buf.as_slice()) {
-                Some(slot) => {
-                    lift.fma_apply(v, acc, 1, slot);
-                    stats.ring_adds += 1;
-                    stats.ring_muls += 1;
-                }
-                None => {
-                    let mut payload = R::zero();
-                    lift.fma_apply(v, acc, 1, &mut payload);
-                    stats.ring_muls += 1;
-                    if !payload.is_zero() {
-                        out.insert(key_buf.clone().into_boxed_slice(), payload);
-                    }
-                }
-            }
-        }
+        // under the node's output key (hashed once, reused by the upsert
+        // and, via `drain_into`, by the view application and parent level).
+        let key = EncodedKey::gather(assignment, &dp.key_positions);
+        let hash = key.fx_hash();
+        emit(
+            out,
+            lift,
+            || dict.decode_value(assignment[dp.var_position]),
+            key,
+            hash,
+            acc,
+            stats,
+        );
         return;
     };
 
+    let (step_memo, memo_rest) = memo.split_first_mut().expect("probe depth memo");
     let view = &views[step.sibling_view];
-    key_buf.clear();
-    key_buf.extend(step.probe_positions.iter().map(|&p| assignment[p].clone()));
+    let probe = EncodedKey::gather(assignment, &step.probe_positions);
+    let hash = probe.fx_hash();
+    stats.probes += 1;
 
     match &step.probe {
         ProbeKind::Primary => {
-            if let Some(p) = view.get(key_buf.as_slice()) {
+            if let Some(slot) = step_memo.probe_primary(view, hash, probe) {
+                stats.probe_hits += 1;
+                let payload = view.slot_payload(slot);
                 let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
-                acc.mul_into(p, head);
+                acc.mul_into(payload, head);
                 stats.ring_muls += 1;
                 if !head.is_zero() {
                     // Move `head` out of the mutable borrow: recursion only
                     // needs it immutably, and `tail` covers deeper levels.
                     let next: &R = head;
                     extend_assignment(
-                        views, dp, lift, rest, assignment, key_buf, next, tail, out, stats,
+                        views, dict, dp, lift, rest, memo_rest, assignment, next, tail, out,
+                        stats,
                     );
                 }
             }
         }
         ProbeKind::Index(idx) => {
-            // `index_bucket` returns a slice borrowing only the view (the
-            // borrow of `key_buf` ends with the call), so matches stream
-            // straight out of the index while the recursion reuses the
-            // scratch buffers — no collecting, no cloned matches.
-            let Some(bucket) = view.index_bucket(*idx, key_buf.as_slice()) else {
+            // The bucket stores slot ids: matches stream straight out of
+            // the sibling's slab (full key and payload side by side), with
+            // no per-match primary-map lookup and no cloned matches.
+            let Some(bucket) = step_memo.probe_index(view, *idx, hash, probe) else {
                 return;
             };
-            for full_key in bucket {
-                let Some(p) = view.get(full_key) else {
-                    continue;
-                };
+            stats.probe_hits += 1;
+            let slots = view.index_bucket_at(*idx, bucket);
+            for &slot in slots {
+                let full_key = view.slot_key(slot);
                 for (col, &pos) in step.write_positions.iter().enumerate() {
                     if pos != ALREADY_BOUND {
-                        assignment[pos] = full_key[col].clone();
+                        assignment[pos] = full_key.col(col);
                     }
                 }
+                let payload = view.slot_payload(slot);
                 let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
-                acc.mul_into(p, head);
+                acc.mul_into(payload, head);
                 stats.ring_muls += 1;
                 if !head.is_zero() {
                     let next: &R = head;
                     extend_assignment(
-                        views, dp, lift, rest, assignment, key_buf, next, tail, out, stats,
+                        views, dict, dp, lift, rest, memo_rest, assignment, next, tail, out,
+                        stats,
                     );
                 }
             }

@@ -54,6 +54,22 @@ pub struct DeltaPlan {
     pub var_position: usize,
     /// Assignment positions forming the output key (the node's `key_vars`).
     pub key_positions: Vec<usize>,
+    /// Precomputed shortcut for probe-free (single-child) nodes: the output
+    /// key and lifted variable read directly from delta-key columns, so the
+    /// engine skips the assignment scatter/gather round-trip entirely.
+    pub direct: Option<DirectEmit>,
+}
+
+/// Direct projection from an incoming delta key to a node's output, for
+/// delta plans with no probe steps (every local variable is bound by the
+/// updating child).  Positions are delta-key *columns*, not assignment
+/// positions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectEmit {
+    /// Delta-key columns forming the output key, in `key_vars` order.
+    pub key_cols: Vec<usize>,
+    /// Delta-key column holding the node's own variable (read by the lift).
+    pub var_col: usize,
 }
 
 /// A child of a node, as seen by the engine.
@@ -247,6 +263,25 @@ impl ExecutionPlan {
                     }
                 }
 
+                // Probe-free plans read everything from the delta key; map
+                // output-key/var variables back to delta-key columns once,
+                // here, instead of scattering per delta entry at runtime.
+                let direct = if steps.is_empty() {
+                    let col_of = |v: VarId| {
+                        updating
+                            .cover
+                            .iter()
+                            .position(|&c| c == v)
+                            .expect("no-step plans bind every local var from the child")
+                    };
+                    Some(DirectEmit {
+                        key_cols: node.key_vars.iter().map(|&v| col_of(v)).collect(),
+                        var_col: col_of(node.var),
+                    })
+                } else {
+                    None
+                };
+
                 delta_plans.push(DeltaPlan {
                     scatter,
                     steps,
@@ -256,6 +291,7 @@ impl ExecutionPlan {
                         .iter()
                         .map(|&v| pos_of(v))
                         .collect::<Result<Vec<_>>>()?,
+                    direct,
                 });
             }
 

@@ -1,4 +1,4 @@
-//! Materialized views with planned secondary indexes.
+//! Materialized views with planned secondary indexes, stored hash-once.
 //!
 //! Each view stores a primary map from its group-by key to a ring payload.
 //! Delta propagation needs to probe *sibling* views on subsets of their key
@@ -6,50 +6,68 @@
 //! additionally maintain secondary indexes from those sub-keys to the full
 //! keys.  Which indexes exist is decided once, at plan compilation time —
 //! never ad hoc during maintenance.
+//!
+//! Storage layout (the hash-once design):
+//!
+//! * Entries live in a **slot slab** (`Vec<Slot>` plus a free list): the
+//!   dictionary-encoded full key next to its payload, addressed by a stable
+//!   `u32` slot id.
+//! * The **primary map** is a [`RawTable`] from precomputed key hashes to
+//!   slot ids — the caller supplies the hash, so a key given to
+//!   [`MaterializedView::add_encoded`] or probed via
+//!   [`MaterializedView::find_slot`] is never re-hashed here.
+//! * **Secondary indexes** map an encoded sub-key to the `Vec<u32>` of slot
+//!   ids carrying it.  Buckets store slot ids, not cloned keys, so an index
+//!   probe streams `(full key, payload)` pairs straight out of the slab
+//!   with no second primary-map lookup per match (the pre-encoding design
+//!   paid one full-key hash + probe for every index hit).
+//!
+//! Freed slots keep their (exactly zero) payload: re-inserting into a freed
+//! slot accumulates into that zero with [`Ring::add_assign`], reusing the
+//! payload's buffers instead of cloning a fresh payload.
 
-use fivm_common::{FxHashMap, Value, VarId};
-use fivm_relation::{Relation, Tuple};
+use fivm_common::{Dict, EncodedKey, Probe, RawTable, Value, VarId};
+use fivm_relation::Relation;
 use fivm_ring::Ring;
 
-/// A secondary index: maps a projection of the key to the list of full keys
-/// currently present in the view.
+/// One slab entry: a full view key and its payload.
+#[derive(Clone, Debug)]
+struct Slot<R> {
+    key: EncodedKey,
+    payload: R,
+}
+
+/// A secondary index: maps an encoded projection of the key to the slot ids
+/// of the entries carrying it.
 #[derive(Clone, Debug)]
 struct SecondaryIndex {
     /// Positions (within the view key) of the indexed columns.
     positions: Vec<usize>,
-    /// Probe key → full keys with that probe key.
-    map: FxHashMap<Tuple, Vec<Tuple>>,
-    /// Reusable projection buffer, so probing an existing bucket allocates
-    /// nothing (a boxed probe key is built only when a bucket is created).
-    probe_buf: Vec<Value>,
+    /// Encoded probe sub-key → slot ids.  Sub-keys are hashed once, when
+    /// the bucket is touched; buckets never store key copies.
+    map: RawTable<EncodedKey, Vec<u32>>,
 }
 
 impl SecondaryIndex {
-    fn fill_probe_buf(&mut self, key: &[Value]) {
-        self.probe_buf.clear();
-        let positions = &self.positions;
-        self.probe_buf.extend(positions.iter().map(|&p| key[p].clone()));
-    }
-
-    fn insert(&mut self, key: &Tuple) {
-        self.fill_probe_buf(key);
-        match self.map.get_mut(self.probe_buf.as_slice()) {
-            Some(bucket) => bucket.push(key.clone()),
-            None => {
-                self.map
-                    .insert(self.probe_buf.clone().into_boxed_slice(), vec![key.clone()]);
-            }
+    fn insert(&mut self, full_key: &EncodedKey, slot: u32) {
+        let sub = full_key.project(&self.positions);
+        let hash = sub.fx_hash();
+        match self.map.probe(hash, |k, _| *k == sub) {
+            Probe::Found(idx) => self.map.value_at_mut(idx).push(slot),
+            Probe::Vacant(idx) => self.map.occupy(idx, hash, sub, vec![slot]),
         }
     }
 
-    fn remove(&mut self, key: &Tuple) {
-        self.fill_probe_buf(key);
-        if let Some(bucket) = self.map.get_mut(self.probe_buf.as_slice()) {
-            if let Some(pos) = bucket.iter().position(|k| k == key) {
+    fn remove(&mut self, full_key: &EncodedKey, slot: u32) {
+        let sub = full_key.project(&self.positions);
+        let hash = sub.fx_hash();
+        if let Some(idx) = self.map.find_idx(hash, |k, _| *k == sub) {
+            let bucket = self.map.value_at_mut(idx);
+            if let Some(pos) = bucket.iter().position(|&s| s == slot) {
                 bucket.swap_remove(pos);
             }
             if bucket.is_empty() {
-                self.map.remove(self.probe_buf.as_slice());
+                self.map.remove_at(idx);
             }
         }
     }
@@ -57,10 +75,17 @@ impl SecondaryIndex {
 
 /// A materialized view: group-by keys over `key_vars` mapped to ring
 /// payloads, plus the secondary indexes registered by the execution plan.
+///
+/// All hot-path operations take **precomputed** hashes and encoded keys;
+/// the `Value`-level API ([`MaterializedView::get`],
+/// [`MaterializedView::to_relation`]) is the output boundary and needs the
+/// engine's [`Dict`].
 #[derive(Clone, Debug)]
 pub struct MaterializedView<R: Ring> {
     key_vars: Vec<VarId>,
-    map: FxHashMap<Tuple, R>,
+    slots: Vec<Slot<R>>,
+    free: Vec<u32>,
+    map: RawTable<u32, ()>,
     indexes: Vec<SecondaryIndex>,
 }
 
@@ -69,7 +94,9 @@ impl<R: Ring> MaterializedView<R> {
     pub fn new(key_vars: Vec<VarId>) -> Self {
         MaterializedView {
             key_vars,
-            map: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            map: RawTable::new(),
             indexes: Vec::new(),
         }
     }
@@ -92,8 +119,7 @@ impl<R: Ring> MaterializedView<R> {
         }
         self.indexes.push(SecondaryIndex {
             positions,
-            map: FxHashMap::default(),
-            probe_buf: Vec::new(),
+            map: RawTable::new(),
         });
         self.indexes.len() - 1
     }
@@ -113,109 +139,173 @@ impl<R: Ring> MaterializedView<R> {
         self.map.is_empty()
     }
 
-    /// The payload of a key, if present.
-    pub fn get(&self, key: &[Value]) -> Option<&R> {
-        self.map.get(key)
+    /// Total rehash (growth/compaction) events across the primary map and
+    /// all secondary indexes — the `rehashes` engine counter.
+    pub fn rehashes(&self) -> u64 {
+        self.map.rehashes() + self.indexes.iter().map(|i| i.map.rehashes()).sum::<u64>()
     }
 
-    /// Adds a delta payload to a key, maintaining secondary indexes and
-    /// removing the key if its payload becomes zero.
-    ///
-    /// Takes ownership of the key, so a fresh insert stores it without
-    /// cloning; the secondary indexes read it from the entry in place
-    /// (each index bucket keeps its own copy — the only clone left).
-    pub fn add(&mut self, key: Tuple, delta: R) {
-        if delta.is_zero() {
-            return;
-        }
-        use std::collections::hash_map::Entry;
-        match self.map.entry(key) {
-            Entry::Vacant(v) => {
-                // Disjoint field borrows: `v` holds `self.map`, the index
-                // maintenance walks `self.indexes`.
-                for idx in &mut self.indexes {
-                    idx.insert(v.key());
-                }
-                v.insert(delta);
-            }
-            Entry::Occupied(mut o) => {
-                o.get_mut().add_assign(&delta);
-                if o.get().is_zero() {
-                    let (key, _) = o.remove_entry();
-                    for idx in &mut self.indexes {
-                        idx.remove(&key);
-                    }
-                }
-            }
-        }
+    /// The slot id of a key, probed with its precomputed hash.
+    #[inline]
+    pub fn find_slot(&self, hash: u64, key: &EncodedKey) -> Option<u32> {
+        let slots = &self.slots;
+        self.map
+            .find(hash, |&sid, _| slots[sid as usize].key == *key)
+            .map(|(&sid, ())| sid)
     }
 
-    /// Adds a delta payload by reference: the common occupied-key case
-    /// accumulates with [`Ring::add_assign`] and clones nothing; only a
-    /// fresh insert clones the key and payload.
+    /// The full key stored in a slot.
+    #[inline]
+    pub fn slot_key(&self, slot: u32) -> &EncodedKey {
+        &self.slots[slot as usize].key
+    }
+
+    /// The payload stored in a slot.
+    #[inline]
+    pub fn slot_payload(&self, slot: u32) -> &R {
+        &self.slots[slot as usize].payload
+    }
+
+    /// The payload of an encoded key, probed with its precomputed hash.
+    #[inline]
+    pub fn get_encoded(&self, hash: u64, key: &EncodedKey) -> Option<&R> {
+        self.find_slot(hash, key).map(|sid| self.slot_payload(sid))
+    }
+
+    /// The payload of a `Value`-level key, if present (output boundary;
+    /// encodes through the dictionary without interning).
+    pub fn get(&self, dict: &Dict, key: &[Value]) -> Option<&R> {
+        let encoded = dict.try_encode_key(key)?;
+        self.get_encoded(encoded.fx_hash(), &encoded)
+    }
+
+    /// Adds a delta payload to a key whose hash the caller has already
+    /// computed, maintaining secondary indexes and removing the key if its
+    /// payload becomes zero.  The key is borrowed: the occupied case clones
+    /// nothing, and a fresh insert copies the key into the slab (a word
+    /// copy for inline-sized keys).
     ///
     /// Returns whether a ring addition was performed (an existing payload
     /// was accumulated into) — fresh inserts and zero deltas return
     /// `false`, so callers can keep exact ring-op counters.
-    pub fn add_ref(&mut self, key: &Tuple, delta: &R) -> bool {
+    pub fn add_encoded(&mut self, hash: u64, key: &EncodedKey, delta: &R) -> bool {
         if delta.is_zero() {
             return false;
         }
-        if let Some(slot) = self.map.get_mut(key) {
-            slot.add_assign(delta);
-            if slot.is_zero() {
-                let (owned, _) = self.map.remove_entry(key).expect("key probed above");
-                for idx in &mut self.indexes {
-                    idx.remove(&owned);
+        let (map, slots) = (&mut self.map, &self.slots);
+        match map.probe(hash, |&sid, _| slots[sid as usize].key == *key) {
+            Probe::Found(idx) => {
+                let sid = *map.at(idx).0;
+                let slot = &mut self.slots[sid as usize];
+                slot.payload.add_assign(delta);
+                if slot.payload.is_zero() {
+                    // Erase: unlink from the primary map and every index,
+                    // then park the slot (its exactly-zero payload keeps
+                    // its buffers for the next insert reusing this slot).
+                    self.map.remove_at(idx);
+                    for index in &mut self.indexes {
+                        index.remove(key, sid);
+                    }
+                    self.free.push(sid);
                 }
+                true
             }
-            return true;
+            Probe::Vacant(idx) => {
+                let sid = match self.free.pop() {
+                    Some(sid) => {
+                        let slot = &mut self.slots[sid as usize];
+                        slot.key = key.clone();
+                        // The parked payload is exactly zero: accumulating
+                        // the delta into it reuses its buffers.
+                        slot.payload.add_assign(delta);
+                        sid
+                    }
+                    None => {
+                        let sid = u32::try_from(self.slots.len()).expect("view slot overflow");
+                        self.slots.push(Slot {
+                            key: key.clone(),
+                            payload: delta.clone(),
+                        });
+                        sid
+                    }
+                };
+                self.map.occupy(idx, hash, sid, ());
+                for index in &mut self.indexes {
+                    index.insert(key, sid);
+                }
+                false
+            }
         }
-        for idx in &mut self.indexes {
-            idx.insert(key);
-        }
-        self.map.insert(key.clone(), delta.clone());
-        false
     }
 
-    /// Iterates over all `(key, payload)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> + '_ {
-        self.map.iter()
+    /// Adds a delta payload to a `Value`-level key (test/boundary
+    /// convenience; the hot path uses [`MaterializedView::add_encoded`]).
+    pub fn add(&mut self, dict: &mut Dict, key: &[Value], delta: R) {
+        let encoded = dict.encode_key(key);
+        self.add_encoded(encoded.fx_hash(), &encoded, &delta);
     }
 
-    /// Probes a secondary index with a probe key and visits every matching
-    /// `(full key, payload)` pair.
+    /// The table index of a secondary-index bucket, probed with the
+    /// sub-key's precomputed hash.  The returned handle is stable until the
+    /// view is next mutated — the engine memoizes it per propagation level.
+    #[inline]
+    pub fn find_index_bucket(&self, index_id: usize, hash: u64, probe: &EncodedKey) -> Option<usize> {
+        self.indexes[index_id].map.find_idx(hash, |k, _| k == probe)
+    }
+
+    /// The slot ids of a bucket handle returned by
+    /// [`MaterializedView::find_index_bucket`].
+    #[inline]
+    pub fn index_bucket_at(&self, index_id: usize, bucket: usize) -> &[u32] {
+        self.indexes[index_id].map.at(bucket).1
+    }
+
+    /// The slot ids a secondary index stores for a probe sub-key.
+    #[inline]
+    pub fn index_bucket(&self, index_id: usize, hash: u64, probe: &EncodedKey) -> Option<&[u32]> {
+        self.find_index_bucket(index_id, hash, probe)
+            .map(|b| self.index_bucket_at(index_id, b))
+    }
+
+    /// Probes a secondary index and visits every matching
+    /// `(full key, payload)` pair straight out of the slab.
     pub fn probe_index<'a>(
         &'a self,
         index_id: usize,
-        probe: &[Value],
-    ) -> impl Iterator<Item = (&'a Tuple, &'a R)> + 'a {
-        self.index_bucket(index_id, probe)
+        hash: u64,
+        probe: &EncodedKey,
+    ) -> impl Iterator<Item = (&'a EncodedKey, &'a R)> + 'a {
+        self.index_bucket(index_id, hash, probe)
             .into_iter()
             .flatten()
-            .filter_map(move |k| self.map.get(k).map(|p| (k, p)))
+            .map(move |&sid| {
+                let slot = &self.slots[sid as usize];
+                (&slot.key, &slot.payload)
+            })
     }
 
-    /// The full keys a secondary index stores for a probe key.
-    ///
-    /// The returned slice borrows only the view (not `probe`), which lets
-    /// the engine stream matches while reusing its probe-key buffer.
-    pub fn index_bucket(&self, index_id: usize, probe: &[Value]) -> Option<&[Tuple]> {
-        self.indexes[index_id].map.get(probe).map(Vec::as_slice)
+    /// Iterates over all `(key, payload)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&EncodedKey, &R)> + '_ {
+        let slots = &self.slots;
+        self.map.iter().map(move |(&sid, ())| {
+            let slot = &slots[sid as usize];
+            (&slot.key, &slot.payload)
+        })
     }
 
-    /// Converts the view into a plain relation (copying all entries).
-    pub fn to_relation(&self) -> Relation<R> {
+    /// Converts the view into a plain relation, decoding every key
+    /// (output boundary).
+    pub fn to_relation(&self, dict: &Dict) -> Relation<R> {
         Relation::from_entries(
             self.key_vars.clone(),
-            self.map.iter().map(|(k, p)| (k.clone(), p.clone())),
+            self.iter().map(|(k, p)| (dict.decode_key(k), p.clone())),
         )
     }
 
     /// Sums all payloads.
     pub fn total(&self) -> R {
         let mut acc = R::zero();
-        for p in self.map.values() {
+        for (_, p) in self.iter() {
             acc.add_assign(p);
         }
         acc
@@ -225,7 +315,7 @@ impl<R: Ring> MaterializedView<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fivm_relation::tuple;
+    use fivm_relation::{tuple, Tuple};
 
     fn t(vals: &[i64]) -> Tuple {
         tuple(vals.iter().map(|&v| Value::int(v)))
@@ -233,19 +323,25 @@ mod tests {
 
     #[test]
     fn add_get_and_zero_removal() {
+        let mut dict = Dict::new();
         let mut v: MaterializedView<i64> = MaterializedView::new(vec![0, 1]);
-        v.add(t(&[1, 2]), 3);
-        v.add(t(&[1, 2]), 4);
-        assert_eq!(v.get(&t(&[1, 2])), Some(&7));
-        v.add(t(&[1, 2]), -7);
-        assert!(v.get(&t(&[1, 2])).is_none());
+        v.add(&mut dict, &t(&[1, 2]), 3);
+        v.add(&mut dict, &t(&[1, 2]), 4);
+        assert_eq!(v.get(&dict, &t(&[1, 2])), Some(&7));
+        v.add(&mut dict, &t(&[1, 2]), -7);
+        assert!(v.get(&dict, &t(&[1, 2])).is_none());
         assert!(v.is_empty());
-        v.add(t(&[9, 9]), 0);
+        v.add(&mut dict, &t(&[9, 9]), 0);
         assert!(v.is_empty());
+        // The freed slot is reused by the next insert.
+        v.add(&mut dict, &t(&[5, 5]), 11);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(&dict, &t(&[5, 5])), Some(&11));
     }
 
     #[test]
     fn secondary_index_tracks_inserts_and_removals() {
+        let mut dict = Dict::new();
         let mut v: MaterializedView<i64> = MaterializedView::new(vec![10, 20]);
         let idx = v.ensure_index(vec![0]);
         assert_eq!(idx, 0);
@@ -253,34 +349,54 @@ mod tests {
         assert_eq!(v.ensure_index(vec![0]), 0);
         assert_eq!(v.num_indexes(), 1);
 
-        v.add(t(&[1, 100]), 2);
-        v.add(t(&[1, 200]), 3);
-        v.add(t(&[2, 100]), 5);
+        v.add(&mut dict, &t(&[1, 100]), 2);
+        v.add(&mut dict, &t(&[1, 200]), 3);
+        v.add(&mut dict, &t(&[2, 100]), 5);
 
+        let probe = dict.encode_key(&t(&[1]));
         let hits: Vec<i64> = v
-            .probe_index(idx, &t(&[1]))
+            .probe_index(idx, probe.fx_hash(), &probe)
             .map(|(_, p)| *p)
             .collect();
         assert_eq!(hits.len(), 2);
         assert_eq!(hits.iter().sum::<i64>(), 5);
 
         // Deleting one entry removes it from the index bucket.
-        v.add(t(&[1, 100]), -2);
-        let hits: Vec<i64> = v.probe_index(idx, &t(&[1])).map(|(_, p)| *p).collect();
+        v.add(&mut dict, &t(&[1, 100]), -2);
+        let hits: Vec<i64> = v
+            .probe_index(idx, probe.fx_hash(), &probe)
+            .map(|(_, p)| *p)
+            .collect();
         assert_eq!(hits, vec![3]);
+        // The surviving match streams the right full key out of the slab.
+        let (full, _) = v.probe_index(idx, probe.fx_hash(), &probe).next().unwrap();
+        assert_eq!(&*dict.decode_key(full), &*t(&[1, 200]));
         // Probing a missing key yields nothing.
-        assert_eq!(v.probe_index(idx, &t(&[42])).count(), 0);
+        let missing = dict.encode_key(&t(&[42]));
+        assert_eq!(v.probe_index(idx, missing.fx_hash(), &missing).count(), 0);
     }
 
     #[test]
     fn to_relation_and_total() {
+        let mut dict = Dict::new();
         let mut v: MaterializedView<i64> = MaterializedView::new(vec![0]);
-        v.add(t(&[1]), 2);
-        v.add(t(&[2]), 3);
-        let r = v.to_relation();
+        v.add(&mut dict, &t(&[1]), 2);
+        v.add(&mut dict, &t(&[2]), 3);
+        let r = v.to_relation(&dict);
         assert_eq!(r.len(), 2);
         assert_eq!(r.get(&t(&[2])), Some(&3));
         assert_eq!(v.total(), 5);
         assert_eq!(v.key_vars(), &[0]);
+    }
+
+    #[test]
+    fn unseen_string_probe_misses_without_interning() {
+        let mut dict = Dict::new();
+        let mut v: MaterializedView<i64> = MaterializedView::new(vec![0]);
+        v.add(&mut dict, &[Value::str("present")], 1);
+        assert_eq!(v.get(&dict, &[Value::str("present")]), Some(&1));
+        let before = dict.len();
+        assert_eq!(v.get(&dict, &[Value::str("absent")]), None);
+        assert_eq!(dict.len(), before, "probing must not intern");
     }
 }

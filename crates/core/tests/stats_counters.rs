@@ -1,0 +1,109 @@
+//! Pins the engine's probe-volume counters so regressions fail loudly.
+//!
+//! The hash-once contract says every delta key is hashed (and each sibling
+//! probed) at most once per propagation level; with batch grouping, probe
+//! volume is bounded by *distinct* keys, not input rows.  These tests
+//! assert exact `probes`/`probe_hits` counts on the Figure-1 join under a
+//! hand-picked view tree, so any change that re-probes (or re-hashes via
+//! extra probes) shows up as a counter mismatch, and `rehashes` tracks
+//! table growth.
+
+use fivm_common::Value;
+use fivm_core::apps;
+use fivm_query::spec::figure1_query;
+use fivm_query::ViewTree;
+use fivm_relation::{tuple, Tuple};
+
+/// The paper's Figure-1 tree: A root over B and C, D under C;
+/// R(A, B) attaches below B, S(A, C, D) below D.
+fn figure1_tree() -> ViewTree {
+    let spec = figure1_query(false);
+    let a = spec.var_id("A").unwrap();
+    let c = spec.var_id("C").unwrap();
+    let mut parents = vec![None; 4];
+    parents[spec.var_id("B").unwrap()] = Some(a);
+    parents[c] = Some(a);
+    parents[spec.var_id("D").unwrap()] = Some(c);
+    ViewTree::from_parent_vars(spec, &parents).unwrap()
+}
+
+fn t(vals: &[i64]) -> Tuple {
+    tuple(vals.iter().map(|&v| Value::int(v)))
+}
+
+#[test]
+fn probe_counts_are_exact_per_propagation_level() {
+    let mut engine = apps::count_engine(figure1_tree()).unwrap();
+    assert_eq!(engine.stats().probes, 0);
+    assert_eq!(engine.stats().probe_hits, 0);
+
+    // R(1, 2): B's level is probe-free (single child); at the root the
+    // sibling C-view is probed once and missed (it is empty).
+    engine.apply_rows(0, vec![(t(&[1, 2]), 1)]).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.probes, s.probe_hits), (1, 0));
+
+    // S(1, 3, 4): D and C levels are probe-free; at the root the sibling
+    // B-view is probed once and hits (it holds A=1).
+    engine.apply_rows(1, vec![(t(&[1, 3, 4]), 1)]).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.probes, s.probe_hits), (2, 1));
+
+    // R(2, 5): the root probes the C-view for A=2 — a miss.
+    engine.apply_rows(0, vec![(t(&[2, 5]), 1)]).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.probes, s.probe_hits), (3, 1));
+
+    // R(1, 7): the root probes the C-view for A=1 — a hit.
+    engine.apply_rows(0, vec![(t(&[1, 7]), 1)]).unwrap();
+    let s = engine.stats();
+    assert_eq!((s.probes, s.probe_hits), (4, 2));
+    assert_eq!(engine.result(), 2);
+}
+
+#[test]
+fn grouped_batches_probe_once_per_distinct_key() {
+    let mut engine = apps::count_engine(figure1_tree()).unwrap();
+    engine.apply_rows(1, vec![(t(&[1, 3, 4]), 1)]).unwrap();
+    let before = engine.stats();
+
+    // 10 rows, all with join key A=1 and the same B: grouping collapses
+    // them to ONE delta entry, so the root's sibling is probed exactly
+    // once — probe volume scales with distinct keys, not rows.
+    let rows: Vec<(Tuple, i64)> = (0..10).map(|_| (t(&[1, 2]), 1)).collect();
+    engine.apply_rows(0, rows).unwrap();
+    let delta = engine.stats().delta_since(&before);
+    assert_eq!(delta.rows_applied, 10);
+    assert_eq!(delta.probes, 1, "grouped batch must probe once per distinct key");
+    assert_eq!(delta.probe_hits, 1);
+
+    // Rows that cancel inside a batch never reach a probe.
+    let before = engine.stats();
+    engine
+        .apply_rows(0, vec![(t(&[5, 5]), 1), (t(&[5, 5]), -1)])
+        .unwrap();
+    let delta = engine.stats().delta_since(&before);
+    assert_eq!((delta.probes, delta.delta_entries), (0, 0));
+}
+
+#[test]
+fn rehashes_count_table_growth_and_stay_flat_at_steady_state() {
+    let mut engine = apps::count_engine(figure1_tree()).unwrap();
+    assert_eq!(engine.stats().rehashes, 0);
+
+    // Loading plenty of distinct keys forces the view tables to grow.
+    let rows: Vec<(Tuple, i64)> = (0..2_000).map(|i| (t(&[i % 50, i]), 1)).collect();
+    engine.apply_rows(0, rows).unwrap();
+    let grown = engine.stats().rehashes;
+    assert!(grown > 0, "2000 distinct keys must grow some view table");
+
+    // Re-touching existing keys rehashes nothing.
+    let before = engine.stats();
+    let rows: Vec<(Tuple, i64)> = (0..100).map(|i| (t(&[i % 50, i]), 1)).collect();
+    engine.apply_rows(0, rows).unwrap();
+    assert_eq!(
+        engine.stats().delta_since(&before).rehashes,
+        0,
+        "steady-state updates must not rehash"
+    );
+}

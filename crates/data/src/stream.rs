@@ -43,25 +43,35 @@ impl UpdateStream {
     /// Generates a stream: each update is either a fresh insert (drawn from
     /// `row_gen`) or, with probability `delete_fraction`, a delete of a row
     /// inserted earlier in the stream (each row is deleted at most once).
+    ///
+    /// The live set tracks `(bulk, row)` positions instead of cloned rows,
+    /// so only actual deletes copy a tuple — inserts are moved into their
+    /// bulk without cloning.  The RNG consumption is identical to the
+    /// cloning implementation, so streams for a given seed are unchanged.
     pub fn generate(
         config: StreamConfig,
         table: &str,
         mut row_gen: impl FnMut(&mut StdRng) -> Tuple,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut live: Vec<Tuple> = Vec::new();
-        let mut bulks = Vec::with_capacity(config.bulks);
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        let mut bulks: Vec<Update> = Vec::with_capacity(config.bulks);
         for _ in 0..config.bulks {
-            let mut rows = Vec::with_capacity(config.bulk_size);
+            let mut rows: Vec<(Tuple, i64)> = Vec::with_capacity(config.bulk_size);
             for _ in 0..config.bulk_size {
                 let delete = !live.is_empty() && rng.gen_bool(config.delete_fraction);
                 if delete {
                     let idx = rng.gen_range(0..live.len());
-                    let row = live.swap_remove(idx);
+                    let (bulk, row) = live.swap_remove(idx);
+                    let row = if bulk == bulks.len() {
+                        rows[row].0.clone()
+                    } else {
+                        bulks[bulk].rows[row].0.clone()
+                    };
                     rows.push((row, -1));
                 } else {
                     let row = row_gen(&mut rng);
-                    live.push(row.clone());
+                    live.push((bulks.len(), rows.len()));
                     rows.push((row, 1));
                 }
             }

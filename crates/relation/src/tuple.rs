@@ -23,18 +23,14 @@ pub fn tuple<I: IntoIterator<Item = Value>>(values: I) -> Tuple {
 /// Every variable in `to_vars` must appear in `from_vars`; the function
 /// panics otherwise (projection lists are computed by the query compiler, so
 /// a miss is a programming error).
+///
+/// This is a one-shot convenience that resolves positions and applies them
+/// in one call.  Anything projecting repeatedly over the same variable
+/// lists (a plan edge, a join fold) must build a [`Projection`] once and
+/// reuse it — the position resolution is an `O(|from| · |to|)` scan that
+/// has no business running per tuple.
 pub fn project_tuple(tuple: &[Value], from_vars: &[VarId], to_vars: &[VarId]) -> Tuple {
-    to_vars
-        .iter()
-        .map(|v| {
-            let pos = from_vars
-                .iter()
-                .position(|f| f == v)
-                .unwrap_or_else(|| panic!("variable {v} not present in source tuple variables"));
-            tuple[pos].clone()
-        })
-        .collect::<Vec<_>>()
-        .into_boxed_slice()
+    Projection::new(from_vars, to_vars).apply(tuple)
 }
 
 /// Precomputed projection positions: maps `to_vars` to their positions in

@@ -20,12 +20,20 @@ clippy:
 bench-build:
     cargo bench --no-run
 
-# Regenerate the machine-readable perf baseline (writes BENCH_ivm.json).
+# Regenerate the machine-readable perf baseline (writes BENCH_ivm.json,
+# including the encoded-vs-boxed probe-key ablation records).
 bench-ivm:
     cargo build --release --bin exp_throughput
     ./target/release/exp_throughput
 
-# Quick hot-path diagnostic: allocations/row and ns/row per engine.
+# Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
+# engine, plus allocs/probe and ns/probe for both key representations
+# (boxed Value tuples vs dictionary-encoded keys).
 profile:
     cargo build --release --bin profile_hotpath
     ./target/release/profile_hotpath --quick
+
+# Full-length hot-path diagnostic (100 bulks, 100 ablation passes).
+profile-full:
+    cargo build --release --bin profile_hotpath
+    ./target/release/profile_hotpath
