@@ -12,25 +12,19 @@
 //! workload) that later perf PRs are measured against.
 //!
 //! Run with `--quick` for a fast smoke-test configuration; `--json PATH`
-//! overrides the artifact location.
+//! overrides the artifact location; `--shards N` adds paired
+//! single-vs-N-shard runs (`PAR-*` records).
 
 use fivm_baselines::{JoinMaintenance, NaiveReevaluation, UnsharedCovar};
 use fivm_bench::{
     format_speedup, measure, print_table, write_bench_json, BenchRecord, ProbeAblation,
     Throughput, Workload,
 };
-use fivm_core::{AggregateLayout, Engine, EngineStats};
+use fivm_core::apps::{count_lifts, covar_lifts, gen_covar_lifts};
+use fivm_core::{Engine, EngineStats};
 use fivm_relation::Update;
-use fivm_ring::{Cofactor, LiftFn, Ring};
-
-fn covar_lifts(spec: &fivm_query::QuerySpec) -> Vec<LiftFn<Cofactor>> {
-    let layout = AggregateLayout::of(spec);
-    let mut lifts = vec![LiftFn::identity(); spec.num_vars()];
-    for (idx, &v) in layout.vars.iter().enumerate() {
-        lifts[v] = fivm_ring::lift::cofactor_continuous_lift(layout.dim(), idx, &layout.names[idx]);
-    }
-    lifts
-}
+use fivm_ring::{LiftFn, Ring};
+use fivm_shard::ShardedEngine;
 
 /// Replays the update stream through an F-IVM engine, returning wall-clock
 /// timing and the engine's own work counters for the update phase only.
@@ -50,6 +44,19 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_ivm.json".to_string());
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--shards takes a positive shard count");
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or(0);
     let (retailer_cfg, favorita_cfg, stream) = if quick {
         (
             fivm_data::RetailerConfig::tiny(),
@@ -120,7 +127,7 @@ fn main() {
 
         // --- Baseline: first-order join maintenance (COVAR aggregate) ------
         if dataset == "Retailer" {
-            let lifts = covar_lifts(&workload.spec);
+            let lifts = covar_lifts(&workload.spec).expect("continuous covar lifts");
             let mut jm = JoinMaintenance::new(workload.spec.clone(), lifts).unwrap();
             jm.load_database(&workload.database).unwrap();
             let t = measure(&workload.updates, |b| {
@@ -194,7 +201,8 @@ fn main() {
         // --- Baseline: naive re-evaluation after every bulk ----------------
         if dataset == "Retailer" {
             let spec = fivm_data::retailer::retailer_query_continuous();
-            let mut naive = NaiveReevaluation::new(spec.clone(), covar_lifts(&spec)).unwrap();
+            let mut naive =
+                NaiveReevaluation::new(spec.clone(), covar_lifts(&spec).unwrap()).unwrap();
             naive.load_database(&workload.database).unwrap();
             // Re-evaluation is slow; replay only the first bulks.
             let subset = &workload.updates[..workload.updates.len().min(3)];
@@ -213,6 +221,44 @@ fn main() {
             });
             push_row(&mut rows, dataset, "unshared aggregates", "COVAR", t, None, Some(fivm_covar));
         }
+        println!();
+    }
+
+    // --- Paired single-vs-sharded runs (PAR-* records) ----------------------
+    if shards > 0 {
+        let rounds = if quick { 3 } else { 7 };
+        println!(
+            "== PAR: paired 1-vs-{shards}-shard throughput, {rounds} interleaved rounds ==\n"
+        );
+        let workload = Workload::retailer(retailer_cfg.clone(), stream, true);
+        run_paired(
+            &workload,
+            count_lifts(&workload.spec),
+            shards,
+            rounds,
+            "COUNT",
+            stream.bulk_size,
+            &mut records,
+        );
+        run_paired(
+            &workload,
+            covar_lifts(&workload.spec).expect("continuous covar lifts"),
+            shards,
+            rounds,
+            "COVAR",
+            stream.bulk_size,
+            &mut records,
+        );
+        let workload = Workload::favorita(favorita_cfg.clone(), stream);
+        run_paired(
+            &workload,
+            gen_covar_lifts(&workload.spec),
+            shards,
+            rounds,
+            "COVAR",
+            stream.bulk_size,
+            &mut records,
+        );
         println!();
     }
 
@@ -238,6 +284,93 @@ fn main() {
     }
     println!("\n(paper's claim: F-IVM averages ~10K updates/s and beats DBToaster-style");
     println!(" join maintenance by orders of magnitude on these workloads)");
+}
+
+/// Paired single-vs-sharded measurement: both engines are built and loaded
+/// once, then the update stream is replayed `rounds` times on each,
+/// alternating single/sharded within every round so machine drift hits
+/// both sides equally (the noisy-box methodology from ROADMAP.md).
+/// Replaying the same stream keeps the key set fixed after round one, so
+/// later rounds measure true steady state.  Emits `PAR-<app>-x1` and
+/// `PAR-<app>-x<N>` records with median throughput and last-round work
+/// counters.
+fn run_paired<R: Ring>(
+    workload: &Workload,
+    lifts: Vec<LiftFn<R>>,
+    shards: usize,
+    rounds: usize,
+    app: &str,
+    bulk_size: usize,
+    records: &mut Vec<BenchRecord>,
+) {
+    let dataset = workload.dataset.name();
+    let mut single = Engine::new(workload.tree.clone(), lifts.clone()).expect("single engine");
+    single.load_database(&workload.database).expect("load");
+    let mut sharded =
+        ShardedEngine::new(workload.tree.clone(), lifts, shards).expect("sharded engine");
+    sharded.load_database(&workload.database).expect("load");
+
+    let mut single_rates = Vec::with_capacity(rounds);
+    let mut sharded_rates = Vec::with_capacity(rounds);
+    let mut single_stats = EngineStats::default();
+    let mut sharded_stats = EngineStats::default();
+    let mut updates = 0usize;
+    for _ in 0..rounds {
+        let before = single.stats();
+        let t = measure(&workload.updates, |b| {
+            single.apply_update(b).unwrap();
+        });
+        single_stats = single.stats().delta_since(&before);
+        single_rates.push(t.updates_per_second());
+
+        let before = sharded.stats();
+        let ts = measure(&workload.updates, |b| {
+            sharded.apply_update(b).unwrap();
+        });
+        sharded_stats = sharded.stats().delta_since(&before);
+        sharded_rates.push(ts.updates_per_second());
+        updates = t.updates;
+    }
+
+    let med1 = median(&mut single_rates.clone());
+    let medn = median(&mut sharded_rates.clone());
+    println!(
+        "{dataset} {app}: single median {:.0} rows/s, {shards}-shard median {:.0} rows/s \
+         ({} vs single; per-round ratios {})",
+        med1,
+        medn,
+        format_speedup(medn / med1),
+        sharded_rates
+            .iter()
+            .zip(&single_rates)
+            .map(|(n, s)| format!("{:.2}", n / s))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    for (suffix, rate, stats) in [
+        ("x1".to_string(), med1, single_stats),
+        (format!("x{shards}"), medn, sharded_stats),
+    ] {
+        records.push(BenchRecord {
+            dataset: dataset.to_string(),
+            app: format!("PAR-{app}-{suffix}"),
+            bulk_size,
+            updates,
+            seconds: updates as f64 / rate,
+            delta_entries: stats.delta_entries,
+            ring_adds: stats.ring_adds,
+            ring_muls: stats.ring_muls,
+            probes: stats.probes,
+            probe_hits: stats.probe_hits,
+            rehashes: stats.rehashes,
+        });
+    }
+}
+
+/// The median of a sample (sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("throughputs are finite"));
+    xs[xs.len() / 2]
 }
 
 /// Appends one measured F-IVM configuration to the JSON record list.

@@ -102,19 +102,18 @@ impl BinSpec {
     }
 }
 
-/// Builds a count engine (`Z` ring): every variable uses the identity lift.
-pub fn count_engine(tree: ViewTree) -> Result<Engine<i64>> {
-    let n = tree.spec().num_vars();
-    Engine::new(tree, vec![LiftFn::identity(); n])
+/// The lifts of the count application (`Z` ring): identity everywhere.
+pub fn count_lifts(spec: &QuerySpec) -> Vec<LiftFn<i64>> {
+    vec![LiftFn::identity(); spec.num_vars()]
 }
 
-/// Builds a COVAR engine over continuous attributes only.
+/// The lifts of the continuous COVAR application (one per variable,
+/// identity for join keys).
 ///
 /// Returns an error if any feature/label variable is categorical — use
-/// [`gen_covar_engine`] for mixed attribute kinds.
-pub fn covar_engine(tree: ViewTree) -> Result<Engine<Cofactor>> {
-    let spec = tree.spec().clone();
-    let layout = AggregateLayout::of(&spec);
+/// [`gen_covar_lifts`] for mixed attribute kinds.
+pub fn covar_lifts(spec: &QuerySpec) -> Result<Vec<LiftFn<Cofactor>>> {
+    let layout = AggregateLayout::of(spec);
     let dim = layout.dim();
     let mut lifts: Vec<LiftFn<Cofactor>> = vec![LiftFn::identity(); spec.num_vars()];
     for (idx, &v) in layout.vars.iter().enumerate() {
@@ -127,15 +126,14 @@ pub fn covar_engine(tree: ViewTree) -> Result<Engine<Cofactor>> {
         }
         lifts[v] = cofactor_continuous_lift(dim, idx, spec.var_name(v));
     }
-    Engine::new(tree, lifts)
+    Ok(lifts)
 }
 
-/// Builds a COVAR engine over mixed continuous/categorical attributes using
-/// the generalized cofactor ring.  Categorical values are tagged with their
-/// *batch index* inside relational keys.
-pub fn gen_covar_engine(tree: ViewTree) -> Result<Engine<GenCofactor>> {
-    let spec = tree.spec().clone();
-    let layout = AggregateLayout::of(&spec);
+/// The lifts of the generalized (mixed continuous/categorical) COVAR
+/// application.  Categorical values are tagged with their *batch index*
+/// inside relational keys.
+pub fn gen_covar_lifts(spec: &QuerySpec) -> Vec<LiftFn<GenCofactor>> {
+    let layout = AggregateLayout::of(spec);
     let dim = layout.dim();
     let mut lifts: Vec<LiftFn<GenCofactor>> = vec![LiftFn::identity(); spec.num_vars()];
     for (idx, &v) in layout.vars.iter().enumerate() {
@@ -145,20 +143,19 @@ pub fn gen_covar_engine(tree: ViewTree) -> Result<Engine<GenCofactor>> {
             AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, name),
         };
     }
-    Engine::new(tree, lifts)
+    lifts
 }
 
-/// Builds a mutual-information engine: every aggregate attribute is lifted
-/// categorically, with continuous attributes discretized through the
-/// supplied equi-width binnings (keyed by variable id).
+/// The lifts of the mutual-information application: every aggregate
+/// attribute lifted categorically, continuous attributes discretized
+/// through the supplied equi-width binnings (keyed by variable id).
 ///
 /// Returns an error if a continuous aggregate attribute has no binning.
-pub fn mi_engine(
-    tree: ViewTree,
+pub fn mi_lifts(
+    spec: &QuerySpec,
     binnings: &HashMap<VarId, BinSpec>,
-) -> Result<Engine<GenCofactor>> {
-    let spec = tree.spec().clone();
-    let layout = AggregateLayout::of(&spec);
+) -> Result<Vec<LiftFn<GenCofactor>>> {
+    let layout = AggregateLayout::of(spec);
     let dim = layout.dim();
     let mut lifts: Vec<LiftFn<GenCofactor>> = vec![LiftFn::identity(); spec.num_vars()];
     for (idx, &v) in layout.vars.iter().enumerate() {
@@ -177,19 +174,56 @@ pub fn mi_engine(
             }
         };
     }
-    Engine::new(tree, lifts)
+    Ok(lifts)
 }
 
-/// Builds a factorized-evaluation engine over the relation ring: the result
+/// The lifts of the factorized-evaluation application (relation ring): the
 /// payload is the listing of the join result projected onto the aggregate
 /// attributes, keyed by variable id.
-pub fn relational_engine(tree: ViewTree) -> Result<Engine<RelValue>> {
-    let spec = tree.spec().clone();
-    let layout = AggregateLayout::of(&spec);
+pub fn relational_lifts(spec: &QuerySpec) -> Vec<LiftFn<RelValue>> {
+    let layout = AggregateLayout::of(spec);
     let mut lifts: Vec<LiftFn<RelValue>> = vec![LiftFn::identity(); spec.num_vars()];
     for &v in &layout.vars {
         lifts[v] = relational_lift(v, spec.var_name(v));
     }
+    lifts
+}
+
+/// Builds a count engine (`Z` ring): every variable uses the identity lift.
+pub fn count_engine(tree: ViewTree) -> Result<Engine<i64>> {
+    let lifts = count_lifts(tree.spec());
+    Engine::new(tree, lifts)
+}
+
+/// Builds a COVAR engine over continuous attributes only.
+///
+/// Returns an error if any feature/label variable is categorical — use
+/// [`gen_covar_engine`] for mixed attribute kinds.
+pub fn covar_engine(tree: ViewTree) -> Result<Engine<Cofactor>> {
+    let lifts = covar_lifts(tree.spec())?;
+    Engine::new(tree, lifts)
+}
+
+/// Builds a COVAR engine over mixed continuous/categorical attributes using
+/// the generalized cofactor ring.
+pub fn gen_covar_engine(tree: ViewTree) -> Result<Engine<GenCofactor>> {
+    let lifts = gen_covar_lifts(tree.spec());
+    Engine::new(tree, lifts)
+}
+
+/// Builds a mutual-information engine; see [`mi_lifts`].
+pub fn mi_engine(
+    tree: ViewTree,
+    binnings: &HashMap<VarId, BinSpec>,
+) -> Result<Engine<GenCofactor>> {
+    let lifts = mi_lifts(tree.spec(), binnings)?;
+    Engine::new(tree, lifts)
+}
+
+/// Builds a factorized-evaluation engine over the relation ring; see
+/// [`relational_lifts`].
+pub fn relational_engine(tree: ViewTree) -> Result<Engine<RelValue>> {
+    let lifts = relational_lifts(tree.spec());
     Engine::new(tree, lifts)
 }
 

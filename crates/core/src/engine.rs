@@ -85,6 +85,24 @@ impl EngineStats {
             rehashes: self.rehashes - earlier.rehashes,
         }
     }
+
+    /// Combines the counters of two engines (field-wise sum) — the
+    /// aggregate view of a sharded deployment, where every counter is the
+    /// total work performed across all shards.  For broadcast relations,
+    /// `rows_applied` counts every per-shard application of a row, so the
+    /// sum reflects work, not distinct input rows.
+    pub fn merge(&self, other: &EngineStats) -> EngineStats {
+        EngineStats {
+            updates_applied: self.updates_applied + other.updates_applied,
+            rows_applied: self.rows_applied + other.rows_applied,
+            delta_entries: self.delta_entries + other.delta_entries,
+            ring_adds: self.ring_adds + other.ring_adds,
+            ring_muls: self.ring_muls + other.ring_muls,
+            probes: self.probes + other.probes,
+            probe_hits: self.probe_hits + other.probe_hits,
+            rehashes: self.rehashes + other.rehashes,
+        }
+    }
 }
 
 /// Result of applying one update batch.
@@ -94,6 +112,20 @@ pub struct UpdateOutcome {
     pub input_rows: usize,
     /// Delta entries written across all views on the maintenance path.
     pub delta_entries: usize,
+}
+
+impl UpdateOutcome {
+    /// Combines the outcomes of the same batch applied by several engines
+    /// (field-wise sum).  A sharded deployment partitions a hash-routed
+    /// batch across shards, so summed `input_rows` equals the original
+    /// batch size; for broadcast batches each shard processes every row and
+    /// the sum counts per-shard applications.
+    pub fn merge(&self, other: &UpdateOutcome) -> UpdateOutcome {
+        UpdateOutcome {
+            input_rows: self.input_rows + other.input_rows,
+            delta_entries: self.delta_entries + other.delta_entries,
+        }
+    }
 }
 
 /// A memoized probe result for one probe depth, valid for the duration of
@@ -241,14 +273,25 @@ impl<R: Ring> Engine<R> {
     /// `lifts[v]` is the attribute function `g_v`; pass
     /// [`LiftFn::identity`] for join keys.
     pub fn new(tree: ViewTree, lifts: Vec<LiftFn<R>>) -> Result<Self> {
-        if lifts.len() != tree.spec().num_vars() {
+        let plan = ExecutionPlan::compile(tree)?;
+        Self::with_plan(plan, lifts)
+    }
+
+    /// Builds an engine from an already compiled plan.
+    ///
+    /// A sharded deployment constructs N identical engines; compiling the
+    /// view tree once and cloning the plan avoids redoing the probe/index
+    /// planning per shard.  Each engine still owns fresh (empty) views and
+    /// its own [`Dict`] — encoded keys must never cross engines (see the
+    /// hash-once contract in ROADMAP.md).
+    pub fn with_plan(plan: ExecutionPlan, lifts: Vec<LiftFn<R>>) -> Result<Self> {
+        if lifts.len() != plan.tree().spec().num_vars() {
             return Err(FivmError::InvalidQuery(format!(
                 "expected {} lifts (one per variable), got {}",
-                tree.spec().num_vars(),
+                plan.tree().spec().num_vars(),
                 lifts.len()
             )));
         }
-        let plan = ExecutionPlan::compile(tree)?;
         let mut views = Vec::with_capacity(plan.num_views());
         for np in plan.node_plans() {
             views.push(MaterializedView::new(np.key_vars.clone()));
@@ -787,6 +830,18 @@ fn extend_assignment<R: Ring>(
             }
         }
     }
+}
+
+/// Send audit: a sharded deployment constructs engines on the coordinating
+/// thread and moves them onto workers, so `Engine<R>` must be `Send` for
+/// every ring.  This never runs — it exists because its body only
+/// *typechecks* while every engine component (views, dictionary, scratch,
+/// lifts) stays `Send`; adding a non-`Send` field breaks the build here
+/// instead of in the shard crate.
+#[allow(dead_code)]
+fn engine_is_send<R: Ring>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Engine<R>>();
 }
 
 impl<R: Ring> std::fmt::Debug for Engine<R> {

@@ -107,3 +107,76 @@ fn rehashes_count_table_growth_and_stay_flat_at_steady_state() {
         "steady-state updates must not rehash"
     );
 }
+
+#[test]
+fn stats_merge_sums_every_counter() {
+    // Two engines fed disjoint slices of the same workload: merged
+    // counters must equal the counters of one engine fed everything —
+    // `merge` is how a sharded deployment aggregates its shards.
+    let mut whole = apps::count_engine(figure1_tree()).unwrap();
+    let mut left = apps::count_engine(figure1_tree()).unwrap();
+    let mut right = apps::count_engine(figure1_tree()).unwrap();
+
+    let rows: Vec<(Tuple, i64)> = (0..40).map(|i| (t(&[i, i]), 1)).collect();
+    let (l, r) = rows.split_at(20);
+    whole.apply_rows(0, rows.clone()).unwrap();
+    left.apply_rows(0, l.to_vec()).unwrap();
+    right.apply_rows(0, r.to_vec()).unwrap();
+
+    let merged = left.stats().merge(&right.stats());
+    assert_eq!(merged.rows_applied, whole.stats().rows_applied);
+    assert_eq!(merged.delta_entries, whole.stats().delta_entries);
+    assert_eq!(merged.ring_adds, whole.stats().ring_adds);
+    assert_eq!(merged.updates_applied, 2);
+
+    // Field-wise sum holds for every counter, probes/rehashes included.
+    let a = fivm_core::EngineStats {
+        updates_applied: 1,
+        rows_applied: 2,
+        delta_entries: 3,
+        ring_adds: 4,
+        ring_muls: 5,
+        probes: 6,
+        probe_hits: 7,
+        rehashes: 8,
+    };
+    let b = fivm_core::EngineStats {
+        updates_applied: 10,
+        rows_applied: 20,
+        delta_entries: 30,
+        ring_adds: 40,
+        ring_muls: 50,
+        probes: 60,
+        probe_hits: 70,
+        rehashes: 80,
+    };
+    let m = a.merge(&b);
+    assert_eq!(
+        m,
+        fivm_core::EngineStats {
+            updates_applied: 11,
+            rows_applied: 22,
+            delta_entries: 33,
+            ring_adds: 44,
+            ring_muls: 55,
+            probes: 66,
+            probe_hits: 77,
+            rehashes: 88,
+        }
+    );
+    // merge and delta_since are inverses: (a + b) - b = a.
+    assert_eq!(m.delta_since(&b), a);
+}
+
+#[test]
+fn outcome_merge_sums_rows_and_delta_entries() {
+    let mut left = apps::count_engine(figure1_tree()).unwrap();
+    let mut right = apps::count_engine(figure1_tree()).unwrap();
+    let a = left
+        .apply_rows(0, vec![(t(&[1, 2]), 1), (t(&[2, 3]), 1)])
+        .unwrap();
+    let b = right.apply_rows(0, vec![(t(&[3, 4]), 1)]).unwrap();
+    let m = a.merge(&b);
+    assert_eq!(m.input_rows, 3);
+    assert_eq!(m.delta_entries, a.delta_entries + b.delta_entries);
+}

@@ -94,6 +94,72 @@ impl UpdateStream {
     pub fn into_bulks(self) -> Vec<Update> {
         self.bulks
     }
+
+    /// Re-chunks the stream into bulks of at most `chunk_size` rows,
+    /// preserving the exact row sequence.  A bulk never mixes tables, so a
+    /// short bulk appears wherever the stream switches tables (and at the
+    /// very end); a single-table stream yields full bulks with only the
+    /// last possibly short.
+    ///
+    /// The chunking is a pure function of the input stream: for a given
+    /// seed, every consumer — a single engine, a sharded engine, any shard
+    /// count — replays the byte-identical update sequence, just cut at
+    /// different bulk boundaries.  Differential tests rely on this to vary
+    /// batch sizes without perturbing the stream.
+    pub fn rechunk(self, chunk_size: usize) -> UpdateStream {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let mut bulks: Vec<Update> = Vec::new();
+        for bulk in self.bulks {
+            let table = bulk.table;
+            let mut rows = bulk.rows.into_iter().peekable();
+            while rows.peek().is_some() {
+                let chunk: Vec<(Tuple, i64)> = match bulks.last() {
+                    Some(last) if last.table == table && last.len() < chunk_size => {
+                        // Top up a short trailing chunk of the same table
+                        // before starting a new one.
+                        let last = bulks.last_mut().expect("just matched");
+                        let take = chunk_size - last.len();
+                        last.rows.extend(rows.by_ref().take(take));
+                        continue;
+                    }
+                    _ => rows.by_ref().take(chunk_size).collect(),
+                };
+                bulks.push(Update::with_multiplicities(table.clone(), chunk));
+            }
+        }
+        UpdateStream { bulks }
+    }
+
+    /// Deterministically interleaves several per-relation streams into one
+    /// update sequence, round-robin one bulk at a time (stream 0's first
+    /// bulk, stream 1's first bulk, ..., stream 0's second bulk, ...).
+    ///
+    /// Relative order *within* each relation is preserved exactly, so the
+    /// interleaved sequence is a valid schedule of all input streams, and —
+    /// like [`UpdateStream::rechunk`] — it is a pure function of its
+    /// inputs: sharded and unsharded runs fed from the same call consume
+    /// byte-identical updates.  Use one stream per relation to exercise
+    /// mixed fact-table/dimension-table workloads (hash-routed and
+    /// broadcast relations in the sharded setting).
+    pub fn interleave(streams: Vec<UpdateStream>) -> Vec<Update> {
+        let mut queues: Vec<std::vec::IntoIter<Update>> = streams
+            .into_iter()
+            .map(|s| s.bulks.into_iter())
+            .collect();
+        let mut out = Vec::new();
+        loop {
+            let mut emitted = false;
+            for q in &mut queues {
+                if let Some(bulk) = q.next() {
+                    out.push(bulk);
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                return out;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +218,97 @@ mod tests {
             .all(|b| b.rows.iter().all(|(_, m)| *m == 1)));
         let bulks = s.into_bulks();
         assert_eq!(bulks.len(), 5);
+    }
+
+    #[test]
+    fn rechunk_preserves_the_exact_row_sequence() {
+        let s = gen_stream(0.3, 21);
+        let original: Vec<(Tuple, i64)> = s
+            .bulks()
+            .iter()
+            .flat_map(|b| b.rows.iter().cloned())
+            .collect();
+        for chunk in [1, 7, 100, 130, 1000] {
+            let re = gen_stream(0.3, 21).rechunk(chunk);
+            let rows: Vec<(Tuple, i64)> = re
+                .bulks()
+                .iter()
+                .flat_map(|b| b.rows.iter().cloned())
+                .collect();
+            assert_eq!(rows, original, "chunk size {chunk} perturbed the stream");
+            assert!(re.bulks().iter().all(|b| b.len() <= chunk));
+            // All bulks except the last are full.
+            assert!(re.bulks()[..re.bulks().len() - 1]
+                .iter()
+                .all(|b| b.len() == chunk));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn rechunk_rejects_zero() {
+        let _ = gen_stream(0.0, 1).rechunk(0);
+    }
+
+    #[test]
+    fn rechunk_never_mixes_tables() {
+        // A multi-table stream (e.g. re-wrapped interleave output) chunks
+        // per table run: every bulk holds one table, rows keep their exact
+        // per-table order, and short bulks appear only at table switches.
+        let a = gen_stream(0.0, 41);
+        let mut b = gen_stream(0.0, 42);
+        for bulk in &mut b.bulks {
+            bulk.table = "U".into();
+        }
+        let merged = UpdateStream {
+            bulks: UpdateStream::interleave(vec![a, b]),
+        };
+        let per_table = |bulks: &[Update], table: &str| -> Vec<(Tuple, i64)> {
+            bulks
+                .iter()
+                .filter(|u| u.table == table)
+                .flat_map(|u| u.rows.iter().cloned())
+                .collect()
+        };
+        let t_rows = per_table(merged.bulks(), "T");
+        let u_rows = per_table(merged.bulks(), "U");
+        let re = merged.rechunk(33);
+        assert!(re.bulks().iter().all(|u| u.len() <= 33));
+        assert_eq!(per_table(re.bulks(), "T"), t_rows);
+        assert_eq!(per_table(re.bulks(), "U"), u_rows);
+    }
+
+    #[test]
+    fn interleave_round_robins_and_preserves_per_relation_order() {
+        let a = gen_stream(0.0, 31); // 5 bulks against "T"
+        let mut b = gen_stream(0.0, 32);
+        for bulk in &mut b.bulks {
+            bulk.table = "U".into();
+        }
+        let b_rows: Vec<(Tuple, i64)> = b
+            .bulks()
+            .iter()
+            .flat_map(|x| x.rows.iter().cloned())
+            .collect();
+        let merged = UpdateStream::interleave(vec![a, b]);
+        assert_eq!(merged.len(), 10);
+        // Strict round-robin: T, U, T, U, ...
+        let tables: Vec<&str> = merged.iter().map(|u| u.table.as_str()).collect();
+        assert!(tables.chunks(2).all(|c| c == ["T", "U"]));
+        // Per-relation row order is untouched.
+        let u_rows: Vec<(Tuple, i64)> = merged
+            .iter()
+            .filter(|u| u.table == "U")
+            .flat_map(|u| u.rows.iter().cloned())
+            .collect();
+        assert_eq!(u_rows, b_rows);
+        // Uneven stream lengths drain the longer tail in order.
+        let short = UpdateStream {
+            bulks: gen_stream(0.0, 33).into_bulks()[..2].to_vec(),
+        };
+        let long = gen_stream(0.0, 34);
+        let merged = UpdateStream::interleave(vec![short, long]);
+        assert_eq!(merged.len(), 7);
     }
 
     #[test]

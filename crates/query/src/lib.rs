@@ -19,11 +19,13 @@
 //! summarizes structural plan properties used by tests and benchmarks.
 
 pub mod m3;
+pub mod partition;
 pub mod spec;
 pub mod stats;
 pub mod view_tree;
 pub mod vorder;
 
+pub use partition::{PartitionPlan, RelationRouting};
 pub use spec::{QueryBuilder, QuerySpec, RelationDef, VarRole, VariableDef};
 pub use stats::PlanStats;
 pub use view_tree::{ChildRef, ViewNode, ViewTree};

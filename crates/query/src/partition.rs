@@ -1,0 +1,183 @@
+//! Partition planning for sharded (multi-core) maintenance.
+//!
+//! A sharded deployment runs N independent engines, each owning a
+//! horizontal slice of the database.  Correctness of the split rests on one
+//! rule: pick a single *partition variable* `P` and route every row of
+//! every relation whose schema contains `P` by a hash of its `P` column;
+//! replicate (*broadcast*) every other relation to all shards.  Each full
+//! join assignment then materializes in exactly one shard (the one owning
+//! its `P` value), so per-shard results are ring-disjoint partial sums and
+//! the global result is their ring sum — distributivity of `*` over `+`
+//! does the rest, even for forests with several roots.
+//!
+//! This module only decides the *what* (which variable, which relations are
+//! hash-routed, which column carries the partition value); the *how*
+//! (threads, channels, hashing, merging) lives in the `fivm_shard` crate.
+
+use crate::spec::QuerySpec;
+use crate::vorder::VariableOrder;
+use fivm_common::{FivmError, RelId, Result, VarId};
+
+/// How one relation's rows reach the shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelationRouting {
+    /// The relation's schema contains the partition variable: each row goes
+    /// to exactly one shard, chosen by hashing the value at `col` (a column
+    /// index into the relation's *query schema*, i.e. its variable list in
+    /// declaration order; table bindings may remap it).
+    Hashed {
+        /// Position of the partition variable in the relation's schema.
+        col: usize,
+    },
+    /// The relation's schema does not contain the partition variable: its
+    /// rows are replicated to every shard.
+    Broadcast,
+}
+
+/// The partitioning decision for a query: the partition variable plus
+/// per-relation routing metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionPlan {
+    var: VarId,
+    routing: Vec<RelationRouting>,
+}
+
+impl PartitionPlan {
+    /// Chooses a partition variable automatically and derives the routing.
+    ///
+    /// Candidates are the *root variables* of the variable order (found by
+    /// walking [`VariableOrder::path_to_root_of_relation`] for every
+    /// relation): roots sit in every dependency set of their tree, so they
+    /// are the variables most likely to appear in many relation schemas —
+    /// and the fact table of a snowflake/star always contains its root.
+    /// Among the candidates, the one contained in the most relation schemas
+    /// wins (fewest broadcast relations); ties break towards the smaller
+    /// variable id for determinism.
+    pub fn choose(spec: &QuerySpec, vorder: &VariableOrder) -> Result<PartitionPlan> {
+        let mut candidates: Vec<VarId> = Vec::new();
+        for rel in 0..spec.num_relations() {
+            let path = vorder.path_to_root_of_relation(rel);
+            let root_var = vorder.node(*path.last().expect("paths are non-empty")).var;
+            if !candidates.contains(&root_var) {
+                candidates.push(root_var);
+            }
+        }
+        let coverage = |var: VarId| {
+            spec.relations()
+                .iter()
+                .filter(|r| r.vars.contains(&var))
+                .count()
+        };
+        let &best = candidates
+            .iter()
+            .max_by_key(|&&v| (coverage(v), usize::MAX - v))
+            .ok_or_else(|| {
+                FivmError::InvalidQuery("cannot partition a query with no relations".into())
+            })?;
+        Self::for_variable(spec, best)
+    }
+
+    /// Derives the routing for an explicitly chosen partition variable.
+    ///
+    /// Any query variable is a valid choice (every variable occurs in at
+    /// least one relation); a poor choice merely broadcasts more relations.
+    pub fn for_variable(spec: &QuerySpec, var: VarId) -> Result<PartitionPlan> {
+        if var >= spec.num_vars() {
+            return Err(FivmError::InvalidQuery(format!(
+                "partition variable id {var} is out of range"
+            )));
+        }
+        let routing = spec
+            .relations()
+            .iter()
+            .map(|r| match r.vars.iter().position(|&v| v == var) {
+                Some(col) => RelationRouting::Hashed { col },
+                None => RelationRouting::Broadcast,
+            })
+            .collect();
+        Ok(PartitionPlan { var, routing })
+    }
+
+    /// The partition variable.
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// Routing of one relation.
+    pub fn routing(&self, rel: RelId) -> RelationRouting {
+        self.routing[rel]
+    }
+
+    /// Routing of every relation, indexed by [`RelId`].
+    pub fn routings(&self) -> &[RelationRouting] {
+        &self.routing
+    }
+
+    /// Number of hash-routed relations.
+    pub fn num_hashed(&self) -> usize {
+        self.routing
+            .iter()
+            .filter(|r| matches!(r, RelationRouting::Hashed { .. }))
+            .count()
+    }
+
+    /// Number of broadcast relations.
+    pub fn num_broadcast(&self) -> usize {
+        self.routing.len() - self.num_hashed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::figure1_query;
+    use crate::vorder::EliminationHeuristic;
+
+    fn figure1_order(spec: &QuerySpec) -> VariableOrder {
+        let a = spec.var_id("A").unwrap();
+        let c = spec.var_id("C").unwrap();
+        let mut parents = vec![None; 4];
+        parents[spec.var_id("B").unwrap()] = Some(a);
+        parents[c] = Some(a);
+        parents[spec.var_id("D").unwrap()] = Some(c);
+        VariableOrder::from_parent_vars(spec, &parents).unwrap()
+    }
+
+    #[test]
+    fn figure1_partitions_on_the_root_and_routes_both_relations() {
+        let spec = figure1_query(false);
+        let vo = figure1_order(&spec);
+        let plan = PartitionPlan::choose(&spec, &vo).unwrap();
+        // A is the root and occurs in both R(A, B) and S(A, C, D).
+        assert_eq!(plan.var(), spec.var_id("A").unwrap());
+        assert_eq!(plan.routing(0), RelationRouting::Hashed { col: 0 });
+        assert_eq!(plan.routing(1), RelationRouting::Hashed { col: 0 });
+        assert_eq!(plan.num_hashed(), 2);
+        assert_eq!(plan.num_broadcast(), 0);
+    }
+
+    #[test]
+    fn non_root_variable_broadcasts_the_relations_missing_it() {
+        let spec = figure1_query(false);
+        let c = spec.var_id("C").unwrap();
+        let plan = PartitionPlan::for_variable(&spec, c).unwrap();
+        // C appears only in S(A, C, D) — R must be broadcast.
+        assert_eq!(plan.routing(0), RelationRouting::Broadcast);
+        assert_eq!(plan.routing(1), RelationRouting::Hashed { col: 1 });
+        assert_eq!(plan.num_broadcast(), 1);
+    }
+
+    #[test]
+    fn out_of_range_variable_is_rejected() {
+        let spec = figure1_query(false);
+        assert!(PartitionPlan::for_variable(&spec, 99).is_err());
+    }
+
+    #[test]
+    fn heuristic_orders_also_yield_a_plan() {
+        let spec = figure1_query(true);
+        let vo = VariableOrder::heuristic(&spec, EliminationHeuristic::MinDegree).unwrap();
+        let plan = PartitionPlan::choose(&spec, &vo).unwrap();
+        assert!(plan.num_hashed() >= 1);
+    }
+}

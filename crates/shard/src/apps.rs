@@ -1,0 +1,47 @@
+//! Ready-made sharded configurations, mirroring [`fivm_core::apps`].
+//!
+//! Each constructor reuses the single-engine lift builders, so the sharded
+//! and unsharded deployments of an application cannot diverge in their
+//! attribute functions.
+
+use crate::engine::ShardedEngine;
+use fivm_common::{Result, VarId};
+use fivm_core::apps::{count_lifts, covar_lifts, gen_covar_lifts, mi_lifts};
+use fivm_core::BinSpec;
+use fivm_query::ViewTree;
+use fivm_ring::{Cofactor, GenCofactor};
+use std::collections::HashMap;
+
+/// A sharded count engine (`Z` ring).
+pub fn sharded_count_engine(tree: ViewTree, num_shards: usize) -> Result<ShardedEngine<i64>> {
+    let lifts = count_lifts(tree.spec());
+    ShardedEngine::new(tree, lifts, num_shards)
+}
+
+/// A sharded COVAR engine over continuous attributes only.
+pub fn sharded_covar_engine(
+    tree: ViewTree,
+    num_shards: usize,
+) -> Result<ShardedEngine<Cofactor>> {
+    let lifts = covar_lifts(tree.spec())?;
+    ShardedEngine::new(tree, lifts, num_shards)
+}
+
+/// A sharded COVAR engine over mixed continuous/categorical attributes.
+pub fn sharded_gen_covar_engine(
+    tree: ViewTree,
+    num_shards: usize,
+) -> Result<ShardedEngine<GenCofactor>> {
+    let lifts = gen_covar_lifts(tree.spec());
+    ShardedEngine::new(tree, lifts, num_shards)
+}
+
+/// A sharded mutual-information engine; see [`fivm_core::apps::mi_lifts`].
+pub fn sharded_mi_engine(
+    tree: ViewTree,
+    binnings: &HashMap<VarId, BinSpec>,
+    num_shards: usize,
+) -> Result<ShardedEngine<GenCofactor>> {
+    let lifts = mi_lifts(tree.spec(), binnings)?;
+    ShardedEngine::new(tree, lifts, num_shards)
+}

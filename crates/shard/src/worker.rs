@@ -1,0 +1,155 @@
+//! The shard worker: one thread owning one engine, driven by a command
+//! channel in strict request/reply lockstep.
+//!
+//! The coordinator sends every worker the same *number* of commands per
+//! operation (batches may be empty) and collects exactly one reply each,
+//! so the channels never hold more than one in-flight reply per worker and
+//! shard stats stay comparable (`updates_applied` counts batches on every
+//! shard).
+
+use fivm_common::{RelId, Result};
+use fivm_core::{Engine, EngineStats, UpdateOutcome};
+use fivm_relation::{Relation, Schema, Tuple};
+use fivm_ring::Ring;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A command from the coordinator to one shard.  Commands carry raw rows
+/// only — never ring values or encoded keys — so one definition serves
+/// every ring.
+pub(crate) enum Cmd {
+    /// Bind a relation to a table layout (mirrors `Engine::bind_table`).
+    Bind { rel: RelId, schema: Schema },
+    /// Apply this shard's slice of an update batch (may be empty).
+    Apply { rel: RelId, rows: Vec<(Tuple, i64)> },
+    /// Report the scalar query result (product of root views).
+    Result,
+    /// Report the query result as a decoded relation.
+    ResultRelation,
+    /// Report the engine's work counters.
+    Stats,
+    /// Report the number of stored view entries.
+    ViewEntries,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A reply from one shard; variants correspond 1:1 to [`Cmd`].
+pub(crate) enum Reply<R: Ring> {
+    Bound(Result<()>),
+    Outcome(Result<UpdateOutcome>),
+    Result(R),
+    ResultRelation(Relation<R>),
+    Stats(EngineStats),
+    ViewEntries(usize),
+}
+
+/// Handle to one shard: its command/reply channels and the thread.
+pub(crate) struct Worker<R: Ring> {
+    cmd: Sender<Cmd>,
+    reply: Receiver<Reply<R>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<R: Ring> Worker<R> {
+    /// Moves an engine onto a fresh worker thread.
+    pub(crate) fn spawn(shard: usize, engine: Engine<R>) -> Worker<R> {
+        let (cmd_tx, cmd_rx) = channel::<Cmd>();
+        let (reply_tx, reply_rx) = channel::<Reply<R>>();
+        let handle = std::thread::Builder::new()
+            .name(format!("fivm-shard-{shard}"))
+            .spawn(move || worker_loop(engine, cmd_rx, reply_tx))
+            .expect("failed to spawn shard worker thread");
+        Worker {
+            cmd: cmd_tx,
+            reply: reply_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Sends one command.  Panics if the worker died (an engine panic on a
+    /// worker is a programming error — e.g. a ring shape mismatch — and is
+    /// surfaced on the coordinating thread rather than swallowed).
+    pub(crate) fn send(&self, cmd: Cmd) {
+        self.cmd
+            .send(cmd)
+            .expect("shard worker terminated unexpectedly");
+    }
+
+    fn recv(&self) -> Reply<R> {
+        self.reply
+            .recv()
+            .expect("shard worker terminated unexpectedly")
+    }
+
+    pub(crate) fn recv_bound(&self) -> Result<()> {
+        match self.recv() {
+            Reply::Bound(r) => r,
+            _ => unreachable!("shard worker protocol violation: expected Bound"),
+        }
+    }
+
+    pub(crate) fn recv_outcome(&self) -> Result<UpdateOutcome> {
+        match self.recv() {
+            Reply::Outcome(r) => r,
+            _ => unreachable!("shard worker protocol violation: expected Outcome"),
+        }
+    }
+
+    pub(crate) fn recv_result(&self) -> R {
+        match self.recv() {
+            Reply::Result(r) => r,
+            _ => unreachable!("shard worker protocol violation: expected Result"),
+        }
+    }
+
+    pub(crate) fn recv_relation(&self) -> Relation<R> {
+        match self.recv() {
+            Reply::ResultRelation(r) => r,
+            _ => unreachable!("shard worker protocol violation: expected ResultRelation"),
+        }
+    }
+
+    pub(crate) fn recv_stats(&self) -> EngineStats {
+        match self.recv() {
+            Reply::Stats(s) => s,
+            _ => unreachable!("shard worker protocol violation: expected Stats"),
+        }
+    }
+
+    pub(crate) fn recv_view_entries(&self) -> usize {
+        match self.recv() {
+            Reply::ViewEntries(n) => n,
+            _ => unreachable!("shard worker protocol violation: expected ViewEntries"),
+        }
+    }
+}
+
+impl<R: Ring> Drop for Worker<R> {
+    fn drop(&mut self) {
+        // Best-effort shutdown: the worker may already be gone (panicked).
+        let _ = self.cmd.send(Cmd::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The per-shard event loop: one engine, commands in, replies out.
+fn worker_loop<R: Ring>(mut engine: Engine<R>, cmds: Receiver<Cmd>, replies: Sender<Reply<R>>) {
+    while let Ok(cmd) = cmds.recv() {
+        let reply = match cmd {
+            Cmd::Bind { rel, schema } => Reply::Bound(engine.bind_table(rel, &schema)),
+            Cmd::Apply { rel, rows } => Reply::Outcome(engine.apply_rows(rel, rows)),
+            Cmd::Result => Reply::Result(engine.result()),
+            Cmd::ResultRelation => Reply::ResultRelation(engine.result_relation()),
+            Cmd::Stats => Reply::Stats(engine.stats()),
+            Cmd::ViewEntries => Reply::ViewEntries(engine.total_view_entries()),
+            Cmd::Shutdown => break,
+        };
+        if replies.send(reply).is_err() {
+            // Coordinator dropped mid-operation; nothing left to serve.
+            break;
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Seeded differential tests: `ShardedEngine` with N ∈ {1, 2, 4} against a
+//! single `Engine` on Retailer and Favorita update streams, for the
+//! COUNT, COVAR and MI applications.
+//!
+//! Both sides consume byte-identical update sequences (the streams are
+//! pure functions of their seeds; see `fivm_data::stream`), and results
+//! are compared at the output boundary: ring-equal payloads under
+//! decoded-key-equal keys.
+//!
+//! # Exactness
+//!
+//! Sharding re-associates ring additions (per-shard partials are summed at
+//! the merge), so bit-for-bit equality of `f64`-based payloads holds
+//! exactly when the arithmetic itself is exact.  Three of the four
+//! configurations are exact by construction:
+//!
+//! * COUNT — `i64` arithmetic;
+//! * MI — payloads are counts of binned values (integer-valued `f64`s);
+//! * COVAR on *quantized* streams — every continuous value is rounded to
+//!   an integer, so all sums/products stay integers far below 2^53 and
+//!   every addition order yields the same bits.
+//!
+//! Those three are asserted **bit-for-bit** (`==` on the ring values).
+//! COVAR on the raw (unquantized) streams re-associates genuinely
+//! non-exact float sums, where no addition order is more correct than
+//! another; it is asserted with a tight relative tolerance instead.
+//!
+//! Each configuration also checks the steady-state hash-once contract per
+//! shard: a delete/re-insert churn of an already-applied bulk must not
+//! rehash any view table on any shard.
+
+use fivm_core::{AggregateLayout, BinSpec, Engine};
+use fivm_common::Value;
+use fivm_data::retailer::{retailer_query_continuous, retailer_tree};
+use fivm_data::{FavoritaConfig, RetailerConfig, StreamConfig, UpdateStream};
+use fivm_query::{RelationRouting, ViewTree};
+use fivm_relation::{tuple, BaseTable, Database, Tuple, Update};
+use fivm_ring::{ApproxEq, LiftFn, Ring};
+use fivm_shard::ShardedEngine;
+use rand::Rng;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- helpers
+
+fn quantize_value(v: &Value) -> Value {
+    match v {
+        Value::Double(d) => Value::double(d.get().round()),
+        other => other.clone(),
+    }
+}
+
+fn quantize_tuple(t: &[Value]) -> Tuple {
+    t.iter().map(quantize_value).collect::<Vec<_>>().into_boxed_slice()
+}
+
+/// Rounds every continuous value of a stream to an integer.  Quantizing
+/// *after* generation preserves the stream's insert/delete pairing: a
+/// delete clones its insert's row, so both quantize to the same key.
+fn quantize_updates(updates: &[Update]) -> Vec<Update> {
+    updates
+        .iter()
+        .map(|u| {
+            Update::with_multiplicities(
+                u.table.clone(),
+                u.rows
+                    .iter()
+                    .map(|(r, m)| (quantize_tuple(r), *m))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn quantize_database(db: &Database) -> Database {
+    let mut out = Database::new();
+    for table in db.tables() {
+        let mut t = BaseTable::new(table.name.clone(), table.schema.clone());
+        for (row, mult) in &table.rows {
+            t.push_with_multiplicity(quantize_tuple(row), *mult);
+        }
+        out.add_table(t).expect("names stay unique");
+    }
+    out
+}
+
+/// Decodes a result relation into a sorted, comparison-friendly listing.
+fn sorted_entries<R: Ring>(rel: &fivm_relation::Relation<R>) -> Vec<(Tuple, R)> {
+    let mut entries: Vec<(Tuple, R)> = rel.iter().map(|(k, p)| (k.clone(), p.clone())).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+/// How a configuration's results must agree.
+#[derive(Clone, Copy)]
+enum Agreement {
+    /// Bit-for-bit: `==` on ring values.
+    Exact,
+    /// Relative tolerance (raw-float COVAR, where sharding re-associates
+    /// non-exact sums).
+    Approx(f64),
+}
+
+/// Replays `updates` through a single engine and through sharded engines
+/// with N ∈ {1, 2, 4}, comparing results and checking the per-shard
+/// steady-state rehash contract.
+fn run_differential<R: Ring + ApproxEq>(
+    tree: &ViewTree,
+    lifts: &[LiftFn<R>],
+    db: &Database,
+    updates: &[Update],
+    agreement: Agreement,
+    ctx: &str,
+) {
+    let mut single = Engine::new(tree.clone(), lifts.to_vec()).expect("single engine");
+    single.load_database(db).expect("single load");
+    for u in updates {
+        single.apply_update(u).expect("single update");
+    }
+    let expected = sorted_entries(&single.result_relation());
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded =
+            ShardedEngine::new(tree.clone(), lifts.to_vec(), shards).expect("sharded engine");
+        sharded.load_database(db).expect("sharded load");
+        let mut input_rows = 0usize;
+        for u in updates {
+            let outcome = sharded.apply_update(u).expect("sharded update");
+            assert_eq!(outcome.input_rows, u.len(), "{ctx}: outcome counts caller rows");
+            input_rows += outcome.input_rows;
+        }
+        assert_eq!(input_rows, updates.iter().map(Update::len).sum::<usize>());
+
+        let got = sorted_entries(&sharded.result_relation());
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "{ctx}, N={shards}: result cardinality diverged"
+        );
+        for ((gk, gp), (ek, ep)) in got.iter().zip(expected.iter()) {
+            assert_eq!(gk, ek, "{ctx}, N={shards}: decoded keys diverged");
+            match agreement {
+                Agreement::Exact => assert!(
+                    gp == ep,
+                    "{ctx}, N={shards}: payload not bit-for-bit equal at key {gk:?}"
+                ),
+                Agreement::Approx(tol) => assert!(
+                    gp.approx_eq(ep, tol),
+                    "{ctx}, N={shards}: payload outside tolerance at key {gk:?}"
+                ),
+            }
+        }
+
+        // Steady state: an insert/undo churn over initial fact-table rows
+        // touches only keys that are live on every view of the maintenance
+        // path (database rows are never net-deleted by the stream, so no
+        // payload reaches zero and no slot is tombstoned), which is
+        // exactly the regime where the hash-once contract forbids any
+        // rehash — on every shard.  (Deleting keys outright may tombstone
+        // them, and a later insert may legally trigger a tombstone
+        // compaction; that is table maintenance, not key re-hashing, and a
+        // single engine does the same.)
+        let fact_name = &updates[0].table;
+        let fact_rows: Vec<(Tuple, i64)> = db
+            .table(fact_name)
+            .expect("streams target a database table")
+            .rows
+            .iter()
+            .take(100)
+            .map(|(r, _)| (r.clone(), 1))
+            .collect();
+        let plus = Update::with_multiplicities(fact_name.clone(), fact_rows.clone());
+        let minus = Update::with_multiplicities(
+            fact_name.clone(),
+            fact_rows.iter().map(|(r, _)| (r.clone(), -1)).collect(),
+        );
+        let before = sharded.shard_stats();
+        sharded.apply_update(&plus).expect("churn insert");
+        sharded.apply_update(&minus).expect("churn undo");
+        let after = sharded.shard_stats();
+        for (shard, (b, a)) in before.iter().zip(after.iter()).enumerate() {
+            assert_eq!(
+                a.rehashes, b.rehashes,
+                "{ctx}, N={shards}: shard {shard} rehashed in steady state"
+            );
+        }
+
+        // The churn is algebraically a no-op; results must still agree.
+        let got = sorted_entries(&sharded.result_relation());
+        assert_eq!(
+            got.len(),
+            expected.len(),
+            "{ctx}, N={shards}: churn changed result cardinality"
+        );
+        for ((gk, gp), (ek, ep)) in got.iter().zip(expected.iter()) {
+            assert_eq!(gk, ek);
+            match agreement {
+                Agreement::Exact => assert!(gp == ep, "{ctx}, N={shards}: churn changed result"),
+                Agreement::Approx(tol) => assert!(gp.approx_eq(ep, tol)),
+            }
+        }
+    }
+}
+
+/// Equi-width binnings for every continuous aggregate variable (identical
+/// on both sides of the differential, which is all that matters here).
+fn mi_binnings(spec: &fivm_query::QuerySpec) -> HashMap<usize, BinSpec> {
+    let layout = AggregateLayout::of(spec);
+    let mut bins = HashMap::new();
+    for (pos, &v) in layout.vars.iter().enumerate() {
+        if layout.kinds[pos].is_continuous() {
+            bins.insert(v, BinSpec::new(0.0, 1_000.0, 8));
+        }
+    }
+    bins
+}
+
+// ------------------------------------------------------------- workloads
+
+/// Retailer: fact-table (hash-routed) updates interleaved with Item
+/// dimension (broadcast) updates, re-chunked so bulk boundaries differ
+/// from the generator's.
+fn retailer_workload() -> (ViewTree, Database, Vec<Update>) {
+    let cfg = RetailerConfig {
+        locations: 8,
+        dates: 12,
+        items: 16,
+        zips: 4,
+        inventory_density: 0.2,
+        seed: 11,
+    };
+    let db = cfg.generate();
+    let fact = cfg
+        .update_stream(StreamConfig {
+            bulks: 4,
+            bulk_size: 150,
+            delete_fraction: 0.25,
+            seed: 5,
+        })
+        .rechunk(120);
+    let items = cfg.items as i64;
+    let item = UpdateStream::generate(
+        StreamConfig {
+            bulks: 4,
+            bulk_size: 12,
+            delete_fraction: 0.2,
+            seed: 6,
+        },
+        "Item",
+        move |rng| {
+            let category = rng.gen_range(0..9i64);
+            tuple([
+                Value::int(rng.gen_range(0..items)),
+                Value::int(category * 10 + rng.gen_range(0..4i64)),
+                Value::int(category),
+                Value::int(category % 3),
+                Value::double(rng.gen_range(0.5..80.0f64)),
+            ])
+        },
+    );
+    let updates = UpdateStream::interleave(vec![fact, item]);
+    (retailer_tree(retailer_query_continuous()), db, updates)
+}
+
+fn favorita_workload() -> (ViewTree, Database, Vec<Update>) {
+    let cfg = FavoritaConfig::tiny();
+    let db = cfg.generate();
+    let updates = cfg
+        .update_stream(StreamConfig {
+            bulks: 4,
+            bulk_size: 120,
+            delete_fraction: 0.25,
+            seed: 9,
+        })
+        .rechunk(100)
+        .into_bulks();
+    let spec = fivm_data::favorita::favorita_query();
+    (fivm_data::favorita::favorita_tree(spec), db, updates)
+}
+
+// ----------------------------------------------------------------- tests
+
+#[test]
+fn retailer_partition_plan_routes_the_snowflake_as_documented() {
+    let (tree, _, _) = retailer_workload();
+    let spec = tree.spec().clone();
+    let engine = fivm_shard::apps::sharded_count_engine(tree, 2).unwrap();
+    let plan = engine.shard_plan();
+    assert_eq!(plan.partition_var(), spec.var_id("locn").unwrap());
+    for (rel, expect_hashed) in [
+        ("Inventory", true),
+        ("Location", true),
+        ("Weather", true),
+        ("Census", false),
+        ("Item", false),
+    ] {
+        let routing = plan.routing(spec.relation_id(rel).unwrap());
+        assert_eq!(
+            matches!(routing, RelationRouting::Hashed { .. }),
+            expect_hashed,
+            "unexpected routing for {rel}: {routing:?}"
+        );
+    }
+}
+
+#[test]
+fn count_is_bit_for_bit_identical_on_both_datasets() {
+    let (tree, db, updates) = retailer_workload();
+    let lifts = fivm_core::apps::count_lifts(tree.spec());
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Retailer/COUNT");
+
+    let (tree, db, updates) = favorita_workload();
+    let lifts = fivm_core::apps::count_lifts(tree.spec());
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Favorita/COUNT");
+}
+
+#[test]
+fn covar_is_bit_for_bit_identical_on_quantized_streams() {
+    let (tree, db, updates) = retailer_workload();
+    let lifts = fivm_core::apps::covar_lifts(tree.spec()).unwrap();
+    run_differential(
+        &tree,
+        &lifts,
+        &quantize_database(&db),
+        &quantize_updates(&updates),
+        Agreement::Exact,
+        "Retailer/COVAR-quantized",
+    );
+
+    let (tree, db, updates) = favorita_workload();
+    let lifts = fivm_core::apps::gen_covar_lifts(tree.spec());
+    run_differential(
+        &tree,
+        &lifts,
+        &quantize_database(&db),
+        &quantize_updates(&updates),
+        Agreement::Exact,
+        "Favorita/COVAR-quantized",
+    );
+}
+
+#[test]
+fn covar_agrees_to_tolerance_on_raw_streams() {
+    // Unquantized floats: sharding re-associates sums, so agreement is up
+    // to rounding (see the module docs); 1e-9 relative is far tighter than
+    // any downstream ML use of the COVAR matrix.
+    let (tree, db, updates) = retailer_workload();
+    let lifts = fivm_core::apps::covar_lifts(tree.spec()).unwrap();
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Approx(1e-9), "Retailer/COVAR-raw");
+
+    let (tree, db, updates) = favorita_workload();
+    let lifts = fivm_core::apps::gen_covar_lifts(tree.spec());
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Approx(1e-9), "Favorita/COVAR-raw");
+}
+
+#[test]
+fn mi_is_bit_for_bit_identical_on_both_datasets() {
+    // MI payloads are counts of binned values — integer-valued f64
+    // arithmetic is exact in every addition order, so the raw streams
+    // already merge bit-for-bit.
+    let (tree, db, updates) = retailer_workload();
+    let lifts = fivm_core::apps::mi_lifts(tree.spec(), &mi_binnings(tree.spec())).unwrap();
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Retailer/MI");
+
+    let (tree, db, updates) = favorita_workload();
+    let lifts = fivm_core::apps::mi_lifts(tree.spec(), &mi_binnings(tree.spec())).unwrap();
+    run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Favorita/MI");
+}

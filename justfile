@@ -21,10 +21,19 @@ bench-build:
     cargo bench --no-run
 
 # Regenerate the machine-readable perf baseline (writes BENCH_ivm.json,
-# including the encoded-vs-boxed probe-key ablation records).
+# including the encoded-vs-boxed probe-key ablation records and the
+# paired single-vs-sharded PAR-* records).
 bench-ivm:
     cargo build --release --bin exp_throughput
-    ./target/release/exp_throughput
+    ./target/release/exp_throughput --shards 4
+
+# Sharding gate: the seeded sharded-vs-single differential suite under
+# clippy -D warnings, then the paired 1-vs-4-shard throughput runs.
+bench-shards:
+    cargo clippy -p fivm-shard --all-targets -- -D warnings
+    cargo test -p fivm-shard -q
+    cargo build --release --bin exp_throughput
+    ./target/release/exp_throughput --shards 4
 
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations

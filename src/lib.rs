@@ -18,6 +18,7 @@
 //! | [`ml`] | `fivm-ml` | regression, mutual information, model selection, Chow-Liu trees |
 //! | [`data`] | `fivm-data` | Figure-1 toy data, Retailer/Favorita generators, update streams |
 //! | [`baselines`] | `fivm-baselines` | naive re-evaluation, join maintenance, unshared aggregates |
+//! | [`shard`] | `fivm-shard` | partition-aware sharded maintenance (N engines on worker threads, ring-merged results) |
 //!
 //! Two crates are not re-exported: `fivm-bench` (experiment binaries and
 //! Criterion benchmarks; `exp_throughput` also emits the machine-readable
@@ -67,3 +68,4 @@ pub use fivm_ml as ml;
 pub use fivm_query as query;
 pub use fivm_relation as relation;
 pub use fivm_ring as ring;
+pub use fivm_shard as shard;
