@@ -3,7 +3,7 @@
 //! relational-value joins.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fivm_common::Value;
+use fivm_common::EncodedValue;
 use fivm_ring::{Cofactor, GenCofactor, RelValue, Ring};
 use std::hint::black_box;
 use std::time::Duration;
@@ -28,7 +28,12 @@ fn gen_cofactor_of(dim: usize, seed: u64) -> GenCofactor {
             let lifted = if idx % 2 == 0 {
                 GenCofactor::lift_continuous(dim, idx, ((seed + i) % 13) as f64)
             } else {
-                GenCofactor::lift_categorical(dim, idx, idx, Value::int(((seed + i) % 5) as i64))
+                GenCofactor::lift_categorical(
+                    dim,
+                    idx,
+                    idx,
+                    EncodedValue::int(((seed + i) % 5) as i64),
+                )
             };
             t = t.mul(&lifted);
         }
@@ -86,6 +91,22 @@ fn bench_rings(c: &mut Criterion) {
 
         let ga = gen_cofactor_of(dim, 1);
         let gb = gen_cofactor_of(dim, 2);
+        group.bench_function(format!("gen_cofactor_fma_lift_cat_dim{dim}"), |bencher| {
+            let mut acc = ga.mul(&gb);
+            let mut sign = 1i64;
+            bencher.iter(|| {
+                acc.fma_lift_categorical(
+                    black_box(&ga),
+                    dim,
+                    1,
+                    1,
+                    EncodedValue::int(3),
+                    sign,
+                );
+                sign = -sign;
+                black_box(&acc);
+            })
+        });
         group.bench_function(format!("gen_cofactor_mul_dim{dim}"), |bencher| {
             bencher.iter(|| black_box(ga.mul(black_box(&gb))))
         });
@@ -104,8 +125,8 @@ fn bench_rings(c: &mut Criterion) {
     let mut left = RelValue::empty();
     let mut right = RelValue::empty();
     for i in 0..16i64 {
-        left.add_assign(&RelValue::weighted(0, Value::int(i), 1.0));
-        right.add_assign(&RelValue::weighted(1, Value::int(i % 4), 1.0));
+        left.add_assign(&RelValue::weighted(0, EncodedValue::int(i), 1.0));
+        right.add_assign(&RelValue::weighted(1, EncodedValue::int(i % 4), 1.0));
     }
     group.bench_function("relvalue_join_16x16", |bencher| {
         bencher.iter_batched(

@@ -56,9 +56,9 @@ fn main() {
     let g = gen.result();
     println!("\n[generalized ring] COVAR with categorical C:");
     println!("  count              = {}", g.count());
-    println!("  SUM(1) GROUP BY C  = {:?}", collect(&g.sum(1)));
-    println!("  SUM(B) GROUP BY C  = {:?}", collect(&g.prod(0, 1)));
-    println!("  SUM(D) GROUP BY C  = {:?}", collect(&g.prod(1, 2)));
+    println!("  SUM(1) GROUP BY C  = {:?}", collect(&g.sum(1), gen.ctx()));
+    println!("  SUM(B) GROUP BY C  = {:?}", collect(&g.prod(0, 1), gen.ctx()));
+    println!("  SUM(D) GROUP BY C  = {:?}", collect(&g.prod(1, 2), gen.ctx()));
     println!("  SUM(B*D)           = {}", g.prod(0, 2).scalar_part());
 
     // --- MI payload (all categorical) ----------------------------------------------
@@ -83,8 +83,8 @@ fn main() {
     mi.load_database(&db).unwrap();
     let m = mi.result();
     println!("\n[MI payload] C_∅ = {}", m.count());
-    println!("  C_B  = {:?}", collect(&m.sum(0)));
-    println!("  C_BC = {:?}", collect(&m.prod(0, 1)));
+    println!("  C_B  = {:?}", collect(&m.sum(0), mi.ctx()));
+    println!("  C_BC = {:?}", collect(&m.prod(0, 1), mi.ctx()));
     println!("  I(B,C) = {:.6} nats", fivm_ml::mutual_information(&m, 0, 1));
     println!("  I(C,D) = {:.6} nats", fivm_ml::mutual_information(&m, 1, 2));
 
@@ -111,18 +111,18 @@ fn main() {
     print_table(&["update", "delta entries touched", "COUNT(R ⋈ S)"], &rows);
 }
 
-fn collect(r: &fivm_ring::RelValue) -> Vec<(String, f64)> {
-    let mut out: Vec<(String, f64)> = r
-        .iter()
-        .map(|(k, w)| {
-            let key = k
-                .iter()
-                .map(|(_, v)| v.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
-            (key, w)
-        })
-        .collect();
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
+fn collect(r: &fivm_ring::RelValue, ctx: &fivm_ring::RingCtx) -> Vec<(String, f64)> {
+    ctx.with_dict(|dict| {
+        r.decode_entries(dict)
+            .into_iter()
+            .map(|(k, w)| {
+                let key = k
+                    .iter()
+                    .map(|(_, v)| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (key, w)
+            })
+            .collect()
+    })
 }

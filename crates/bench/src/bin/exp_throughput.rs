@@ -18,12 +18,12 @@
 use fivm_baselines::{JoinMaintenance, NaiveReevaluation, UnsharedCovar};
 use fivm_bench::{
     format_speedup, measure, print_table, write_bench_json, BenchRecord, ProbeAblation,
-    Throughput, Workload,
+    RingAblation, Throughput, Workload,
 };
 use fivm_core::apps::{count_lifts, covar_lifts, gen_covar_lifts};
 use fivm_core::{Engine, EngineStats};
 use fivm_relation::Update;
-use fivm_ring::{LiftFn, Ring};
+use fivm_ring::{LiftFn, Ring, RingCtx};
 use fivm_shard::ShardedEngine;
 
 /// Replays the update stream through an F-IVM engine, returning wall-clock
@@ -198,6 +198,38 @@ fn main() {
             }
         }
 
+        // --- Ablation: encoded vs boxed RING-interior keys ------------------
+        {
+            let mut ablation = RingAblation::from_workload(&workload, 256);
+            let passes = if quick { 3 } else { 10 };
+            let boxed = ablation.measure(false, passes);
+            let encoded = ablation.measure(true, passes);
+            println!(
+                "  ring ablation ({} fma ops/pass): boxed {:.2}M ops/s, \
+                 encoded {:.2}M ops/s ({} from encoded ring keys)",
+                ablation.num_ops(),
+                boxed / 1e6,
+                encoded / 1e6,
+                format_speedup(encoded / boxed),
+            );
+            let ops = ablation.num_ops() * passes;
+            for (app, rate) in [("RING-boxed", boxed), ("RING-encoded", encoded)] {
+                records.push(BenchRecord {
+                    dataset: dataset.to_string(),
+                    app: app.to_string(),
+                    bulk_size: stream.bulk_size,
+                    updates: ops,
+                    seconds: ops as f64 / rate,
+                    delta_entries: 0,
+                    ring_adds: ops,
+                    ring_muls: ops,
+                    probes: 0,
+                    probe_hits: 0,
+                    rehashes: 0,
+                });
+            }
+        }
+
         // --- Baseline: naive re-evaluation after every bulk ----------------
         if dataset == "Retailer" {
             let spec = fivm_data::retailer::retailer_query_continuous();
@@ -231,18 +263,20 @@ fn main() {
             "== PAR: paired 1-vs-{shards}-shard throughput, {rounds} interleaved rounds ==\n"
         );
         let workload = Workload::retailer(retailer_cfg.clone(), stream, true);
+        let spec = workload.spec.clone();
         run_paired(
             &workload,
-            count_lifts(&workload.spec),
+            move |_| count_lifts(&spec),
             shards,
             rounds,
             "COUNT",
             stream.bulk_size,
             &mut records,
         );
+        let spec = workload.spec.clone();
         run_paired(
             &workload,
-            covar_lifts(&workload.spec).expect("continuous covar lifts"),
+            move |_| covar_lifts(&spec).expect("continuous covar lifts"),
             shards,
             rounds,
             "COVAR",
@@ -250,9 +284,10 @@ fn main() {
             &mut records,
         );
         let workload = Workload::favorita(favorita_cfg.clone(), stream);
+        let spec = workload.spec.clone();
         run_paired(
             &workload,
-            gen_covar_lifts(&workload.spec),
+            move |ctx| gen_covar_lifts(&spec, ctx),
             shards,
             rounds,
             "COVAR",
@@ -296,7 +331,7 @@ fn main() {
 /// counters.
 fn run_paired<R: Ring>(
     workload: &Workload,
-    lifts: Vec<LiftFn<R>>,
+    lifts: impl Fn(&RingCtx) -> Vec<LiftFn<R>> + Clone,
     shards: usize,
     rounds: usize,
     app: &str,
@@ -304,10 +339,17 @@ fn run_paired<R: Ring>(
     records: &mut Vec<BenchRecord>,
 ) {
     let dataset = workload.dataset.name();
-    let mut single = Engine::new(workload.tree.clone(), lifts.clone()).expect("single engine");
+    // Lifts are built per engine against that engine's own context (the
+    // ring-key contract: lifts and engine share one dictionary).
+    let single_ctx = RingCtx::new();
+    let mut single =
+        Engine::new_with_ctx(workload.tree.clone(), lifts(&single_ctx), single_ctx)
+            .expect("single engine");
     single.load_database(&workload.database).expect("load");
+    let factory = lifts.clone();
     let mut sharded =
-        ShardedEngine::new(workload.tree.clone(), lifts, shards).expect("sharded engine");
+        ShardedEngine::with_lift_factory(workload.tree.clone(), move |ctx| Ok(factory(ctx)), shards)
+            .expect("sharded engine");
     sharded.load_database(&workload.database).expect("load");
 
     let mut single_rates = Vec::with_capacity(rounds);

@@ -5,7 +5,7 @@
 //! the Criterion benchmarks in `benches/` provide statistically sound
 //! micro/macro measurements of the same scenarios.
 
-use fivm_common::{Dict, EncodedKey, FxHashMap};
+use fivm_common::{Dict, EncodedKey, EncodedValue, FxHashMap, Value};
 use fivm_core::{apps, BinSpec, Engine, MaterializedView};
 use fivm_query::{QuerySpec, ViewTree};
 use fivm_relation::{Database, Tuple, Update};
@@ -249,6 +249,149 @@ impl ProbeAblation {
         let secs = start.elapsed().as_secs_f64();
         std::hint::black_box(acc);
         (self.num_probes() * passes) as f64 / secs
+    }
+}
+
+/// The encoded-vs-boxed **ring-key** ablation: the same relation-ring
+/// operation stream applied to [`fivm_ring::RelValue`] (the hash-once
+/// encoded interior) and to [`fivm_ring::BoxedRelValue`] (the boxed
+/// `Value`-keyed reference representation), so the ring-interior gain of
+/// dictionary encoding is measurable in isolation from the engine — the
+/// `RING-*` counterpart of the `PROBE-*` records.
+///
+/// The op stream mimics interaction-matrix (`Q_XY`) maintenance, the
+/// dominant relation-ring operation of the generalized COVAR/MI
+/// applications: per input row, `acc += (g_X(x) ⋈ g_Y(y)) · mult` into one
+/// of a fixed set of accumulators.  Each measured pass applies every op
+/// with `+mult` and then with `-mult`, so the accumulators return to their
+/// baseline and later passes measure steady state (warm tables, churn
+/// without growth) — the same regime the engine runs in.
+pub struct RingAblation {
+    ctx: fivm_ring::RingCtx,
+    boxed: Vec<fivm_ring::BoxedRelValue>,
+    encoded: Vec<fivm_ring::RelValue>,
+    /// `(accumulator, x, y, mult)` per op, in raw and encoded form.
+    ops: Vec<(usize, Value, Value, i64)>,
+    ops_encoded: Vec<(usize, EncodedValue, EncodedValue, i64)>,
+}
+
+impl RingAblation {
+    /// Builds the ablation from a workload's update stream: `x` and `y`
+    /// are the first and last column of each update row (a join key and a
+    /// measure — realistic distinct-value distributions on both sides).
+    pub fn from_workload(workload: &Workload, accumulators: usize) -> RingAblation {
+        let ctx = fivm_ring::RingCtx::new();
+        let mut ops = Vec::new();
+        let mut ops_encoded = Vec::new();
+        let mut slot = 0usize;
+        for bulk in &workload.updates {
+            for (row, mult) in &bulk.rows {
+                let (x, y) = (row[0].clone(), row[row.len() - 1].clone());
+                ops_encoded.push((slot, ctx.encode_value(&x), ctx.encode_value(&y), *mult));
+                ops.push((slot, x, y, *mult));
+                slot = (slot + 1) % accumulators;
+            }
+        }
+        let mut ablation = RingAblation {
+            ctx,
+            boxed: vec![fivm_ring::BoxedRelValue::empty(); accumulators],
+            encoded: vec![fivm_ring::RelValue::empty(); accumulators],
+            ops,
+            ops_encoded,
+        };
+        // Warm-up: one +/- pass sizes every table; steady state follows.
+        ablation.run_boxed();
+        ablation.run_encoded();
+        // The agreement gate runs once, here — `measure` stays pure timing.
+        assert!(
+            ablation.representations_agree(),
+            "ring representations diverge"
+        );
+        ablation
+    }
+
+    /// Ring operations per pass (each op is applied with `+` and `-`).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len() * 2
+    }
+
+    /// One steady-state pass over the boxed representation.
+    pub fn run_boxed(&mut self) {
+        use fivm_ring::{BoxedRelValue, Ring};
+        for sign in [1i64, -1] {
+            for (slot, x, y, mult) in &self.ops {
+                let gx = BoxedRelValue::indicator(0, x.clone());
+                let gy = BoxedRelValue::indicator(1, y.clone());
+                self.boxed[*slot].fma_scaled(&gx, &gy, sign * mult);
+            }
+        }
+    }
+
+    /// One steady-state pass over the encoded representation.
+    pub fn run_encoded(&mut self) {
+        use fivm_ring::{RelValue, Ring};
+        for sign in [1i64, -1] {
+            for (slot, x, y, mult) in &self.ops_encoded {
+                let gx = RelValue::indicator(0, *x);
+                let gy = RelValue::indicator(1, *y);
+                self.encoded[*slot].fma_scaled(&gx, &gy, sign * mult);
+            }
+        }
+    }
+
+    /// Checks that both representations hold identical relations after a
+    /// half-pass (the agreement gate run before timing).
+    pub fn representations_agree(&mut self) -> bool {
+        use fivm_ring::{BoxedRelValue, RelValue, Ring};
+        for (slot, x, y, mult) in &self.ops {
+            let gx = BoxedRelValue::indicator(0, x.clone());
+            let gy = BoxedRelValue::indicator(1, y.clone());
+            self.boxed[*slot].fma_scaled(&gx, &gy, *mult);
+        }
+        for (slot, x, y, mult) in &self.ops_encoded {
+            let gx = RelValue::indicator(0, *x);
+            let gy = RelValue::indicator(1, *y);
+            self.encoded[*slot].fma_scaled(&gx, &gy, *mult);
+        }
+        let agree = self.ctx.with_dict(|dict| {
+            self.boxed.iter().zip(self.encoded.iter()).all(|(b, e)| {
+                let decoded = e.decode_entries(dict);
+                let reference = b.sorted_entries();
+                decoded.len() == reference.len()
+                    && decoded
+                        .iter()
+                        .zip(reference.iter())
+                        .all(|((dk, dw), (rk, rw))| dk == rk && dw == rw)
+            })
+        });
+        // Undo the half-pass so timing starts from the baseline.
+        for (slot, x, y, mult) in &self.ops {
+            let gx = BoxedRelValue::indicator(0, x.clone());
+            let gy = BoxedRelValue::indicator(1, y.clone());
+            self.boxed[*slot].fma_scaled(&gx, &gy, -mult);
+        }
+        for (slot, x, y, mult) in &self.ops_encoded {
+            let gx = RelValue::indicator(0, *x);
+            let gy = RelValue::indicator(1, *y);
+            self.encoded[*slot].fma_scaled(&gx, &gy, -mult);
+        }
+        agree
+    }
+
+    /// Times `passes` steady-state passes of one representation, returning
+    /// ring ops/second (representations are checked for agreement once,
+    /// at construction).
+    pub fn measure(&mut self, encoded: bool, passes: usize) -> f64 {
+        let start = Instant::now();
+        for _ in 0..passes {
+            if encoded {
+                self.run_encoded();
+            } else {
+                self.run_boxed();
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        (self.num_ops() * passes) as f64 / secs
     }
 }
 

@@ -62,6 +62,66 @@ pub struct EncodedValue {
 impl EncodedValue {
     /// The encoding of [`Value::Null`] (also a safe "unbound" filler).
     pub const NULL: EncodedValue = EncodedValue { tag: TAG_NULL, word: 0 };
+
+    /// Encodes an integer.  Integers (and doubles) encode independently of
+    /// any dictionary, so ring code can build int-keyed entries without a
+    /// dict handle.
+    #[inline]
+    pub const fn int(x: i64) -> EncodedValue {
+        EncodedValue {
+            tag: TAG_INT,
+            word: x as u64,
+        }
+    }
+
+    /// Encodes a double (canonical [`OrdF64`] bits, so `-0.0` and every NaN
+    /// payload collapse exactly like [`Dict::encode_value`] does).
+    #[inline]
+    pub fn double(x: f64) -> EncodedValue {
+        EncodedValue {
+            tag: TAG_DOUBLE,
+            word: OrdF64::new(x).canonical_bits(),
+        }
+    }
+
+    /// Whether this value is a dictionary-local string id.  Strings are the
+    /// only encoding that cannot cross dictionaries; everything else is
+    /// self-contained.
+    #[inline]
+    pub const fn is_str(self) -> bool {
+        self.tag == TAG_STR
+    }
+
+    /// Whether this value encodes [`Value::Null`].
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.tag == TAG_NULL
+    }
+
+    /// The numeric interpretation used by continuous lifts, mirroring
+    /// [`Value::as_f64`]: integers widen, NULL is `0.0`, strings have no
+    /// numeric value.
+    #[inline]
+    pub fn as_f64(self) -> Option<f64> {
+        match self.tag {
+            TAG_NULL => Some(0.0),
+            TAG_INT => Some(self.word as i64 as f64),
+            TAG_DOUBLE => Some(f64::from_bits(self.word)),
+            _ => None,
+        }
+    }
+
+    /// Decodes a non-string value without a dictionary (`None` for string
+    /// ids, which are dictionary-local).
+    #[inline]
+    pub fn decode_dictless(self) -> Option<Value> {
+        match self.tag {
+            TAG_NULL => Some(Value::Null),
+            TAG_INT => Some(Value::Int(self.word as i64)),
+            TAG_DOUBLE => Some(Value::Double(OrdF64::new(f64::from_bits(self.word)))),
+            _ => None,
+        }
+    }
 }
 
 #[inline]
@@ -342,6 +402,24 @@ impl Dict {
             })
         });
         (!missing).then_some(key)
+    }
+
+    /// Re-encodes a value from this dictionary into `dst`: string ids are
+    /// resolved here and re-interned there; every other encoding is
+    /// dictionary-independent and passes through untouched.  This is the
+    /// primitive behind moving ring-interior keys across engines (e.g.
+    /// merging per-shard results), where ids from one dictionary must never
+    /// be interpreted under another.
+    #[inline]
+    pub fn rekey_value(&self, ev: EncodedValue, dst: &mut Dict) -> EncodedValue {
+        if ev.tag == TAG_STR {
+            EncodedValue {
+                tag: TAG_STR,
+                word: u64::from(dst.intern(self.resolve(ev.word as u32))),
+            }
+        } else {
+            ev
+        }
     }
 
     /// Decodes a key back into owned values (an output-boundary operation).

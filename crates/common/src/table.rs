@@ -413,6 +413,12 @@ impl<K, V> RawTable<K, V> {
     /// is how the engine hands a level's delta to the next level without
     /// re-hashing anything).
     pub fn drain_into(&mut self, out: &mut Vec<(u64, K, V)>) {
+        if self.len == 0 && self.tombstones == 0 {
+            // Already clean: clearing must stay O(1) for empty tables no
+            // matter how large their retained capacity is (scratch tables
+            // are cleared once per reuse, usually while empty).
+            return;
+        }
         if self.len > 0 {
             out.reserve(self.len);
             let slots = &mut self.slots;
@@ -427,8 +433,12 @@ impl<K, V> RawTable<K, V> {
         self.tombstones = 0;
     }
 
-    /// Removes every entry, keeping capacity.
+    /// Removes every entry, keeping capacity.  O(1) when the table is
+    /// already clean (see [`RawTable::drain_into`]).
     pub fn clear(&mut self) {
+        if self.len == 0 && self.tombstones == 0 {
+            return;
+        }
         let slots = &mut self.slots;
         Self::for_each_live(&self.ctrl, |i| {
             slots[i] = None;
@@ -441,11 +451,26 @@ impl<K, V> RawTable<K, V> {
     /// Iterates over `(key, value)` pairs in unspecified order.  Guided by
     /// the control bytes, so iteration reads `O(len)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
-        self.ctrl
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c < CTRL_EMPTY)
-            .filter_map(|(i, _)| self.slots[i].as_ref().map(|(_, k, v)| (k, v)))
+        self.iter_hashed().map(|(_, k, v)| (k, v))
+    }
+
+    /// Iterates over `(stored hash, key, value)` triples in unspecified
+    /// order.  The stored hash is the one the entry was inserted under —
+    /// callers merging one table into another reuse it instead of
+    /// re-hashing the key (the hash-once contract applied to table-to-table
+    /// traffic, e.g. ring-value addition).
+    ///
+    /// A named, SWAR-chunked iterator: control bytes are consumed one
+    /// *word* (eight slots) at a time and empty groups are skipped with a
+    /// single compare, so walking a sparse table costs `O(capacity / 8)`
+    /// word reads plus `O(len)` entry reads — and callers can store the
+    /// iterator inline (no boxing) inside their own iterator types.
+    pub fn iter_hashed(&self) -> IterHashed<'_, K, V> {
+        IterHashed {
+            table: self,
+            base: 0,
+            mask: 0,
+        }
     }
 
     /// Ensures a free slot exists, growing or compacting when the load
@@ -510,6 +535,66 @@ impl<K: Eq, V> RawTable<K, V> {
     /// Removes `key`'s entry, returning its value.
     pub fn remove(&mut self, hash: u64, key: &K) -> Option<V> {
         self.remove_with(hash, |k, _| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Iterator over `(stored hash, key, value)` triples of a [`RawTable`];
+/// see [`RawTable::iter_hashed`].
+pub struct IterHashed<'a, K, V> {
+    table: &'a RawTable<K, V>,
+    /// Slot index of the first slot of the next unread control word.
+    base: usize,
+    /// Per-byte high-bit mask of still-unvisited live slots in the word
+    /// *before* `base` (little-endian: `trailing_zeros / 8` is the
+    /// in-word slot offset).
+    mask: u64,
+}
+
+impl<'a, K, V> Iterator for IterHashed<'a, K, V> {
+    type Item = (u64, &'a K, &'a V);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.mask != 0 {
+                let off = (self.mask.trailing_zeros() as usize) / 8;
+                self.mask &= self.mask - 1;
+                let i = self.base - GROUP + off;
+                if let Some((h, k, v)) = self.table.slots[i].as_ref() {
+                    return Some((*h, k, v));
+                }
+                continue;
+            }
+            let ctrl = &self.table.ctrl;
+            while self.base + GROUP <= ctrl.len() {
+                let word = u64::from_le_bytes(
+                    ctrl[self.base..self.base + GROUP]
+                        .try_into()
+                        .expect("8-byte chunk"),
+                );
+                self.base += GROUP;
+                // Live slots have the control high bit clear.
+                let live = !word & 0x8080_8080_8080_8080;
+                if live != 0 {
+                    self.mask = live;
+                    break;
+                }
+            }
+            if self.mask == 0 {
+                // Tail (capacity is a multiple of GROUP, so only the
+                // zero-capacity table lands here).
+                while self.base < ctrl.len() {
+                    let i = self.base;
+                    self.base += 1;
+                    if ctrl[i] < CTRL_EMPTY {
+                        if let Some((h, k, v)) = self.table.slots[i].as_ref() {
+                            return Some((*h, k, v));
+                        }
+                    }
+                }
+                return None;
+            }
+        }
     }
 }
 

@@ -20,10 +20,11 @@
 use crate::engine::Engine;
 use fivm_common::{AttrKind, FivmError, Result, Value, VarId};
 use fivm_query::{QuerySpec, ViewTree};
+use fivm_common::EncodedValue;
 use fivm_ring::lift::{
     cofactor_continuous_lift, gen_categorical_lift, gen_continuous_lift, relational_lift,
 };
-use fivm_ring::{Cofactor, GenCofactor, LiftFn, RelValue};
+use fivm_ring::{Cofactor, GenCofactor, LiftFn, RelValue, RingCtx};
 use std::collections::HashMap;
 
 /// The layout of the aggregate batch: which query variables participate, in
@@ -131,8 +132,11 @@ pub fn covar_lifts(spec: &QuerySpec) -> Result<Vec<LiftFn<Cofactor>>> {
 
 /// The lifts of the generalized (mixed continuous/categorical) COVAR
 /// application.  Categorical values are tagged with their *batch index*
-/// inside relational keys.
-pub fn gen_covar_lifts(spec: &QuerySpec) -> Vec<LiftFn<GenCofactor>> {
+/// inside relational keys, which are dictionary-encoded through `ctx` —
+/// the same context the engine must be built with
+/// ([`crate::Engine::new_with_ctx`]); [`gen_covar_engine`] wires both
+/// sides.
+pub fn gen_covar_lifts(spec: &QuerySpec, ctx: &RingCtx) -> Vec<LiftFn<GenCofactor>> {
     let layout = AggregateLayout::of(spec);
     let dim = layout.dim();
     let mut lifts: Vec<LiftFn<GenCofactor>> = vec![LiftFn::identity(); spec.num_vars()];
@@ -140,7 +144,7 @@ pub fn gen_covar_lifts(spec: &QuerySpec) -> Vec<LiftFn<GenCofactor>> {
         let name = spec.var_name(v);
         lifts[v] = match spec.var(v).kind {
             AttrKind::Continuous => gen_continuous_lift(dim, idx, name),
-            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, name),
+            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, name, ctx),
         };
     }
     lifts
@@ -154,6 +158,7 @@ pub fn gen_covar_lifts(spec: &QuerySpec) -> Vec<LiftFn<GenCofactor>> {
 pub fn mi_lifts(
     spec: &QuerySpec,
     binnings: &HashMap<VarId, BinSpec>,
+    ctx: &RingCtx,
 ) -> Result<Vec<LiftFn<GenCofactor>>> {
     let layout = AggregateLayout::of(spec);
     let dim = layout.dim();
@@ -161,15 +166,30 @@ pub fn mi_lifts(
     for (idx, &v) in layout.vars.iter().enumerate() {
         let name = spec.var_name(v).to_string();
         lifts[v] = match spec.var(v).kind {
-            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, &name),
+            AttrKind::Categorical => gen_categorical_lift(dim, idx, idx, &name, ctx),
             AttrKind::Continuous => {
                 let bin = *binnings.get(&v).ok_or_else(|| {
                     FivmError::InvalidQuery(format!(
                         "continuous variable `{name}` needs a BinSpec for the MI application"
                     ))
                 })?;
+                // Bin indices are integers — they encode without the
+                // dictionary, so both paths are context-free.
                 LiftFn::new(format!("mi_binned<{dim}>[{idx}]({name})"), move |value| {
-                    GenCofactor::lift_categorical(dim, idx, idx, bin.bin_value(value))
+                    GenCofactor::lift_categorical(
+                        dim,
+                        idx,
+                        idx,
+                        EncodedValue::int(bin.bin(value.as_f64().unwrap_or(0.0))),
+                    )
+                })
+                .with_fma(move |value, acc, scale, slot| {
+                    let b = bin.bin(value.as_f64().unwrap_or(0.0));
+                    slot.fma_lift_categorical(acc, dim, idx, idx, EncodedValue::int(b), scale);
+                })
+                .with_fma_encoded(move |ev, acc, scale, slot| {
+                    let b = bin.bin(ev.as_f64().unwrap_or(0.0));
+                    slot.fma_lift_categorical(acc, dim, idx, idx, EncodedValue::int(b), scale);
                 })
             }
         };
@@ -179,12 +199,12 @@ pub fn mi_lifts(
 
 /// The lifts of the factorized-evaluation application (relation ring): the
 /// payload is the listing of the join result projected onto the aggregate
-/// attributes, keyed by variable id.
-pub fn relational_lifts(spec: &QuerySpec) -> Vec<LiftFn<RelValue>> {
+/// attributes, keyed by variable id and encoded through `ctx`.
+pub fn relational_lifts(spec: &QuerySpec, ctx: &RingCtx) -> Vec<LiftFn<RelValue>> {
     let layout = AggregateLayout::of(spec);
     let mut lifts: Vec<LiftFn<RelValue>> = vec![LiftFn::identity(); spec.num_vars()];
     for &v in &layout.vars {
-        lifts[v] = relational_lift(v, spec.var_name(v));
+        lifts[v] = relational_lift(v, spec.var_name(v), ctx);
     }
     lifts
 }
@@ -205,10 +225,12 @@ pub fn covar_engine(tree: ViewTree) -> Result<Engine<Cofactor>> {
 }
 
 /// Builds a COVAR engine over mixed continuous/categorical attributes using
-/// the generalized cofactor ring.
+/// the generalized cofactor ring.  Lifts and engine share one freshly
+/// created [`RingCtx`] (the ring-key contract).
 pub fn gen_covar_engine(tree: ViewTree) -> Result<Engine<GenCofactor>> {
-    let lifts = gen_covar_lifts(tree.spec());
-    Engine::new(tree, lifts)
+    let ctx = RingCtx::new();
+    let lifts = gen_covar_lifts(tree.spec(), &ctx);
+    Engine::new_with_ctx(tree, lifts, ctx)
 }
 
 /// Builds a mutual-information engine; see [`mi_lifts`].
@@ -216,15 +238,17 @@ pub fn mi_engine(
     tree: ViewTree,
     binnings: &HashMap<VarId, BinSpec>,
 ) -> Result<Engine<GenCofactor>> {
-    let lifts = mi_lifts(tree.spec(), binnings)?;
-    Engine::new(tree, lifts)
+    let ctx = RingCtx::new();
+    let lifts = mi_lifts(tree.spec(), binnings, &ctx)?;
+    Engine::new_with_ctx(tree, lifts, ctx)
 }
 
 /// Builds a factorized-evaluation engine over the relation ring; see
 /// [`relational_lifts`].
 pub fn relational_engine(tree: ViewTree) -> Result<Engine<RelValue>> {
-    let lifts = relational_lifts(tree.spec());
-    Engine::new(tree, lifts)
+    let ctx = RingCtx::new();
+    let lifts = relational_lifts(tree.spec(), &ctx);
+    Engine::new_with_ctx(tree, lifts, ctx)
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ use fivm_common::{
 };
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Relation, Tuple, Update};
-use fivm_ring::{LiftFn, Ring};
+use fivm_ring::{LiftFn, Ring, RingCtx};
 
 /// Counters describing the work performed by the engine so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -68,6 +68,15 @@ pub struct EngineStats {
     /// hashes — keys are never re-hashed, so this counts bucket moves, not
     /// extra key hashing.
     pub rehashes: usize,
+    /// Rehash events inside *ring payloads* materialized in views (the
+    /// relational rings keep hash tables of their own; see the ring-key
+    /// contract in ROADMAP.md).  Steady state must stay at 0, exactly like
+    /// `rehashes`.
+    pub ring_rehashes: usize,
+    /// Deferred secondary-index builds: indexes are registered at plan
+    /// time but only built (one slab scan) when the active update pattern
+    /// first probes them; until then they cost no per-row upkeep.
+    pub deferred_index_builds: usize,
 }
 
 impl EngineStats {
@@ -83,6 +92,8 @@ impl EngineStats {
             probes: self.probes - earlier.probes,
             probe_hits: self.probe_hits - earlier.probe_hits,
             rehashes: self.rehashes - earlier.rehashes,
+            ring_rehashes: self.ring_rehashes - earlier.ring_rehashes,
+            deferred_index_builds: self.deferred_index_builds - earlier.deferred_index_builds,
         }
     }
 
@@ -101,6 +112,8 @@ impl EngineStats {
             probes: self.probes + other.probes,
             probe_hits: self.probe_hits + other.probe_hits,
             rehashes: self.rehashes + other.rehashes,
+            ring_rehashes: self.ring_rehashes + other.ring_rehashes,
+            deferred_index_builds: self.deferred_index_builds + other.deferred_index_builds,
         }
     }
 }
@@ -236,16 +249,31 @@ struct PropagationScratch<R: Ring> {
     /// The assignment (bound variable values) at the current node, in
     /// encoded form — scatters and gathers are plain word copies.
     assignment: Vec<EncodedValue>,
+    /// Recycled delta payloads: exact-zero ring values whose interior
+    /// buffers (relation tables, cofactor matrices) are reused by the next
+    /// level's accumulation instead of being freed and reallocated.
+    /// Capped at [`POOL_CAP`], and disabled entirely for identity-only
+    /// lift sets (e.g. COUNT): only the fused-lift emit arm draws from the
+    /// pool, so an engine without non-identity lifts must not pay any
+    /// pooling work (not even the pool vector's growth).
+    pool: Vec<R>,
+    /// Whether any lift can draw from the pool (see `pool`).
+    pool_enabled: bool,
 }
 
+/// Upper bound on pooled delta payloads (see `PropagationScratch::pool`).
+const POOL_CAP: usize = 4096;
+
 impl<R: Ring> PropagationScratch<R> {
-    fn new(max_probe_depth: usize, max_local_vars: usize) -> Self {
+    fn new(max_probe_depth: usize, max_local_vars: usize, pool_enabled: bool) -> Self {
         PropagationScratch {
             current: Vec::new(),
             next: RawTable::new(),
             partials: (0..max_probe_depth).map(|_| R::zero()).collect(),
             memo: (0..max_probe_depth).map(|_| StepMemo::new()).collect(),
             assignment: vec![EncodedValue::NULL; max_local_vars],
+            pool: Vec::new(),
+            pool_enabled,
         }
     }
 }
@@ -255,10 +283,12 @@ pub struct Engine<R: Ring> {
     plan: ExecutionPlan,
     lifts: Vec<LiftFn<R>>,
     views: Vec<MaterializedView<R>>,
-    /// The per-database string dictionary: every key the engine stores or
-    /// probes is encoded through it (interning at ingestion, decoding at
-    /// output boundaries).
-    dict: Dict,
+    /// The shared handle to the per-engine string dictionary: every key the
+    /// engine stores or probes is encoded through it (interning at
+    /// ingestion, decoding at output boundaries), and lifts of relational
+    /// rings built against the same context encode their ring-interior
+    /// keys through the very same dictionary (the ring-key contract).
+    ctx: RingCtx,
     /// Per-relation column bindings: for each relation variable, the column
     /// of the source table it is read from.  Set by [`Engine::bind_table`] /
     /// [`Engine::load_database`]; identity if never bound.
@@ -277,6 +307,19 @@ impl<R: Ring> Engine<R> {
         Self::with_plan(plan, lifts)
     }
 
+    /// Builds an engine from a view tree, lifts and the [`RingCtx`] the
+    /// lifts were built against, so lifts and engine share one dictionary.
+    ///
+    /// Lift sets that encode ring-interior keys (the relational rings)
+    /// **must** be constructed this way — the encoded values the engine
+    /// hands to lifts on the hot path are only meaningful under the
+    /// engine's own dictionary.  [`crate::apps`] threads the context
+    /// correctly for every shipped application.
+    pub fn new_with_ctx(tree: ViewTree, lifts: Vec<LiftFn<R>>, ctx: RingCtx) -> Result<Self> {
+        let plan = ExecutionPlan::compile(tree)?;
+        Self::with_plan_ctx(plan, lifts, ctx)
+    }
+
     /// Builds an engine from an already compiled plan.
     ///
     /// A sharded deployment constructs N identical engines; compiling the
@@ -285,6 +328,12 @@ impl<R: Ring> Engine<R> {
     /// its own [`Dict`] — encoded keys must never cross engines (see the
     /// hash-once contract in ROADMAP.md).
     pub fn with_plan(plan: ExecutionPlan, lifts: Vec<LiftFn<R>>) -> Result<Self> {
+        Self::with_plan_ctx(plan, lifts, RingCtx::new())
+    }
+
+    /// [`Engine::with_plan`] with an explicit ring context (see
+    /// [`Engine::new_with_ctx`]).
+    pub fn with_plan_ctx(plan: ExecutionPlan, lifts: Vec<LiftFn<R>>, ctx: RingCtx) -> Result<Self> {
         if lifts.len() != plan.tree().spec().num_vars() {
             return Err(FivmError::InvalidQuery(format!(
                 "expected {} lifts (one per variable), got {}",
@@ -320,13 +369,14 @@ impl<R: Ring> Engine<R> {
             .max()
             .unwrap_or(0);
         let num_rels = plan.leaf_plans().len();
+        let pool_enabled = lifts.iter().any(|l| !l.is_identity());
         Ok(Engine {
             plan,
             lifts,
             views,
-            dict: Dict::new(),
+            ctx,
             bindings: vec![None; num_rels],
-            scratch: PropagationScratch::new(max_probe_depth, max_local_vars),
+            scratch: PropagationScratch::new(max_probe_depth, max_local_vars, pool_enabled),
             stats: EngineStats::default(),
         })
     }
@@ -341,9 +391,11 @@ impl<R: Ring> Engine<R> {
         self.plan.tree()
     }
 
-    /// The engine's string dictionary.
-    pub fn dict(&self) -> &Dict {
-        &self.dict
+    /// The engine's ring context (the shared dictionary handle).  Cloning
+    /// the handle is how output boundaries — ML consumers decoding
+    /// relational payload entries, result merging — reach the dictionary.
+    pub fn ctx(&self) -> &RingCtx {
+        &self.ctx
     }
 
     /// Work counters.  `rehashes` is read live from the view tables; the
@@ -355,13 +407,18 @@ impl<R: Ring> Engine<R> {
             .iter()
             .map(|v| v.rehashes())
             .sum::<u64>() as usize;
+        stats.ring_rehashes = self
+            .views
+            .iter()
+            .map(MaterializedView::payload_rehashes)
+            .sum::<u64>() as usize;
         stats
     }
 
     /// The materialized view of a view-tree node, as a relation (an output
     /// boundary: keys are decoded through the dictionary).
     pub fn view_relation(&self, node_id: usize) -> Relation<R> {
-        self.views[node_id].to_relation(&self.dict)
+        self.ctx.with_dict(|dict| self.views[node_id].to_relation(dict))
     }
 
     /// Number of keys stored across all materialized views.
@@ -390,7 +447,9 @@ impl<R: Ring> Engine<R> {
         let roots = self.plan.tree().roots();
         let mut acc: Option<Relation<R>> = None;
         for &root in roots {
-            let rel = self.views[root].to_relation(&self.dict);
+            let rel = self
+                .ctx
+                .with_dict(|dict| self.views[root].to_relation(dict));
             acc = Some(match acc {
                 None => rel,
                 Some(prev) => prev.natural_join(&rel),
@@ -459,18 +518,24 @@ impl<R: Ring> Engine<R> {
         let arity = self.plan.leaf_plans()[rel].vars.len();
         let one = R::one();
         let mut input_rows = 0usize;
-        for (row, mult) in &update.rows {
-            input_rows += 1;
-            group_row(
-                &mut self.scratch.next,
-                &mut self.dict,
-                &mut self.stats,
-                &one,
-                self.bindings[rel].as_deref(),
-                arity,
-                row,
-                *mult,
-            )?;
+        {
+            // One dictionary lock per batch; `group_row` performs no ring
+            // or lift calls that could re-enter the context (ring ops are
+            // dictionary-free by contract).
+            let mut dict = self.ctx.lock();
+            for (row, mult) in &update.rows {
+                input_rows += 1;
+                group_row(
+                    &mut self.scratch.next,
+                    &mut dict,
+                    &mut self.stats,
+                    &one,
+                    self.bindings[rel].as_deref(),
+                    arity,
+                    row,
+                    *mult,
+                )?;
+            }
         }
         self.propagate_grouped(rel, input_rows)
     }
@@ -491,18 +556,21 @@ impl<R: Ring> Engine<R> {
         let arity = self.plan.leaf_plans()[rel].vars.len();
         let one = R::one();
         let mut input_rows = 0usize;
-        for (row, mult) in rows {
-            input_rows += 1;
-            group_row(
-                &mut self.scratch.next,
-                &mut self.dict,
-                &mut self.stats,
-                &one,
-                self.bindings[rel].as_deref(),
-                arity,
-                &row,
-                mult,
-            )?;
+        {
+            let mut dict = self.ctx.lock();
+            for (row, mult) in rows {
+                input_rows += 1;
+                group_row(
+                    &mut self.scratch.next,
+                    &mut dict,
+                    &mut self.stats,
+                    &one,
+                    self.bindings[rel].as_deref(),
+                    arity,
+                    &row,
+                    mult,
+                )?;
+            }
         }
         self.propagate_grouped(rel, input_rows)
     }
@@ -543,6 +611,19 @@ impl<R: Ring> Engine<R> {
         // Propagate along the maintenance path.
         let (mut node_id, mut child_pos) = leaf_parent;
         loop {
+            // Deferred secondary indexes: build the ones this level is
+            // about to probe (a no-op bool check once built).  Mutable
+            // view access must happen before the immutable probing pass.
+            for si in 0..self.plan.node_plans()[node_id].delta_plans[child_pos].steps.len() {
+                let step = &self.plan.node_plans()[node_id].delta_plans[child_pos].steps[si];
+                if let ProbeKind::Index(idx) = &step.probe {
+                    let (sibling, idx) = (step.sibling_view, *idx);
+                    if self.views[sibling].ensure_index_built(idx) {
+                        self.stats.deferred_index_builds += 1;
+                    }
+                }
+            }
+
             let np = &self.plan.node_plans()[node_id];
             let dp = &np.delta_plans[child_pos];
             let lift = &self.lifts[np.var];
@@ -558,10 +639,12 @@ impl<R: Ring> Engine<R> {
                     emit(
                         produced,
                         lift,
-                        || self.dict.decode_value(key.col(direct.var_col)),
+                        key.col(direct.var_col),
+                        &self.ctx,
                         out_key,
                         hash,
                         payload,
+                        &mut self.scratch.pool,
                         &mut self.stats,
                     );
                 }
@@ -581,7 +664,7 @@ impl<R: Ring> Engine<R> {
                     }
                     extend_assignment(
                         &self.views,
-                        &self.dict,
+                        &self.ctx,
                         dp,
                         lift,
                         &dp.steps,
@@ -590,6 +673,7 @@ impl<R: Ring> Engine<R> {
                         payload,
                         &mut self.scratch.partials,
                         produced,
+                        &mut self.scratch.pool,
                         &mut self.stats,
                     );
                 }
@@ -599,8 +683,16 @@ impl<R: Ring> Engine<R> {
             // handed to the parent.
             produced.retain(|_, p| !p.is_zero());
 
+            // Recycle the previous level's payloads (they were applied to
+            // the view by reference) before refilling `current`.
             let current = &mut self.scratch.current;
-            current.clear();
+            for (_, _, payload) in current.drain(..) {
+                if self.scratch.pool_enabled && self.scratch.pool.len() < POOL_CAP {
+                    let mut payload = payload;
+                    payload.reset_zero();
+                    self.scratch.pool.push(payload);
+                }
+            }
             produced.drain_into(current);
             outcome.delta_entries += current.len();
             for (hash, key, payload) in current.iter() {
@@ -619,7 +711,13 @@ impl<R: Ring> Engine<R> {
                 None => break,
             }
         }
-        self.scratch.current.clear();
+        for (_, _, payload) in self.scratch.current.drain(..) {
+            if self.scratch.pool_enabled && self.scratch.pool.len() < POOL_CAP {
+                let mut payload = payload;
+                payload.reset_zero();
+                self.scratch.pool.push(payload);
+            }
+        }
 
         self.stats.delta_entries += outcome.delta_entries;
         Ok(outcome)
@@ -686,17 +784,22 @@ fn group_row<R: Ring>(
 }
 
 /// Accumulates one contribution under an output key into a level's delta
-/// table.  `hash` is the key's precomputed hash; `lift_value` decodes the
-/// lifted variable's value and is only called for non-identity lifts (the
-/// sole place a `Value` materializes on the hot path).
+/// table.  `hash` is the key's precomputed hash; `ev` is the lifted
+/// variable's dictionary-encoded value, consumed directly by lifts with an
+/// encoded fused accumulate — a raw [`Value`] materializes only for lifts
+/// without one (the decode goes through the context, off the lock-free
+/// path).
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn emit<R: Ring>(
     out: &mut RawTable<EncodedKey, R>,
     lift: &LiftFn<R>,
-    lift_value: impl FnOnce() -> Value,
+    ev: EncodedValue,
+    ctx: &RingCtx,
     key: EncodedKey,
     hash: u64,
     acc: &R,
+    pool: &mut Vec<R>,
     stats: &mut EngineStats,
 ) {
     if lift.is_identity() {
@@ -706,6 +809,12 @@ fn emit<R: Ring>(
                 stats.ring_adds += 1;
             }
             Probe::Vacant(idx) => {
+                // Clone rather than accumulate into a pooled zero: a pooled
+                // buffer may carry a different zero *shape* (a recycled
+                // dense element vs a scalar), and the stored payload's
+                // representation must not depend on pool history.  The
+                // fused-lift arm below is shape-deterministic (the lift
+                // promotes to a dense element either way) and does pool.
                 out.occupy(idx, hash, key, acc.clone());
             }
         }
@@ -713,19 +822,21 @@ fn emit<R: Ring>(
         // Fused lift-multiply-accumulate: `slot += acc · g(v)` without
         // materializing the (sparse) lifted element when the lift carries a
         // specialization.
-        let v = lift_value();
         match out.probe(hash, |k, _| *k == key) {
             Probe::Found(idx) => {
-                lift.fma_apply(&v, acc, 1, out.value_at_mut(idx));
+                lift.fma_apply_encoded(ev, |e| ctx.decode_value(e), acc, 1, out.value_at_mut(idx));
                 stats.ring_adds += 1;
                 stats.ring_muls += 1;
             }
             Probe::Vacant(idx) => {
-                let mut payload = R::zero();
-                lift.fma_apply(&v, acc, 1, &mut payload);
+                let mut payload = pool.pop().unwrap_or_else(R::zero);
+                debug_assert!(payload.is_zero(), "pooled payload must be zero");
+                lift.fma_apply_encoded(ev, |e| ctx.decode_value(e), acc, 1, &mut payload);
                 stats.ring_muls += 1;
                 if !payload.is_zero() {
                     out.occupy(idx, hash, key, payload);
+                } else {
+                    pool.push(payload);
                 }
             }
         }
@@ -746,7 +857,7 @@ fn emit<R: Ring>(
 #[allow(clippy::too_many_arguments)]
 fn extend_assignment<R: Ring>(
     views: &[MaterializedView<R>],
-    dict: &Dict,
+    ctx: &RingCtx,
     dp: &DeltaPlan,
     lift: &LiftFn<R>,
     steps: &[crate::plan::DeltaStep],
@@ -755,6 +866,7 @@ fn extend_assignment<R: Ring>(
     acc: &R,
     partials: &mut [R],
     out: &mut RawTable<EncodedKey, R>,
+    pool: &mut Vec<R>,
     stats: &mut EngineStats,
 ) {
     let Some((step, rest)) = steps.split_first() else {
@@ -766,10 +878,12 @@ fn extend_assignment<R: Ring>(
         emit(
             out,
             lift,
-            || dict.decode_value(assignment[dp.var_position]),
+            assignment[dp.var_position],
+            ctx,
             key,
             hash,
             acc,
+            pool,
             stats,
         );
         return;
@@ -794,8 +908,8 @@ fn extend_assignment<R: Ring>(
                     // needs it immutably, and `tail` covers deeper levels.
                     let next: &R = head;
                     extend_assignment(
-                        views, dict, dp, lift, rest, memo_rest, assignment, next, tail, out,
-                        stats,
+                        views, ctx, dp, lift, rest, memo_rest, assignment, next, tail, out,
+                        pool, stats,
                     );
                 }
             }
@@ -823,8 +937,8 @@ fn extend_assignment<R: Ring>(
                 if !head.is_zero() {
                     let next: &R = head;
                     extend_assignment(
-                        views, dict, dp, lift, rest, memo_rest, assignment, next, tail, out,
-                        stats,
+                        views, ctx, dp, lift, rest, memo_rest, assignment, next, tail, out,
+                        pool, stats,
                     );
                 }
             }

@@ -39,10 +39,22 @@ struct Slot<R> {
 
 /// A secondary index: maps an encoded projection of the key to the slot ids
 /// of the entries carrying it.
+///
+/// Indexes are **lazy**: registration records the positions, but the
+/// bucket map is only populated — and from then on maintained — once the
+/// index is actually probed by the active update pattern
+/// ([`MaterializedView::ensure_index_built`], called by the engine before
+/// each propagation level that plans an index probe).  A leaf view whose
+/// indexes the workload never probes (e.g. the fact table under a
+/// fact-only update stream) pays zero index upkeep per row.
 #[derive(Clone, Debug)]
 struct SecondaryIndex {
     /// Positions (within the view key) of the indexed columns.
     positions: Vec<usize>,
+    /// Whether the bucket map reflects the view contents.  `false` until
+    /// the first probe forces a build; unbuilt indexes are skipped by
+    /// insert/remove maintenance.
+    built: bool,
     /// Encoded probe sub-key → slot ids.  Sub-keys are hashed once, when
     /// the bucket is touched; buckets never store key copies.
     map: RawTable<EncodedKey, Vec<u32>>,
@@ -107,21 +119,45 @@ impl<R: Ring> MaterializedView<R> {
     }
 
     /// Registers (or reuses) a secondary index over the given key positions
-    /// and returns its id.  Must be called before any data is inserted (the
-    /// engine registers all indexes at construction time).
+    /// and returns its id.  Registration is cheap: the index stays
+    /// *deferred* (no bucket map, no per-insert upkeep) until
+    /// [`MaterializedView::ensure_index_built`] forces a build on first
+    /// probe.
     pub fn ensure_index(&mut self, positions: Vec<usize>) -> usize {
-        debug_assert!(
-            self.map.is_empty(),
-            "secondary indexes must be registered before loading data"
-        );
         if let Some(existing) = self.indexes.iter().position(|i| i.positions == positions) {
             return existing;
         }
         self.indexes.push(SecondaryIndex {
             positions,
+            built: false,
             map: RawTable::new(),
         });
         self.indexes.len() - 1
+    }
+
+    /// Builds a deferred secondary index from the current view contents (a
+    /// single slab scan); afterwards the index is maintained incrementally.
+    /// Returns whether a deferred build was performed — the engine counts
+    /// these in `EngineStats::deferred_index_builds`.
+    pub fn ensure_index_built(&mut self, index_id: usize) -> bool {
+        if self.indexes[index_id].built {
+            return false;
+        }
+        let (slots, index) = (&self.slots, &mut self.indexes[index_id]);
+        index.built = true;
+        let mut live: Vec<u32> = Vec::with_capacity(self.map.len());
+        for (&sid, ()) in self.map.iter() {
+            live.push(sid);
+        }
+        for sid in live {
+            index.insert(&slots[sid as usize].key, sid);
+        }
+        true
+    }
+
+    /// Whether a secondary index has been built (probed at least once).
+    pub fn index_is_built(&self, index_id: usize) -> bool {
+        self.indexes[index_id].built
     }
 
     /// Number of registered secondary indexes.
@@ -143,6 +179,14 @@ impl<R: Ring> MaterializedView<R> {
     /// all secondary indexes — the `rehashes` engine counter.
     pub fn rehashes(&self) -> u64 {
         self.map.rehashes() + self.indexes.iter().map(|i| i.map.rehashes()).sum::<u64>()
+    }
+
+    /// Total rehash events inside the *payloads* of this view (the ring
+    /// half of the hash-once contract; rings without interior tables
+    /// report 0).  Parked (zeroed) slots are included: their buffers — and
+    /// rehash history — survive for reuse.
+    pub fn payload_rehashes(&self) -> u64 {
+        self.slots.iter().map(|s| s.payload.payload_rehashes()).sum()
     }
 
     /// The slot id of a key, probed with its precomputed hash.
@@ -204,7 +248,9 @@ impl<R: Ring> MaterializedView<R> {
                     // its buffers for the next insert reusing this slot).
                     self.map.remove_at(idx);
                     for index in &mut self.indexes {
-                        index.remove(key, sid);
+                        if index.built {
+                            index.remove(key, sid);
+                        }
                     }
                     self.free.push(sid);
                 }
@@ -231,7 +277,9 @@ impl<R: Ring> MaterializedView<R> {
                 };
                 self.map.occupy(idx, hash, sid, ());
                 for index in &mut self.indexes {
-                    index.insert(key, sid);
+                    if index.built {
+                        index.insert(key, sid);
+                    }
                 }
                 false
             }
@@ -250,6 +298,10 @@ impl<R: Ring> MaterializedView<R> {
     /// view is next mutated — the engine memoizes it per propagation level.
     #[inline]
     pub fn find_index_bucket(&self, index_id: usize, hash: u64, probe: &EncodedKey) -> Option<usize> {
+        debug_assert!(
+            self.indexes[index_id].built,
+            "probing a deferred secondary index; call ensure_index_built first"
+        );
         self.indexes[index_id].map.find_idx(hash, |k, _| k == probe)
     }
 
@@ -352,6 +404,13 @@ mod tests {
         v.add(&mut dict, &t(&[1, 100]), 2);
         v.add(&mut dict, &t(&[1, 200]), 3);
         v.add(&mut dict, &t(&[2, 100]), 5);
+
+        // The index is deferred until first probed; the build is lazy and
+        // reported exactly once.
+        assert!(!v.index_is_built(idx));
+        assert!(v.ensure_index_built(idx));
+        assert!(!v.ensure_index_built(idx), "second build is a no-op");
+        assert!(v.index_is_built(idx));
 
         let probe = dict.encode_key(&t(&[1]));
         let hits: Vec<i64> = v

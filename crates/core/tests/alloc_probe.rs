@@ -53,13 +53,15 @@ fn allocations_during(f: impl FnOnce()) -> u64 {
 fn dense_view(dict: &mut Dict, keys: i64) -> MaterializedView<Cofactor> {
     let dim = 8;
     let mut view: MaterializedView<Cofactor> = MaterializedView::new(vec![0, 1]);
-    view.ensure_index(vec![0]);
+    let idx = view.ensure_index(vec![0]);
     for a in 0..keys {
         for b in 0..4 {
             let payload = Cofactor::lift(dim, 1, a as f64).mul(&Cofactor::lift(dim, 4, b as f64));
             view.add(dict, &tuple([Value::int(a), Value::int(b)]), payload);
         }
     }
+    // Indexes are lazy: build before the (immutable) probing under test.
+    view.ensure_index_built(idx);
     view
 }
 

@@ -7,6 +7,7 @@
 //! engine's code paths.
 
 use fivm_common::{Value, VarId};
+use fivm_ring::RingCtx;
 use fivm_core::apps;
 use fivm_core::Engine;
 use fivm_query::{EliminationHeuristic, QuerySpec, VariableOrder, ViewTree};
@@ -203,6 +204,11 @@ fn gen_covar_matches_reevaluation_under_random_streams() {
     let kinds = layout.kinds.clone();
     let engine = apps::gen_covar_engine(tree_of(&spec, EliminationHeuristic::MinFill)).unwrap();
     let spec_for_ref = spec.clone();
+    // The reference encodes categories through its own context; every
+    // categorical value in this workload is an integer, which encodes
+    // identically under any dictionary, so reference and engine payloads
+    // compare directly.
+    let ref_ctx = RingCtx::new();
     run_stream(
         &spec,
         engine,
@@ -212,7 +218,7 @@ fn gen_covar_matches_reevaluation_under_random_streams() {
                 for (idx, &v) in agg_vars.iter().enumerate() {
                     let val = value_of(vars, t, v);
                     let lifted = if kinds[idx].is_categorical() {
-                        GenCofactor::lift_categorical(dim, idx, idx, val)
+                        GenCofactor::lift_categorical(dim, idx, idx, ref_ctx.encode_value(&val))
                     } else {
                         GenCofactor::lift_continuous(dim, idx, val.as_f64().unwrap())
                     };

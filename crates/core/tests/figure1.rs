@@ -5,7 +5,7 @@
 //! and the MI payload (all attributes categorical), plus the delta
 //! propagation for updates to R shown on the right of the figure.
 
-use fivm_common::Value;
+use fivm_common::{EncodedValue, Value};
 use fivm_core::apps;
 use fivm_query::spec::figure1_query;
 use fivm_query::ViewTree;
@@ -160,25 +160,28 @@ fn covar_with_categorical_c_matches_figure() {
     engine.apply_rows(0, r_rows()).unwrap();
     engine.apply_rows(1, s_rows_categorical()).unwrap();
     let q = engine.result();
+    // Categories are strings — encoded through the engine's context.
+    let c1 = engine.ctx().encode_value(&Value::str("c1"));
+    let c2 = engine.ctx().encode_value(&Value::str("c2"));
 
     assert_eq!(q.count(), 3.0);
     // s_B = SUM(B) = 4 (continuous → scalar relation).
     assert_eq!(q.sum(0).scalar_part(), 4.0);
     // s_C = SUM(1) GROUP BY C = {c1 -> 1, c2 -> 2}.
-    assert_eq!(q.sum(1).get(&[(1, Value::str("c1"))]), 1.0);
-    assert_eq!(q.sum(1).get(&[(1, Value::str("c2"))]), 2.0);
+    assert_eq!(q.sum(1).get(&[(1, c1)]), 1.0);
+    assert_eq!(q.sum(1).get(&[(1, c2)]), 2.0);
     // s_D = SUM(D) = 6.
     assert_eq!(q.sum(2).scalar_part(), 6.0);
     // Q_BC = SUM(B) GROUP BY C = {c1 -> 1, c2 -> 3}.
-    assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c1"))]), 1.0);
-    assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c2"))]), 3.0);
+    assert_eq!(q.prod(0, 1).get(&[(1, c1)]), 1.0);
+    assert_eq!(q.prod(0, 1).get(&[(1, c2)]), 3.0);
     // Q_BD = SUM(B*D) = 1 + 3 + 4 = 8.
     assert_eq!(q.prod(0, 2).scalar_part(), 8.0);
     // Q_CD = SUM(D) GROUP BY C = {c1 -> 1, c2 -> 5}.
-    assert_eq!(q.prod(1, 2).get(&[(1, Value::str("c1"))]), 1.0);
-    assert_eq!(q.prod(1, 2).get(&[(1, Value::str("c2"))]), 5.0);
+    assert_eq!(q.prod(1, 2).get(&[(1, c1)]), 1.0);
+    assert_eq!(q.prod(1, 2).get(&[(1, c2)]), 5.0);
     // Q_CC = SUM(1) GROUP BY C.
-    assert_eq!(q.prod(1, 1).get(&[(1, Value::str("c2"))]), 2.0);
+    assert_eq!(q.prod(1, 1).get(&[(1, c2)]), 2.0);
 }
 
 #[test]
@@ -210,24 +213,24 @@ fn mi_payload_matches_figure() {
     // C_∅ = 3.
     assert_eq!(q.count(), 3.0);
     // C_B = SUM(1) GROUP BY B = {1 -> 2, 2 -> 1}.
-    assert_eq!(q.sum(0).get(&[(0, Value::int(1))]), 2.0);
-    assert_eq!(q.sum(0).get(&[(0, Value::int(2))]), 1.0);
+    assert_eq!(q.sum(0).get(&[(0, EncodedValue::int(1))]), 2.0);
+    assert_eq!(q.sum(0).get(&[(0, EncodedValue::int(2))]), 1.0);
     // C_BC = SUM(1) GROUP BY (B, C): (1,1)->1, (1,2)->1, (2,2)->1.
     assert_eq!(
-        q.prod(0, 1).get(&[(0, Value::int(1)), (1, Value::int(1))]),
+        q.prod(0, 1).get(&[(0, EncodedValue::int(1)), (1, EncodedValue::int(1))]),
         1.0
     );
     assert_eq!(
-        q.prod(0, 1).get(&[(0, Value::int(1)), (1, Value::int(2))]),
+        q.prod(0, 1).get(&[(0, EncodedValue::int(1)), (1, EncodedValue::int(2))]),
         1.0
     );
     assert_eq!(
-        q.prod(0, 1).get(&[(0, Value::int(2)), (1, Value::int(2))]),
+        q.prod(0, 1).get(&[(0, EncodedValue::int(2)), (1, EncodedValue::int(2))]),
         1.0
     );
     // C_CD = SUM(1) GROUP BY (C, D): (1,1)->1, (2,3)->1, (2,2)->1.
     assert_eq!(
-        q.prod(1, 2).get(&[(1, Value::int(2)), (2, Value::int(3))]),
+        q.prod(1, 2).get(&[(1, EncodedValue::int(2)), (2, EncodedValue::int(3))]),
         1.0
     );
 }
@@ -246,15 +249,15 @@ fn factorized_evaluation_lists_the_join_result() {
     let d = spec.var_id("D").unwrap() as u32;
     assert_eq!(listing.len(), 3);
     assert_eq!(
-        listing.get(&[(b, Value::int(1)), (c, Value::int(1)), (d, Value::int(1))]),
+        listing.get(&[(b, EncodedValue::int(1)), (c, EncodedValue::int(1)), (d, EncodedValue::int(1))]),
         1.0
     );
     assert_eq!(
-        listing.get(&[(b, Value::int(1)), (c, Value::int(2)), (d, Value::int(3))]),
+        listing.get(&[(b, EncodedValue::int(1)), (c, EncodedValue::int(2)), (d, EncodedValue::int(3))]),
         1.0
     );
     assert_eq!(
-        listing.get(&[(b, Value::int(2)), (c, Value::int(2)), (d, Value::int(2))]),
+        listing.get(&[(b, EncodedValue::int(2)), (c, EncodedValue::int(2)), (d, EncodedValue::int(2))]),
         1.0
     );
 }

@@ -8,8 +8,8 @@
 //! densely and keeps the mapping from matrix columns back to attributes and
 //! categories.
 
-use fivm_common::{AttrKind, FivmError, Result, Value};
-use fivm_ring::{Cofactor, GenCofactor};
+use fivm_common::{AttrKind, EncodedValue, FivmError, Result, Value};
+use fivm_ring::{Cofactor, GenCofactor, RingCtx};
 
 /// One column of the expanded feature space.
 #[derive(Clone, Debug, PartialEq)]
@@ -169,12 +169,16 @@ impl DenseCovar {
     ///
     /// Categorical attributes contribute one column per category observed in
     /// the join result (the compact one-hot encoding of the paper).  The
-    /// label must be continuous.
+    /// label must be continuous.  `ctx` is the ring context the payload was
+    /// maintained under (the engine's — [`fivm_ring::RingCtx`]); categories
+    /// are decoded through it once, at this output boundary, while all
+    /// aggregate lookups probe the encoded interior directly.
     pub fn from_gen_cofactor(
         payload: &GenCofactor,
         names: &[String],
         kinds: &[AttrKind],
         label: usize,
+        ctx: &RingCtx,
     ) -> Result<Self> {
         let dim = names.len();
         if label >= dim {
@@ -189,22 +193,35 @@ impl DenseCovar {
         }
         let dense = payload.to_dense(dim);
 
-        // Enumerate categories of each categorical attribute from s_X.
+        // Enumerate categories of each categorical attribute from s_X,
+        // keeping the encoded value next to the decoded one: the decoded
+        // form names the column and fixes a stable order, the encoded form
+        // probes the payload.
         let mut columns = vec![FeatureColumn::Intercept];
+        let mut encoded: Vec<Option<EncodedValue>> = vec![None];
         for (attr, kind) in kinds.iter().enumerate().take(dim) {
             if attr == label {
                 continue;
             }
             match kind {
-                AttrKind::Continuous => columns.push(FeatureColumn::Continuous { attr }),
+                AttrKind::Continuous => {
+                    columns.push(FeatureColumn::Continuous { attr });
+                    encoded.push(None);
+                }
                 AttrKind::Categorical => {
-                    let mut cats: Vec<Value> = dense.sums[attr]
-                        .iter()
-                        .map(|(k, _)| k[0].1.clone())
-                        .collect();
-                    cats.sort();
-                    for category in cats {
+                    let mut cats: Vec<(Value, EncodedValue)> = ctx.with_dict(|dict| {
+                        dense.sums[attr]
+                            .iter()
+                            .map(|(k, _)| {
+                                let ev = k.value(0);
+                                (dict.decode_value(ev), ev)
+                            })
+                            .collect()
+                    });
+                    cats.sort_by(|a, b| a.0.cmp(&b.0));
+                    for (category, ev) in cats {
                         columns.push(FeatureColumn::Categorical { attr, category });
+                        encoded.push(Some(ev));
                     }
                 }
             }
@@ -215,47 +232,47 @@ impl DenseCovar {
         };
         let n = features.len();
 
-        // Looks up the aggregate SUM(col_i * col_j) from the payload.
-        let pair_value = |a: &FeatureColumn, b: &FeatureColumn| -> f64 {
+        // Looks up the aggregate SUM(col_i * col_j) from the payload; the
+        // encoded category rides next to each categorical column.
+        type Col<'a> = (&'a FeatureColumn, Option<EncodedValue>);
+        let pair_value = |(a, ea): Col, (b, eb): Col| -> f64 {
             use FeatureColumn as F;
             match (a, b) {
                 (F::Intercept, F::Intercept) => dense.count,
                 (F::Intercept, F::Continuous { attr }) | (F::Continuous { attr }, F::Intercept) => {
                     dense.sums[*attr].scalar_part()
                 }
-                (F::Intercept, F::Categorical { attr, category })
-                | (F::Categorical { attr, category }, F::Intercept) => {
-                    dense.sums[*attr].get(&[(*attr as u32, category.clone())])
+                (F::Intercept, F::Categorical { attr, .. }) => {
+                    dense.sums[*attr].get(&[(*attr as u32, eb.expect("categorical column"))])
+                }
+                (F::Categorical { attr, .. }, F::Intercept) => {
+                    dense.sums[*attr].get(&[(*attr as u32, ea.expect("categorical column"))])
                 }
                 (F::Continuous { attr: a }, F::Continuous { attr: b }) => {
                     dense.prod(*a, *b).scalar_part()
                 }
-                (F::Continuous { attr: c }, F::Categorical { attr: k, category })
-                | (F::Categorical { attr: k, category }, F::Continuous { attr: c }) => dense
+                (F::Continuous { attr: c }, F::Categorical { attr: k, .. }) => dense
                     .prod(*c, *k)
-                    .get(&[(*k as u32, category.clone())]),
-                (
-                    F::Categorical {
-                        attr: k1,
-                        category: c1,
-                    },
-                    F::Categorical {
-                        attr: k2,
-                        category: c2,
-                    },
-                ) => {
+                    .get(&[(*k as u32, eb.expect("categorical column"))]),
+                (F::Categorical { attr: k, .. }, F::Continuous { attr: c }) => dense
+                    .prod(*c, *k)
+                    .get(&[(*k as u32, ea.expect("categorical column"))]),
+                (F::Categorical { attr: k1, .. }, F::Categorical { attr: k2, .. }) => {
+                    let (e1, e2) = (
+                        ea.expect("categorical column"),
+                        eb.expect("categorical column"),
+                    );
                     if k1 == k2 {
                         // Different categories of one attribute never co-occur.
-                        if c1 == c2 {
-                            dense.prod(*k1, *k1).get(&[(*k1 as u32, c1.clone())])
+                        if e1 == e2 {
+                            dense.prod(*k1, *k1).get(&[(*k1 as u32, e1)])
                         } else {
                             0.0
                         }
                     } else {
-                        dense.prod(*k1, *k2).get(&[
-                            (*k1 as u32, c1.clone()),
-                            (*k2 as u32, c2.clone()),
-                        ])
+                        dense
+                            .prod(*k1, *k2)
+                            .get(&[(*k1 as u32, e1), (*k2 as u32, e2)])
                     }
                 }
             }
@@ -266,9 +283,12 @@ impl DenseCovar {
         let mut xty = vec![0.0; n];
         for i in 0..n {
             for j in 0..n {
-                xtx[i * n + j] = pair_value(&features.columns[i], &features.columns[j]);
+                xtx[i * n + j] = pair_value(
+                    (&features.columns[i], encoded[i]),
+                    (&features.columns[j], encoded[j]),
+                );
             }
-            xty[i] = pair_value(&features.columns[i], &label_col);
+            xty[i] = pair_value((&features.columns[i], encoded[i]), (&label_col, None));
         }
         Ok(DenseCovar {
             features,
@@ -324,12 +344,13 @@ mod tests {
     }
 
     /// The same dataset with C categorical (values "c1", "c2", "c2").
-    fn figure1_gen_cofactor() -> GenCofactor {
+    fn figure1_gen_cofactor(ctx: &RingCtx) -> GenCofactor {
         let rows: [(f64, &str, f64); 3] = [(1.0, "c1", 1.0), (1.0, "c2", 3.0), (2.0, "c2", 2.0)];
         let mut acc = GenCofactor::zero();
         for (b, c, d) in rows {
+            let cat = ctx.encode_value(&Value::str(c));
             let t = GenCofactor::lift_continuous(3, 0, b)
-                .mul(&GenCofactor::lift_categorical(3, 1, 1, Value::str(c)))
+                .mul(&GenCofactor::lift_categorical(3, 1, 1, cat))
                 .mul(&GenCofactor::lift_continuous(3, 2, d));
             acc.add_assign(&t);
         }
@@ -344,7 +365,10 @@ mod tests {
             AttrKind::Categorical,
             AttrKind::Continuous,
         ];
-        let c = DenseCovar::from_gen_cofactor(&figure1_gen_cofactor(), &names, &kinds, 2).unwrap();
+        let ctx = RingCtx::new();
+        let c =
+            DenseCovar::from_gen_cofactor(&figure1_gen_cofactor(&ctx), &names, &kinds, 2, &ctx)
+                .unwrap();
         // Columns: intercept, B, C=c1, C=c2.
         assert_eq!(c.features.len(), 4);
         assert_eq!(c.features.column_name(2), "C=c1");
@@ -365,8 +389,10 @@ mod tests {
     fn categorical_label_is_rejected() {
         let names = vec!["B".to_string(), "C".to_string()];
         let kinds = vec![AttrKind::Continuous, AttrKind::Categorical];
+        let ctx = RingCtx::new();
+        let x = ctx.encode_value(&Value::str("x"));
         let payload = GenCofactor::lift_continuous(2, 0, 1.0)
-            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::str("x")));
-        assert!(DenseCovar::from_gen_cofactor(&payload, &names, &kinds, 1).is_err());
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, x));
+        assert!(DenseCovar::from_gen_cofactor(&payload, &names, &kinds, 1, &ctx).is_err());
     }
 }

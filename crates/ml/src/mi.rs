@@ -12,18 +12,26 @@
 //!
 //! and the marginal entropies `H(X)` used on the diagonal of the MI matrix.
 
+use fivm_common::EncodedValue;
 use fivm_ring::GenCofactor;
 
 /// The marginal entropy `H(X)` (natural log) of attribute `x` of the batch.
 ///
 /// Returns 0 for an empty dataset.
+///
+/// MI evaluation never decodes a category: group keys only need to be
+/// *compared*, which the encoded ring interior does word-wise, so the whole
+/// module is dictionary-free.
 pub fn entropy(payload: &GenCofactor, x: usize) -> f64 {
     let total = payload.count();
     if total <= 0.0 {
         return 0.0;
     }
+    let Some(cx) = payload.sum_ref(x) else {
+        return 0.0;
+    };
     let mut h = 0.0;
-    for (_, c) in payload.sum(x).iter() {
+    for (_, c) in cx.iter() {
         if c > 0.0 {
             let p = c / total;
             h -= p * p.ln();
@@ -44,25 +52,25 @@ pub fn mutual_information(payload: &GenCofactor, x: usize, y: usize) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let cx = payload.sum(x);
-    let cy = payload.sum(y);
-    let cxy = payload.prod(x, y);
+    let (Some(cx), Some(cy), Some(cxy)) = (
+        payload.sum_ref(x),
+        payload.sum_ref(y),
+        payload.prod_ref(x, y),
+    ) else {
+        return 0.0;
+    };
     let mut mi = 0.0;
     for (key, joint) in cxy.iter() {
         if joint <= 0.0 {
             continue;
         }
-        // The joint key holds both attribute assignments; split it.
-        let x_key: Vec<(u32, fivm_common::Value)> = key
-            .iter()
-            .filter(|(a, _)| *a == x as u32)
-            .cloned()
-            .collect();
-        let y_key: Vec<(u32, fivm_common::Value)> = key
-            .iter()
-            .filter(|(a, _)| *a == y as u32)
-            .cloned()
-            .collect();
+        // The joint key holds both attribute assignments; split it (on the
+        // encoded pairs — no decoding, no allocation beyond the two
+        // sub-key probes).
+        let x_key: Vec<(u32, EncodedValue)> =
+            key.pairs().filter(|(a, _)| *a == x as u32).collect();
+        let y_key: Vec<(u32, EncodedValue)> =
+            key.pairs().filter(|(a, _)| *a == y as u32).collect();
         let cx_v = cx.get(&x_key);
         let cy_v = cy.get(&y_key);
         if cx_v <= 0.0 || cy_v <= 0.0 {
@@ -93,7 +101,6 @@ pub fn mi_matrix(payload: &GenCofactor, dim: usize) -> Vec<Vec<f64>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fivm_common::Value;
     use fivm_ring::Ring;
 
     /// Builds an MI payload from explicit categorical rows.
@@ -103,7 +110,12 @@ mod tests {
         for row in rows {
             let mut t = GenCofactor::one();
             for (idx, v) in row.iter().enumerate() {
-                t = t.mul(&GenCofactor::lift_categorical(dim, idx, idx, Value::int(*v)));
+                t = t.mul(&GenCofactor::lift_categorical(
+                    dim,
+                    idx,
+                    idx,
+                    EncodedValue::int(*v),
+                ));
             }
             acc.add_assign(&t);
         }

@@ -67,7 +67,7 @@ pub fn rank_by_mi(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fivm_common::Value;
+    use fivm_common::EncodedValue;
     use fivm_ring::Ring;
 
     /// Three attributes plus a label: attribute 0 equals the label, attribute
@@ -83,7 +83,12 @@ mod tests {
             let row = [strong, weak, noise, label];
             let mut t = GenCofactor::one();
             for (idx, v) in row.iter().enumerate() {
-                t = t.mul(&GenCofactor::lift_categorical(dim, idx, idx, Value::int(*v)));
+                t = t.mul(&GenCofactor::lift_categorical(
+                    dim,
+                    idx,
+                    idx,
+                    EncodedValue::int(*v),
+                ));
             }
             acc.add_assign(&t);
         }

@@ -103,7 +103,31 @@ pub fn check_scale_int<R: Ring + ApproxEq>(a: &R, tol: f64) {
 /// Asserts the in-place operations agree with their allocating
 /// counterparts: `mul_into` with `out` of various prior shapes matches
 /// `mul`, and `fma_scaled` matches `acc + (a·b)·k` for small `k`.
+///
+/// Also asserts the **zero-erasure** half of the in-place contract: adding
+/// a value's exact additive inverse *in place* must leave an accumulator
+/// that reports [`Ring::is_zero`] — even though it may still own buffers.
+/// (`x + (-x)` is exact per component in IEEE arithmetic, so this holds
+/// for every ring; a pair of opposing `fma_scaled` passes, by contrast,
+/// may legitimately leave non-associativity residues.)  Rings with keyed
+/// interiors (the relation ring) must prune cancelled keys eagerly for
+/// `is_zero` to stay exact; the engine relies on it to erase zero payloads
+/// in place.
 pub fn check_inplace_ops<R: Ring + ApproxEq>(a: &R, b: &R, c: &R, tol: f64) {
+    // Zero erasure under in-place addition of the exact inverse.
+    let p = a.mul(b);
+    let mut acc = p.clone();
+    acc.add_assign(&p.neg());
+    assert!(
+        acc.is_zero(),
+        "in-place addition of the exact inverse left a non-zero accumulator: {acc:?}"
+    );
+    // ...and the zeroed accumulator is still a working accumulator.
+    acc.fma_scaled(a, b, 1);
+    assert!(
+        acc.approx_eq(&p, tol),
+        "a cancelled-to-zero accumulator no longer accumulates correctly"
+    );
     let expected = a.mul(b);
     // mul_into over accumulators of every prior shape that can occur on
     // the maintenance path: zero, one, and an arbitrary same-ring element.

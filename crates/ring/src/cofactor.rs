@@ -383,6 +383,17 @@ impl Ring for Cofactor {
         }
     }
 
+    fn reset_zero(&mut self) {
+        match self {
+            Cofactor::Scalar(c) => *c = 0.0,
+            Cofactor::Elem(e) => {
+                e.count = 0.0;
+                e.sums.fill(0.0);
+                e.prods.fill_zero();
+            }
+        }
+    }
+
     fn neg(&self) -> Self {
         self.scale_all(-1.0)
     }

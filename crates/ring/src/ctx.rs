@@ -1,0 +1,121 @@
+//! The ring context: a shared handle to the engine's string dictionary.
+//!
+//! The relational rings ([`crate::RelValue`], [`crate::GenCofactor`]) key
+//! their interior tables by dictionary-encoded words.  Integers, doubles and
+//! NULL encode without any dictionary; **string** categories need the same
+//! interner the engine uses for view keys, so that the encoded values the
+//! engine hands to lifts on the hot path and the values a lift encodes
+//! itself (from a raw [`Value`]) agree bit for bit.  A [`RingCtx`] is that
+//! shared handle: the engine and every lift built for it hold clones of one
+//! context, and therefore one dictionary.
+//!
+//! Ownership rules (the "ring-key contract", see ROADMAP.md):
+//!
+//! * **One context per engine/shard.**  Encoded ring keys are meaningful
+//!   only under the dictionary that produced them; moving ring values
+//!   across engines goes through [`crate::Ring::rekey`].
+//! * **Ring operations never touch the context.**  `add`/`mul`/`fma` work
+//!   on already-encoded words; only *lift application* (raw `Value` in) and
+//!   *output-boundary decoding* (raw `Value` out) lock the dictionary.
+//!   This is what makes the lock uncontended and deadlock-free: the engine
+//!   never holds the guard across a ring or lift call.
+
+use fivm_common::{Dict, EncodedValue, Value};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// A cloneable, thread-safe handle to one engine's [`Dict`].
+#[derive(Clone, Debug, Default)]
+pub struct RingCtx {
+    dict: Arc<Mutex<Dict>>,
+}
+
+impl RingCtx {
+    /// A fresh context with an empty dictionary.
+    pub fn new() -> RingCtx {
+        RingCtx::default()
+    }
+
+    /// Locks the dictionary.  Callers must not invoke ring or lift code
+    /// while holding the guard (see the module docs); the lock is
+    /// single-owner in practice and never blocks on the maintenance path.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, Dict> {
+        self.dict.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Encodes one value, interning strings on first sight.
+    #[inline]
+    pub fn encode_value(&self, v: &Value) -> EncodedValue {
+        match v {
+            // The common non-string cases encode without touching the lock.
+            Value::Null => EncodedValue::NULL,
+            Value::Int(x) => EncodedValue::int(*x),
+            Value::Double(x) => EncodedValue::double(x.get()),
+            Value::Str(_) => self.lock().encode_value(v),
+        }
+    }
+
+    /// Encodes one value without interning; `None` for an unseen string
+    /// (such a value cannot be part of any stored ring key).
+    #[inline]
+    pub fn try_encode_value(&self, v: &Value) -> Option<EncodedValue> {
+        match v {
+            Value::Str(_) => self.lock().try_encode_value(v),
+            other => Some(self.encode_value(other)),
+        }
+    }
+
+    /// Decodes one value (output boundary).
+    #[inline]
+    pub fn decode_value(&self, ev: EncodedValue) -> Value {
+        match ev.decode_dictless() {
+            Some(v) => v,
+            None => self.lock().decode_value(ev),
+        }
+    }
+
+    /// A point-in-time copy of the dictionary (used when ring values leave
+    /// the engine, e.g. a shard attaching its dictionary to a result reply).
+    pub fn snapshot(&self) -> Dict {
+        self.lock().clone()
+    }
+
+    /// Runs a closure over the locked dictionary (shared-read use cases at
+    /// output boundaries).
+    pub fn with_dict<T>(&self, f: impl FnOnce(&Dict) -> T) -> T {
+        f(&self.lock())
+    }
+
+    /// Runs a closure over the locked dictionary with mutable access.
+    pub fn with_dict_mut<T>(&self, f: impl FnOnce(&mut Dict) -> T) -> T {
+        f(&mut self.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_handle_shares_interning() {
+        let a = RingCtx::new();
+        let b = a.clone();
+        let red_a = a.encode_value(&Value::str("red"));
+        let red_b = b.encode_value(&Value::str("red"));
+        assert_eq!(red_a, red_b, "clones must share one dictionary");
+        assert_eq!(a.decode_value(red_b), Value::str("red"));
+        assert_eq!(b.try_encode_value(&Value::str("unseen")), None);
+    }
+
+    #[test]
+    fn non_string_encoding_is_dictionary_free() {
+        let ctx = RingCtx::new();
+        assert_eq!(ctx.encode_value(&Value::int(7)), EncodedValue::int(7));
+        assert_eq!(
+            ctx.encode_value(&Value::double(-0.0)),
+            EncodedValue::double(0.0)
+        );
+        assert_eq!(ctx.decode_value(EncodedValue::int(7)), Value::int(7));
+        assert_eq!(ctx.with_dict(Dict::len), 0, "no interning happened");
+    }
+}

@@ -18,10 +18,25 @@
 //! the aggregates needed to compute pairwise MI.
 //!
 //! The count component stays a scalar: it is never grouped by anything.
+//!
+//! # The sparse lift path
+//!
+//! A lifted input value is extremely sparse: count 1, one non-zero `s`
+//! entry, one non-zero `Q` entry.  Materializing it as a dense element
+//! costs `dim + dim·(dim+1)/2` relation buffers per input row — the
+//! dominant cost of GenCofactor-bound workloads.  The fused accumulators
+//! [`GenCofactor::fma_lift_continuous`] and
+//! [`GenCofactor::fma_lift_categorical`] apply `self += (acc · g(v)) ·
+//! scale` directly from the lift's three non-zero components, touching only
+//! the rows/columns of the lifted index beyond a scaled copy of `acc` —
+//! the generalized-ring extension of the PR-1 in-place contract
+//! (`fivm_ring::axioms::check_inplace_ops`), wired to the engine through
+//! [`crate::LiftFn::with_fma_encoded`].
 
+use crate::relkey::RelKey;
 use crate::relvalue::RelValue;
 use crate::ring::{approx_f64, ApproxEq, Ring};
-use fivm_common::{Value, VarId};
+use fivm_common::{Dict, EncodedValue};
 
 /// A value of the generalized (relational) cofactor ring.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,13 +114,17 @@ impl GenCofactor {
     /// Lifts a **categorical** attribute value: `s_idx = {(attr=v) -> 1}`,
     /// `Q_idx,idx = {(attr=v) -> 1}`.
     ///
-    /// `attr` is the attribute tag used inside relational keys; by convention
-    /// the engine passes the feature index so keys are self-describing.
-    pub fn lift_categorical(dim: usize, idx: usize, attr: VarId, value: Value) -> Self {
+    /// `attr` is the attribute tag used inside relational keys; by
+    /// convention the engine passes the feature index so keys are
+    /// self-describing.  The value is already dictionary-encoded — string
+    /// categories go through the engine's [`crate::RingCtx`] (integer and
+    /// double categories encode without a dictionary,
+    /// [`EncodedValue::int`] / [`EncodedValue::double`]).
+    pub fn lift_categorical(dim: usize, idx: usize, attr: usize, value: EncodedValue) -> Self {
         assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
         let mut e = GenCofactorElem::zeros(dim);
         e.count = 1.0;
-        e.sums[idx] = RelValue::indicator(attr, value.clone());
+        e.sums[idx] = RelValue::indicator(attr, value);
         *e.prod_mut(idx, idx) = RelValue::indicator(attr, value);
         GenCofactor::Elem(e)
     }
@@ -131,11 +150,28 @@ impl GenCofactor {
         }
     }
 
+    /// Borrowed variant of [`GenCofactor::sum`] (`None` for scalars, which
+    /// have no relational components to borrow).
+    pub fn sum_ref(&self, idx: usize) -> Option<&RelValue> {
+        match self {
+            GenCofactor::Scalar(_) => None,
+            GenCofactor::Elem(e) => e.sums.get(idx),
+        }
+    }
+
     /// The interaction relation for `(i, j)` (empty for scalars).
     pub fn prod(&self, i: usize, j: usize) -> RelValue {
         match self {
             GenCofactor::Scalar(_) => RelValue::empty(),
             GenCofactor::Elem(e) => e.prod(i, j).clone(),
+        }
+    }
+
+    /// Borrowed variant of [`GenCofactor::prod`].
+    pub fn prod_ref(&self, i: usize, j: usize) -> Option<&RelValue> {
+        match self {
+            GenCofactor::Scalar(_) => None,
+            GenCofactor::Elem(e) => Some(e.prod(i, j)),
         }
     }
 
@@ -193,6 +229,125 @@ impl GenCofactor {
                 e
             }
             GenCofactor::Scalar(_) => unreachable!("promoted above"),
+        }
+    }
+
+    /// Sparse-lift fused accumulate, continuous:
+    /// `self += (acc · lift_continuous(dim, idx, x)) · scale` without
+    /// materializing the lifted element.  For a scalar `acc` this touches
+    /// three entries; for a dense `acc` it adds a scaled copy of `acc` plus
+    /// the lifted row/column — never `O(dim²)` relation traffic for the
+    /// lift's side.
+    pub fn fma_lift_continuous(&mut self, acc: &GenCofactor, dim: usize, idx: usize, x: f64, scale: i64) {
+        if scale == 0 {
+            return;
+        }
+        let s = scale as f64;
+        let empty = RelKey::empty();
+        let empty_hash = empty.fx_hash();
+        match acc {
+            GenCofactor::Scalar(c) => {
+                if *c == 0.0 {
+                    return;
+                }
+                let o = self.promote_to_elem(dim);
+                o.count += s * c;
+                o.sums[idx].add_entry_prehashed(empty_hash, &empty, s * c * x);
+                o.prod_mut(idx, idx)
+                    .add_entry_prehashed(empty_hash, &empty, s * c * x * x);
+            }
+            GenCofactor::Elem(a) => {
+                assert_eq!(a.dim(), dim, "generalized cofactor dimension mismatch");
+                let o = self.promote_to_elem(dim);
+                o.count += s * a.count;
+                // The lift's count is 1: every component of `acc` joins a
+                // plain scalar, i.e. accumulates as a scaled copy.
+                for (dst, src) in o.sums.iter_mut().zip(a.sums.iter()) {
+                    dst.add_scaled(src, s);
+                }
+                for (dst, src) in o.prods.iter_mut().zip(a.prods.iter()) {
+                    dst.add_scaled(src, s);
+                }
+                // s_idx gains x per joined tuple: s · x · acc.count.
+                o.sums[idx].add_entry_prehashed(empty_hash, &empty, s * x * a.count);
+                // Cross terms touch only row/column idx; the (idx, idx) cell
+                // receives both symmetric halves.
+                for i in 0..dim {
+                    let factor = if i == idx { 2.0 * s * x } else { s * x };
+                    let q = &mut o.prods[tri_index(dim, i, idx)];
+                    q.add_scaled(&a.sums[i], factor);
+                }
+                o.prod_mut(idx, idx)
+                    .add_entry_prehashed(empty_hash, &empty, s * x * x * a.count);
+            }
+        }
+    }
+
+    /// Sparse-lift fused accumulate, categorical:
+    /// `self += (acc · lift_categorical(dim, idx, attr, value)) · scale`.
+    /// The singleton key `(attr = value)` is built and hashed exactly once;
+    /// for a scalar `acc` the whole accumulation is three table upserts.
+    pub fn fma_lift_categorical(
+        &mut self,
+        acc: &GenCofactor,
+        dim: usize,
+        idx: usize,
+        attr: usize,
+        value: EncodedValue,
+        scale: i64,
+    ) {
+        if scale == 0 {
+            return;
+        }
+        let s = scale as f64;
+        let key = RelKey::singleton(attr as u32, value);
+        let hash = key.fx_hash();
+        match acc {
+            GenCofactor::Scalar(c) => {
+                if *c == 0.0 {
+                    return;
+                }
+                let o = self.promote_to_elem(dim);
+                o.count += s * c;
+                o.sums[idx].add_entry_prehashed(hash, &key, s * c);
+                o.prod_mut(idx, idx).add_entry_prehashed(hash, &key, s * c);
+            }
+            GenCofactor::Elem(a) => {
+                assert_eq!(a.dim(), dim, "generalized cofactor dimension mismatch");
+                let o = self.promote_to_elem(dim);
+                o.count += s * a.count;
+                for (dst, src) in o.sums.iter_mut().zip(a.sums.iter()) {
+                    dst.add_scaled(src, s);
+                }
+                for (dst, src) in o.prods.iter_mut().zip(a.prods.iter()) {
+                    dst.add_scaled(src, s);
+                }
+                // s_idx = SUM(1) GROUP BY attr over the joined tuples.
+                o.sums[idx].add_entry_prehashed(hash, &key, s * a.count);
+                // Cross terms: acc.s[i] ⋈ {attr = value}, row and column of
+                // idx; (idx, idx) receives both symmetric halves.
+                for i in 0..dim {
+                    let q = &mut o.prods[tri_index(dim, i, idx)];
+                    q.fma_indicator(&a.sums[i], attr as u32, value, s);
+                    if i == idx {
+                        q.fma_indicator(&a.sums[i], attr as u32, value, s);
+                    }
+                }
+                o.prod_mut(idx, idx).add_entry_prehashed(hash, &key, s * a.count);
+            }
+        }
+    }
+
+    /// Sum of interior-table rehash events over every relational component.
+    pub fn table_rehashes(&self) -> u64 {
+        match self {
+            GenCofactor::Scalar(_) => 0,
+            GenCofactor::Elem(e) => e
+                .sums
+                .iter()
+                .chain(e.prods.iter())
+                .map(RelValue::table_rehashes)
+                .sum(),
         }
     }
 }
@@ -383,6 +538,40 @@ impl Ring for GenCofactor {
     fn scale_int(&self, k: i64) -> Self {
         self.scale_all(k as f64)
     }
+
+    fn reset_zero(&mut self) {
+        match self {
+            GenCofactor::Scalar(c) => *c = 0.0,
+            GenCofactor::Elem(e) => {
+                e.count = 0.0;
+                for s in &mut e.sums {
+                    s.reset_zero();
+                }
+                for q in &mut e.prods {
+                    q.reset_zero();
+                }
+            }
+        }
+    }
+
+    fn needs_rekey() -> bool {
+        true
+    }
+
+    fn rekey(&self, src: &Dict, dst: &mut Dict) -> Self {
+        match self {
+            GenCofactor::Scalar(c) => GenCofactor::Scalar(*c),
+            GenCofactor::Elem(e) => GenCofactor::Elem(GenCofactorElem {
+                count: e.count,
+                sums: e.sums.iter().map(|r| r.rekey_dicts(src, dst)).collect(),
+                prods: e.prods.iter().map(|r| r.rekey_dicts(src, dst)).collect(),
+            }),
+        }
+    }
+
+    fn payload_rehashes(&self) -> u64 {
+        self.table_rehashes()
+    }
 }
 
 impl ApproxEq for GenCofactor {
@@ -411,6 +600,12 @@ impl ApproxEq for GenCofactor {
 mod tests {
     use super::*;
     use crate::axioms;
+    use crate::ctx::RingCtx;
+    use fivm_common::Value;
+
+    fn ev(x: i64) -> EncodedValue {
+        EncodedValue::int(x)
+    }
 
     #[test]
     fn continuous_lift_matches_cofactor_semantics() {
@@ -423,10 +618,12 @@ mod tests {
 
     #[test]
     fn categorical_lift_one_hot_encodes() {
-        let g = GenCofactor::lift_categorical(3, 2, 2, Value::str("red"));
+        let ctx = RingCtx::new();
+        let red = ctx.encode_value(&Value::str("red"));
+        let g = GenCofactor::lift_categorical(3, 2, 2, red);
         assert_eq!(g.count(), 1.0);
-        assert_eq!(g.sum(2).get(&[(2, Value::str("red"))]), 1.0);
-        assert_eq!(g.prod(2, 2).get(&[(2, Value::str("red"))]), 1.0);
+        assert_eq!(g.sum(2).get(&[(2, red)]), 1.0);
+        assert_eq!(g.prod(2, 2).get(&[(2, red)]), 1.0);
         assert!(g.sum(0).is_zero());
     }
 
@@ -434,29 +631,32 @@ mod tests {
     fn figure1_covar_with_categorical_c() {
         // Figure 1, COVAR with categorical C and continuous B, D (b_i = d_i = i).
         // Variables indexed: B = 0, C = 1, D = 2.
+        let ctx = RingCtx::new();
+        let c1 = ctx.encode_value(&Value::str("c1"));
+        let c2 = ctx.encode_value(&Value::str("c2"));
         // V_S(a1) = g_C(c1)*g_D(d1) + g_C(c2)*g_D(d3)
-        let term1 = GenCofactor::lift_categorical(3, 1, 1, Value::str("c1"))
+        let term1 = GenCofactor::lift_categorical(3, 1, 1, c1)
             .mul(&GenCofactor::lift_continuous(3, 2, 1.0));
-        let term2 = GenCofactor::lift_categorical(3, 1, 1, Value::str("c2"))
+        let term2 = GenCofactor::lift_categorical(3, 1, 1, c2)
             .mul(&GenCofactor::lift_continuous(3, 2, 3.0));
         let vs_a1 = term1.add(&term2);
         assert_eq!(vs_a1.count(), 2.0);
         // s_C = SUM(1) GROUP BY C = {c1 -> 1, c2 -> 1}
-        assert_eq!(vs_a1.sum(1).get(&[(1, Value::str("c1"))]), 1.0);
-        assert_eq!(vs_a1.sum(1).get(&[(1, Value::str("c2"))]), 1.0);
+        assert_eq!(vs_a1.sum(1).get(&[(1, c1)]), 1.0);
+        assert_eq!(vs_a1.sum(1).get(&[(1, c2)]), 1.0);
         // s_D = SUM(D) = 1 + 3
         assert_eq!(vs_a1.sum(2).scalar_part(), 4.0);
         // Q_CD = SUM(D) GROUP BY C = {c1 -> 1, c2 -> 3}
-        assert_eq!(vs_a1.prod(1, 2).get(&[(1, Value::str("c1"))]), 1.0);
-        assert_eq!(vs_a1.prod(1, 2).get(&[(1, Value::str("c2"))]), 3.0);
+        assert_eq!(vs_a1.prod(1, 2).get(&[(1, c1)]), 1.0);
+        assert_eq!(vs_a1.prod(1, 2).get(&[(1, c2)]), 3.0);
 
         // Join with V_R(a1) = g_B(b1) (B continuous, b1 = 1).
         let vr_a1 = GenCofactor::lift_continuous(3, 0, 1.0);
         let q = vr_a1.mul(&vs_a1);
         assert_eq!(q.count(), 2.0);
         // Q_BC = SUM(B) GROUP BY C = {c1 -> 1, c2 -> 1}
-        assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c1"))]), 1.0);
-        assert_eq!(q.prod(0, 1).get(&[(1, Value::str("c2"))]), 1.0);
+        assert_eq!(q.prod(0, 1).get(&[(1, c1)]), 1.0);
+        assert_eq!(q.prod(0, 1).get(&[(1, c2)]), 1.0);
         // Q_BD = SUM(B*D) = 1*1 + 1*3 = 4
         assert_eq!(q.prod(0, 2).scalar_part(), 4.0);
     }
@@ -464,31 +664,23 @@ mod tests {
     #[test]
     fn mi_payload_counts_pairwise_cooccurrences() {
         // All attributes categorical: the payload holds C_X and C_XY counts.
-        let t1 = GenCofactor::lift_categorical(2, 0, 0, Value::int(1))
-            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::int(10)));
-        let t2 = GenCofactor::lift_categorical(2, 0, 0, Value::int(1))
-            .mul(&GenCofactor::lift_categorical(2, 1, 1, Value::int(20)));
+        let t1 = GenCofactor::lift_categorical(2, 0, 0, ev(1))
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, ev(10)));
+        let t2 = GenCofactor::lift_categorical(2, 0, 0, ev(1))
+            .mul(&GenCofactor::lift_categorical(2, 1, 1, ev(20)));
         let total = t1.add(&t2);
         assert_eq!(total.count(), 2.0);
-        assert_eq!(total.sum(0).get(&[(0, Value::int(1))]), 2.0);
-        assert_eq!(total.sum(1).get(&[(1, Value::int(10))]), 1.0);
-        assert_eq!(
-            total
-                .prod(0, 1)
-                .get(&[(0, Value::int(1)), (1, Value::int(10))]),
-            1.0
-        );
-        assert_eq!(
-            total
-                .prod(0, 1)
-                .get(&[(0, Value::int(1)), (1, Value::int(20))]),
-            1.0
-        );
+        assert_eq!(total.sum(0).get(&[(0, ev(1))]), 2.0);
+        assert_eq!(total.sum(1).get(&[(1, ev(10))]), 1.0);
+        assert_eq!(total.prod(0, 1).get(&[(0, ev(1)), (1, ev(10))]), 1.0);
+        assert_eq!(total.prod(0, 1).get(&[(0, ev(1)), (1, ev(20))]), 1.0);
     }
 
     #[test]
     fn deletes_cancel() {
-        let x = GenCofactor::lift_categorical(2, 0, 0, Value::str("a"))
+        let ctx = RingCtx::new();
+        let a = ctx.encode_value(&Value::str("a"));
+        let x = GenCofactor::lift_categorical(2, 0, 0, a)
             .mul(&GenCofactor::lift_continuous(2, 1, 2.0));
         assert!(x.add(&x.neg()).is_zero());
         assert!(x.scale_int(0).is_zero());
@@ -497,14 +689,14 @@ mod tests {
 
     #[test]
     fn scalar_interactions() {
-        let e = GenCofactor::lift_categorical(2, 0, 0, Value::int(5));
+        let e = GenCofactor::lift_categorical(2, 0, 0, ev(5));
         let s = GenCofactor::scalar(3.0);
         let prod = s.mul(&e);
         assert_eq!(prod.count(), 3.0);
-        assert_eq!(prod.sum(0).get(&[(0, Value::int(5))]), 3.0);
+        assert_eq!(prod.sum(0).get(&[(0, ev(5))]), 3.0);
         let sum = s.add(&e);
         assert_eq!(sum.count(), 4.0);
-        assert_eq!(sum.sum(0).get(&[(0, Value::int(5))]), 1.0);
+        assert_eq!(sum.sum(0).get(&[(0, ev(5))]), 1.0);
         let sum_rev = e.add(&s);
         assert_eq!(sum, sum_rev);
     }
@@ -518,10 +710,69 @@ mod tests {
 
     #[test]
     fn ring_axioms_hold_approximately() {
-        let a = GenCofactor::lift_categorical(3, 0, 0, Value::str("x"));
+        let ctx = RingCtx::new();
+        let x = ctx.encode_value(&Value::str("x"));
+        let a = GenCofactor::lift_categorical(3, 0, 0, x);
         let b = GenCofactor::lift_continuous(3, 1, 2.5)
-            .mul(&GenCofactor::lift_categorical(3, 2, 2, Value::int(7)));
+            .mul(&GenCofactor::lift_categorical(3, 2, 2, ev(7)));
         let c = GenCofactor::scalar(2.0).add(&GenCofactor::lift_continuous(3, 1, -1.0));
         axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+
+    /// The sparse-lift fused accumulators must agree exactly with
+    /// materialize-then-fma for every accumulator shape.
+    #[test]
+    fn sparse_lift_fma_matches_materialized_lift() {
+        let dim = 3;
+        let accs = [
+            GenCofactor::zero(),
+            GenCofactor::scalar(2.5),
+            GenCofactor::lift_categorical(dim, 0, 0, ev(4))
+                .mul(&GenCofactor::lift_continuous(dim, 1, 1.5)),
+            GenCofactor::lift_categorical(dim, 2, 2, ev(9)),
+        ];
+        for acc in &accs {
+            for scale in [-2i64, -1, 0, 1, 3] {
+                // Continuous lift at idx 1.
+                let mut fused = acc.mul(acc);
+                let mut reference = fused.clone();
+                fused.fma_lift_continuous(acc, dim, 1, 2.0, scale);
+                reference.fma_scaled(acc, &GenCofactor::lift_continuous(dim, 1, 2.0), scale);
+                assert_eq!(fused, reference, "continuous, scale={scale}");
+
+                // Categorical lift at idx 2 — shares attribute 0 categories
+                // with the accumulator to exercise the join filter.
+                let mut fused = acc.mul(acc);
+                let mut reference = fused.clone();
+                fused.fma_lift_categorical(acc, dim, 2, 0, ev(4), scale);
+                reference.fma_scaled(
+                    acc,
+                    &GenCofactor::lift_categorical(dim, 2, 0, ev(4)),
+                    scale,
+                );
+                assert_eq!(fused, reference, "categorical, scale={scale}");
+            }
+        }
+    }
+
+    #[test]
+    fn rekey_moves_string_categories_between_dictionaries() {
+        let a = RingCtx::new();
+        let red = a.encode_value(&Value::str("red"));
+        let g = GenCofactor::lift_categorical(2, 0, 0, red)
+            .mul(&GenCofactor::lift_continuous(2, 1, 2.0));
+        let b = RingCtx::new();
+        // "blue" takes id 0 in the destination — the same *encoding* as
+        // "red" in the source.  Ids are dictionary-local; interpreting the
+        // payload under `b` without rekeying would read the wrong string.
+        let blue_first = b.encode_value(&Value::str("blue"));
+        assert_eq!(red, blue_first);
+        let moved = b.with_dict_mut(|dst| a.with_dict(|src| g.rekey(src, dst)));
+        // Same decoded content under the destination dictionary.
+        let red_b = b.encode_value(&Value::str("red"));
+        assert_eq!(moved.sum(0).get(&[(0, red_b)]), 1.0);
+        assert_eq!(moved.count(), g.count());
+        assert!(GenCofactor::needs_rekey());
+        assert!(!<f64 as Ring>::needs_rekey());
     }
 }

@@ -23,20 +23,26 @@
 //! by the engine when a variable is marginalized.
 
 pub mod axioms;
+pub mod boxed;
 pub mod cofactor;
+pub mod ctx;
 pub mod gencofactor;
 pub mod lift;
 pub mod matrix;
 pub mod numeric;
+pub mod relkey;
 pub mod relvalue;
 pub mod ring;
 pub mod symmatrix;
 
+pub use boxed::{BoxedCatKey, BoxedRelValue};
 pub use cofactor::Cofactor;
+pub use ctx::RingCtx;
 pub use gencofactor::GenCofactor;
 pub use lift::LiftFn;
 pub use matrix::MatrixValue;
 pub use numeric::PairRing;
-pub use relvalue::{CatKey, RelValue};
+pub use relkey::RelKey;
+pub use relvalue::{DecodedRelEntry, RelValue};
 pub use ring::{ApproxEq, Ring};
 pub use symmatrix::SymMatrix;

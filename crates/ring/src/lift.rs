@@ -5,18 +5,37 @@
 //! away at the view `V@X` — this is the `[lift<k>](X)` factor in the M3 code
 //! of Figure 2d.  Variables that are plain join keys use the identity lift
 //! (`g_X(x) = 1`), which the engine can skip entirely.
+//!
+//! # The encoded fast path
+//!
+//! On the maintenance hot path the engine holds the lifted variable's value
+//! in **dictionary-encoded** form (a tagged `u64` word); decoding it to a
+//! [`Value`] just so the lift can re-encode it would materialize an
+//! `Arc<str>` per row.  A lift can therefore attach an *encoded* fused
+//! lift-multiply-accumulate ([`LiftFn::with_fma_encoded`]) that consumes
+//! the [`EncodedValue`] directly; the engine prefers it, falling back to
+//! decode + the `Value`-level path only for lifts without one.  Lifts whose
+//! rings key interior tables by encoded words (the relational rings) must
+//! share the engine's dictionary — they are built against the engine's
+//! [`RingCtx`] (see `fivm_core::apps`).
 
 use crate::cofactor::Cofactor;
+use crate::ctx::RingCtx;
 use crate::gencofactor::GenCofactor;
 use crate::relvalue::RelValue;
 use crate::ring::Ring;
-use fivm_common::{Value, VarId};
+use fivm_common::{EncodedValue, Value, VarId};
 use std::fmt;
 use std::sync::Arc;
 
 /// Signature of a fused lift-multiply-accumulate:
 /// `slot += (acc · g(v)) · scale`.
 pub type LiftFmaFn<R> = Arc<dyn Fn(&Value, &R, i64, &mut R) + Send + Sync>;
+
+/// Signature of the encoded fused lift-multiply-accumulate:
+/// `slot += (acc · g(decode(v))) · scale` computed directly from the
+/// dictionary-encoded value.
+pub type LiftFmaEncodedFn<R> = Arc<dyn Fn(EncodedValue, &R, i64, &mut R) + Send + Sync>;
 
 /// A lift (attribute function) producing payloads of ring `R`.
 #[derive(Clone)]
@@ -30,6 +49,9 @@ pub struct LiftFn<R> {
     /// without materializing the dense lifted element — the engine uses it
     /// on the maintenance hot path when present.
     fma: Option<LiftFmaFn<R>>,
+    /// Optional encoded variant of `fma`, consuming the dictionary-encoded
+    /// value without materializing a [`Value`] at all.
+    fma_encoded: Option<LiftFmaEncodedFn<R>>,
 }
 
 impl<R: Ring> LiftFn<R> {
@@ -43,6 +65,7 @@ impl<R: Ring> LiftFn<R> {
             is_identity: false,
             f: Arc::new(f),
             fma: None,
+            fma_encoded: None,
         }
     }
 
@@ -60,6 +83,17 @@ impl<R: Ring> LiftFn<R> {
         self
     }
 
+    /// Attaches the encoded fused lift-multiply-accumulate.  Must agree
+    /// with the `Value`-level path under `g(decode(v))` for every encoded
+    /// value the engine can produce.
+    pub fn with_fma_encoded<F>(mut self, fma: F) -> Self
+    where
+        F: Fn(EncodedValue, &R, i64, &mut R) + Send + Sync + 'static,
+    {
+        self.fma_encoded = Some(Arc::new(fma));
+        self
+    }
+
     /// The identity lift `g_X(x) = 1`, used for join keys that do not
     /// participate in the aggregate batch.
     pub fn identity() -> Self {
@@ -68,6 +102,7 @@ impl<R: Ring> LiftFn<R> {
             is_identity: true,
             f: Arc::new(|_| R::one()),
             fma: None,
+            fma_encoded: None,
         }
     }
 
@@ -98,6 +133,25 @@ impl<R: Ring> LiftFn<R> {
             None => slot.fma_scaled(acc, &self.apply(v), scale),
         }
     }
+
+    /// Fused accumulate from the dictionary-encoded value.  The engine's
+    /// hot path: when the lift carries an encoded specialization no
+    /// [`Value`] materializes at all; otherwise `decode` is called once and
+    /// the `Value`-level path takes over.
+    #[inline]
+    pub fn fma_apply_encoded(
+        &self,
+        ev: EncodedValue,
+        decode: impl FnOnce(EncodedValue) -> Value,
+        acc: &R,
+        scale: i64,
+        slot: &mut R,
+    ) {
+        match &self.fma_encoded {
+            Some(fma) => fma(ev, acc, scale, slot),
+            None => self.fma_apply(&decode(ev), acc, scale, slot),
+        }
+    }
 }
 
 impl<R> fmt::Debug for LiftFn<R> {
@@ -120,8 +174,9 @@ pub fn real_value_lift(name: &str) -> LiftFn<f64> {
 /// into the cofactor (COVAR) ring.
 ///
 /// Carries the fused lift-multiply-accumulate
-/// ([`Cofactor::fma_lift_continuous`]), which the engine uses on the hot
-/// path: `O(dim)` accumulation without materializing the lifted element.
+/// ([`Cofactor::fma_lift_continuous`]) in both `Value` and encoded form,
+/// which the engine uses on the hot path: `O(dim)` accumulation without
+/// materializing the lifted element (or, on the encoded path, the value).
 pub fn cofactor_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<Cofactor> {
     LiftFn::new(format!("cofactor<{dim}>[{idx}]({name})"), move |v| {
         Cofactor::lift(dim, idx, v.as_f64().unwrap_or(0.0))
@@ -129,20 +184,52 @@ pub fn cofactor_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<Co
     .with_fma(move |v, acc, scale, slot| {
         slot.fma_lift_continuous(acc, dim, idx, v.as_f64().unwrap_or(0.0), scale);
     })
+    .with_fma_encoded(move |ev, acc, scale, slot| {
+        slot.fma_lift_continuous(acc, dim, idx, ev.as_f64().unwrap_or(0.0), scale);
+    })
 }
 
 /// Lift of a continuous attribute into the generalized cofactor ring.
+/// Carries the sparse-lift fused accumulate
+/// ([`GenCofactor::fma_lift_continuous`]) in both forms.
 pub fn gen_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<GenCofactor> {
     LiftFn::new(format!("gen_cofactor<{dim}>[{idx}:cont]({name})"), move |v| {
         GenCofactor::lift_continuous(dim, idx, v.as_f64().unwrap_or(0.0))
+    })
+    .with_fma(move |v, acc, scale, slot| {
+        slot.fma_lift_continuous(acc, dim, idx, v.as_f64().unwrap_or(0.0), scale);
+    })
+    .with_fma_encoded(move |ev, acc, scale, slot| {
+        slot.fma_lift_continuous(acc, dim, idx, ev.as_f64().unwrap_or(0.0), scale);
     })
 }
 
 /// Lift of a categorical attribute into the generalized cofactor ring; the
 /// attribute tag `attr` is stored inside relational keys (one-hot encoding).
-pub fn gen_categorical_lift(dim: usize, idx: usize, attr: VarId, name: &str) -> LiftFn<GenCofactor> {
+///
+/// Relational keys are dictionary-encoded, so the lift is built against the
+/// engine's [`RingCtx`]: the `Value`-level path interns through it, while
+/// the encoded fast path consumes the engine's already-encoded word
+/// directly ([`GenCofactor::fma_lift_categorical`] — three table upserts
+/// for a scalar accumulator, no dictionary access, no allocation beyond
+/// table growth).
+pub fn gen_categorical_lift(
+    dim: usize,
+    idx: usize,
+    attr: VarId,
+    name: &str,
+    ctx: &RingCtx,
+) -> LiftFn<GenCofactor> {
+    let apply_ctx = ctx.clone();
+    let fma_ctx = ctx.clone();
     LiftFn::new(format!("gen_cofactor<{dim}>[{idx}:cat]({name})"), move |v| {
-        GenCofactor::lift_categorical(dim, idx, attr, v.clone())
+        GenCofactor::lift_categorical(dim, idx, attr, apply_ctx.encode_value(v))
+    })
+    .with_fma(move |v, acc, scale, slot| {
+        slot.fma_lift_categorical(acc, dim, idx, attr, fma_ctx.encode_value(v), scale);
+    })
+    .with_fma_encoded(move |ev, acc, scale, slot| {
+        slot.fma_lift_categorical(acc, dim, idx, attr, ev, scale);
     })
 }
 
@@ -150,16 +237,27 @@ pub fn gen_categorical_lift(dim: usize, idx: usize, attr: VarId, name: &str) -> 
 ///
 /// Maintaining the query with these lifts maintains the listing
 /// representation of the (projected) join result — factorized query
-/// evaluation.
-pub fn relational_lift(attr: VarId, name: &str) -> LiftFn<RelValue> {
+/// evaluation.  Built against the engine's [`RingCtx`] like
+/// [`gen_categorical_lift`]; the encoded fast path extends every
+/// accumulator key in place ([`RelValue::fma_indicator`]).
+pub fn relational_lift(attr: VarId, name: &str, ctx: &RingCtx) -> LiftFn<RelValue> {
+    let apply_ctx = ctx.clone();
+    let fma_ctx = ctx.clone();
     LiftFn::new(format!("rel[{name}]"), move |v| {
-        RelValue::indicator(attr, v.clone())
+        RelValue::indicator(attr, apply_ctx.encode_value(v))
+    })
+    .with_fma(move |v, acc, scale, slot| {
+        slot.fma_indicator(acc, attr as u32, fma_ctx.encode_value(v), scale as f64);
+    })
+    .with_fma_encoded(move |ev, acc, scale, slot| {
+        slot.fma_indicator(acc, attr as u32, ev, scale as f64);
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ring::ApproxEq;
 
     #[test]
     fn identity_lift_is_one_and_flagged() {
@@ -191,16 +289,65 @@ mod tests {
 
     #[test]
     fn generalized_lifts_produce_expected_shape() {
+        let ctx = RingCtx::new();
         let cont = gen_continuous_lift(2, 0, "B").apply(&Value::int(2));
         assert_eq!(cont.sum(0).scalar_part(), 2.0);
-        let cat = gen_categorical_lift(2, 1, 7, "C").apply(&Value::str("red"));
-        assert_eq!(cat.sum(1).get(&[(7, Value::str("red"))]), 1.0);
+        let cat = gen_categorical_lift(2, 1, 7, "C", &ctx).apply(&Value::str("red"));
+        let red = ctx.encode_value(&Value::str("red"));
+        assert_eq!(cat.sum(1).get(&[(7, red)]), 1.0);
     }
 
     #[test]
     fn relational_lift_builds_indicators() {
-        let l = relational_lift(3, "D");
+        let ctx = RingCtx::new();
+        let l = relational_lift(3, "D", &ctx);
         let r = l.apply(&Value::int(9));
-        assert_eq!(r.get(&[(3, Value::int(9))]), 1.0);
+        assert_eq!(r.get(&[(3, EncodedValue::int(9))]), 1.0);
+    }
+
+    /// Every lift's three application paths (apply, fma, encoded fma) must
+    /// agree: `fma(v, acc, k, slot)` ≡ `slot += (acc · apply(v)) · k`.
+    #[test]
+    fn fma_paths_agree_with_apply() {
+        let ctx = RingCtx::new();
+        fn check<R: Ring + ApproxEq>(lift: &LiftFn<R>, ctx: &RingCtx, v: &Value, acc: &R) {
+            for scale in [-1i64, 1, 2] {
+                let mut expect = acc.mul(acc);
+                expect.fma_scaled(acc, &lift.apply(v), scale);
+                let mut via_fma = acc.mul(acc);
+                lift.fma_apply(v, acc, scale, &mut via_fma);
+                assert!(via_fma.approx_eq(&expect, 1e-12), "fma diverges from apply");
+                let mut via_encoded = acc.mul(acc);
+                let ev = ctx.encode_value(v);
+                lift.fma_apply_encoded(ev, |e| ctx.decode_value(e), acc, scale, &mut via_encoded);
+                assert!(
+                    via_encoded.approx_eq(&expect, 1e-12),
+                    "encoded fma diverges from apply"
+                );
+            }
+        }
+        let cof_acc = Cofactor::lift(3, 0, 2.0).mul(&Cofactor::lift(3, 2, -1.0));
+        check(&cofactor_continuous_lift(3, 1, "B"), &ctx, &Value::double(4.5), &cof_acc);
+
+        let gen_acc = GenCofactor::lift_categorical(3, 0, 0, ctx.encode_value(&Value::str("red")))
+            .mul(&GenCofactor::lift_continuous(3, 1, 2.0));
+        check(&gen_continuous_lift(3, 2, "D"), &ctx, &Value::int(3), &gen_acc);
+        check(
+            &gen_categorical_lift(3, 2, 2, "C", &ctx),
+            &ctx,
+            &Value::str("blue"),
+            &gen_acc,
+        );
+        check(
+            &gen_categorical_lift(3, 2, 0, "C'", &ctx),
+            &ctx,
+            &Value::str("red"),
+            &gen_acc,
+        );
+
+        let rel_acc = RelValue::indicator(0, ctx.encode_value(&Value::str("red")))
+            .add(&RelValue::scalar(2.0));
+        check(&relational_lift(1, "D", &ctx), &ctx, &Value::int(7), &rel_acc);
+        check(&relational_lift(0, "A", &ctx), &ctx, &Value::str("red"), &rel_acc);
     }
 }

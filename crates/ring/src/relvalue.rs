@@ -5,10 +5,25 @@
 //! natural join with multiplied weights; the empty relation is `0`; the
 //! relation containing only the empty tuple with weight 1 is `1`.
 //!
-//! Keys are sorted lists of `(attribute id, value)` pairs so the join is
-//! schema-aware without threading schemas through ring operations: shared
-//! attributes must match, the remaining attributes are concatenated in
-//! attribute order.
+//! Keys are sorted `(attribute id, value)` pairs so the join is schema-aware
+//! without threading schemas through ring operations: shared attributes must
+//! match, the remaining attributes are concatenated in attribute order.
+//!
+//! # Storage: the hash-once interior
+//!
+//! Entries live in a [`RawTable`] keyed by [`RelKey`] — the same
+//! dictionary-encoded flat-word keys and caller-hashed open addressing the
+//! view layer uses (ROADMAP "hash-once" contract), pushed *inside* the ring:
+//!
+//! * a key is hashed exactly once, when it is constructed (lift, join
+//!   merge, or rebuild); every upsert, lookup and table-to-table copy
+//!   reuses that hash ([`RawTable::iter_hashed`] carries stored hashes, so
+//!   `add_assign` never re-hashes the right-hand side);
+//! * string categories are dictionary ids (interned through the engine's
+//!   [`crate::RingCtx`] at lift time), so hashing and equality are word
+//!   compares with no `Arc` traffic;
+//! * exact cancellation prunes the key immediately (tombstone), keeping
+//!   [`Ring::is_zero`] exact as the in-place contract requires.
 //!
 //! `RelValue` is used in two places:
 //!
@@ -18,58 +33,92 @@
 //! * as the scalar type of the generalized cofactor ring
 //!   ([`crate::GenCofactor`]) that handles categorical attributes and the
 //!   mutual-information matrix.
+//!
+//! The boxed-`Value` representation this module replaces survives as
+//! [`crate::BoxedRelValue`], the reference implementation for differential
+//! tests and the `RING-*` ablation benchmarks.
 
+use crate::relkey::RelKey;
 use crate::ring::{approx_f64, ApproxEq, Ring};
-use fivm_common::{FxHashMap, Value, VarId};
+use fivm_common::{Dict, EncodedValue, Probe, RawTable, Value, VarId};
 
-/// The key of one entry: categorical assignments, sorted by attribute id.
-pub type CatKey = Box<[(u32, Value)]>;
+/// One decoded relation entry: `(attr, Value)` pairs plus the weight — the
+/// output-boundary form of a [`RelValue`] entry.
+pub type DecodedRelEntry = (Box<[(u32, Value)]>, f64);
 
-/// A relation-valued ring element.
-#[derive(Clone, Debug, Default)]
+/// Largest table capacity [`Ring::reset_zero`] keeps alive for buffer
+/// reuse; anything bigger is released (see `reset_zero` below).
+const POOL_KEEP_SLOTS: usize = 64;
+
+/// A relation-valued ring element with a hash-once encoded interior.
+#[derive(Debug, Default)]
 pub struct RelValue {
-    entries: FxHashMap<CatKey, f64>,
+    entries: RawTable<RelKey, f64>,
+}
+
+impl Clone for RelValue {
+    /// Clones are **right-sized**: the copy is rebuilt at the capacity its
+    /// entries need (from their stored hashes — nothing is re-hashed), so
+    /// materialized copies — view payloads cloned from scratch deltas,
+    /// result snapshots — never inherit the working capacity of the buffer
+    /// they were accumulated in.
+    fn clone(&self) -> Self {
+        let mut entries = if self.entries.is_empty() {
+            RawTable::new()
+        } else {
+            RawTable::with_capacity(self.entries.len())
+        };
+        for (h, k, &w) in self.entries.iter_hashed() {
+            entries.insert(h, k.clone(), w);
+        }
+        RelValue { entries }
+    }
 }
 
 impl RelValue {
-    /// The empty relation (ring zero).
+    /// The empty relation (ring zero).  Allocation-free: the table does not
+    /// allocate until the first entry is inserted.
     pub fn empty() -> Self {
         RelValue::default()
     }
 
-    /// The relation `{() -> w}` over the empty schema.
+    /// The relation `{() -> w}` over the empty schema.  `scalar(0.0)` is the
+    /// zero element and performs no allocation.
     pub fn scalar(w: f64) -> Self {
-        let mut entries = FxHashMap::default();
+        let mut out = RelValue::empty();
         if w != 0.0 {
-            entries.insert(Vec::new().into_boxed_slice(), w);
+            let key = RelKey::empty();
+            out.entries.insert(key.fx_hash(), key, w);
         }
-        RelValue { entries }
+        out
     }
 
-    /// The indicator relation `{(attr = value) -> 1}` used to one-hot encode a
-    /// categorical value.
-    pub fn indicator(attr: VarId, value: Value) -> Self {
+    /// The indicator relation `{(attr = value) -> 1}` used to one-hot encode
+    /// a categorical value.
+    pub fn indicator(attr: VarId, value: EncodedValue) -> Self {
         Self::weighted(attr, value, 1.0)
     }
 
-    /// The singleton relation `{(attr = value) -> w}`.
-    pub fn weighted(attr: VarId, value: Value, w: f64) -> Self {
-        let mut entries = FxHashMap::default();
+    /// The singleton relation `{(attr = value) -> w}`.  `weighted(.., 0.0)`
+    /// is the zero element and performs no allocation.
+    pub fn weighted(attr: VarId, value: EncodedValue, w: f64) -> Self {
+        let mut out = RelValue::empty();
         if w != 0.0 {
-            entries.insert(vec![(attr as u32, value)].into_boxed_slice(), w);
+            let key = RelKey::singleton(attr as u32, value);
+            out.entries.insert(key.fx_hash(), key, w);
         }
-        RelValue { entries }
+        out
     }
 
-    /// Builds a relation from `(key, weight)` pairs; keys need not be sorted.
-    pub fn from_entries<I>(pairs: I) -> Self
+    /// Builds a relation from `(pairs, weight)` entries; pairs need not be
+    /// sorted.
+    pub fn from_entries<I>(entries: I) -> Self
     where
-        I: IntoIterator<Item = (Vec<(u32, Value)>, f64)>,
+        I: IntoIterator<Item = (Vec<(u32, EncodedValue)>, f64)>,
     {
         let mut out = RelValue::empty();
-        for (mut key, w) in pairs {
-            key.sort_by_key(|(a, _)| *a);
-            out.add_entry(key.into_boxed_slice(), w);
+        for (mut pairs, w) in entries {
+            out.add_entry(&RelKey::from_pairs(&mut pairs), w);
         }
         out
     }
@@ -86,74 +135,119 @@ impl RelValue {
 
     /// Weight of the empty tuple (the "scalar part"), or 0.
     pub fn scalar_part(&self) -> f64 {
-        self.get(&[])
+        self.get_key(&RelKey::empty())
     }
 
-    /// Weight of a specific key, or 0 if absent.  The key need not be sorted.
-    pub fn get(&self, key: &[(u32, Value)]) -> f64 {
-        let mut k: Vec<(u32, Value)> = key.to_vec();
-        k.sort_by_key(|(a, _)| *a);
-        self.entries.get(k.as_slice()).copied().unwrap_or(0.0)
+    /// Weight of a specific key, or 0 if absent.
+    pub fn get_key(&self, key: &RelKey) -> f64 {
+        self.entries
+            .get(key.fx_hash(), key)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Weight of the key given as (unsorted) encoded pairs, or 0 if absent.
+    pub fn get(&self, pairs: &[(u32, EncodedValue)]) -> f64 {
+        let mut pairs = pairs.to_vec();
+        self.get_key(&RelKey::from_pairs(&mut pairs))
+    }
+
+    /// Weight of a `Value`-level key (output boundary: encodes through the
+    /// dictionary without interning; an unseen string means the key cannot
+    /// be stored, so its weight is 0).
+    pub fn get_values(&self, dict: &Dict, pairs: &[(u32, Value)]) -> f64 {
+        let mut encoded = Vec::with_capacity(pairs.len());
+        for (attr, v) in pairs {
+            match dict.try_encode_value(v) {
+                Some(ev) => encoded.push((*attr, ev)),
+                None => return 0.0,
+            }
+        }
+        self.get_key(&RelKey::from_pairs(&mut encoded))
     }
 
     /// Iterates over `(key, weight)` entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&CatKey, f64)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (&RelKey, f64)> + '_ {
         self.entries.iter().map(|(k, &w)| (k, w))
     }
 
     /// Sum of all weights (the count aggregate if weights are counts).
     pub fn total(&self) -> f64 {
-        self.entries.values().sum()
+        self.iter().map(|(_, w)| w).sum()
     }
 
-    fn add_entry(&mut self, key: CatKey, w: f64) {
-        if w == 0.0 {
-            return;
-        }
-        let slot = self.entries.entry(key).or_insert(0.0);
+    /// Decodes every entry into owned `(attr, Value)` pairs, sorted by key —
+    /// the canonical output-boundary listing (stable across dictionaries,
+    /// so it is also how cross-engine results are compared).
+    pub fn decode_entries(&self, dict: &Dict) -> Vec<DecodedRelEntry> {
+        let mut out: Vec<DecodedRelEntry> =
+            self.iter().map(|(k, w)| (k.decode(dict), w)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rehash (growth/compaction) events of the interior table; the ring
+    /// half of the steady-state "rehashes pinned to 0" contract.
+    pub fn table_rehashes(&self) -> u64 {
+        self.entries.rehashes()
+    }
+
+    /// The shared hit path of the upserts: accumulates into an existing
+    /// entry (pruning on exact cancellation) and reports whether the key
+    /// was found.  Uses [`RawTable::find_idx`], which never reserves:
+    /// accumulating into existing keys — the steady-state regime — must
+    /// not trigger table growth even when the table sits at the
+    /// load-factor boundary ([`RawTable::probe`] reserves up front,
+    /// because its vacant slot must stay valid).
+    #[inline]
+    fn upsert_hit(&mut self, hash: u64, key: &RelKey, w: f64) -> bool {
+        let Some(idx) = self.entries.find_idx(hash, |k, _| k == key) else {
+            return false;
+        };
+        let slot = self.entries.value_at_mut(idx);
         *slot += w;
         if *slot == 0.0 {
-            // Exact cancellation (e.g. insert followed by delete): drop key.
-            let key_to_remove: Vec<CatKey> = self
-                .entries
-                .iter()
-                .filter(|(_, &v)| v == 0.0)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for k in key_to_remove {
-                self.entries.remove(&k);
-            }
+            self.entries.remove_at(idx);
+        }
+        true
+    }
+
+    /// Upserts `w` under a borrowed key whose hash is already computed
+    /// (cloning the key only on fresh insert).
+    #[inline]
+    fn upsert(&mut self, hash: u64, key: &RelKey, w: f64) {
+        if w == 0.0 || self.upsert_hit(hash, key, w) {
+            return;
+        }
+        match self.entries.probe(hash, |k, _| k == key) {
+            Probe::Vacant(idx) => self.entries.occupy(idx, hash, key.clone(), w),
+            Probe::Found(_) => unreachable!("key was just absent"),
         }
     }
 
-    /// Joins two keys: shared attributes must match, the union is returned in
-    /// attribute order.  Returns `None` if the shared attributes disagree.
-    fn join_keys(a: &CatKey, b: &CatKey) -> Option<CatKey> {
-        let mut out: Vec<(u32, Value)> = Vec::with_capacity(a.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].0.cmp(&b[j].0) {
-                std::cmp::Ordering::Less => {
-                    out.push(a[i].clone());
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j].clone());
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    if a[i].1 != b[j].1 {
-                        return None;
-                    }
-                    out.push(a[i].clone());
-                    i += 1;
-                    j += 1;
-                }
-            }
+    /// Upserts `w` under an owned key (no clone on the fresh-insert path).
+    #[inline]
+    fn upsert_owned(&mut self, hash: u64, key: RelKey, w: f64) {
+        if w == 0.0 || self.upsert_hit(hash, &key, w) {
+            return;
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        Some(out.into_boxed_slice())
+        match self.entries.probe(hash, |k, _| *k == key) {
+            Probe::Vacant(idx) => self.entries.occupy(idx, hash, key, w),
+            Probe::Found(_) => unreachable!("key was just absent"),
+        }
+    }
+
+    /// Accumulates `w` under `key`, hashing the key once.
+    pub fn add_entry(&mut self, key: &RelKey, w: f64) {
+        self.upsert(key.fx_hash(), key, w);
+    }
+
+    /// Accumulates `w` under a key whose hash the caller already computed —
+    /// the hash-once primitive behind the sparse-lift accumulators, which
+    /// touch several component relations with one key.
+    pub fn add_entry_prehashed(&mut self, hash: u64, key: &RelKey, w: f64) {
+        debug_assert_eq!(hash, key.fx_hash(), "prehashed key/hash mismatch");
+        self.upsert(hash, key, w);
     }
 
     /// Removes every entry, keeping the allocation.
@@ -161,53 +255,85 @@ impl RelValue {
         self.entries.clear();
     }
 
-    /// `self += k * other`, pruning exactly cancelled keys so
-    /// [`Ring::is_zero`] stays exact.
+    /// `self += k * other`, reusing `other`'s stored hashes (no key is
+    /// re-hashed) and pruning exactly cancelled keys so [`Ring::is_zero`]
+    /// stays exact.
     pub fn add_scaled(&mut self, other: &RelValue, k: f64) {
         if k == 0.0 {
             return;
         }
-        for (key, &w) in &other.entries {
-            match self.entries.get_mut(key) {
-                Some(slot) => *slot += k * w,
-                None => {
-                    self.entries.insert(key.clone(), k * w);
-                }
-            }
+        for (hash, key, &w) in other.entries.iter_hashed() {
+            self.upsert(hash, key, k * w);
         }
-        self.entries.retain(|_, w| *w != 0.0);
     }
 
     /// `self += k * (a ⋈ b)` — the fused multiply-add on the relation
     /// ring, accumulating the weighted join directly into `self` without
-    /// materializing the product relation.
+    /// materializing the product relation.  Merged keys are gathered by
+    /// word copies and hashed exactly once each.
     pub fn add_product_scaled(&mut self, a: &RelValue, b: &RelValue, k: f64) {
         if k == 0.0 || a.is_empty() || b.is_empty() {
             return;
         }
         let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        for (ka, &wa) in &small.entries {
-            for (kb, &wb) in &large.entries {
-                if let Some(key) = Self::join_keys(ka, kb) {
-                    match self.entries.get_mut(&key) {
-                        Some(slot) => *slot += k * wa * wb,
-                        None => {
-                            self.entries.insert(key, k * wa * wb);
-                        }
-                    }
+        for (ka, wa) in small.iter() {
+            for (kb, wb) in large.iter() {
+                if let Some(key) = ka.join(kb) {
+                    self.upsert_owned(key.fx_hash(), key, k * wa * wb);
                 }
             }
         }
-        self.entries.retain(|_, w| *w != 0.0);
+    }
+
+    /// `self += k * (acc ⋈ {attr = value})` — the singleton-lift fused
+    /// accumulate behind categorical lifts and the relational listing lift.
+    /// Joining with a singleton either extends a key by one pair (gathered
+    /// copy-only for inline-sized keys) or filters on an already-bound
+    /// attribute; nothing is materialized.
+    pub fn fma_indicator(&mut self, acc: &RelValue, attr: u32, value: EncodedValue, k: f64) {
+        if k == 0.0 {
+            return;
+        }
+        for (hash, key, &w) in acc.entries.iter_hashed() {
+            match key.get(attr) {
+                // Attribute already bound: the join keeps or drops the key
+                // unchanged — its stored hash is reused, nothing re-hashes.
+                Some(bound) => {
+                    if bound == value {
+                        self.upsert(hash, key, k * w);
+                    }
+                }
+                None => {
+                    let merged = key
+                        .join(&RelKey::singleton(attr, value))
+                        .expect("disjoint attributes always join");
+                    self.upsert_owned(merged.fx_hash(), merged, k * w);
+                }
+            }
+        }
     }
 
     fn map_weights(&self, f: impl Fn(f64) -> f64) -> Self {
-        let mut entries = FxHashMap::default();
-        for (k, &w) in &self.entries {
+        let mut entries = RawTable::with_capacity(self.len());
+        for (hash, k, &w) in self.entries.iter_hashed() {
             let nw = f(w);
             if nw != 0.0 {
-                entries.insert(k.clone(), nw);
+                entries.insert(hash, k.clone(), nw);
             }
+        }
+        RelValue { entries }
+    }
+
+    /// Re-encodes every key from `src`'s dictionary into `dst`'s — the only
+    /// sanctioned way to move a relation value between engines (string ids
+    /// are dictionary-local; see the ring-key contract in ROADMAP.md).
+    pub fn rekey_dicts(&self, src: &Dict, dst: &mut Dict) -> RelValue {
+        let mut entries = RawTable::with_capacity(self.len());
+        for (hash, k, &w) in self.entries.iter_hashed() {
+            let nk = k.rekey(src, dst);
+            // Int/double-only keys keep their words, hence their hash.
+            let nh = if &nk == k { hash } else { nk.fx_hash() };
+            entries.insert(nh, nk, w);
         }
         RelValue { entries }
     }
@@ -215,7 +341,11 @@ impl RelValue {
 
 impl PartialEq for RelValue {
     fn eq(&self, other: &Self) -> bool {
-        self.entries == other.entries
+        self.len() == other.len()
+            && self
+                .entries
+                .iter_hashed()
+                .all(|(h, k, w)| other.entries.get(h, k) == Some(w))
     }
 }
 
@@ -239,30 +369,12 @@ impl Ring for RelValue {
     }
 
     fn add_assign(&mut self, rhs: &Self) {
-        for (k, &w) in &rhs.entries {
-            let slot = self.entries.entry(k.clone()).or_insert(0.0);
-            *slot += w;
-        }
-        self.entries.retain(|_, w| *w != 0.0);
+        self.add_scaled(rhs, 1.0);
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        // Iterate over the smaller operand on the outside.
-        let (small, large) = if self.len() <= rhs.len() {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
         let mut out = RelValue::empty();
-        for (ka, &wa) in &small.entries {
-            for (kb, &wb) in &large.entries {
-                if let Some(key) = Self::join_keys(ka, kb) {
-                    let slot = out.entries.entry(key).or_insert(0.0);
-                    *slot += wa * wb;
-                }
-            }
-        }
-        out.entries.retain(|_, w| *w != 0.0);
+        out.add_product_scaled(self, rhs, 1.0);
         out
     }
 
@@ -285,22 +397,42 @@ impl Ring for RelValue {
         }
         self.map_weights(|w| w * k as f64)
     }
+
+    fn reset_zero(&mut self) {
+        // Pool hygiene: small tables are kept for reuse, but a buffer that
+        // grew large (a root-level delta) is dropped — a recycled payload
+        // may serve a tiny delta next, and iterating or cloning it must
+        // not drag a root-sized capacity along.
+        if self.entries.capacity() > POOL_KEEP_SLOTS {
+            self.entries = RawTable::new();
+        } else {
+            self.entries.clear();
+        }
+    }
+
+    fn needs_rekey() -> bool {
+        true
+    }
+
+    fn rekey(&self, src: &Dict, dst: &mut Dict) -> Self {
+        self.rekey_dicts(src, dst)
+    }
+
+    fn payload_rehashes(&self) -> u64 {
+        self.table_rehashes()
+    }
 }
 
 impl ApproxEq for RelValue {
     fn approx_eq(&self, other: &Self, tol: f64) -> bool {
         // Every key of either side must match approximately.
-        for (k, &w) in &self.entries {
-            if !approx_f64(w, other.entries.get(k).copied().unwrap_or(0.0), tol) {
-                return false;
-            }
-        }
-        for (k, &w) in &other.entries {
-            if !approx_f64(w, self.entries.get(k).copied().unwrap_or(0.0), tol) {
-                return false;
-            }
-        }
-        true
+        self.entries
+            .iter_hashed()
+            .all(|(h, k, &w)| approx_f64(w, other.entries.get(h, k).copied().unwrap_or(0.0), tol))
+            && other
+                .entries
+                .iter_hashed()
+                .all(|(h, k, &w)| approx_f64(w, self.entries.get(h, k).copied().unwrap_or(0.0), tol))
     }
 }
 
@@ -308,9 +440,14 @@ impl ApproxEq for RelValue {
 mod tests {
     use super::*;
     use crate::axioms;
+    use crate::ctx::RingCtx;
 
-    fn key(parts: &[(u32, i64)]) -> Vec<(u32, Value)> {
-        parts.iter().map(|(a, v)| (*a, Value::int(*v))).collect()
+    fn ev(x: i64) -> EncodedValue {
+        EncodedValue::int(x)
+    }
+
+    fn key(parts: &[(u32, i64)]) -> Vec<(u32, EncodedValue)> {
+        parts.iter().map(|(a, v)| (*a, ev(*v))).collect()
     }
 
     #[test]
@@ -319,57 +456,68 @@ mod tests {
         assert_eq!(s.scalar_part(), 3.0);
         assert_eq!(s.len(), 1);
         assert!(RelValue::scalar(0.0).is_empty());
+        assert!(RelValue::weighted(0, ev(1), 0.0).is_empty());
 
-        let ind = RelValue::indicator(2, Value::str("red"));
-        assert_eq!(ind.get(&[(2, Value::str("red"))]), 1.0);
-        assert_eq!(ind.get(&[(2, Value::str("blue"))]), 0.0);
+        let ctx = RingCtx::new();
+        let red = ctx.encode_value(&Value::str("red"));
+        let blue = ctx.encode_value(&Value::str("blue"));
+        let ind = RelValue::indicator(2, red);
+        assert_eq!(ind.get(&[(2, red)]), 1.0);
+        assert_eq!(ind.get(&[(2, blue)]), 0.0);
         assert_eq!(ind.total(), 1.0);
+        // The Value-level probe agrees and refuses to intern.
+        ctx.with_dict(|d| {
+            assert_eq!(ind.get_values(d, &[(2, Value::str("red"))]), 1.0);
+            assert_eq!(ind.get_values(d, &[(2, Value::str("unseen"))]), 0.0);
+        });
     }
 
     #[test]
     fn addition_is_union_with_summed_weights() {
-        let a = RelValue::indicator(0, Value::int(1));
-        let b = RelValue::indicator(0, Value::int(1));
-        let c = RelValue::indicator(0, Value::int(2));
+        let a = RelValue::indicator(0, ev(1));
+        let b = RelValue::indicator(0, ev(1));
+        let c = RelValue::indicator(0, ev(2));
         let sum = a.add(&b).add(&c);
-        assert_eq!(sum.get(&[(0, Value::int(1))]), 2.0);
-        assert_eq!(sum.get(&[(0, Value::int(2))]), 1.0);
+        assert_eq!(sum.get(&[(0, ev(1))]), 2.0);
+        assert_eq!(sum.get(&[(0, ev(2))]), 1.0);
         assert_eq!(sum.len(), 2);
         assert_eq!(sum.total(), 3.0);
     }
 
     #[test]
     fn deletion_cancels_and_removes_keys() {
-        let a = RelValue::indicator(0, Value::int(1));
+        let a = RelValue::indicator(0, ev(1));
         let cancelled = a.add(&a.neg());
         assert!(cancelled.is_zero());
         assert_eq!(cancelled.len(), 0);
         assert!(a.scale_int(0).is_zero());
-        assert_eq!(a.scale_int(-2).get(&[(0, Value::int(1))]), -2.0);
+        assert_eq!(a.scale_int(-2).get(&[(0, ev(1))]), -2.0);
     }
 
     #[test]
     fn multiplication_is_join_on_shared_attributes() {
         // {(A=1) -> 2} * {(B=5) -> 3} = {(A=1, B=5) -> 6}
-        let a = RelValue::weighted(0, Value::int(1), 2.0);
-        let b = RelValue::weighted(1, Value::int(5), 3.0);
+        let a = RelValue::weighted(0, ev(1), 2.0);
+        let b = RelValue::weighted(1, ev(5), 3.0);
         let ab = a.mul(&b);
         assert_eq!(ab.get(&key(&[(0, 1), (1, 5)])), 6.0);
 
         // Shared attribute must match: {(A=1)} * {(A=2)} = empty.
-        let c = RelValue::indicator(0, Value::int(2));
+        let c = RelValue::indicator(0, ev(2));
         assert!(a.mul(&c).is_zero());
         // Matching shared attribute multiplies weights.
-        let a2 = RelValue::weighted(0, Value::int(1), 5.0);
+        let a2 = RelValue::weighted(0, ev(1), 5.0);
         assert_eq!(a.mul(&a2).get(&key(&[(0, 1)])), 10.0);
     }
 
     #[test]
     fn multiplication_by_scalar_scales_weights() {
-        let a = RelValue::indicator(3, Value::str("x"));
+        let ctx = RingCtx::new();
+        let x = ctx.encode_value(&Value::str("x"));
+        let a = RelValue::indicator(3, x);
         let s = RelValue::scalar(4.0);
         let out = a.mul(&s);
-        assert_eq!(out.get(&[(3, Value::str("x"))]), 4.0);
+        assert_eq!(out.get(&[(3, x)]), 4.0);
         // One is the multiplicative identity.
         assert_eq!(a.mul(&RelValue::one()), a);
         assert!(a.mul(&RelValue::zero()).is_zero());
@@ -377,8 +525,8 @@ mod tests {
 
     #[test]
     fn join_orders_attributes_canonically() {
-        let a = RelValue::indicator(5, Value::int(9));
-        let b = RelValue::indicator(1, Value::int(4));
+        let a = RelValue::indicator(5, ev(9));
+        let b = RelValue::indicator(1, ev(4));
         let ab = a.mul(&b);
         let ba = b.mul(&a);
         assert_eq!(ab, ba);
@@ -396,19 +544,59 @@ mod tests {
     }
 
     #[test]
+    fn fma_indicator_matches_materialized_join() {
+        let acc = RelValue::weighted(0, ev(1), 2.0)
+            .add(&RelValue::weighted(1, ev(7), 3.0))
+            .add(&RelValue::scalar(0.5));
+        for (attr, v) in [(1u32, ev(7)), (1, ev(8)), (2, ev(4))] {
+            let mut fused = RelValue::empty();
+            fused.fma_indicator(&acc, attr, v, 2.0);
+            let expected = acc
+                .mul(&RelValue::indicator(attr as VarId, v))
+                .scale_int(2);
+            assert_eq!(fused, expected, "attr={attr}");
+        }
+        // k = 0 is a no-op.
+        let mut noop = acc.clone();
+        noop.fma_indicator(&acc, 0, ev(1), 0.0);
+        assert_eq!(noop, acc);
+    }
+
+    #[test]
+    fn decode_entries_is_sorted_and_dictionary_stable() {
+        let ctx = RingCtx::new();
+        let red = ctx.encode_value(&Value::str("red"));
+        let r = RelValue::weighted(1, red, 2.0).add(&RelValue::weighted(0, ev(5), 1.0));
+        let entries = ctx.with_dict(|d| r.decode_entries(d));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(&*entries[0].0, &[(0, Value::int(5))]);
+        assert_eq!(&*entries[1].0, &[(1, Value::str("red"))]);
+        // Rekey into a fresh dictionary: encoded form changes, decoded
+        // listing does not, weights are bit-identical.
+        let other = RingCtx::new();
+        other.with_dict_mut(|dst| {
+            dst.intern("shift");
+            let moved = ctx.with_dict(|src| r.rekey_dicts(src, dst));
+            assert_eq!(moved.decode_entries(dst), entries);
+        });
+    }
+
+    #[test]
     fn ring_axioms_hold() {
-        let a = RelValue::indicator(0, Value::int(1)).add(&RelValue::weighted(1, Value::int(2), 3.0));
-        let b = RelValue::scalar(2.0).add(&RelValue::indicator(0, Value::int(1)));
-        let c = RelValue::weighted(2, Value::str("z"), -1.5);
+        let ctx = RingCtx::new();
+        let z = ctx.encode_value(&Value::str("z"));
+        let a = RelValue::indicator(0, ev(1)).add(&RelValue::weighted(1, ev(2), 3.0));
+        let b = RelValue::scalar(2.0).add(&RelValue::indicator(0, ev(1)));
+        let c = RelValue::weighted(2, z, -1.5);
         axioms::check_ring_axioms(&a, &b, &c, 1e-9);
     }
 
     #[test]
     fn approx_eq_tolerates_small_differences() {
-        let a = RelValue::weighted(0, Value::int(1), 1.0);
-        let b = RelValue::weighted(0, Value::int(1), 1.0 + 1e-13);
+        let a = RelValue::weighted(0, ev(1), 1.0);
+        let b = RelValue::weighted(0, ev(1), 1.0 + 1e-13);
         assert!(a.approx_eq(&b, 1e-9));
-        let c = RelValue::weighted(0, Value::int(2), 1.0);
+        let c = RelValue::weighted(0, ev(2), 1.0);
         assert!(!a.approx_eq(&c, 1e-9));
     }
 }

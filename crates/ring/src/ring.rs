@@ -1,5 +1,6 @@
 //! The [`Ring`] trait: the algebraic interface every payload type implements.
 
+use fivm_common::Dict;
 use std::fmt::Debug;
 
 /// A commutative ring with identity (possibly only approximately associative
@@ -79,12 +80,50 @@ pub trait Ring: Clone + Debug + PartialEq + Send + Sync + 'static {
         }
     }
 
+    /// Resets this value to an exact zero **in place**, keeping any interior
+    /// buffers for reuse (the engine pools delta payloads across batches;
+    /// a pooled payload re-enters accumulation through
+    /// [`Ring::fma_scaled`], so after this call [`Ring::is_zero`] must be
+    /// `true`).  The default replaces the value wholesale; rings with
+    /// interior allocations override to clear in place.
+    fn reset_zero(&mut self) {
+        *self = Self::zero();
+    }
+
     /// The additive inverse: `x.add(&x.neg())` is zero.
     fn neg(&self) -> Self;
 
     /// Ring subtraction (`self - rhs`).
     fn sub(&self, rhs: &Self) -> Self {
         self.add(&rhs.neg())
+    }
+
+    /// Whether values of this ring carry dictionary-local words (string ids
+    /// inside relational keys) and therefore must be [`Ring::rekey`]ed when
+    /// they cross engine/dictionary boundaries.  Rings whose values are
+    /// self-contained (numbers, cofactor matrices) return `false` and skip
+    /// the dictionary traffic entirely.
+    fn needs_rekey() -> bool {
+        false
+    }
+
+    /// Re-encodes any dictionary-local words of this value from `src` into
+    /// `dst`.  Ring values are meaningful only under the dictionary that
+    /// encoded them (the ring-key contract, ROADMAP.md); a sharded
+    /// deployment rekeys per-shard partials into the coordinator's
+    /// dictionary before merging them with [`Ring::add`].  The default (for
+    /// self-contained rings) is a plain clone.
+    fn rekey(&self, _src: &Dict, _dst: &mut Dict) -> Self {
+        self.clone()
+    }
+
+    /// Rehash (growth/compaction) events of any hash tables *inside* this
+    /// value.  Engines sum this over materialized payloads so the
+    /// steady-state "rehashes pinned to 0" contract covers ring-interior
+    /// tables, not just view tables.  Rings without interior tables report
+    /// 0.
+    fn payload_rehashes(&self) -> u64 {
+        0
     }
 
     /// Integer scaling `k · self` (i.e. `self` added to itself `k` times,

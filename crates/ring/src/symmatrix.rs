@@ -11,6 +11,11 @@ pub struct SymMatrix {
 }
 
 impl SymMatrix {
+    /// Sets every entry to zero, keeping the buffer.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
     /// A zero matrix of the given dimension.
     pub fn zeros(dim: usize) -> Self {
         SymMatrix {

@@ -6,7 +6,8 @@
 //! A counting global allocator records every allocation; the assertion
 //! would catch any regression that reintroduces temporaries on this path.
 
-use fivm_ring::{Cofactor, Ring};
+use fivm_common::EncodedValue;
+use fivm_ring::{Cofactor, GenCofactor, RelValue, Ring};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -75,6 +76,64 @@ fn cofactor_fma_scalar_elem_does_not_allocate_into_dense_accumulator() {
     assert_eq!(
         allocs, 0,
         "Cofactor::fma_scaled allocated {allocs} times in the Scalar×Elem case"
+    );
+}
+
+/// Zero elements of the relation ring must not allocate: `scalar(0.0)` /
+/// `weighted(.., 0.0)` construct the empty table, which defers its first
+/// allocation to the first insert.
+#[test]
+fn relvalue_zero_construction_does_not_allocate() {
+    let allocs = allocations_during(|| {
+        for _ in 0..100 {
+            std::hint::black_box(RelValue::scalar(0.0));
+            std::hint::black_box(RelValue::weighted(3, EncodedValue::int(7), 0.0));
+            std::hint::black_box(RelValue::empty());
+            std::hint::black_box(RelValue::zero());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "constructing relation-ring zeros allocated {allocs} times"
+    );
+}
+
+/// The sparse singleton-lift accumulate on the generalized cofactor ring
+/// (`fma_lift_continuous` / `fma_lift_categorical`) must be allocation-free
+/// once the accumulator's interior tables hold the touched keys — the
+/// steady-state hot path of GenCofactor-bound maintenance, which used to
+/// materialize `dim + dim·(dim+1)/2` relation buffers per input row.
+#[test]
+fn gen_cofactor_singleton_lift_fma_does_not_allocate_when_warm() {
+    let dim = 6;
+    let cat = |v: i64| EncodedValue::int(v);
+    // A dense accumulator holding every key the lift stream touches.
+    let mut acc = GenCofactor::lift_continuous(dim, 0, 2.0)
+        .mul(&GenCofactor::lift_categorical(dim, 1, 1, cat(3)))
+        .mul(&GenCofactor::lift_categorical(dim, 2, 2, cat(4)))
+        .mul(&GenCofactor::lift_continuous(dim, 3, -1.5));
+    // Mixed accumulator shapes on the other operand: scalar and dense.
+    let scalar_acc = GenCofactor::scalar(2.0);
+    let dense_acc = acc.clone();
+    // Warm-up: one signed cycle sizes every interior table.
+    for sign in [1i64, -1] {
+        acc.fma_lift_continuous(&scalar_acc, dim, 0, 2.0, sign);
+        acc.fma_lift_continuous(&dense_acc, dim, 3, -1.5, sign);
+        acc.fma_lift_categorical(&scalar_acc, dim, 1, 1, cat(3), sign);
+        acc.fma_lift_categorical(&dense_acc, dim, 2, 2, cat(4), sign);
+    }
+
+    let allocs = allocations_during(|| {
+        for sign in [1i64, -1, 1, -1, 2, -2] {
+            acc.fma_lift_continuous(&scalar_acc, dim, 0, 2.0, sign);
+            acc.fma_lift_continuous(&dense_acc, dim, 3, -1.5, sign);
+            acc.fma_lift_categorical(&scalar_acc, dim, 1, 1, cat(3), sign);
+            acc.fma_lift_categorical(&dense_acc, dim, 2, 2, cat(4), sign);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warm singleton-lift fma allocated {allocs} times"
     );
 }
 

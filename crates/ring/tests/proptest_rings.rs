@@ -9,7 +9,7 @@
 //! uses a seeded RNG harness instead of `proptest`; every case is
 //! deterministic and reproducible from the printed seed.)
 
-use fivm_common::Value;
+use fivm_common::EncodedValue;
 use fivm_ring::{axioms, ApproxEq, Cofactor, GenCofactor, MatrixValue, RelValue, Ring};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,7 +52,7 @@ fn rand_relvalue(rng: &mut StdRng) -> RelValue {
     for _ in 0..rng.gen_range(0..4usize) {
         acc.add_assign(&RelValue::weighted(
             rng.gen_range(0..3usize),
-            Value::int(rng.gen_range(-3..4i64)),
+            EncodedValue::int(rng.gen_range(-3..4i64)),
             rng.gen_range(-3.0..3.0f64),
         ));
     }
@@ -66,7 +66,7 @@ fn rand_gen_cofactor(rng: &mut StdRng) -> GenCofactor {
             0 => GenCofactor::lift_continuous(DIM, rng.gen_range(0..DIM), rng.gen_range(-5.0..5.0)),
             1 => {
                 let idx = rng.gen_range(0..DIM);
-                GenCofactor::lift_categorical(DIM, idx, idx, Value::int(rng.gen_range(0..4i64)))
+                GenCofactor::lift_categorical(DIM, idx, idx, EncodedValue::int(rng.gen_range(0..4i64)))
             }
             _ => GenCofactor::scalar(rng.gen_range(-3.0..3.0f64)),
         };

@@ -1,0 +1,230 @@
+//! Seeded differential suite: the encoded relation ring ([`RelValue`])
+//! against the boxed-`Value`-keyed reference implementation
+//! ([`BoxedRelValue`]) under identical random operation streams.
+//!
+//! Mirrors `crates/common/tests/rawtable_differential.rs` one layer up: the
+//! hash-once interior (encoded keys, caller-supplied hashes, tombstone
+//! pruning) must be observationally identical to the straightforward
+//! hash-map implementation on every ring operation, including the key edge
+//! cases the encoding canonicalizes — strings (dictionary ids), integers,
+//! `-0.0` vs `0.0`, and NaN payloads.
+
+use fivm_common::Value;
+use fivm_ring::{BoxedRelValue, RelValue, Ring, RingCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The value pool: every kind the encoding must canonicalize, including the
+/// `-0.0`/`0.0` pair and two NaN payloads that must collapse to one key.
+fn value_pool() -> Vec<Value> {
+    vec![
+        Value::int(0),
+        Value::int(1),
+        Value::int(-7),
+        Value::int(i64::MAX),
+        Value::double(0.0),
+        Value::double(-0.0),
+        Value::double(2.5),
+        Value::double(f64::NAN),
+        Value::Double(fivm_common::OrdF64::new(f64::from_bits(0x7ff8_0000_0000_0001))),
+        Value::str("red"),
+        Value::str("blue"),
+        Value::str(""),
+        Value::Null,
+    ]
+}
+
+/// Both representations of one random relation over up to `attrs`
+/// attributes.
+fn random_pair(
+    rng: &mut StdRng,
+    ctx: &RingCtx,
+    pool: &[Value],
+    attrs: u32,
+    entries: usize,
+) -> (RelValue, BoxedRelValue) {
+    let mut enc = RelValue::empty();
+    let mut boxed = BoxedRelValue::empty();
+    for _ in 0..entries {
+        let w = (rng.gen_range(-4..5i64)) as f64 * 0.5;
+        match rng.gen_range(0..3) {
+            // A scalar (empty-key) entry.
+            0 => {
+                enc.add_scaled(&RelValue::scalar(1.0), w);
+                boxed.add_scaled(&BoxedRelValue::scalar(1.0), w);
+            }
+            // A singleton entry.
+            1 => {
+                let attr = rng.gen_range(0..attrs) as usize;
+                let v = pool[rng.gen_range(0..pool.len())].clone();
+                enc.add_scaled(&RelValue::weighted(attr, ctx.encode_value(&v), 1.0), w);
+                boxed.add_scaled(&BoxedRelValue::weighted(attr, v, 1.0), w);
+            }
+            // A two-attribute entry, built by joining two singletons.
+            _ => {
+                let a1 = rng.gen_range(0..attrs) as usize;
+                let a2 = ((a1 as u32 + 1 + rng.gen_range(0..attrs - 1)) % attrs) as usize;
+                let v1 = pool[rng.gen_range(0..pool.len())].clone();
+                let v2 = pool[rng.gen_range(0..pool.len())].clone();
+                enc.fma_scaled(
+                    &RelValue::weighted(a1, ctx.encode_value(&v1), 1.0),
+                    &RelValue::weighted(a2, ctx.encode_value(&v2), 1.0),
+                    1,
+                );
+                boxed.fma_scaled(
+                    &BoxedRelValue::weighted(a1, v1, 1.0),
+                    &BoxedRelValue::weighted(a2, v2, 1.0),
+                    1,
+                );
+                let _ = w;
+            }
+        }
+    }
+    (enc, boxed)
+}
+
+/// Asserts the two representations hold identical relations (canonical
+/// decoded listings, weights bit-for-bit).
+fn assert_same(ctx: &RingCtx, enc: &RelValue, boxed: &BoxedRelValue, what: &str) {
+    let decoded = ctx.with_dict(|d| enc.decode_entries(d));
+    let reference = boxed.sorted_entries();
+    assert_eq!(
+        decoded.len(),
+        reference.len(),
+        "{what}: cardinality diverged ({} encoded vs {} boxed)",
+        decoded.len(),
+        reference.len()
+    );
+    for ((dk, dw), (rk, rw)) in decoded.iter().zip(reference.iter()) {
+        assert_eq!(dk, rk, "{what}: keys diverged");
+        assert!(
+            dw == rw || (dw.is_nan() && rw.is_nan()),
+            "{what}: weight diverged at {dk:?}: {dw} vs {rw}"
+        );
+    }
+    assert_eq!(enc.is_zero(), boxed.is_zero(), "{what}: is_zero diverged");
+}
+
+#[test]
+fn random_operation_streams_agree_with_the_boxed_reference() {
+    let pool = value_pool();
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF + seed);
+        let ctx = RingCtx::new();
+        let (mut enc_acc, mut boxed_acc) = random_pair(&mut rng, &ctx, &pool, 4, 6);
+        for step in 0..60 {
+            let what = format!("seed {seed}, step {step}");
+            match rng.gen_range(0..6) {
+                // add_assign of a random relation.
+                0 => {
+                    let (e, b) = random_pair(&mut rng, &ctx, &pool, 4, 4);
+                    enc_acc.add_assign(&e);
+                    boxed_acc.add_assign(&b);
+                }
+                // add_scaled, occasionally cancelling exactly.
+                1 => {
+                    let k = [2.0, -1.0, 0.0][rng.gen_range(0..3usize)];
+                    let (e, b) = random_pair(&mut rng, &ctx, &pool, 4, 3);
+                    enc_acc.add_scaled(&e, k);
+                    boxed_acc.add_scaled(&b, k);
+                }
+                // fused multiply-add (join accumulate), insert and delete.
+                2 => {
+                    let scale = [1i64, -1, 2][rng.gen_range(0..3usize)];
+                    let (e1, b1) = random_pair(&mut rng, &ctx, &pool, 3, 3);
+                    let (e2, b2) = random_pair(&mut rng, &ctx, &pool, 4, 3);
+                    enc_acc.fma_scaled(&e1, &e2, scale);
+                    boxed_acc.fma_scaled(&b1, &b2, scale);
+                }
+                // full multiplication (replaces the accumulator).
+                3 => {
+                    let (e, b) = random_pair(&mut rng, &ctx, &pool, 3, 3);
+                    enc_acc = enc_acc.mul(&e);
+                    boxed_acc = boxed_acc.mul(&b);
+                }
+                // negation / integer scaling.
+                4 => {
+                    let k = rng.gen_range(-2..3i64);
+                    enc_acc = enc_acc.scale_int(k);
+                    boxed_acc = boxed_acc.scale_int(k);
+                }
+                // exact self-cancellation: x + (-x) prunes every key.
+                _ => {
+                    let neg_e = enc_acc.neg();
+                    let neg_b = boxed_acc.neg();
+                    let mut e = enc_acc.clone();
+                    let mut b = boxed_acc.clone();
+                    e.add_assign(&neg_e);
+                    b.add_assign(&neg_b);
+                    assert!(e.is_zero(), "{what}: encoded self-cancellation left keys");
+                    assert!(b.is_zero(), "{what}: boxed self-cancellation left keys");
+                }
+            }
+            assert_same(&ctx, &enc_acc, &boxed_acc, &what);
+        }
+    }
+}
+
+#[test]
+fn canonical_float_keys_collapse_identically() {
+    let ctx = RingCtx::new();
+    // -0.0 and 0.0 are one key in both representations (OrdF64 semantics).
+    let enc = RelValue::weighted(0, ctx.encode_value(&Value::double(0.0)), 1.0).add(
+        &RelValue::weighted(0, ctx.encode_value(&Value::double(-0.0)), 2.0),
+    );
+    let boxed = BoxedRelValue::weighted(0, Value::double(0.0), 1.0)
+        .add(&BoxedRelValue::weighted(0, Value::double(-0.0), 2.0));
+    assert_eq!(enc.len(), 1);
+    assert_same(&ctx, &enc, &boxed, "-0.0/0.0 collapse");
+
+    // All NaN payloads are one key.
+    let nan_a = Value::double(f64::NAN);
+    let nan_b = Value::Double(fivm_common::OrdF64::new(f64::from_bits(0x7ff8_0000_0000_0001)));
+    let enc = RelValue::weighted(1, ctx.encode_value(&nan_a), 1.0).add(&RelValue::weighted(
+        1,
+        ctx.encode_value(&nan_b),
+        1.0,
+    ));
+    let boxed = BoxedRelValue::weighted(1, nan_a, 1.0).add(&BoxedRelValue::weighted(1, nan_b, 1.0));
+    assert_eq!(enc.len(), 1);
+    assert_same(&ctx, &enc, &boxed, "NaN collapse");
+
+    // Int(0), Double(0.0), Null and the first interned string stay
+    // distinct keys despite sharing payload word 0.
+    let zeros = [
+        Value::int(0),
+        Value::double(0.0),
+        Value::Null,
+        Value::str("s"),
+    ];
+    let mut enc = RelValue::empty();
+    let mut boxed = BoxedRelValue::empty();
+    for v in &zeros {
+        enc.add_assign(&RelValue::weighted(2, ctx.encode_value(v), 1.0));
+        boxed.add_assign(&BoxedRelValue::weighted(2, v.clone(), 1.0));
+    }
+    assert_eq!(enc.len(), 4);
+    assert_same(&ctx, &enc, &boxed, "zero-word kinds stay distinct");
+}
+
+#[test]
+fn string_joins_agree_across_attributes() {
+    let ctx = RingCtx::new();
+    let red = ctx.encode_value(&Value::str("red"));
+    let blue = ctx.encode_value(&Value::str("blue"));
+    // (A=red)·2 ⋈ ((B=red) + (B=blue)) — join over different attributes
+    // with shared string values.
+    let enc = RelValue::weighted(0, red, 2.0).mul(
+        &RelValue::indicator(1, red).add(&RelValue::indicator(1, blue)),
+    );
+    let boxed = BoxedRelValue::weighted(0, Value::str("red"), 2.0).mul(
+        &BoxedRelValue::indicator(1, Value::str("red"))
+            .add(&BoxedRelValue::indicator(1, Value::str("blue"))),
+    );
+    assert_eq!(enc.len(), 2);
+    assert_same(&ctx, &enc, &boxed, "string join");
+    // Conflicting shared attribute annihilates in both.
+    let enc2 = enc.mul(&RelValue::indicator(0, blue));
+    let boxed2 = boxed.mul(&BoxedRelValue::indicator(0, Value::str("blue")));
+    assert!(enc2.is_zero() && boxed2.is_zero());
+}

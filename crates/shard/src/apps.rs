@@ -2,7 +2,10 @@
 //!
 //! Each constructor reuses the single-engine lift builders, so the sharded
 //! and unsharded deployments of an application cannot diverge in their
-//! attribute functions.
+//! attribute functions.  Applications over the relational rings build
+//! their lifts **per shard** ([`ShardedEngine::with_lift_factory`]): each
+//! shard's lifts encode ring-interior keys through that shard's own
+//! dictionary, as the ring-key contract requires.
 
 use crate::engine::ShardedEngine;
 use fivm_common::{Result, VarId};
@@ -32,8 +35,8 @@ pub fn sharded_gen_covar_engine(
     tree: ViewTree,
     num_shards: usize,
 ) -> Result<ShardedEngine<GenCofactor>> {
-    let lifts = gen_covar_lifts(tree.spec());
-    ShardedEngine::new(tree, lifts, num_shards)
+    let spec = tree.spec().clone();
+    ShardedEngine::with_lift_factory(tree, move |ctx| Ok(gen_covar_lifts(&spec, ctx)), num_shards)
 }
 
 /// A sharded mutual-information engine; see [`fivm_core::apps::mi_lifts`].
@@ -42,6 +45,11 @@ pub fn sharded_mi_engine(
     binnings: &HashMap<VarId, BinSpec>,
     num_shards: usize,
 ) -> Result<ShardedEngine<GenCofactor>> {
-    let lifts = mi_lifts(tree.spec(), binnings)?;
-    ShardedEngine::new(tree, lifts, num_shards)
+    let spec = tree.spec().clone();
+    let binnings = binnings.clone();
+    ShardedEngine::with_lift_factory(
+        tree,
+        move |ctx| mi_lifts(&spec, &binnings, ctx),
+        num_shards,
+    )
 }

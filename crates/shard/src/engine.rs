@@ -2,11 +2,11 @@
 
 use crate::plan::ShardPlan;
 use crate::worker::{Cmd, Worker};
-use fivm_common::{FivmError, RelId, Result};
+use fivm_common::{Dict, FivmError, RelId, Result};
 use fivm_core::{Engine, EngineStats, ExecutionPlan, UpdateOutcome};
 use fivm_query::{QuerySpec, RelationRouting, ViewTree};
 use fivm_relation::{Database, Relation, Schema, Tuple, Update};
-use fivm_ring::{LiftFn, Ring};
+use fivm_ring::{LiftFn, Ring, RingCtx};
 
 /// N independent engines on worker threads behind the single-engine
 /// surface: [`apply_update`](ShardedEngine::apply_update) /
@@ -39,6 +39,12 @@ pub struct ShardedEngine<R: Ring> {
     plan: ShardPlan,
     spec: QuerySpec,
     workers: Vec<Worker<R>>,
+    /// The coordinator's ring context: the dictionary per-shard result
+    /// partials are rekeyed into before they are merged.  Each shard owns
+    /// its *own* context/dictionary (the ring-key contract: encoded ring
+    /// keys never cross engines un-rekeyed); rings without dictionary-local
+    /// data skip the rekey entirely (`Ring::needs_rekey`).
+    ctx: RingCtx,
     /// Per relation: the column of the *currently bound* row layout that
     /// carries the partition variable (`None` for broadcast relations).
     /// Defaults to the relation's query-schema position; updated by
@@ -76,12 +82,38 @@ impl<R: Ring> ShardedEngine<R> {
     ///
     /// The view tree is compiled once; the N per-shard engines share the
     /// compiled plan ([`Engine::with_plan`]) but own disjoint state.
+    /// The lifts are cloned to every shard, so this constructor is for
+    /// **context-free** lift sets only (count, plain COVAR, any lift that
+    /// never touches a [`RingCtx`]).  Relational-ring lifts encode keys
+    /// through the dictionary they were built against, which must be the
+    /// dictionary of the engine they feed — build those per shard with
+    /// [`ShardedEngine::with_lift_factory`] instead (as
+    /// [`crate::apps`] does); pairing externally-built relational lifts
+    /// with this constructor silently mixes two dictionaries.
     pub fn new(tree: ViewTree, lifts: Vec<LiftFn<R>>, num_shards: usize) -> Result<Self> {
         let plan = ShardPlan::new(&tree, num_shards)?;
-        Self::with_shard_plan(tree, lifts, plan)
+        Self::with_shard_plan(tree, move |_| Ok(lifts.clone()), plan)
+    }
+
+    /// Builds a sharded engine whose lifts are constructed **per shard**
+    /// against that shard's own [`RingCtx`].  Lift sets that encode
+    /// ring-interior keys (the relational rings: generalized COVAR, MI,
+    /// factorized evaluation) must use this constructor so every shard's
+    /// lifts share the dictionary of the engine they feed —
+    /// [`crate::apps`] wires the shipped applications.
+    pub fn with_lift_factory<F>(tree: ViewTree, factory: F, num_shards: usize) -> Result<Self>
+    where
+        F: Fn(&RingCtx) -> Result<Vec<LiftFn<R>>>,
+    {
+        let plan = ShardPlan::new(&tree, num_shards)?;
+        Self::with_shard_plan(tree, factory, plan)
     }
 
     /// Builds a sharded engine partitioning on an explicit variable.
+    /// Like [`ShardedEngine::new`], this clones one lift set to every
+    /// shard and is therefore for **context-free** lifts only; relational
+    /// rings must use
+    /// [`ShardedEngine::with_partition_variable_factory`].
     pub fn with_partition_variable(
         tree: ViewTree,
         lifts: Vec<LiftFn<R>>,
@@ -89,15 +121,38 @@ impl<R: Ring> ShardedEngine<R> {
         num_shards: usize,
     ) -> Result<Self> {
         let plan = ShardPlan::with_partition_variable(&tree, var, num_shards)?;
-        Self::with_shard_plan(tree, lifts, plan)
+        Self::with_shard_plan(tree, move |_| Ok(lifts.clone()), plan)
     }
 
-    fn with_shard_plan(tree: ViewTree, lifts: Vec<LiftFn<R>>, plan: ShardPlan) -> Result<Self> {
+    /// [`ShardedEngine::with_lift_factory`] with an explicit partition
+    /// variable: lifts are built per shard against that shard's own
+    /// [`RingCtx`], as the ring-key contract requires for relational
+    /// rings.
+    pub fn with_partition_variable_factory<F>(
+        tree: ViewTree,
+        factory: F,
+        var: usize,
+        num_shards: usize,
+    ) -> Result<Self>
+    where
+        F: Fn(&RingCtx) -> Result<Vec<LiftFn<R>>>,
+    {
+        let plan = ShardPlan::with_partition_variable(&tree, var, num_shards)?;
+        Self::with_shard_plan(tree, factory, plan)
+    }
+
+    fn with_shard_plan<F>(tree: ViewTree, lift_factory: F, plan: ShardPlan) -> Result<Self>
+    where
+        F: Fn(&RingCtx) -> Result<Vec<LiftFn<R>>>,
+    {
         let spec = tree.spec().clone();
         let exec = ExecutionPlan::compile(tree)?;
         let workers = (0..plan.num_shards())
             .map(|shard| {
-                let engine = Engine::with_plan(exec.clone(), lifts.clone())?;
+                // One context (and therefore one dictionary) per shard.
+                let ctx = RingCtx::new();
+                let lifts = lift_factory(&ctx)?;
+                let engine = Engine::with_plan_ctx(exec.clone(), lifts, ctx)?;
                 Ok(Worker::spawn(shard, engine))
             })
             .collect::<Result<Vec<_>>>()?;
@@ -114,9 +169,18 @@ impl<R: Ring> ShardedEngine<R> {
             plan,
             spec,
             workers,
+            ctx: RingCtx::new(),
             route_cols,
             row_checks,
         })
+    }
+
+    /// The coordinator's ring context: merged results (from
+    /// [`ShardedEngine::result`] / [`ShardedEngine::result_relation`]) are
+    /// encoded under this context's dictionary; decode relational payload
+    /// entries through it.
+    pub fn ctx(&self) -> &RingCtx {
+        &self.ctx
     }
 
     /// The sharding decision this engine runs under.
@@ -341,7 +405,16 @@ impl<R: Ring> ShardedEngine<R> {
         }
         let mut acc = R::zero();
         for w in &self.workers {
-            acc.add_assign(&w.recv_result());
+            let (partial, dict) = w.recv_result();
+            match dict {
+                // Rekey the shard's dictionary-local words into the
+                // coordinator's dictionary before ring-adding.
+                Some(src) => {
+                    let rekeyed = self.ctx.with_dict_mut(|dst| partial.rekey(&src, dst));
+                    acc.add_assign(&rekeyed);
+                }
+                None => acc.add_assign(&partial),
+            }
         }
         acc
     }
@@ -354,7 +427,11 @@ impl<R: Ring> ShardedEngine<R> {
         }
         let mut acc: Option<Relation<R>> = None;
         for w in &self.workers {
-            let partial = w.recv_relation();
+            let (partial, dict) = w.recv_relation();
+            let partial = match dict {
+                Some(src) => self.ctx.with_dict_mut(|dst| rekey_relation(&partial, &src, dst)),
+                None => partial,
+            };
             match &mut acc {
                 None => acc = Some(partial),
                 Some(a) => a.union_add(&partial),
@@ -386,6 +463,15 @@ impl<R: Ring> ShardedEngine<R> {
         }
         self.workers.iter().map(Worker::recv_view_entries).sum()
     }
+}
+
+/// Rekeys every payload of a relation from `src`'s dictionary into `dst`'s
+/// (relation *keys* are already decoded `Value`s and pass through).
+fn rekey_relation<R: Ring>(rel: &Relation<R>, src: &Dict, dst: &mut Dict) -> Relation<R> {
+    Relation::from_entries(
+        rel.vars().to_vec(),
+        rel.iter().map(|(k, p)| (k.clone(), p.rekey(src, dst))),
+    )
 }
 
 impl<R: Ring> std::fmt::Debug for ShardedEngine<R> {

@@ -7,7 +7,7 @@
 //! shard stats stay comparable (`updates_applied` counts batches on every
 //! shard).
 
-use fivm_common::{RelId, Result};
+use fivm_common::{Dict, RelId, Result};
 use fivm_core::{Engine, EngineStats, UpdateOutcome};
 use fivm_relation::{Relation, Schema, Tuple};
 use fivm_ring::Ring;
@@ -35,11 +35,17 @@ pub(crate) enum Cmd {
 }
 
 /// A reply from one shard; variants correspond 1:1 to [`Cmd`].
+///
+/// Result replies attach a snapshot of the shard's dictionary **iff** the
+/// ring carries dictionary-local words (`Ring::needs_rekey`): the
+/// coordinator rekeys the partial into its own dictionary before merging.
+/// Encoded words themselves never travel interpreted — the dictionary that
+/// produced them rides along.
 pub(crate) enum Reply<R: Ring> {
     Bound(Result<()>),
     Outcome(Result<UpdateOutcome>),
-    Result(R),
-    ResultRelation(Relation<R>),
+    Result(R, Option<Dict>),
+    ResultRelation(Relation<R>, Option<Dict>),
     Stats(EngineStats),
     ViewEntries(usize),
 }
@@ -96,16 +102,16 @@ impl<R: Ring> Worker<R> {
         }
     }
 
-    pub(crate) fn recv_result(&self) -> R {
+    pub(crate) fn recv_result(&self) -> (R, Option<Dict>) {
         match self.recv() {
-            Reply::Result(r) => r,
+            Reply::Result(r, d) => (r, d),
             _ => unreachable!("shard worker protocol violation: expected Result"),
         }
     }
 
-    pub(crate) fn recv_relation(&self) -> Relation<R> {
+    pub(crate) fn recv_relation(&self) -> (Relation<R>, Option<Dict>) {
         match self.recv() {
-            Reply::ResultRelation(r) => r,
+            Reply::ResultRelation(r, d) => (r, d),
             _ => unreachable!("shard worker protocol violation: expected ResultRelation"),
         }
     }
@@ -135,14 +141,35 @@ impl<R: Ring> Drop for Worker<R> {
     }
 }
 
+/// The shard's dictionary snapshot for a result reply — only taken for
+/// rings whose values must be rekeyed across engines, and only when the
+/// shard has interned any strings at all (an empty dictionary proves no
+/// ring key can hold a dictionary-local word, so the clone is skipped —
+/// the common case for integer-categorical workloads).
+///
+/// A non-empty dictionary over-approximates: view-layer string keys
+/// intern into the same dictionary, so a schema with string *join* keys
+/// but integer categories still pays the snapshot.  Deliberate: there is
+/// no reliable cheap signal for "a string reached a ring key" (the
+/// encoded lift path never touches the context), and a missed snapshot
+/// would silently corrupt merged results.  Correctness over cleverness.
+fn dict_snapshot<R: Ring>(engine: &Engine<R>) -> Option<Dict> {
+    if !R::needs_rekey() || engine.ctx().with_dict(Dict::is_empty) {
+        return None;
+    }
+    Some(engine.ctx().snapshot())
+}
+
 /// The per-shard event loop: one engine, commands in, replies out.
 fn worker_loop<R: Ring>(mut engine: Engine<R>, cmds: Receiver<Cmd>, replies: Sender<Reply<R>>) {
     while let Ok(cmd) = cmds.recv() {
         let reply = match cmd {
             Cmd::Bind { rel, schema } => Reply::Bound(engine.bind_table(rel, &schema)),
             Cmd::Apply { rel, rows } => Reply::Outcome(engine.apply_rows(rel, rows)),
-            Cmd::Result => Reply::Result(engine.result()),
-            Cmd::ResultRelation => Reply::ResultRelation(engine.result_relation()),
+            Cmd::Result => Reply::Result(engine.result(), dict_snapshot(&engine)),
+            Cmd::ResultRelation => {
+                Reply::ResultRelation(engine.result_relation(), dict_snapshot(&engine))
+            }
             Cmd::Stats => Reply::Stats(engine.stats()),
             Cmd::ViewEntries => Reply::ViewEntries(engine.total_view_entries()),
             Cmd::Shutdown => break,

@@ -35,7 +35,7 @@ use fivm_data::retailer::{retailer_query_continuous, retailer_tree};
 use fivm_data::{FavoritaConfig, RetailerConfig, StreamConfig, UpdateStream};
 use fivm_query::{RelationRouting, ViewTree};
 use fivm_relation::{tuple, BaseTable, Database, Tuple, Update};
-use fivm_ring::{ApproxEq, LiftFn, Ring};
+use fivm_ring::{ApproxEq, LiftFn, Ring, RingCtx};
 use fivm_shard::ShardedEngine;
 use rand::Rng;
 use std::collections::HashMap;
@@ -91,6 +91,16 @@ fn sorted_entries<R: Ring>(rel: &fivm_relation::Relation<R>) -> Vec<(Tuple, R)> 
 }
 
 /// How a configuration's results must agree.
+///
+/// `Exact` compares ring payloads with `==`, which for the relational
+/// rings compares *encoded* interiors.  That is dictionary-independent
+/// only because every categorical value in these workloads is an integer
+/// (integers encode identically under any dictionary).  A future workload
+/// with **string** categories must compare decoded entries instead
+/// (`RelValue::decode_entries` under each side's own dictionary, as
+/// `crates/ring/tests/relvalue_differential.rs` does) — string ids are
+/// dictionary-local and `==` across the single engine's and the sharded
+/// coordinator's dictionaries would be meaningless.
 #[derive(Clone, Copy)]
 enum Agreement {
     /// Bit-for-bit: `==` on ring values.
@@ -102,16 +112,22 @@ enum Agreement {
 
 /// Replays `updates` through a single engine and through sharded engines
 /// with N ∈ {1, 2, 4}, comparing results and checking the per-shard
-/// steady-state rehash contract.
+/// steady-state rehash contract (view tables *and* ring-interior tables).
+///
+/// Lifts are built per engine through `lifts`, against that engine's own
+/// ring context — exactly how `fivm_shard::apps` wires the relational
+/// rings, whose encoded interior keys must never cross dictionaries.
 fn run_differential<R: Ring + ApproxEq>(
     tree: &ViewTree,
-    lifts: &[LiftFn<R>],
+    lifts: &(impl Fn(&RingCtx) -> Vec<LiftFn<R>> + Clone),
     db: &Database,
     updates: &[Update],
     agreement: Agreement,
     ctx: &str,
 ) {
-    let mut single = Engine::new(tree.clone(), lifts.to_vec()).expect("single engine");
+    let single_ctx = RingCtx::new();
+    let mut single = Engine::new_with_ctx(tree.clone(), lifts(&single_ctx), single_ctx)
+        .expect("single engine");
     single.load_database(db).expect("single load");
     for u in updates {
         single.apply_update(u).expect("single update");
@@ -119,8 +135,10 @@ fn run_differential<R: Ring + ApproxEq>(
     let expected = sorted_entries(&single.result_relation());
 
     for shards in [1usize, 2, 4] {
+        let factory = lifts.clone();
         let mut sharded =
-            ShardedEngine::new(tree.clone(), lifts.to_vec(), shards).expect("sharded engine");
+            ShardedEngine::with_lift_factory(tree.clone(), move |c| Ok(factory(c)), shards)
+                .expect("sharded engine");
         sharded.load_database(db).expect("sharded load");
         let mut input_rows = 0usize;
         for u in updates {
@@ -180,7 +198,11 @@ fn run_differential<R: Ring + ApproxEq>(
         for (shard, (b, a)) in before.iter().zip(after.iter()).enumerate() {
             assert_eq!(
                 a.rehashes, b.rehashes,
-                "{ctx}, N={shards}: shard {shard} rehashed in steady state"
+                "{ctx}, N={shards}: shard {shard} rehashed a view table in steady state"
+            );
+            assert_eq!(
+                a.ring_rehashes, b.ring_rehashes,
+                "{ctx}, N={shards}: shard {shard} rehashed a ring-interior table in steady state"
             );
         }
 
@@ -305,18 +327,21 @@ fn retailer_partition_plan_routes_the_snowflake_as_documented() {
 #[test]
 fn count_is_bit_for_bit_identical_on_both_datasets() {
     let (tree, db, updates) = retailer_workload();
-    let lifts = fivm_core::apps::count_lifts(tree.spec());
+    let spec = tree.spec().clone();
+    let lifts = move |_: &RingCtx| fivm_core::apps::count_lifts(&spec);
     run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Retailer/COUNT");
 
     let (tree, db, updates) = favorita_workload();
-    let lifts = fivm_core::apps::count_lifts(tree.spec());
+    let spec = tree.spec().clone();
+    let lifts = move |_: &RingCtx| fivm_core::apps::count_lifts(&spec);
     run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Favorita/COUNT");
 }
 
 #[test]
 fn covar_is_bit_for_bit_identical_on_quantized_streams() {
     let (tree, db, updates) = retailer_workload();
-    let lifts = fivm_core::apps::covar_lifts(tree.spec()).unwrap();
+    let spec = tree.spec().clone();
+    let lifts = move |_: &RingCtx| fivm_core::apps::covar_lifts(&spec).unwrap();
     run_differential(
         &tree,
         &lifts,
@@ -327,7 +352,8 @@ fn covar_is_bit_for_bit_identical_on_quantized_streams() {
     );
 
     let (tree, db, updates) = favorita_workload();
-    let lifts = fivm_core::apps::gen_covar_lifts(tree.spec());
+    let spec = tree.spec().clone();
+    let lifts = move |ctx: &RingCtx| fivm_core::apps::gen_covar_lifts(&spec, ctx);
     run_differential(
         &tree,
         &lifts,
@@ -344,11 +370,13 @@ fn covar_agrees_to_tolerance_on_raw_streams() {
     // to rounding (see the module docs); 1e-9 relative is far tighter than
     // any downstream ML use of the COVAR matrix.
     let (tree, db, updates) = retailer_workload();
-    let lifts = fivm_core::apps::covar_lifts(tree.spec()).unwrap();
+    let spec = tree.spec().clone();
+    let lifts = move |_: &RingCtx| fivm_core::apps::covar_lifts(&spec).unwrap();
     run_differential(&tree, &lifts, &db, &updates, Agreement::Approx(1e-9), "Retailer/COVAR-raw");
 
     let (tree, db, updates) = favorita_workload();
-    let lifts = fivm_core::apps::gen_covar_lifts(tree.spec());
+    let spec = tree.spec().clone();
+    let lifts = move |ctx: &RingCtx| fivm_core::apps::gen_covar_lifts(&spec, ctx);
     run_differential(&tree, &lifts, &db, &updates, Agreement::Approx(1e-9), "Favorita/COVAR-raw");
 }
 
@@ -358,10 +386,14 @@ fn mi_is_bit_for_bit_identical_on_both_datasets() {
     // arithmetic is exact in every addition order, so the raw streams
     // already merge bit-for-bit.
     let (tree, db, updates) = retailer_workload();
-    let lifts = fivm_core::apps::mi_lifts(tree.spec(), &mi_binnings(tree.spec())).unwrap();
+    let spec = tree.spec().clone();
+    let bins = mi_binnings(&spec);
+    let lifts = move |ctx: &RingCtx| fivm_core::apps::mi_lifts(&spec, &bins, ctx).unwrap();
     run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Retailer/MI");
 
     let (tree, db, updates) = favorita_workload();
-    let lifts = fivm_core::apps::mi_lifts(tree.spec(), &mi_binnings(tree.spec())).unwrap();
+    let spec = tree.spec().clone();
+    let bins = mi_binnings(&spec);
+    let lifts = move |ctx: &RingCtx| fivm_core::apps::mi_lifts(&spec, &bins, ctx).unwrap();
     run_differential(&tree, &lifts, &db, &updates, Agreement::Exact, "Favorita/MI");
 }

@@ -35,6 +35,15 @@ bench-shards:
     cargo build --release --bin exp_throughput
     ./target/release/exp_throughput --shards 4
 
+# Ring gate: the encoded-vs-boxed relation-ring differential suite and
+# allocation guarantees under clippy -D warnings, then a quick run emitting
+# the RING-* ablation records (encoded vs boxed ring-interior keys).
+bench-ring:
+    cargo clippy -p fivm-ring --all-targets -- -D warnings
+    cargo test -p fivm-ring -q
+    cargo build --release --bin exp_throughput
+    ./target/release/exp_throughput --quick --json /tmp/bench_ring_smoke.json
+
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations
 # (boxed Value tuples vs dictionary-encoded keys).
