@@ -17,8 +17,8 @@
 
 use fivm_baselines::{JoinMaintenance, NaiveReevaluation, UnsharedCovar};
 use fivm_bench::{
-    format_speedup, measure, print_table, write_bench_json, BenchRecord, ProbeAblation,
-    RingAblation, Throughput, Workload,
+    format_speedup, measure, print_table, write_bench_json, BenchRecord, MemAblation,
+    ProbeAblation, RingAblation, Throughput, Workload,
 };
 use fivm_core::apps::{count_lifts, covar_lifts, gen_covar_lifts};
 use fivm_core::{Engine, EngineStats};
@@ -27,8 +27,24 @@ use fivm_ring::{LiftFn, Ring, RingCtx};
 use fivm_shard::ShardedEngine;
 
 /// Replays the update stream through an F-IVM engine, returning wall-clock
-/// timing and the engine's own work counters for the update phase only.
+/// timing and the engine's work counters for the **warm window** only: one
+/// unmeasured warmup replay fixes the key set (the stream revisits its own
+/// keys), then the measured replay runs in steady state and its counter
+/// deltas reflect the pinned invariants — in particular `rehashes` /
+/// `ring_rehashes` stay 0 instead of carrying warmup table growth into the
+/// artifact.  `table_bytes` is a gauge and reports the absolute resident
+/// footprint at the end of the run.
+///
+/// Only the F-IVM engines get this warmup; the baselines are still
+/// measured cold (warming the naive re-evaluator is prohibitively slow),
+/// so the printed "slowdown vs F-IVM" columns compare steady-state F-IVM
+/// against cold baselines and overstate the gap by the baselines' warmup
+/// share — they are order-of-magnitude context, not paired measurements
+/// (stated again next to the printed table).
 fn run_fivm<R: Ring>(engine: &mut Engine<R>, updates: &[Update]) -> (Throughput, EngineStats) {
+    for b in updates {
+        engine.apply_update(b).unwrap();
+    }
     let before = engine.stats();
     let t = measure(updates, |b| {
         engine.apply_update(b).unwrap();
@@ -118,6 +134,31 @@ fn main() {
         };
         record(&mut records, dataset, "COVAR", stream.bulk_size, fivm_covar, s_covar);
         push_row(&mut rows, dataset, "F-IVM", "COVAR", fivm_covar, Some(s_covar), None);
+        if dataset == "Favorita" {
+            // The co-resident regime's limiting number: the resident bytes
+            // of the generalized-COVAR engine (views incl. ring-payload
+            // interiors) after the full replay — the `MEM-engine` record.
+            println!(
+                "  gen-covar engine footprint: {:.2} MiB of view/ring tables",
+                s_covar.table_bytes as f64 / (1024.0 * 1024.0)
+            );
+            records.push(BenchRecord {
+                dataset: dataset.to_string(),
+                app: "MEM-engine-covar".to_string(),
+                bulk_size: stream.bulk_size,
+                updates: fivm_covar.updates,
+                // Memory-only record: untimed by convention (the timed
+                // run is the COVAR record above).
+                seconds: 0.0,
+                delta_entries: 0,
+                ring_adds: 0,
+                ring_muls: 0,
+                probes: 0,
+                probe_hits: 0,
+                rehashes: 0,
+                table_bytes: s_covar.table_bytes,
+            });
+        }
 
         let mut mi = workload.mi_engine();
         mi.load_database(&workload.database).unwrap();
@@ -194,6 +235,7 @@ fn main() {
                     probes,
                     probe_hits: 0,
                     rehashes: 0,
+                    table_bytes: 0,
                 });
             }
         }
@@ -226,6 +268,45 @@ fn main() {
                     probes: 0,
                     probe_hits: 0,
                     rehashes: 0,
+                    table_bytes: 0,
+                });
+            }
+        }
+
+        // --- Ablation: ring-table memory (MEM-* records) --------------------
+        {
+            let mem = MemAblation::from_workload(&workload);
+            let entries = mem.entries();
+            let (new, option, boxed) = (mem.new_bytes(), mem.option_bytes(), mem.boxed_bytes());
+            let per = |b: usize| b as f64 / entries as f64;
+            println!(
+                "  mem ablation ({entries} ring-table entries): boxed {:.1} B/entry, \
+                 option-slot layout {:.1} B/entry, new layout {:.1} B/entry \
+                 ({:.1}% reduction vs option slots)",
+                per(boxed),
+                per(option),
+                per(new),
+                (1.0 - per(new) / per(option)) * 100.0,
+            );
+            for (app, bytes) in [
+                ("MEM-ring-boxed", boxed),
+                ("MEM-ring-option", option),
+                ("MEM-ring-new", new),
+            ] {
+                records.push(BenchRecord {
+                    dataset: dataset.to_string(),
+                    app: app.to_string(),
+                    bulk_size: stream.bulk_size,
+                    updates: entries,
+                    // Memory-only record: untimed by convention.
+                    seconds: 0.0,
+                    delta_entries: 0,
+                    ring_adds: 0,
+                    ring_muls: 0,
+                    probes: 0,
+                    probe_hits: 0,
+                    rehashes: 0,
+                    table_bytes: bytes,
                 });
             }
         }
@@ -318,7 +399,9 @@ fn main() {
         Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
     }
     println!("\n(paper's claim: F-IVM averages ~10K updates/s and beats DBToaster-style");
-    println!(" join maintenance by orders of magnitude on these workloads)");
+    println!(" join maintenance by orders of magnitude on these workloads;");
+    println!(" F-IVM rows are warm-window/steady-state, baselines are measured cold —");
+    println!(" the slowdown columns are order-of-magnitude context, not paired runs)");
 }
 
 /// Paired single-vs-sharded measurement: both engines are built and loaded
@@ -369,6 +452,8 @@ fn run_paired<R: Ring>(
         let ts = measure(&workload.updates, |b| {
             sharded.apply_update(b).unwrap();
         });
+        // `delta_since` carries the byte gauge through: the sharded stats
+        // report the resident footprint summed across all shards.
         sharded_stats = sharded.stats().delta_since(&before);
         sharded_rates.push(ts.updates_per_second());
         updates = t.updates;
@@ -405,6 +490,7 @@ fn run_paired<R: Ring>(
             probes: stats.probes,
             probe_hits: stats.probe_hits,
             rehashes: stats.rehashes,
+            table_bytes: stats.table_bytes,
         });
     }
 }
@@ -436,6 +522,7 @@ fn record(
         probes: stats.probes,
         probe_hits: stats.probe_hits,
         rehashes: stats.rehashes,
+        table_bytes: stats.table_bytes,
     });
 }
 

@@ -9,7 +9,7 @@ use fivm_common::{Dict, EncodedKey, EncodedValue, FxHashMap, Value};
 use fivm_core::{apps, BinSpec, Engine, MaterializedView};
 use fivm_query::{QuerySpec, ViewTree};
 use fivm_relation::{Database, Tuple, Update};
-use fivm_ring::{Cofactor, GenCofactor};
+use fivm_ring::{BoxedRelValue, Cofactor, GenCofactor, RelKey, RelValue};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -395,6 +395,138 @@ impl RingAblation {
     }
 }
 
+/// The ring-table **memory** ablation: the same relation population held
+/// in three storage designs, measured in bytes per stored entry — the
+/// `MEM-*` counterpart of the `PROBE-*`/`RING-*` speed ablations.
+///
+/// Per input row of the workload's update stream the ablation maintains
+/// the three relation shapes generalized-cofactor maintenance actually
+/// materializes (see `GenCofactor`): a **scalar** component (`s`/`Q` of a
+/// continuous attribute — a single-entry relation over the empty key), a
+/// **linear** categorical component (`s_X = SUM(1) GROUP BY X`), and a
+/// pairwise **interaction** component (`Q_XY`, grouped by two
+/// attributes).  Accumulators are keyed by the row's *fact key* (every
+/// column but the trailing measure) — the granularity of the fact-leaf
+/// view, which holds the overwhelming majority of an engine's ring
+/// payloads (one payload per distinct fact key, versus a handful of
+/// coarser interior/root keys).  That is the regime the ring interior
+/// lives in: *many small tables*, which is exactly what the old
+/// `Option`-slot layout taxed most (8-slot minimum capacity, per-slot
+/// discriminant).
+///
+/// Three numbers come out, all for identical logical relations:
+///
+/// * **new** — [`RelValue::allocated_bytes`] under the discriminant-free
+///   split layout,
+/// * **option** — the modeled cost of the previous
+///   `Vec<Option<(u64, RelKey, f64)>>` layout (same growth policy with the
+///   old 8-slot minimum; per-slot cost taken from `size_of` so the model
+///   tracks the compiler's real `Option` layout),
+/// * **boxed** — [`BoxedRelValue::approx_heap_bytes`] of the boxed-`Value`
+///   reference representation.
+pub struct MemAblation {
+    scalar: Vec<RelValue>,
+    linear: Vec<RelValue>,
+    interaction: Vec<RelValue>,
+    boxed: Vec<BoxedRelValue>,
+}
+
+impl MemAblation {
+    /// Replays the workload's update stream, accumulating one component
+    /// triple per distinct fact key (every row column but the trailing
+    /// measure).
+    pub fn from_workload(workload: &Workload) -> MemAblation {
+        let ctx = fivm_ring::RingCtx::new();
+        let mut groups: FxHashMap<Vec<(u8, u64)>, usize> = FxHashMap::default();
+        let mut scalar: Vec<RelValue> = Vec::new();
+        let mut linear: Vec<RelValue> = Vec::new();
+        let mut interaction: Vec<RelValue> = Vec::new();
+        let mut boxed_scalar: Vec<BoxedRelValue> = Vec::new();
+        let mut boxed_linear: Vec<BoxedRelValue> = Vec::new();
+        let mut boxed_interaction: Vec<BoxedRelValue> = Vec::new();
+        let empty = RelKey::empty();
+        for bulk in &workload.updates {
+            for (row, mult) in &bulk.rows {
+                let w = *mult as f64;
+                let (x, y) = (&row[0], &row[row.len() - 1]);
+                let (ex, ey) = (ctx.encode_value(x), ctx.encode_value(y));
+                let fact_key: Vec<(u8, u64)> = row[..row.len() - 1]
+                    .iter()
+                    .map(|v| {
+                        let ev = ctx.encode_value(v);
+                        (ev.tag, ev.word)
+                    })
+                    .collect();
+                let slot = *groups.entry(fact_key).or_insert_with(|| {
+                    scalar.push(RelValue::empty());
+                    linear.push(RelValue::empty());
+                    interaction.push(RelValue::empty());
+                    boxed_scalar.push(BoxedRelValue::empty());
+                    boxed_linear.push(BoxedRelValue::empty());
+                    boxed_interaction.push(BoxedRelValue::empty());
+                    scalar.len() - 1
+                });
+                scalar[slot].add_entry(&empty, w);
+                linear[slot].add_entry(&RelKey::singleton(0, ex), w);
+                interaction[slot].add_product_scaled(
+                    &RelValue::indicator(0, ex),
+                    &RelValue::indicator(1, ey),
+                    w,
+                );
+                boxed_scalar[slot].add_scaled(&BoxedRelValue::scalar(1.0), w);
+                boxed_linear[slot].add_scaled(&BoxedRelValue::indicator(0, x.clone()), w);
+                boxed_interaction[slot].add_product_scaled(
+                    &BoxedRelValue::indicator(0, x.clone()),
+                    &BoxedRelValue::indicator(1, y.clone()),
+                    w,
+                );
+            }
+        }
+        let mut boxed = boxed_scalar;
+        boxed.append(&mut boxed_linear);
+        boxed.append(&mut boxed_interaction);
+        MemAblation {
+            scalar,
+            linear,
+            interaction,
+            boxed,
+        }
+    }
+
+    fn relations(&self) -> impl Iterator<Item = &RelValue> {
+        self.scalar
+            .iter()
+            .chain(self.linear.iter())
+            .chain(self.interaction.iter())
+    }
+
+    /// Stored entries across the population (identical in every design;
+    /// checked against the boxed mirror).
+    pub fn entries(&self) -> usize {
+        let encoded: usize = self.relations().map(RelValue::len).sum();
+        let boxed: usize = self.boxed.iter().map(BoxedRelValue::len).sum();
+        assert_eq!(encoded, boxed, "mem ablation representations diverge");
+        encoded
+    }
+
+    /// Total bytes under the new discriminant-free layout.
+    pub fn new_bytes(&self) -> usize {
+        self.relations().map(RelValue::allocated_bytes).sum()
+    }
+
+    /// Total bytes under the modeled `Option`-slot layout
+    /// ([`RelValue::option_layout_bytes`], the one model shared with the
+    /// regression gate in `crates/ring/tests/mem_gate.rs`).
+    pub fn option_bytes(&self) -> usize {
+        self.relations().map(RelValue::option_layout_bytes).sum()
+    }
+
+    /// Total approximate bytes under the boxed-`Value` reference layout.
+    pub fn boxed_bytes(&self) -> usize {
+        self.boxed.iter().map(BoxedRelValue::approx_heap_bytes).sum()
+    }
+}
+
 /// Timing result of replaying an update stream through a maintenance
 /// strategy.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -444,9 +576,11 @@ pub struct BenchRecord {
     pub app: String,
     /// Updates per bulk in the replayed stream.
     pub bulk_size: usize,
-    /// Individual updates applied.
+    /// Individual updates applied (for `MEM-*` records: entries measured).
     pub updates: usize,
-    /// Wall-clock seconds spent applying them.
+    /// Wall-clock seconds spent applying them.  `0.0` marks an *untimed*
+    /// record (the memory-only `MEM-*` rows) — the JSON writer emits
+    /// `rows_per_sec: 0.0` for those instead of a fabricated rate.
     pub seconds: f64,
     /// Delta entries pushed into views (update phase only).
     pub delta_entries: usize,
@@ -459,8 +593,17 @@ pub struct BenchRecord {
     pub probes: usize,
     /// Probes that found a match (update phase only).
     pub probe_hits: usize,
-    /// View-table rehash events (update phase only; steady state is 0).
+    /// View-table rehash events (measured window only).  Engine records
+    /// report **warm-window deltas** — a post-warmup snapshot is
+    /// subtracted — so a non-zero value here is a violation of the
+    /// steady-state "rehashes pinned to 0" contract, not warmup growth.
     pub rehashes: usize,
+    /// Byte gauge.  Engine records: the absolute `EngineStats::table_bytes`
+    /// footprint (all materialized view storage) at the end of the run —
+    /// for sharded records, summed across shards.  `MEM-*` records: total
+    /// bytes of the measured relation population under the named layout.
+    /// 0 for the speed-only `PROBE-*`/`RING-*` ablations.
+    pub table_bytes: usize,
 }
 
 impl BenchRecord {
@@ -484,20 +627,24 @@ pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<
                 "    {{\"dataset\": \"{}\", \"app\": \"{}\", \"bulk_size\": {}, ",
                 "\"updates\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, ",
                 "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}, ",
-                "\"probes\": {}, \"probe_hits\": {}, \"rehashes\": {}}}{}\n"
+                "\"probes\": {}, \"probe_hits\": {}, \"rehashes\": {}, ",
+                "\"table_bytes\": {}}}{}\n"
             ),
             r.dataset,
             r.app,
             r.bulk_size,
             r.updates,
             r.seconds,
-            r.rows_per_sec(),
+            // Untimed (memory-only) records report 0.0, not a fabricated
+            // or non-JSON `inf` rate.
+            if r.seconds == 0.0 { 0.0 } else { r.rows_per_sec() },
             r.delta_entries,
             r.ring_adds,
             r.ring_muls,
             r.probes,
             r.probe_hits,
             r.rehashes,
+            r.table_bytes,
             if i + 1 == records.len() { "" } else { "," }
         ));
     }
@@ -601,6 +748,22 @@ mod tests {
         assert_eq!(ab.run_boxed(), ab.run_encoded());
         assert!(ab.measure(true, 2) > 0.0);
         assert!(ab.measure(false, 2) > 0.0);
+    }
+
+    #[test]
+    fn mem_ablation_accounts_identical_populations() {
+        let w = tiny_retailer();
+        let mem = MemAblation::from_workload(&w);
+        let entries = mem.entries();
+        assert!(entries > 0);
+        assert!(mem.new_bytes() > 0);
+        // The modeled option layout can never beat the new layout.  (No
+        // ordering is asserted against the boxed side: a singleton-heavy
+        // population makes a 1-entry `FxHashMap` smaller than the old
+        // 8-slot table floor — the boxed layout loses on speed and
+        // allocation count, not necessarily on resident bytes.)
+        assert!(mem.new_bytes() <= mem.option_bytes());
+        assert!(mem.boxed_bytes() > 0);
     }
 
     #[test]

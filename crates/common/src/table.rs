@@ -17,20 +17,50 @@
 //! The table is a compact swiss-table-style design: power-of-two capacity,
 //! one control byte per slot carrying a 7-bit hash fragment, probed in
 //! groups of eight bytes with portable SWAR word tricks (no SIMD
-//! intrinsics, no `unsafe`) so most mismatched slots are rejected eight at
-//! a time without reading any entry.  Groups are visited in triangular
-//! order (every group reached, no primary clustering), and deletion uses
+//! intrinsics) so most mismatched slots are rejected eight at a time
+//! without reading any entry.  Groups are visited in triangular order
+//! (every group reached, no primary clustering), and deletion uses
 //! tombstones.  Tombstone-heavy tables are compacted in place by a
 //! same-size rehash instead of growing.  Growth events are counted in
 //! [`RawTable::rehashes`], which the engine surfaces as an `EngineStats`
 //! counter — a key is re-bucketed (never re-hashed) only when a table
 //! grows or compacts.
 //!
+//! # Storage: discriminant-free slots
+//!
+//! The control bytes are the **single liveness authority**.  Entry storage
+//! is split into a hash array (`Box<[u64]>`) and an uninitialized entry
+//! array (`Box<[MaybeUninit<(K, V)>]>`); there is no per-slot `Option`
+//! discriminant and no second bookkeeping structure to keep in sync.  The
+//! invariant every `unsafe` block in this module relies on:
+//!
+//! > `ctrl[i] < 0x80` (a stored hash fragment) **iff** `hashes[i]` and
+//! > `entries[i]` hold an initialized entry.  Control bytes at
+//! > `i >= capacity` (the padding of sub-group tables, below) are always
+//! > `CTRL_EMPTY`.
+//!
+//! Every transition maintains it: `occupy`/`insert` write the entry before
+//! (or with) the control byte, `remove_at`/`retain` read the entry out (or
+//! drop it in place) while marking the byte dead, `clear`/`drop` walk the
+//! control bytes to drop exactly the live entries, and `rehash` moves
+//! entries bitwise into a fresh array.  All `unsafe` is confined to this
+//! module; the public API stays safe (slot-index accessors check the
+//! control byte and panic on a dead slot, exactly like the previous
+//! `Option`-based storage did).
+//!
+//! Because entry slots no longer pay an `Option` tag, and because the
+//! minimum capacity is [`MIN_CAP`] = 2 slots (the control array is padded
+//! to one SWAR group with permanently-empty bytes), the millions of tiny
+//! relation-ring interiors this table backs shrink from one 8-slot
+//! allocation to a right-sized few: see [`RawTable::allocated_bytes`] and
+//! the `MEM-*` ablation records in `BENCH_ivm.json`.
+//!
 //! Like the rest of the workspace the table is keyed by trusted,
 //! internally generated hashes ([`crate::hash::FxHasher`]-style mixing);
 //! it is not HashDoS-resistant.
 
 use std::fmt;
+use std::mem::MaybeUninit;
 
 /// Control byte: slot has never held an entry (probe chains stop here).
 const CTRL_EMPTY: u8 = 0x80;
@@ -45,6 +75,13 @@ fn h2(hash: u64) -> u8 {
 
 /// Control bytes are probed in groups of this many (one `u64` at a time).
 const GROUP: usize = 8;
+
+/// Smallest slot capacity.  Sub-group tables keep a full 8-byte control
+/// group whose trailing bytes are permanently `CTRL_EMPTY`; real slots
+/// occupy the *low* indices, so the SWAR "first matching byte" selection
+/// can never pick a padding slot while a live/free real slot exists (the
+/// load-factor reserve guarantees a free real slot before every insert).
+const MIN_CAP: usize = 2;
 
 /// `b` repeated in every byte of a word.
 #[inline]
@@ -77,6 +114,25 @@ fn load_group(ctrl: &[u8], g: usize) -> u64 {
     )
 }
 
+/// A control word whose every byte is `CTRL_EMPTY`.
+const ALL_EMPTY: u64 = u64::from_ne_bytes([CTRL_EMPTY; 8]);
+
+#[cfg(test)]
+thread_local! {
+    /// Counter backing the sparse-wipe tests: control *words* written by
+    /// [`RawTable`] clears on this thread.
+    static CTRL_WORDS_WIPED: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Records `words` control words written by a clear (test builds only).
+#[inline]
+fn note_wiped(words: usize) {
+    #[cfg(test)]
+    CTRL_WORDS_WIPED.with(|c| c.set(c.get() + words as u64));
+    #[cfg(not(test))]
+    let _ = words;
+}
+
 /// Result of [`RawTable::probe`]: the matching entry's slot index, or the
 /// slot index a new entry for the probed key should occupy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +145,8 @@ pub enum Probe {
 }
 
 /// An open-addressing hash table mapping `K` to `V` under caller-supplied
-/// hashes.  See the module docs for the design rationale.
+/// hashes.  See the module docs for the design rationale and the storage
+/// invariant.
 ///
 /// Contract: for the table to behave like a map, equal keys must always be
 /// presented with equal hashes, and [`RawTable::insert`] must only be
@@ -98,11 +155,15 @@ pub enum Probe {
 /// probe is a handful of word compares).
 pub struct RawTable<K, V> {
     /// One control byte per slot (`CTRL_EMPTY`, `CTRL_TOMBSTONE`, or the
-    /// entry's `h2` fragment).  Length is the capacity, always a power of
-    /// two (or zero before the first insert).
+    /// entry's `h2` fragment), padded to at least one SWAR group; padding
+    /// bytes are permanently `CTRL_EMPTY`.
     ctrl: Box<[u8]>,
-    /// Entry storage: `(full hash, key, value)` per occupied slot.
-    slots: Vec<Option<(u64, K, V)>>,
+    /// The stored 64-bit hash of each live slot (uninitialized slots hold
+    /// an arbitrary word that is never read).  Length is the capacity,
+    /// always a power of two (or zero before the first insert).
+    hashes: Box<[u64]>,
+    /// Entry storage; `entries[i]` is initialized iff `ctrl[i]` is live.
+    entries: Box<[MaybeUninit<(K, V)>]>,
     len: usize,
     tombstones: usize,
     rehashes: u64,
@@ -114,12 +175,18 @@ impl<K, V> Default for RawTable<K, V> {
     }
 }
 
+/// An uninitialized entry array of `cap` slots.
+fn uninit_entries<K, V>(cap: usize) -> Box<[MaybeUninit<(K, V)>]> {
+    std::iter::repeat_with(MaybeUninit::uninit).take(cap).collect()
+}
+
 impl<K, V> RawTable<K, V> {
     /// An empty table (no allocation until the first insert).
     pub fn new() -> Self {
         RawTable {
             ctrl: Box::from([]),
-            slots: Vec::new(),
+            hashes: Box::from([]),
+            entries: Box::from([]),
             len: 0,
             tombstones: 0,
             rehashes: 0,
@@ -130,7 +197,12 @@ impl<K, V> RawTable<K, V> {
     pub fn with_capacity(cap: usize) -> Self {
         let mut t = RawTable::new();
         if cap > 0 {
-            t.rehash((cap * 4).div_ceil(3).next_power_of_two().max(8));
+            t.rehash(
+                (cap * 4)
+                    .div_ceil(3)
+                    .next_power_of_two()
+                    .max(MIN_CAP),
+            );
             t.rehashes = 0; // initial sizing is not a rehash
         }
         t
@@ -148,10 +220,23 @@ impl<K, V> RawTable<K, V> {
         self.len == 0
     }
 
-    /// Current slot count.
+    /// Current slot count (entry capacity before load-factor headroom; the
+    /// control array may be padded beyond it, see the module docs).
     #[inline]
     pub fn capacity(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Heap bytes owned by the table's own arrays (control bytes, stored
+    /// hashes, entry slots).  Excludes heap owned *by* keys or values
+    /// (spilled key boxes, nested tables) — byte rollups that need those
+    /// add them at the layer that knows the types (`Ring::payload_bytes`,
+    /// `MaterializedView::table_bytes`).
+    #[inline]
+    pub fn allocated_bytes(&self) -> usize {
         self.ctrl.len()
+            + self.hashes.len() * std::mem::size_of::<u64>()
+            + self.entries.len() * std::mem::size_of::<(K, V)>()
     }
 
     /// Number of rehashes (growth or tombstone compaction) performed.
@@ -162,6 +247,26 @@ impl<K, V> RawTable<K, V> {
         self.rehashes
     }
 
+    /// Shared borrow of a live slot's entry.
+    ///
+    /// # Safety
+    /// `idx` must be a live slot (`ctrl[idx] < CTRL_EMPTY`).
+    #[inline]
+    unsafe fn entry_ref(&self, idx: usize) -> &(K, V) {
+        debug_assert!(self.ctrl[idx] < CTRL_EMPTY, "entry_ref on a dead slot");
+        self.entries[idx].assume_init_ref()
+    }
+
+    /// Mutable borrow of a live slot's entry.
+    ///
+    /// # Safety
+    /// `idx` must be a live slot (`ctrl[idx] < CTRL_EMPTY`).
+    #[inline]
+    unsafe fn entry_mut(&mut self, idx: usize) -> &mut (K, V) {
+        debug_assert!(self.ctrl[idx] < CTRL_EMPTY, "entry_mut on a dead slot");
+        self.entries[idx].assume_init_mut()
+    }
+
     /// Index of the entry matching `hash` and `eq`, if present.
     ///
     /// The returned index is stable until the next mutating call and can be
@@ -170,11 +275,10 @@ impl<K, V> RawTable<K, V> {
     /// propagation level.
     #[inline]
     pub fn find_idx(&self, hash: u64, mut eq: impl FnMut(&K, &V) -> bool) -> Option<usize> {
-        let cap = self.ctrl.len();
-        if cap == 0 {
+        let groups = self.ctrl.len() / GROUP;
+        if groups == 0 {
             return None;
         }
-        let groups = cap / GROUP;
         let gmask = groups - 1;
         let fragment = h2(hash);
         let mut g = (hash as usize) & gmask;
@@ -182,11 +286,14 @@ impl<K, V> RawTable<K, V> {
         loop {
             let word = load_group(&self.ctrl, g);
             // Candidate slots: control bytes matching the hash fragment.
+            // A fragment byte is < 0x80, so every candidate is live and its
+            // hash/entry are initialized (the storage invariant).
             let mut candidates = match_bytes(word, fragment);
             while candidates != 0 {
                 let i = g * GROUP + (candidates.trailing_zeros() as usize) / 8;
-                if let Some((h, k, v)) = &self.slots[i] {
-                    if *h == hash && eq(k, v) {
+                if self.hashes[i] == hash {
+                    let (k, v) = unsafe { self.entry_ref(i) };
+                    if eq(k, v) {
                         return Some(i);
                     }
                 }
@@ -205,30 +312,36 @@ impl<K, V> RawTable<K, V> {
     }
 
     /// The entry at a slot index returned by [`RawTable::find_idx`].
+    /// Panics on a dead slot index (liveness is checked against the control
+    /// byte, the single authority).
     #[inline]
     pub fn at(&self, idx: usize) -> (&K, &V) {
-        let (_, k, v) = self.slots[idx].as_ref().expect("slot index of a live entry");
+        assert!(self.ctrl[idx] < CTRL_EMPTY, "slot index of a live entry");
+        let (k, v) = unsafe { self.entry_ref(idx) };
         (k, v)
     }
 
-    /// Mutable value access by slot index.
+    /// Mutable value access by slot index; panics on a dead slot index.
     #[inline]
     pub fn value_at_mut(&mut self, idx: usize) -> &mut V {
-        let (_, _, v) = self.slots[idx].as_mut().expect("slot index of a live entry");
+        assert!(self.ctrl[idx] < CTRL_EMPTY, "slot index of a live entry");
+        let (_, v) = unsafe { self.entry_mut(idx) };
         v
     }
 
     /// The entry matching `hash` and `eq`, if present.
     #[inline]
     pub fn find(&self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(&K, &V)> {
-        self.find_idx(hash, eq).map(|i| self.at(i))
+        let idx = self.find_idx(hash, eq)?;
+        let (k, v) = unsafe { self.entry_ref(idx) };
+        Some((k, v))
     }
 
     /// Mutable variant of [`RawTable::find`].
     #[inline]
     pub fn find_mut(&mut self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(&K, &mut V)> {
         let idx = self.find_idx(hash, eq)?;
-        let (_, k, v) = self.slots[idx].as_mut().expect("found index is live");
+        let (k, v) = unsafe { self.entry_mut(idx) };
         Some((&*k, v))
     }
 
@@ -252,8 +365,9 @@ impl<K, V> RawTable<K, V> {
             let mut candidates = match_bytes(word, fragment);
             while candidates != 0 {
                 let i = g * GROUP + (candidates.trailing_zeros() as usize) / 8;
-                if let Some((h, k, v)) = &self.slots[i] {
-                    if *h == hash && eq(k, v) {
+                if self.hashes[i] == hash {
+                    let (k, v) = unsafe { self.entry_ref(i) };
+                    if eq(k, v) {
                         return Probe::Found(i);
                     }
                 }
@@ -280,28 +394,33 @@ impl<K, V> RawTable<K, V> {
     }
 
     /// Fills a vacant slot returned by [`RawTable::probe`] (same hash, no
-    /// mutation in between).
+    /// mutation in between).  Panics if the slot is live.
     pub fn occupy(&mut self, idx: usize, hash: u64, key: K, value: V) {
-        debug_assert!(
-            self.ctrl[idx] == CTRL_EMPTY || self.ctrl[idx] == CTRL_TOMBSTONE,
-            "occupy() target slot is live"
+        assert!(
+            idx < self.capacity(),
+            "occupy() index beyond the slot capacity (padding slots are not occupiable)"
         );
+        assert!(self.ctrl[idx] >= CTRL_EMPTY, "occupy() target slot is live");
         if self.ctrl[idx] == CTRL_TOMBSTONE {
             self.tombstones -= 1;
         }
+        self.hashes[idx] = hash;
+        self.entries[idx].write((key, value));
         self.ctrl[idx] = h2(hash);
-        self.slots[idx] = Some((hash, key, value));
         self.len += 1;
     }
 
-    /// Removes the entry at a slot index returned by
-    /// [`RawTable::find_idx`] / [`RawTable::probe`].
+    /// Removes the entry at a slot index; `None` if the slot is dead.
     pub fn remove_at(&mut self, idx: usize) -> Option<(K, V)> {
-        let entry = self.slots[idx].take()?;
+        if self.ctrl[idx] >= CTRL_EMPTY {
+            return None;
+        }
         self.ctrl[idx] = CTRL_TOMBSTONE;
         self.len -= 1;
         self.tombstones += 1;
-        Some((entry.1, entry.2))
+        // The control byte now marks the slot dead, so the entry read is
+        // the single move out of the slot.
+        Some(unsafe { self.entries[idx].assume_init_read() })
     }
 
     /// Inserts an entry **known to be absent** (the caller has already
@@ -315,7 +434,9 @@ impl<K, V> RawTable<K, V> {
         loop {
             let word = load_group(&self.ctrl, g);
             // Any dead byte (EMPTY or TOMBSTONE — both have the high bit
-            // set) in the group can hold the new entry.
+            // set) in the group can hold the new entry.  Padding bytes sit
+            // at the highest indices of the (single) group of a sub-group
+            // table, so the lowest dead byte is always a real slot.
             let dead = word & 0x8080_8080_8080_8080;
             if dead != 0 {
                 let i = g * GROUP + (dead.trailing_zeros() as usize) / 8;
@@ -330,10 +451,7 @@ impl<K, V> RawTable<K, V> {
     /// Removes and returns the entry matching `hash` and `eq`.
     pub fn remove_with(&mut self, hash: u64, eq: impl FnMut(&K, &V) -> bool) -> Option<(K, V)> {
         let idx = self.find_idx(hash, eq)?;
-        self.ctrl[idx] = CTRL_TOMBSTONE;
-        self.len -= 1;
-        self.tombstones += 1;
-        self.slots[idx].take().map(|(_, k, v)| (k, v))
+        self.remove_at(idx)
     }
 
     /// Visits the indices of every live slot, in storage order.  Scans the
@@ -343,10 +461,8 @@ impl<K, V> RawTable<K, V> {
     /// `O(len)` entry reads.
     #[inline]
     fn for_each_live(ctrl: &[u8], mut visit: impl FnMut(usize)) {
-        const ALL_EMPTY: u64 = u64::from_ne_bytes([CTRL_EMPTY; 8]);
         let mut base = 0;
-        let mut chunks = ctrl.chunks_exact(8);
-        for chunk in &mut chunks {
+        for chunk in ctrl.chunks_exact(GROUP) {
             let word = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
             if word != ALL_EMPTY {
                 for (off, &c) in chunk.iter().enumerate() {
@@ -355,34 +471,28 @@ impl<K, V> RawTable<K, V> {
                     }
                 }
             }
-            base += 8;
+            base += GROUP;
         }
-        for (off, &c) in chunks.remainder().iter().enumerate() {
-            if c < CTRL_EMPTY {
-                visit(base + off);
-            }
-        }
+        // The control array length is always a multiple of GROUP.
+        debug_assert_eq!(ctrl.len() % GROUP, 0);
     }
 
     /// Keeps only the entries for which `f` returns `true`.  Scans control
-    /// bytes like [`RawTable::for_each_live`], eight at a time.
+    /// bytes like [`RawTable::for_each_live`], eight at a time; removed
+    /// entries are dropped in place.
     pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
-        const ALL_EMPTY: u64 = u64::from_ne_bytes([CTRL_EMPTY; 8]);
         let cap = self.ctrl.len();
         let mut removed = 0;
         let mut base = 0;
-        while base + 8 <= cap {
+        while base + GROUP <= cap {
             let word =
-                u64::from_ne_bytes(self.ctrl[base..base + 8].try_into().expect("8-byte chunk"));
+                u64::from_ne_bytes(self.ctrl[base..base + GROUP].try_into().expect("8-byte chunk"));
             if word != ALL_EMPTY {
-                for i in base..base + 8 {
+                for i in base..base + GROUP {
                     removed += usize::from(self.retain_slot(i, &mut f));
                 }
             }
-            base += 8;
-        }
-        for i in base..cap {
-            removed += usize::from(self.retain_slot(i, &mut f));
+            base += GROUP;
         }
         self.len -= removed;
         self.tombstones += removed;
@@ -395,17 +505,40 @@ impl<K, V> RawTable<K, V> {
         if self.ctrl[i] >= CTRL_EMPTY {
             return false;
         }
-        let keep = match &mut self.slots[i] {
-            Some((_, k, v)) => f(k, v),
-            None => return false,
-        };
-        if keep {
+        let (k, v) = unsafe { self.entry_mut(i) };
+        if f(k, v) {
             false
         } else {
-            self.slots[i] = None;
             self.ctrl[i] = CTRL_TOMBSTONE;
+            // Dead per the control byte; drop the entry in place.
+            unsafe { self.entries[i].assume_init_drop() };
             true
         }
+    }
+
+    /// Resets every control byte to `CTRL_EMPTY` after the caller has
+    /// disposed of all live entries.  When the table is sparsely occupied
+    /// (live + tombstones well below capacity — the pooled-scratch shape),
+    /// only the dirty control *words* are rewritten, guided by the same
+    /// SWAR walk the iterators use; a dense table takes one bulk fill.
+    fn wipe_ctrl(&mut self) {
+        let dirty = self.len + self.tombstones;
+        if dirty * GROUP >= self.ctrl.len() {
+            self.ctrl.fill(CTRL_EMPTY);
+            note_wiped(self.ctrl.len() / GROUP);
+        } else {
+            let mut wiped = 0;
+            for chunk in self.ctrl.chunks_exact_mut(GROUP) {
+                let word = u64::from_ne_bytes((&*chunk).try_into().expect("8-byte chunk"));
+                if word != ALL_EMPTY {
+                    chunk.fill(CTRL_EMPTY);
+                    wiped += 1;
+                }
+            }
+            note_wiped(wiped);
+        }
+        self.len = 0;
+        self.tombstones = 0;
     }
 
     /// Moves every `(hash, key, value)` entry into `out` and clears the
@@ -420,32 +553,59 @@ impl<K, V> RawTable<K, V> {
             return;
         }
         if self.len > 0 {
+            // Reserve up front so the pushes below cannot panic between
+            // reading an entry out and recording it (a panic after the
+            // read, with the control byte still live, would double-drop
+            // the entry when the table is later dropped — same discipline
+            // as `take_live_entries`).
             out.reserve(self.len);
-            let slots = &mut self.slots;
-            Self::for_each_live(&self.ctrl, |i| {
-                if let Some(entry) = slots[i].take() {
-                    out.push(entry);
-                }
-            });
+            self.take_live_entries(|hash, k, v| out.push((hash, k, v)));
         }
-        self.ctrl.fill(CTRL_EMPTY);
-        self.len = 0;
-        self.tombstones = 0;
+        self.wipe_ctrl();
+    }
+
+    /// Walks the live slots SWAR-word-wise, marking each slot dead
+    /// **before** moving its entry out to `consume`.  The
+    /// mark-then-dispose order makes the walk panic-safe: if a consumer
+    /// or an entry's own `Drop` unwinds, every slot already visited —
+    /// including the one in flight — reads dead, so the table's `Drop`
+    /// cannot touch it again.  Counters are left to the caller
+    /// (`wipe_ctrl` resets them).
+    fn take_live_entries(&mut self, mut consume: impl FnMut(u64, K, V)) {
+        let cap = self.ctrl.len();
+        let mut base = 0;
+        while base + GROUP <= cap {
+            let word =
+                u64::from_ne_bytes(self.ctrl[base..base + GROUP].try_into().expect("8-byte chunk"));
+            if word != ALL_EMPTY {
+                for i in base..base + GROUP {
+                    if self.ctrl[i] < CTRL_EMPTY {
+                        self.ctrl[i] = CTRL_TOMBSTONE;
+                        // Dead per the control byte; this is the single
+                        // move out of the slot.
+                        let (k, v) = unsafe { self.entries[i].assume_init_read() };
+                        consume(self.hashes[i], k, v);
+                    }
+                }
+            }
+            base += GROUP;
+        }
     }
 
     /// Removes every entry, keeping capacity.  O(1) when the table is
-    /// already clean (see [`RawTable::drain_into`]).
+    /// already clean, and writes only the dirty control words when it is
+    /// sparse (see [`RawTable::drain_into`]).
     pub fn clear(&mut self) {
         if self.len == 0 && self.tombstones == 0 {
             return;
         }
-        let slots = &mut self.slots;
-        Self::for_each_live(&self.ctrl, |i| {
-            slots[i] = None;
-        });
-        self.ctrl.fill(CTRL_EMPTY);
-        self.len = 0;
-        self.tombstones = 0;
+        if std::mem::needs_drop::<(K, V)>() && self.len > 0 {
+            // Slots are marked dead before each entry drops, so a
+            // panicking entry `Drop` cannot lead to a second drop from
+            // the table's own `Drop` during unwinding.
+            self.take_live_entries(|_, k, v| drop((k, v)));
+        }
+        self.wipe_ctrl();
     }
 
     /// Iterates over `(key, value)` pairs in unspecified order.  Guided by
@@ -474,11 +634,11 @@ impl<K, V> RawTable<K, V> {
     }
 
     /// Ensures a free slot exists, growing or compacting when the load
-    /// factor (live + tombstones) would exceed 3/4.
+    /// factor (live + tombstones) would exceed 3/4 of the slot capacity.
     fn reserve_one(&mut self) {
-        let cap = self.ctrl.len();
+        let cap = self.capacity();
         if cap == 0 {
-            self.rehash(8);
+            self.rehash(MIN_CAP);
             self.rehashes = 0; // initial allocation is not a rehash
             return;
         }
@@ -491,30 +651,55 @@ impl<K, V> RawTable<K, V> {
     }
 
     /// Re-buckets every entry into a table of `new_cap` slots using the
-    /// stored hashes.
+    /// stored hashes.  Entries move bitwise — no clone, no re-hash.
     fn rehash(&mut self, new_cap: usize) {
-        debug_assert!(new_cap.is_power_of_two() && new_cap >= GROUP);
+        debug_assert!(new_cap.is_power_of_two() && new_cap >= MIN_CAP);
         self.rehashes += 1;
-        let old: Vec<Option<(u64, K, V)>> = std::mem::take(&mut self.slots);
-        self.ctrl = vec![CTRL_EMPTY; new_cap].into_boxed_slice();
-        self.slots = (0..new_cap).map(|_| None).collect();
+        let old_ctrl = std::mem::replace(
+            &mut self.ctrl,
+            vec![CTRL_EMPTY; new_cap.max(GROUP)].into_boxed_slice(),
+        );
+        let old_hashes = std::mem::replace(
+            &mut self.hashes,
+            vec![0u64; new_cap].into_boxed_slice(),
+        );
+        let old_entries = std::mem::replace(&mut self.entries, uninit_entries(new_cap));
         self.tombstones = 0;
-        let gmask = new_cap / GROUP - 1;
-        for entry in old.into_iter().flatten() {
-            let mut g = (entry.0 as usize) & gmask;
+        let gmask = self.ctrl.len() / GROUP - 1;
+        Self::for_each_live(&old_ctrl, |i| {
+            let hash = old_hashes[i];
+            // Move out of the old array; `old_entries` is dropped as a
+            // plain uninitialized box afterwards, so this is the only read.
+            let entry = unsafe { old_entries[i].assume_init_read() };
+            let mut g = (hash as usize) & gmask;
             let mut step = 0;
             loop {
                 let word = load_group(&self.ctrl, g);
                 let empties = match_bytes(word, CTRL_EMPTY);
                 if empties != 0 {
                     let i = g * GROUP + (empties.trailing_zeros() as usize) / 8;
-                    self.ctrl[i] = h2(entry.0);
-                    self.slots[i] = Some(entry);
+                    self.ctrl[i] = h2(hash);
+                    self.hashes[i] = hash;
+                    self.entries[i].write(entry);
                     break;
                 }
                 step += 1;
                 g = (g + step) & gmask;
             }
+        });
+    }
+}
+
+impl<K, V> Drop for RawTable<K, V> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<(K, V)>() && self.len > 0 {
+            // No dead-marking needed here (unlike `clear`): if an entry's
+            // `Drop` unwinds, this body does not run again — the field
+            // boxes drop as plain (uninitialized) storage — so already
+            // visited slots cannot be dropped twice; the unvisited rest
+            // leaks, which is the standard collection contract.
+            let RawTable { ctrl, entries, .. } = self;
+            Self::for_each_live(ctrl, |i| unsafe { entries[i].assume_init_drop() });
         }
     }
 }
@@ -560,10 +745,10 @@ impl<'a, K, V> Iterator for IterHashed<'a, K, V> {
                 let off = (self.mask.trailing_zeros() as usize) / 8;
                 self.mask &= self.mask - 1;
                 let i = self.base - GROUP + off;
-                if let Some((h, k, v)) = self.table.slots[i].as_ref() {
-                    return Some((*h, k, v));
-                }
-                continue;
+                // Live per the mask (control high bit clear) — the storage
+                // invariant guarantees the hash and entry are initialized.
+                let (k, v) = unsafe { self.table.entry_ref(i) };
+                return Some((self.table.hashes[i], k, v));
             }
             let ctrl = &self.table.ctrl;
             while self.base + GROUP <= ctrl.len() {
@@ -581,17 +766,8 @@ impl<'a, K, V> Iterator for IterHashed<'a, K, V> {
                 }
             }
             if self.mask == 0 {
-                // Tail (capacity is a multiple of GROUP, so only the
-                // zero-capacity table lands here).
-                while self.base < ctrl.len() {
-                    let i = self.base;
-                    self.base += 1;
-                    if ctrl[i] < CTRL_EMPTY {
-                        if let Some((h, k, v)) = self.table.slots[i].as_ref() {
-                            return Some((*h, k, v));
-                        }
-                    }
-                }
+                // The control array length is a multiple of GROUP, so the
+                // word walk is exhaustive.
                 return None;
             }
         }
@@ -606,9 +782,17 @@ impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for RawTable<K, V> {
 
 impl<K: Clone, V: Clone> Clone for RawTable<K, V> {
     fn clone(&self) -> Self {
+        let mut entries = uninit_entries(self.capacity());
+        Self::for_each_live(&self.ctrl, |i| {
+            // A panicking K/V clone leaks the already-cloned prefix (the
+            // fresh box drops as uninitialized storage) — safe, and the
+            // workspace's key/value clones do not panic.
+            entries[i].write(unsafe { self.entry_ref(i) }.clone());
+        });
         RawTable {
             ctrl: self.ctrl.clone(),
-            slots: self.slots.clone(),
+            hashes: self.hashes.clone(),
+            entries,
             len: self.len,
             tombstones: self.tombstones,
             rehashes: self.rehashes,
@@ -623,6 +807,11 @@ mod tests {
 
     fn h(k: u64) -> u64 {
         fx_hash_words(&[k])
+    }
+
+    /// Control words written by table clears on this thread so far.
+    fn words_wiped() -> u64 {
+        CTRL_WORDS_WIPED.with(|c| c.get())
     }
 
     #[test]
@@ -656,6 +845,43 @@ mod tests {
     }
 
     #[test]
+    fn small_tables_start_tiny_and_grow() {
+        // The first insert allocates MIN_CAP slots, not a full group: a
+        // singleton relation costs a right-sized few dozen bytes.
+        let mut t: RawTable<u64, u64> = RawTable::new();
+        assert_eq!(t.allocated_bytes(), 0);
+        t.insert(h(7), 7, 7);
+        assert_eq!(t.capacity(), MIN_CAP);
+        let singleton_bytes = t.allocated_bytes();
+        assert!(
+            singleton_bytes <= GROUP + MIN_CAP * (8 + std::mem::size_of::<(u64, u64)>()),
+            "singleton table too large: {singleton_bytes} bytes"
+        );
+        // Sub-group capacities stay probe-able and grow through 4 to 8.
+        for k in 0..20u64 {
+            match t.probe(h(k), |key, _| *key == k) {
+                Probe::Found(idx) => *t.value_at_mut(idx) += 1,
+                Probe::Vacant(idx) => t.occupy(idx, h(k), k, k),
+            }
+        }
+        assert_eq!(t.len(), 20);
+        for k in 0..20u64 {
+            assert!(t.get(h(k), &k).is_some(), "key {k} lost across sub-group growth");
+        }
+        assert!(t.capacity() >= 20);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_capacity() {
+        let t: RawTable<u64, u64> = RawTable::with_capacity(100);
+        let cap = t.capacity();
+        assert_eq!(
+            t.allocated_bytes(),
+            cap.max(GROUP) + cap * 8 + cap * std::mem::size_of::<(u64, u64)>()
+        );
+    }
+
+    #[test]
     fn drain_into_empties_but_keeps_capacity() {
         let mut t: RawTable<u64, u64> = RawTable::new();
         for k in 0..100 {
@@ -686,6 +912,57 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn sparse_clear_writes_only_dirty_ctrl_words() {
+        // The pooled-scratch shape: a large-capacity table holding a
+        // handful of entries.  Clearing it must rewrite only the control
+        // words those entries dirtied, not the whole control array.
+        let mut t: RawTable<u64, u64> = RawTable::with_capacity(4096);
+        let total_words = (t.capacity() / GROUP) as u64;
+        for k in 0..4u64 {
+            t.insert(h(k), k, k);
+        }
+        let before = words_wiped();
+        t.clear();
+        let wiped = words_wiped() - before;
+        assert!(t.is_empty());
+        assert!(
+            wiped <= 4,
+            "sparse clear rewrote {wiped} control words for 4 entries"
+        );
+        assert!(wiped >= 1, "a dirty table must wipe at least one word");
+        assert!(wiped < total_words, "sparse clear must not touch every word");
+
+        // A clean table's clear is O(1): no words written at all.
+        let before = words_wiped();
+        t.clear();
+        assert_eq!(words_wiped() - before, 0, "clean clear must be a no-op");
+
+        // A dense table takes the bulk fill (all words, one pass).
+        let mut dense: RawTable<u64, u64> = RawTable::new();
+        for k in 0..1000u64 {
+            dense.insert(h(k), k, k);
+        }
+        let dense_words = (dense.capacity().max(GROUP) / GROUP) as u64;
+        let before = words_wiped();
+        dense.clear();
+        assert_eq!(words_wiped() - before, dense_words);
+
+        // drain_into takes the same sparse path.
+        let mut t: RawTable<u64, u64> = RawTable::with_capacity(4096);
+        for k in 0..4u64 {
+            t.insert(h(k), k, k);
+        }
+        let mut out = Vec::new();
+        let before = words_wiped();
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(
+            words_wiped() - before <= 4,
+            "sparse drain rewrote too many control words"
+        );
     }
 
     #[test]
@@ -732,5 +1009,28 @@ mod tests {
         assert_eq!(t.at(idx), (&11, &11));
         *t.value_at_mut(idx) = 99;
         assert_eq!(t.get(h(11), &11), Some(&99));
+    }
+
+    #[test]
+    fn drop_and_clone_handle_owned_entries() {
+        // Drop-heavy keys and values (boxed slices, strings) across clone,
+        // retain, clear and plain drop — miri-style churn for the unsafe
+        // storage; the full drop-count accounting lives in
+        // `tests/rawtable_differential.rs`.
+        let mut t: RawTable<Box<[u64]>, String> = RawTable::new();
+        for k in 0..64u64 {
+            t.insert(h(k), vec![k, k + 1].into_boxed_slice(), format!("v{k}"));
+        }
+        let c = t.clone();
+        assert_eq!(c.len(), 64);
+        for k in 0..64u64 {
+            let key: Box<[u64]> = vec![k, k + 1].into_boxed_slice();
+            assert_eq!(c.get(h(k), &key).map(String::as_str), Some(&*format!("v{k}")));
+        }
+        t.retain(|k, _| k[0] % 2 == 0);
+        assert_eq!(t.len(), 32);
+        t.clear();
+        assert!(t.is_empty());
+        drop(c);
     }
 }

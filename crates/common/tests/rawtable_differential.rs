@@ -140,6 +140,148 @@ fn growth_at_high_load_factor_keeps_every_entry() {
     });
 }
 
+/// A key that behaves like a spilled `RelKey` (owned boxed words) and
+/// counts its live instances, so leaks and double drops through the
+/// table's `unsafe` storage show up as a non-zero balance (a double drop
+/// would drive the counter negative or crash outright on the box).
+#[derive(Debug)]
+struct DropKey {
+    k: u64,
+    words: Box<[u64]>,
+    live: std::sync::Arc<std::sync::atomic::AtomicIsize>,
+}
+
+impl DropKey {
+    fn new(k: u64, live: &std::sync::Arc<std::sync::atomic::AtomicIsize>) -> DropKey {
+        live.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        DropKey {
+            k,
+            words: vec![k, !k, k.rotate_left(7)].into_boxed_slice(),
+            live: live.clone(),
+        }
+    }
+}
+
+impl Clone for DropKey {
+    fn clone(&self) -> Self {
+        self.live.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        DropKey {
+            k: self.k,
+            words: self.words.clone(),
+            live: self.live.clone(),
+        }
+    }
+}
+
+impl Drop for DropKey {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl PartialEq for DropKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k && self.words == other.words
+    }
+}
+impl Eq for DropKey {}
+
+/// Churn-under-drop: owned keys (boxed words, like spilled `RelKey`s) and
+/// `String` values through every storage transition — insert, probe/occupy,
+/// remove, retain, growth and compaction rehashes, clone, clear, drain and
+/// final drop.  The discriminant-free storage keeps liveness only in the
+/// control bytes; this pins that no path leaks or double-drops an entry.
+#[test]
+fn churn_with_owned_keys_never_leaks_or_double_drops() {
+    for_cases("churn_with_owned_keys", 12, |rng| {
+        let live = std::sync::Arc::new(std::sync::atomic::AtomicIsize::new(0));
+        let mut table: RawTable<DropKey, String> = RawTable::new();
+        let mut reference: HashMap<u64, String> = HashMap::new();
+        let domain = rng.gen_range(8..48u64);
+        let ops = rng.gen_range(300..1500usize);
+        for _ in 0..ops {
+            let k = rng.gen_range(0..domain);
+            match rng.gen_range(0..5u8) {
+                // Upsert via probe/occupy (fresh DropKey either way; the
+                // miss path hands it to the table, the hit path drops it).
+                0 | 1 => {
+                    let key = DropKey::new(k, &live);
+                    let val = format!("v{k}");
+                    match table.probe(h(k), |kk, _| *kk == key) {
+                        Probe::Found(idx) => *table.value_at_mut(idx) = val.clone(),
+                        Probe::Vacant(idx) => table.occupy(idx, h(k), key, val.clone()),
+                    }
+                    reference.insert(k, val);
+                }
+                // Remove (the returned entry drops here).
+                2 => {
+                    let key = DropKey::new(k, &live);
+                    let removed = table.remove_with(h(k), |kk, _| *kk == key);
+                    assert_eq!(removed.map(|(_, v)| v), reference.remove(&k));
+                }
+                // Point lookup.
+                3 => {
+                    let key = DropKey::new(k, &live);
+                    assert_eq!(
+                        table.find(h(k), |kk, _| *kk == key).map(|(_, v)| v),
+                        reference.get(&k)
+                    );
+                }
+                // Occasional retain sweep (drops in place).
+                _ => {
+                    let keep = rng.gen_range(1..4u64);
+                    table.retain(|kk, _| kk.k % keep != 1);
+                    reference.retain(|k, _| k % keep != 1);
+                }
+            }
+        }
+        assert_eq!(table.len(), reference.len());
+        // One live DropKey per stored entry, exactly.
+        assert_eq!(
+            live.load(std::sync::atomic::Ordering::Relaxed),
+            table.len() as isize,
+            "live key count diverged from table length"
+        );
+
+        // Clone doubles the key population...
+        let cloned = table.clone();
+        assert_eq!(
+            live.load(std::sync::atomic::Ordering::Relaxed),
+            2 * table.len() as isize
+        );
+        // ...clear drops the clone's entries in place...
+        let mut cloned = cloned;
+        cloned.clear();
+        assert!(cloned.is_empty());
+        assert_eq!(
+            live.load(std::sync::atomic::Ordering::Relaxed),
+            table.len() as isize
+        );
+        // ...drain_into moves (not copies) ownership out of the table...
+        let before_drain = table.len();
+        let mut drained = Vec::new();
+        table.drain_into(&mut drained);
+        assert_eq!(drained.len(), before_drain);
+        assert_eq!(
+            live.load(std::sync::atomic::Ordering::Relaxed),
+            before_drain as isize
+        );
+        for (hash, k, v) in &drained {
+            assert_eq!(*hash, h(k.k));
+            assert_eq!(reference.get(&k.k), Some(v));
+        }
+        // ...and dropping everything balances the books to zero.
+        drop(drained);
+        drop(table);
+        drop(cloned);
+        assert_eq!(
+            live.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "leak or double drop through the raw storage"
+        );
+    });
+}
+
 #[test]
 fn tombstone_churn_reuses_slots_without_unbounded_growth() {
     for_cases("tombstone_churn_reuses_slots", 8, |rng| {

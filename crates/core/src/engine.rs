@@ -77,6 +77,16 @@ pub struct EngineStats {
     /// time but only built (one slab scan) when the active update pattern
     /// first probes them; until then they cost no per-row upkeep.
     pub deferred_index_builds: usize,
+    /// Heap bytes of all materialized view storage: primary maps,
+    /// secondary indexes, slot slabs and ring-payload interiors
+    /// (`MaterializedView::table_bytes` summed over the views).  Unlike
+    /// the other fields this is a **gauge** (current footprint), not a
+    /// monotone counter: [`EngineStats::delta_since`] carries the later
+    /// snapshot's footprint through unchanged (a difference of a value
+    /// that can shrink is meaningless, and every consumer wants the
+    /// resident footprint), and [`EngineStats::merge`] sums the
+    /// per-shard footprints.
+    pub table_bytes: usize,
 }
 
 impl EngineStats {
@@ -94,6 +104,7 @@ impl EngineStats {
             rehashes: self.rehashes - earlier.rehashes,
             ring_rehashes: self.ring_rehashes - earlier.ring_rehashes,
             deferred_index_builds: self.deferred_index_builds - earlier.deferred_index_builds,
+            table_bytes: self.table_bytes,
         }
     }
 
@@ -114,6 +125,7 @@ impl EngineStats {
             rehashes: self.rehashes + other.rehashes,
             ring_rehashes: self.ring_rehashes + other.ring_rehashes,
             deferred_index_builds: self.deferred_index_builds + other.deferred_index_builds,
+            table_bytes: self.table_bytes + other.table_bytes,
         }
     }
 }
@@ -276,6 +288,19 @@ impl<R: Ring> PropagationScratch<R> {
             pool_enabled,
         }
     }
+
+    /// Recycles the current level's delta payloads into the pool (they
+    /// were applied to the view by reference): each is reset to an exact
+    /// zero keeping its in-budget buffers, up to [`POOL_CAP`] payloads.
+    fn recycle_current(&mut self) {
+        for (_, _, payload) in self.current.drain(..) {
+            if self.pool_enabled && self.pool.len() < POOL_CAP {
+                let mut payload = payload;
+                payload.reset_zero();
+                self.pool.push(payload);
+            }
+        }
+    }
 }
 
 /// The F-IVM engine for a fixed query, view tree and ring.
@@ -398,8 +423,12 @@ impl<R: Ring> Engine<R> {
         &self.ctx
     }
 
-    /// Work counters.  `rehashes` is read live from the view tables; the
-    /// other counters accumulate on the maintenance path.
+    /// Work counters.  `rehashes`, `ring_rehashes` and `table_bytes` are
+    /// read live from the view tables; the other counters accumulate on
+    /// the maintenance path.  `table_bytes` covers the materialized views
+    /// (the state that must stay resident); transient propagation scratch
+    /// and the delta-payload pool are excluded — they are bounded by the
+    /// same `reset_zero` byte budget the memory contract documents.
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.stats;
         stats.rehashes = self
@@ -412,6 +441,11 @@ impl<R: Ring> Engine<R> {
             .iter()
             .map(MaterializedView::payload_rehashes)
             .sum::<u64>() as usize;
+        stats.table_bytes = self
+            .views
+            .iter()
+            .map(MaterializedView::table_bytes)
+            .sum::<usize>();
         stats
     }
 
@@ -683,17 +717,12 @@ impl<R: Ring> Engine<R> {
             // handed to the parent.
             produced.retain(|_, p| !p.is_zero());
 
-            // Recycle the previous level's payloads (they were applied to
-            // the view by reference) before refilling `current`.
-            let current = &mut self.scratch.current;
-            for (_, _, payload) in current.drain(..) {
-                if self.scratch.pool_enabled && self.scratch.pool.len() < POOL_CAP {
-                    let mut payload = payload;
-                    payload.reset_zero();
-                    self.scratch.pool.push(payload);
-                }
-            }
-            produced.drain_into(current);
+            // Recycle the previous level's payloads before refilling
+            // `current` with the delta just produced.
+            self.scratch.recycle_current();
+            let scratch = &mut self.scratch;
+            scratch.next.drain_into(&mut scratch.current);
+            let current = &mut scratch.current;
             outcome.delta_entries += current.len();
             for (hash, key, payload) in current.iter() {
                 if self.views[node_id].add_encoded(*hash, key, payload) {
@@ -711,13 +740,7 @@ impl<R: Ring> Engine<R> {
                 None => break,
             }
         }
-        for (_, _, payload) in self.scratch.current.drain(..) {
-            if self.scratch.pool_enabled && self.scratch.pool.len() < POOL_CAP {
-                let mut payload = payload;
-                payload.reset_zero();
-                self.scratch.pool.push(payload);
-            }
-        }
+        self.scratch.recycle_current();
 
         self.stats.delta_entries += outcome.delta_entries;
         Ok(outcome)

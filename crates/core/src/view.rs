@@ -143,13 +143,9 @@ impl<R: Ring> MaterializedView<R> {
         if self.indexes[index_id].built {
             return false;
         }
-        let (slots, index) = (&self.slots, &mut self.indexes[index_id]);
+        let (slots, map, index) = (&self.slots, &self.map, &mut self.indexes[index_id]);
         index.built = true;
-        let mut live: Vec<u32> = Vec::with_capacity(self.map.len());
-        for (&sid, ()) in self.map.iter() {
-            live.push(sid);
-        }
-        for sid in live {
+        for (&sid, ()) in map.iter() {
             index.insert(&slots[sid as usize].key, sid);
         }
         true
@@ -187,6 +183,32 @@ impl<R: Ring> MaterializedView<R> {
     /// rehash history — survive for reuse.
     pub fn payload_rehashes(&self) -> u64 {
         self.slots.iter().map(|s| s.payload.payload_rehashes()).sum()
+    }
+
+    /// Heap bytes of this view's storage: the primary map and secondary
+    /// index tables ([`RawTable::allocated_bytes`]), index bucket vectors,
+    /// the slot slab, and every slot payload's interior buffers
+    /// ([`Ring::payload_bytes`]).  Parked (freed) slots are included —
+    /// their zero payloads keep buffers for reuse, and those bytes are
+    /// resident.  Per-key heap (spilled `EncodedKey` words) is not
+    /// counted; see the memory contract in ROADMAP.md for the boundary.
+    pub fn table_bytes(&self) -> usize {
+        let index_bytes: usize = self
+            .indexes
+            .iter()
+            .map(|i| {
+                i.map.allocated_bytes()
+                    + i.map
+                        .iter()
+                        .map(|(_, bucket)| bucket.capacity() * std::mem::size_of::<u32>())
+                        .sum::<usize>()
+            })
+            .sum();
+        self.map.allocated_bytes()
+            + index_bytes
+            + self.slots.capacity() * std::mem::size_of::<Slot<R>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.slots.iter().map(|s| s.payload.payload_bytes()).sum::<usize>()
     }
 
     /// The slot id of a key, probed with its precomputed hash.

@@ -207,6 +207,7 @@ fn stats_merge_sums_every_counter() {
         rehashes: 8,
         ring_rehashes: 9,
         deferred_index_builds: 1,
+        table_bytes: 100,
     };
     let b = fivm_core::EngineStats {
         updates_applied: 10,
@@ -219,6 +220,7 @@ fn stats_merge_sums_every_counter() {
         rehashes: 80,
         ring_rehashes: 90,
         deferred_index_builds: 10,
+        table_bytes: 1000,
     };
     let m = a.merge(&b);
     assert_eq!(
@@ -234,10 +236,45 @@ fn stats_merge_sums_every_counter() {
             rehashes: 88,
             ring_rehashes: 99,
             deferred_index_builds: 11,
+            table_bytes: 1100,
         }
     );
-    // merge and delta_since are inverses: (a + b) - b = a.
-    assert_eq!(m.delta_since(&b), a);
+    // merge and delta_since are inverses for the counters; the byte gauge
+    // is not differenced — delta_since carries the later snapshot's
+    // footprint through (a difference of a shrinkable gauge is
+    // meaningless, and consumers always want the resident footprint).
+    assert_eq!(
+        m.delta_since(&b),
+        fivm_core::EngineStats { table_bytes: m.table_bytes, ..a }
+    );
+    let shrunk = fivm_core::EngineStats { table_bytes: 5, ..a };
+    assert_eq!(shrunk.delta_since(&a).table_bytes, 5);
+}
+
+#[test]
+fn table_bytes_tracks_view_growth() {
+    let mut engine = apps::count_engine(figure1_tree()).unwrap();
+    let empty = engine.stats().table_bytes;
+    let rows: Vec<(Tuple, i64)> = (0..2_000).map(|i| (t(&[i % 50, i]), 1)).collect();
+    engine.apply_rows(0, rows.clone()).unwrap();
+    let grown = engine.stats().table_bytes;
+    assert!(
+        grown > empty,
+        "2000 distinct keys must grow the byte footprint ({empty} -> {grown})"
+    );
+    // Deleting every row shrinks the live key set.  The retained table
+    // capacity (parked slots keep their buffers) means the gauge does not
+    // return to the empty footprint, and the freed-slot bookkeeping (the
+    // view free list) may add a few KB — but deletes must not grow the
+    // footprint beyond that bookkeeping.
+    let deletes: Vec<(Tuple, i64)> = rows.iter().map(|(r, _)| (r.clone(), -1)).collect();
+    engine.apply_rows(0, deletes).unwrap();
+    let after = engine.stats().table_bytes;
+    let free_list_slack = 2 * rows.len() * std::mem::size_of::<u32>();
+    assert!(
+        after <= grown + free_list_slack,
+        "deletes ballooned the footprint: {grown} -> {after}"
+    );
 }
 
 #[test]

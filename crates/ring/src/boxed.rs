@@ -76,6 +76,23 @@ impl BoxedRelValue {
         self.entries.get(k.as_slice()).copied().unwrap_or(0.0)
     }
 
+    /// Approximate heap bytes of this relation: the hash-map bucket array
+    /// (per usable slot: the entry pair plus one control byte, the
+    /// hashbrown shape behind `std`) plus every boxed key's pair slice.
+    /// `std` does not expose exact allocation sizes, so this is an
+    /// *estimate* — the boxed side of the `MEM-*` ablation records, where
+    /// a few percent of error cannot affect the conclusion (the boxed
+    /// layout costs multiples of the encoded one).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<(BoxedCatKey, f64)>() + 1;
+        let key_bytes: usize = self
+            .entries
+            .keys()
+            .map(|k| k.len() * std::mem::size_of::<(u32, Value)>())
+            .sum();
+        self.entries.capacity() * slot + key_bytes
+    }
+
     /// The entries as a sorted `(pairs, weight)` listing — the same
     /// canonical form as [`crate::RelValue::decode_entries`], which is how
     /// the differential suite compares the two representations.

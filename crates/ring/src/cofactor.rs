@@ -401,6 +401,15 @@ impl Ring for Cofactor {
     fn scale_int(&self, k: i64) -> Self {
         self.scale_all(k as f64)
     }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            Cofactor::Scalar(_) => 0,
+            Cofactor::Elem(e) => {
+                e.sums.capacity() * std::mem::size_of::<f64>() + e.prods.heap_bytes()
+            }
+        }
+    }
 }
 
 impl ApproxEq for Cofactor {

@@ -350,6 +350,24 @@ impl GenCofactor {
                 .sum(),
         }
     }
+
+    /// Heap bytes of this element's interior allocations: the `sums`/
+    /// `prods` vector buffers plus every component relation's table arrays
+    /// (see [`RelValue::allocated_bytes`] for the accounting boundary).
+    /// Scalars own nothing.
+    pub fn allocated_bytes(&self) -> usize {
+        match self {
+            GenCofactor::Scalar(_) => 0,
+            GenCofactor::Elem(e) => {
+                (e.sums.capacity() + e.prods.capacity()) * std::mem::size_of::<RelValue>()
+                    + e.sums
+                        .iter()
+                        .chain(e.prods.iter())
+                        .map(RelValue::allocated_bytes)
+                        .sum::<usize>()
+            }
+        }
+    }
 }
 
 impl Ring for GenCofactor {
@@ -571,6 +589,10 @@ impl Ring for GenCofactor {
 
     fn payload_rehashes(&self) -> u64 {
         self.table_rehashes()
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.allocated_bytes()
     }
 }
 

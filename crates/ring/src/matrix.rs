@@ -43,6 +43,12 @@ impl DenseMatrix {
         }
     }
 
+    /// Heap bytes of the element buffer (the matrix leaf of the
+    /// engine-wide byte rollup).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// The identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
         let mut m = DenseMatrix::zeros(n, n);
@@ -275,6 +281,13 @@ impl Ring for MatrixValue {
         match self {
             MatrixValue::Scalar(c) => MatrixValue::Scalar(c * k as f64),
             MatrixValue::Mat(m) => MatrixValue::Mat(m.scaled(k as f64)),
+        }
+    }
+
+    fn payload_bytes(&self) -> usize {
+        match self {
+            MatrixValue::Scalar(_) => 0,
+            MatrixValue::Mat(m) => m.heap_bytes(),
         }
     }
 }

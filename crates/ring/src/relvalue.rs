@@ -46,9 +46,22 @@ use fivm_common::{Dict, EncodedValue, Probe, RawTable, Value, VarId};
 /// output-boundary form of a [`RelValue`] entry.
 pub type DecodedRelEntry = (Box<[(u32, Value)]>, f64);
 
-/// Largest table capacity [`Ring::reset_zero`] keeps alive for buffer
-/// reuse; anything bigger is released (see `reset_zero` below).
-const POOL_KEEP_SLOTS: usize = 64;
+/// Largest interior-table footprint, in **bytes** of table allocation
+/// ([`RawTable::allocated_bytes`]), that [`Ring::reset_zero`] keeps alive
+/// for buffer reuse; anything bigger is released.
+///
+/// The threshold is deliberately a byte budget, not a slot or entry count:
+/// the point of the pool hygiene is bounding how much *memory* a recycled
+/// payload can drag into a tiny delta (where iteration and cloning pay for
+/// the retained capacity), and bytes are the unit that survives layout
+/// changes.  8 KiB keeps every table up to 128 slots of the current
+/// 48-byte `RelKey`/`f64` slot layout — roughly the "up to ~96 live
+/// entries" regime the old entry-count intent described, without the old
+/// bug of comparing a *slot* count against an *entry* budget (which
+/// dropped buffers from ~49 live entries on, because 64 entries already
+/// need 128 slots).  The keep/release boundary is pinned by
+/// `reset_zero_pools_by_bytes` below.
+const POOL_KEEP_BYTES: usize = 8 * 1024;
 
 /// A relation-valued ring element with a hash-once encoded interior.
 #[derive(Debug, Default)]
@@ -190,6 +203,43 @@ impl RelValue {
     /// half of the steady-state "rehashes pinned to 0" contract.
     pub fn table_rehashes(&self) -> u64 {
         self.entries.rehashes()
+    }
+
+    /// Heap bytes of the interior table's own arrays (control bytes,
+    /// stored hashes, `(RelKey, f64)` slots).  Boxes spilled by wide
+    /// (≥ 3-pair) keys are *not* counted — they are owned by the keys, and
+    /// every key of the COVAR/MI workloads is slot-inline (see
+    /// `crate::relkey`).  This is the `RelValue` leaf of the engine-wide
+    /// byte rollup (`Ring::payload_bytes` → `MaterializedView::table_bytes`
+    /// → `EngineStats::table_bytes`).
+    pub fn allocated_bytes(&self) -> usize {
+        self.entries.allocated_bytes()
+    }
+
+    /// Slot capacity of the interior table (introspection for the memory
+    /// ablation and the pool tests; the byte rollup is
+    /// [`RelValue::allocated_bytes`]).
+    pub fn table_capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Modeled bytes of the **pre-diet** `Vec<Option<(u64, RelKey, f64)>>`
+    /// slot layout for a table with this one's construction history: one
+    /// control byte plus one `Option` slot per slot, under the old 8-slot
+    /// minimum capacity (the growth policy is otherwise unchanged, so the
+    /// old capacity is `max(capacity, 8)`).  The per-slot cost comes from
+    /// `size_of`, so the model tracks the compiler's real `Option` layout.
+    ///
+    /// This is the *single* comparator behind both the `MEM-ring-option`
+    /// ablation records and the bytes/entry regression gate
+    /// (`crates/ring/tests/mem_gate.rs`) — one model, so the published
+    /// numbers and the gate cannot silently diverge.
+    pub fn option_layout_bytes(&self) -> usize {
+        if self.entries.capacity() == 0 {
+            return 0;
+        }
+        self.entries.capacity().max(8)
+            * (1 + std::mem::size_of::<Option<(u64, RelKey, f64)>>())
     }
 
     /// The shared hit path of the upserts: accumulates into an existing
@@ -402,8 +452,9 @@ impl Ring for RelValue {
         // Pool hygiene: small tables are kept for reuse, but a buffer that
         // grew large (a root-level delta) is dropped — a recycled payload
         // may serve a tiny delta next, and iterating or cloning it must
-        // not drag a root-sized capacity along.
-        if self.entries.capacity() > POOL_KEEP_SLOTS {
+        // not drag a root-sized capacity along.  The threshold is a byte
+        // budget on the table allocation (see [`POOL_KEEP_BYTES`]).
+        if self.entries.allocated_bytes() > POOL_KEEP_BYTES {
             self.entries = RawTable::new();
         } else {
             self.entries.clear();
@@ -420,6 +471,10 @@ impl Ring for RelValue {
 
     fn payload_rehashes(&self) -> u64 {
         self.table_rehashes()
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.allocated_bytes()
     }
 }
 
@@ -589,6 +644,73 @@ mod tests {
         let b = RelValue::scalar(2.0).add(&RelValue::indicator(0, ev(1)));
         let c = RelValue::weighted(2, z, -1.5);
         axioms::check_ring_axioms(&a, &b, &c, 1e-9);
+    }
+
+    /// A relation with `n` distinct integer keys under attribute 0.
+    fn with_keys(n: usize) -> RelValue {
+        let mut r = RelValue::empty();
+        for i in 0..n {
+            r.add_entry(&RelKey::singleton(0, ev(i as i64)), 1.0);
+        }
+        r
+    }
+
+    use crate::relkey::RelKey;
+
+    #[test]
+    fn reset_zero_pools_by_bytes() {
+        // The keep/release boundary of the delta-payload pool is a *byte*
+        // budget on the interior table, not a slot or entry count.  Grow a
+        // relation until its table allocation first exceeds the budget:
+        // one entry fewer must be kept (buffers reused), the grown one
+        // must be released.
+        let mut n = 1;
+        while with_keys(n).allocated_bytes() <= POOL_KEEP_BYTES {
+            n += 1;
+            assert!(n < 1_000_000, "pool budget never exceeded");
+        }
+        let mut over = with_keys(n);
+        let mut under = with_keys(n - 1);
+        assert!(over.allocated_bytes() > POOL_KEEP_BYTES);
+        assert!(under.allocated_bytes() <= POOL_KEEP_BYTES);
+
+        under.reset_zero();
+        assert!(under.is_zero(), "reset_zero must leave an exact zero");
+        assert!(
+            under.allocated_bytes() > 0 && under.allocated_bytes() <= POOL_KEEP_BYTES,
+            "an in-budget buffer must be kept for reuse"
+        );
+
+        over.reset_zero();
+        assert!(over.is_zero());
+        assert_eq!(
+            over.allocated_bytes(),
+            0,
+            "an over-budget buffer must be released"
+        );
+
+        // Regression for the old slot-vs-entry confusion: a relation of
+        // ~49 entries (128 slots under the 3/4 load factor) sits far below
+        // the byte budget and must be pooled, not dropped.
+        let mut mid = with_keys(49);
+        assert!(mid.table_capacity() >= 128 - 64, "test premise: table grew");
+        let bytes = mid.allocated_bytes();
+        assert!(bytes <= POOL_KEEP_BYTES, "49 entries are {bytes} bytes");
+        mid.reset_zero();
+        assert!(mid.allocated_bytes() > 0, "49-entry buffer must be kept");
+    }
+
+    #[test]
+    fn allocated_bytes_reflects_interior_growth() {
+        let empty = RelValue::empty();
+        assert_eq!(empty.allocated_bytes(), 0);
+        let one = RelValue::scalar(1.0);
+        let small = one.allocated_bytes();
+        assert!(small > 0);
+        let many = with_keys(1000);
+        assert!(many.allocated_bytes() > small * 100);
+        // Right-sized clones never exceed the source's footprint.
+        assert!(many.clone().allocated_bytes() <= many.allocated_bytes());
     }
 
     #[test]

@@ -126,6 +126,18 @@ pub trait Ring: Clone + Debug + PartialEq + Send + Sync + 'static {
         0
     }
 
+    /// Heap bytes of interior buffers (hash-table arrays, relation
+    /// vectors) owned by this value — the ring leaf of the engine-wide
+    /// byte rollup (`MaterializedView::table_bytes` →
+    /// `EngineStats::table_bytes`).  An *approximation with a documented
+    /// boundary*: container allocations are counted, per-key spill boxes
+    /// and string interning are not (the dictionary is shared and
+    /// accounted once per engine).  Rings without interior allocations
+    /// report 0.
+    fn payload_bytes(&self) -> usize {
+        0
+    }
+
     /// Integer scaling `k · self` (i.e. `self` added to itself `k` times,
     /// with negative `k` meaning the inverse).  Used to apply tuple
     /// multiplicities from base relations.

@@ -24,6 +24,13 @@ impl SymMatrix {
         }
     }
 
+    /// Heap bytes of the packed triangle buffer (the matrix leaf of the
+    /// engine-wide byte rollup).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// The dimension (number of rows = columns).
     #[inline]
     pub fn dim(&self) -> usize {

@@ -1,0 +1,84 @@
+//! Bytes-per-entry regression gate for the relation-ring interior.
+//!
+//! The discriminant-free `RawTable` storage (split hash array +
+//! `MaybeUninit` entry slots, control bytes as the single liveness
+//! authority, 2-slot minimum capacity) must beat the previous
+//! `Vec<Option<(u64, RelKey, f64)>>` slot layout by a clear margin on a
+//! population shaped like the real ring working set.  The old layout is
+//! *modeled* exactly rather than kept alive, by
+//! [`RelValue::option_layout_bytes`] — the same model that produces the
+//! `MEM-ring-option` ablation records, one shared comparator so the
+//! published numbers and this gate cannot silently diverge.  The model is
+//! valid because the growth policy (power-of-two doubling at 3/4 load,
+//! same-size tombstone compaction) is unchanged except for the minimum
+//! capacity, and its per-slot cost comes from `size_of`, so it stays
+//! honest if the compiler's niche layout ever changes.
+//!
+//! The population mirrors what generalized-cofactor maintenance actually
+//! materializes (see `GenCofactor`): a large majority of *tiny* relations
+//! — every continuous attribute's `s`/`Q` component is a single-entry
+//! scalar relation — plus categorical components of a few dozen to a few
+//! hundred categories and a handful of large root-level accumulators.
+
+use fivm_common::EncodedValue;
+use fivm_ring::{RelKey, RelValue};
+
+/// A relation with `n` distinct integer keys.
+fn with_keys(n: usize) -> RelValue {
+    let mut r = RelValue::empty();
+    for i in 0..n {
+        r.add_entry(&RelKey::singleton(0, EncodedValue::int(i as i64)), 1.0);
+    }
+    r
+}
+
+/// The shared pre-diet layout model (see the module docs).
+fn option_layout_bytes(r: &RelValue) -> usize {
+    r.option_layout_bytes()
+}
+
+#[test]
+fn new_layout_beats_option_slots_by_at_least_20_percent() {
+    // (relation size, how many) — the GenCofactor-shaped population.
+    let mix: &[(usize, usize)] = &[
+        (1, 2000),  // scalar components (continuous s/Q entries)
+        (3, 200),   // small categorical components
+        (8, 100),
+        (30, 30),   // mid-size category sets
+        (100, 10),
+        (1000, 2),  // root-level accumulators
+    ];
+    let mut relations = Vec::new();
+    for &(size, count) in mix {
+        for _ in 0..count {
+            relations.push(with_keys(size));
+        }
+    }
+    let entries: usize = relations.iter().map(RelValue::len).sum();
+    let new_bytes: usize = relations.iter().map(RelValue::allocated_bytes).sum();
+    let old_bytes: usize = relations.iter().map(option_layout_bytes).sum();
+    assert!(entries > 0 && new_bytes > 0);
+
+    let new_per_entry = new_bytes as f64 / entries as f64;
+    let old_per_entry = old_bytes as f64 / entries as f64;
+    let reduction = 1.0 - new_per_entry / old_per_entry;
+    assert!(
+        reduction >= 0.20,
+        "bytes/entry regression: new {new_per_entry:.1} vs option-layout \
+         {old_per_entry:.1} ({:.1}% reduction, gate is 20%)",
+        reduction * 100.0
+    );
+
+    // The layout must never be *worse* at any individual size class either
+    // (equal is fine: above the old minimum capacity both layouts happen
+    // to cost 49 bytes/slot for this key/value pair).
+    for &(size, _) in mix {
+        let r = with_keys(size);
+        assert!(
+            r.allocated_bytes() <= option_layout_bytes(&r),
+            "size {size}: new layout {} bytes vs option layout {} bytes",
+            r.allocated_bytes(),
+            option_layout_bytes(&r)
+        );
+    }
+}

@@ -611,5 +611,12 @@ mod tests {
         // Every shard saw exactly one batch.
         assert!(per_shard.iter().all(|s| s.updates_applied == 1));
         assert!(sharded.total_view_entries() > 0);
+        // The byte gauge sums shard footprints, and every shard that holds
+        // keys reports a non-zero footprint.
+        assert_eq!(
+            merged.table_bytes,
+            per_shard.iter().map(|s| s.table_bytes).sum::<usize>()
+        );
+        assert!(per_shard.iter().all(|s| s.table_bytes > 0));
     }
 }

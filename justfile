@@ -44,6 +44,17 @@ bench-ring:
     cargo build --release --bin exp_throughput
     ./target/release/exp_throughput --quick --json /tmp/bench_ring_smoke.json
 
+# Memory gate: the bytes-per-entry regression gate and the churn-under-drop
+# storage suite under clippy -D warnings, then a quick run emitting the
+# MEM-* ablation records (bytes/entry boxed vs option-slot vs the
+# discriminant-free layout, plus the Favorita gen-COVAR engine footprint).
+bench-mem:
+    cargo clippy -p fivm-common -p fivm-ring --all-targets -- -D warnings
+    cargo test -p fivm-ring -q --test mem_gate
+    cargo test -p fivm-common -q --test rawtable_differential
+    cargo build --release --bin exp_throughput
+    ./target/release/exp_throughput --quick --json /tmp/bench_mem_smoke.json
+
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations
 # (boxed Value tuples vs dictionary-encoded keys).
