@@ -10,7 +10,7 @@
 //! benefit of the compound ring.
 
 use fivm_common::{FivmError, Result};
-use fivm_core::{AggregateLayout, Engine};
+use fivm_core::{AggregateLayout, Engine, EngineResult};
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Update};
 use fivm_ring::{Cofactor, LiftFn, Ring};
@@ -80,7 +80,7 @@ impl UnsharedCovar {
     }
 
     /// Loads an initial database into every engine.
-    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+    pub fn load_database(&mut self, db: &Database) -> EngineResult<()> {
         for (_, e) in &mut self.engines {
             e.load_database(db)?;
         }
@@ -88,7 +88,7 @@ impl UnsharedCovar {
     }
 
     /// Applies an update batch to every engine.
-    pub fn apply_update(&mut self, update: &Update) -> Result<()> {
+    pub fn apply_update(&mut self, update: &Update) -> EngineResult<()> {
         for (_, e) in &mut self.engines {
             e.apply_update(update)?;
         }

@@ -1,0 +1,268 @@
+//! Experiment E-REC — durability costs: logged ingest, changelog replay,
+//! and snapshot save/restore.
+//!
+//! Measures the `fivm_cdc` layer on the Retailer and Favorita workloads
+//! for the COUNT, COVAR and MI applications, and merges `REC-*` records
+//! into `BENCH_ivm.json` (replacing any previous `REC-*` rows, keeping
+//! everything `exp_throughput` wrote):
+//!
+//! * `REC-ingest-<app>`  — rows/second through [`DurableEngine`] with the
+//!   write-ahead changelog on (the durable-path counterpart of the plain
+//!   engine rates in the `BENCH` baseline);
+//! * `REC-replay-<app>`  — rows/second recovering from the changelog
+//!   alone (base load + full replay, no snapshot);
+//! * `REC-save-<app>`    — snapshot serialization: `seconds` to write,
+//!   `table_bytes` = snapshot file size;
+//! * `REC-restore-<app>` — snapshot restore: `seconds` to re-bind and
+//!   load, `table_bytes` = snapshot file size, `rehashes` after the
+//!   restore (the durability contract pins it to 0).
+//!
+//! Run with `--quick` for a smoke-test configuration; `--json PATH`
+//! overrides the artifact location.
+
+use fivm_bench::{append_bench_json, print_table, BenchRecord, Workload};
+use fivm_cdc::{recover, DurableEngine, CHANGELOG_FILE, SNAPSHOT_FILE};
+use fivm_core::Engine;
+use fivm_relation::{Database, Update};
+use fivm_ring::PersistRing;
+use std::path::Path;
+use std::time::Instant;
+
+/// One durable run: logged ingest of the whole stream, a snapshot, a
+/// snapshot restore, and a log-only replay — timed, cross-checked, and
+/// reported as four `REC-*` records plus a printed summary row.
+#[allow(clippy::too_many_arguments)]
+fn run_recovery<R: PersistRing>(
+    dataset: &str,
+    app: &str,
+    make_engine: &dyn Fn() -> Engine<R>,
+    db: &Database,
+    updates: &[Update],
+    bulk_size: usize,
+    dir: &Path,
+    records: &mut Vec<BenchRecord>,
+    rows: &mut Vec<Vec<String>>,
+) {
+    let total_rows: usize = updates.iter().map(Update::len).sum();
+    let _ = std::fs::remove_dir_all(dir);
+
+    // Durable ingest: every batch is synced to the changelog before the
+    // engine applies it.
+    let mut durable = DurableEngine::create(make_engine(), dir).expect("durable engine");
+    durable.load_database(db).expect("load");
+    let t = Instant::now();
+    for u in updates {
+        durable.apply_update(u).expect("durable update");
+    }
+    let ingest_secs = t.elapsed().as_secs_f64();
+
+    // Snapshot save (atomic temp + rename).
+    let t = Instant::now();
+    let snapshot_seq = durable.snapshot().expect("snapshot");
+    let save_secs = t.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(dir.join(SNAPSHOT_FILE))
+        .expect("snapshot file")
+        .len() as usize;
+    let reference = durable.engine().result_relation();
+    drop(durable);
+
+    // Snapshot restore: re-bind, load, replay the (empty) tail.
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let log_path = dir.join(CHANGELOG_FILE);
+    let mut restored = make_engine();
+    let t = Instant::now();
+    let report = recover::recover(&mut restored, db, Some(&snap_path), &log_path)
+        .expect("snapshot restore");
+    let restore_secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.snapshot_seq, Some(snapshot_seq));
+    assert_eq!(report.replayed_batches, 0);
+    let restore_rehashes = {
+        let stats = restored.stats();
+        stats.rehashes + stats.ring_rehashes
+    };
+    assert_eq!(restore_rehashes, 0, "restore must not rehash ({dataset}/{app})");
+
+    // Log-only replay: base database + the full changelog.
+    let mut replayed = make_engine();
+    let t = Instant::now();
+    let report =
+        recover::recover(&mut replayed, db, None, &log_path).expect("changelog replay");
+    let replay_secs = t.elapsed().as_secs_f64();
+    assert_eq!(report.last_seq, (updates.len() + 1) as u64 - 1);
+
+    // Both recovery paths must land on the reference result.
+    for (engine, path) in [(&restored, "restore"), (&replayed, "replay")] {
+        let got = engine.result_relation();
+        assert_eq!(
+            got.len(),
+            reference.len(),
+            "{dataset}/{app}: {path} diverged from the durable run"
+        );
+    }
+
+    for (kind, seconds, updates, table_bytes, rehashes) in [
+        ("ingest", ingest_secs, total_rows, 0, 0),
+        ("replay", replay_secs, total_rows, 0, 0),
+        ("save", save_secs, 0, snapshot_bytes, 0),
+        ("restore", restore_secs, 0, snapshot_bytes, restore_rehashes),
+    ] {
+        records.push(BenchRecord {
+            dataset: dataset.to_string(),
+            app: format!("REC-{kind}-{app}"),
+            bulk_size,
+            updates,
+            seconds,
+            delta_entries: 0,
+            ring_adds: 0,
+            ring_muls: 0,
+            probes: 0,
+            probe_hits: 0,
+            rehashes,
+            table_bytes,
+        });
+    }
+    rows.push(vec![
+        dataset.to_string(),
+        app.to_string(),
+        format!("{:.0}", total_rows as f64 / ingest_secs),
+        format!("{:.0}", total_rows as f64 / replay_secs),
+        format!("{:.1}", snapshot_bytes as f64 / 1024.0),
+        format!("{:.2}", save_secs * 1e3),
+        format!("{:.2}", restore_secs * 1e3),
+    ]);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ivm.json".to_string());
+
+    let (retailer_cfg, favorita_cfg, stream) = if quick {
+        (
+            fivm_data::RetailerConfig::tiny(),
+            fivm_data::FavoritaConfig::tiny(),
+            fivm_data::StreamConfig {
+                bulks: 6,
+                bulk_size: 100,
+                delete_fraction: 0.2,
+                seed: 42,
+            },
+        )
+    } else {
+        (
+            fivm_data::RetailerConfig::default(),
+            fivm_data::FavoritaConfig::default(),
+            fivm_data::StreamConfig {
+                bulks: 40,
+                bulk_size: 1_000,
+                delete_fraction: 0.2,
+                seed: 42,
+            },
+        )
+    };
+    let bulk_size = stream.bulk_size;
+    let scratch = std::env::temp_dir().join(format!("fivm_exp_recovery_{}", std::process::id()));
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+
+    // Retailer: continuous query — COUNT, COVAR (cofactor ring), MI.
+    let w = Workload::retailer(retailer_cfg, stream, true);
+    run_recovery(
+        w.dataset.name(),
+        "COUNT",
+        &|| w.count_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+    run_recovery(
+        w.dataset.name(),
+        "COVAR",
+        &|| w.covar_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+    run_recovery(
+        w.dataset.name(),
+        "MI",
+        &|| w.mi_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+
+    // Favorita: mixed features — COUNT, generalized COVAR, MI.
+    let w = Workload::favorita(favorita_cfg, stream);
+    run_recovery(
+        w.dataset.name(),
+        "COUNT",
+        &|| w.count_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+    run_recovery(
+        w.dataset.name(),
+        "COVAR",
+        &|| w.gen_covar_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+    run_recovery(
+        w.dataset.name(),
+        "MI",
+        &|| w.mi_engine(),
+        &w.database,
+        &w.updates,
+        bulk_size,
+        &scratch,
+        &mut records,
+        &mut rows,
+    );
+
+    println!("\nDurability: logged ingest, replay recovery, snapshot costs");
+    print_table(
+        &[
+            "dataset",
+            "app",
+            "ingest rows/s",
+            "replay rows/s",
+            "snapshot KiB",
+            "save ms",
+            "restore ms",
+        ],
+        &rows,
+    );
+    println!("\n(REC-restore rehashes are asserted 0: restore re-buckets from stored hashes.)");
+
+    match append_bench_json(&json_path, "REC-", &records) {
+        Ok(()) => println!("merged {} REC-* records into {json_path}", records.len()),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

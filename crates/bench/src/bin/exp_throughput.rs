@@ -448,13 +448,13 @@ fn run_paired<R: Ring>(
         single_stats = single.stats().delta_since(&before);
         single_rates.push(t.updates_per_second());
 
-        let before = sharded.stats();
+        let before = sharded.stats().expect("shard stats");
         let ts = measure(&workload.updates, |b| {
             sharded.apply_update(b).unwrap();
         });
         // `delta_since` carries the byte gauge through: the sharded stats
         // report the resident footprint summed across all shards.
-        sharded_stats = sharded.stats().delta_since(&before);
+        sharded_stats = sharded.stats().expect("shard stats").delta_since(&before);
         sharded_rates.push(ts.updates_per_second());
         updates = t.updates;
     }

@@ -617,39 +617,87 @@ impl BenchRecord {
     }
 }
 
-/// Writes the benchmark records as a `BENCH_*.json` artifact (hand-rolled
-/// JSON — the build environment has no serde).
-pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+/// Renders one record as a single JSON object line (no indentation, no
+/// trailing comma) — the unit both artifact writers assemble from.
+fn render_record(r: &BenchRecord) -> String {
+    format!(
+        concat!(
+            "{{\"dataset\": \"{}\", \"app\": \"{}\", \"bulk_size\": {}, ",
+            "\"updates\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, ",
+            "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}, ",
+            "\"probes\": {}, \"probe_hits\": {}, \"rehashes\": {}, ",
+            "\"table_bytes\": {}}}"
+        ),
+        r.dataset,
+        r.app,
+        r.bulk_size,
+        r.updates,
+        r.seconds,
+        // Untimed (memory-only) records report 0.0, not a fabricated
+        // or non-JSON `inf` rate.
+        if r.seconds == 0.0 { 0.0 } else { r.rows_per_sec() },
+        r.delta_entries,
+        r.ring_adds,
+        r.ring_muls,
+        r.probes,
+        r.probe_hits,
+        r.rehashes,
+        r.table_bytes,
+    )
+}
+
+/// Assembles rendered record lines into the `BENCH_*.json` document.
+fn write_record_lines(path: &str, lines: &[String]) -> std::io::Result<()> {
     let mut out = String::from("{\n  \"benchmark\": \"ivm_throughput\",\n  \"workloads\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        out.push_str(&format!(
-            concat!(
-                "    {{\"dataset\": \"{}\", \"app\": \"{}\", \"bulk_size\": {}, ",
-                "\"updates\": {}, \"seconds\": {:.6}, \"rows_per_sec\": {:.1}, ",
-                "\"delta_entries\": {}, \"ring_adds\": {}, \"ring_muls\": {}, ",
-                "\"probes\": {}, \"probe_hits\": {}, \"rehashes\": {}, ",
-                "\"table_bytes\": {}}}{}\n"
-            ),
-            r.dataset,
-            r.app,
-            r.bulk_size,
-            r.updates,
-            r.seconds,
-            // Untimed (memory-only) records report 0.0, not a fabricated
-            // or non-JSON `inf` rate.
-            if r.seconds == 0.0 { 0.0 } else { r.rows_per_sec() },
-            r.delta_entries,
-            r.ring_adds,
-            r.ring_muls,
-            r.probes,
-            r.probe_hits,
-            r.rehashes,
-            r.table_bytes,
-            if i + 1 == records.len() { "" } else { "," }
-        ));
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(line);
+        if i + 1 != lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
+}
+
+/// Writes the benchmark records as a `BENCH_*.json` artifact (hand-rolled
+/// JSON — the build environment has no serde).
+pub fn write_bench_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+    let lines: Vec<String> = records.iter().map(render_record).collect();
+    write_record_lines(path, &lines)
+}
+
+/// Merges `records` into an existing `BENCH_*.json` artifact: previous
+/// records whose `app` starts with `family` (e.g. `"REC-"`) are replaced,
+/// everything else is kept verbatim.  Lets a family-specific experiment
+/// (like `exp_recovery`) refresh its own rows without clobbering the
+/// records `exp_throughput` wrote.  A missing artifact is created.
+///
+/// Hand-rolled like the writer: record lines are recognized by their
+/// `    {"dataset": ` shape, so this only understands artifacts produced
+/// by [`write_bench_json`] / itself.
+pub fn append_bench_json(
+    path: &str,
+    family: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return write_bench_json(path, records);
+        }
+        Err(e) => return Err(e),
+    };
+    let family_marker = format!("\"app\": \"{family}");
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"dataset\":"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| !l.contains(&family_marker))
+        .collect();
+    lines.extend(records.iter().map(render_record));
+    write_record_lines(path, &lines)
 }
 
 /// Formats a ratio like `123.4x` with a sensible precision.

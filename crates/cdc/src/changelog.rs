@@ -1,0 +1,357 @@
+//! The CDC changelog: an append-only file of row-level change batches.
+//!
+//! Each record is one [`CdcBatch`] — a monotonically increasing sequence
+//! number, a target table, and row operations ([`CdcOp`]): inserts,
+//! deletes, and updates (an update is a delete of the old row plus an
+//! insert of the new one, per the engine's delete-as-negative-insert
+//! model).  Rows travel as **decoded** [`Value`]s, never as
+//! dictionary-encoded words: on replay they re-encode through the
+//! recovering engine's own dictionary exactly like live ingestion, which
+//! is what keeps replayed state bit-identical to an uninterrupted run
+//! (see the ring-key contract in ROADMAP.md).
+//!
+//! Durability unit: one batch = one framed record
+//! ([`crate::framing`]), so a crash can only lose whole *suffixes* of
+//! batches — a torn tail never splits a batch into a half-applied state.
+
+use crate::error::{CdcError, CdcResult};
+use crate::framing::{self, LogEnd};
+use fivm_common::{wire, WireReader, WireResult};
+use fivm_relation::{Tuple, Update};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Changelog file magic.
+pub const CHANGELOG_MAGIC: &[u8; 4] = b"FVCL";
+
+/// Changelog format version.
+pub const CHANGELOG_VERSION: u32 = 1;
+
+/// One row-level change operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdcOp {
+    /// Insert `count` copies of `row`.
+    Insert { row: Tuple, count: u32 },
+    /// Delete `count` copies of `row`.
+    Delete { row: Tuple, count: u32 },
+    /// Replace `old` with `new` (delete + insert under one op).
+    Update { old: Tuple, new: Tuple },
+}
+
+/// One durable change batch: the changelog's record type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdcBatch {
+    /// Monotonic batch sequence number; recovery replays batches with
+    /// `seq` greater than the snapshot's.
+    pub seq: u64,
+    /// The base table the batch addresses (by name, like
+    /// [`Update::table`]).
+    pub table: String,
+    /// Row operations, applied in order.
+    pub ops: Vec<CdcOp>,
+}
+
+impl CdcBatch {
+    /// Converts an engine [`Update`] into a batch: positive multiplicities
+    /// become inserts, negative ones deletes.  Zero-multiplicity rows are
+    /// no-ops to the engine and are not logged.
+    pub fn from_update(seq: u64, update: &Update) -> CdcBatch {
+        let ops = update
+            .rows
+            .iter()
+            .filter(|(_, m)| *m != 0)
+            .map(|(row, m)| {
+                if *m > 0 {
+                    CdcOp::Insert { row: row.clone(), count: *m as u32 }
+                } else {
+                    CdcOp::Delete { row: row.clone(), count: m.unsigned_abs() as u32 }
+                }
+            })
+            .collect();
+        CdcBatch {
+            seq,
+            table: update.table.clone(),
+            ops,
+        }
+    }
+
+    /// Lowers the batch back to `(row, multiplicity)` pairs in op order —
+    /// the exact shape live ingestion feeds the engine, so replay
+    /// preserves the delta-accumulation order of the original run.
+    pub fn to_rows(&self) -> Vec<(Tuple, i64)> {
+        let mut rows = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            match op {
+                CdcOp::Insert { row, count } => rows.push((row.clone(), *count as i64)),
+                CdcOp::Delete { row, count } => rows.push((row.clone(), -(*count as i64))),
+                CdcOp::Update { old, new } => {
+                    rows.push((old.clone(), -1));
+                    rows.push((new.clone(), 1));
+                }
+            }
+        }
+        rows
+    }
+
+    /// The batch as an [`Update`] addressed to its table.
+    pub fn to_update(&self) -> Update {
+        Update::with_multiplicities(self.table.clone(), self.to_rows())
+    }
+
+    /// Serializes the batch into a record payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u64(out, self.seq);
+        wire::put_str(out, &self.table);
+        wire::put_u32(out, self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                CdcOp::Insert { row, count } => {
+                    wire::put_u8(out, 0);
+                    put_tuple(out, row);
+                    wire::put_u32(out, *count);
+                }
+                CdcOp::Delete { row, count } => {
+                    wire::put_u8(out, 1);
+                    put_tuple(out, row);
+                    wire::put_u32(out, *count);
+                }
+                CdcOp::Update { old, new } => {
+                    wire::put_u8(out, 2);
+                    put_tuple(out, old);
+                    put_tuple(out, new);
+                }
+            }
+        }
+    }
+
+    /// Decodes one record payload written by [`CdcBatch::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> WireResult<CdcBatch> {
+        let seq = r.u64()?;
+        let table = r.str()?.to_string();
+        let nops = r.u32()? as usize;
+        if nops > r.remaining() {
+            return Err(fivm_common::WireError::Malformed("op count out of range"));
+        }
+        let mut ops = Vec::with_capacity(nops);
+        for _ in 0..nops {
+            ops.push(match r.u8()? {
+                0 => CdcOp::Insert { row: read_tuple(r)?, count: r.u32()? },
+                1 => CdcOp::Delete { row: read_tuple(r)?, count: r.u32()? },
+                2 => CdcOp::Update { old: read_tuple(r)?, new: read_tuple(r)? },
+                _ => return Err(fivm_common::WireError::Malformed("CDC op tag out of range")),
+            });
+        }
+        Ok(CdcBatch { seq, table, ops })
+    }
+}
+
+/// Writes one row as `arity` + decoded values.
+fn put_tuple(out: &mut Vec<u8>, row: &Tuple) {
+    wire::put_u32(out, row.len() as u32);
+    for v in row.iter() {
+        wire::put_value(out, v);
+    }
+}
+
+/// Reads a row written by [`put_tuple`].
+fn read_tuple(r: &mut WireReader<'_>) -> WireResult<Tuple> {
+    let arity = r.u32()? as usize;
+    if arity > r.remaining() {
+        return Err(fivm_common::WireError::Malformed("row arity out of range"));
+    }
+    let mut vals = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        vals.push(wire::read_value(r)?);
+    }
+    Ok(vals.into_boxed_slice())
+}
+
+/// Appends framed [`CdcBatch`] records to a changelog file, one durable
+/// write per batch.
+pub struct ChangelogWriter {
+    file: File,
+    next_seq: u64,
+}
+
+impl ChangelogWriter {
+    /// Creates a fresh changelog (truncating any previous file) and writes
+    /// its header.  Sequence numbers start at 1.
+    pub fn create(path: impl AsRef<Path>) -> CdcResult<ChangelogWriter> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(framing::HEADER_LEN);
+        framing::put_header(&mut header, CHANGELOG_MAGIC, CHANGELOG_VERSION);
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(ChangelogWriter { file, next_seq: 1 })
+    }
+
+    /// Reopens an existing changelog for appending, continuing after the
+    /// last durable batch.  The valid prefix determines the next sequence
+    /// number; a torn tail from an earlier crash is ignored — its bytes
+    /// are overwritten by truncating to the valid prefix first, so the
+    /// file never accretes garbage between valid records.
+    pub fn open_append(path: impl AsRef<Path>) -> CdcResult<ChangelogWriter> {
+        let path = path.as_ref();
+        let (batches, end) = read_changelog(path)?;
+        let next_seq = batches.last().map_or(1, |b| b.seq + 1);
+        let valid_len = match end {
+            LogEnd::Clean => None,
+            LogEnd::TornTail { valid_len } | LogEnd::Corrupt { valid_len } => Some(valid_len),
+        };
+        let file = OpenOptions::new().write(true).open(path)?;
+        if let Some(len) = valid_len {
+            file.set_len(len as u64)?;
+        }
+        let mut w = ChangelogWriter { file, next_seq };
+        use std::io::Seek;
+        w.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(w)
+    }
+
+    /// The sequence number the next appended batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one update as a durable batch and returns its sequence
+    /// number.  The record is written and synced before this returns —
+    /// once it returns, a crash cannot lose the batch.
+    pub fn append_update(&mut self, update: &Update) -> CdcResult<u64> {
+        let batch = CdcBatch::from_update(self.next_seq, update);
+        self.append(&batch)?;
+        Ok(batch.seq)
+    }
+
+    /// Appends one pre-built batch (its `seq` must be the writer's next).
+    pub fn append(&mut self, batch: &CdcBatch) -> CdcResult<()> {
+        assert_eq!(
+            batch.seq, self.next_seq,
+            "changelog batches must be appended in sequence"
+        );
+        let mut payload = Vec::new();
+        batch.encode(&mut payload);
+        let mut framed = Vec::with_capacity(payload.len() + framing::RECORD_OVERHEAD);
+        framing::put_record(&mut framed, &payload);
+        self.file.write_all(&framed)?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(())
+    }
+}
+
+/// Reads a changelog: every batch of the valid prefix, plus how the scan
+/// ended (a torn or corrupt tail is data for the caller, not an error —
+/// the batches after the damage point were never durable).
+///
+/// Fails only on I/O errors, a damaged *header*, or a record that passes
+/// its checksum yet does not decode (a writer bug, not a crash artifact).
+pub fn read_changelog(path: impl AsRef<Path>) -> CdcResult<(Vec<CdcBatch>, LogEnd)> {
+    let bytes = std::fs::read(path)?;
+    let start = framing::check_header(&bytes, CHANGELOG_MAGIC, CHANGELOG_VERSION)?;
+    let (payloads, end) = framing::scan_records(&bytes, start);
+    let mut batches = Vec::with_capacity(payloads.len());
+    let mut prev_seq = 0u64;
+    for p in payloads {
+        let mut r = WireReader::new(p);
+        let batch = CdcBatch::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(CdcError::Corrupt("trailing bytes in changelog record".into()));
+        }
+        if batch.seq <= prev_seq {
+            return Err(CdcError::Corrupt(format!(
+                "changelog sequence went backwards: {} after {prev_seq}",
+                batch.seq
+            )));
+        }
+        prev_seq = batch.seq;
+        batches.push(batch);
+    }
+    Ok((batches, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::Value;
+    use fivm_relation::tuple;
+
+    fn row(vals: &[i64]) -> Tuple {
+        tuple(vals.iter().map(|&v| Value::int(v)))
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fivm_cdc_changelog_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn batches_round_trip_through_a_file() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("log");
+        let mut w = ChangelogWriter::create(&path).unwrap();
+        let u1 = Update::inserts("Inventory", vec![row(&[1, 2]), row(&[3, 4])]);
+        let u2 = Update::with_multiplicities("Inventory", vec![(row(&[1, 2]), -1)]);
+        assert_eq!(w.append_update(&u1).unwrap(), 1);
+        assert_eq!(w.append_update(&u2).unwrap(), 2);
+        let mixed = CdcBatch {
+            seq: 3,
+            table: "Item".into(),
+            ops: vec![
+                CdcOp::Update { old: row(&[7, 8]), new: row(&[7, 9]) },
+                CdcOp::Insert { row: row(&[10, 11]), count: 3 },
+            ],
+        };
+        w.append(&mixed).unwrap();
+
+        let (batches, end) = read_changelog(&path).unwrap();
+        assert!(end.is_clean());
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].to_update().table, u1.table);
+        assert_eq!(batches[0].to_update().rows, u1.rows);
+        assert_eq!(batches[1].to_update().rows, u2.rows);
+        assert_eq!(batches[2], mixed);
+        assert_eq!(
+            batches[2].to_rows(),
+            vec![(row(&[7, 8]), -1), (row(&[7, 9]), 1), (row(&[10, 11]), 3)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_continues_the_sequence_and_drops_torn_tails() {
+        let dir = tempdir("reopen");
+        let path = dir.join("log");
+        let mut w = ChangelogWriter::create(&path).unwrap();
+        w.append_update(&Update::inserts("T", vec![row(&[1])])).unwrap();
+        w.append_update(&Update::inserts("T", vec![row(&[2])])).unwrap();
+        drop(w);
+
+        // Tear the tail: cut 3 bytes off the second record.
+        let len = std::fs::metadata(&path).unwrap().len();
+        crate::fault::truncate_tail(&path, 3).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len - 3);
+
+        let mut w = ChangelogWriter::open_append(&path).unwrap();
+        assert_eq!(w.next_seq(), 2, "torn batch 2 was never durable");
+        w.append_update(&Update::inserts("T", vec![row(&[3])])).unwrap();
+        let (batches, end) = read_changelog(&path).unwrap();
+        assert!(end.is_clean(), "reopen truncated the torn bytes");
+        assert_eq!(batches.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(batches[1].to_rows(), vec![(row(&[3]), 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_multiplicity_rows_are_not_logged() {
+        let u = Update::with_multiplicities("T", vec![(row(&[1]), 0), (row(&[2]), 2)]);
+        let b = CdcBatch::from_update(5, &u);
+        assert_eq!(b.ops.len(), 1);
+        assert_eq!(b.to_rows(), vec![(row(&[2]), 2)]);
+    }
+}

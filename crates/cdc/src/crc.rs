@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3), table-driven, built in-tree.
+//!
+//! The build environment has no network access (see `crates/shims/`), so
+//! the checksum the changelog and snapshot framing depend on is
+//! implemented here rather than pulled from crates.io.  This is the
+//! standard reflected CRC-32 with polynomial `0xEDB88320` — the same
+//! function `zip`, `png` and Ethernet use — so files are checkable with
+//! any external `crc32` tool.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// One-byte-at-a-time lookup table, computed at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (full init/finalize; matches `crc32()` everywhere).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = crc32(b"payload bytes");
+        let mut tampered = b"payload bytes".to_vec();
+        for byte in 0..tampered.len() {
+            for bit in 0..8u8 {
+                tampered[byte] ^= 1 << bit;
+                assert_ne!(crc32(&tampered), base, "flip at {byte}:{bit} undetected");
+                tampered[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed durability errors: [`CdcError`] and the [`CdcResult`] alias.
+
+use fivm_common::WireError;
+use fivm_core::EngineError;
+use std::fmt;
+
+/// Result alias using [`CdcError`].
+pub type CdcResult<T> = std::result::Result<T, CdcError>;
+
+/// Errors raised by the durability layer.
+#[derive(Debug)]
+pub enum CdcError {
+    /// An operating-system I/O failure (open, read, write, rename).
+    Io(std::io::Error),
+    /// A file failed structural validation *before* its checksummed
+    /// records: wrong magic, unsupported format version, or a header too
+    /// short to be a log/snapshot at all.  Distinct from a torn tail,
+    /// which is a clean end-of-log, not an error.
+    Corrupt(String),
+    /// The engine rejected restored or replayed state.
+    Engine(EngineError),
+}
+
+impl CdcError {
+    /// Short machine-readable category name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CdcError::Io(_) => "io",
+            CdcError::Corrupt(_) => "corrupt",
+            CdcError::Engine(e) => e.kind(),
+        }
+    }
+}
+
+impl fmt::Display for CdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdcError::Io(e) => write!(f, "durability I/O error: {e}"),
+            CdcError::Corrupt(msg) => write!(f, "corrupt durable file: {msg}"),
+            CdcError::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CdcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CdcError::Io(e) => Some(e),
+            CdcError::Engine(e) => Some(e),
+            CdcError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CdcError {
+    fn from(e: std::io::Error) -> Self {
+        CdcError::Io(e)
+    }
+}
+
+impl From<EngineError> for CdcError {
+    fn from(e: EngineError) -> Self {
+        CdcError::Engine(e)
+    }
+}
+
+impl From<WireError> for CdcError {
+    fn from(e: WireError) -> Self {
+        CdcError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_sources() {
+        use std::error::Error;
+        let io = CdcError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io.kind(), "io");
+        assert!(io.source().is_some());
+        let c = CdcError::from(WireError::Truncated);
+        assert_eq!(c.kind(), "corrupt");
+        let e = CdcError::from(EngineError::State("plan mismatch".into()));
+        assert_eq!(e.kind(), "state");
+        assert!(e.to_string().contains("plan mismatch"));
+    }
+}

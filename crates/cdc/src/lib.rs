@@ -1,0 +1,189 @@
+//! Durability and fault tolerance for the F-IVM engine: CDC changelog
+//! ingestion, engine snapshots, and crash recovery by replay.
+//!
+//! The maintenance engine ([`fivm_core::Engine`]) is an in-memory
+//! structure; this crate makes its state survive restarts and crashes
+//! with three artifacts, all hand-rolled binary formats (the build
+//! environment is offline — even the CRC is in-tree, [`crc`]):
+//!
+//! * **Changelog** ([`changelog`]) — an append-only file of row-level
+//!   change batches (insert / delete / update ops over decoded values),
+//!   one checksummed record per batch.  Write-ahead: a batch is synced to
+//!   the log before it is applied to the engine.
+//! * **Snapshot** ([`snapshot`]) — a point-in-time serialization of the
+//!   engine (dictionary, every view's `(hash, key, payload)` entries)
+//!   tagged with the changelog sequence number it includes; written
+//!   atomically via temp-file + rename.
+//! * **Recovery** ([`recover`]) — load the snapshot (or the base
+//!   database when there is none), then replay the changelog tail.  The
+//!   result is **bit-identical** to an engine that applied the same
+//!   durable prefix without interruption; the fault-injection suite in
+//!   `tests/` proves it under torn tails, flipped bytes, and crashes at
+//!   every batch/snapshot/append boundary.
+//!
+//! Why partial failures are detectable rather than silent: every record
+//! is framed `[len][crc32][payload]` ([`framing`]).  A crash mid-append
+//! leaves a torn tail (classified [`LogEnd::TornTail`], a clean
+//! end-of-log); damaged bytes fail their checksum (classified
+//! [`LogEnd::Corrupt`], ending the durable prefix).  Replay stops at the
+//! damage point in both cases — the suffix was never durable, which is
+//! exactly what an appending, syncing writer guarantees.
+//!
+//! Contracts carried across a restart (ROADMAP.md "durability contract"):
+//!
+//! * **Ring-key contract** — changelog rows are decoded values and
+//!   re-encode through the recovering engine's dictionary; the snapshot
+//!   serializes its dictionary (strings in id order) *with* the encoded
+//!   view state, so encoded words never cross a dictionary boundary.
+//! * **Hash-once contract** — snapshots store each entry's hash; restore
+//!   pre-sizes every table and re-buckets from stored hashes, so
+//!   `rehashes` and `ring_rehashes` read 0 after recovery.
+//! * **Bit-exactness** — floats persist as raw bits
+//!   ([`fivm_ring::PersistRing`]); replay uses the live ingestion path in
+//!   the original batch order, so even non-associative float state
+//!   matches bit-for-bit.
+//!
+//! The usual entry point is [`DurableEngine`], which owns an engine plus
+//! its changelog and snapshot paths and enforces the write-ahead
+//! ordering.  The underlying primitives are public for finer control and
+//! for the fault-injection tests.
+
+pub mod changelog;
+pub mod crc;
+pub mod error;
+pub mod fault;
+pub mod framing;
+pub mod recover;
+pub mod snapshot;
+
+pub use changelog::{read_changelog, CdcBatch, CdcOp, ChangelogWriter};
+pub use error::{CdcError, CdcResult};
+pub use framing::LogEnd;
+pub use recover::{recover, RecoveryReport};
+pub use snapshot::{load_snapshot, read_snapshot, write_snapshot};
+
+use fivm_core::{Engine, UpdateOutcome};
+use fivm_relation::{Database, Update};
+use fivm_ring::PersistRing;
+use std::path::{Path, PathBuf};
+
+/// File name of the changelog inside a durable directory.
+pub const CHANGELOG_FILE: &str = "changelog.fvcl";
+
+/// File name of the snapshot inside a durable directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.fvsn";
+
+/// An [`Engine`] with a write-ahead changelog and on-demand snapshots.
+///
+/// Update flow: [`DurableEngine::apply_update`] appends the batch to the
+/// changelog (synced — once the append returns, the batch is durable) and
+/// *then* applies it to the engine.  A crash between the two is safe:
+/// recovery replays the logged batch, converging on the same state.
+///
+/// Snapshots ([`DurableEngine::snapshot`]) bound replay time; the
+/// changelog is **not** truncated afterwards (recovery skips batches the
+/// snapshot already includes), so an older snapshot plus the same log
+/// still recovers.
+pub struct DurableEngine<R: PersistRing> {
+    engine: Engine<R>,
+    log: ChangelogWriter,
+    snapshot_path: PathBuf,
+    /// Sequence number of the last batch applied to the in-memory engine.
+    applied_seq: u64,
+}
+
+impl<R: PersistRing> DurableEngine<R> {
+    /// Wraps a freshly built engine, creating a new (empty) changelog in
+    /// `dir`.  Any previous changelog there is truncated; an existing
+    /// snapshot is removed (it describes state this engine never had).
+    pub fn create(engine: Engine<R>, dir: impl AsRef<Path>) -> CdcResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        match std::fs::remove_file(&snapshot_path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let log = ChangelogWriter::create(dir.join(CHANGELOG_FILE))?;
+        Ok(DurableEngine {
+            engine,
+            log,
+            snapshot_path,
+            applied_seq: 0,
+        })
+    }
+
+    /// Recovers from the durable artifacts in `dir` into a freshly built
+    /// engine (same plan, ring and lifts as the crashed one), then reopens
+    /// the changelog for appending.  See [`recover::recover`] for the
+    /// snapshot-vs-full-replay split and the bit-identity argument.
+    pub fn recover(
+        mut engine: Engine<R>,
+        db: &Database,
+        dir: impl AsRef<Path>,
+    ) -> CdcResult<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let snapshot = snapshot_path.exists().then_some(snapshot_path.as_path());
+        let report = recover::recover(&mut engine, db, snapshot, &dir.join(CHANGELOG_FILE))?;
+        // Reopening truncates any torn/corrupt tail to the valid prefix,
+        // so the next append continues the durable sequence.
+        let log = ChangelogWriter::open_append(dir.join(CHANGELOG_FILE))?;
+        Ok((
+            DurableEngine {
+                engine,
+                log,
+                snapshot_path,
+                applied_seq: report.last_seq,
+            },
+            report,
+        ))
+    }
+
+    /// Loads the base database.  Not logged: the base load is part of the
+    /// engine-construction recipe, and recovery re-loads it (or restores
+    /// a snapshot that already includes it) before replaying the log.
+    pub fn load_database(&mut self, db: &Database) -> CdcResult<()> {
+        self.engine.load_database(db)?;
+        Ok(())
+    }
+
+    /// Write-ahead apply: the batch is durable in the changelog before
+    /// the engine sees it.
+    pub fn apply_update(&mut self, update: &Update) -> CdcResult<UpdateOutcome> {
+        let seq = self.log.append_update(update)?;
+        let outcome = self.engine.apply_update(update)?;
+        self.applied_seq = seq;
+        Ok(outcome)
+    }
+
+    /// Writes an atomic snapshot of the current state, tagged with the
+    /// last applied sequence number (returned).
+    pub fn snapshot(&mut self) -> CdcResult<u64> {
+        write_snapshot(&self.snapshot_path, self.applied_seq, &self.engine)?;
+        Ok(self.applied_seq)
+    }
+
+    /// Sequence number of the last batch applied to the engine.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// The wrapped engine (results, stats, views).
+    pub fn engine(&self) -> &Engine<R> {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.  Changes made directly are
+    /// **not** logged; use [`DurableEngine::apply_update`] for durable
+    /// mutations.
+    pub fn engine_mut(&mut self) -> &mut Engine<R> {
+        &mut self.engine
+    }
+
+    /// Consumes the wrapper, returning the engine.
+    pub fn into_engine(self) -> Engine<R> {
+        self.engine
+    }
+}

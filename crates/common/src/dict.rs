@@ -36,10 +36,10 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Type tag of an encoded column (4 bits in the key's tag words).
-const TAG_NULL: u8 = 0;
-const TAG_INT: u8 = 1;
-const TAG_DOUBLE: u8 = 2;
-const TAG_STR: u8 = 3;
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_INT: u8 = 1;
+pub(crate) const TAG_DOUBLE: u8 = 2;
+pub(crate) const TAG_STR: u8 = 3;
 
 /// Byte budget of an inline [`EncodedKey`]: one cache line.  The spill
 /// threshold below is *derived* from this budget so the unit the tuning

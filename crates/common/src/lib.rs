@@ -16,7 +16,10 @@
 //! * [`RawTable`] — an open-addressing hash table keyed by precomputed
 //!   hashes, so a key is hashed once and the hash reused across the
 //!   primary map, every secondary index and the delta accumulators,
-//! * [`FivmError`] — the error type shared by the query compiler and engine.
+//! * [`FivmError`] — the error type shared by the query compiler and engine,
+//! * [`wire`] — bounds-checked binary (de)serialization primitives used by
+//!   the durability layer (`fivm_cdc`): little-endian scalars plus the wire
+//!   forms of [`Dict`], [`EncodedValue`], [`EncodedKey`] and [`Value`].
 
 pub mod dict;
 pub mod error;
@@ -24,6 +27,7 @@ pub mod hash;
 pub mod kind;
 pub mod table;
 pub mod value;
+pub mod wire;
 
 pub use dict::{Dict, EncodedKey, EncodedValue};
 pub use error::{FivmError, Result};
@@ -31,6 +35,7 @@ pub use hash::{fx_hash_words, new_map, new_set, FxBuildHasher, FxHashMap, FxHash
 pub use kind::AttrKind;
 pub use table::{Probe, RawTable};
 pub use value::{OrdF64, Value};
+pub use wire::{WireError, WireReader, WireResult};
 
 /// Identifier of a query variable (attribute) inside a compiled query.
 ///

@@ -1,0 +1,363 @@
+//! Minimal binary (de)serialization primitives shared by the durability
+//! layer: fixed-width little-endian scalars, length-prefixed byte strings,
+//! and the wire forms of [`Dict`], [`EncodedValue`] and [`EncodedKey`].
+//!
+//! The build environment has no serde; everything here is hand-rolled, like
+//! the `rand`/`criterion` shims.  The format is deliberately boring —
+//! fixed-width little-endian words, `u32` length prefixes — so that
+//! truncation and corruption are detected by bounds checks here and by the
+//! checksum framing one layer up (`fivm_cdc::framing`), never by UB.
+//!
+//! # Dictionary round-trip
+//!
+//! [`put_dict`] writes the interned strings **in id order**;
+//! [`read_dict`] re-interns them in that order into a fresh [`Dict`],
+//! reproducing identical string ids.  Every dictionary-encoded word
+//! serialized next to the dictionary (view keys, ring-interior keys)
+//! therefore stays valid after a restore — the dictionary-local encoding
+//! never has to be rewritten (the ring-key contract survives restarts).
+
+use crate::dict::{Dict, EncodedKey, EncodedValue};
+use crate::value::Value;
+use std::fmt;
+
+/// Decoding failure: the input ended early or violated the format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the announced data (torn write, truncation).
+    Truncated,
+    /// The input is structurally invalid (bad tag, non-UTF-8 string,
+    /// impossible length).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire decoding.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------- writers
+
+/// Appends a `u8`.
+#[inline]
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+#[inline]
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw bits — the round-trip is bit-identical, as
+/// the recovery differential requires (no canonicalization on this path).
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a `u32` length prefix followed by the bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, u32::try_from(bytes.len()).expect("byte string longer than u32::MAX"));
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+#[inline]
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+// ---------------------------------------------------------------- reader
+
+/// A bounds-checked cursor over a byte slice.  Every read either returns
+/// the decoded value or a typed [`WireError`]; nothing panics on bad input.
+#[derive(Clone, Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the input is fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> WireResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its raw bits.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self) -> WireResult<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> WireResult<&'a str> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+}
+
+// --------------------------------------------- dictionary & encoded keys
+
+/// Writes the dictionary: string count, then every interned string in id
+/// order (see the module docs for why order is the contract).
+pub fn put_dict(out: &mut Vec<u8>, dict: &Dict) {
+    put_u32(out, u32::try_from(dict.len()).expect("dictionary larger than u32::MAX"));
+    for id in 0..dict.len() as u32 {
+        put_str(out, dict.resolve(id));
+    }
+}
+
+/// Reads a dictionary written by [`put_dict`] into a fresh [`Dict`] with
+/// identical string ids.
+pub fn read_dict(r: &mut WireReader<'_>) -> WireResult<Dict> {
+    let n = r.u32()?;
+    let mut dict = Dict::new();
+    for expect in 0..n {
+        let s = r.str()?;
+        let id = dict.intern(s);
+        if id != expect {
+            // Duplicate string in the stream: interning would alias two ids.
+            return Err(WireError::Malformed("duplicate dictionary string"));
+        }
+    }
+    Ok(dict)
+}
+
+/// Writes a single encoded value (tag byte + payload word).
+#[inline]
+pub fn put_encoded_value(out: &mut Vec<u8>, ev: EncodedValue) {
+    put_u8(out, ev.tag);
+    put_u64(out, ev.word);
+}
+
+/// Reads an encoded value written by [`put_encoded_value`].
+#[inline]
+pub fn read_encoded_value(r: &mut WireReader<'_>) -> WireResult<EncodedValue> {
+    let tag = r.u8()?;
+    if tag > crate::dict::TAG_STR {
+        return Err(WireError::Malformed("encoded value tag out of range"));
+    }
+    let word = r.u64()?;
+    Ok(EncodedValue { tag, word })
+}
+
+/// Writes an encoded key column by column.  The column encoding (not the
+/// raw words) is the wire form, so the in-memory packing is free to evolve
+/// without breaking stored snapshots.
+pub fn put_encoded_key(out: &mut Vec<u8>, key: &EncodedKey) {
+    put_u8(out, u8::try_from(key.arity()).expect("key arity exceeds 255"));
+    for i in 0..key.arity() {
+        put_encoded_value(out, key.col(i));
+    }
+}
+
+/// Reads an encoded key written by [`put_encoded_key`].  Rebuilding through
+/// the canonical constructor reproduces the exact words — and therefore the
+/// exact [`EncodedKey::fx_hash`] — of the key that was saved.
+pub fn read_encoded_key(r: &mut WireReader<'_>) -> WireResult<EncodedKey> {
+    let arity = r.u8()? as usize;
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        cols.push(read_encoded_value(r)?);
+    }
+    Ok(EncodedKey::from_values(&cols))
+}
+
+/// Writes a `Value` (changelog rows travel decoded — they are re-encoded
+/// through the recovering engine's own dictionary on replay, exactly like
+/// live ingestion, so changelog records are dictionary-free and portable
+/// across engines).
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(out, 0),
+        Value::Int(x) => {
+            put_u8(out, 1);
+            put_i64(out, *x);
+        }
+        Value::Double(x) => {
+            put_u8(out, 2);
+            put_f64(out, x.get());
+        }
+        Value::Str(s) => {
+            put_u8(out, 3);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Reads a `Value` written by [`put_value`].
+pub fn read_value(r: &mut WireReader<'_>) -> WireResult<Value> {
+    match r.u8()? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::int(r.i64()?)),
+        2 => Ok(Value::double(r.f64()?)),
+        3 => Ok(Value::str(r.str()?)),
+        _ => Err(WireError::Malformed("value tag out of range")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_i64(&mut buf, -42);
+        put_f64(&mut buf, -0.0);
+        put_str(&mut buf, "héllo");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        // Bit-identical: -0.0 stays -0.0.
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, 123);
+        let mut r = WireReader::new(&buf[..5]);
+        assert_eq!(r.u64().unwrap_err(), WireError::Truncated);
+        // A length prefix announcing more data than exists is truncation too.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn dict_round_trip_preserves_ids() {
+        let mut dict = Dict::new();
+        let a = dict.intern("alpha");
+        let b = dict.intern("βeta");
+        let c = dict.intern("");
+        let mut buf = Vec::new();
+        put_dict(&mut buf, &dict);
+        let restored = read_dict(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.lookup("alpha"), Some(a));
+        assert_eq!(restored.lookup("βeta"), Some(b));
+        assert_eq!(restored.lookup(""), Some(c));
+    }
+
+    #[test]
+    fn encoded_key_round_trip_is_hash_identical() {
+        let mut dict = Dict::new();
+        let key = dict.encode_key(&[
+            Value::int(17),
+            Value::double(2.5),
+            Value::str("x"),
+            Value::Null,
+        ]);
+        let mut buf = Vec::new();
+        put_encoded_key(&mut buf, &key);
+        let restored = read_encoded_key(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(restored, key);
+        assert_eq!(restored.fx_hash(), key.fx_hash());
+    }
+
+    #[test]
+    fn values_round_trip() {
+        for v in [
+            Value::Null,
+            Value::int(-5),
+            Value::double(3.25),
+            Value::str("store-17"),
+        ] {
+            let mut buf = Vec::new();
+            put_value(&mut buf, &v);
+            assert_eq!(read_value(&mut WireReader::new(&buf)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_malformed() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9);
+        put_u64(&mut buf, 0);
+        assert!(matches!(
+            read_encoded_value(&mut WireReader::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 9);
+        assert!(matches!(
+            read_value(&mut WireReader::new(&buf)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

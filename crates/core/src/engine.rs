@@ -32,14 +32,16 @@
 //! The engine is completely generic in the ring; the applications in
 //! [`crate::apps`] merely pick a ring and a set of lifts.
 
+use crate::error::{EngineError, EngineResult};
 use crate::plan::{DeltaPlan, ExecutionPlan, ProbeKind, ALREADY_BOUND};
 use crate::view::MaterializedView;
 use fivm_common::{
-    Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, RelId, Result, Value,
+    wire, Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, RelId, Result, Value,
+    WireReader,
 };
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Relation, Tuple, Update};
-use fivm_ring::{LiftFn, Ring, RingCtx};
+use fivm_ring::{LiftFn, PersistRing, Ring, RingCtx};
 
 /// Counters describing the work performed by the engine so far.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -500,8 +502,9 @@ impl<R: Ring> Engine<R> {
     /// each relation variable is matched to the table column with the same
     /// name.  Rows of subsequent updates to this relation are expected in the
     /// table's layout.
-    pub fn bind_table(&mut self, rel: RelId, schema: &fivm_relation::Schema) -> Result<()> {
+    pub fn bind_table(&mut self, rel: RelId, schema: &fivm_relation::Schema) -> EngineResult<()> {
         let spec = self.plan.tree().spec();
+        self.check_rel(rel)?;
         let def = spec.relation(rel);
         let mut cols = Vec::with_capacity(def.vars.len());
         for &v in &def.vars {
@@ -520,7 +523,7 @@ impl<R: Ring> Engine<R> {
 
     /// Loads an initial database: every table whose name matches a query
     /// relation is bound by column name and its rows are applied as inserts.
-    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+    pub fn load_database(&mut self, db: &Database) -> EngineResult<()> {
         let spec = self.plan.tree().spec().clone();
         for rel in 0..spec.num_relations() {
             let name = &spec.relation(rel).name;
@@ -537,7 +540,7 @@ impl<R: Ring> Engine<R> {
     ///
     /// Works by reference: rows are encoded straight into the grouped
     /// leaf delta without cloning whole tuples first.
-    pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome> {
+    pub fn apply_update(&mut self, update: &Update) -> EngineResult<UpdateOutcome> {
         let rel = self
             .plan
             .tree()
@@ -571,7 +574,7 @@ impl<R: Ring> Engine<R> {
                 )?;
             }
         }
-        self.propagate_grouped(rel, input_rows)
+        Ok(self.propagate_grouped(rel, input_rows)?)
     }
 
     /// Applies a batch of `(row, multiplicity)` changes to a relation.
@@ -583,10 +586,11 @@ impl<R: Ring> Engine<R> {
     /// The whole batch is grouped by key before propagation, so the
     /// per-level work is bounded by the number of *distinct* keys, not the
     /// number of input rows.
-    pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> Result<UpdateOutcome>
+    pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> EngineResult<UpdateOutcome>
     where
         I: IntoIterator<Item = (Tuple, i64)>,
     {
+        self.check_rel(rel)?;
         let arity = self.plan.leaf_plans()[rel].vars.len();
         let one = R::one();
         let mut input_rows = 0usize;
@@ -606,7 +610,19 @@ impl<R: Ring> Engine<R> {
                 )?;
             }
         }
-        self.propagate_grouped(rel, input_rows)
+        Ok(self.propagate_grouped(rel, input_rows)?)
+    }
+
+    /// Rejects relation ids outside the compiled query — the typed form of
+    /// what used to be an index panic on the public surface.
+    fn check_rel(&self, rel: RelId) -> EngineResult<()> {
+        let n = self.plan.leaf_plans().len();
+        if rel >= n {
+            return Err(EngineError::State(format!(
+                "relation id {rel} is out of range (query has {n} relations)"
+            )));
+        }
+        Ok(())
     }
 
     /// Shared tail of every update path: erases cancelled keys from the
@@ -744,6 +760,144 @@ impl<R: Ring> Engine<R> {
 
         self.stats.delta_entries += outcome.delta_entries;
         Ok(outcome)
+    }
+}
+
+/// Version of the engine-state wire format written by [`Engine::save_state`].
+const STATE_VERSION: u32 = 1;
+
+/// Snapshot save/restore, available for rings that implement
+/// [`PersistRing`] (the shipped payload rings).  The byte body produced
+/// here carries **no framing or checksums** — `fivm_cdc::snapshot` wraps it
+/// in length + CRC framing before it touches disk; this layer only defines
+/// what the state *is*.
+impl<R: PersistRing> Engine<R> {
+    /// Serializes the engine's complete materialized state: a plan
+    /// fingerprint (ring tag, per-view key variables, lift count), the
+    /// dictionary (strings in id order, so every encoded word in the state
+    /// stays valid on restore), and every view's live entries as
+    /// `(stored hash, encoded key, ring payload)`.
+    ///
+    /// Not serialized: the plan itself and the lifts (code, reconstructed
+    /// by building the engine the same way), table bindings (the recovery
+    /// flow re-binds via [`Engine::bind_table`] / `load_database`-style
+    /// schema information it already owns), accumulated [`EngineStats`]
+    /// counters (work counters restart from zero; the live gauges —
+    /// `rehashes`, `ring_rehashes`, `table_bytes` — are recomputed from the
+    /// restored tables), and secondary-index bucket maps (restored views
+    /// keep their indexes *deferred* and rebuild them on first probe,
+    /// exactly like a cold engine).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_u32(out, STATE_VERSION);
+        wire::put_str(out, R::RING_TAG);
+        wire::put_u32(out, self.views.len() as u32);
+        for view in &self.views {
+            wire::put_u32(out, view.key_vars().len() as u32);
+            for &v in view.key_vars() {
+                wire::put_u32(out, v as u32);
+            }
+        }
+        wire::put_u32(out, self.lifts.len() as u32);
+        self.ctx.with_dict(|dict| wire::put_dict(out, dict));
+        for view in &self.views {
+            wire::put_u64(out, view.len() as u64);
+            for (hash, key, payload) in view.iter_hashed() {
+                wire::put_u64(out, hash);
+                wire::put_encoded_key(out, key);
+                payload.encode(out);
+            }
+        }
+    }
+
+    /// Restores state saved by [`Engine::save_state`] into this engine,
+    /// which must be **freshly constructed** (empty views) with the same
+    /// plan, ring and lifts as the engine that was saved.
+    ///
+    /// The restore is rehash-free: each view's primary map is pre-sized
+    /// ([`MaterializedView::reserve_restore`]) and entries are re-bucketed
+    /// from their stored hashes, so after the call `rehashes` and
+    /// `ring_rehashes` read 0 — the hash-once contract survives the
+    /// restart.  Fingerprint mismatches return [`EngineError::State`];
+    /// truncated or corrupt bytes return [`EngineError::Corrupt`] with the
+    /// engine left in an unspecified but memory-safe state (a recovery
+    /// driver discards the engine on error).
+    pub fn load_state(&mut self, bytes: &[u8]) -> EngineResult<()> {
+        if self.total_view_entries() != 0 {
+            return Err(EngineError::State(
+                "load_state requires a freshly constructed (empty) engine".into(),
+            ));
+        }
+        let r = &mut WireReader::new(bytes);
+        let version = r.u32()?;
+        if version != STATE_VERSION {
+            return Err(EngineError::State(format!(
+                "unsupported engine state version {version} (expected {STATE_VERSION})"
+            )));
+        }
+        let tag = r.str()?;
+        if tag != R::RING_TAG {
+            return Err(EngineError::State(format!(
+                "snapshot was taken with ring `{tag}`, engine uses `{}`",
+                R::RING_TAG
+            )));
+        }
+        let num_views = r.u32()? as usize;
+        if num_views != self.views.len() {
+            return Err(EngineError::State(format!(
+                "snapshot has {num_views} views, engine plan has {}",
+                self.views.len()
+            )));
+        }
+        for view in &self.views {
+            let arity = r.u32()? as usize;
+            if arity != view.key_vars().len() {
+                return Err(EngineError::State("view key arity mismatch".into()));
+            }
+            for &v in view.key_vars() {
+                if r.u32()? as usize != v {
+                    return Err(EngineError::State("view key variables mismatch".into()));
+                }
+            }
+        }
+        let num_lifts = r.u32()? as usize;
+        if num_lifts != self.lifts.len() {
+            return Err(EngineError::State("lift count mismatch".into()));
+        }
+        // Dictionary first: every encoded word decoded below is only
+        // meaningful under it.  Replacing (rather than merging) is correct
+        // because the target engine is empty and its lifts were built
+        // against the same construction path as the saved engine's.
+        let dict = wire::read_dict(r)?;
+        self.ctx.with_dict_mut(|d| *d = dict);
+        for view in &mut self.views {
+            let len = r.u64()? as usize;
+            if len > bytes.len() {
+                return Err(EngineError::Corrupt("view entry count out of range".into()));
+            }
+            view.reserve_restore(len);
+            for _ in 0..len {
+                let hash = r.u64()?;
+                let key = wire::read_encoded_key(r)?;
+                if hash != key.fx_hash() {
+                    return Err(EngineError::Corrupt(
+                        "stored view-key hash does not match its key".into(),
+                    ));
+                }
+                let payload = R::decode(r)?;
+                if payload.is_zero() {
+                    return Err(EngineError::Corrupt(
+                        "snapshot contains a zero payload".into(),
+                    ));
+                }
+                view.add_encoded(hash, &key, &payload);
+            }
+        }
+        if !r.is_empty() {
+            return Err(EngineError::Corrupt(
+                "trailing bytes after engine state".into(),
+            ));
+        }
+        Ok(())
     }
 }
 

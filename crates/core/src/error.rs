@@ -1,0 +1,107 @@
+//! Typed engine errors: [`EngineError`] and the [`EngineResult`] alias.
+//!
+//! The engine's public mutation surface (`apply_rows` / `apply_update` /
+//! `load_database` / `bind_table`) and the snapshot surface (`save_state` /
+//! `load_state`) report failures through one enum instead of a mix of
+//! [`FivmError`] returns and out-of-bounds panics.  Query/update validation
+//! errors still originate as [`FivmError`] deeper in the engine and are
+//! wrapped (`From`), so `?` keeps working in engine internals and callers
+//! can keep matching on [`EngineError::kind`] strings.
+
+use fivm_common::{FivmError, WireError};
+use std::fmt;
+
+/// Result alias using [`EngineError`].
+pub type EngineResult<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised by the engine's public maintenance and snapshot surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A query/update-level failure (unknown relation, arity mismatch, ring
+    /// shape mismatch, ...) — the pre-existing [`FivmError`] taxonomy.
+    Query(FivmError),
+    /// An operation does not fit the engine's current state: restoring a
+    /// snapshot onto a non-empty engine, onto a different plan or ring, or
+    /// addressing a relation id the compiled query does not have.
+    State(String),
+    /// Persisted state failed to decode (truncated or corrupt snapshot
+    /// bytes, stored hash not matching its key).
+    Corrupt(String),
+}
+
+impl EngineError {
+    /// Short machine-readable category name, mirroring
+    /// [`FivmError::kind`] for wrapped query errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Query(e) => e.kind(),
+            EngineError::State(_) => "state",
+            EngineError::Corrupt(_) => "corrupt",
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => e.fmt(f),
+            EngineError::State(msg) => write!(f, "engine state error: {msg}"),
+            EngineError::Corrupt(msg) => write!(f, "corrupt engine state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FivmError> for EngineError {
+    fn from(e: FivmError) -> Self {
+        EngineError::Query(e)
+    }
+}
+
+impl From<WireError> for EngineError {
+    fn from(e: WireError) -> Self {
+        EngineError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let q = EngineError::from(FivmError::InvalidUpdate("bad row".into()));
+        assert_eq!(q.kind(), "invalid_update");
+        assert!(q.to_string().contains("bad row"));
+        assert_eq!(EngineError::State("x".into()).kind(), "state");
+        assert_eq!(EngineError::Corrupt("y".into()).kind(), "corrupt");
+        let c = EngineError::from(WireError::Truncated);
+        assert_eq!(c.kind(), "corrupt");
+        assert!(c.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        use std::error::Error;
+        let e = EngineError::from(FivmError::Numerical("singular".into()));
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+        assert!(EngineError::State("s".into()).source().is_none());
+    }
+
+    #[test]
+    fn source_of_wrapped_query_error_downcasts() {
+        use std::error::Error;
+        let e = EngineError::from(FivmError::RingMismatch("dim".into()));
+        let src = e.source().unwrap();
+        assert!(src.downcast_ref::<FivmError>().is_some());
+    }
+}

@@ -35,13 +35,17 @@
 //! * [`view`] — materialized views with planned secondary indexes.
 //! * [`apps`] — preconfigured engines for the paper's applications (count,
 //!   COVAR, mixed COVAR, mutual information, factorized evaluation).
+//! * [`error`] — typed [`EngineError`] for the public maintenance and
+//!   snapshot surface.
 
 pub mod apps;
 pub mod engine;
+pub mod error;
 pub mod plan;
 pub mod view;
 
 pub use apps::{AggregateLayout, BinSpec};
 pub use engine::{Engine, EngineStats, UpdateOutcome};
+pub use error::{EngineError, EngineResult};
 pub use plan::ExecutionPlan;
 pub use view::MaterializedView;

@@ -315,6 +315,37 @@ impl<R: Ring> MaterializedView<R> {
         self.add_encoded(encoded.fx_hash(), &encoded, &delta);
     }
 
+    /// Iterates `(stored hash, key, payload)` over the live entries — the
+    /// snapshot encoder writes the stored hashes next to the keys so a
+    /// restore re-buckets from them without hashing any key.
+    pub fn iter_hashed(&self) -> impl Iterator<Item = (u64, &EncodedKey, &R)> + '_ {
+        self.map.iter_hashed().map(|(h, &sid, ())| {
+            let slot = &self.slots[sid as usize];
+            (h, &slot.key, &slot.payload)
+        })
+    }
+
+    /// Pre-sizes an **empty** view for `n` restored entries: the primary
+    /// map is rebuilt at [`RawTable::with_capacity`] so inserting the
+    /// snapshot entries performs zero growth rehashes, and the slot slab is
+    /// reserved up front.  Part of the durability contract (ROADMAP.md):
+    /// after a restore the view reports `rehashes() == 0`, exactly like a
+    /// freshly warmed engine.
+    ///
+    /// Registered secondary indexes are untouched — they stay *deferred*
+    /// and rebuild lazily from the restored slab on first probe, the same
+    /// path a cold engine takes.
+    pub fn reserve_restore(&mut self, n: usize) {
+        assert!(
+            self.map.is_empty() && self.slots.is_empty(),
+            "reserve_restore on a non-empty view"
+        );
+        if n > 0 {
+            self.map = RawTable::with_capacity(n);
+            self.slots = Vec::with_capacity(n);
+        }
+    }
+
     /// The table index of a secondary-index bucket, probed with the
     /// sub-key's precomputed hash.  The returned handle is stable until the
     /// view is next mutated — the engine memoizes it per propagation level.

@@ -30,6 +30,7 @@ pub mod gencofactor;
 pub mod lift;
 pub mod matrix;
 pub mod numeric;
+pub mod persist;
 pub mod relkey;
 pub mod relvalue;
 pub mod ring;
@@ -42,6 +43,7 @@ pub use gencofactor::GenCofactor;
 pub use lift::LiftFn;
 pub use matrix::MatrixValue;
 pub use numeric::PairRing;
+pub use persist::PersistRing;
 pub use relkey::RelKey;
 pub use relvalue::{DecodedRelEntry, RelValue};
 pub use ring::{ApproxEq, Ring};

@@ -184,6 +184,37 @@ impl RelValue {
         self.entries.iter().map(|(k, &w)| (k, w))
     }
 
+    /// Iterates `(stored hash, key, weight)` entries.  The snapshot encoder
+    /// (`fivm_ring::persist`) writes the *stored* hashes next to the keys,
+    /// so a restore re-buckets from them without hashing any key.
+    pub fn iter_hashed(&self) -> impl Iterator<Item = (u64, &RelKey, f64)> + '_ {
+        self.entries.iter_hashed().map(|(h, k, &w)| (h, k, w))
+    }
+
+    /// Rebuilds a relation from `(stored hash, key, weight)` entries with
+    /// distinct keys — the snapshot-restore constructor.  Like [`Clone`],
+    /// the interior table is right-sized up front ([`RawTable::with_capacity`]
+    /// for `len` entries), so inserting the entries performs **zero** growth
+    /// rehashes and the restored value reports `table_rehashes() == 0`,
+    /// keeping the ring half of the "rehashes pinned to 0" contract intact
+    /// across a restart.
+    pub fn from_hashed_entries<I>(len: usize, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, RelKey, f64)>,
+    {
+        let mut table = if len == 0 {
+            RawTable::new()
+        } else {
+            RawTable::with_capacity(len)
+        };
+        for (h, k, w) in entries {
+            if w != 0.0 {
+                table.insert(h, k, w);
+            }
+        }
+        RelValue { entries: table }
+    }
+
     /// Sum of all weights (the count aggregate if weights are counts).
     pub fn total(&self) -> f64 {
         self.iter().map(|(_, w)| w).sum()

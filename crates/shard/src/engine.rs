@@ -1,9 +1,10 @@
 //! The sharded engine: routing, dispatch and result merging.
 
+use crate::error::{ShardError, ShardResult};
 use crate::plan::ShardPlan;
 use crate::worker::{Cmd, Worker};
 use fivm_common::{Dict, FivmError, RelId, Result};
-use fivm_core::{Engine, EngineStats, ExecutionPlan, UpdateOutcome};
+use fivm_core::{Engine, EngineError, EngineStats, ExecutionPlan, UpdateOutcome};
 use fivm_query::{QuerySpec, RelationRouting, ViewTree};
 use fivm_relation::{Database, Relation, Schema, Tuple, Update};
 use fivm_ring::{LiftFn, Ring, RingCtx};
@@ -35,6 +36,15 @@ use fivm_ring::{LiftFn, Ring, RingCtx};
 ///   batch slices it per shard; without the up-front check, a bad row
 ///   would fail only its own shard while sibling shards committed their
 ///   slices.)
+///
+/// Fault containment: a worker that panics (or dies without replying)
+/// surfaces as a typed [`ShardError`] instead of aborting the coordinating
+/// thread.  Worker death **poisons** the engine — a panicked shard may
+/// hold half-updated views, so the coordinator shuts every surviving
+/// worker down cleanly (shutdown command + join) and every subsequent
+/// operation returns [`ShardError::Poisoned`].  Ordinary validation
+/// errors ([`ShardError::Engine`]) do *not* poison: lockstep dispatch
+/// keeps all shards consistent and the engine stays usable.
 pub struct ShardedEngine<R: Ring> {
     plan: ShardPlan,
     spec: QuerySpec,
@@ -198,24 +208,49 @@ impl<R: Ring> ShardedEngine<R> {
         &self.spec
     }
 
+    /// Poisons the engine on fatal (worker-death) errors: dropping the
+    /// worker handles sends every surviving shard a shutdown command and
+    /// joins its thread, so no worker threads leak.  Non-fatal errors pass
+    /// through untouched.
+    fn poison(&mut self, e: ShardError) -> ShardError {
+        if e.is_fatal() {
+            self.workers.clear();
+        }
+        e
+    }
+
+    /// Rejects every operation after the engine was poisoned.
+    fn ensure_live(&self) -> ShardResult<()> {
+        if self.workers.is_empty() {
+            return Err(ShardError::Poisoned);
+        }
+        Ok(())
+    }
+
     /// Binds a relation to a table layout on every shard (mirrors
     /// [`Engine::bind_table`]) and re-resolves the routing column of
     /// hash-routed relations against the new layout.
-    pub fn bind_table(&mut self, rel: RelId, schema: &Schema) -> Result<()> {
+    pub fn bind_table(&mut self, rel: RelId, schema: &Schema) -> ShardResult<()> {
+        self.ensure_live()?;
+        self.bind_table_inner(rel, schema)
+            .map_err(|e| self.poison(e))
+    }
+
+    fn bind_table_inner(&mut self, rel: RelId, schema: &Schema) -> ShardResult<()> {
         for w in &self.workers {
             w.send(Cmd::Bind {
                 rel,
                 schema: schema.clone(),
-            });
+            })?;
         }
-        let mut first_err = None;
+        let mut first_err: Option<EngineError> = None;
         for w in &self.workers {
-            if let Err(e) = w.recv_bound() {
+            if let Err(e) = w.recv_bound()? {
                 first_err.get_or_insert(e);
             }
         }
         if let Some(e) = first_err {
-            return Err(e);
+            return Err(e.into());
         }
         if let RelationRouting::Hashed { .. } = self.plan.routing(rel) {
             let name = self.spec.var_name(self.plan.partition_var());
@@ -259,7 +294,7 @@ impl<R: Ring> ShardedEngine<R> {
 
     /// Loads an initial database, binding and routing every table exactly
     /// like [`Engine::load_database`] does for a single engine.
-    pub fn load_database(&mut self, db: &Database) -> Result<()> {
+    pub fn load_database(&mut self, db: &Database) -> ShardResult<()> {
         for rel in 0..self.spec.num_relations() {
             let name = self.spec.relation(rel).name.clone();
             let table = db.table(&name).ok_or_else(|| {
@@ -272,7 +307,7 @@ impl<R: Ring> ShardedEngine<R> {
     }
 
     /// Applies an update batch addressed by table name.
-    pub fn apply_update(&mut self, update: &Update) -> Result<UpdateOutcome> {
+    pub fn apply_update(&mut self, update: &Update) -> ShardResult<UpdateOutcome> {
         let rel = self.spec.relation_id(&update.table).ok_or_else(|| {
             FivmError::InvalidUpdate(format!(
                 "update targets unknown relation `{}`",
@@ -285,14 +320,16 @@ impl<R: Ring> ShardedEngine<R> {
     /// Applies a batch of `(row, multiplicity)` changes to a relation;
     /// rows follow the bound table layout (or the relation's query schema
     /// if never bound), exactly as in [`Engine::apply_rows`].
-    pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> Result<UpdateOutcome>
+    pub fn apply_rows<I>(&mut self, rel: RelId, rows: I) -> ShardResult<UpdateOutcome>
     where
         I: IntoIterator<Item = (Tuple, i64)>,
     {
+        self.ensure_live()?;
         if rel >= self.spec.num_relations() {
             return Err(FivmError::InvalidUpdate(format!(
                 "relation id {rel} is out of range"
-            )));
+            ))
+            .into());
         }
         match self.route_cols[rel] {
             None => {
@@ -336,7 +373,8 @@ impl<R: Ring> ShardedEngine<R> {
     /// Routes a borrowed batch (cloning rows into the per-shard slices or
     /// replicating them for broadcast relations) and dispatches it.  Rows
     /// are validated up front so a malformed batch reaches no shard.
-    fn apply_batch(&mut self, rel: RelId, rows: &[(Tuple, i64)]) -> Result<UpdateOutcome> {
+    fn apply_batch(&mut self, rel: RelId, rows: &[(Tuple, i64)]) -> ShardResult<UpdateOutcome> {
+        self.ensure_live()?;
         // Zero-multiplicity rows are no-ops the single engine accepts
         // without validating; treat them symmetrically here.
         for (row, mult) in rows {
@@ -373,14 +411,24 @@ impl<R: Ring> ShardedEngine<R> {
         rel: RelId,
         batches: Vec<Vec<(Tuple, i64)>>,
         input_rows: usize,
-    ) -> Result<UpdateOutcome> {
+    ) -> ShardResult<UpdateOutcome> {
+        self.dispatch_inner(rel, batches, input_rows)
+            .map_err(|e| self.poison(e))
+    }
+
+    fn dispatch_inner(
+        &self,
+        rel: RelId,
+        batches: Vec<Vec<(Tuple, i64)>>,
+        input_rows: usize,
+    ) -> ShardResult<UpdateOutcome> {
         for (w, rows) in self.workers.iter().zip(batches) {
-            w.send(Cmd::Apply { rel, rows });
+            w.send(Cmd::Apply { rel, rows })?;
         }
         let mut merged = UpdateOutcome::default();
-        let mut first_err = None;
+        let mut first_err: Option<EngineError> = None;
         for w in &self.workers {
-            match w.recv_outcome() {
+            match w.recv_outcome()? {
                 Ok(o) => merged = merged.merge(&o),
                 Err(e) => {
                     first_err.get_or_insert(e);
@@ -388,7 +436,7 @@ impl<R: Ring> ShardedEngine<R> {
             }
         }
         if let Some(e) = first_err {
-            return Err(e);
+            return Err(e.into());
         }
         Ok(UpdateOutcome {
             input_rows,
@@ -399,13 +447,22 @@ impl<R: Ring> ShardedEngine<R> {
     /// The query result for queries without group-by variables: the ring
     /// sum of the shard partials (each the product of that shard's root
     /// views).
-    pub fn result(&self) -> R {
+    ///
+    /// Takes `&mut self` (like every read below): a worker failure
+    /// discovered here poisons the engine and shuts the surviving shards
+    /// down, which mutates the worker set.
+    pub fn result(&mut self) -> ShardResult<R> {
+        self.ensure_live()?;
+        self.result_inner().map_err(|e| self.poison(e))
+    }
+
+    fn result_inner(&self) -> ShardResult<R> {
         for w in &self.workers {
-            w.send(Cmd::Result);
+            w.send(Cmd::Result)?;
         }
         let mut acc = R::zero();
         for w in &self.workers {
-            let (partial, dict) = w.recv_result();
+            let (partial, dict) = w.recv_result()?;
             match dict {
                 // Rekey the shard's dictionary-local words into the
                 // coordinator's dictionary before ring-adding.
@@ -416,18 +473,23 @@ impl<R: Ring> ShardedEngine<R> {
                 None => acc.add_assign(&partial),
             }
         }
-        acc
+        Ok(acc)
     }
 
     /// The query result as a relation over the free variables: the
     /// payload-wise union ([`Relation::union_add`]) of the shard partials.
-    pub fn result_relation(&self) -> Relation<R> {
+    pub fn result_relation(&mut self) -> ShardResult<Relation<R>> {
+        self.ensure_live()?;
+        self.result_relation_inner().map_err(|e| self.poison(e))
+    }
+
+    fn result_relation_inner(&self) -> ShardResult<Relation<R>> {
         for w in &self.workers {
-            w.send(Cmd::ResultRelation);
+            w.send(Cmd::ResultRelation)?;
         }
         let mut acc: Option<Relation<R>> = None;
         for w in &self.workers {
-            let (partial, dict) = w.recv_relation();
+            let (partial, dict) = w.recv_relation()?;
             let partial = match dict {
                 Some(src) => self.ctx.with_dict_mut(|dst| rekey_relation(&partial, &src, dst)),
                 None => partial,
@@ -437,31 +499,42 @@ impl<R: Ring> ShardedEngine<R> {
                 Some(a) => a.union_add(&partial),
             }
         }
-        acc.expect("a sharded engine has at least one shard")
+        Ok(acc.expect("a sharded engine has at least one shard"))
     }
 
     /// Work counters summed across shards ([`EngineStats::merge`]).
-    pub fn stats(&self) -> EngineStats {
-        self.shard_stats()
+    pub fn stats(&mut self) -> ShardResult<EngineStats> {
+        Ok(self
+            .shard_stats()?
             .iter()
-            .fold(EngineStats::default(), |acc, s| acc.merge(s))
+            .fold(EngineStats::default(), |acc, s| acc.merge(s)))
     }
 
     /// Per-shard work counters, indexed by shard id.
-    pub fn shard_stats(&self) -> Vec<EngineStats> {
+    pub fn shard_stats(&mut self) -> ShardResult<Vec<EngineStats>> {
+        self.ensure_live()?;
+        self.shard_stats_inner().map_err(|e| self.poison(e))
+    }
+
+    fn shard_stats_inner(&self) -> ShardResult<Vec<EngineStats>> {
         for w in &self.workers {
-            w.send(Cmd::Stats);
+            w.send(Cmd::Stats)?;
         }
         self.workers.iter().map(Worker::recv_stats).collect()
     }
 
     /// Number of keys stored across all shards' materialized views
     /// (broadcast relations count once per shard).
-    pub fn total_view_entries(&self) -> usize {
+    pub fn total_view_entries(&mut self) -> ShardResult<usize> {
+        self.ensure_live()?;
+        self.total_view_entries_inner().map_err(|e| self.poison(e))
+    }
+
+    fn total_view_entries_inner(&self) -> ShardResult<usize> {
         for w in &self.workers {
-            w.send(Cmd::ViewEntries);
+            w.send(Cmd::ViewEntries)?;
         }
-        self.workers.iter().map(Worker::recv_view_entries).sum()
+        self.workers.iter().map(|w| w.recv_view_entries()).sum()
     }
 }
 
@@ -521,13 +594,13 @@ mod tests {
         sharded.apply_rows(1, s_rows).unwrap();
 
         assert_eq!(o1.input_rows, 20);
-        assert_eq!(sharded.result(), single.result());
+        assert_eq!(sharded.result().unwrap(), single.result());
         assert!(single.result() > 0);
 
         // Deletes ride the same path.
         single.apply_rows(0, vec![(t(&[1, 1]), -1)]).unwrap();
         sharded.apply_rows(0, vec![(t(&[1, 1]), -1)]).unwrap();
-        assert_eq!(sharded.result(), single.result());
+        assert_eq!(sharded.result().unwrap(), single.result());
     }
 
     #[test]
@@ -540,7 +613,7 @@ mod tests {
         let a = single.apply_rows(0, rows.clone()).unwrap();
         let b = sharded.apply_rows(0, rows).unwrap();
         assert_eq!(a, b);
-        assert_eq!(sharded.stats().delta_entries, single.stats().delta_entries);
+        assert_eq!(sharded.stats().unwrap().delta_entries, single.stats().delta_entries);
     }
 
     #[test]
@@ -557,7 +630,7 @@ mod tests {
         let err = sharded.apply_rows(0, vec![(t(&[1]), 1)]).unwrap_err();
         assert_eq!(err.kind(), "invalid_update");
         sharded.apply_rows(0, vec![(t(&[1, 2]), 1)]).unwrap();
-        assert_eq!(sharded.result(), 0);
+        assert_eq!(sharded.result().unwrap(), 0);
         // Zero-multiplicity rows are accepted unvalidated, exactly like
         // `Engine::apply_rows` (which skips them before any arity check).
         let o = sharded
@@ -575,8 +648,8 @@ mod tests {
         let lifts = apps::count_lifts(tree.spec());
         let mut sharded = ShardedEngine::new(tree, lifts, 4).unwrap();
         sharded.apply_rows(0, vec![(t(&[1, 2]), 1)]).unwrap();
-        let entries_before = sharded.total_view_entries();
-        let stats_before = sharded.stats();
+        let entries_before = sharded.total_view_entries().unwrap();
+        let stats_before = sharded.stats().unwrap();
 
         let mixed: Vec<(Tuple, i64)> = (0..8)
             .map(|i| (t(&[i, i]), 1))
@@ -585,11 +658,45 @@ mod tests {
         let err = sharded.apply_rows(0, mixed).unwrap_err();
         assert_eq!(err.kind(), "invalid_update");
         assert_eq!(
-            sharded.total_view_entries(),
+            sharded.total_view_entries().unwrap(),
             entries_before,
             "a rejected batch must not commit any shard's slice"
         );
-        assert_eq!(sharded.stats().rows_applied, stats_before.rows_applied);
+        assert_eq!(sharded.stats().unwrap().rows_applied, stats_before.rows_applied);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_poisons_the_engine() {
+        use fivm_ring::LiftFn;
+        let tree = figure1_tree();
+        let spec = tree.spec().clone();
+        let b = spec.var_id("B").unwrap();
+        let mut lifts = apps::count_lifts(&spec);
+        // A lift that panics on a sentinel value injects an engine panic on
+        // exactly the shard the poisoned row routes to.
+        lifts[b] = LiftFn::new("panic_on_666", |v: &fivm_common::Value| {
+            if v.as_i64() == Some(666) {
+                panic!("injected lift failure");
+            }
+            1i64
+        });
+        let mut sharded = ShardedEngine::new(tree, lifts, 2).unwrap();
+        sharded.apply_rows(0, vec![(t(&[1, 2]), 1)]).unwrap();
+
+        // The panicking batch returns a typed error on the coordinating
+        // thread instead of aborting or hanging it.
+        let err = sharded.apply_rows(0, vec![(t(&[1, 666]), 1)]).unwrap_err();
+        assert_eq!(err.kind(), "worker_panicked");
+        assert!(err.to_string().contains("injected lift failure"));
+
+        // The engine is poisoned: surviving workers were shut down and
+        // every subsequent operation reports it (no expects, no deadlock).
+        let err = sharded.apply_rows(0, vec![(t(&[1, 2]), 1)]).unwrap_err();
+        assert_eq!(err.kind(), "poisoned");
+        assert_eq!(sharded.result().unwrap_err().kind(), "poisoned");
+        assert_eq!(sharded.stats().unwrap_err().kind(), "poisoned");
+        // Dropping the poisoned engine joins cleanly (checked implicitly:
+        // the test would hang here if shutdown were broken).
     }
 
     #[test]
@@ -599,9 +706,9 @@ mod tests {
         let mut sharded = ShardedEngine::new(tree, lifts, 4).unwrap();
         let rows: Vec<(Tuple, i64)> = (0..40).map(|i| (t(&[i, i]), 1)).collect();
         sharded.apply_rows(0, rows).unwrap();
-        let per_shard = sharded.shard_stats();
+        let per_shard = sharded.shard_stats().unwrap();
         assert_eq!(per_shard.len(), 4);
-        let merged = sharded.stats();
+        let merged = sharded.stats().unwrap();
         assert_eq!(
             merged.rows_applied,
             per_shard.iter().map(|s| s.rows_applied).sum::<usize>()
@@ -610,7 +717,7 @@ mod tests {
         assert_eq!(merged.rows_applied, 40);
         // Every shard saw exactly one batch.
         assert!(per_shard.iter().all(|s| s.updates_applied == 1));
-        assert!(sharded.total_view_entries() > 0);
+        assert!(sharded.total_view_entries().unwrap() > 0);
         // The byte gauge sums shard footprints, and every shard that holds
         // keys reports a non-zero footprint.
         assert_eq!(

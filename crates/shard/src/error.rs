@@ -1,0 +1,125 @@
+//! Typed coordinator errors: [`ShardError`] and the [`ShardResult`] alias.
+//!
+//! The sharded engine talks to worker threads over channels, which adds two
+//! failure modes a single [`fivm_core::Engine`] does not have: a worker can
+//! *panic* while applying a command (an engine bug, a poisoned lift), and a
+//! worker thread can *die* without replying.  Both used to abort the
+//! coordinating thread via `expect`; they now surface as values, the
+//! coordinator shuts the surviving shards down cleanly, and the engine
+//! reports [`ShardError::Poisoned`] for every subsequent operation.
+
+use fivm_core::EngineError;
+use std::fmt;
+
+/// Result alias using [`ShardError`].
+pub type ShardResult<T> = std::result::Result<T, ShardError>;
+
+/// Errors raised by [`crate::ShardedEngine`]'s public surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A worker thread panicked while executing a command.  The panic
+    /// payload (if it was a string) is captured in `detail`; the engine is
+    /// poisoned afterwards.
+    WorkerPanicked { shard: usize, detail: String },
+    /// A worker thread terminated without replying — died without a
+    /// catchable panic.  The engine is poisoned afterwards.
+    Disconnected { shard: usize },
+    /// The engine was poisoned by an earlier worker failure; all shards
+    /// have been shut down and no further operations are possible.
+    Poisoned,
+    /// A per-shard engine returned an error (validation failures travel
+    /// here; they do **not** poison the engine — lockstep dispatch keeps
+    /// every shard consistent and usable).
+    Engine(EngineError),
+}
+
+impl ShardError {
+    /// Short machine-readable category name.  Engine errors pass through
+    /// their own [`EngineError::kind`], so existing `kind()` matches on
+    /// validation failures keep working against the sharded surface.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ShardError::WorkerPanicked { .. } => "worker_panicked",
+            ShardError::Disconnected { .. } => "disconnected",
+            ShardError::Poisoned => "poisoned",
+            ShardError::Engine(e) => e.kind(),
+        }
+    }
+
+    /// Whether this error poisons the engine (worker death does; engine
+    /// validation errors do not).
+    pub(crate) fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            ShardError::WorkerPanicked { .. } | ShardError::Disconnected { .. }
+        )
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::WorkerPanicked { shard, detail } => {
+                write!(f, "shard worker {shard} panicked: {detail}")
+            }
+            ShardError::Disconnected { shard } => {
+                write!(f, "shard worker {shard} terminated unexpectedly")
+            }
+            ShardError::Poisoned => {
+                write!(f, "sharded engine is poisoned by an earlier worker failure")
+            }
+            ShardError::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ShardError {
+    fn from(e: EngineError) -> Self {
+        ShardError::Engine(e)
+    }
+}
+
+impl From<fivm_common::FivmError> for ShardError {
+    fn from(e: fivm_common::FivmError) -> Self {
+        ShardError::Engine(EngineError::Query(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_common::FivmError;
+
+    #[test]
+    fn kinds_pass_through_engine_errors() {
+        let e = ShardError::from(FivmError::InvalidUpdate("bad".into()));
+        assert_eq!(e.kind(), "invalid_update");
+        assert!(!e.is_fatal());
+        let p = ShardError::WorkerPanicked {
+            shard: 2,
+            detail: "boom".into(),
+        };
+        assert_eq!(p.kind(), "worker_panicked");
+        assert!(p.is_fatal());
+        assert!(p.to_string().contains("worker 2"));
+        assert_eq!(ShardError::Poisoned.kind(), "poisoned");
+        assert_eq!(ShardError::Disconnected { shard: 0 }.kind(), "disconnected");
+    }
+
+    #[test]
+    fn engine_errors_expose_a_source() {
+        use std::error::Error;
+        let e = ShardError::from(FivmError::RingMismatch("dim".into()));
+        assert!(e.source().is_some());
+        assert!(ShardError::Poisoned.source().is_none());
+    }
+}

@@ -47,13 +47,25 @@
 //! Per-shard state also shrinks only for routed relations: broadcast views
 //! are replicated N times in memory.
 //!
+//! # Fault containment
+//!
+//! A panic inside a shard engine is caught on the worker thread and
+//! surfaces as [`ShardError::WorkerPanicked`] on the coordinating thread;
+//! a worker that dies without replying surfaces as
+//! [`ShardError::Disconnected`].  Either poisons the engine: the
+//! surviving workers are shut down cleanly (shutdown + join, no leaked
+//! threads) and later operations return [`ShardError::Poisoned`].  See
+//! [`ShardedEngine`] and [`error`].
+//!
 //! [`Tuple`]: fivm_relation::Tuple
 
 pub mod apps;
 pub mod engine;
+pub mod error;
 pub mod plan;
 
 mod worker;
 
 pub use engine::ShardedEngine;
+pub use error::{ShardError, ShardResult};
 pub use plan::{route_hash, ShardPlan};

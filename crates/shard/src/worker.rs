@@ -6,11 +6,22 @@
 //! so the channels never hold more than one in-flight reply per worker and
 //! shard stats stay comparable (`updates_applied` counts batches on every
 //! shard).
+//!
+//! Panic containment: each command runs under
+//! [`std::panic::catch_unwind`].  A panicking command sends
+//! [`Reply::Failed`] with the panic payload and then **exits the worker
+//! loop** — a panic may leave the engine's views half-updated, so the
+//! worker refuses to serve further commands rather than serve corrupt
+//! state.  The coordinator maps the reply to
+//! [`ShardError::WorkerPanicked`], poisons itself, and shuts the surviving
+//! shards down cleanly (see [`crate::ShardedEngine`]).
 
-use fivm_common::{Dict, RelId, Result};
-use fivm_core::{Engine, EngineStats, UpdateOutcome};
+use crate::error::{ShardError, ShardResult};
+use fivm_common::{Dict, RelId};
+use fivm_core::{Engine, EngineResult, EngineStats, UpdateOutcome};
 use fivm_relation::{Relation, Schema, Tuple};
 use fivm_ring::Ring;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -34,7 +45,9 @@ pub(crate) enum Cmd {
     Shutdown,
 }
 
-/// A reply from one shard; variants correspond 1:1 to [`Cmd`].
+/// A reply from one shard; variants correspond 1:1 to [`Cmd`], plus
+/// [`Reply::Failed`], which any command may produce when the engine
+/// panics while executing it.
 ///
 /// Result replies attach a snapshot of the shard's dictionary **iff** the
 /// ring carries dictionary-local words (`Ring::needs_rekey`): the
@@ -42,16 +55,20 @@ pub(crate) enum Cmd {
 /// Encoded words themselves never travel interpreted — the dictionary that
 /// produced them rides along.
 pub(crate) enum Reply<R: Ring> {
-    Bound(Result<()>),
-    Outcome(Result<UpdateOutcome>),
+    Bound(EngineResult<()>),
+    Outcome(EngineResult<UpdateOutcome>),
     Result(R, Option<Dict>),
     ResultRelation(Relation<R>, Option<Dict>),
     Stats(EngineStats),
     ViewEntries(usize),
+    /// The command panicked inside the engine; the payload describes the
+    /// panic.  The worker exits after sending this.
+    Failed(String),
 }
 
 /// Handle to one shard: its command/reply channels and the thread.
 pub(crate) struct Worker<R: Ring> {
+    shard: usize,
     cmd: Sender<Cmd>,
     reply: Receiver<Reply<R>>,
     handle: Option<JoinHandle<()>>,
@@ -67,65 +84,71 @@ impl<R: Ring> Worker<R> {
             .spawn(move || worker_loop(engine, cmd_rx, reply_tx))
             .expect("failed to spawn shard worker thread");
         Worker {
+            shard,
             cmd: cmd_tx,
             reply: reply_rx,
             handle: Some(handle),
         }
     }
 
-    /// Sends one command.  Panics if the worker died (an engine panic on a
-    /// worker is a programming error — e.g. a ring shape mismatch — and is
-    /// surfaced on the coordinating thread rather than swallowed).
-    pub(crate) fn send(&self, cmd: Cmd) {
+    /// Sends one command; errors if the worker thread is gone.
+    pub(crate) fn send(&self, cmd: Cmd) -> ShardResult<()> {
         self.cmd
             .send(cmd)
-            .expect("shard worker terminated unexpectedly");
+            .map_err(|_| ShardError::Disconnected { shard: self.shard })
     }
 
-    fn recv(&self) -> Reply<R> {
-        self.reply
-            .recv()
-            .expect("shard worker terminated unexpectedly")
+    /// Receives one reply, mapping worker death and in-worker panics to
+    /// typed errors.
+    fn recv(&self) -> ShardResult<Reply<R>> {
+        match self.reply.recv() {
+            Ok(Reply::Failed(detail)) => Err(ShardError::WorkerPanicked {
+                shard: self.shard,
+                detail,
+            }),
+            Ok(reply) => Ok(reply),
+            Err(_) => Err(ShardError::Disconnected { shard: self.shard }),
+        }
     }
 
-    pub(crate) fn recv_bound(&self) -> Result<()> {
-        match self.recv() {
-            Reply::Bound(r) => r,
+    pub(crate) fn recv_bound(&self) -> ShardResult<EngineResult<()>> {
+        match self.recv()? {
+            Reply::Bound(r) => Ok(r),
             _ => unreachable!("shard worker protocol violation: expected Bound"),
         }
     }
 
-    pub(crate) fn recv_outcome(&self) -> Result<UpdateOutcome> {
-        match self.recv() {
-            Reply::Outcome(r) => r,
+    pub(crate) fn recv_outcome(&self) -> ShardResult<EngineResult<UpdateOutcome>> {
+        match self.recv()? {
+            Reply::Outcome(r) => Ok(r),
             _ => unreachable!("shard worker protocol violation: expected Outcome"),
         }
     }
 
-    pub(crate) fn recv_result(&self) -> (R, Option<Dict>) {
-        match self.recv() {
-            Reply::Result(r, d) => (r, d),
+    pub(crate) fn recv_result(&self) -> ShardResult<(R, Option<Dict>)> {
+        match self.recv()? {
+            Reply::Result(r, d) => Ok((r, d)),
             _ => unreachable!("shard worker protocol violation: expected Result"),
         }
     }
 
-    pub(crate) fn recv_relation(&self) -> (Relation<R>, Option<Dict>) {
-        match self.recv() {
-            Reply::ResultRelation(r, d) => (r, d),
+    pub(crate) fn recv_relation(&self) -> ShardResult<(Relation<R>, Option<Dict>)> {
+        match self.recv()? {
+            Reply::ResultRelation(r, d) => Ok((r, d)),
             _ => unreachable!("shard worker protocol violation: expected ResultRelation"),
         }
     }
 
-    pub(crate) fn recv_stats(&self) -> EngineStats {
-        match self.recv() {
-            Reply::Stats(s) => s,
+    pub(crate) fn recv_stats(&self) -> ShardResult<EngineStats> {
+        match self.recv()? {
+            Reply::Stats(s) => Ok(s),
             _ => unreachable!("shard worker protocol violation: expected Stats"),
         }
     }
 
-    pub(crate) fn recv_view_entries(&self) -> usize {
-        match self.recv() {
-            Reply::ViewEntries(n) => n,
+    pub(crate) fn recv_view_entries(&self) -> ShardResult<usize> {
+        match self.recv()? {
+            Reply::ViewEntries(n) => Ok(n),
             _ => unreachable!("shard worker protocol violation: expected ViewEntries"),
         }
     }
@@ -160,10 +183,28 @@ fn dict_snapshot<R: Ring>(engine: &Engine<R>) -> Option<Dict> {
     Some(engine.ctx().snapshot())
 }
 
-/// The per-shard event loop: one engine, commands in, replies out.
+/// Renders a `catch_unwind` payload: `panic!` with a string (or format)
+/// yields that string; anything else gets a placeholder.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The per-shard event loop: one engine, commands in, replies out.  Each
+/// command runs under `catch_unwind`; a panic produces one
+/// [`Reply::Failed`] and terminates the loop (the engine may be left
+/// half-updated, so it must not serve further commands).
 fn worker_loop<R: Ring>(mut engine: Engine<R>, cmds: Receiver<Cmd>, replies: Sender<Reply<R>>) {
     while let Ok(cmd) = cmds.recv() {
-        let reply = match cmd {
+        if matches!(cmd, Cmd::Shutdown) {
+            break;
+        }
+        let attempt = catch_unwind(AssertUnwindSafe(|| match cmd {
             Cmd::Bind { rel, schema } => Reply::Bound(engine.bind_table(rel, &schema)),
             Cmd::Apply { rel, rows } => Reply::Outcome(engine.apply_rows(rel, rows)),
             Cmd::Result => Reply::Result(engine.result(), dict_snapshot(&engine)),
@@ -172,10 +213,15 @@ fn worker_loop<R: Ring>(mut engine: Engine<R>, cmds: Receiver<Cmd>, replies: Sen
             }
             Cmd::Stats => Reply::Stats(engine.stats()),
             Cmd::ViewEntries => Reply::ViewEntries(engine.total_view_entries()),
-            Cmd::Shutdown => break,
+            Cmd::Shutdown => unreachable!("handled before catch_unwind"),
+        }));
+        let (reply, dying) = match attempt {
+            Ok(reply) => (reply, false),
+            Err(payload) => (Reply::Failed(panic_detail(payload)), true),
         };
-        if replies.send(reply).is_err() {
-            // Coordinator dropped mid-operation; nothing left to serve.
+        if replies.send(reply).is_err() || dying {
+            // Coordinator dropped mid-operation, or the engine panicked:
+            // nothing left to serve either way.
             break;
         }
     }

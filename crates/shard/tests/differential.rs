@@ -148,7 +148,7 @@ fn run_differential<R: Ring + ApproxEq>(
         }
         assert_eq!(input_rows, updates.iter().map(Update::len).sum::<usize>());
 
-        let got = sorted_entries(&sharded.result_relation());
+        let got = sorted_entries(&sharded.result_relation().expect("sharded result"));
         assert_eq!(
             got.len(),
             expected.len(),
@@ -191,10 +191,10 @@ fn run_differential<R: Ring + ApproxEq>(
             fact_name.clone(),
             fact_rows.iter().map(|(r, _)| (r.clone(), -1)).collect(),
         );
-        let before = sharded.shard_stats();
+        let before = sharded.shard_stats().expect("shard stats");
         sharded.apply_update(&plus).expect("churn insert");
         sharded.apply_update(&minus).expect("churn undo");
-        let after = sharded.shard_stats();
+        let after = sharded.shard_stats().expect("shard stats");
         for (shard, (b, a)) in before.iter().zip(after.iter()).enumerate() {
             assert_eq!(
                 a.rehashes, b.rehashes,
@@ -207,7 +207,7 @@ fn run_differential<R: Ring + ApproxEq>(
         }
 
         // The churn is algebraically a no-op; results must still agree.
-        let got = sorted_entries(&sharded.result_relation());
+        let got = sorted_entries(&sharded.result_relation().expect("sharded result"));
         assert_eq!(
             got.len(),
             expected.len(),

@@ -55,6 +55,16 @@ bench-mem:
     cargo build --release --bin exp_throughput
     ./target/release/exp_throughput --quick --json /tmp/bench_mem_smoke.json
 
+# Durability gate: the crash-recovery fault-injection differential suite
+# under clippy -D warnings, then the durability cost run — merges REC-*
+# records (logged-ingest and replay rows/s, snapshot bytes and
+# save/restore times) into BENCH_ivm.json without touching other records.
+bench-recover:
+    cargo clippy -p fivm-cdc --all-targets -- -D warnings
+    cargo test -p fivm-cdc -q
+    cargo build --release --bin exp_recovery
+    ./target/release/exp_recovery
+
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations
 # (boxed Value tuples vs dictionary-encoded keys).

@@ -19,6 +19,7 @@
 //! | [`data`] | `fivm-data` | Figure-1 toy data, Retailer/Favorita generators, update streams |
 //! | [`baselines`] | `fivm-baselines` | naive re-evaluation, join maintenance, unshared aggregates |
 //! | [`shard`] | `fivm-shard` | partition-aware sharded maintenance (N engines on worker threads, ring-merged results) |
+//! | [`cdc`] | `fivm-cdc` | durability: write-ahead changelog, engine snapshots, crash recovery by replay |
 //!
 //! Two crates are not re-exported: `fivm-bench` (experiment binaries and
 //! Criterion benchmarks; `exp_throughput` also emits the machine-readable
@@ -61,6 +62,7 @@
 //! that regenerate the paper's figures.
 
 pub use fivm_baselines as baselines;
+pub use fivm_cdc as cdc;
 pub use fivm_common as common;
 pub use fivm_core as core;
 pub use fivm_data as data;
