@@ -15,13 +15,23 @@
 //!   `table_bytes` = snapshot file size;
 //! * `REC-restore-<app>` — snapshot restore: `seconds` to re-bind and
 //!   load, `table_bytes` = snapshot file size, `rehashes` after the
-//!   restore (the durability contract pins it to 0).
+//!   restore (the durability contract pins it to 0);
+//! * `REC-gc-<mode>-<app>` — **acked** ingest through the CDC service
+//!   front end at small batch sizes (`bulk_size` = rows per submitted
+//!   batch), comparing fsync intervals: `perbatch` is the
+//!   [`DurableEngine`] discipline (one fsync per batch), `group64` is
+//!   [`CdcService`] group commit (up to 64 batches per fsync).  Time is
+//!   submit-everything + `flush()` wall clock — nothing counts until it
+//!   is durably acknowledged.  Queue-depth percentiles sampled at each
+//!   submit ride in the otherwise-unused counter fields:
+//!   `delta_entries` = p50, `probes` = p95, `probe_hits` = p99, and
+//!   `table_bytes` = peak changelog bytes on disk.
 //!
 //! Run with `--quick` for a smoke-test configuration; `--json PATH`
 //! overrides the artifact location.
 
 use fivm_bench::{append_bench_json, print_table, BenchRecord, Workload};
-use fivm_cdc::{recover, DurableEngine, CHANGELOG_FILE, SNAPSHOT_FILE};
+use fivm_cdc::{recover, CdcService, DurableEngine, ServiceConfig, SNAPSHOT_FILE};
 use fivm_core::Engine;
 use fivm_relation::{Database, Update};
 use fivm_ring::PersistRing;
@@ -68,11 +78,10 @@ fn run_recovery<R: PersistRing>(
 
     // Snapshot restore: re-bind, load, replay the (empty) tail.
     let snap_path = dir.join(SNAPSHOT_FILE);
-    let log_path = dir.join(CHANGELOG_FILE);
     let mut restored = make_engine();
     let t = Instant::now();
-    let report = recover::recover(&mut restored, db, Some(&snap_path), &log_path)
-        .expect("snapshot restore");
+    let report =
+        recover::recover(&mut restored, db, Some(&snap_path), dir).expect("snapshot restore");
     let restore_secs = t.elapsed().as_secs_f64();
     assert_eq!(report.snapshot_seq, Some(snapshot_seq));
     assert_eq!(report.replayed_batches, 0);
@@ -85,8 +94,7 @@ fn run_recovery<R: PersistRing>(
     // Log-only replay: base database + the full changelog.
     let mut replayed = make_engine();
     let t = Instant::now();
-    let report =
-        recover::recover(&mut replayed, db, None, &log_path).expect("changelog replay");
+    let report = recover::recover(&mut replayed, db, None, dir).expect("changelog replay");
     let replay_secs = t.elapsed().as_secs_f64();
     assert_eq!(report.last_seq, (updates.len() + 1) as u64 - 1);
 
@@ -133,6 +141,89 @@ fn run_recovery<R: PersistRing>(
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Splits each update into batches of at most `rows` rows — the
+/// small-batch regime where per-batch fsync cost dominates and group
+/// commit pays off.
+fn rechunk(updates: &[Update], rows: usize) -> Vec<Update> {
+    let mut out = Vec::new();
+    for u in updates {
+        for chunk in u.rows.chunks(rows) {
+            out.push(Update::with_multiplicities(u.table.clone(), chunk.to_vec()));
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Group-commit experiment: acked rows/second through the CDC service at
+/// small batch sizes, per-batch fsync vs group commit.  Returns the two
+/// acked rates `(perbatch, group64)` for the summary table.
+#[allow(clippy::too_many_arguments)]
+fn run_group_commit(
+    dataset: &str,
+    app: &str,
+    make_engine: &dyn Fn() -> Engine<i64>,
+    db: &Database,
+    updates: &[Update],
+    batch_rows: usize,
+    dir: &Path,
+    records: &mut Vec<BenchRecord>,
+) -> (f64, f64) {
+    let batches = rechunk(updates, batch_rows);
+    let total_rows: usize = batches.iter().map(Update::len).sum();
+    let mut rates = [0.0f64; 2];
+
+    for (slot, (mode, group_max)) in [("perbatch", 1usize), ("group64", 64)].iter().enumerate() {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut engine = make_engine();
+        engine.load_database(db).expect("load");
+        let config = ServiceConfig {
+            queue_capacity: 4096,
+            group_commit_max: *group_max,
+            ..ServiceConfig::default()
+        };
+        let service = CdcService::start(engine, dir, config).expect("service");
+
+        let mut depths = Vec::with_capacity(batches.len());
+        let t = Instant::now();
+        for u in &batches {
+            service.submit(u.clone()).expect("submit");
+            depths.push(service.queue_depth());
+        }
+        service.flush().expect("flush");
+        let acked_secs = t.elapsed().as_secs_f64();
+
+        let done = service.shutdown();
+        assert!(done.error.is_none(), "{dataset}/{app}/{mode}: service errored");
+        assert_eq!(done.durable_seq, batches.len() as u64);
+        depths.sort_unstable();
+        rates[slot] = total_rows as f64 / acked_secs;
+
+        records.push(BenchRecord {
+            dataset: dataset.to_string(),
+            app: format!("REC-gc-{mode}-{app}"),
+            bulk_size: batch_rows,
+            updates: total_rows,
+            seconds: acked_secs,
+            delta_entries: percentile(&depths, 0.50),
+            ring_adds: 0,
+            ring_muls: 0,
+            probes: percentile(&depths, 0.95),
+            probe_hits: percentile(&depths, 0.99),
+            rehashes: 0,
+            table_bytes: done.stats.max_changelog_bytes as usize,
+        });
+    }
+    let _ = std::fs::remove_dir_all(dir);
+    (rates[0], rates[1])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -168,8 +259,10 @@ fn main() {
     let bulk_size = stream.bulk_size;
     let scratch = std::env::temp_dir().join(format!("fivm_exp_recovery_{}", std::process::id()));
 
+    let gc_batch_rows = 20;
     let mut records = Vec::new();
     let mut rows = Vec::new();
+    let mut gc_rows = Vec::new();
 
     // Retailer: continuous query — COUNT, COVAR (cofactor ring), MI.
     let w = Workload::retailer(retailer_cfg, stream, true);
@@ -206,6 +299,23 @@ fn main() {
         &mut records,
         &mut rows,
     );
+    let (per_batch, grouped) = run_group_commit(
+        w.dataset.name(),
+        "COUNT",
+        &|| w.count_engine(),
+        &w.database,
+        &w.updates,
+        gc_batch_rows,
+        &scratch,
+        &mut records,
+    );
+    gc_rows.push(vec![
+        w.dataset.name().to_string(),
+        "COUNT".to_string(),
+        format!("{per_batch:.0}"),
+        format!("{grouped:.0}"),
+        format!("{:.1}x", grouped / per_batch),
+    ]);
 
     // Favorita: mixed features — COUNT, generalized COVAR, MI.
     let w = Workload::favorita(favorita_cfg, stream);
@@ -242,6 +352,23 @@ fn main() {
         &mut records,
         &mut rows,
     );
+    let (per_batch, grouped) = run_group_commit(
+        w.dataset.name(),
+        "COUNT",
+        &|| w.count_engine(),
+        &w.database,
+        &w.updates,
+        gc_batch_rows,
+        &scratch,
+        &mut records,
+    );
+    gc_rows.push(vec![
+        w.dataset.name().to_string(),
+        "COUNT".to_string(),
+        format!("{per_batch:.0}"),
+        format!("{grouped:.0}"),
+        format!("{:.1}x", grouped / per_batch),
+    ]);
 
     println!("\nDurability: logged ingest, replay recovery, snapshot costs");
     print_table(
@@ -257,6 +384,14 @@ fn main() {
         &rows,
     );
     println!("\n(REC-restore rehashes are asserted 0: restore re-buckets from stored hashes.)");
+
+    println!(
+        "\nGroup commit: acked rows/s through the CDC service ({gc_batch_rows}-row batches)"
+    );
+    print_table(
+        &["dataset", "app", "per-batch fsync", "group commit (64)", "speedup"],
+        &gc_rows,
+    );
 
     match append_bench_json(&json_path, "REC-", &records) {
         Ok(()) => println!("merged {} REC-* records into {json_path}", records.len()),

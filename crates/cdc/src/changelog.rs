@@ -21,6 +21,15 @@ use fivm_relation::{Tuple, Update};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Shared fsync-fault injector: each pending count > 0 makes the next
+/// [`ChangelogWriter::sync`] fail (and poison the writer) instead of
+/// reaching the disk.  Lives in the library — like [`crate::fault`] — so
+/// integration tests and the service-level fault suite can arm it through
+/// [`crate::ServiceConfig`].
+pub type SyncFaults = Arc<AtomicU32>;
 
 /// Changelog file magic.
 pub const CHANGELOG_MAGIC: &[u8; 4] = b"FVCL";
@@ -167,23 +176,58 @@ fn read_tuple(r: &mut WireReader<'_>) -> WireResult<Tuple> {
     Ok(vals.into_boxed_slice())
 }
 
-/// Appends framed [`CdcBatch`] records to a changelog file, one durable
-/// write per batch.
+/// Appends framed [`CdcBatch`] records to a changelog file.
+///
+/// Two write disciplines are offered:
+///
+/// * [`ChangelogWriter::append`] — one durable write per batch (write +
+///   `fsync`), the per-batch discipline [`crate::DurableEngine`] uses;
+/// * [`ChangelogWriter::append_unsynced`] + [`ChangelogWriter::sync`] —
+///   group commit: many appends share one `fsync`, amortizing the
+///   durability cost.  Nothing appended is durable (and nothing may be
+///   acknowledged) until the `sync` returns `Ok`.
+///
+/// **Poisoning.**  After *any* append or sync failure the writer enters a
+/// poisoned state and refuses all further work with
+/// [`CdcError::Poisoned`].  This is load-bearing for the write-ahead
+/// guarantee: after a failed `fsync` the kernel may have dropped the dirty
+/// pages, so retrying the sync could report success without the earlier
+/// bytes ever reaching disk — the only safe continuation is recovery from
+/// the on-disk prefix.
 pub struct ChangelogWriter {
     file: File,
     next_seq: u64,
+    /// File length in bytes (header + every appended record, synced or
+    /// not) — segment rotation decisions read this instead of stat-ing.
+    len: u64,
+    /// Set on the first append/sync failure; never cleared.
+    poisoned: bool,
+    sync_faults: Option<SyncFaults>,
 }
 
 impl ChangelogWriter {
     /// Creates a fresh changelog (truncating any previous file) and writes
     /// its header.  Sequence numbers start at 1.
     pub fn create(path: impl AsRef<Path>) -> CdcResult<ChangelogWriter> {
+        Self::create_at(path, 1)
+    }
+
+    /// Creates a fresh changelog whose first batch will carry `first_seq`
+    /// — a rotated *segment* continuing an existing sequence.
+    pub fn create_at(path: impl AsRef<Path>, first_seq: u64) -> CdcResult<ChangelogWriter> {
+        assert!(first_seq >= 1, "changelog sequence numbers start at 1");
         let mut file = File::create(path)?;
         let mut header = Vec::with_capacity(framing::HEADER_LEN);
         framing::put_header(&mut header, CHANGELOG_MAGIC, CHANGELOG_VERSION);
         file.write_all(&header)?;
         file.sync_data()?;
-        Ok(ChangelogWriter { file, next_seq: 1 })
+        Ok(ChangelogWriter {
+            file,
+            next_seq: first_seq,
+            len: framing::HEADER_LEN as u64,
+            poisoned: false,
+            sync_faults: None,
+        })
     }
 
     /// Reopens an existing changelog for appending, continuing after the
@@ -192,9 +236,17 @@ impl ChangelogWriter {
     /// are overwritten by truncating to the valid prefix first, so the
     /// file never accretes garbage between valid records.
     pub fn open_append(path: impl AsRef<Path>) -> CdcResult<ChangelogWriter> {
+        Self::open_append_at(path, 1)
+    }
+
+    /// [`ChangelogWriter::open_append`] for a segment that may be *empty*
+    /// (rotation crashed before its first append): with no valid records,
+    /// the next sequence number is `base_seq` — the number the segment was
+    /// rotated to carry — instead of 1.
+    pub fn open_append_at(path: impl AsRef<Path>, base_seq: u64) -> CdcResult<ChangelogWriter> {
         let path = path.as_ref();
         let (batches, end) = read_changelog(path)?;
-        let next_seq = batches.last().map_or(1, |b| b.seq + 1);
+        let next_seq = batches.last().map_or(base_seq, |b| b.seq + 1);
         let valid_len = match end {
             LogEnd::Clean => None,
             LogEnd::TornTail { valid_len } | LogEnd::Corrupt { valid_len } => Some(valid_len),
@@ -203,15 +255,47 @@ impl ChangelogWriter {
         if let Some(len) = valid_len {
             file.set_len(len as u64)?;
         }
-        let mut w = ChangelogWriter { file, next_seq };
+        let mut w = ChangelogWriter {
+            file,
+            next_seq,
+            len: 0,
+            poisoned: false,
+            sync_faults: None,
+        };
         use std::io::Seek;
-        w.file.seek(std::io::SeekFrom::End(0))?;
+        w.len = w.file.seek(std::io::SeekFrom::End(0))?;
         Ok(w)
     }
 
     /// The sequence number the next appended batch will carry.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
+    }
+
+    /// File length in bytes (header plus every appended record).
+    pub fn file_len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether an earlier append/sync failure poisoned this writer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Arms the fsync fault injector: while `faults` holds a non-zero
+    /// count, each [`ChangelogWriter::sync`] decrements it and fails
+    /// (poisoning the writer) instead of syncing.
+    pub fn set_sync_faults(&mut self, faults: SyncFaults) {
+        self.sync_faults = Some(faults);
+    }
+
+    fn check_poisoned(&self) -> CdcResult<()> {
+        if self.poisoned {
+            return Err(CdcError::Poisoned(
+                "changelog writer refused: an earlier append or fsync failed".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Appends one update as a durable batch and returns its sequence
@@ -223,8 +307,19 @@ impl ChangelogWriter {
         Ok(batch.seq)
     }
 
-    /// Appends one pre-built batch (its `seq` must be the writer's next).
+    /// Appends one pre-built batch (its `seq` must be the writer's next)
+    /// and syncs it — one durable write per batch.
     pub fn append(&mut self, batch: &CdcBatch) -> CdcResult<()> {
+        self.append_unsynced(batch)?;
+        self.sync()
+    }
+
+    /// Appends one batch *without* syncing.  The batch is **not durable**
+    /// until a later [`ChangelogWriter::sync`] returns `Ok` — group commit
+    /// amortizes that sync over many appends, and the caller must not
+    /// acknowledge any of them before it.
+    pub fn append_unsynced(&mut self, batch: &CdcBatch) -> CdcResult<()> {
+        self.check_poisoned()?;
         assert_eq!(
             batch.seq, self.next_seq,
             "changelog batches must be appended in sequence"
@@ -233,9 +328,36 @@ impl ChangelogWriter {
         batch.encode(&mut payload);
         let mut framed = Vec::with_capacity(payload.len() + framing::RECORD_OVERHEAD);
         framing::put_record(&mut framed, &payload);
-        self.file.write_all(&framed)?;
-        self.file.sync_data()?;
+        if let Err(e) = self.file.write_all(&framed) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.len += framed.len() as u64;
         self.next_seq += 1;
+        Ok(())
+    }
+
+    /// Syncs every appended record to disk.  On `Ok`, everything appended
+    /// so far is durable; on `Err`, the writer is poisoned — whether the
+    /// pending bytes reached the disk is unknowable, so no batch appended
+    /// since the last successful sync may be acknowledged, ever.
+    pub fn sync(&mut self) -> CdcResult<()> {
+        self.check_poisoned()?;
+        if let Some(faults) = &self.sync_faults {
+            if faults
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                self.poisoned = true;
+                return Err(CdcError::Io(std::io::Error::other(
+                    "injected fsync failure (sync fault hook)",
+                )));
+            }
+        }
+        if let Err(e) = self.file.sync_data() {
+            self.poisoned = true;
+            return Err(e.into());
+        }
         Ok(())
     }
 }
@@ -344,6 +466,65 @@ mod tests {
         assert!(end.is_clean(), "reopen truncated the torn bytes");
         assert_eq!(batches.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(batches[1].to_rows(), vec![(row(&[3]), 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_failed_fsync_poisons_the_writer_for_good() {
+        let dir = tempdir("poison");
+        let path = dir.join("log");
+        let mut w = ChangelogWriter::create(&path).unwrap();
+        w.append_update(&Update::inserts("T", vec![row(&[1])])).unwrap();
+
+        // Arm one injected fsync failure: the append's write lands in the
+        // file, the sync fails, the batch must never be acknowledged.
+        let faults: SyncFaults = Arc::new(AtomicU32::new(1));
+        w.set_sync_faults(Arc::clone(&faults));
+        let err = w.append_update(&Update::inserts("T", vec![row(&[2])])).unwrap_err();
+        assert_eq!(err.kind(), "io", "{err}");
+        assert!(w.is_poisoned());
+        assert_eq!(faults.load(Ordering::SeqCst), 0, "one fault consumed");
+
+        // The hook is spent, a retry *could* sync — but the writer must
+        // refuse: after a failed fsync the earlier bytes' durability is
+        // unknowable, and a silent retry would forge the write-ahead ack.
+        let err = w.append_update(&Update::inserts("T", vec![row(&[3])])).unwrap_err();
+        assert_eq!(err.kind(), "poisoned", "{err}");
+        let err = w.sync().unwrap_err();
+        assert_eq!(err.kind(), "poisoned", "{err}");
+        drop(w);
+
+        // Reopening recovers the durable prefix: batch 1 for sure; batch 2
+        // may or may not have reached the disk (its sync failed), but the
+        // log is structurally valid either way and the sequence continues.
+        let w = ChangelogWriter::open_append(&path).unwrap();
+        assert!(w.next_seq() == 2 || w.next_seq() == 3);
+        let (batches, _) = read_changelog(&path).unwrap();
+        assert_eq!(batches[0].to_rows(), vec![(row(&[1]), 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_appends_are_invisible_until_sync() {
+        let dir = tempdir("group");
+        let path = dir.join("log");
+        let mut w = ChangelogWriter::create(&path).unwrap();
+        let before = w.file_len();
+        w.append_unsynced(&CdcBatch::from_update(1, &Update::inserts("T", vec![row(&[1])])))
+            .unwrap();
+        w.append_unsynced(&CdcBatch::from_update(2, &Update::inserts("T", vec![row(&[2])])))
+            .unwrap();
+        assert!(w.file_len() > before);
+        w.sync().unwrap();
+        assert_eq!(w.next_seq(), 3);
+        let (batches, end) = read_changelog(&path).unwrap();
+        assert!(end.is_clean());
+        assert_eq!(batches.len(), 2);
+        assert_eq!(
+            w.file_len(),
+            std::fs::metadata(&path).unwrap().len(),
+            "writer length tracking matches the file"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

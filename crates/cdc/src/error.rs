@@ -19,6 +19,23 @@ pub enum CdcError {
     Corrupt(String),
     /// The engine rejected restored or replayed state.
     Engine(EngineError),
+    /// A bounded ingest queue refused a batch: the queue was full and the
+    /// backpressure policy was [`Reject`](crate::BackpressurePolicy::Reject),
+    /// or a [`Block`](crate::BackpressurePolicy::Block) deadline expired
+    /// while the queue stayed full.  `queued` is the queue depth at
+    /// refusal.  Retryable by design — the batch was *not* enqueued and
+    /// nothing was lost.
+    Backpressure { queued: usize },
+    /// The durability pipeline hit an unrecoverable failure earlier (a
+    /// failed append or `fsync`, or an engine error mid-apply) and now
+    /// refuses all further work: an acknowledged batch must be on disk,
+    /// and after a failed sync the writer cannot claim that again.  The
+    /// string is the original failure.  Recover from the durable artifacts
+    /// to resume — the acked prefix is intact.
+    Poisoned(String),
+    /// The service was asked to shut down; no further batches are
+    /// accepted (queued batches still drain durably).
+    Shutdown,
 }
 
 impl CdcError {
@@ -28,6 +45,9 @@ impl CdcError {
             CdcError::Io(_) => "io",
             CdcError::Corrupt(_) => "corrupt",
             CdcError::Engine(e) => e.kind(),
+            CdcError::Backpressure { .. } => "backpressure",
+            CdcError::Poisoned(_) => "poisoned",
+            CdcError::Shutdown => "shutdown",
         }
     }
 }
@@ -38,6 +58,13 @@ impl fmt::Display for CdcError {
             CdcError::Io(e) => write!(f, "durability I/O error: {e}"),
             CdcError::Corrupt(msg) => write!(f, "corrupt durable file: {msg}"),
             CdcError::Engine(e) => e.fmt(f),
+            CdcError::Backpressure { queued } => {
+                write!(f, "ingest queue full ({queued} batches queued): backpressure")
+            }
+            CdcError::Poisoned(msg) => {
+                write!(f, "durability pipeline poisoned by earlier failure: {msg}")
+            }
+            CdcError::Shutdown => write!(f, "CDC service is shutting down"),
         }
     }
 }
@@ -47,7 +74,10 @@ impl std::error::Error for CdcError {
         match self {
             CdcError::Io(e) => Some(e),
             CdcError::Engine(e) => Some(e),
-            CdcError::Corrupt(_) => None,
+            CdcError::Corrupt(_)
+            | CdcError::Backpressure { .. }
+            | CdcError::Poisoned(_)
+            | CdcError::Shutdown => None,
         }
     }
 }

@@ -1,25 +1,30 @@
 //! Durability and fault tolerance for the F-IVM engine: CDC changelog
-//! ingestion, engine snapshots, and crash recovery by replay.
+//! ingestion, engine snapshots, crash recovery by replay, and a bounded
+//! ingest service with group commit.
 //!
 //! The maintenance engine ([`fivm_core::Engine`]) is an in-memory
 //! structure; this crate makes its state survive restarts and crashes
 //! with three artifacts, all hand-rolled binary formats (the build
 //! environment is offline — even the CRC is in-tree, [`crc`]):
 //!
-//! * **Changelog** ([`changelog`]) — an append-only file of row-level
-//!   change batches (insert / delete / update ops over decoded values),
-//!   one checksummed record per batch.  Write-ahead: a batch is synced to
-//!   the log before it is applied to the engine.
+//! * **Changelog** ([`changelog`], [`segment`]) — an append-only sequence
+//!   of row-level change batches (insert / delete / update ops over
+//!   decoded values), one checksummed record per batch, stored as
+//!   size-bounded **segment** files (`changelog-<seq>.fvcl`) that rotate
+//!   as they fill and are retired once a snapshot covers them.
+//!   Write-ahead: a batch is synced to the log before it is applied to
+//!   the engine.
 //! * **Snapshot** ([`snapshot`]) — a point-in-time serialization of the
 //!   engine (dictionary, every view's `(hash, key, payload)` entries)
 //!   tagged with the changelog sequence number it includes; written
 //!   atomically via temp-file + rename.
 //! * **Recovery** ([`recover`]) — load the snapshot (or the base
-//!   database when there is none), then replay the changelog tail.  The
-//!   result is **bit-identical** to an engine that applied the same
-//!   durable prefix without interruption; the fault-injection suite in
-//!   `tests/` proves it under torn tails, flipped bytes, and crashes at
-//!   every batch/snapshot/append boundary.
+//!   database when there is none), then replay the changelog tail across
+//!   segment boundaries.  The result is **bit-identical** to an engine
+//!   that applied the same durable prefix without interruption; the
+//!   fault-injection suite in `tests/` proves it under torn tails,
+//!   flipped bytes, and crashes at every batch/snapshot/rotation/
+//!   retirement boundary.
 //!
 //! Why partial failures are detectable rather than silent: every record
 //! is framed `[len][crc32][payload]` ([`framing`]).  A crash mid-append
@@ -27,7 +32,9 @@
 //! end-of-log); damaged bytes fail their checksum (classified
 //! [`LogEnd::Corrupt`], ending the durable prefix).  Replay stops at the
 //! damage point in both cases — the suffix was never durable, which is
-//! exactly what an appending, syncing writer guarantees.
+//! exactly what an appending, syncing writer guarantees.  Damage in a
+//! *sealed* segment (one the log rotated past) is bit rot, not a crash
+//! artifact, and fails loudly instead ([`segment`]).
 //!
 //! Contracts carried across a restart (ROADMAP.md "durability contract"):
 //!
@@ -42,11 +49,22 @@
 //!   ([`fivm_ring::PersistRing`]); replay uses the live ingestion path in
 //!   the original batch order, so even non-associative float state
 //!   matches bit-for-bit.
+//! * **Ack ⇒ durable** — nothing is acknowledged before the fsync that
+//!   covers it returns `Ok`, and a failed append or fsync **poisons** the
+//!   pipeline ([`CdcError::Poisoned`]): after a failed sync, durability
+//!   of the pending bytes is unknowable, so the only safe continuation is
+//!   recovery from the on-disk prefix.
 //!
-//! The usual entry point is [`DurableEngine`], which owns an engine plus
-//! its changelog and snapshot paths and enforces the write-ahead
-//! ordering.  The underlying primitives are public for finer control and
-//! for the fault-injection tests.
+//! Two front ends sit on these primitives:
+//!
+//! * [`DurableEngine`] — the synchronous façade: one fsync per batch,
+//!   snapshots on demand.  Simple, and the per-batch-durability baseline
+//!   the benches compare group commit against.
+//! * [`CdcService`] ([`service`]) — the deployable shape: a bounded
+//!   ingest queue with an explicit [`BackpressurePolicy`], **group
+//!   commit** (many batches per fsync), snapshot scheduling by log
+//!   growth, and segment retirement — disk stays bounded under an
+//!   infinite churn stream.
 
 pub mod changelog;
 pub mod crc;
@@ -54,21 +72,25 @@ pub mod error;
 pub mod fault;
 pub mod framing;
 pub mod recover;
+pub mod segment;
+pub mod service;
 pub mod snapshot;
 
-pub use changelog::{read_changelog, CdcBatch, CdcOp, ChangelogWriter};
+pub use changelog::{read_changelog, CdcBatch, CdcOp, ChangelogWriter, SyncFaults};
 pub use error::{CdcError, CdcResult};
 pub use framing::LogEnd;
 pub use recover::{recover, RecoveryReport};
+pub use segment::{list_segments, read_log_dir, segment_file_name, SegmentedLog};
+pub use service::{
+    BackpressurePolicy, CdcService, CommitGate, ServiceConfig, ServiceShutdown, ServiceStats,
+};
 pub use snapshot::{load_snapshot, read_snapshot, write_snapshot};
 
 use fivm_core::{Engine, UpdateOutcome};
 use fivm_relation::{Database, Update};
 use fivm_ring::PersistRing;
+use segment::DEFAULT_SEGMENT_BYTES;
 use std::path::{Path, PathBuf};
-
-/// File name of the changelog inside a durable directory.
-pub const CHANGELOG_FILE: &str = "changelog.fvcl";
 
 /// File name of the snapshot inside a durable directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.fvsn";
@@ -80,32 +102,42 @@ pub const SNAPSHOT_FILE: &str = "snapshot.fvsn";
 /// *then* applies it to the engine.  A crash between the two is safe:
 /// recovery replays the logged batch, converging on the same state.
 ///
-/// Snapshots ([`DurableEngine::snapshot`]) bound replay time; the
-/// changelog is **not** truncated afterwards (recovery skips batches the
-/// snapshot already includes), so an older snapshot plus the same log
-/// still recovers.
+/// The changelog is segmented ([`SegmentedLog`]): appends rotate to a new
+/// `changelog-<seq>.fvcl` file at the size bound, and recovery replays
+/// across the boundaries.  Snapshots ([`DurableEngine::snapshot`]) bound
+/// replay time; segments are **not** retired here (recovery skips batches
+/// the snapshot already includes, and an older snapshot plus the same log
+/// still recovers) — [`CdcService`] is the front end that retires.
 pub struct DurableEngine<R: PersistRing> {
     engine: Engine<R>,
-    log: ChangelogWriter,
+    log: SegmentedLog,
     snapshot_path: PathBuf,
     /// Sequence number of the last batch applied to the in-memory engine.
-    applied_seq: u64,
+    pub(crate) applied_seq: u64,
 }
 
 impl<R: PersistRing> DurableEngine<R> {
     /// Wraps a freshly built engine, creating a new (empty) changelog in
-    /// `dir`.  Any previous changelog there is truncated; an existing
-    /// snapshot is removed (it describes state this engine never had).
+    /// `dir`.  Any previous changelog segments there are deleted; an
+    /// existing snapshot (and any stray snapshot temp file) is removed —
+    /// they describe state this engine never had.
     pub fn create(engine: Engine<R>, dir: impl AsRef<Path>) -> CdcResult<Self> {
+        Self::create_with(engine, dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`DurableEngine::create`] with an explicit segment-rotation
+    /// threshold in bytes.
+    pub fn create_with(
+        engine: Engine<R>,
+        dir: impl AsRef<Path>,
+        max_segment_bytes: u64,
+    ) -> CdcResult<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let snapshot_path = dir.join(SNAPSHOT_FILE);
-        match std::fs::remove_file(&snapshot_path) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
-        let log = ChangelogWriter::create(dir.join(CHANGELOG_FILE))?;
+        remove_if_exists(&snapshot_path)?;
+        remove_if_exists(&snapshot_path.with_extension("tmp"))?;
+        let log = SegmentedLog::create(dir, max_segment_bytes)?;
         Ok(DurableEngine {
             engine,
             log,
@@ -116,20 +148,43 @@ impl<R: PersistRing> DurableEngine<R> {
 
     /// Recovers from the durable artifacts in `dir` into a freshly built
     /// engine (same plan, ring and lifts as the crashed one), then reopens
-    /// the changelog for appending.  See [`recover::recover`] for the
-    /// snapshot-vs-full-replay split and the bit-identity argument.
+    /// the changelog for appending.  A stray `snapshot.fvsn.tmp` from a
+    /// crashed save is deleted first — the rename never happened, so it is
+    /// garbage.  See [`recover::recover`] for the snapshot-vs-full-replay
+    /// split and the bit-identity argument.
     pub fn recover(
-        mut engine: Engine<R>,
+        engine: Engine<R>,
         db: &Database,
         dir: impl AsRef<Path>,
     ) -> CdcResult<(Self, RecoveryReport)> {
+        Self::recover_with(engine, db, dir, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`DurableEngine::recover`] with an explicit segment-rotation
+    /// threshold for the reopened log.
+    pub fn recover_with(
+        mut engine: Engine<R>,
+        db: &Database,
+        dir: impl AsRef<Path>,
+        max_segment_bytes: u64,
+    ) -> CdcResult<(Self, RecoveryReport)> {
         let dir = dir.as_ref();
         let snapshot_path = dir.join(SNAPSHOT_FILE);
+        remove_if_exists(&snapshot_path.with_extension("tmp"))?;
         let snapshot = snapshot_path.exists().then_some(snapshot_path.as_path());
-        let report = recover::recover(&mut engine, db, snapshot, &dir.join(CHANGELOG_FILE))?;
-        // Reopening truncates any torn/corrupt tail to the valid prefix,
-        // so the next append continues the durable sequence.
-        let log = ChangelogWriter::open_append(dir.join(CHANGELOG_FILE))?;
+        let report = recover::recover(&mut engine, db, snapshot, dir)?;
+        // Reopening truncates any torn/corrupt tail in the active segment
+        // to the valid prefix, so the next append continues the durable
+        // sequence.
+        let log = SegmentedLog::open_append(dir, max_segment_bytes, report.last_seq + 1)?;
+        if log.next_seq() <= report.last_seq {
+            return Err(CdcError::Corrupt(format!(
+                "changelog continues at seq {} but recovery reached seq {}: the log lost \
+                 durable batches a snapshot still covers",
+                log.next_seq(),
+                report.last_seq
+            )));
+        }
         Ok((
             DurableEngine {
                 engine,
@@ -165,9 +220,21 @@ impl<R: PersistRing> DurableEngine<R> {
         Ok(self.applied_seq)
     }
 
+    /// Deletes sealed changelog segments entirely covered by a snapshot
+    /// at `snapshot_seq` (see [`SegmentedLog::retire`]); returns how many
+    /// were deleted.
+    pub fn retire_segments(&mut self, snapshot_seq: u64) -> CdcResult<usize> {
+        self.log.retire(snapshot_seq)
+    }
+
     /// Sequence number of the last batch applied to the engine.
     pub fn applied_seq(&self) -> u64 {
         self.applied_seq
+    }
+
+    /// Total changelog bytes on disk across every segment.
+    pub fn changelog_bytes(&self) -> u64 {
+        self.log.total_bytes()
     }
 
     /// The wrapped engine (results, stats, views).
@@ -185,5 +252,13 @@ impl<R: PersistRing> DurableEngine<R> {
     /// Consumes the wrapper, returning the engine.
     pub fn into_engine(self) -> Engine<R> {
         self.engine
+    }
+}
+
+pub(crate) fn remove_if_exists(path: &Path) -> CdcResult<()> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
     }
 }

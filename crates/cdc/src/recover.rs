@@ -1,4 +1,4 @@
-//! Crash recovery: latest valid snapshot + changelog tail replay.
+//! Crash recovery: latest valid snapshot + segmented changelog replay.
 //!
 //! The recovered engine is **bit-identical** to an uninterrupted engine
 //! that applied the same durable prefix, because every piece of the
@@ -10,18 +10,28 @@
 //! * replayed batches carry decoded rows and flow through
 //!   [`fivm_core::Engine::apply_update`] — the same code path, in the
 //!   same batch and row order, as live ingestion;
-//! * a torn or corrupt changelog tail marks where durability ended; the
-//!   batches before it are applied, the bytes after it are treated as
-//!   never written.
+//! * a torn or corrupt tail in the **active** (newest) changelog segment
+//!   marks where durability ended; the batches before it are applied, the
+//!   bytes after it are treated as never written.  Damage in a *sealed*
+//!   segment is a loud [`CdcError::Corrupt`] instead — those bytes were
+//!   fully synced at rotation, so the damage is bit rot, and silently
+//!   skipping it would drop acknowledged batches (see [`crate::segment`]).
+//!
+//! The changelog is a **directory** of size-bounded segments; replay
+//! walks them in sequence order, enforcing exact sequence continuity
+//! across segment boundaries, and a gap between the snapshot and the
+//! oldest retained segment (a snapshot older than retirement assumed) is
+//! an error, not a silent skip.
 //!
 //! What is *not* identical: work counters ([`fivm_core::EngineStats`])
 //! restart from the snapshot point, and `rehashes` / `ring_rehashes` are
 //! 0 right after a restore (pre-sized tables, stored hashes) — which is
 //! the hash-once contract carrying over a restart, not a divergence.
 
-use crate::changelog::{read_changelog, CdcBatch};
-use crate::error::CdcResult;
+use crate::changelog::CdcBatch;
+use crate::error::{CdcError, CdcResult};
 use crate::framing::LogEnd;
+use crate::segment::read_log_dir;
 use crate::snapshot::load_snapshot;
 use fivm_core::Engine;
 use fivm_relation::Database;
@@ -40,20 +50,29 @@ pub struct RecoveryReport {
     pub replayed_rows: usize,
     /// Highest sequence number applied into the engine (0 = none).
     pub last_seq: u64,
-    /// How the changelog scan ended; [`LogEnd::Clean`] unless the log has
-    /// a torn or corrupt tail (whose suffix was skipped as never-durable).
+    /// How the changelog scan ended; [`LogEnd::Clean`] unless the active
+    /// segment has a torn or corrupt tail (whose suffix was skipped as
+    /// never-durable).
     pub log_end: LogEnd,
+    /// Changelog segment files scanned.
+    pub segments_scanned: usize,
 }
 
 /// Rebuilds engine state into `engine`, which must be freshly constructed
 /// with the same plan, ring and lifts as the engine that wrote the files.
 ///
-/// With a snapshot: base-table layouts are re-bound from `db`'s schemas,
-/// the snapshot state is restored, and changelog batches with `seq`
-/// greater than the snapshot's are replayed.  Without one: `db` is loaded
-/// from scratch (binding included) and the whole changelog is replayed —
-/// so recovery works from any prefix of the durable artifacts, including
-/// "log only".
+/// `log_dir` is the durable directory holding the changelog segments
+/// (`changelog-<seq>.fvcl`).  With a snapshot: base-table layouts are
+/// re-bound from `db`'s schemas, the snapshot state is restored, and
+/// changelog batches with `seq` greater than the snapshot's are replayed.
+/// Without one: `db` is loaded from scratch (binding included) and the
+/// whole changelog is replayed — so recovery works from any prefix of the
+/// durable artifacts, including "log only".
+///
+/// Fails with [`CdcError::Corrupt`] when the retained segments cannot
+/// reach the snapshot: the oldest segment starts past `snapshot_seq + 1`
+/// (its predecessors were retired against a *newer* snapshot than the one
+/// supplied), or there is no snapshot and the log does not start at 1.
 ///
 /// `db` must be the same base database the original engine loaded; its
 /// *rows* are only read in the no-snapshot path, but its schemas define
@@ -62,9 +81,9 @@ pub fn recover<R: PersistRing>(
     engine: &mut Engine<R>,
     db: &Database,
     snapshot: Option<&Path>,
-    changelog: &Path,
+    log_dir: &Path,
 ) -> CdcResult<RecoveryReport> {
-    let (batches, log_end) = read_changelog(changelog)?;
+    let scan = read_log_dir(log_dir)?;
     let snapshot_seq = match snapshot {
         Some(path) => {
             // Bindings are part of the engine-construction recipe, not the
@@ -73,7 +92,7 @@ pub fn recover<R: PersistRing>(
             for rel in 0..spec.num_relations() {
                 let name = &spec.relation(rel).name;
                 let table = db.table(name).ok_or_else(|| {
-                    crate::error::CdcError::Corrupt(format!(
+                    CdcError::Corrupt(format!(
                         "recovery database has no table named `{name}`"
                     ))
                 })?;
@@ -87,14 +106,24 @@ pub fn recover<R: PersistRing>(
         }
     };
     let from = snapshot_seq.unwrap_or(0);
+    if let Some(oldest) = scan.oldest_seq {
+        if oldest > from + 1 {
+            return Err(CdcError::Corrupt(format!(
+                "changelog starts at seq {oldest} but the supplied snapshot covers only \
+                 through seq {from}: the intervening segments were retired against a \
+                 newer snapshot — recover with that snapshot instead"
+            )));
+        }
+    }
     let mut report = RecoveryReport {
         snapshot_seq,
         replayed_batches: 0,
         replayed_rows: 0,
         last_seq: from,
-        log_end,
+        log_end: scan.end,
+        segments_scanned: scan.segments,
     };
-    for batch in &batches {
+    for batch in &scan.batches {
         if batch.seq <= from {
             continue;
         }

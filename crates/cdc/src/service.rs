@@ -1,0 +1,647 @@
+//! The CDC service front end: a bounded ingest queue feeding a durable
+//! engine through group commit, with segment rotation, snapshot
+//! scheduling, and retirement driven from the commit loop.
+//!
+//! Shape: producers call [`CdcService::submit`] from any thread; a single
+//! **commit thread** owns the engine and the segmented changelog and
+//! drains the queue in *groups*:
+//!
+//! ```text
+//! submit() → [bounded queue] → drain ≤ group_commit_max
+//!                              → N × append_unsynced → 1 × fsync   (durable)
+//!                              → N × engine.apply_update           (applied)
+//!                              → snapshot?  → retire old segments
+//! ```
+//!
+//! **Group commit ack rule.**  Nothing is acknowledged until the group's
+//! single `fsync` returns `Ok` — [`CdcService::durable_seq`] only
+//! advances past a batch after the sync that covers it, and
+//! [`CdcService::flush`] returns only once every accepted batch is both
+//! durable and applied.  If any append, sync, or apply fails, the service
+//! **poisons**: every later call returns [`CdcError::Poisoned`], and no
+//! batch after the failure is ever acknowledged (see
+//! [`crate::changelog::ChangelogWriter`] for why a failed fsync cannot be
+//! retried).
+//!
+//! **Backpressure.**  The queue holds at most `queue_capacity` pending
+//! batches (one in-flight commit group may be buffered beyond that).
+//! When it is full, [`BackpressurePolicy`] decides: block with a
+//! deadline, reject with a typed error, or shed the oldest *pending*
+//! batch (lossy sources).  A shed batch is never appended, applied, or
+//! acknowledged — [`ServiceStats::shed_batches`] counts the loss.
+//!
+//! **Snapshot scheduling.**  After each applied group the loop checks the
+//! log-growth policy (`snapshot_every_bytes` / `snapshot_every_batches`);
+//! when due it writes an atomic snapshot at the just-applied sequence
+//! number and retires every sealed segment the snapshot covers, which is
+//! what bounds disk under an infinite churn stream.
+//!
+//! Shutdown drains: batches accepted before [`CdcService::shutdown`] are
+//! still committed durably and applied; submissions racing shutdown get
+//! [`CdcError::Shutdown`] and were *not* enqueued.
+
+use crate::changelog::SyncFaults;
+use crate::error::{CdcError, CdcResult};
+use crate::segment::{SegmentedLog, DEFAULT_SEGMENT_BYTES};
+use crate::snapshot::write_snapshot;
+use crate::{remove_if_exists, RecoveryReport, SNAPSHOT_FILE};
+use fivm_core::Engine;
+use fivm_relation::{Database, Update};
+use fivm_ring::PersistRing;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What [`CdcService::submit`] does when the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait up to `deadline` for the commit thread to free space, then
+    /// fail with [`CdcError::Backpressure`].  The default: lossless, and
+    /// a stalled engine surfaces as submit latency instead of memory
+    /// growth.
+    Block { deadline: Duration },
+    /// Fail immediately with [`CdcError::Backpressure`]; the caller owns
+    /// the retry loop.
+    Reject,
+    /// Drop the **oldest pending** batch to make room (it is counted in
+    /// [`ServiceStats::shed_batches`] and never acknowledged), then
+    /// enqueue the new one.  For lossy sources where freshness beats
+    /// completeness; never sheds a batch already in a commit group.
+    ShedOldest,
+}
+
+/// Configuration for [`CdcService::start`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Maximum pending (not yet drained) batches; `submit` applies the
+    /// backpressure policy beyond this.
+    pub queue_capacity: usize,
+    /// What `submit` does when the queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Maximum batches coalesced under one changelog fsync.
+    pub group_commit_max: usize,
+    /// Changelog segment rotation threshold in bytes.
+    pub max_segment_bytes: u64,
+    /// Snapshot after this many appended changelog bytes (`None` = no
+    /// byte trigger).
+    pub snapshot_every_bytes: Option<u64>,
+    /// Snapshot after this many applied batches (`None` = no batch
+    /// trigger).
+    pub snapshot_every_batches: Option<u64>,
+    /// Whether to delete sealed segments a snapshot has made obsolete.
+    pub retire_segments: bool,
+    /// Fault hook: injected fsync failures (see
+    /// [`crate::changelog::ChangelogWriter::set_sync_faults`]).
+    pub sync_faults: Option<SyncFaults>,
+    /// Fault hook: when set, the commit thread waits for the gate to be
+    /// open before draining each group — tests close it to deterministically
+    /// fill the queue (stalled-engine scenarios).
+    pub commit_gate: Option<CommitGate>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::Block { deadline: Duration::from_secs(10) },
+            group_commit_max: 64,
+            max_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            snapshot_every_bytes: None,
+            snapshot_every_batches: None,
+            retire_segments: true,
+            sync_faults: None,
+            commit_gate: None,
+        }
+    }
+}
+
+/// A gate the commit thread must find open before draining a group.
+/// Cloning shares the gate.  Purely a test/fault hook: production
+/// configurations leave [`ServiceConfig::commit_gate`] unset.
+#[derive(Clone)]
+pub struct CommitGate(Arc<(Mutex<bool>, Condvar)>);
+
+impl CommitGate {
+    /// A new gate in the open (non-blocking) position.
+    pub fn open_gate() -> CommitGate {
+        CommitGate(Arc::new((Mutex::new(true), Condvar::new())))
+    }
+
+    /// A new gate in the closed position: the commit thread stalls before
+    /// its next group until [`CommitGate::open`] is called.
+    pub fn closed_gate() -> CommitGate {
+        CommitGate(Arc::new((Mutex::new(false), Condvar::new())))
+    }
+
+    /// Opens the gate, releasing a stalled commit thread.
+    pub fn open(&self) {
+        let (m, cv) = &*self.0;
+        *m.lock().expect("gate lock") = true;
+        cv.notify_all();
+    }
+
+    /// Closes the gate: the commit thread stalls before its *next* group
+    /// (a group already past the gate finishes normally).
+    pub fn close(&self) {
+        let (m, _) = &*self.0;
+        *m.lock().expect("gate lock") = false;
+    }
+
+    fn wait_open(&self) {
+        let (m, cv) = &*self.0;
+        let mut open = m.lock().expect("gate lock");
+        while !*open {
+            open = cv.wait(open).expect("gate lock");
+        }
+    }
+}
+
+/// Counters and gauges the service maintains; cheap to clone out via
+/// [`CdcService::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Batches accepted into the queue (excludes rejected/timed-out
+    /// submissions; includes batches later shed).
+    pub accepted_batches: u64,
+    /// Rows those batches carried.
+    pub accepted_rows: u64,
+    /// Batches dropped by [`BackpressurePolicy::ShedOldest`] — never
+    /// appended, applied, or acknowledged.
+    pub shed_batches: u64,
+    /// Commit groups synced (= changelog fsyncs issued by the service).
+    pub committed_groups: u64,
+    /// Snapshots written by the log-growth policy.
+    pub snapshots: u64,
+    /// Sealed segments deleted after snapshots.
+    pub retired_segments: u64,
+    /// High-water mark of the pending queue.
+    pub max_queue_depth: usize,
+    /// Changelog bytes on disk after the most recent group (all
+    /// segments).
+    pub changelog_bytes: u64,
+    /// High-water mark of [`ServiceStats::changelog_bytes`] — the
+    /// bounded-disk assertion reads this.
+    pub max_changelog_bytes: u64,
+}
+
+/// One queued batch.
+struct Pending {
+    update: Update,
+    rows: u64,
+}
+
+/// State shared between producers and the commit thread.
+struct QueueState {
+    queue: VecDeque<Pending>,
+    /// Batches accepted into the queue, ever.
+    accepted: u64,
+    /// Batches fully resolved: durably committed **and** applied, or
+    /// shed.  `flush` waits for `completed == accepted`.
+    completed: u64,
+    /// Highest sequence number covered by a successful fsync.
+    durable_seq: u64,
+    /// Highest sequence number applied to the engine.
+    applied_seq: u64,
+    shutdown: bool,
+    /// Set (with the original error's text) when the pipeline failed;
+    /// never cleared.
+    poisoned: Option<String>,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Producers blocked on a full queue wait here.
+    submit_cv: Condvar,
+    /// The commit thread waits here for work or shutdown.
+    work_cv: Condvar,
+    /// `flush` callers wait here for the drain to catch up.
+    ack_cv: Condvar,
+}
+
+impl Shared {
+    fn poison(&self, msg: String) {
+        let mut st = self.state.lock().expect("service lock");
+        if st.poisoned.is_none() {
+            st.poisoned = Some(msg);
+        }
+        drop(st);
+        self.submit_cv.notify_all();
+        self.ack_cv.notify_all();
+        self.work_cv.notify_all();
+    }
+}
+
+fn poisoned_err(msg: &str) -> CdcError {
+    CdcError::Poisoned(msg.to_string())
+}
+
+/// What [`CdcService::shutdown`] hands back after the drain.
+pub struct ServiceShutdown<R: PersistRing> {
+    /// The engine, reflecting every applied batch.
+    pub engine: Engine<R>,
+    /// Final counters and gauges.
+    pub stats: ServiceStats,
+    /// Highest sequence number covered by a successful fsync.
+    pub durable_seq: u64,
+    /// Highest sequence number applied to the engine.
+    pub applied_seq: u64,
+    /// The failure that poisoned the service, if any.  When set, batches
+    /// past `durable_seq` were never acknowledged; recover from the
+    /// durable artifacts.
+    pub error: Option<CdcError>,
+}
+
+/// The bounded-queue, group-commit front end over an [`Engine`] and a
+/// [`SegmentedLog`] (see the module docs for the pipeline and its ack
+/// rules).
+pub struct CdcService<R: PersistRing> {
+    shared: Arc<Shared>,
+    queue_capacity: usize,
+    backpressure: BackpressurePolicy,
+    handle: Option<JoinHandle<(Engine<R>, Option<CdcError>)>>,
+}
+
+impl<R: PersistRing> CdcService<R>
+where
+    Engine<R>: Send + 'static,
+{
+    /// Starts a service over fresh durable artifacts in `dir` (previous
+    /// segments, snapshot, and stray snapshot temp files are removed).
+    pub fn start(engine: Engine<R>, dir: impl AsRef<Path>, config: ServiceConfig) -> CdcResult<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        remove_if_exists(&snapshot_path)?;
+        remove_if_exists(&snapshot_path.with_extension("tmp"))?;
+        let mut log = SegmentedLog::create(dir, config.max_segment_bytes)?;
+        if let Some(faults) = &config.sync_faults {
+            log.set_sync_faults(faults.clone());
+        }
+        Ok(Self::spawn(engine, log, snapshot_path, config, 0))
+    }
+
+    /// Recovers engine state from the durable artifacts in `dir` (see
+    /// [`crate::recover::recover`]) and starts the service on top,
+    /// continuing the durable sequence.
+    pub fn start_recovered(
+        mut engine: Engine<R>,
+        db: &Database,
+        dir: impl AsRef<Path>,
+        config: ServiceConfig,
+    ) -> CdcResult<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        // A stray temp file is a crashed snapshot save: the rename never
+        // happened, so it is garbage — clean it up before anything else.
+        remove_if_exists(&snapshot_path.with_extension("tmp"))?;
+        let snapshot = snapshot_path.exists().then_some(snapshot_path.as_path());
+        let report = crate::recover::recover(&mut engine, db, snapshot, dir)?;
+        let mut log =
+            SegmentedLog::open_append(dir, config.max_segment_bytes, report.last_seq + 1)?;
+        if log.next_seq() <= report.last_seq {
+            return Err(CdcError::Corrupt(format!(
+                "changelog continues at seq {} but recovery reached seq {}: the log lost \
+                 durable batches a snapshot still covers",
+                log.next_seq(),
+                report.last_seq
+            )));
+        }
+        if let Some(faults) = &config.sync_faults {
+            log.set_sync_faults(faults.clone());
+        }
+        let seq = report.last_seq;
+        Ok((Self::spawn(engine, log, snapshot_path, config, seq), report))
+    }
+
+    fn spawn(
+        engine: Engine<R>,
+        log: SegmentedLog,
+        snapshot_path: PathBuf,
+        config: ServiceConfig,
+        start_seq: u64,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(config.queue_capacity.min(4096)),
+                accepted: 0,
+                completed: 0,
+                durable_seq: start_seq,
+                applied_seq: start_seq,
+                shutdown: false,
+                poisoned: None,
+                stats: ServiceStats {
+                    changelog_bytes: log.total_bytes(),
+                    max_changelog_bytes: log.total_bytes(),
+                    ..ServiceStats::default()
+                },
+            }),
+            submit_cv: Condvar::new(),
+            work_cv: Condvar::new(),
+            ack_cv: Condvar::new(),
+        });
+        let queue_capacity = config.queue_capacity.max(1);
+        let backpressure = config.backpressure;
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("cdc-commit".into())
+            .spawn(move || commit_loop(engine, log, snapshot_path, config, thread_shared))
+            .expect("spawn cdc commit thread");
+        CdcService {
+            shared,
+            queue_capacity,
+            backpressure,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues one batch for durable commit.  `Ok` means *accepted*, not
+    /// durable — durability is what [`CdcService::flush`] /
+    /// [`CdcService::durable_seq`] report.  On a full queue the configured
+    /// [`BackpressurePolicy`] applies; a [`CdcError::Backpressure`] or
+    /// [`CdcError::Shutdown`] return means the batch was **not** enqueued.
+    pub fn submit(&self, update: Update) -> CdcResult<()> {
+        let rows = update.len() as u64;
+        let pending = Pending { update, rows };
+        let deadline_start = Instant::now();
+        let mut st = self.shared.state.lock().expect("service lock");
+        loop {
+            if let Some(msg) = &st.poisoned {
+                return Err(poisoned_err(msg));
+            }
+            if st.shutdown {
+                return Err(CdcError::Shutdown);
+            }
+            if st.queue.len() < self.queue_capacity {
+                st.accepted += 1;
+                st.stats.accepted_batches += 1;
+                st.stats.accepted_rows += pending.rows;
+                st.queue.push_back(pending);
+                st.stats.max_queue_depth = st.stats.max_queue_depth.max(st.queue.len());
+                drop(st);
+                self.shared.work_cv.notify_one();
+                return Ok(());
+            }
+            match self.backpressure {
+                BackpressurePolicy::Reject => {
+                    return Err(CdcError::Backpressure { queued: st.queue.len() });
+                }
+                BackpressurePolicy::ShedOldest => {
+                    st.queue.pop_front().expect("full queue has a front");
+                    st.stats.shed_batches += 1;
+                    // The shed batch is resolved (it will never be durable
+                    // or applied) — `flush` must not wait for it.
+                    st.completed += 1;
+                    drop(st);
+                    self.shared.ack_cv.notify_all();
+                    st = self.shared.state.lock().expect("service lock");
+                    // Loop: there is space now (only producers add).
+                }
+                BackpressurePolicy::Block { deadline } => {
+                    let elapsed = deadline_start.elapsed();
+                    if elapsed >= deadline {
+                        return Err(CdcError::Backpressure { queued: st.queue.len() });
+                    }
+                    let (guard, _timeout) = self
+                        .shared
+                        .submit_cv
+                        .wait_timeout(st, deadline - elapsed)
+                        .expect("service lock");
+                    st = guard;
+                }
+            }
+        }
+    }
+
+    /// Blocks until every batch accepted so far is durable **and**
+    /// applied (shed batches excepted — they resolve as lost), then
+    /// returns the highest durable sequence number.  Fails with
+    /// [`CdcError::Poisoned`] if the pipeline failed before catching up.
+    pub fn flush(&self) -> CdcResult<u64> {
+        let mut st = self.shared.state.lock().expect("service lock");
+        let target = st.accepted;
+        while st.completed < target {
+            if let Some(msg) = &st.poisoned {
+                return Err(poisoned_err(msg));
+            }
+            st = self.shared.ack_cv.wait(st).expect("service lock");
+        }
+        Ok(st.durable_seq)
+    }
+
+    /// Highest sequence number covered by a successful fsync.
+    pub fn durable_seq(&self) -> u64 {
+        self.shared.state.lock().expect("service lock").durable_seq
+    }
+
+    /// Highest sequence number applied to the engine.
+    pub fn applied_seq(&self) -> u64 {
+        self.shared.state.lock().expect("service lock").applied_seq
+    }
+
+    /// Current pending-queue depth (excludes any in-flight commit group).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("service lock").queue.len()
+    }
+
+    /// Whether an earlier failure poisoned the pipeline.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.state.lock().expect("service lock").poisoned.is_some()
+    }
+
+    /// A copy of the current counters and gauges.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.state.lock().expect("service lock").stats.clone()
+    }
+
+    /// Stops accepting batches, drains everything already accepted
+    /// (durably committed and applied, unless the pipeline poisons first),
+    /// joins the commit thread, and hands the engine back.
+    pub fn shutdown(mut self) -> ServiceShutdown<R> {
+        self.signal_shutdown();
+        let handle = self.handle.take().expect("shutdown called once");
+        let (engine, error) = handle.join().expect("cdc commit thread panicked");
+        let st = self.shared.state.lock().expect("service lock");
+        ServiceShutdown {
+            engine,
+            stats: st.stats.clone(),
+            durable_seq: st.durable_seq,
+            applied_seq: st.applied_seq,
+            error,
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        let mut st = self.shared.state.lock().expect("service lock");
+        st.shutdown = true;
+        drop(st);
+        self.shared.work_cv.notify_all();
+        self.shared.submit_cv.notify_all();
+    }
+}
+
+impl<R: PersistRing> Drop for CdcService<R> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.signal_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The commit thread: drains groups, makes them durable under one fsync,
+/// applies them, and runs the snapshot/retirement policy.  Returns the
+/// engine and the error that poisoned the pipeline (if any).
+fn commit_loop<R: PersistRing>(
+    mut engine: Engine<R>,
+    mut log: SegmentedLog,
+    snapshot_path: PathBuf,
+    config: ServiceConfig,
+    shared: Arc<Shared>,
+) -> (Engine<R>, Option<CdcError>) {
+    let group_max = config.group_commit_max.max(1);
+    let mut bytes_since_snapshot = 0u64;
+    let mut batches_since_snapshot = 0u64;
+    loop {
+        // Wait for work (or a shutdown with an empty queue = drain done).
+        {
+            let mut st = shared.state.lock().expect("service lock");
+            while st.queue.is_empty() && !st.shutdown {
+                st = shared.work_cv.wait(st).expect("service lock");
+            }
+            if st.queue.is_empty() {
+                return (engine, None);
+            }
+        }
+        // Fault hook: hold here (lock released) so tests can pile up a
+        // full queue against a "stalled" pipeline.
+        if let Some(gate) = &config.commit_gate {
+            gate.wait_open();
+        }
+        // Drain one group; this frees queue space for producers.
+        let group: Vec<Pending> = {
+            let mut st = shared.state.lock().expect("service lock");
+            let n = st.queue.len().min(group_max);
+            let group = st.queue.drain(..n).collect();
+            drop(st);
+            shared.submit_cv.notify_all();
+            group
+        };
+        if group.is_empty() {
+            continue;
+        }
+
+        // Append every batch, then one fsync for the whole group.  A
+        // rotation inside the loop syncs the sealed segment first, so the
+        // group-end sync still covers every byte of the group.
+        let bytes_before = log.total_bytes();
+        let mut last_seq = 0u64;
+        let mut failed: Option<CdcError> = None;
+        for p in &group {
+            match log.append_unsynced(&p.update) {
+                Ok(seq) => last_seq = seq,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        if failed.is_none() {
+            if let Err(e) = log.sync() {
+                failed = Some(e);
+            }
+        }
+        if let Some(e) = failed {
+            shared.poison(e.to_string());
+            return (engine, Some(e));
+        }
+        let group_bytes = log.total_bytes() - bytes_before;
+
+        // Durable: the fsync covering `last_seq` succeeded — this is the
+        // acknowledgement point.
+        {
+            let mut st = shared.state.lock().expect("service lock");
+            st.durable_seq = last_seq;
+            st.stats.committed_groups += 1;
+        }
+
+        // Apply the group to the engine (write-ahead order: log first).
+        for p in &group {
+            if let Err(e) = engine.apply_update(&p.update) {
+                let e = CdcError::from(e);
+                shared.poison(e.to_string());
+                return (engine, Some(e));
+            }
+        }
+        {
+            let mut st = shared.state.lock().expect("service lock");
+            st.applied_seq = last_seq;
+            st.completed += group.len() as u64;
+            st.stats.changelog_bytes = log.total_bytes();
+            st.stats.max_changelog_bytes =
+                st.stats.max_changelog_bytes.max(st.stats.changelog_bytes);
+            drop(st);
+            shared.ack_cv.notify_all();
+        }
+
+        // Snapshot by log growth, then retire what the snapshot covers.
+        bytes_since_snapshot += group_bytes;
+        batches_since_snapshot += group.len() as u64;
+        let due = config
+            .snapshot_every_bytes
+            .is_some_and(|b| bytes_since_snapshot >= b)
+            || config
+                .snapshot_every_batches
+                .is_some_and(|n| batches_since_snapshot >= n);
+        if due {
+            if let Err(e) = write_snapshot(&snapshot_path, last_seq, &engine) {
+                shared.poison(e.to_string());
+                return (engine, Some(e));
+            }
+            bytes_since_snapshot = 0;
+            batches_since_snapshot = 0;
+            let retired = if config.retire_segments {
+                match log.retire(last_seq) {
+                    Ok(n) => n as u64,
+                    Err(e) => {
+                        shared.poison(e.to_string());
+                        return (engine, Some(e));
+                    }
+                }
+            } else {
+                0
+            };
+            let mut st = shared.state.lock().expect("service lock");
+            st.stats.snapshots += 1;
+            st.stats.retired_segments += retired;
+            st.stats.changelog_bytes = log.total_bytes();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_gate_blocks_until_opened() {
+        let gate = CommitGate::closed_gate();
+        let waiter = gate.clone();
+        let opened = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = Arc::clone(&opened);
+        let t = std::thread::spawn(move || {
+            waiter.wait_open();
+            flag.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!opened.load(std::sync::atomic::Ordering::SeqCst));
+        gate.open();
+        t.join().unwrap();
+        assert!(opened.load(std::sync::atomic::Ordering::SeqCst));
+        // Reclosing makes the next wait block again; open_gate starts open.
+        gate.close();
+        CommitGate::open_gate().wait_open();
+    }
+}

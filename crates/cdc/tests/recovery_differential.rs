@@ -18,13 +18,16 @@
 //! * short write / torn tail at several cut points inside the last record;
 //! * flipped payload byte and flipped checksum byte mid-log;
 //! * crash mid-snapshot-write (stray `.tmp`, previous snapshot intact);
-//! * corrupt snapshot detected, recovery falls back to full replay.
+//! * corrupt snapshot detected, recovery falls back to full replay;
+//! * crashes at segment-rotation and retirement boundaries, replay across
+//!   ≥3 segments with interleaved snapshots, and an empty tail segment
+//!   (rotation happened, crash before its first append).
 //!
 //! After a snapshot restore the hash-once contract must survive:
 //! `rehashes` and `ring_rehashes` read 0 on the recovered engine.
 
 use fivm_cdc::{
-    changelog, fault, framing, recover, snapshot, DurableEngine, LogEnd, CHANGELOG_FILE,
+    changelog, fault, framing, recover, segment_file_name, snapshot, DurableEngine, LogEnd,
     SNAPSHOT_FILE,
 };
 use fivm_common::Value;
@@ -159,7 +162,11 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
     let n = cfg.updates.len();
     assert!(n >= 4, "need a few batches to place faults between");
     let dir = tempdir(cfg.label);
-    let log_path = dir.join(CHANGELOG_FILE);
+    // The default segment bound is far above these tiny streams, so the
+    // whole log lives in the first (active) segment — single-file faults
+    // below target it directly.  Multi-segment faults have their own
+    // scenarios further down.
+    let log_path = dir.join(segment_file_name(1));
     let snap_path = dir.join(SNAPSHOT_FILE);
     // A kept copy of the snapshot at seq n-1, for scenarios that need the
     // last batch to live only in the changelog tail.
@@ -210,7 +217,7 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
     // *includes* the appended batch.
     {
         let mut engine = cfg.fresh_engine();
-        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &log_path)
+        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &dir)
             .expect("recover primitives");
         assert_eq!(report.snapshot_seq, Some(tail_snap_seq));
         assert_eq!(report.replayed_batches, 1, "one batch after the snapshot");
@@ -241,7 +248,7 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
         assert_eq!(end, LogEnd::TornTail { valid_len: last_start });
 
         let mut engine = cfg.fresh_engine();
-        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &log_path)
+        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &dir)
             .expect("recover torn");
         assert_eq!(report.last_seq, (n - 1) as u64);
         assert_eq!(report.log_end, LogEnd::TornTail { valid_len: last_start });
@@ -268,7 +275,7 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
         assert_eq!(end, LogEnd::Corrupt { valid_len: victim_start });
 
         let mut engine = cfg.fresh_engine();
-        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &log_path)
+        let report = recover::recover(&mut engine, &cfg.db, Some(&tail_snap), &dir)
             .expect("recover corrupt");
         // Snapshot (at n-1) is *newer* than the durable log prefix (n-2):
         // replay applies nothing and the state is the snapshot's.
@@ -287,7 +294,7 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
     {
         std::fs::write(snap_path.with_extension("tmp"), b"half-written garbage").unwrap();
         let mut engine = cfg.fresh_engine();
-        let report = recover::recover(&mut engine, &cfg.db, Some(&snap_path), &log_path)
+        let report = recover::recover(&mut engine, &cfg.db, Some(&snap_path), &dir)
             .expect("recover with stray tmp");
         assert_eq!(report.last_seq, n as u64);
         assert_engines_agree(
@@ -304,14 +311,14 @@ fn exercise<R: PersistRing, F: Fn(&RingCtx) -> Vec<LiftFn<R>>>(cfg: &Config<R, F
         let snap_len = fault::file_len(&snap_path).unwrap();
         fault::flip_byte(&snap_path, snap_len / 2, 0x01).unwrap();
         let mut engine = cfg.fresh_engine();
-        let err = recover::recover(&mut engine, &cfg.db, Some(&snap_path), &log_path)
+        let err = recover::recover(&mut engine, &cfg.db, Some(&snap_path), &dir)
             .expect_err("corrupt snapshot must not restore");
         assert_eq!(err.kind(), "corrupt", "{}: {err}", cfg.label);
 
         // Fallback: ignore the snapshot, replay everything.
         let mut engine = cfg.fresh_engine();
         let report =
-            recover::recover(&mut engine, &cfg.db, None, &log_path).expect("full replay");
+            recover::recover(&mut engine, &cfg.db, None, &dir).expect("full replay");
         assert_eq!(report.snapshot_seq, None);
         assert_eq!(report.replayed_batches, n);
         assert_engines_agree(
@@ -482,7 +489,7 @@ fn recovery_report_shape_and_log_reopen_after_crash() {
     durable.snapshot().unwrap();
     drop(durable);
     // Torn append of the would-be next batch: header-only fragment.
-    let log_path = dir.join(CHANGELOG_FILE);
+    let log_path = dir.join(segment_file_name(1));
     let mut broken = std::fs::OpenOptions::new().append(true).open(&log_path).unwrap();
     use std::io::Write;
     broken.write_all(&[0x55; 5]).unwrap();
@@ -540,5 +547,241 @@ fn snapshot_mismatches_are_typed_errors() {
     busy.load_database(&db).unwrap();
     let err = snapshot::load_snapshot(&snap, &mut busy).unwrap_err();
     assert_eq!(err.kind(), "state");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------- segmented-log scenarios
+
+/// Retailer COUNT engine (i64 ring) for the segmented-log scenarios.
+fn count_engine(tree: &ViewTree) -> Engine<i64> {
+    let spec = tree.spec().clone();
+    let ctx = RingCtx::new();
+    Engine::new_with_ctx(tree.clone(), apps::count_lifts(&spec), ctx).unwrap()
+}
+
+fn count_reference(tree: &ViewTree, db: &Database, updates: &[Update]) -> Engine<i64> {
+    let mut e = count_engine(tree);
+    e.load_database(db).unwrap();
+    for u in updates {
+        e.apply_update(u).unwrap();
+    }
+    e
+}
+
+#[test]
+fn replay_crosses_segment_boundaries_with_interleaved_snapshots() {
+    // A 1-byte rotation bound puts every batch in its own segment: six
+    // updates, six segments, snapshots interleaved after batches 2 and 4.
+    let (tree, db, updates) = retailer_workload();
+    let n = updates.len();
+    assert!(n >= 6);
+    let dir = tempdir("segments_interleaved");
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let snap2 = dir.join("snapshot_seq2.fvsn");
+
+    let mut durable = DurableEngine::create_with(count_engine(&tree), &dir, 1).unwrap();
+    durable.load_database(&db).unwrap();
+    for (i, u) in updates.iter().enumerate() {
+        durable.apply_update(u).unwrap();
+        if i + 1 == 2 {
+            assert_eq!(durable.snapshot().unwrap(), 2);
+            std::fs::copy(&snap_path, &snap2).unwrap();
+        }
+        if i + 1 == 4 {
+            assert_eq!(durable.snapshot().unwrap(), 4);
+        }
+    }
+    drop(durable);
+    assert_eq!(fivm_cdc::list_segments(&dir).unwrap().len(), n);
+
+    // Full replay, no snapshot: every batch, across every boundary.
+    let mut replayed = count_engine(&tree);
+    let report = recover::recover(&mut replayed, &db, None, &dir).unwrap();
+    assert_eq!(report.replayed_batches, n);
+    assert_eq!(report.segments_scanned, n);
+    assert!(report.log_end.is_clean());
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates),
+        &mut replayed,
+        None,
+        "segments/full-replay",
+    );
+
+    // Old interleaved snapshot: replay the tail across >= 3 segments.
+    let mut tailed = count_engine(&tree);
+    let report = recover::recover(&mut tailed, &db, Some(&snap2), &dir).unwrap();
+    assert_eq!(report.snapshot_seq, Some(2));
+    assert_eq!(report.replayed_batches, n - 2);
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates),
+        &mut tailed,
+        None,
+        "segments/interleaved-snapshot",
+    );
+
+    // The DurableEngine path uses the newest on-disk snapshot (seq 4).
+    let (recovered, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert_eq!(report.snapshot_seq, Some(4));
+    assert_eq!(report.replayed_batches, n - 4);
+    assert_eq!(report.last_seq, n as u64);
+    let mut recovered = recovered.into_engine();
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates),
+        &mut recovered,
+        None,
+        "segments/durable-recover",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retirement_and_crash_mid_retirement_recover() {
+    let (tree, db, updates) = retailer_workload();
+    let n = updates.len();
+    let dir = tempdir("retirement");
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let snap2 = dir.join("snapshot_seq2.fvsn");
+
+    let mut durable = DurableEngine::create_with(count_engine(&tree), &dir, 1).unwrap();
+    durable.load_database(&db).unwrap();
+    for (i, u) in updates.iter().enumerate() {
+        durable.apply_update(u).unwrap();
+        if i + 1 == 2 {
+            durable.snapshot().unwrap();
+            std::fs::copy(&snap_path, &snap2).unwrap();
+        }
+    }
+    let snap_seq = durable.snapshot().unwrap();
+    assert_eq!(snap_seq, n as u64);
+    let bytes_before = durable.changelog_bytes();
+
+    // Retire everything the snapshot covers: only the active segment
+    // survives, and disk shrinks accordingly.
+    let retired = durable.retire_segments(snap_seq).unwrap();
+    assert_eq!(retired, n - 1, "all sealed segments are snapshot-covered");
+    assert!(durable.changelog_bytes() < bytes_before);
+    drop(durable);
+    assert_eq!(fivm_cdc::list_segments(&dir).unwrap().len(), 1);
+
+    // Recovery from snapshot + the remaining segment is bit-identical.
+    let (recovered, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert_eq!(report.snapshot_seq, Some(n as u64));
+    assert_eq!(report.replayed_batches, 0);
+    let mut recovered = recovered.into_engine();
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates),
+        &mut recovered,
+        None,
+        "retirement/after-retire",
+    );
+
+    // An outdated snapshot cannot bridge the retired gap: typed error,
+    // not a silent skip.
+    let mut stale = count_engine(&tree);
+    let err = recover::recover(&mut stale, &db, Some(&snap2), &dir).unwrap_err();
+    assert_eq!(err.kind(), "corrupt");
+    assert!(err.to_string().contains("retired"), "{err}");
+
+    // Crash *mid*-retirement: rebuild, then delete only the oldest two
+    // sealed segments by hand (retirement deletes oldest-first, so a
+    // crash partway leaves exactly this contiguous suffix).
+    let dir2 = tempdir("retirement_crash");
+    let mut durable = DurableEngine::create_with(count_engine(&tree), &dir2, 1).unwrap();
+    durable.load_database(&db).unwrap();
+    for u in &updates {
+        durable.apply_update(u).unwrap();
+    }
+    assert_eq!(durable.snapshot().unwrap(), n as u64);
+    drop(durable);
+    std::fs::remove_file(dir2.join(segment_file_name(1))).unwrap();
+    std::fs::remove_file(dir2.join(segment_file_name(2))).unwrap();
+    let (recovered, report) = DurableEngine::recover(count_engine(&tree), &db, &dir2).unwrap();
+    assert_eq!(report.snapshot_seq, Some(n as u64));
+    assert_eq!(report.segments_scanned, n - 2);
+    let mut recovered = recovered.into_engine();
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates),
+        &mut recovered,
+        None,
+        "retirement/mid-crash",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn rotation_crashes_leave_recoverable_tail_segments() {
+    let (tree, db, updates) = retailer_workload();
+    let dir = tempdir("rotation_crash");
+
+    let mut durable = DurableEngine::create_with(count_engine(&tree), &dir, 1).unwrap();
+    durable.load_database(&db).unwrap();
+    for u in &updates[..3] {
+        durable.apply_update(u).unwrap();
+    }
+    drop(durable);
+    assert_eq!(fivm_cdc::list_segments(&dir).unwrap().len(), 3);
+
+    // Crash A: rotation finished creating the next segment (header only),
+    // crash before its first append — an *empty tail segment*.
+    fivm_cdc::ChangelogWriter::create_at(dir.join(segment_file_name(4)), 4).unwrap();
+    let (mut durable, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert_eq!(report.last_seq, 3);
+    assert_eq!(report.replayed_batches, 3);
+    assert!(report.log_end.is_clean());
+    // Ingestion continues into the empty segment at its named sequence.
+    durable.apply_update(&updates[3]).unwrap();
+    assert_eq!(durable.applied_seq(), 4);
+    drop(durable);
+
+    // Crash B: rotation crashed mid-header — a tail segment too short to
+    // be a log at all.  Treated as torn at offset 0, then recreated.
+    std::fs::write(dir.join(segment_file_name(5)), [0x46, 0x56]).unwrap();
+    let (mut durable, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert_eq!(report.last_seq, 4);
+    assert_eq!(report.log_end, LogEnd::TornTail { valid_len: 0 });
+    durable.apply_update(&updates[4]).unwrap();
+    assert_eq!(durable.applied_seq(), 5);
+    let mut recovered = durable.into_engine();
+    assert_engines_agree(
+        &mut count_reference(&tree, &db, &updates[..5]),
+        &mut recovered,
+        None,
+        "rotation-crash/continued",
+    );
+
+    // The repaired chain reads clean end to end.
+    let (_, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert!(report.log_end.is_clean());
+    assert_eq!(report.last_seq, 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stray_snapshot_tmp_is_cleaned_on_recovery_and_next_save() {
+    let (tree, db, updates) = retailer_workload();
+    let dir = tempdir("tmp_cleanup");
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    let tmp_path = snap_path.with_extension("tmp");
+
+    let mut durable = DurableEngine::create(count_engine(&tree), &dir).unwrap();
+    durable.load_database(&db).unwrap();
+    for u in &updates[..2] {
+        durable.apply_update(u).unwrap();
+    }
+    durable.snapshot().unwrap();
+    drop(durable);
+
+    // Crash mid-save: a half-written temp file next to the good snapshot.
+    std::fs::write(&tmp_path, b"half-written snapshot bytes").unwrap();
+    let (mut durable, report) = DurableEngine::recover(count_engine(&tree), &db, &dir).unwrap();
+    assert_eq!(report.snapshot_seq, Some(2));
+    assert!(!tmp_path.exists(), "recovery startup removes the stray tmp");
+
+    // The next save works and leaves no orphan either.
+    durable.apply_update(&updates[2]).unwrap();
+    assert_eq!(durable.snapshot().unwrap(), 3);
+    assert!(snap_path.exists());
+    assert!(!tmp_path.exists(), "a successful save leaves no orphan");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1124,11 +1124,12 @@ fn extend_assignment<R: Ring>(
 }
 
 /// Send audit: a sharded deployment constructs engines on the coordinating
-/// thread and moves them onto workers, so `Engine<R>` must be `Send` for
-/// every ring.  This never runs — it exists because its body only
-/// *typechecks* while every engine component (views, dictionary, scratch,
-/// lifts) stays `Send`; adding a non-`Send` field breaks the build here
-/// instead of in the shard crate.
+/// thread and moves them onto workers, and the CDC service front end
+/// (`fivm-cdc`) moves the engine onto its commit thread the same way, so
+/// `Engine<R>` must be `Send` for every ring.  This never runs — it exists
+/// because its body only *typechecks* while every engine component (views,
+/// dictionary, scratch, lifts) stays `Send`; adding a non-`Send` field
+/// breaks the build here instead of in the shard or cdc crate.
 #[allow(dead_code)]
 fn engine_is_send<R: Ring>() {
     fn assert_send<T: Send>() {}

@@ -62,6 +62,7 @@ bench-mem:
 bench-recover:
     cargo clippy -p fivm-cdc --all-targets -- -D warnings
     cargo test -p fivm-cdc -q
+    cargo test -p fivm-cdc --test service_faults -q
     cargo build --release --bin exp_recovery
     ./target/release/exp_recovery
 
