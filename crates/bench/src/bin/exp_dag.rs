@@ -1,0 +1,336 @@
+//! Experiment E-DAG — multi-query sharing: one shared maintenance DAG
+//! versus K independent single-tree engines.
+//!
+//! The fleet is K COVAR queries over the Retailer continuous schema that
+//! differ **only** in their group-by (subsets of the join keys `locn`,
+//! `dateid`, `zip`, `ksn`), so their view trees share the deep
+//! fact-table prefix and diverge near the root — the regime the
+//! multi-query DAG (`fivm_dag`) is built for.  For K ∈ {1, 4, 16} the
+//! experiment replays an identical steady-state churn window through
+//!
+//! * the shared [`DagEngine`], which runs **one** propagation pass per
+//!   bulk and fans out at the divergence points, and
+//! * K independent [`Engine`]s, each running its own full pass,
+//!
+//! in interleaved paired rounds, reporting the **median** of ≥5 rounds
+//! per side.  Records merge into `BENCH_ivm.json` as the `DAG-*` family
+//! (`DAG-K<k>-shared` / `DAG-K<k>-independent`); `updates` counts
+//! *aggregate query-rows* (caller rows × K — each input row maintains K
+//! sinks on both sides) so `rows_per_sec` is directly comparable.
+//!
+//! The measured window is warm (post-load, post-warmup `delta_since`
+//! snapshot) and algebraically a no-op per round (each bulk is applied
+//! and then reverted), so both sides are asserted to run **rehash-free**
+//! — the steady-state hash-once contract — and every query's sink is
+//! cross-checked bit-for-bit against its standalone engine on the
+//! quantized stream before timing starts.
+//!
+//! Run with `--quick` for a smoke-test configuration; `--json PATH`
+//! overrides the artifact location.
+
+use fivm_bench::{append_bench_json, print_table, BenchRecord};
+use fivm_common::Value;
+use fivm_core::{apps, Engine, EngineStats};
+use fivm_dag::DagEngine;
+use fivm_data::retailer::retailer_tree;
+use fivm_data::{RetailerConfig, StreamConfig};
+use fivm_query::{QuerySpec, ViewTree};
+use fivm_relation::{BaseTable, Database, Tuple, Update};
+use fivm_ring::Cofactor;
+use std::time::Instant;
+
+/// The Retailer continuous-feature COVAR query grouped by the key subset
+/// encoded in `mask` (bit i selects the i-th of `locn`, `dateid`, `zip`,
+/// `ksn`); mask 0 is the scalar query.  All 16 masks share declarations, so fingerprints below the
+/// group-by divergence unify in the DAG.
+fn retailer_masked(mask: usize) -> QuerySpec {
+    let mut b = QuerySpec::builder(format!("retailer_covar_m{mask}"));
+    let locn = b.key("locn");
+    let dateid = b.key("dateid");
+    let ksn = b.key("ksn");
+    let zip = b.key("zip");
+    let units = b.label("inventoryunits");
+    let price = b.continuous_feature("price");
+    let avghhi = b.continuous_feature("avghhi");
+    let dist = b.continuous_feature("competitordistance");
+    let population = b.continuous_feature("population");
+    let medianage = b.continuous_feature("medianage");
+    let maxtemp = b.continuous_feature("maxtemp");
+    let mintemp = b.continuous_feature("mintemp");
+    b.relation("Inventory", &[locn, dateid, ksn, units]);
+    b.relation("Location", &[locn, zip, avghhi, dist]);
+    b.relation("Census", &[zip, population, medianage]);
+    b.relation("Item", &[ksn, price]);
+    b.relation("Weather", &[locn, dateid, maxtemp, mintemp]);
+    let ids = [locn, dateid, zip, ksn];
+    let by: Vec<usize> = (0..4).filter(|i| mask & (1 << i) != 0).map(|i| ids[i]).collect();
+    b.group_by(&by);
+    b.build().expect("masked retailer query is valid")
+}
+
+fn fleet_trees(k: usize) -> Vec<ViewTree> {
+    (0..k).map(|mask| retailer_tree(retailer_masked(mask))).collect()
+}
+
+fn quantize_tuple(t: &[Value]) -> Tuple {
+    t.iter()
+        .map(|v| match v {
+            Value::Double(d) => Value::double(d.get().round()),
+            other => other.clone(),
+        })
+        .collect::<Vec<_>>()
+        .into_boxed_slice()
+}
+
+fn quantize_database(db: &Database) -> Database {
+    let mut out = Database::new();
+    for table in db.tables() {
+        let mut t = BaseTable::new(table.name.clone(), table.schema.clone());
+        for (row, mult) in &table.rows {
+            t.push_with_multiplicity(quantize_tuple(row), *mult);
+        }
+        out.add_table(t).expect("names stay unique");
+    }
+    out
+}
+
+fn quantize_updates(updates: &[Update]) -> Vec<Update> {
+    updates
+        .iter()
+        .map(|u| {
+            Update::with_multiplicities(
+                u.table.clone(),
+                u.rows.iter().map(|(r, m)| (quantize_tuple(r), *m)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn negate(u: &Update) -> Update {
+    Update::with_multiplicities(
+        u.table.clone(),
+        u.rows.iter().map(|(r, m)| (r.clone(), -m)).collect(),
+    )
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+struct SideResult {
+    seconds: f64,
+    delta: EngineStats,
+    table_bytes: usize,
+}
+
+/// One shared-vs-independent configuration at fleet size `k`: warm both
+/// sides on the full stream, cross-check sinks, then time `rounds`
+/// interleaved apply-revert windows per side.
+fn run_config(
+    k: usize,
+    db: &Database,
+    updates: &[Update],
+    rounds: usize,
+) -> (SideResult, SideResult, usize, usize) {
+    let trees = fleet_trees(k);
+
+    // Shared side: one DAG, K registered queries.
+    let mut dag: DagEngine<Cofactor> = DagEngine::new();
+    let mut dag_ids = Vec::with_capacity(k);
+    let mut solo_nodes = 0usize;
+    for tree in &trees {
+        solo_nodes += tree.len() + tree.spec().num_relations();
+        let lifts = apps::covar_lifts(tree.spec()).expect("continuous lifts");
+        dag_ids.push(dag.register(tree.clone(), lifts, None).expect("register"));
+    }
+    let shared_nodes = dag.live_nodes();
+    dag.load_database(db).expect("dag load");
+
+    // Independent side: K standalone engines.
+    let mut engines: Vec<Engine<Cofactor>> = trees
+        .iter()
+        .map(|t| {
+            let mut e = apps::covar_engine(t.clone()).expect("covar engine");
+            e.load_database(db).expect("engine load");
+            e
+        })
+        .collect();
+
+    // Warmup: the full stream once through both sides, then revert it so
+    // every measured round starts from the same state.
+    for u in updates {
+        dag.apply_update(u).expect("dag warmup");
+        for e in engines.iter_mut() {
+            e.apply_update(u).expect("engine warmup");
+        }
+    }
+    // Cross-check every sink bit-for-bit (quantized stream) post-warmup.
+    for (id, e) in dag_ids.iter().zip(engines.iter()) {
+        let got = dag.result_relation(*id).expect("dag result");
+        assert!(
+            got == e.result_relation(),
+            "K={k}: shared sink diverged from its standalone engine"
+        );
+    }
+    for u in updates.iter().rev() {
+        let minus = negate(u);
+        dag.apply_update(&minus).expect("dag revert");
+        for e in engines.iter_mut() {
+            e.apply_update(&minus).expect("engine revert");
+        }
+    }
+
+    // Paired interleaved rounds over the identical churn window.
+    let mut shared_secs = Vec::with_capacity(rounds);
+    let mut indep_secs = Vec::with_capacity(rounds);
+    let mut shared_delta = EngineStats::default();
+    let mut indep_delta = EngineStats::default();
+    for _ in 0..rounds {
+        let before = dag.stats();
+        let t = Instant::now();
+        for u in updates {
+            dag.apply_update(u).expect("dag measured");
+        }
+        for u in updates.iter().rev() {
+            dag.apply_update(&negate(u)).expect("dag measured revert");
+        }
+        shared_secs.push(t.elapsed().as_secs_f64());
+        shared_delta = dag.stats().delta_since(&before);
+        assert_eq!(shared_delta.rehashes, 0, "K={k}: shared side rehashed in steady state");
+        assert_eq!(shared_delta.ring_rehashes, 0, "K={k}: shared ring table rehashed");
+
+        let before: Vec<EngineStats> = engines.iter().map(Engine::stats).collect();
+        let t = Instant::now();
+        for u in updates {
+            for e in engines.iter_mut() {
+                e.apply_update(u).expect("engine measured");
+            }
+        }
+        for u in updates.iter().rev() {
+            let minus = negate(u);
+            for e in engines.iter_mut() {
+                e.apply_update(&minus).expect("engine measured revert");
+            }
+        }
+        indep_secs.push(t.elapsed().as_secs_f64());
+        indep_delta = EngineStats::default();
+        for (e, b) in engines.iter().zip(before.iter()) {
+            let d = e.stats().delta_since(b);
+            assert_eq!(d.rehashes, 0, "K={k}: an independent engine rehashed in steady state");
+            indep_delta = indep_delta.merge(&d);
+        }
+    }
+
+    let shared = SideResult {
+        seconds: median(shared_secs),
+        delta: shared_delta,
+        table_bytes: dag.stats().table_bytes,
+    };
+    let independent = SideResult {
+        seconds: median(indep_secs),
+        delta: indep_delta,
+        table_bytes: engines.iter().map(|e| e.stats().table_bytes).sum(),
+    };
+    (shared, independent, shared_nodes, solo_nodes)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ivm.json".to_string());
+
+    let (cfg, stream, rounds, fleet_sizes): (_, _, usize, Vec<usize>) = if quick {
+        (
+            RetailerConfig::tiny(),
+            StreamConfig {
+                bulks: 3,
+                bulk_size: 100,
+                delete_fraction: 0.2,
+                seed: 42,
+            },
+            3,
+            vec![1, 4],
+        )
+    } else {
+        (
+            RetailerConfig::benchmark(),
+            StreamConfig {
+                bulks: 10,
+                bulk_size: 1_000,
+                delete_fraction: 0.2,
+                seed: 42,
+            },
+            5,
+            vec![1, 4, 16],
+        )
+    };
+
+    let db = quantize_database(&cfg.generate());
+    let updates = quantize_updates(&cfg.update_stream(stream).into_bulks());
+    // Caller rows per measured round: the stream applied and reverted.
+    let round_rows: usize = updates.iter().map(Update::len).sum::<usize>() * 2;
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &k in &fleet_sizes {
+        let (shared, independent, shared_nodes, solo_nodes) =
+            run_config(k, &db, &updates, rounds);
+        let aggregate_rows = round_rows * k;
+        for (side, r) in [("shared", &shared), ("independent", &independent)] {
+            records.push(BenchRecord {
+                dataset: "Retailer".to_string(),
+                app: format!("DAG-K{k}-{side}"),
+                bulk_size: stream.bulk_size,
+                updates: aggregate_rows,
+                seconds: r.seconds,
+                delta_entries: r.delta.delta_entries,
+                ring_adds: r.delta.ring_adds,
+                ring_muls: r.delta.ring_muls,
+                probes: r.delta.probes,
+                probe_hits: r.delta.probe_hits,
+                rehashes: r.delta.rehashes,
+                table_bytes: r.table_bytes,
+            });
+        }
+        let speedup = independent.seconds / shared.seconds;
+        rows.push(vec![
+            format!("{k}"),
+            format!("{shared_nodes}/{solo_nodes}"),
+            format!("{:.0}", aggregate_rows as f64 / shared.seconds),
+            format!("{:.0}", aggregate_rows as f64 / independent.seconds),
+            format!("{speedup:.2}x"),
+        ]);
+        if k >= 4 {
+            assert!(
+                speedup >= 1.5,
+                "K={k}: shared DAG speedup {speedup:.2}x below the 1.5x floor"
+            );
+        }
+    }
+
+    println!("\nMulti-query DAG: shared pass vs K independent engines (Retailer/COVAR)");
+    print_table(
+        &[
+            "K",
+            "DAG/solo nodes",
+            "shared agg rows/s",
+            "independent agg rows/s",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("(medians of {rounds} interleaved paired rounds; rehashes asserted 0 on both sides)");
+
+    match append_bench_json(&json_path, "DAG-", &records) {
+        Ok(()) => println!("merged {} DAG-* records into {json_path}", records.len()),
+        Err(e) => {
+            eprintln!("failed to write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -175,14 +175,23 @@ pub fn mi_lifts(
                 })?;
                 // Bin indices are integers — they encode without the
                 // dictionary, so both paths are context-free.
-                LiftFn::new(format!("mi_binned<{dim}>[{idx}]({name})"), move |value| {
-                    GenCofactor::lift_categorical(
-                        dim,
-                        idx,
-                        idx,
-                        EncodedValue::int(bin.bin(value.as_f64().unwrap_or(0.0))),
-                    )
-                })
+                // The bin spec is part of the name: lift names double as
+                // behavior tags for DAG node identity (fivm_dag), so two MI
+                // queries binning the same column differently must not share.
+                LiftFn::new(
+                    format!(
+                        "mi_binned<{dim}>[{idx}]({name};{}..{}/{})",
+                        bin.lo, bin.hi, bin.bins
+                    ),
+                    move |value| {
+                        GenCofactor::lift_categorical(
+                            dim,
+                            idx,
+                            idx,
+                            EncodedValue::int(bin.bin(value.as_f64().unwrap_or(0.0))),
+                        )
+                    },
+                )
                 .with_fma(move |value, acc, scale, slot| {
                     let b = bin.bin(value.as_f64().unwrap_or(0.0));
                     slot.fma_lift_categorical(acc, dim, idx, idx, EncodedValue::int(b), scale);

@@ -33,12 +33,10 @@
 //! [`crate::apps`] merely pick a ring and a set of lifts.
 
 use crate::error::{EngineError, EngineResult};
-use crate::plan::{DeltaPlan, ExecutionPlan, ProbeKind, ALREADY_BOUND};
+use crate::kernel::{emit, extend_assignment, group_row, PropagationScratch};
+use crate::plan::{ExecutionPlan, ProbeKind};
 use crate::view::MaterializedView;
-use fivm_common::{
-    wire, Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, RelId, Result, Value,
-    WireReader,
-};
+use fivm_common::{wire, EncodedKey, EncodedValue, FivmError, RelId, Result, WireReader};
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Relation, Tuple, Update};
 use fivm_ring::{LiftFn, PersistRing, Ring, RingCtx};
@@ -151,156 +149,6 @@ impl UpdateOutcome {
         UpdateOutcome {
             input_rows: self.input_rows + other.input_rows,
             delta_entries: self.delta_entries + other.delta_entries,
-        }
-    }
-}
-
-/// A memoized probe result for one probe depth, valid for the duration of
-/// one propagation level (views are immutable while a level's delta is
-/// being extended).  Grouped deltas on skewed data repeatedly probe the
-/// same sub-key; the memo answers those repeats with a stored slot/bucket
-/// handle instead of a table walk.
-struct StepMemo {
-    hash: u64,
-    key: EncodedKey,
-    state: MemoState,
-}
-
-enum MemoState {
-    /// The memo holds nothing (level boundary).
-    Invalid,
-    /// Last probe of this depth missed.
-    Miss,
-    /// Last primary probe hit this view slot.
-    Slot(u32),
-    /// Last index probe hit this bucket handle.
-    Bucket(usize),
-}
-
-impl StepMemo {
-    fn new() -> Self {
-        StepMemo {
-            hash: 0,
-            key: EncodedKey::empty(),
-            state: MemoState::Invalid,
-        }
-    }
-
-    fn invalidate(&mut self) {
-        self.state = MemoState::Invalid;
-    }
-
-    #[inline]
-    fn matches(&self, hash: u64, key: &EncodedKey) -> bool {
-        !matches!(self.state, MemoState::Invalid) && self.hash == hash && self.key == *key
-    }
-
-    /// Resolves a primary probe, consulting the memo first.
-    #[inline]
-    fn probe_primary<R: Ring>(
-        &mut self,
-        view: &MaterializedView<R>,
-        hash: u64,
-        key: EncodedKey,
-    ) -> Option<u32> {
-        if self.matches(hash, &key) {
-            return match self.state {
-                MemoState::Slot(slot) => Some(slot),
-                _ => None,
-            };
-        }
-        let found = view.find_slot(hash, &key);
-        self.hash = hash;
-        self.key = key;
-        self.state = match found {
-            Some(slot) => MemoState::Slot(slot),
-            None => MemoState::Miss,
-        };
-        found
-    }
-
-    /// Resolves a secondary-index probe, consulting the memo first.
-    #[inline]
-    fn probe_index<R: Ring>(
-        &mut self,
-        view: &MaterializedView<R>,
-        index_id: usize,
-        hash: u64,
-        key: EncodedKey,
-    ) -> Option<usize> {
-        if self.matches(hash, &key) {
-            return match self.state {
-                MemoState::Bucket(bucket) => Some(bucket),
-                _ => None,
-            };
-        }
-        let found = view.find_index_bucket(index_id, hash, &key);
-        self.hash = hash;
-        self.key = key;
-        self.state = match found {
-            Some(bucket) => MemoState::Bucket(bucket),
-            None => MemoState::Miss,
-        };
-        found
-    }
-}
-
-/// Reusable buffers for delta propagation, kept across updates so the hot
-/// path performs no per-update container allocation.
-struct PropagationScratch<R: Ring> {
-    /// The delta entering the current level, with the precomputed hash of
-    /// every key (drained from `next`, hashes and all).
-    current: Vec<(u64, EncodedKey, R)>,
-    /// The delta being produced for the next level, keyed by precomputed
-    /// hashes.
-    next: RawTable<EncodedKey, R>,
-    /// Per-probe-depth partial products (`acc * sibling payload`); their
-    /// inner allocations (vectors, matrices, maps) are reused by
-    /// [`Ring::mul_into`].
-    partials: Vec<R>,
-    /// Per-probe-depth memoized probe results (valid within one level).
-    memo: Vec<StepMemo>,
-    /// The assignment (bound variable values) at the current node, in
-    /// encoded form — scatters and gathers are plain word copies.
-    assignment: Vec<EncodedValue>,
-    /// Recycled delta payloads: exact-zero ring values whose interior
-    /// buffers (relation tables, cofactor matrices) are reused by the next
-    /// level's accumulation instead of being freed and reallocated.
-    /// Capped at [`POOL_CAP`], and disabled entirely for identity-only
-    /// lift sets (e.g. COUNT): only the fused-lift emit arm draws from the
-    /// pool, so an engine without non-identity lifts must not pay any
-    /// pooling work (not even the pool vector's growth).
-    pool: Vec<R>,
-    /// Whether any lift can draw from the pool (see `pool`).
-    pool_enabled: bool,
-}
-
-/// Upper bound on pooled delta payloads (see `PropagationScratch::pool`).
-const POOL_CAP: usize = 4096;
-
-impl<R: Ring> PropagationScratch<R> {
-    fn new(max_probe_depth: usize, max_local_vars: usize, pool_enabled: bool) -> Self {
-        PropagationScratch {
-            current: Vec::new(),
-            next: RawTable::new(),
-            partials: (0..max_probe_depth).map(|_| R::zero()).collect(),
-            memo: (0..max_probe_depth).map(|_| StepMemo::new()).collect(),
-            assignment: vec![EncodedValue::NULL; max_local_vars],
-            pool: Vec::new(),
-            pool_enabled,
-        }
-    }
-
-    /// Recycles the current level's delta payloads into the pool (they
-    /// were applied to the view by reference): each is reset to an exact
-    /// zero keeping its in-budget buffers, up to [`POOL_CAP`] payloads.
-    fn recycle_current(&mut self) {
-        for (_, _, payload) in self.current.drain(..) {
-            if self.pool_enabled && self.pool.len() < POOL_CAP {
-                let mut payload = payload;
-                payload.reset_zero();
-                self.pool.push(payload);
-            }
         }
     }
 }
@@ -898,228 +746,6 @@ impl<R: PersistRing> Engine<R> {
             ));
         }
         Ok(())
-    }
-}
-
-/// Merges one input row into the grouped leaf delta: encodes the row
-/// through the table binding (or validates its arity) directly into an
-/// [`EncodedKey`], hashes the key **once**, then accumulates `1 · mult`
-/// under that key.
-///
-/// Shared by [`Engine::apply_update`] and [`Engine::apply_rows`] so the
-/// validation and grouping semantics cannot diverge.  On error the grouped
-/// delta is cleared so the scratch stays drained for the next batch.
-#[allow(clippy::too_many_arguments)]
-fn group_row<R: Ring>(
-    delta: &mut RawTable<EncodedKey, R>,
-    dict: &mut Dict,
-    stats: &mut EngineStats,
-    one: &R,
-    binding: Option<&[usize]>,
-    arity: usize,
-    row: &[Value],
-    mult: i64,
-) -> Result<()> {
-    if mult == 0 {
-        return Ok(());
-    }
-    // Encode the projected row straight into the key — one pass, no
-    // intermediate buffer.
-    let key = match binding {
-        Some(cols) => {
-            if let Some(&c) = cols.iter().find(|&&c| c >= row.len()) {
-                delta.clear();
-                return Err(FivmError::InvalidUpdate(format!(
-                    "row has {} columns but column {c} was bound",
-                    row.len()
-                )));
-            }
-            EncodedKey::from_fn(cols.len(), |i| dict.encode_value(&row[cols[i]]))
-        }
-        None => {
-            if row.len() != arity {
-                delta.clear();
-                return Err(FivmError::InvalidUpdate(format!(
-                    "row arity {} does not match relation arity {arity}",
-                    row.len()
-                )));
-            }
-            EncodedKey::from_fn(arity, |i| dict.encode_value(&row[i]))
-        }
-    };
-    let hash = key.fx_hash();
-    match delta.probe(hash, |k, _| *k == key) {
-        Probe::Found(idx) => {
-            delta.value_at_mut(idx).fma_scaled(one, one, mult);
-            stats.ring_adds += 1;
-        }
-        Probe::Vacant(idx) => {
-            delta.occupy(idx, hash, key, one.scale_int(mult));
-        }
-    }
-    Ok(())
-}
-
-/// Accumulates one contribution under an output key into a level's delta
-/// table.  `hash` is the key's precomputed hash; `ev` is the lifted
-/// variable's dictionary-encoded value, consumed directly by lifts with an
-/// encoded fused accumulate — a raw [`Value`] materializes only for lifts
-/// without one (the decode goes through the context, off the lock-free
-/// path).
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn emit<R: Ring>(
-    out: &mut RawTable<EncodedKey, R>,
-    lift: &LiftFn<R>,
-    ev: EncodedValue,
-    ctx: &RingCtx,
-    key: EncodedKey,
-    hash: u64,
-    acc: &R,
-    pool: &mut Vec<R>,
-    stats: &mut EngineStats,
-) {
-    if lift.is_identity() {
-        match out.probe(hash, |k, _| *k == key) {
-            Probe::Found(idx) => {
-                out.value_at_mut(idx).add_assign(acc);
-                stats.ring_adds += 1;
-            }
-            Probe::Vacant(idx) => {
-                // Clone rather than accumulate into a pooled zero: a pooled
-                // buffer may carry a different zero *shape* (a recycled
-                // dense element vs a scalar), and the stored payload's
-                // representation must not depend on pool history.  The
-                // fused-lift arm below is shape-deterministic (the lift
-                // promotes to a dense element either way) and does pool.
-                out.occupy(idx, hash, key, acc.clone());
-            }
-        }
-    } else {
-        // Fused lift-multiply-accumulate: `slot += acc · g(v)` without
-        // materializing the (sparse) lifted element when the lift carries a
-        // specialization.
-        match out.probe(hash, |k, _| *k == key) {
-            Probe::Found(idx) => {
-                lift.fma_apply_encoded(ev, |e| ctx.decode_value(e), acc, 1, out.value_at_mut(idx));
-                stats.ring_adds += 1;
-                stats.ring_muls += 1;
-            }
-            Probe::Vacant(idx) => {
-                let mut payload = pool.pop().unwrap_or_else(R::zero);
-                debug_assert!(payload.is_zero(), "pooled payload must be zero");
-                lift.fma_apply_encoded(ev, |e| ctx.decode_value(e), acc, 1, &mut payload);
-                stats.ring_muls += 1;
-                if !payload.is_zero() {
-                    out.occupy(idx, hash, key, payload);
-                } else {
-                    pool.push(payload);
-                }
-            }
-        }
-    }
-}
-
-/// Extends a partial assignment by probing the remaining siblings, then
-/// applies the lift and accumulates the marginalized contribution into
-/// `out`.
-///
-/// Probe keys and output keys are gathered from the encoded assignment by
-/// word copies and hashed exactly once each; probe results are memoized per
-/// depth for the duration of the level.  Partial products are written into
-/// `partials` (one slot per probe depth, reused across calls via
-/// [`Ring::mul_into`]); the final contribution is accumulated with
-/// [`Ring::fma_scaled`], so the dense-payload hot path performs no ring
-/// allocation.
-#[allow(clippy::too_many_arguments)]
-fn extend_assignment<R: Ring>(
-    views: &[MaterializedView<R>],
-    ctx: &RingCtx,
-    dp: &DeltaPlan,
-    lift: &LiftFn<R>,
-    steps: &[crate::plan::DeltaStep],
-    memo: &mut [StepMemo],
-    assignment: &mut [EncodedValue],
-    acc: &R,
-    partials: &mut [R],
-    out: &mut RawTable<EncodedKey, R>,
-    pool: &mut Vec<R>,
-    stats: &mut EngineStats,
-) {
-    let Some((step, rest)) = steps.split_first() else {
-        // All siblings probed: apply the lift and emit the contribution
-        // under the node's output key (hashed once, reused by the upsert
-        // and, via `drain_into`, by the view application and parent level).
-        let key = EncodedKey::gather(assignment, &dp.key_positions);
-        let hash = key.fx_hash();
-        emit(
-            out,
-            lift,
-            assignment[dp.var_position],
-            ctx,
-            key,
-            hash,
-            acc,
-            pool,
-            stats,
-        );
-        return;
-    };
-
-    let (step_memo, memo_rest) = memo.split_first_mut().expect("probe depth memo");
-    let view = &views[step.sibling_view];
-    let probe = EncodedKey::gather(assignment, &step.probe_positions);
-    let hash = probe.fx_hash();
-    stats.probes += 1;
-
-    match &step.probe {
-        ProbeKind::Primary => {
-            if let Some(slot) = step_memo.probe_primary(view, hash, probe) {
-                stats.probe_hits += 1;
-                let payload = view.slot_payload(slot);
-                let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
-                acc.mul_into(payload, head);
-                stats.ring_muls += 1;
-                if !head.is_zero() {
-                    // Move `head` out of the mutable borrow: recursion only
-                    // needs it immutably, and `tail` covers deeper levels.
-                    let next: &R = head;
-                    extend_assignment(
-                        views, ctx, dp, lift, rest, memo_rest, assignment, next, tail, out,
-                        pool, stats,
-                    );
-                }
-            }
-        }
-        ProbeKind::Index(idx) => {
-            // The bucket stores slot ids: matches stream straight out of
-            // the sibling's slab (full key and payload side by side), with
-            // no per-match primary-map lookup and no cloned matches.
-            let Some(bucket) = step_memo.probe_index(view, *idx, hash, probe) else {
-                return;
-            };
-            stats.probe_hits += 1;
-            let slots = view.index_bucket_at(*idx, bucket);
-            for &slot in slots {
-                let full_key = view.slot_key(slot);
-                for (col, &pos) in step.write_positions.iter().enumerate() {
-                    if pos != ALREADY_BOUND {
-                        assignment[pos] = full_key.col(col);
-                    }
-                }
-                let payload = view.slot_payload(slot);
-                let (head, tail) = partials.split_first_mut().expect("probe depth scratch");
-                acc.mul_into(payload, head);
-                stats.ring_muls += 1;
-                if !head.is_zero() {
-                    let next: &R = head;
-                    extend_assignment(
-                        views, ctx, dp, lift, rest, memo_rest, assignment, next, tail, out,
-                        pool, stats,
-                    );
-                }
-            }
-        }
     }
 }
 

@@ -33,6 +33,9 @@
 //! * [`engine`] — the generic, ring-agnostic maintenance engine.
 //! * [`plan`] — compilation of view trees into static probe/index plans.
 //! * [`view`] — materialized views with planned secondary indexes.
+//! * [`kernel`] — the shared delta-propagation kernel (grouping, probing,
+//!   lift application), driven by both the single-tree engine and the
+//!   multi-query DAG (`fivm_dag`).
 //! * [`apps`] — preconfigured engines for the paper's applications (count,
 //!   COVAR, mixed COVAR, mutual information, factorized evaluation).
 //! * [`error`] — typed [`EngineError`] for the public maintenance and
@@ -41,6 +44,7 @@
 pub mod apps;
 pub mod engine;
 pub mod error;
+pub mod kernel;
 pub mod plan;
 pub mod view;
 

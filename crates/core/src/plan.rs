@@ -113,6 +113,159 @@ pub struct LeafPlan {
     pub parent: (usize, usize),
 }
 
+/// Compiles the delta plan for one `(node, updating child)` pair: the
+/// scatter of the incoming delta tuple, the greedy sibling probe order and
+/// the direct-emit shortcut for probe-free nodes.
+///
+/// `register_index(sibling_view, probe_cols)` is called whenever a probe
+/// needs a secondary index on the sibling and must return the per-view
+/// index id.  [`ExecutionPlan::compile`] collects requirements into the
+/// plan's `index_requirements`; the multi-query DAG (`fivm_dag`) registers
+/// them directly on its already-constructed shared views — both produce
+/// `ProbeKind::Index` ids that line up with
+/// `MaterializedView::ensure_index` order.
+pub fn compile_delta_plan(
+    node_id: usize,
+    var: VarId,
+    key_vars: &[VarId],
+    local_vars: &[VarId],
+    children: &[ChildInfo],
+    updating_idx: usize,
+    register_index: &mut dyn FnMut(usize, Vec<usize>) -> usize,
+) -> Result<DeltaPlan> {
+    let pos_of = |v: VarId| -> Result<usize> {
+        local_vars.iter().position(|&x| x == v).ok_or_else(|| {
+            FivmError::InvalidVariableOrder(format!(
+                "variable {v} not among local variables of view {node_id}"
+            ))
+        })
+    };
+    let updating = &children[updating_idx];
+
+    // Scatter: delta tuple columns (the child's cover) into the assignment.
+    let scatter = updating
+        .cover
+        .iter()
+        .map(|&v| pos_of(v))
+        .collect::<Result<Vec<_>>>()?;
+
+    let mut known: Vec<VarId> = updating.cover.clone();
+    let mut remaining: Vec<usize> = (0..children.len())
+        .filter(|&i| i != updating_idx)
+        .collect();
+    let mut steps = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Greedily pick the sibling sharing the most variables with the
+        // already-bound set (ties by child order) to keep intermediate
+        // fan-out small.
+        let best_i = *remaining
+            .iter()
+            .max_by_key(|&&i| {
+                let overlap = children[i]
+                    .cover
+                    .iter()
+                    .filter(|v| known.contains(v))
+                    .count();
+                (overlap, usize::MAX - i)
+            })
+            .expect("remaining is non-empty");
+        remaining.retain(|&i| i != best_i);
+        let sibling = &children[best_i];
+
+        // Probe columns: sibling key columns already bound.
+        let probe_cols: Vec<usize> = sibling
+            .cover
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| known.contains(v))
+            .map(|(c, _)| c)
+            .collect();
+        let probe_positions = probe_cols
+            .iter()
+            .map(|&c| pos_of(sibling.cover[c]))
+            .collect::<Result<Vec<_>>>()?;
+        let probe = if probe_cols.len() == sibling.cover.len() {
+            ProbeKind::Primary
+        } else {
+            // Register the secondary index on the sibling view.
+            ProbeKind::Index(register_index(sibling.view_idx, probe_cols.clone()))
+        };
+        // For primary probes the gather order must be the sibling's full
+        // key order.
+        let probe_positions = if probe == ProbeKind::Primary {
+            sibling
+                .cover
+                .iter()
+                .map(|&v| pos_of(v))
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            probe_positions
+        };
+
+        let write_positions = sibling
+            .cover
+            .iter()
+            .map(|&v| {
+                if known.contains(&v) {
+                    Ok(ALREADY_BOUND)
+                } else {
+                    pos_of(v)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        for &v in &sibling.cover {
+            if !known.contains(&v) {
+                known.push(v);
+            }
+        }
+        steps.push(DeltaStep {
+            sibling_view: sibling.view_idx,
+            probe,
+            probe_positions,
+            write_positions,
+        });
+    }
+
+    // Sanity: all local variables are bound after all steps.
+    for &v in local_vars {
+        if !known.contains(&v) {
+            return Err(FivmError::InvalidVariableOrder(format!(
+                "variable {v} of view {node_id} is never bound when child {updating_idx} is updated"
+            )));
+        }
+    }
+
+    // Probe-free plans read everything from the delta key; map
+    // output-key/var variables back to delta-key columns once, here,
+    // instead of scattering per delta entry at runtime.
+    let direct = if steps.is_empty() {
+        let col_of = |v: VarId| {
+            updating
+                .cover
+                .iter()
+                .position(|&c| c == v)
+                .expect("no-step plans bind every local var from the child")
+        };
+        Some(DirectEmit {
+            key_cols: key_vars.iter().map(|&v| col_of(v)).collect(),
+            var_col: col_of(var),
+        })
+    } else {
+        None
+    };
+
+    Ok(DeltaPlan {
+        scatter,
+        steps,
+        var_position: pos_of(var)?,
+        key_positions: key_vars
+            .iter()
+            .map(|&v| pos_of(v))
+            .collect::<Result<Vec<_>>>()?,
+        direct,
+    })
+}
+
 /// The complete executable plan.
 #[derive(Clone, Debug)]
 pub struct ExecutionPlan {
@@ -151,148 +304,27 @@ impl ExecutionPlan {
         for node in tree.nodes() {
             let children: Vec<ChildInfo> = node.children.iter().map(child_info).collect();
             let local_vars = node.local_vars.clone();
-            let pos_of = |v: VarId| -> Result<usize> {
-                local_vars.iter().position(|&x| x == v).ok_or_else(|| {
-                    FivmError::InvalidVariableOrder(format!(
-                        "variable {v} not among local variables of view {}",
-                        node.id
-                    ))
-                })
-            };
 
             let mut delta_plans = Vec::with_capacity(children.len());
-            for (j, updating) in children.iter().enumerate() {
-                // Scatter: delta tuple columns (the child's cover) into the
-                // assignment.
-                let scatter = updating
-                    .cover
-                    .iter()
-                    .map(|&v| pos_of(v))
-                    .collect::<Result<Vec<_>>>()?;
-
-                let mut known: Vec<VarId> = updating.cover.clone();
-                let mut remaining: Vec<usize> = (0..children.len()).filter(|&i| i != j).collect();
-                let mut steps = Vec::with_capacity(remaining.len());
-                while !remaining.is_empty() {
-                    // Greedily pick the sibling sharing the most variables
-                    // with the already-bound set (ties by child order) to
-                    // keep intermediate fan-out small.
-                    let best_i = *remaining
-                        .iter()
-                        .max_by_key(|&&i| {
-                            let overlap = children[i]
-                                .cover
-                                .iter()
-                                .filter(|v| known.contains(v))
-                                .count();
-                            (overlap, usize::MAX - i)
-                        })
-                        .expect("remaining is non-empty");
-                    remaining.retain(|&i| i != best_i);
-                    let sibling = &children[best_i];
-
-                    // Probe columns: sibling key columns already bound.
-                    let probe_cols: Vec<usize> = sibling
-                        .cover
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, v)| known.contains(v))
-                        .map(|(c, _)| c)
-                        .collect();
-                    let probe_positions = probe_cols
-                        .iter()
-                        .map(|&c| pos_of(sibling.cover[c]))
-                        .collect::<Result<Vec<_>>>()?;
-                    let probe = if probe_cols.len() == sibling.cover.len() {
-                        ProbeKind::Primary
-                    } else {
-                        // Register the secondary index on the sibling view.
-                        let reqs = &mut index_requirements[sibling.view_idx];
-                        let id = match reqs.iter().position(|r| *r == probe_cols) {
+            for j in 0..children.len() {
+                delta_plans.push(compile_delta_plan(
+                    node.id,
+                    node.var,
+                    &node.key_vars,
+                    &local_vars,
+                    &children,
+                    j,
+                    &mut |sibling_view, probe_cols| {
+                        let reqs = &mut index_requirements[sibling_view];
+                        match reqs.iter().position(|r| *r == probe_cols) {
                             Some(id) => id,
                             None => {
-                                reqs.push(probe_cols.clone());
+                                reqs.push(probe_cols);
                                 reqs.len() - 1
                             }
-                        };
-                        ProbeKind::Index(id)
-                    };
-                    // For primary probes the gather order must be the
-                    // sibling's full key order.
-                    let probe_positions = if probe == ProbeKind::Primary {
-                        sibling
-                            .cover
-                            .iter()
-                            .map(|&v| pos_of(v))
-                            .collect::<Result<Vec<_>>>()?
-                    } else {
-                        probe_positions
-                    };
-
-                    let write_positions = sibling
-                        .cover
-                        .iter()
-                        .map(|&v| {
-                            if known.contains(&v) {
-                                Ok(ALREADY_BOUND)
-                            } else {
-                                pos_of(v)
-                            }
-                        })
-                        .collect::<Result<Vec<_>>>()?;
-                    for &v in &sibling.cover {
-                        if !known.contains(&v) {
-                            known.push(v);
                         }
-                    }
-                    steps.push(DeltaStep {
-                        sibling_view: sibling.view_idx,
-                        probe,
-                        probe_positions,
-                        write_positions,
-                    });
-                }
-
-                // Sanity: all local variables are bound after all steps.
-                for &v in &local_vars {
-                    if !known.contains(&v) {
-                        return Err(FivmError::InvalidVariableOrder(format!(
-                            "variable {v} of view {} is never bound when child {j} is updated",
-                            node.id
-                        )));
-                    }
-                }
-
-                // Probe-free plans read everything from the delta key; map
-                // output-key/var variables back to delta-key columns once,
-                // here, instead of scattering per delta entry at runtime.
-                let direct = if steps.is_empty() {
-                    let col_of = |v: VarId| {
-                        updating
-                            .cover
-                            .iter()
-                            .position(|&c| c == v)
-                            .expect("no-step plans bind every local var from the child")
-                    };
-                    Some(DirectEmit {
-                        key_cols: node.key_vars.iter().map(|&v| col_of(v)).collect(),
-                        var_col: col_of(node.var),
-                    })
-                } else {
-                    None
-                };
-
-                delta_plans.push(DeltaPlan {
-                    scatter,
-                    steps,
-                    var_position: pos_of(node.var)?,
-                    key_positions: node
-                        .key_vars
-                        .iter()
-                        .map(|&v| pos_of(v))
-                        .collect::<Result<Vec<_>>>()?,
-                    direct,
-                });
+                    },
+                )?);
             }
 
             let parent = node.parent.map(|p| {

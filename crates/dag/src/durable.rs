@@ -1,0 +1,93 @@
+//! A [`QueryRegistry`] behind a CDC changelog.
+//!
+//! The DAG holds the fleet's materialized state in memory; this wrapper
+//! makes the *stream* durable with the same discipline as
+//! `fivm_cdc::DurableEngine`: every batch is appended and fsynced to the
+//! changelog **before** it is applied, so an acknowledged batch survives
+//! a crash. Recovery rebuilds a fresh registry (the caller re-registers
+//! the same queries — registration is metadata, not state), loads the
+//! initial database, and replays the changelog **once** — one propagation
+//! pass per logged batch, shared prefixes maintained once, every sink
+//! converging bit-identically to the pre-crash fleet.
+
+use crate::error::DagResult;
+use crate::registry::QueryRegistry;
+use fivm_cdc::{read_changelog, ChangelogWriter};
+use fivm_core::UpdateOutcome;
+use fivm_relation::{Database, Update};
+use std::path::{Path, PathBuf};
+
+/// A query registry whose input stream is journaled to a CDC changelog.
+pub struct DurableRegistry {
+    registry: QueryRegistry,
+    log: ChangelogWriter,
+    path: PathBuf,
+}
+
+impl DurableRegistry {
+    /// Starts a fresh durable registry: truncates any changelog at `path`
+    /// and journals every subsequent batch there. The registry should
+    /// already hold its registrations and initial database load — only
+    /// updates applied *through* this wrapper are journaled.
+    pub fn create(registry: QueryRegistry, path: impl AsRef<Path>) -> DagResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let log = ChangelogWriter::create(&path)?;
+        Ok(DurableRegistry {
+            registry,
+            log,
+            path,
+        })
+    }
+
+    /// Recovers after a crash: `registry` must carry the same
+    /// registrations as the lost instance; `db` is the same initial
+    /// database it was loaded with. The changelog at `path` is replayed
+    /// once (torn tails ignored, as in `read_changelog`), then reopened
+    /// for appending.
+    pub fn recover(
+        mut registry: QueryRegistry,
+        db: &Database,
+        path: impl AsRef<Path>,
+    ) -> DagResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        registry.load_database(db)?;
+        let (batches, _end) = read_changelog(&path)?;
+        for batch in &batches {
+            registry.apply_update(&batch.to_update())?;
+        }
+        let log = ChangelogWriter::open_append(&path)?;
+        Ok(DurableRegistry {
+            registry,
+            log,
+            path,
+        })
+    }
+
+    /// Journals the batch durably (append + fsync), then applies it to
+    /// the fleet. A batch whose append fails is never applied.
+    pub fn apply_update(&mut self, update: &Update) -> DagResult<UpdateOutcome> {
+        self.log.append_update(update)?;
+        self.registry.apply_update(update)
+    }
+
+    /// The wrapped registry (result accessors, stats, introspection).
+    pub fn registry(&self) -> &QueryRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the wrapped registry. Registrations made here
+    /// are **not** journaled — recovery re-registers from caller metadata.
+    pub fn registry_mut(&mut self) -> &mut QueryRegistry {
+        &mut self.registry
+    }
+
+    /// The changelog path this registry journals to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the wrapper, returning the in-memory registry.
+    pub fn into_registry(self) -> QueryRegistry {
+        self.registry
+    }
+}

@@ -1,0 +1,31 @@
+//! # fivm-dag — the multi-query maintenance DAG
+//!
+//! The single-tree engine (`fivm-core`) maintains *one* query. Real
+//! deployments maintain fleets of them over the same feeds — and the
+//! F-IVM view trees of related queries (same variable order, different
+//! group-bys or aggregates over overlapping relation sets) share large
+//! structural prefixes. This crate folds N registered queries into one
+//! shared DAG so a common prefix is materialized and maintained **once**
+//! per update pass, fanning its delta out to every query above it.
+//!
+//! - [`DagEngine`] — the shared DAG for one ring type: fingerprint-keyed
+//!   node pool, one propagation pass per updated leaf, refcounted runtime
+//!   `register` / `unregister` with backfill from materialized state.
+//! - [`QueryRegistry`] — the multi-ring front door: COUNT / COVAR /
+//!   gen-COVAR + MI / relational queries register under one roof, each
+//!   ring group backed by its own `DagEngine`.
+//! - [`DurableRegistry`] — a registry behind a CDC changelog, recoverable
+//!   by replaying the log once over a re-registered registry.
+//!
+//! Node identity, sharing limits and statistics semantics are specified
+//! in the "DAG contract" section of ROADMAP.md.
+
+pub mod durable;
+pub mod engine;
+pub mod error;
+pub mod registry;
+
+pub use durable::DurableRegistry;
+pub use engine::{DagEngine, DagKey};
+pub use error::{DagError, DagResult};
+pub use registry::{QueryId, QueryKind, QueryRegistry};

@@ -18,6 +18,7 @@
 //! "Maintenance Strategy" tab of the paper's Figure 2d), and [`stats`]
 //! summarizes structural plan properties used by tests and benchmarks.
 
+pub mod fingerprint;
 pub mod m3;
 pub mod partition;
 pub mod spec;
@@ -25,6 +26,10 @@ pub mod stats;
 pub mod view_tree;
 pub mod vorder;
 
+pub use fingerprint::{
+    relation_fingerprint, tree_fingerprints, tree_fingerprints_labeled, ChildFingerprint,
+    NodeFingerprint, RelationFingerprint, VarFingerprint,
+};
 pub use partition::{PartitionPlan, RelationRouting};
 pub use spec::{QueryBuilder, QuerySpec, RelationDef, VarRole, VariableDef};
 pub use stats::PlanStats;

@@ -222,9 +222,10 @@ pub fn gen_categorical_lift(
 ) -> LiftFn<GenCofactor> {
     let apply_ctx = ctx.clone();
     let fma_ctx = ctx.clone();
-    LiftFn::new(format!("gen_cofactor<{dim}>[{idx}:cat]({name})"), move |v| {
-        GenCofactor::lift_categorical(dim, idx, attr, apply_ctx.encode_value(v))
-    })
+    LiftFn::new(
+        format!("gen_cofactor<{dim}>[{idx}:cat@{attr}]({name})"),
+        move |v| GenCofactor::lift_categorical(dim, idx, attr, apply_ctx.encode_value(v)),
+    )
     .with_fma(move |v, acc, scale, slot| {
         slot.fma_lift_categorical(acc, dim, idx, attr, fma_ctx.encode_value(v), scale);
     })
@@ -243,7 +244,7 @@ pub fn gen_categorical_lift(
 pub fn relational_lift(attr: VarId, name: &str, ctx: &RingCtx) -> LiftFn<RelValue> {
     let apply_ctx = ctx.clone();
     let fma_ctx = ctx.clone();
-    LiftFn::new(format!("rel[{name}]"), move |v| {
+    LiftFn::new(format!("rel[@{attr}:{name}]"), move |v| {
         RelValue::indicator(attr, apply_ctx.encode_value(v))
     })
     .with_fma(move |v, acc, scale, slot| {

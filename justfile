@@ -66,6 +66,17 @@ bench-recover:
     cargo build --release --bin exp_recovery
     ./target/release/exp_recovery
 
+# Multi-query DAG gate: the shared-vs-standalone differential suite and
+# registration-churn tests under clippy -D warnings, then the shared-pass
+# experiment — merges DAG-* records (K-query fleet through one DagEngine
+# vs K independent engines, medians of interleaved paired rounds) into
+# BENCH_ivm.json without touching other records.
+bench-dag:
+    cargo clippy -p fivm-dag --all-targets -- -D warnings
+    cargo test -p fivm-dag -q
+    cargo build --release --bin exp_dag
+    ./target/release/exp_dag
+
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations
 # (boxed Value tuples vs dictionary-encoded keys).

@@ -20,6 +20,7 @@
 //! | [`baselines`] | `fivm-baselines` | naive re-evaluation, join maintenance, unshared aggregates |
 //! | [`shard`] | `fivm-shard` | partition-aware sharded maintenance (N engines on worker threads, ring-merged results) |
 //! | [`cdc`] | `fivm-cdc` | durability: write-ahead changelog, engine snapshots, crash recovery by replay |
+//! | [`dag`] | `fivm-dag` | multi-query maintenance DAG: shared view-tree prefixes, one propagation pass, runtime register/unregister |
 //!
 //! Two crates are not re-exported: `fivm-bench` (experiment binaries and
 //! Criterion benchmarks; `exp_throughput` also emits the machine-readable
@@ -65,6 +66,7 @@ pub use fivm_baselines as baselines;
 pub use fivm_cdc as cdc;
 pub use fivm_common as common;
 pub use fivm_core as core;
+pub use fivm_dag as dag;
 pub use fivm_data as data;
 pub use fivm_ml as ml;
 pub use fivm_query as query;
