@@ -1,0 +1,357 @@
+//! Experiment E-RING — per-kernel ablation of the columnar/batch delta
+//! kernels (`RING-kernel-*` records).
+//!
+//! Each kernel the columnar path introduced lands with its own paired
+//! before/after measurement, so the artifact shows where the speedup
+//! comes from rather than one blended number:
+//!
+//! * **dense accumulate** — materialize-the-product-then-add (the
+//!   pre-fusion path, one temporary per op) vs the fused, vectorized
+//!   [`fivm_ring::Ring::fma_scaled`] on dense cofactor elements;
+//! * **continuous lift** — per-row `LiftFn::fma_apply_encoded` dispatch
+//!   vs the batch channel's horizontal sums
+//!   (`fma_lift_continuous_sums`);
+//! * **categorical lift** — per-row dispatch vs the weighted batch
+//!   upsert (`fma_lift_categorical_weighted`);
+//! * **batch-fused upsert** — the whole engine on Favorita gen-COVAR and
+//!   MI, `KernelMode::Scalar` vs `KernelMode::Columnar` (the headline
+//!   steady-state throughput pair).
+//!
+//! Methodology: every pair runs ≥ 5 *interleaved* rounds (scalar then
+//! batch within each round, so machine drift hits both sides equally) and
+//! reports the **median** rate per side.  Micro-kernel passes apply every
+//! op with `+w` and then `-w`, returning accumulators to baseline so
+//! later rounds measure steady state.  Engine pairs get one unmeasured
+//! warmup replay first, and their records carry the warm-window work
+//! counters — `rehashes` / `ring_rehashes` must be 0 in every record.
+//!
+//! Records merge into `BENCH_ivm.json` via the family-replace merge
+//! (family `RING-kernel`), leaving the other families untouched.  Run
+//! with `--quick` for a smoke configuration; `--json PATH` overrides the
+//! artifact location.
+
+use fivm_bench::{append_bench_json, format_speedup, measure, BenchRecord, Workload};
+use fivm_core::{Engine, EngineStats, KernelMode};
+use fivm_ring::lift::{gen_categorical_lift, gen_continuous_lift};
+use fivm_ring::{Cofactor, GenCofactor, LiftFn, Ring, RingCtx};
+use std::time::Instant;
+
+/// Aggregate-batch dimension of the micro-kernel accumulators (the
+/// Favorita query carries 11 aggregate variables; 12 keeps the shape
+/// realistic and the triangle sizes even).
+const DIM: usize = 12;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ivm.json".to_string());
+    let rounds = if quick { 5 } else { 7 };
+    let (favorita_cfg, stream) = if quick {
+        (
+            fivm_data::FavoritaConfig::tiny(),
+            fivm_data::StreamConfig {
+                bulks: 4,
+                bulk_size: 100,
+                delete_fraction: 0.2,
+                seed: 1,
+            },
+        )
+    } else {
+        (
+            fivm_data::FavoritaConfig::default(),
+            fivm_data::StreamConfig {
+                bulks: 10,
+                bulk_size: 1_000,
+                delete_fraction: 0.2,
+                seed: 1,
+            },
+        )
+    };
+
+    println!("== E-RING: per-kernel columnar/batch ablation, {rounds} interleaved rounds ==\n");
+    let workload = Workload::favorita(favorita_cfg, stream);
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    // ------------------------------------------------- micro-kernel inputs
+    // Realistic value/weight distributions: one continuous column (the
+    // trailing measure) and one categorical column (the leading join key)
+    // of every stream row, with the stream's multiplicities as weights.
+    let ctx = RingCtx::new();
+    let mut cont_evs = Vec::new();
+    let mut cat_evs = Vec::new();
+    let mut ws = Vec::new();
+    let mut scales = Vec::new();
+    for bulk in &workload.updates {
+        for (row, mult) in &bulk.rows {
+            cont_evs.push(ctx.encode_value(&row[row.len() - 1]));
+            cat_evs.push(ctx.encode_value(&row[0]));
+            ws.push(*mult as f64);
+            scales.push(*mult);
+        }
+    }
+    let ws_neg: Vec<f64> = ws.iter().map(|w| -w).collect();
+    let ops = cont_evs.len();
+    let passes = if quick { 20 } else { 40 };
+
+    // ------------------------------------------------- 1. dense accumulate
+    {
+        let a = Cofactor::lift(DIM, 1, 3.5).mul(&Cofactor::lift(DIM, 4, -2.0));
+        let b = Cofactor::lift(DIM, 0, 1.25).mul(&Cofactor::lift(DIM, 7, 6.0));
+        let a_neg = a.neg();
+        let mut acc = a.mul(&b);
+        let dense_ops = if quick { 20_000 } else { 100_000 };
+        let (slow, fast) = run_micro_pair(rounds, |batched| {
+            if batched {
+                // After: the fused, slice-vectorized accumulate.
+                for _ in 0..dense_ops / 2 {
+                    acc.fma_scaled(&a, &b, 1);
+                    acc.fma_scaled(&a, &b, -1);
+                }
+            } else {
+                // Before: materialize the product, then add it — one
+                // dense temporary per op (the pre-fusion accumulate).
+                for _ in 0..dense_ops / 2 {
+                    let p = a.mul(&b);
+                    acc.add_assign(&p);
+                    let p = a_neg.mul(&b);
+                    acc.add_assign(&p);
+                }
+            }
+            dense_ops
+        });
+        report_micro(&mut records, &workload, "dense", "materialized", "fused", slow, fast);
+    }
+
+    // ------------------------------------------------ 2. continuous lift
+    {
+        let lift: LiftFn<GenCofactor> = gen_continuous_lift(DIM, 0, "measure");
+        let acc = GenCofactor::scalar(1.0);
+        let mut slot = GenCofactor::lift_continuous(DIM, 0, 1.0)
+            .mul(&GenCofactor::lift_continuous(DIM, 3, -2.0));
+        let batch = lift.fma_batch().expect("continuous lift carries a batch channel").clone();
+        let (slow, fast) = run_micro_pair(rounds, |batched| {
+            for _ in 0..passes {
+                if batched {
+                    batch(&cont_evs, &ws, &mut slot);
+                    batch(&cont_evs, &ws_neg, &mut slot);
+                } else {
+                    for (&ev, &s) in cont_evs.iter().zip(&scales) {
+                        lift.fma_apply_encoded(ev, |_| unreachable!(), &acc, s, &mut slot);
+                    }
+                    for (&ev, &s) in cont_evs.iter().zip(&scales) {
+                        lift.fma_apply_encoded(ev, |_| unreachable!(), &acc, -s, &mut slot);
+                    }
+                }
+            }
+            2 * ops * passes
+        });
+        report_micro(&mut records, &workload, "cont", "scalar", "batch", slow, fast);
+    }
+
+    // ------------------------------------------------ 3. categorical lift
+    {
+        let lift: LiftFn<GenCofactor> = gen_categorical_lift(DIM, 2, 2, "store", &ctx);
+        let acc = GenCofactor::scalar(1.0);
+        let mut slot = GenCofactor::zero();
+        let batch = lift.fma_batch().expect("categorical lift carries a batch channel").clone();
+        // Warm the interior tables with every key the stream touches.
+        batch(&cat_evs, &ws, &mut slot);
+        batch(&cat_evs, &ws_neg, &mut slot);
+        let (slow, fast) = run_micro_pair(rounds, |batched| {
+            for _ in 0..passes {
+                if batched {
+                    batch(&cat_evs, &ws, &mut slot);
+                    batch(&cat_evs, &ws_neg, &mut slot);
+                } else {
+                    for (&ev, &s) in cat_evs.iter().zip(&scales) {
+                        lift.fma_apply_encoded(ev, |_| unreachable!(), &acc, s, &mut slot);
+                    }
+                    for (&ev, &s) in cat_evs.iter().zip(&scales) {
+                        lift.fma_apply_encoded(ev, |_| unreachable!(), &acc, -s, &mut slot);
+                    }
+                }
+            }
+            2 * ops * passes
+        });
+        report_micro(&mut records, &workload, "cat", "scalar", "batch", slow, fast);
+    }
+
+    // -------------------------------------------- 4. batch-fused upsert
+    let covar_ratio = run_engine_paired(
+        workload.gen_covar_engine(),
+        workload.gen_covar_engine(),
+        &workload,
+        rounds,
+        "upsert-covar",
+        &mut records,
+    );
+    let mi_ratio = run_engine_paired(
+        workload.mi_engine(),
+        workload.mi_engine(),
+        &workload,
+        rounds,
+        "upsert-mi",
+        &mut records,
+    );
+
+    match append_bench_json(&json_path, "RING-kernel", &records) {
+        Ok(()) => println!("\nmerged {} RING-kernel records into {json_path}", records.len()),
+        Err(e) => eprintln!("\nfailed to update {json_path}: {e}"),
+    }
+    println!(
+        "\n(acceptance: Favorita COVAR or MI steady-state columnar/scalar ratio ≥ 1.3×; \
+         measured COVAR {:.2}x, MI {:.2}x)",
+        covar_ratio, mi_ratio
+    );
+}
+
+/// Runs `rounds` interleaved rounds of a two-sided micro-kernel pass
+/// (`pass(false)` = the scalar/before side, `pass(true)` = the batch
+/// side; each call returns the op count it performed) and yields the
+/// median ops/second of each side.  One closure owns both sides so they
+/// can share mutable accumulator state.
+fn run_micro_pair(
+    rounds: usize,
+    mut pass: impl FnMut(bool) -> usize,
+) -> ((f64, usize), (f64, usize)) {
+    // One unmeasured warmup of each side.
+    let mut slow_ops = pass(false);
+    let mut fast_ops = pass(true);
+    let mut slow_rates = Vec::with_capacity(rounds);
+    let mut fast_rates = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let t = Instant::now();
+        slow_ops = pass(false);
+        slow_rates.push(slow_ops as f64 / t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        fast_ops = pass(true);
+        fast_rates.push(fast_ops as f64 / t.elapsed().as_secs_f64());
+    }
+    ((median(&mut slow_rates), slow_ops), (median(&mut fast_rates), fast_ops))
+}
+
+/// Prints one micro-kernel pair and pushes its two records.
+fn report_micro(
+    records: &mut Vec<BenchRecord>,
+    workload: &Workload,
+    kernel: &str,
+    before: &str,
+    after: &str,
+    (slow_rate, slow_ops): (f64, usize),
+    (fast_rate, fast_ops): (f64, usize),
+) {
+    println!(
+        "{kernel}: {before} {:.2}M ops/s, {after} {:.2}M ops/s ({} from the batch kernel)",
+        slow_rate / 1e6,
+        fast_rate / 1e6,
+        format_speedup(fast_rate / slow_rate),
+    );
+    for (suffix, rate, ops) in [(before, slow_rate, slow_ops), (after, fast_rate, fast_ops)] {
+        records.push(BenchRecord {
+            dataset: workload.dataset.name().to_string(),
+            app: format!("RING-kernel-{kernel}-{suffix}"),
+            bulk_size: 0,
+            updates: ops,
+            seconds: ops as f64 / rate,
+            delta_entries: 0,
+            ring_adds: ops,
+            ring_muls: ops,
+            probes: 0,
+            probe_hits: 0,
+            rehashes: 0,
+            table_bytes: 0,
+        });
+    }
+}
+
+/// Paired scalar-vs-columnar engine runs: both engines are loaded once and
+/// given one unmeasured warmup replay (fixing the key set), then the
+/// stream is replayed `rounds` times on each, alternating within every
+/// round.  Emits `RING-kernel-<app>-scalar` / `-columnar` records with
+/// median throughput and last-round warm-window counters, and returns the
+/// columnar/scalar median ratio.
+fn run_engine_paired<R: Ring>(
+    mut scalar: Engine<R>,
+    mut columnar: Engine<R>,
+    workload: &Workload,
+    rounds: usize,
+    app: &str,
+    records: &mut Vec<BenchRecord>,
+) -> f64 {
+    scalar.set_kernel_mode(KernelMode::Scalar);
+    columnar.set_kernel_mode(KernelMode::Columnar);
+    scalar.load_database(&workload.database).expect("load");
+    columnar.load_database(&workload.database).expect("load");
+    for b in &workload.updates {
+        scalar.apply_update(b).expect("warmup");
+        columnar.apply_update(b).expect("warmup");
+    }
+
+    let mut scalar_rates = Vec::with_capacity(rounds);
+    let mut columnar_rates = Vec::with_capacity(rounds);
+    let mut scalar_stats = EngineStats::default();
+    let mut columnar_stats = EngineStats::default();
+    let mut updates = 0usize;
+    for _ in 0..rounds {
+        let before = scalar.stats();
+        let t = measure(&workload.updates, |b| {
+            scalar.apply_update(b).unwrap();
+        });
+        scalar_stats = scalar.stats().delta_since(&before);
+        scalar_rates.push(t.updates_per_second());
+
+        let before = columnar.stats();
+        let t = measure(&workload.updates, |b| {
+            columnar.apply_update(b).unwrap();
+        });
+        columnar_stats = columnar.stats().delta_since(&before);
+        columnar_rates.push(t.updates_per_second());
+        updates = t.updates;
+    }
+
+    let med_s = median(&mut scalar_rates.clone());
+    let med_c = median(&mut columnar_rates.clone());
+    println!(
+        "{app}: scalar median {:.0} rows/s, columnar median {:.0} rows/s \
+         ({} from the columnar kernel; per-round ratios {})",
+        med_s,
+        med_c,
+        format_speedup(med_c / med_s),
+        columnar_rates
+            .iter()
+            .zip(&scalar_rates)
+            .map(|(c, s)| format!("{:.2}", c / s))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    for (suffix, rate, stats) in [
+        ("scalar", med_s, scalar_stats),
+        ("columnar", med_c, columnar_stats),
+    ] {
+        records.push(BenchRecord {
+            dataset: workload.dataset.name().to_string(),
+            app: format!("RING-kernel-{app}-{suffix}"),
+            bulk_size: workload.updates.first().map(|u| u.len()).unwrap_or(0),
+            updates,
+            seconds: updates as f64 / rate,
+            delta_entries: stats.delta_entries,
+            ring_adds: stats.ring_adds,
+            ring_muls: stats.ring_muls,
+            probes: stats.probes,
+            probe_hits: stats.probe_hits,
+            rehashes: stats.rehashes,
+            table_bytes: stats.table_bytes,
+        });
+    }
+    med_c / med_s
+}
+
+/// The median of a sample (sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    xs[xs.len() / 2]
+}

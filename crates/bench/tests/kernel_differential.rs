@@ -1,0 +1,366 @@
+//! Seeded differential suite for the columnar batch kernel: the same
+//! update streams replayed through engines forced to `KernelMode::Scalar`
+//! (per-row lift dispatch) and `KernelMode::Columnar` (sorted run
+//! detection + batch-fused lifts), results compared at the root.
+//!
+//! # Exactness
+//!
+//! The columnar kernel sorts a level's delta by `(hash, key)` with the
+//! arrival index as tie-break, so rows sharing a key accumulate in the
+//! same order as the scalar path; the only re-association is inside the
+//! *batch-fused continuous* lift, which folds a run into horizontal sums
+//! `(Σw, Σw·x, Σw·x²)`.  Hence, exactly as in the sharded and DAG
+//! differential suites:
+//!
+//! * COUNT (`i64`) and MI (integer-count `f64`s in binned categorical
+//!   tables) are asserted **bit-for-bit**;
+//! * COVAR over *quantized* streams (every continuous value an integer)
+//!   is exact in any addition order, so it is asserted bit-for-bit too;
+//! * COVAR over raw float streams is asserted to a tight relative
+//!   tolerance (1e-9).
+//!
+//! All streams carry deletes (`delete_fraction > 0`), so the kernel's
+//! negative-multiplicity and cancel-to-zero paths are exercised; a final
+//! `+pulse/-pulse` replay pins the steady-state hash-once contract
+//! (`rehashes == 0`, `ring_rehashes == 0`) in **both** modes.
+
+use fivm_bench::Workload;
+use fivm_common::Value;
+use fivm_core::{Engine, KernelMode};
+use fivm_dag::{QueryKind, QueryRegistry};
+use fivm_data::{FavoritaConfig, RetailerConfig, StreamConfig};
+use fivm_relation::{BaseTable, Database, Relation, Tuple, Update};
+use fivm_ring::{ApproxEq, Ring};
+
+// ---------------------------------------------------------------- helpers
+
+fn quantize_value(v: &Value) -> Value {
+    match v {
+        Value::Double(d) => Value::double(d.get().round()),
+        other => other.clone(),
+    }
+}
+
+fn quantize_tuple(t: &[Value]) -> Tuple {
+    t.iter().map(quantize_value).collect::<Vec<_>>().into_boxed_slice()
+}
+
+fn quantize_updates(updates: &[Update]) -> Vec<Update> {
+    updates
+        .iter()
+        .map(|u| {
+            Update::with_multiplicities(
+                u.table.clone(),
+                u.rows.iter().map(|(r, m)| (quantize_tuple(r), *m)).collect(),
+            )
+        })
+        .collect()
+}
+
+fn quantize_database(db: &Database) -> Database {
+    let mut out = Database::new();
+    for table in db.tables() {
+        let mut t = BaseTable::new(table.name.clone(), table.schema.clone());
+        for (row, mult) in &table.rows {
+            t.push_with_multiplicity(quantize_tuple(row), *mult);
+        }
+        out.add_table(t).expect("names stay unique");
+    }
+    out
+}
+
+#[derive(Clone, Copy)]
+enum Agreement {
+    Exact,
+    Approx(f64),
+}
+
+fn sorted_entries<R: Ring>(rel: &Relation<R>) -> Vec<(Tuple, R)> {
+    let mut entries: Vec<(Tuple, R)> = rel.iter().map(|(k, p)| (k.clone(), p.clone())).collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries
+}
+
+fn assert_agrees<R: Ring + ApproxEq>(
+    columnar: &Relation<R>,
+    scalar: &Relation<R>,
+    agreement: Agreement,
+    ctx: &str,
+) {
+    let columnar = sorted_entries(columnar);
+    let scalar = sorted_entries(scalar);
+    assert_eq!(
+        columnar.len(),
+        scalar.len(),
+        "{ctx}: result cardinality diverged between kernels"
+    );
+    for ((ck, cp), (sk, sp)) in columnar.iter().zip(scalar.iter()) {
+        assert_eq!(ck, sk, "{ctx}: decoded keys diverged between kernels");
+        match agreement {
+            Agreement::Exact => assert!(
+                cp == sp,
+                "{ctx}: payload not bit-for-bit equal at key {ck:?}"
+            ),
+            Agreement::Approx(tol) => assert!(
+                cp.approx_eq(sp, tol),
+                "{ctx}: payload outside tolerance at key {ck:?}"
+            ),
+        }
+    }
+}
+
+/// Loads both engines and replays the stream through both, the left one
+/// forced to the scalar kernel and the right one to the columnar kernel
+/// (mode is set *before* the initial load so the bulk path is columnar
+/// too).
+fn run_pair<R: Ring>(
+    mut scalar: Engine<R>,
+    mut columnar: Engine<R>,
+    db: &Database,
+    updates: &[Update],
+) -> (Engine<R>, Engine<R>) {
+    scalar.set_kernel_mode(KernelMode::Scalar);
+    columnar.set_kernel_mode(KernelMode::Columnar);
+    scalar.load_database(db).expect("scalar load");
+    columnar.load_database(db).expect("columnar load");
+    for u in updates {
+        scalar.apply_update(u).expect("scalar update");
+        columnar.apply_update(u).expect("columnar update");
+    }
+    (scalar, columnar)
+}
+
+/// A `+1`/`-1` pulse over fact rows the engines have already seen — the
+/// steady-state probe from the DAG differential suite.  (A full stream
+/// replay would not do: its deletes keep removing entries, and tombstone
+/// compaction counts as a rehash in either kernel mode.)
+fn steady_state_pulse(db: &Database, fact: &str) -> (Update, Update) {
+    let rows: Vec<(Tuple, i64)> = db
+        .table(fact)
+        .expect("fact table exists")
+        .rows
+        .iter()
+        .take(100)
+        .map(|(r, _)| (r.clone(), 1))
+        .collect();
+    let plus = Update::with_multiplicities(fact, rows.clone());
+    let minus =
+        Update::with_multiplicities(fact, rows.iter().map(|(r, _)| (r.clone(), -1)).collect());
+    (plus, minus)
+}
+
+/// Applies the pulse and asserts the hash-once contract held: no
+/// view-table and no ring-interior rehash in either kernel mode.
+fn assert_steady_state_rehash_free<R: Ring>(
+    scalar: &mut Engine<R>,
+    columnar: &mut Engine<R>,
+    db: &Database,
+    fact: &str,
+    ctx: &str,
+) {
+    let (plus, minus) = steady_state_pulse(db, fact);
+    for (engine, mode) in [(scalar, "scalar"), (columnar, "columnar")] {
+        let before = engine.stats();
+        engine.apply_update(&plus).expect("steady-state pulse");
+        engine.apply_update(&minus).expect("steady-state pulse");
+        let delta = engine.stats().delta_since(&before);
+        assert_eq!(delta.rehashes, 0, "{ctx}: {mode} kernel rehashed a view in steady state");
+        assert_eq!(
+            delta.ring_rehashes, 0,
+            "{ctx}: {mode} kernel rehashed a ring interior in steady state"
+        );
+    }
+}
+
+fn retailer_workload(continuous_only: bool) -> Workload {
+    Workload::retailer(
+        RetailerConfig {
+            locations: 8,
+            dates: 12,
+            items: 16,
+            zips: 4,
+            inventory_density: 0.2,
+            seed: 11,
+        },
+        StreamConfig {
+            bulks: 6,
+            bulk_size: 150,
+            delete_fraction: 0.25,
+            seed: 5,
+        },
+        continuous_only,
+    )
+}
+
+fn favorita_workload() -> Workload {
+    Workload::favorita(
+        FavoritaConfig::tiny(),
+        StreamConfig {
+            bulks: 5,
+            bulk_size: 120,
+            delete_fraction: 0.25,
+            seed: 9,
+        },
+    )
+}
+
+// ----------------------------------------------------------------- tests
+
+/// COUNT on both datasets: integer ring, bit-for-bit in any order.
+#[test]
+fn count_columnar_matches_scalar_bit_for_bit() {
+    for (name, w) in [
+        ("Retailer", retailer_workload(true)),
+        ("Favorita", favorita_workload()),
+    ] {
+        let (mut s, mut c) = run_pair(w.count_engine(), w.count_engine(), &w.database, &w.updates);
+        assert_agrees(
+            &c.result_relation(),
+            &s.result_relation(),
+            Agreement::Exact,
+            &format!("{name}/COUNT"),
+        );
+        let fact = w.updates[0].table.clone();
+        assert_steady_state_rehash_free(&mut s, &mut c, &w.database, &fact, &format!("{name}/COUNT"));
+    }
+}
+
+/// Continuous COVAR (Cofactor ring) on the quantized Retailer stream:
+/// integer-valued floats make the batch sums exact, so bit-for-bit.
+#[test]
+fn retailer_covar_quantized_is_bit_for_bit() {
+    let w = retailer_workload(true);
+    let db = quantize_database(&w.database);
+    let updates = quantize_updates(&w.updates);
+    let (mut s, mut c) = run_pair(w.covar_engine(), w.covar_engine(), &db, &updates);
+    assert_agrees(
+        &c.result_relation(),
+        &s.result_relation(),
+        Agreement::Exact,
+        "Retailer/COVAR-quantized",
+    );
+    assert_steady_state_rehash_free(&mut s, &mut c, &db, &w.updates[0].table, "Retailer/COVAR-quantized");
+}
+
+/// Continuous COVAR on the raw float stream: the batch-fused continuous
+/// lift re-associates the within-run sums, so tolerance, not identity.
+#[test]
+fn retailer_covar_raw_floats_agree_to_tolerance() {
+    let w = retailer_workload(true);
+    let (s, c) = run_pair(w.covar_engine(), w.covar_engine(), &w.database, &w.updates);
+    assert_agrees(
+        &c.result_relation(),
+        &s.result_relation(),
+        Agreement::Approx(1e-9),
+        "Retailer/COVAR-raw",
+    );
+}
+
+/// Generalized COVAR (mixed continuous/categorical) on quantized Favorita:
+/// exercises the split GenCofactor representation's dense *and*
+/// categorical batch channels; exact on integer-valued floats.
+#[test]
+fn favorita_gen_covar_quantized_is_bit_for_bit() {
+    let w = favorita_workload();
+    let db = quantize_database(&w.database);
+    let updates = quantize_updates(&w.updates);
+    let (mut s, mut c) = run_pair(w.gen_covar_engine(), w.gen_covar_engine(), &db, &updates);
+    assert_agrees(
+        &c.result_relation(),
+        &s.result_relation(),
+        Agreement::Exact,
+        "Favorita/gen-COVAR-quantized",
+    );
+    assert_steady_state_rehash_free(&mut s, &mut c, &db, &w.updates[0].table, "Favorita/gen-COVAR-quantized");
+}
+
+/// Generalized COVAR on raw Favorita floats agrees to tolerance.
+#[test]
+fn favorita_gen_covar_raw_floats_agree_to_tolerance() {
+    let w = favorita_workload();
+    let (s, c) = run_pair(w.gen_covar_engine(), w.gen_covar_engine(), &w.database, &w.updates);
+    assert_agrees(
+        &c.result_relation(),
+        &s.result_relation(),
+        Agreement::Approx(1e-9),
+        "Favorita/gen-COVAR-raw",
+    );
+}
+
+/// MI on both datasets: after binning, all mass lives in categorical
+/// tables with integer-count weights — bit-for-bit even on raw floats.
+#[test]
+fn mi_columnar_matches_scalar_bit_for_bit() {
+    for (name, w) in [
+        ("Retailer", retailer_workload(true)),
+        ("Favorita", favorita_workload()),
+    ] {
+        let (mut s, mut c) = run_pair(w.mi_engine(), w.mi_engine(), &w.database, &w.updates);
+        assert_agrees(
+            &c.result_relation(),
+            &s.result_relation(),
+            Agreement::Exact,
+            &format!("{name}/MI"),
+        );
+        let fact = w.updates[0].table.clone();
+        assert_steady_state_rehash_free(&mut s, &mut c, &w.database, &fact, &format!("{name}/MI"));
+    }
+}
+
+/// The DAG engine's shared propagation pass under both kernels: one
+/// registry per mode, COUNT + gen-COVAR sharing the quantized Favorita
+/// batches; results bit-for-bit, steady state rehash-free in both.
+#[test]
+fn dag_shared_pass_columnar_matches_scalar() {
+    let w = favorita_workload();
+    let db = quantize_database(&w.database);
+    let updates = quantize_updates(&w.updates);
+
+    let mut registries = Vec::new();
+    for mode in [KernelMode::Scalar, KernelMode::Columnar] {
+        let mut registry = QueryRegistry::new();
+        registry.set_kernel_mode(mode);
+        let count_id = registry
+            .register(w.tree.clone(), QueryKind::Count, None)
+            .expect("register count");
+        let gen_id = registry
+            .register(w.tree.clone(), QueryKind::GenCovar, None)
+            .expect("register gen-covar");
+        registry.load_database(&db).expect("load");
+        for u in &updates {
+            registry.apply_update(u).expect("update");
+        }
+        registries.push((registry, count_id, gen_id));
+    }
+    let (columnar, c_count, c_gen) = registries.pop().expect("columnar registry");
+    let (scalar, s_count, s_gen) = registries.pop().expect("scalar registry");
+
+    assert_agrees(
+        &columnar.count_result_relation(c_count).unwrap(),
+        &scalar.count_result_relation(s_count).unwrap(),
+        Agreement::Exact,
+        "Favorita/DAG-COUNT",
+    );
+    assert_agrees(
+        &columnar.gen_result_relation(c_gen).unwrap(),
+        &scalar.gen_result_relation(s_gen).unwrap(),
+        Agreement::Exact,
+        "Favorita/DAG-gen-COVAR-quantized",
+    );
+
+    let (plus, minus) = steady_state_pulse(&db, &updates[0].table);
+    for (mut registry, mode) in [(scalar, "scalar"), (columnar, "columnar")] {
+        let before = registry.stats();
+        registry.apply_update(&plus).expect("steady-state pulse");
+        registry.apply_update(&minus).expect("steady-state pulse");
+        let after = registry.stats();
+        assert_eq!(
+            after.rehashes, before.rehashes,
+            "DAG {mode} kernel rehashed a view in steady state"
+        );
+        assert_eq!(
+            after.ring_rehashes, before.ring_rehashes,
+            "DAG {mode} kernel rehashed a ring interior in steady state"
+        );
+    }
+}

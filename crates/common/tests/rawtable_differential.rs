@@ -282,6 +282,60 @@ fn churn_with_owned_keys_never_leaks_or_double_drops() {
     });
 }
 
+/// Pins the load-factor pitfall as an API contract: [`RawTable::probe`]
+/// reserves capacity for one insert *up front* — before it can know the
+/// walk ends in [`Probe::Found`] — so a steady-state hit path that upserts
+/// through `probe` rehashes the moment the table sits at the load-factor
+/// boundary.  [`RawTable::find_idx`] never reserves.  Interior upserts on
+/// long-lived tables (ring payload relations, view maps) must therefore
+/// try `find_idx` first and fall back to `probe` only on a genuine miss —
+/// the discipline of `RelValue::upsert` — while level-local delta tables
+/// that grow and drain every level may use `probe` directly.  If either
+/// half of this contract changes, the steady-state
+/// `rehashes`/`ring_rehashes = 0` benchmark records go stale with it.
+#[test]
+fn find_idx_never_reserves_but_probe_reserves_even_on_hits() {
+    let mut table: RawTable<u64, u64> = RawTable::new();
+    // Fill to the exact load-factor boundary: the next reservation grows.
+    let mut k = 0u64;
+    while table.len() * 4 < table.capacity() * 3 || table.capacity() == 0 {
+        table.insert(h(k), k, k);
+        k += 1;
+    }
+    assert_eq!(
+        table.len() * 4,
+        table.capacity() * 3,
+        "fill should stop exactly at the 3/4 boundary"
+    );
+    let (rehashes, capacity) = (table.rehashes(), table.capacity());
+
+    // Hit and miss lookups through `find_idx` at the boundary: no
+    // reservation, no growth, ever.
+    for key in 0..2 * k {
+        let found = table.find_idx(h(key), |kk, _| *kk == key);
+        assert_eq!(found.is_some(), key < k);
+    }
+    assert_eq!(table.rehashes(), rehashes, "find_idx must never rehash");
+    assert_eq!(table.capacity(), capacity, "find_idx must never reserve");
+
+    // One `probe` on an *existing* key — a pure hit — still reserves up
+    // front and therefore grows at the boundary.  This is the pitfall:
+    // `probe` is an upsert primitive, not a lookup.
+    match table.probe(h(0), |kk, _| *kk == 0) {
+        Probe::Found(idx) => assert_eq!(*table.value_at_mut(idx), 0),
+        Probe::Vacant(_) => panic!("key 0 is present"),
+    }
+    assert!(
+        table.capacity() > capacity,
+        "probe reserves up front even when the walk ends in Found"
+    );
+    assert!(table.rehashes() > rehashes);
+    // The grown table still holds every entry.
+    for key in 0..k {
+        assert_eq!(table.get(h(key), &key), Some(&key));
+    }
+}
+
 #[test]
 fn tombstone_churn_reuses_slots_without_unbounded_growth() {
     for_cases("tombstone_churn_reuses_slots", 8, |rng| {

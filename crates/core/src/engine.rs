@@ -33,10 +33,10 @@
 //! [`crate::apps`] merely pick a ring and a set of lifts.
 
 use crate::error::{EngineError, EngineResult};
-use crate::kernel::{emit, extend_assignment, group_row, PropagationScratch};
+use crate::kernel::{direct_level, group_row, probe_level, KernelMode, PropagationScratch};
 use crate::plan::{ExecutionPlan, ProbeKind};
 use crate::view::MaterializedView;
-use fivm_common::{wire, EncodedKey, EncodedValue, FivmError, RelId, Result, WireReader};
+use fivm_common::{wire, EncodedKey, FivmError, RelId, Result, WireReader};
 use fivm_query::ViewTree;
 use fivm_relation::{Database, Relation, Tuple, Update};
 use fivm_ring::{LiftFn, PersistRing, Ring, RingCtx};
@@ -299,6 +299,13 @@ impl<R: Ring> Engine<R> {
         stats
     }
 
+    /// Selects the kernel probe-free levels run ([`KernelMode::Auto`] by
+    /// default).  Forcing [`KernelMode::Scalar`] or [`KernelMode::Columnar`]
+    /// pins one path — the differential suites run both and compare.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.scratch.mode = mode;
+    }
+
     /// The materialized view of a view-tree node, as a relation (an output
     /// boundary: keys are decoded through the dictionary).
     pub fn view_relation(&self, node_id: usize) -> Relation<R> {
@@ -530,51 +537,39 @@ impl<R: Ring> Engine<R> {
 
             if let Some(direct) = &dp.direct {
                 // Probe-free level: the output key is a plain projection of
-                // the delta key — no assignment scatter, no probes.
-                for (_, key, payload) in self.scratch.current.iter() {
-                    let out_key = key.project(&direct.key_cols);
-                    let hash = out_key.fx_hash();
-                    emit(
-                        produced,
-                        lift,
-                        key.col(direct.var_col),
-                        &self.ctx,
-                        out_key,
-                        hash,
-                        payload,
-                        &mut self.scratch.pool,
-                        &mut self.stats,
-                    );
-                }
+                // the delta key — no assignment scatter, no probes.  The
+                // kernel picks the scalar or columnar path per `mode`.
+                direct_level(
+                    direct,
+                    lift,
+                    &self.ctx,
+                    &self.scratch.current,
+                    produced,
+                    &mut self.scratch.columns,
+                    &mut self.scratch.pool,
+                    self.scratch.mode,
+                    &mut self.stats,
+                );
             } else {
-                self.scratch
-                    .assignment
-                    .iter_mut()
-                    .for_each(|v| *v = EncodedValue::NULL);
-                // Views are immutable for the whole level; probe memos
-                // reset at the level boundary.
-                for memo in self.scratch.memo.iter_mut() {
-                    memo.invalidate();
-                }
-                for (_, key, payload) in self.scratch.current.iter() {
-                    for (col, &pos) in dp.scatter.iter().enumerate() {
-                        self.scratch.assignment[pos] = key.col(col);
-                    }
-                    extend_assignment(
-                        &self.views,
-                        &self.ctx,
-                        dp,
-                        lift,
-                        &dp.steps,
-                        &mut self.scratch.memo,
-                        &mut self.scratch.assignment,
-                        payload,
-                        &mut self.scratch.partials,
-                        produced,
-                        &mut self.scratch.pool,
-                        &mut self.stats,
-                    );
-                }
+                // Probe level: the kernel scatters, probes the sibling
+                // views and accumulates — scalar per-row walk or columnar
+                // run fusion per `mode`.
+                probe_level(
+                    &self.views,
+                    &self.ctx,
+                    dp,
+                    lift,
+                    &self.scratch.current,
+                    produced,
+                    &mut self.scratch.columns,
+                    &mut self.scratch.memo,
+                    &mut self.scratch.assignment,
+                    &mut self.scratch.partials,
+                    &mut self.scratch.pool,
+                    self.scratch.pool_enabled,
+                    self.scratch.mode,
+                    &mut self.stats,
+                );
             }
 
             // Erase zero payloads in place before the delta is applied or

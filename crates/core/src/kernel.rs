@@ -14,7 +14,7 @@
 //! once (when it is first gathered/encoded) and the hash travels with the
 //! key through delta tables, view application and parent levels.
 
-use crate::plan::{DeltaPlan, DeltaStep, ProbeKind, ALREADY_BOUND};
+use crate::plan::{DeltaPlan, DeltaStep, DirectEmit, ProbeKind, ALREADY_BOUND};
 use crate::view::MaterializedView;
 use crate::EngineStats;
 use fivm_common::{Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, Result, Value};
@@ -146,6 +146,88 @@ pub struct PropagationScratch<R: Ring> {
     pub pool: Vec<R>,
     /// Whether any lift can draw from the pool (see `pool`).
     pub pool_enabled: bool,
+    /// Columnar scratch for probe-free levels (see [`direct_level`]); its
+    /// column buffers are reused across updates like every other scratch
+    /// buffer here.
+    pub columns: LevelColumns,
+    /// Which kernel the probe-free levels run (see [`KernelMode`]).
+    pub mode: KernelMode,
+}
+
+/// Kernel selection for probe-free (direct-emit) propagation levels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Columnar for batches of at least [`COLUMNAR_MIN_ROWS`] rows, scalar
+    /// below (sorting a handful of rows costs more than it fuses).
+    #[default]
+    Auto,
+    /// Always the per-row scalar path (the differential baseline).
+    Scalar,
+    /// Always the columnar path, regardless of batch size.
+    Columnar,
+}
+
+/// Smallest direct-level delta the [`KernelMode::Auto`] heuristic routes to
+/// the columnar kernel.
+pub const COLUMNAR_MIN_ROWS: usize = 8;
+
+/// Struct-of-arrays scratch for one probe-free propagation level: parallel
+/// hash/key/value/weight column slices over the incoming delta, plus the
+/// run-local gather buffers the batch lift channel consumes.  Owned by
+/// [`PropagationScratch`] so a warm engine fills these columns without
+/// allocating.
+#[derive(Default)]
+pub struct LevelColumns {
+    /// Output keys, one per input row.
+    keys: Vec<EncodedKey>,
+    /// The lifted variable's encoded value per row.
+    evs: Vec<EncodedValue>,
+    /// The row payload's scalar mass, when it has one
+    /// ([`Ring::scalar_weight`]); rows with `None` force the run onto the
+    /// per-row fused path.
+    scalar_ws: Vec<Option<f64>>,
+    /// `(run hash, input index)` per row — the output-key hash on direct
+    /// levels, a mix of the probe-key and output-key hashes on probe
+    /// levels.  Sorting this flat column groups equal hashes — hence equal
+    /// run identities — into adjacent spans in arrival order, without
+    /// touching key words in the comparator.
+    ord: Vec<(u64, u32)>,
+    /// Output-key hashes, one per row (probe levels only; on direct levels
+    /// `ord` already carries them).
+    out_hashes: Vec<u64>,
+    /// Gathered probe keys, `steps.len()` per row, row-major (probe levels
+    /// only).
+    probe_keys: Vec<EncodedKey>,
+    /// Probe-key hashes, same stride as `probe_keys`.
+    probe_hashes: Vec<u64>,
+    /// Gathered encoded values of the current run (batch-channel operand).
+    run_evs: Vec<EncodedValue>,
+    /// Gathered scalar weights of the current run (batch-channel operand).
+    run_ws: Vec<f64>,
+    /// Sibling view slots the current run's probes resolved to.
+    run_slots: Vec<u32>,
+}
+
+impl LevelColumns {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.evs.clear();
+        self.scalar_ws.clear();
+        self.ord.clear();
+        self.out_hashes.clear();
+        self.probe_keys.clear();
+        self.probe_hashes.clear();
+    }
+}
+
+/// Order-insensitive is not required here — a fixed left fold of the
+/// probe-key hashes and the output-key hash into one run identity.  Equal
+/// `(probe keys…, output key)` tuples always collide (good: they must land
+/// in one run); unequal tuples colliding is handled by the key-uniformity
+/// check in [`probe_level`].
+#[inline]
+fn mix_hash(acc: u64, h: u64) -> u64 {
+    (acc.rotate_left(5) ^ h).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
 }
 
 /// Upper bound on pooled delta payloads (see `PropagationScratch::pool`).
@@ -162,6 +244,8 @@ impl<R: Ring> PropagationScratch<R> {
             assignment: vec![EncodedValue::NULL; max_local_vars],
             pool: Vec::new(),
             pool_enabled,
+            columns: LevelColumns::default(),
+            mode: KernelMode::default(),
         }
     }
 
@@ -326,6 +410,238 @@ pub fn emit<R: Ring>(
     }
 }
 
+/// Runs one probe-free (direct-emit) propagation level: projects every
+/// incoming delta row to its output key and accumulates the lifted
+/// contributions into `out`.
+///
+/// `out` is the level-local delta table (the engine's drained scratch),
+/// an *upsert* table: every lookup may be followed by an insert, so both
+/// kernels use the reserving [`RawTable::probe`] — the correct discipline
+/// here, exactly one table walk per lookup.  (The `find_idx`-first
+/// discipline is for read-mostly hit paths — view probes, ring-interior
+/// reads — where a reserving probe on a hit could rehash a warm table at
+/// the load-factor boundary; that contract is pinned at the table layer,
+/// see `rawtable_differential.rs`.)
+///
+/// Two kernels, selected by `mode` (identical results; see the kernel
+/// contract in ROADMAP.md for the exactness fine print):
+///
+/// * **Scalar** — the per-row loop: project, hash, [`emit`].
+/// * **Columnar** — fills struct-of-arrays column slices (one pass), sorts
+///   the flat `(hash, input index)` column so rows sharing an output key
+///   form adjacent *runs* in arrival order (equal keys hash equal; the
+///   index tie-break keeps per-key accumulation order identical to the
+///   scalar path), then applies each run with **one** reserving probe
+///   instead of one per row.  A run whose rows all carry scalar payload
+///   mass ([`Ring::scalar_weight`]) and whose lift has a batch channel
+///   ([`LiftFn::fma_batch`]) collapses further into a single lift dispatch
+///   over the gathered value/weight slices.  Distinct keys colliding on
+///   the 64-bit hash would interleave inside a run, so a run that is not
+///   key-uniform (checked with one linear scan) falls back to per-row
+///   [`emit`] — vanishingly rare, semantics identical.
+///
+/// On passthrough levels (`direct.passthrough`) the output key *is* the
+/// input key: both kernels reuse the incoming precomputed hash and clone
+/// the key instead of projecting and rehashing — the hash-once contract
+/// extended across the level boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn direct_level<R: Ring>(
+    direct: &DirectEmit,
+    lift: &LiftFn<R>,
+    ctx: &RingCtx,
+    input: &[(u64, EncodedKey, R)],
+    out: &mut RawTable<EncodedKey, R>,
+    cols: &mut LevelColumns,
+    pool: &mut Vec<R>,
+    mode: KernelMode,
+    stats: &mut EngineStats,
+) {
+    let columnar = match mode {
+        KernelMode::Scalar => false,
+        KernelMode::Columnar => true,
+        KernelMode::Auto => input.len() >= COLUMNAR_MIN_ROWS,
+    };
+    if !columnar {
+        for (hash, key, payload) in input {
+            let (out_key, out_hash) = if direct.passthrough {
+                (key.clone(), *hash)
+            } else {
+                let k = key.project(&direct.key_cols);
+                let h = k.fx_hash();
+                (k, h)
+            };
+            emit(
+                out,
+                lift,
+                key.col(direct.var_col),
+                ctx,
+                out_key,
+                out_hash,
+                payload,
+                pool,
+                stats,
+            );
+        }
+        return;
+    }
+
+    // ---- Columnar kernel ----
+    let n = input.len();
+    cols.clear();
+    for (i, (hash, key, payload)) in input.iter().enumerate() {
+        let (out_key, out_hash) = if direct.passthrough {
+            (key.clone(), *hash)
+        } else {
+            let k = key.project(&direct.key_cols);
+            let h = k.fx_hash();
+            (k, h)
+        };
+        cols.ord.push((out_hash, i as u32));
+        cols.keys.push(out_key);
+        cols.evs.push(key.col(direct.var_col));
+        cols.scalar_ws.push(payload.scalar_weight());
+    }
+    // Equal output keys hash equal, so sorting the packed (hash, index)
+    // pairs groups each key's rows into one adjacent span — in arrival
+    // order, thanks to the index tie-break — without a single key-word
+    // compare in the comparator.
+    cols.ord.sort_unstable();
+
+    let identity = lift.is_identity();
+    let batch = lift.fma_batch().cloned();
+    let mut start = 0usize;
+    while start < n {
+        let (run_hash, i0) = cols.ord[start];
+        let i0 = i0 as usize;
+        let run_key = &cols.keys[i0];
+        let mut end = start + 1;
+        while end < n && cols.ord[end].0 == run_hash {
+            end += 1;
+        }
+        // Distinct keys sharing a 64-bit hash would interleave inside the
+        // span; such spans take the per-row scalar path, which handles each
+        // row independently in arrival order.
+        let uniform = cols.ord[start + 1..end]
+            .iter()
+            .all(|&(_, j)| cols.keys[j as usize] == *run_key);
+        if !uniform {
+            for &(h, j) in &cols.ord[start..end] {
+                let j = j as usize;
+                emit(
+                    out,
+                    lift,
+                    cols.evs[j],
+                    ctx,
+                    cols.keys[j].clone(),
+                    h,
+                    &input[j].2,
+                    pool,
+                    stats,
+                );
+            }
+            start = end;
+            continue;
+        }
+        let len = end - start;
+        // One reserving probe per run — the same upsert discipline as the
+        // scalar path's `emit`, amortized over the whole run.
+        let slot = out.probe(run_hash, |k, _| *k == *run_key);
+        if identity {
+            match slot {
+                Probe::Found(idx) => {
+                    let v = out.value_at_mut(idx);
+                    for &(_, j) in &cols.ord[start..end] {
+                        v.add_assign(&input[j as usize].2);
+                    }
+                    stats.ring_adds += len;
+                }
+                Probe::Vacant(idx) => {
+                    // Clone the first payload rather than accumulate into a
+                    // pooled zero — same shape-determinism rule as `emit`'s
+                    // identity arm.
+                    let mut payload = input[i0].2.clone();
+                    for &(_, j) in &cols.ord[start + 1..end] {
+                        payload.add_assign(&input[j as usize].2);
+                    }
+                    stats.ring_adds += len - 1;
+                    if !payload.is_zero() {
+                        out.occupy(idx, run_hash, run_key.clone(), payload);
+                    }
+                }
+            }
+        } else {
+            // Batch-fuse the run when every row reduced to a scalar weight
+            // and the lift can consume a weighted column slice; singleton,
+            // mixed, or dense-payload runs fall back to per-row fused
+            // accumulates (still amortizing the table lookup over the run).
+            let batchable = len > 1
+                && batch.is_some()
+                && cols.ord[start..end]
+                    .iter()
+                    .all(|&(_, j)| cols.scalar_ws[j as usize].is_some());
+            if batchable {
+                cols.run_evs.clear();
+                cols.run_ws.clear();
+                for &(_, j) in &cols.ord[start..end] {
+                    let j = j as usize;
+                    cols.run_evs.push(cols.evs[j]);
+                    cols.run_ws.push(cols.scalar_ws[j].expect("scalar run"));
+                }
+            }
+            let batch_run = batchable.then(|| batch.as_ref().expect("batchable"));
+            match slot {
+                Probe::Found(idx) => {
+                    let v = out.value_at_mut(idx);
+                    match batch_run {
+                        Some(b) => b(&cols.run_evs, &cols.run_ws, v),
+                        None => {
+                            for &(_, j) in &cols.ord[start..end] {
+                                let j = j as usize;
+                                lift.fma_apply_encoded(
+                                    cols.evs[j],
+                                    |e| ctx.decode_value(e),
+                                    &input[j].2,
+                                    1,
+                                    v,
+                                );
+                            }
+                        }
+                    }
+                    stats.ring_adds += len;
+                    stats.ring_muls += len;
+                }
+                Probe::Vacant(idx) => {
+                    let mut payload = pool.pop().unwrap_or_else(R::zero);
+                    debug_assert!(payload.is_zero(), "pooled payload must be zero");
+                    match batch_run {
+                        Some(b) => b(&cols.run_evs, &cols.run_ws, &mut payload),
+                        None => {
+                            for &(_, j) in &cols.ord[start..end] {
+                                let j = j as usize;
+                                lift.fma_apply_encoded(
+                                    cols.evs[j],
+                                    |e| ctx.decode_value(e),
+                                    &input[j].2,
+                                    1,
+                                    &mut payload,
+                                );
+                            }
+                        }
+                    }
+                    stats.ring_muls += len;
+                    stats.ring_adds += len - 1;
+                    if !payload.is_zero() {
+                        out.occupy(idx, run_hash, run_key.clone(), payload);
+                    } else {
+                        pool.push(payload);
+                    }
+                }
+            }
+        }
+        start = end;
+    }
+}
+
 /// Extends a partial assignment by probing the remaining siblings, then
 /// applies the lift and accumulates the marginalized contribution into
 /// `out`.
@@ -426,5 +742,402 @@ pub fn extend_assignment<R: Ring>(
                 }
             }
         }
+    }
+}
+
+/// Runs one probe level end to end: scatters each delta row into the
+/// assignment, joins against the sibling views, applies the lift,
+/// marginalizes and accumulates into `out`.  The single entry point for
+/// probe levels, shared by the engine and the DAG (mirroring
+/// [`direct_level`] for probe-free ones).
+///
+/// Two kernels, selected by `mode`:
+///
+/// * **Scalar** — the per-row walk: scatter, then recursive
+///   [`extend_assignment`].
+/// * **Columnar** — applies only when every step is a primary probe (no
+///   step binds new columns), so each row's probe keys and output key are
+///   computable up front.  Rows are sorted by a mixed
+///   `(probe keys…, output key)` hash; a *run* of rows agreeing on all of
+///   them shares one probe per step and — exploiting ring commutativity —
+///   one pass over the (large, aggregated) sibling payloads:
+///
+///   ```text
+///   scalar:    slot += gₓ(ev_i) ⊗ ((acc_i ⊗ P₁) ⊗ … ⊗ Pₖ)   per row
+///   columnar:  m = Σ_i acc_i ⊗ gₓ(ev_i)                     per row (small)
+///              slot += (m ⊗ P₁ ⊗ … ⊗ Pₖ)                    per run (large)
+///   ```
+///
+///   The per-row work shrinks to a lift FMA on the row's own (small) delta
+///   payload; the expensive products against sibling payloads — aggregated
+///   view entries that dwarf the delta — happen once per run instead of
+///   once per row.  Equal output keys under different probe keys still
+///   land in separate runs (the sibling product differs), and the final
+///   product is fused into the output slot with [`Ring::fma_scaled`].
+///   Requires the ring to be commutative — which F-IVM rings are by
+///   definition; the reordering reassociates float work, so the exactness
+///   contract matches the direct-level columnar kernel (bit-for-bit on
+///   integer-valued payloads, tolerance on raw floats).
+///
+///   A level with any secondary-index step, or fewer than
+///   [`COLUMNAR_MIN_ROWS`] rows under [`KernelMode::Auto`], takes the
+///   scalar walk unchanged.  Mixed-hash spans that are not key-uniform
+///   (64-bit collisions) fall back to per-row [`extend_assignment`].
+#[allow(clippy::too_many_arguments)]
+pub fn probe_level<R: Ring>(
+    views: &[MaterializedView<R>],
+    ctx: &RingCtx,
+    dp: &DeltaPlan,
+    lift: &LiftFn<R>,
+    input: &[(u64, EncodedKey, R)],
+    out: &mut RawTable<EncodedKey, R>,
+    cols: &mut LevelColumns,
+    memo: &mut [StepMemo],
+    assignment: &mut [EncodedValue],
+    partials: &mut [R],
+    pool: &mut Vec<R>,
+    pool_enabled: bool,
+    mode: KernelMode,
+    stats: &mut EngineStats,
+) {
+    assignment.iter_mut().for_each(|v| *v = EncodedValue::NULL);
+    // Views are immutable for the whole level; probe memos reset at the
+    // level boundary.
+    for m in memo.iter_mut() {
+        m.invalidate();
+    }
+
+    let k = dp.steps.len();
+    let columnar = match mode {
+        KernelMode::Scalar => false,
+        KernelMode::Columnar => true,
+        KernelMode::Auto => input.len() >= COLUMNAR_MIN_ROWS,
+    } && k >= 1
+        && dp
+            .steps
+            .iter()
+            .all(|s| matches!(s.probe, ProbeKind::Primary));
+    if !columnar {
+        for (_, key, payload) in input {
+            for (col, &pos) in dp.scatter.iter().enumerate() {
+                assignment[pos] = key.col(col);
+            }
+            extend_assignment(
+                views,
+                ctx,
+                dp,
+                lift,
+                &dp.steps,
+                memo,
+                assignment,
+                payload,
+                partials,
+                out,
+                pool,
+                stats,
+            );
+        }
+        return;
+    }
+
+    // ---- Columnar kernel ----
+    let n = input.len();
+    cols.clear();
+    for (i, (_, key, payload)) in input.iter().enumerate() {
+        for (col, &pos) in dp.scatter.iter().enumerate() {
+            assignment[pos] = key.col(col);
+        }
+        let mut run_hash = 0u64;
+        for step in &dp.steps {
+            let pk = EncodedKey::gather(assignment, &step.probe_positions);
+            let ph = pk.fx_hash();
+            run_hash = mix_hash(run_hash, ph);
+            cols.probe_keys.push(pk);
+            cols.probe_hashes.push(ph);
+        }
+        let out_key = EncodedKey::gather(assignment, &dp.key_positions);
+        let out_hash = out_key.fx_hash();
+        run_hash = mix_hash(run_hash, out_hash);
+        cols.ord.push((run_hash, i as u32));
+        cols.keys.push(out_key);
+        cols.out_hashes.push(out_hash);
+        cols.evs.push(assignment[dp.var_position]);
+        cols.scalar_ws.push(payload.scalar_weight());
+    }
+    cols.ord.sort_unstable();
+
+    let identity = lift.is_identity();
+    let batch = lift.fma_batch().cloned();
+    let mut start = 0usize;
+    while start < n {
+        let (run_hash, i0) = cols.ord[start];
+        let i0 = i0 as usize;
+        let mut end = start + 1;
+        while end < n && cols.ord[end].0 == run_hash {
+            end += 1;
+        }
+        // The mixed hash identifies a run only up to 64-bit collisions:
+        // verify every row agrees on the output key and all probe keys,
+        // falling back to the per-row walk for the (vanishingly rare)
+        // spans that do not.
+        let uniform = cols.ord[start + 1..end].iter().all(|&(_, j)| {
+            let j = j as usize;
+            cols.keys[j] == cols.keys[i0]
+                && cols.probe_keys[j * k..(j + 1) * k] == cols.probe_keys[i0 * k..(i0 + 1) * k]
+        });
+        if !uniform {
+            for &(_, j) in &cols.ord[start..end] {
+                let j = j as usize;
+                let (_, key, payload) = &input[j];
+                for (col, &pos) in dp.scatter.iter().enumerate() {
+                    assignment[pos] = key.col(col);
+                }
+                extend_assignment(
+                    views,
+                    ctx,
+                    dp,
+                    lift,
+                    &dp.steps,
+                    memo,
+                    assignment,
+                    payload,
+                    partials,
+                    out,
+                    pool,
+                    stats,
+                );
+            }
+            start = end;
+            continue;
+        }
+
+        // One probe per step per run (memoized like the scalar walk).
+        cols.run_slots.clear();
+        let mut hit = true;
+        for (s, step) in dp.steps.iter().enumerate() {
+            let view = &views[step.sibling_view];
+            let ph = cols.probe_hashes[i0 * k + s];
+            let pk = cols.probe_keys[i0 * k + s].clone();
+            stats.probes += 1;
+            match memo[s].probe_primary(view, ph, pk) {
+                Some(slot) => {
+                    stats.probe_hits += 1;
+                    cols.run_slots.push(slot);
+                }
+                None => {
+                    hit = false;
+                    break;
+                }
+            }
+        }
+        if !hit {
+            start = end;
+            continue;
+        }
+
+        let len = end - start;
+        if len == 1 {
+            // Singleton run — the common case on fact streams, where the
+            // delta grain leaves nothing to fuse.  Materializing
+            // `m = acc ⊗ g(ev)` here would cost one full ring op more than
+            // the scalar walk, so instead chain the accumulator straight
+            // through the sibling payloads and fold the lift into the
+            // final slot FMA: `slot += g(ev) ⊗ (acc ⊗ P₁ ⊗ … ⊗ Pₖ)`,
+            // the exact float order of the scalar walk (bit-for-bit).
+            let acc: &R = &input[i0].2;
+            let out_hash = cols.out_hashes[i0];
+            let out_key = &cols.keys[i0];
+            let depth = if identity { k - 1 } else { k };
+            let mut zeroed = false;
+            for s in 0..depth {
+                let payload = views[dp.steps[s].sibling_view].slot_payload(cols.run_slots[s]);
+                let (done, rest) = partials.split_at_mut(s);
+                let dst = &mut rest[0];
+                let cur: &R = if s == 0 { acc } else { &done[s - 1] };
+                cur.mul_into(payload, dst);
+                stats.ring_muls += 1;
+                if dst.is_zero() {
+                    zeroed = true;
+                    break;
+                }
+            }
+            if !zeroed {
+                if identity {
+                    let cur: &R = if k == 1 { acc } else { &partials[k - 2] };
+                    let last =
+                        views[dp.steps[k - 1].sibling_view].slot_payload(cols.run_slots[k - 1]);
+                    match out.probe(out_hash, |key, _| *key == *out_key) {
+                        Probe::Found(idx) => {
+                            out.value_at_mut(idx).fma_scaled(cur, last, 1);
+                            stats.ring_adds += 1;
+                            stats.ring_muls += 1;
+                        }
+                        Probe::Vacant(idx) => {
+                            let mut payload = if pool_enabled {
+                                pool.pop().unwrap_or_else(R::zero)
+                            } else {
+                                R::zero()
+                            };
+                            debug_assert!(payload.is_zero(), "pooled payload must be zero");
+                            payload.fma_scaled(cur, last, 1);
+                            stats.ring_muls += 1;
+                            if payload.is_zero() {
+                                if pool_enabled && pool.len() < POOL_CAP {
+                                    pool.push(payload);
+                                }
+                            } else {
+                                out.occupy(idx, out_hash, out_key.clone(), payload);
+                            }
+                        }
+                    }
+                } else {
+                    let chain: &R = &partials[k - 1];
+                    let ev = cols.evs[i0];
+                    match out.probe(out_hash, |key, _| *key == *out_key) {
+                        Probe::Found(idx) => {
+                            lift.fma_apply_encoded(
+                                ev,
+                                |e| ctx.decode_value(e),
+                                chain,
+                                1,
+                                out.value_at_mut(idx),
+                            );
+                            stats.ring_adds += 1;
+                            stats.ring_muls += 1;
+                        }
+                        Probe::Vacant(idx) => {
+                            let mut payload = if pool_enabled {
+                                pool.pop().unwrap_or_else(R::zero)
+                            } else {
+                                R::zero()
+                            };
+                            debug_assert!(payload.is_zero(), "pooled payload must be zero");
+                            lift.fma_apply_encoded(
+                                ev,
+                                |e| ctx.decode_value(e),
+                                chain,
+                                1,
+                                &mut payload,
+                            );
+                            stats.ring_muls += 1;
+                            if payload.is_zero() {
+                                if pool_enabled && pool.len() < POOL_CAP {
+                                    pool.push(payload);
+                                }
+                            } else {
+                                out.occupy(idx, out_hash, out_key.clone(), payload);
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+            continue;
+        }
+
+        // m = Σ_i acc_i ⊗ g(ev_i): the per-row half, touching only the
+        // rows' own delta payloads.  Batch-fused when the run reduces to
+        // scalar weights and the lift has a batch channel.
+        let mut m;
+        if identity {
+            // Clone the first payload rather than accumulate into a pooled
+            // zero — the shape-determinism rule from `emit`'s identity arm.
+            m = input[i0].2.clone();
+            for &(_, j) in &cols.ord[start + 1..end] {
+                m.add_assign(&input[j as usize].2);
+            }
+            stats.ring_adds += len - 1;
+        } else {
+            m = if pool_enabled {
+                pool.pop().unwrap_or_else(R::zero)
+            } else {
+                R::zero()
+            };
+            debug_assert!(m.is_zero(), "pooled payload must be zero");
+            let batchable = len > 1
+                && batch.is_some()
+                && cols.ord[start..end]
+                    .iter()
+                    .all(|&(_, j)| cols.scalar_ws[j as usize].is_some());
+            if batchable {
+                cols.run_evs.clear();
+                cols.run_ws.clear();
+                for &(_, j) in &cols.ord[start..end] {
+                    let j = j as usize;
+                    cols.run_evs.push(cols.evs[j]);
+                    cols.run_ws.push(cols.scalar_ws[j].expect("scalar run"));
+                }
+                (batch.as_ref().expect("batchable"))(&cols.run_evs, &cols.run_ws, &mut m);
+            } else {
+                for &(_, j) in &cols.ord[start..end] {
+                    let j = j as usize;
+                    lift.fma_apply_encoded(
+                        cols.evs[j],
+                        |e| ctx.decode_value(e),
+                        &input[j].2,
+                        1,
+                        &mut m,
+                    );
+                }
+            }
+            stats.ring_muls += len;
+            stats.ring_adds += len - 1;
+        }
+        if m.is_zero() {
+            if pool_enabled && pool.len() < POOL_CAP {
+                pool.push(m);
+            }
+            start = end;
+            continue;
+        }
+
+        // The per-run half: multiply through the sibling payload chain,
+        // fusing the last product straight into the output slot.
+        let mut zeroed = false;
+        for s in 0..k - 1 {
+            let payload = views[dp.steps[s].sibling_view].slot_payload(cols.run_slots[s]);
+            let (done, rest) = partials.split_at_mut(s);
+            let dst = &mut rest[0];
+            let cur: &R = if s == 0 { &m } else { &done[s - 1] };
+            cur.mul_into(payload, dst);
+            stats.ring_muls += 1;
+            if dst.is_zero() {
+                zeroed = true;
+                break;
+            }
+        }
+        if !zeroed {
+            let cur: &R = if k == 1 { &m } else { &partials[k - 2] };
+            let last = views[dp.steps[k - 1].sibling_view].slot_payload(cols.run_slots[k - 1]);
+            let out_hash = cols.out_hashes[i0];
+            let out_key = &cols.keys[i0];
+            match out.probe(out_hash, |key, _| *key == *out_key) {
+                Probe::Found(idx) => {
+                    out.value_at_mut(idx).fma_scaled(cur, last, 1);
+                    stats.ring_adds += 1;
+                    stats.ring_muls += 1;
+                }
+                Probe::Vacant(idx) => {
+                    let mut payload = if pool_enabled {
+                        pool.pop().unwrap_or_else(R::zero)
+                    } else {
+                        R::zero()
+                    };
+                    debug_assert!(payload.is_zero(), "pooled payload must be zero");
+                    payload.fma_scaled(cur, last, 1);
+                    stats.ring_muls += 1;
+                    if !payload.is_zero() {
+                        out.occupy(idx, out_hash, out_key.clone(), payload);
+                    } else if pool_enabled && pool.len() < POOL_CAP {
+                        pool.push(payload);
+                    }
+                }
+            }
+        }
+        if pool_enabled && pool.len() < POOL_CAP {
+            m.reset_zero();
+            pool.push(m);
+        }
+        start = end;
     }
 }

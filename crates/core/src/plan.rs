@@ -70,6 +70,10 @@ pub struct DirectEmit {
     pub key_cols: Vec<usize>,
     /// Delta-key column holding the node's own variable (read by the lift).
     pub var_col: usize,
+    /// Whether `key_cols` is the identity over the *full* incoming delta
+    /// key: the output key equals the input key, so its precomputed hash
+    /// can be reused verbatim (no projection, no rehash).
+    pub passthrough: bool,
 }
 
 /// A child of a node, as seen by the engine.
@@ -246,9 +250,13 @@ pub fn compile_delta_plan(
                 .position(|&c| c == v)
                 .expect("no-step plans bind every local var from the child")
         };
+        let key_cols: Vec<usize> = key_vars.iter().map(|&v| col_of(v)).collect();
+        let passthrough = key_cols.len() == updating.cover.len()
+            && key_cols.iter().enumerate().all(|(i, &c)| i == c);
         Some(DirectEmit {
-            key_cols: key_vars.iter().map(|&v| col_of(v)).collect(),
+            key_cols,
             var_col: col_of(var),
+            passthrough,
         })
     } else {
         None

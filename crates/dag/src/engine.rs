@@ -42,7 +42,7 @@
 
 use crate::error::{DagError, DagResult};
 use fivm_common::{EncodedKey, FivmError, VarId};
-use fivm_core::kernel::{emit, extend_assignment, group_row, PropagationScratch};
+use fivm_core::kernel::{direct_level, group_row, probe_level, KernelMode, PropagationScratch};
 use fivm_core::plan::{compile_delta_plan, ChildInfo, DeltaPlan, ExecutionPlan, ProbeKind};
 use fivm_core::{EngineStats, MaterializedView, UpdateOutcome};
 use fivm_query::fingerprint::{
@@ -214,6 +214,13 @@ impl<R: Ring> DagEngine<R> {
             .map(MaterializedView::table_bytes)
             .sum::<usize>();
         stats
+    }
+
+    /// Selects the kernel probe-free levels run ([`KernelMode::Auto`] by
+    /// default); mirrors the single-tree engine's `set_kernel_mode` so the
+    /// differential suites can pin either path on both drivers.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.scratch.mode = mode;
     }
 
     fn query(&self, query: usize) -> DagResult<&QueryState> {
@@ -940,51 +947,39 @@ fn produce_level<R: Ring>(
     debug_assert!(scratch.next.is_empty(), "scratch delta not drained");
     if let Some(direct) = &dp.direct {
         // Probe-free level: the output key is a plain projection of the
-        // delta key — no assignment scatter, no probes.
-        for (_, key, payload) in input {
-            let out_key = key.project(&direct.key_cols);
-            let hash = out_key.fx_hash();
-            emit(
-                &mut scratch.next,
-                lift,
-                key.col(direct.var_col),
-                ctx,
-                out_key,
-                hash,
-                payload,
-                &mut scratch.pool,
-                stats,
-            );
-        }
+        // delta key — no assignment scatter, no probes.  The kernel picks
+        // the scalar or columnar path per the scratch's mode.
+        direct_level(
+            direct,
+            lift,
+            ctx,
+            input,
+            &mut scratch.next,
+            &mut scratch.columns,
+            &mut scratch.pool,
+            scratch.mode,
+            stats,
+        );
     } else {
-        scratch
-            .assignment
-            .iter_mut()
-            .for_each(|v| *v = fivm_common::EncodedValue::NULL);
-        // Views are immutable for the whole level; probe memos reset at
-        // the level boundary.
-        for memo in scratch.memo.iter_mut() {
-            memo.invalidate();
-        }
-        for (_, key, payload) in input {
-            for (col, &pos) in dp.scatter.iter().enumerate() {
-                scratch.assignment[pos] = key.col(col);
-            }
-            extend_assignment(
-                views,
-                ctx,
-                dp,
-                lift,
-                &dp.steps,
-                &mut scratch.memo,
-                &mut scratch.assignment,
-                payload,
-                &mut scratch.partials,
-                &mut scratch.next,
-                &mut scratch.pool,
-                stats,
-            );
-        }
+        // Probe level: the kernel scatters, probes the sibling views and
+        // accumulates — scalar per-row walk or columnar run fusion per the
+        // scratch's mode.
+        probe_level(
+            views,
+            ctx,
+            dp,
+            lift,
+            input,
+            &mut scratch.next,
+            &mut scratch.columns,
+            &mut scratch.memo,
+            &mut scratch.assignment,
+            &mut scratch.partials,
+            &mut scratch.pool,
+            scratch.pool_enabled,
+            scratch.mode,
+            stats,
+        );
     }
 }
 

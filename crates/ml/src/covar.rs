@@ -210,7 +210,8 @@ impl DenseCovar {
                 }
                 AttrKind::Categorical => {
                     let mut cats: Vec<(Value, EncodedValue)> = ctx.with_dict(|dict| {
-                        dense.sums[attr]
+                        dense
+                            .sum_cats(attr)
                             .iter()
                             .map(|(k, _)| {
                                 let ev = k.value(0);
@@ -240,22 +241,26 @@ impl DenseCovar {
             match (a, b) {
                 (F::Intercept, F::Intercept) => dense.count,
                 (F::Intercept, F::Continuous { attr }) | (F::Continuous { attr }, F::Intercept) => {
-                    dense.sums[*attr].scalar_part()
+                    dense.sum_scalar(*attr)
                 }
                 (F::Intercept, F::Categorical { attr, .. }) => {
-                    dense.sums[*attr].get(&[(*attr as u32, eb.expect("categorical column"))])
+                    dense
+                        .sum_cats(*attr)
+                        .get(&[(*attr as u32, eb.expect("categorical column"))])
                 }
                 (F::Categorical { attr, .. }, F::Intercept) => {
-                    dense.sums[*attr].get(&[(*attr as u32, ea.expect("categorical column"))])
+                    dense
+                        .sum_cats(*attr)
+                        .get(&[(*attr as u32, ea.expect("categorical column"))])
                 }
                 (F::Continuous { attr: a }, F::Continuous { attr: b }) => {
-                    dense.prod(*a, *b).scalar_part()
+                    dense.prod_scalar(*a, *b)
                 }
                 (F::Continuous { attr: c }, F::Categorical { attr: k, .. }) => dense
-                    .prod(*c, *k)
+                    .prod_cats(*c, *k)
                     .get(&[(*k as u32, eb.expect("categorical column"))]),
                 (F::Categorical { attr: k, .. }, F::Continuous { attr: c }) => dense
-                    .prod(*c, *k)
+                    .prod_cats(*c, *k)
                     .get(&[(*k as u32, ea.expect("categorical column"))]),
                 (F::Categorical { attr: k1, .. }, F::Categorical { attr: k2, .. }) => {
                     let (e1, e2) = (
@@ -265,13 +270,13 @@ impl DenseCovar {
                     if k1 == k2 {
                         // Different categories of one attribute never co-occur.
                         if e1 == e2 {
-                            dense.prod(*k1, *k1).get(&[(*k1 as u32, e1)])
+                            dense.prod_cats(*k1, *k1).get(&[(*k1 as u32, e1)])
                         } else {
                             0.0
                         }
                     } else {
                         dense
-                            .prod(*k1, *k2)
+                            .prod_cats(*k1, *k2)
                             .get(&[(*k1 as u32, e1), (*k2 as u32, e2)])
                     }
                 }

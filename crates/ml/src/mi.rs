@@ -27,7 +27,9 @@ pub fn entropy(payload: &GenCofactor, x: usize) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let Some(cx) = payload.sum_ref(x) else {
+    // MI lifts every attribute categorically, so the counts live entirely
+    // in the categorical interiors of the split representation.
+    let Some(cx) = payload.sum_cats(x) else {
         return 0.0;
     };
     let mut h = 0.0;
@@ -53,9 +55,9 @@ pub fn mutual_information(payload: &GenCofactor, x: usize, y: usize) -> f64 {
         return 0.0;
     }
     let (Some(cx), Some(cy), Some(cxy)) = (
-        payload.sum_ref(x),
-        payload.sum_ref(y),
-        payload.prod_ref(x, y),
+        payload.sum_cats(x),
+        payload.sum_cats(y),
+        payload.prod_cats(x, y),
     ) else {
         return 0.0;
     };

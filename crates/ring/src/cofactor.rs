@@ -184,6 +184,28 @@ impl Cofactor {
         }
     }
 
+    /// Batch-fused continuous lift for a run of **scalar-weight**
+    /// accumulators: `self += Σ_i w_i · g_idx(x_i)` reduced to its three
+    /// horizontal sums `(Σw, Σw·x, Σw·x²)` — the whole run costs three
+    /// scalar updates regardless of length.  This is the batch channel
+    /// behind `LiftFn::with_fma_batch` for the cofactor continuous lift.
+    pub fn fma_lift_continuous_sums(
+        &mut self,
+        dim: usize,
+        idx: usize,
+        sw: f64,
+        swx: f64,
+        swx2: f64,
+    ) {
+        if sw == 0.0 && swx == 0.0 && swx2 == 0.0 {
+            return;
+        }
+        let o = self.promote_to_elem(dim);
+        o.count += sw;
+        o.sums[idx] += swx;
+        o.prods.add_at(idx, idx, swx2);
+    }
+
     /// Turns `self` into a dense element of dimension `dim` (keeping the
     /// count) and returns it; allocates only when `self` was a scalar.
     fn promote_to_elem(&mut self, dim: usize) -> &mut CofactorElem {
@@ -408,6 +430,13 @@ impl Ring for Cofactor {
             Cofactor::Elem(e) => {
                 e.sums.capacity() * std::mem::size_of::<f64>() + e.prods.heap_bytes()
             }
+        }
+    }
+
+    fn scalar_weight(&self) -> Option<f64> {
+        match self {
+            Cofactor::Scalar(c) => Some(*c),
+            Cofactor::Elem(_) => None,
         }
     }
 }

@@ -19,6 +19,21 @@
 //!
 //! The count component stays a scalar: it is never grouped by anything.
 //!
+//! # The split representation
+//!
+//! Semantically every component is a relation, but its empty-key ("scalar")
+//! mass — the continuous sums and products — behaves exactly like the plain
+//! cofactor ring, and storing it inside a hash table makes every continuous
+//! accumulation a table probe.  [`GenCofactorElem`] therefore *splits* each
+//! component: the empty-key weights live in dense fields (`sums_scalar`, a
+//! packed [`SymMatrix`] for the products — literally a [`crate::CofactorElem`]
+//! shape, sharing its auto-vectorized slice kernels), and the interior
+//! relations hold **only non-empty keys**.  That invariant makes the split
+//! canonical, so derived equality is sound, and it turns the dense half of
+//! every GenCofactor operation into straight-line `f64` slice arithmetic.
+//! Composed views (empty key folded back in) are available at the output
+//! boundary via [`GenCofactorElem::sum`] / [`GenCofactorElem::prod`].
+//!
 //! # The sparse lift path
 //!
 //! A lifted input value is extremely sparse: count 1, one non-zero `s`
@@ -31,11 +46,16 @@
 //! the rows/columns of the lifted index beyond a scaled copy of `acc` —
 //! the generalized-ring extension of the PR-1 in-place contract
 //! (`fivm_ring::axioms::check_inplace_ops`), wired to the engine through
-//! [`crate::LiftFn::with_fma_encoded`].
+//! [`crate::LiftFn::with_fma_encoded`].  Their batch forms
+//! ([`GenCofactor::fma_lift_continuous_sums`],
+//! [`GenCofactor::fma_lift_categorical_weighted`]) accumulate a whole run of
+//! scalar-weight delta rows with the promote/dispatch hoisted out of the
+//! loop — the columnar kernel's `LiftFn::with_fma_batch` channel.
 
 use crate::relkey::RelKey;
 use crate::relvalue::RelValue;
 use crate::ring::{approx_f64, ApproxEq, Ring};
+use crate::symmatrix::SymMatrix;
 use fivm_common::{Dict, EncodedValue};
 
 /// A value of the generalized (relational) cofactor ring.
@@ -47,17 +67,26 @@ pub enum GenCofactor {
     Elem(GenCofactorElem),
 }
 
-/// Dense representation of a generalized cofactor element of dimension `m`:
-/// `sums` has `m` entries and `prods` stores the packed upper triangle
-/// (`m·(m+1)/2` entries).
+/// Dense representation of a generalized cofactor element of dimension `m`,
+/// in split form (see the module docs): continuous (empty-key) mass in
+/// dense scalar fields, categorical mass in relations that never contain
+/// the empty key.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GenCofactorElem {
     /// The count aggregate `SUM(1)`.
     pub count: f64,
-    /// Per-attribute linear aggregates (relations).
-    pub sums: Vec<RelValue>,
-    /// Pairwise interaction aggregates (relations), packed upper triangle.
-    pub prods: Vec<RelValue>,
+    /// Empty-key weight of each linear aggregate (`SUM(X_i)` for a
+    /// continuous attribute `i`; 0 for categorical attributes).
+    pub(crate) sums_scalar: Vec<f64>,
+    /// Empty-key weights of the interaction aggregates (`SUM(X_i·X_j)`),
+    /// packed upper triangle.
+    pub(crate) prods_scalar: SymMatrix,
+    /// Categorical parts of the linear aggregates.  Invariant: no empty
+    /// keys — that mass lives in `sums_scalar`.
+    pub(crate) sums_cats: Vec<RelValue>,
+    /// Categorical parts of the interaction aggregates, packed upper
+    /// triangle.  Invariant: no empty keys.
+    pub(crate) prods_cats: Vec<RelValue>,
 }
 
 #[inline]
@@ -72,42 +101,112 @@ fn tri_index(dim: usize, i: usize, j: usize) -> usize {
     i * dim - i * (i + 1) / 2 + j
 }
 
+/// The composed (relation) view of a split component: the categorical part
+/// plus the empty-key scalar mass.
+fn compose(scalar: f64, cats: &RelValue) -> RelValue {
+    let mut out = cats.clone();
+    if scalar != 0.0 {
+        out.add_entry(&RelKey::empty(), scalar);
+    }
+    out
+}
+
 impl GenCofactorElem {
     /// A zero element of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         GenCofactorElem {
             count: 0.0,
-            sums: vec![RelValue::empty(); dim],
-            prods: vec![RelValue::empty(); tri_len(dim)],
+            sums_scalar: vec![0.0; dim],
+            prods_scalar: SymMatrix::zeros(dim),
+            sums_cats: vec![RelValue::empty(); dim],
+            prods_cats: vec![RelValue::empty(); tri_len(dim)],
+        }
+    }
+
+    /// Builds an element from *composed* per-component relations (empty-key
+    /// mass included), splitting each into the dense scalar fields and the
+    /// cats-only interior — the snapshot-decode constructor.  The input
+    /// relations are reused in place, so restored components keep their
+    /// right-sized tables (zero growth rehashes).
+    pub fn from_composed(count: f64, mut sums: Vec<RelValue>, mut prods: Vec<RelValue>) -> Self {
+        let dim = sums.len();
+        assert_eq!(prods.len(), tri_len(dim), "packed triangle length mismatch");
+        let mut sums_scalar = vec![0.0; dim];
+        for (dst, s) in sums_scalar.iter_mut().zip(&mut sums) {
+            *dst = s.take_scalar_part();
+        }
+        let mut prods_scalar = SymMatrix::zeros(dim);
+        let mut t = 0;
+        for i in 0..dim {
+            for j in i..dim {
+                let w = prods[t].take_scalar_part();
+                if w != 0.0 {
+                    prods_scalar.set(i, j, w);
+                }
+                t += 1;
+            }
+        }
+        GenCofactorElem {
+            count,
+            sums_scalar,
+            prods_scalar,
+            sums_cats: sums,
+            prods_cats: prods,
         }
     }
 
     /// The dimension `m`.
     pub fn dim(&self) -> usize {
-        self.sums.len()
+        self.sums_scalar.len()
     }
 
-    /// The interaction relation at `(i, j)`.
-    pub fn prod(&self, i: usize, j: usize) -> &RelValue {
-        &self.prods[tri_index(self.dim(), i, j)]
+    /// The empty-key (continuous) mass of the linear aggregate `idx`.
+    #[inline]
+    pub fn sum_scalar(&self, idx: usize) -> f64 {
+        self.sums_scalar[idx]
     }
 
-    /// Mutable access to the interaction relation at `(i, j)`.
-    pub fn prod_mut(&mut self, i: usize, j: usize) -> &mut RelValue {
-        let idx = tri_index(self.dim(), i, j);
-        &mut self.prods[idx]
+    /// The categorical part of the linear aggregate `idx` (no empty keys).
+    #[inline]
+    pub fn sum_cats(&self, idx: usize) -> &RelValue {
+        &self.sums_cats[idx]
+    }
+
+    /// The empty-key (continuous) mass of the interaction `(i, j)`.
+    #[inline]
+    pub fn prod_scalar(&self, i: usize, j: usize) -> f64 {
+        self.prods_scalar.get(i, j)
+    }
+
+    /// The categorical part of the interaction `(i, j)` (no empty keys).
+    #[inline]
+    pub fn prod_cats(&self, i: usize, j: usize) -> &RelValue {
+        &self.prods_cats[tri_index(self.dim(), i, j)]
+    }
+
+    /// The composed linear aggregate `idx` as a relation (output boundary;
+    /// allocates a fresh relation).
+    pub fn sum(&self, idx: usize) -> RelValue {
+        compose(self.sums_scalar[idx], &self.sums_cats[idx])
+    }
+
+    /// The composed interaction `(i, j)` as a relation (output boundary;
+    /// allocates a fresh relation).
+    pub fn prod(&self, i: usize, j: usize) -> RelValue {
+        compose(self.prod_scalar(i, j), self.prod_cats(i, j))
     }
 }
 
 impl GenCofactor {
     /// Lifts a **continuous** attribute value: `s_idx = {() -> x}`,
-    /// `Q_idx,idx = {() -> x²}`.
+    /// `Q_idx,idx = {() -> x²}` — stored directly in the dense scalar
+    /// fields of the split representation.
     pub fn lift_continuous(dim: usize, idx: usize, x: f64) -> Self {
         assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
         let mut e = GenCofactorElem::zeros(dim);
         e.count = 1.0;
-        e.sums[idx] = RelValue::scalar(x);
-        *e.prod_mut(idx, idx) = RelValue::scalar(x * x);
+        e.sums_scalar[idx] = x;
+        e.prods_scalar.set(idx, idx, x * x);
         GenCofactor::Elem(e)
     }
 
@@ -124,8 +223,9 @@ impl GenCofactor {
         assert!(idx < dim, "lift index {idx} out of bounds for dimension {dim}");
         let mut e = GenCofactorElem::zeros(dim);
         e.count = 1.0;
-        e.sums[idx] = RelValue::indicator(attr, value);
-        *e.prod_mut(idx, idx) = RelValue::indicator(attr, value);
+        e.sums_cats[idx] = RelValue::indicator(attr, value);
+        let d = tri_index(dim, idx, idx);
+        e.prods_cats[d] = RelValue::indicator(attr, value);
         GenCofactor::Elem(e)
     }
 
@@ -142,36 +242,64 @@ impl GenCofactor {
         }
     }
 
-    /// The linear aggregate relation for attribute `idx` (empty for scalars).
+    /// The composed linear aggregate relation for attribute `idx` (empty
+    /// for scalars).  Output boundary — allocates; hot paths use
+    /// [`GenCofactor::sum_scalar`] / [`GenCofactor::sum_cats`].
     pub fn sum(&self, idx: usize) -> RelValue {
         match self {
             GenCofactor::Scalar(_) => RelValue::empty(),
-            GenCofactor::Elem(e) => e.sums.get(idx).cloned().unwrap_or_default(),
+            GenCofactor::Elem(e) => {
+                if idx < e.dim() {
+                    e.sum(idx)
+                } else {
+                    RelValue::empty()
+                }
+            }
         }
     }
 
-    /// Borrowed variant of [`GenCofactor::sum`] (`None` for scalars, which
-    /// have no relational components to borrow).
-    pub fn sum_ref(&self, idx: usize) -> Option<&RelValue> {
+    /// The empty-key (continuous) mass of linear aggregate `idx` (0 for
+    /// scalars).
+    pub fn sum_scalar(&self, idx: usize) -> f64 {
+        match self {
+            GenCofactor::Scalar(_) => 0.0,
+            GenCofactor::Elem(e) => e.sums_scalar.get(idx).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// The categorical part of linear aggregate `idx` (`None` for scalars,
+    /// which have no relational components to borrow).
+    pub fn sum_cats(&self, idx: usize) -> Option<&RelValue> {
         match self {
             GenCofactor::Scalar(_) => None,
-            GenCofactor::Elem(e) => e.sums.get(idx),
+            GenCofactor::Elem(e) => e.sums_cats.get(idx),
         }
     }
 
-    /// The interaction relation for `(i, j)` (empty for scalars).
+    /// The composed interaction relation for `(i, j)` (empty for scalars).
+    /// Output boundary — allocates; hot paths use
+    /// [`GenCofactor::prod_scalar`] / [`GenCofactor::prod_cats`].
     pub fn prod(&self, i: usize, j: usize) -> RelValue {
         match self {
             GenCofactor::Scalar(_) => RelValue::empty(),
-            GenCofactor::Elem(e) => e.prod(i, j).clone(),
+            GenCofactor::Elem(e) => e.prod(i, j),
         }
     }
 
-    /// Borrowed variant of [`GenCofactor::prod`].
-    pub fn prod_ref(&self, i: usize, j: usize) -> Option<&RelValue> {
+    /// The empty-key (continuous) mass of interaction `(i, j)` (0 for
+    /// scalars).
+    pub fn prod_scalar(&self, i: usize, j: usize) -> f64 {
+        match self {
+            GenCofactor::Scalar(_) => 0.0,
+            GenCofactor::Elem(e) => e.prod_scalar(i, j),
+        }
+    }
+
+    /// The categorical part of interaction `(i, j)` (`None` for scalars).
+    pub fn prod_cats(&self, i: usize, j: usize) -> Option<&RelValue> {
         match self {
             GenCofactor::Scalar(_) => None,
-            GenCofactor::Elem(e) => Some(e.prod(i, j)),
+            GenCofactor::Elem(e) => Some(e.prod_cats(i, j)),
         }
     }
 
@@ -205,11 +333,22 @@ impl GenCofactor {
         match self {
             GenCofactor::Scalar(c) => GenCofactor::Scalar(c * k),
             GenCofactor::Elem(e) => {
-                let scale = RelValue::scalar(k);
+                let mut prods_scalar = e.prods_scalar.clone();
+                prods_scalar.scale_in_place(k);
                 GenCofactor::Elem(GenCofactorElem {
                     count: e.count * k,
-                    sums: e.sums.iter().map(|s| s.mul(&scale)).collect(),
-                    prods: e.prods.iter().map(|q| q.mul(&scale)).collect(),
+                    sums_scalar: e.sums_scalar.iter().map(|&x| x * k).collect(),
+                    prods_scalar,
+                    sums_cats: e
+                        .sums_cats
+                        .iter()
+                        .map(|s| s.map_weights(|w| w * k))
+                        .collect(),
+                    prods_cats: e
+                        .prods_cats
+                        .iter()
+                        .map(|q| q.map_weights(|w| w * k))
+                        .collect(),
                 })
             }
         }
@@ -235,26 +374,32 @@ impl GenCofactor {
     /// Sparse-lift fused accumulate, continuous:
     /// `self += (acc · lift_continuous(dim, idx, x)) · scale` without
     /// materializing the lifted element.  For a scalar `acc` this touches
-    /// three entries; for a dense `acc` it adds a scaled copy of `acc` plus
-    /// the lifted row/column — never `O(dim²)` relation traffic for the
-    /// lift's side.
-    pub fn fma_lift_continuous(&mut self, acc: &GenCofactor, dim: usize, idx: usize, x: f64, scale: i64) {
+    /// three dense scalars (no table traffic at all in the split
+    /// representation); for a dense `acc` the continuous half is slice
+    /// arithmetic plus a rank-one cross update on the packed triangle, and
+    /// only the categorical parts walk relation tables.
+    pub fn fma_lift_continuous(
+        &mut self,
+        acc: &GenCofactor,
+        dim: usize,
+        idx: usize,
+        x: f64,
+        scale: i64,
+    ) {
         if scale == 0 {
             return;
         }
         let s = scale as f64;
-        let empty = RelKey::empty();
-        let empty_hash = empty.fx_hash();
         match acc {
             GenCofactor::Scalar(c) => {
                 if *c == 0.0 {
                     return;
                 }
                 let o = self.promote_to_elem(dim);
-                o.count += s * c;
-                o.sums[idx].add_entry_prehashed(empty_hash, &empty, s * c * x);
-                o.prod_mut(idx, idx)
-                    .add_entry_prehashed(empty_hash, &empty, s * c * x * x);
+                let sc = s * c;
+                o.count += sc;
+                o.sums_scalar[idx] += sc * x;
+                o.prods_scalar.add_at(idx, idx, sc * x * x);
             }
             GenCofactor::Elem(a) => {
                 assert_eq!(a.dim(), dim, "generalized cofactor dimension mismatch");
@@ -262,31 +407,57 @@ impl GenCofactor {
                 o.count += s * a.count;
                 // The lift's count is 1: every component of `acc` joins a
                 // plain scalar, i.e. accumulates as a scaled copy.
-                for (dst, src) in o.sums.iter_mut().zip(a.sums.iter()) {
+                for (dst, &src) in o.sums_scalar.iter_mut().zip(&a.sums_scalar) {
+                    *dst += s * src;
+                }
+                for (dst, src) in o.sums_cats.iter_mut().zip(&a.sums_cats) {
                     dst.add_scaled(src, s);
                 }
-                for (dst, src) in o.prods.iter_mut().zip(a.prods.iter()) {
+                o.prods_scalar.add_scaled(&a.prods_scalar, s);
+                for (dst, src) in o.prods_cats.iter_mut().zip(&a.prods_cats) {
                     dst.add_scaled(src, s);
                 }
                 // s_idx gains x per joined tuple: s · x · acc.count.
-                o.sums[idx].add_entry_prehashed(empty_hash, &empty, s * x * a.count);
-                // Cross terms touch only row/column idx; the (idx, idx) cell
-                // receives both symmetric halves.
+                o.sums_scalar[idx] += s * x * a.count;
+                // Cross terms touch only row/column idx; the (idx, idx)
+                // cell receives both symmetric halves.
+                o.prods_scalar
+                    .add_rank_one_cross_scaled(idx, &a.sums_scalar, s * x);
                 for i in 0..dim {
                     let factor = if i == idx { 2.0 * s * x } else { s * x };
-                    let q = &mut o.prods[tri_index(dim, i, idx)];
-                    q.add_scaled(&a.sums[i], factor);
+                    o.prods_cats[tri_index(dim, i, idx)].add_scaled(&a.sums_cats[i], factor);
                 }
-                o.prod_mut(idx, idx)
-                    .add_entry_prehashed(empty_hash, &empty, s * x * x * a.count);
+                o.prods_scalar.add_at(idx, idx, s * x * x * a.count);
             }
         }
+    }
+
+    /// Batch-fused continuous lift for a run of **scalar-weight**
+    /// accumulators: `self += Σ_i w_i · lift_continuous(dim, idx, x_i)`
+    /// reduced to its three horizontal sums `(Σw, Σw·x, Σw·x²)` — the whole
+    /// run costs three dense scalar updates.  The batch channel behind
+    /// `LiftFn::with_fma_batch` for the generalized continuous lift.
+    pub fn fma_lift_continuous_sums(
+        &mut self,
+        dim: usize,
+        idx: usize,
+        sw: f64,
+        swx: f64,
+        swx2: f64,
+    ) {
+        if sw == 0.0 && swx == 0.0 && swx2 == 0.0 {
+            return;
+        }
+        let o = self.promote_to_elem(dim);
+        o.count += sw;
+        o.sums_scalar[idx] += swx;
+        o.prods_scalar.add_at(idx, idx, swx2);
     }
 
     /// Sparse-lift fused accumulate, categorical:
     /// `self += (acc · lift_categorical(dim, idx, attr, value)) · scale`.
     /// The singleton key `(attr = value)` is built and hashed exactly once;
-    /// for a scalar `acc` the whole accumulation is three table upserts.
+    /// for a scalar `acc` the whole accumulation is two table upserts.
     pub fn fma_lift_categorical(
         &mut self,
         acc: &GenCofactor,
@@ -308,33 +479,77 @@ impl GenCofactor {
                     return;
                 }
                 let o = self.promote_to_elem(dim);
-                o.count += s * c;
-                o.sums[idx].add_entry_prehashed(hash, &key, s * c);
-                o.prod_mut(idx, idx).add_entry_prehashed(hash, &key, s * c);
+                let sc = s * c;
+                o.count += sc;
+                o.sums_cats[idx].add_entry_prehashed(hash, &key, sc);
+                o.prods_cats[tri_index(dim, idx, idx)].add_entry_prehashed(hash, &key, sc);
             }
             GenCofactor::Elem(a) => {
                 assert_eq!(a.dim(), dim, "generalized cofactor dimension mismatch");
                 let o = self.promote_to_elem(dim);
                 o.count += s * a.count;
-                for (dst, src) in o.sums.iter_mut().zip(a.sums.iter()) {
+                for (dst, &src) in o.sums_scalar.iter_mut().zip(&a.sums_scalar) {
+                    *dst += s * src;
+                }
+                for (dst, src) in o.sums_cats.iter_mut().zip(&a.sums_cats) {
                     dst.add_scaled(src, s);
                 }
-                for (dst, src) in o.prods.iter_mut().zip(a.prods.iter()) {
+                o.prods_scalar.add_scaled(&a.prods_scalar, s);
+                for (dst, src) in o.prods_cats.iter_mut().zip(&a.prods_cats) {
                     dst.add_scaled(src, s);
                 }
                 // s_idx = SUM(1) GROUP BY attr over the joined tuples.
-                o.sums[idx].add_entry_prehashed(hash, &key, s * a.count);
+                o.sums_cats[idx].add_entry_prehashed(hash, &key, s * a.count);
                 // Cross terms: acc.s[i] ⋈ {attr = value}, row and column of
-                // idx; (idx, idx) receives both symmetric halves.
+                // idx; (idx, idx) receives both symmetric halves.  The
+                // accumulator's empty-key mass joins the singleton to a
+                // singleton, so every contribution lands in cats.
                 for i in 0..dim {
-                    let q = &mut o.prods[tri_index(dim, i, idx)];
-                    q.fma_indicator(&a.sums[i], attr as u32, value, s);
+                    let scalar_i = a.sums_scalar[i];
+                    let q = &mut o.prods_cats[tri_index(dim, i, idx)];
+                    if scalar_i != 0.0 {
+                        q.add_entry_prehashed(hash, &key, s * scalar_i);
+                    }
+                    q.fma_indicator(&a.sums_cats[i], attr as u32, value, s);
                     if i == idx {
-                        q.fma_indicator(&a.sums[i], attr as u32, value, s);
+                        if scalar_i != 0.0 {
+                            q.add_entry_prehashed(hash, &key, s * scalar_i);
+                        }
+                        q.fma_indicator(&a.sums_cats[i], attr as u32, value, s);
                     }
                 }
-                o.prod_mut(idx, idx).add_entry_prehashed(hash, &key, s * a.count);
+                o.prods_cats[tri_index(dim, idx, idx)].add_entry_prehashed(hash, &key, s * a.count);
             }
+        }
+    }
+
+    /// Batch-fused categorical lift for a run of **scalar-weight**
+    /// accumulators: `self += Σ_i w_i · lift_categorical(dim, idx, attr,
+    /// ev_i)`.  One promote/dispatch for the whole run; each row is one
+    /// hashed singleton key and two prehashed upserts (rows applied in
+    /// slice order, so per-key accumulation matches the per-row sequence
+    /// exactly).  The batch channel behind `LiftFn::with_fma_batch` for the
+    /// generalized categorical lift.
+    pub fn fma_lift_categorical_weighted(
+        &mut self,
+        dim: usize,
+        idx: usize,
+        attr: usize,
+        evs: &[EncodedValue],
+        ws: &[f64],
+    ) {
+        debug_assert_eq!(evs.len(), ws.len());
+        let o = self.promote_to_elem(dim);
+        let diag = tri_index(dim, idx, idx);
+        for (&ev, &w) in evs.iter().zip(ws) {
+            if w == 0.0 {
+                continue;
+            }
+            let key = RelKey::singleton(attr as u32, ev);
+            let hash = key.fx_hash();
+            o.count += w;
+            o.sums_cats[idx].add_entry_prehashed(hash, &key, w);
+            o.prods_cats[diag].add_entry_prehashed(hash, &key, w);
         }
     }
 
@@ -343,26 +558,29 @@ impl GenCofactor {
         match self {
             GenCofactor::Scalar(_) => 0,
             GenCofactor::Elem(e) => e
-                .sums
+                .sums_cats
                 .iter()
-                .chain(e.prods.iter())
+                .chain(e.prods_cats.iter())
                 .map(RelValue::table_rehashes)
                 .sum(),
         }
     }
 
-    /// Heap bytes of this element's interior allocations: the `sums`/
-    /// `prods` vector buffers plus every component relation's table arrays
-    /// (see [`RelValue::allocated_bytes`] for the accounting boundary).
-    /// Scalars own nothing.
+    /// Heap bytes of this element's interior allocations: the dense scalar
+    /// buffers, the `sums`/`prods` vector buffers, plus every component
+    /// relation's table arrays (see [`RelValue::allocated_bytes`] for the
+    /// accounting boundary).  Scalars own nothing.
     pub fn allocated_bytes(&self) -> usize {
         match self {
             GenCofactor::Scalar(_) => 0,
             GenCofactor::Elem(e) => {
-                (e.sums.capacity() + e.prods.capacity()) * std::mem::size_of::<RelValue>()
-                    + e.sums
+                e.sums_scalar.capacity() * std::mem::size_of::<f64>()
+                    + e.prods_scalar.heap_bytes()
+                    + (e.sums_cats.capacity() + e.prods_cats.capacity())
+                        * std::mem::size_of::<RelValue>()
+                    + e.sums_cats
                         .iter()
-                        .chain(e.prods.iter())
+                        .chain(e.prods_cats.iter())
                         .map(RelValue::allocated_bytes)
                         .sum::<usize>()
             }
@@ -384,8 +602,10 @@ impl Ring for GenCofactor {
             GenCofactor::Scalar(c) => *c == 0.0,
             GenCofactor::Elem(e) => {
                 e.count == 0.0
-                    && e.sums.iter().all(RelValue::is_zero)
-                    && e.prods.iter().all(RelValue::is_zero)
+                    && e.sums_scalar.iter().all(|&x| x == 0.0)
+                    && e.prods_scalar.is_zero()
+                    && e.sums_cats.iter().all(RelValue::is_zero)
+                    && e.prods_cats.iter().all(RelValue::is_zero)
             }
         }
     }
@@ -409,10 +629,14 @@ impl Ring for GenCofactor {
                     b.dim()
                 );
                 a.count += b.count;
-                for (x, y) in a.sums.iter_mut().zip(b.sums.iter()) {
+                for (x, &y) in a.sums_scalar.iter_mut().zip(&b.sums_scalar) {
+                    *x += y;
+                }
+                a.prods_scalar.add_scaled(&b.prods_scalar, 1.0);
+                for (x, y) in a.sums_cats.iter_mut().zip(&b.sums_cats) {
                     x.add_assign(y);
                 }
-                for (x, y) in a.prods.iter_mut().zip(b.prods.iter()) {
+                for (x, y) in a.prods_cats.iter_mut().zip(&b.prods_cats) {
                     x.add_assign(y);
                 }
             }
@@ -427,39 +651,11 @@ impl Ring for GenCofactor {
     }
 
     fn mul(&self, rhs: &Self) -> Self {
-        match (self, rhs) {
-            (GenCofactor::Scalar(a), GenCofactor::Scalar(b)) => GenCofactor::Scalar(a * b),
-            (GenCofactor::Scalar(a), other @ GenCofactor::Elem(_)) => other.scale_all(*a),
-            (other @ GenCofactor::Elem(_), GenCofactor::Scalar(b)) => other.scale_all(*b),
-            (GenCofactor::Elem(a), GenCofactor::Elem(b)) => {
-                assert_eq!(
-                    a.dim(),
-                    b.dim(),
-                    "cannot multiply generalized cofactors of dimensions {} and {}",
-                    a.dim(),
-                    b.dim()
-                );
-                let dim = a.dim();
-                let ca = RelValue::scalar(a.count);
-                let cb = RelValue::scalar(b.count);
-                let mut out = GenCofactorElem::zeros(dim);
-                out.count = a.count * b.count;
-                for i in 0..dim {
-                    out.sums[i] = a.sums[i].mul(&cb).add(&b.sums[i].mul(&ca));
-                }
-                for i in 0..dim {
-                    for j in i..dim {
-                        let mut q = a.prod(i, j).mul(&cb);
-                        q.add_assign(&b.prod(i, j).mul(&ca));
-                        // Cross terms: s_a[i]·s_b[j] + s_b[i]·s_a[j].
-                        q.add_assign(&a.sums[i].mul(&b.sums[j]));
-                        q.add_assign(&b.sums[i].mul(&a.sums[j]));
-                        *out.prod_mut(i, j) = q;
-                    }
-                }
-                GenCofactor::Elem(out)
-            }
-        }
+        // The fused accumulate into a fresh zero covers every shape pair
+        // (scalar arms stay scalar; zero factors never promote).
+        let mut out = GenCofactor::zero();
+        out.fma_scaled(self, rhs, 1);
+        out
     }
 
     fn fma_scaled(&mut self, a: &Self, b: &Self, scale: i64) {
@@ -480,10 +676,14 @@ impl Ring for GenCofactor {
                 }
                 let o = self.promote_to_elem(e.dim());
                 o.count += k * e.count;
-                for (dst, src) in o.sums.iter_mut().zip(e.sums.iter()) {
+                for (dst, &src) in o.sums_scalar.iter_mut().zip(&e.sums_scalar) {
+                    *dst += k * src;
+                }
+                o.prods_scalar.add_scaled(&e.prods_scalar, k);
+                for (dst, src) in o.sums_cats.iter_mut().zip(&e.sums_cats) {
                     dst.add_scaled(src, k);
                 }
-                for (dst, src) in o.prods.iter_mut().zip(e.prods.iter()) {
+                for (dst, src) in o.prods_cats.iter_mut().zip(&e.prods_cats) {
                     dst.add_scaled(src, k);
                 }
             }
@@ -497,19 +697,41 @@ impl Ring for GenCofactor {
                 );
                 let dim = ea.dim();
                 let o = self.promote_to_elem(dim);
+                let (ka, kb) = (s * eb.count, s * ea.count);
                 o.count += s * ea.count * eb.count;
+                // Dense half: exactly the cofactor-ring fused multiply-add,
+                // on the same vectorized SymMatrix/slice kernels.
+                for (dst, &src) in o.sums_scalar.iter_mut().zip(&ea.sums_scalar) {
+                    *dst += ka * src;
+                }
+                for (dst, &src) in o.sums_scalar.iter_mut().zip(&eb.sums_scalar) {
+                    *dst += kb * src;
+                }
+                o.prods_scalar.add_scaled(&ea.prods_scalar, ka);
+                o.prods_scalar.add_scaled(&eb.prods_scalar, kb);
+                o.prods_scalar
+                    .add_symmetric_outer_scaled(&ea.sums_scalar, &eb.sums_scalar, s);
+                // Categorical half.
                 for i in 0..dim {
-                    o.sums[i].add_scaled(&ea.sums[i], s * eb.count);
-                    o.sums[i].add_scaled(&eb.sums[i], s * ea.count);
+                    o.sums_cats[i].add_scaled(&ea.sums_cats[i], ka);
+                    o.sums_cats[i].add_scaled(&eb.sums_cats[i], kb);
                 }
                 for i in 0..dim {
                     for j in i..dim {
-                        let q = &mut o.prods[tri_index(dim, i, j)];
-                        q.add_scaled(ea.prod(i, j), s * eb.count);
-                        q.add_scaled(eb.prod(i, j), s * ea.count);
-                        // Cross terms: s·(s_a[i] ⋈ s_b[j]) + s·(s_b[i] ⋈ s_a[j]).
-                        q.add_product_scaled(&ea.sums[i], &eb.sums[j], s);
-                        q.add_product_scaled(&eb.sums[i], &ea.sums[j], s);
+                        let t = tri_index(dim, i, j);
+                        let q = &mut o.prods_cats[t];
+                        q.add_scaled(&ea.prods_cats[t], ka);
+                        q.add_scaled(&eb.prods_cats[t], kb);
+                        // Cross terms s·(s_a[i] ⋈ s_b[j]) + s·(s_b[i] ⋈
+                        // s_a[j]), with the scalar×scalar parts already in
+                        // `prods_scalar` via the symmetric outer above:
+                        // scalar×cats scales a copy, cats×cats joins.
+                        q.add_scaled(&eb.sums_cats[j], s * ea.sums_scalar[i]);
+                        q.add_scaled(&ea.sums_cats[i], s * eb.sums_scalar[j]);
+                        q.add_product_scaled(&ea.sums_cats[i], &eb.sums_cats[j], s);
+                        q.add_scaled(&ea.sums_cats[j], s * eb.sums_scalar[i]);
+                        q.add_scaled(&eb.sums_cats[i], s * ea.sums_scalar[j]);
+                        q.add_product_scaled(&eb.sums_cats[i], &ea.sums_cats[j], s);
                     }
                 }
             }
@@ -528,10 +750,12 @@ impl Ring for GenCofactor {
                 match out {
                     GenCofactor::Elem(o) if o.dim() == dim => {
                         o.count = 0.0;
-                        for s in &mut o.sums {
+                        o.sums_scalar.fill(0.0);
+                        o.prods_scalar.clear();
+                        for s in &mut o.sums_cats {
                             s.clear();
                         }
-                        for q in &mut o.prods {
+                        for q in &mut o.prods_cats {
                             q.clear();
                         }
                     }
@@ -543,14 +767,7 @@ impl Ring for GenCofactor {
     }
 
     fn neg(&self) -> Self {
-        match self {
-            GenCofactor::Scalar(c) => GenCofactor::Scalar(-c),
-            GenCofactor::Elem(e) => GenCofactor::Elem(GenCofactorElem {
-                count: -e.count,
-                sums: e.sums.iter().map(Ring::neg).collect(),
-                prods: e.prods.iter().map(Ring::neg).collect(),
-            }),
-        }
+        self.scale_all(-1.0)
     }
 
     fn scale_int(&self, k: i64) -> Self {
@@ -562,10 +779,12 @@ impl Ring for GenCofactor {
             GenCofactor::Scalar(c) => *c = 0.0,
             GenCofactor::Elem(e) => {
                 e.count = 0.0;
-                for s in &mut e.sums {
+                e.sums_scalar.fill(0.0);
+                e.prods_scalar.fill_zero();
+                for s in &mut e.sums_cats {
                     s.reset_zero();
                 }
-                for q in &mut e.prods {
+                for q in &mut e.prods_cats {
                     q.reset_zero();
                 }
             }
@@ -581,8 +800,18 @@ impl Ring for GenCofactor {
             GenCofactor::Scalar(c) => GenCofactor::Scalar(*c),
             GenCofactor::Elem(e) => GenCofactor::Elem(GenCofactorElem {
                 count: e.count,
-                sums: e.sums.iter().map(|r| r.rekey_dicts(src, dst)).collect(),
-                prods: e.prods.iter().map(|r| r.rekey_dicts(src, dst)).collect(),
+                sums_scalar: e.sums_scalar.clone(),
+                prods_scalar: e.prods_scalar.clone(),
+                sums_cats: e
+                    .sums_cats
+                    .iter()
+                    .map(|r| r.rekey_dicts(src, dst))
+                    .collect(),
+                prods_cats: e
+                    .prods_cats
+                    .iter()
+                    .map(|r| r.rekey_dicts(src, dst))
+                    .collect(),
             }),
         }
     }
@@ -593,6 +822,13 @@ impl Ring for GenCofactor {
 
     fn payload_bytes(&self) -> usize {
         self.allocated_bytes()
+    }
+
+    fn scalar_weight(&self) -> Option<f64> {
+        match self {
+            GenCofactor::Scalar(c) => Some(*c),
+            GenCofactor::Elem(_) => None,
+        }
     }
 }
 
@@ -605,13 +841,18 @@ impl ApproxEq for GenCofactor {
                 let a = self.to_dense(dim);
                 let b = other.to_dense(dim);
                 approx_f64(a.count, b.count, tol)
-                    && a.sums
+                    && a.sums_scalar
                         .iter()
-                        .zip(b.sums.iter())
+                        .zip(&b.sums_scalar)
+                        .all(|(x, y)| approx_f64(*x, *y, tol))
+                    && a.prods_scalar.approx_eq(&b.prods_scalar, tol)
+                    && a.sums_cats
+                        .iter()
+                        .zip(&b.sums_cats)
                         .all(|(x, y)| x.approx_eq(y, tol))
-                    && a.prods
+                    && a.prods_cats
                         .iter()
-                        .zip(b.prods.iter())
+                        .zip(&b.prods_cats)
                         .all(|(x, y)| x.approx_eq(y, tol))
             }
         }
@@ -636,6 +877,11 @@ mod tests {
         assert_eq!(g.sum(1).scalar_part(), 4.0);
         assert_eq!(g.prod(1, 1).scalar_part(), 16.0);
         assert!(g.prod(0, 1).is_zero());
+        // Split representation: the continuous mass lives in the dense
+        // fields, the categorical interior stays empty.
+        assert_eq!(g.sum_scalar(1), 4.0);
+        assert_eq!(g.prod_scalar(1, 1), 16.0);
+        assert!(g.sum_cats(1).expect("dense").is_empty());
     }
 
     #[test]
@@ -647,6 +893,7 @@ mod tests {
         assert_eq!(g.sum(2).get(&[(2, red)]), 1.0);
         assert_eq!(g.prod(2, 2).get(&[(2, red)]), 1.0);
         assert!(g.sum(0).is_zero());
+        assert_eq!(g.sum_scalar(2), 0.0);
     }
 
     #[test]
@@ -775,6 +1022,63 @@ mod tests {
                 assert_eq!(fused, reference, "categorical, scale={scale}");
             }
         }
+    }
+
+    /// The batch (run-of-scalar-weights) lift accumulators must agree with
+    /// the per-row fused path exactly.
+    #[test]
+    fn batch_lifts_match_per_row_fma() {
+        let dim = 3;
+        let xs = [2.0, -1.5, 0.25, 4.0];
+        let ws = [1.0, 2.0, -1.0, 3.0];
+        // Continuous: per-row over scalar accumulators vs horizontal sums.
+        let mut per_row = GenCofactor::zero();
+        let (mut sw, mut swx, mut swx2) = (0.0, 0.0, 0.0);
+        for (&x, &w) in xs.iter().zip(&ws) {
+            per_row.fma_lift_continuous(&GenCofactor::scalar(w), dim, 1, x, 1);
+            sw += w;
+            swx += w * x;
+            swx2 += w * x * x;
+        }
+        let mut batch = GenCofactor::zero();
+        batch.fma_lift_continuous_sums(dim, 1, sw, swx, swx2);
+        assert!(batch.approx_eq(&per_row, 1e-12));
+
+        // Categorical: integer weights, exact equality.
+        let evs = [ev(1), ev(2), ev(1), ev(3)];
+        let mut per_row = GenCofactor::zero();
+        for (&v, &w) in evs.iter().zip(&ws) {
+            per_row.fma_lift_categorical(&GenCofactor::scalar(w), dim, 2, 2, v, 1);
+        }
+        let mut batch = GenCofactor::zero();
+        batch.fma_lift_categorical_weighted(dim, 2, 2, &evs, &ws);
+        assert_eq!(batch, per_row);
+    }
+
+    /// The split invariant: relational components never hold the empty key;
+    /// `from_composed` splits exactly what `sum`/`prod` compose.
+    #[test]
+    fn split_representation_round_trips_through_composed_form() {
+        let dim = 2;
+        let mixed = GenCofactor::lift_continuous(dim, 0, 3.0)
+            .mul(&GenCofactor::lift_categorical(dim, 1, 1, ev(7)))
+            .add(&GenCofactor::lift_continuous(dim, 0, -1.0));
+        let GenCofactor::Elem(e) = &mixed else {
+            panic!("dense element expected");
+        };
+        for i in 0..dim {
+            assert_eq!(e.sum_cats(i).scalar_part(), 0.0, "empty key leaked into sums_cats[{i}]");
+            for j in i..dim {
+                assert_eq!(e.prod_cats(i, j).scalar_part(), 0.0, "empty key leaked into prods_cats");
+            }
+        }
+        let sums: Vec<RelValue> = (0..dim).map(|i| e.sum(i)).collect();
+        let prods: Vec<RelValue> = (0..dim)
+            .flat_map(|i| (i..dim).map(move |j| (i, j)))
+            .map(|(i, j)| e.prod(i, j))
+            .collect();
+        let rebuilt = GenCofactorElem::from_composed(e.count, sums, prods);
+        assert_eq!(&rebuilt, e);
     }
 
     #[test]

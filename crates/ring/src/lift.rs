@@ -37,6 +37,15 @@ pub type LiftFmaFn<R> = Arc<dyn Fn(&Value, &R, i64, &mut R) + Send + Sync>;
 /// dictionary-encoded value.
 pub type LiftFmaEncodedFn<R> = Arc<dyn Fn(EncodedValue, &R, i64, &mut R) + Send + Sync>;
 
+/// Signature of the columnar batch lift-accumulate:
+/// `slot += Σ_i w_i · g(ev_i)` over parallel value/weight column slices.
+///
+/// The weights are the rows' accumulator masses with the delta scale already
+/// folded in (see [`crate::Ring::scalar_weight`]); the columnar kernel only
+/// takes this path when every row in a run reduced to a scalar weight, so
+/// the whole run costs one lift dispatch instead of one per row.
+pub type LiftFmaBatchFn<R> = Arc<dyn Fn(&[EncodedValue], &[f64], &mut R) + Send + Sync>;
+
 /// A lift (attribute function) producing payloads of ring `R`.
 #[derive(Clone)]
 pub struct LiftFn<R> {
@@ -52,6 +61,9 @@ pub struct LiftFn<R> {
     /// Optional encoded variant of `fma`, consuming the dictionary-encoded
     /// value without materializing a [`Value`] at all.
     fma_encoded: Option<LiftFmaEncodedFn<R>>,
+    /// Optional columnar batch variant: one dispatch applies the lift over
+    /// a whole run of scalar-weight rows (see [`LiftFmaBatchFn`]).
+    fma_batch: Option<LiftFmaBatchFn<R>>,
 }
 
 impl<R: Ring> LiftFn<R> {
@@ -66,6 +78,7 @@ impl<R: Ring> LiftFn<R> {
             f: Arc::new(f),
             fma: None,
             fma_encoded: None,
+            fma_batch: None,
         }
     }
 
@@ -94,6 +107,26 @@ impl<R: Ring> LiftFn<R> {
         self
     }
 
+    /// Attaches the columnar batch accumulate.  Must satisfy
+    /// `slot += Σ_i w_i · g(decode(ev_i))` for the same `g` as the apply
+    /// function; the kernel's batch path is only exact when the lift's
+    /// per-key accumulation is (integer weights, or tolerance-covered
+    /// reassociation of continuous sums — see the kernel contract in
+    /// ROADMAP.md).
+    pub fn with_fma_batch<F>(mut self, fma: F) -> Self
+    where
+        F: Fn(&[EncodedValue], &[f64], &mut R) + Send + Sync + 'static,
+    {
+        self.fma_batch = Some(Arc::new(fma));
+        self
+    }
+
+    /// The columnar batch accumulate, when the lift carries one.
+    #[inline]
+    pub fn fma_batch(&self) -> Option<&LiftFmaBatchFn<R>> {
+        self.fma_batch.as_ref()
+    }
+
     /// The identity lift `g_X(x) = 1`, used for join keys that do not
     /// participate in the aggregate batch.
     pub fn identity() -> Self {
@@ -103,6 +136,7 @@ impl<R: Ring> LiftFn<R> {
             f: Arc::new(|_| R::one()),
             fma: None,
             fma_encoded: None,
+            fma_batch: None,
         }
     }
 
@@ -165,6 +199,24 @@ pub fn count_lift() -> LiftFn<i64> {
     LiftFn::identity()
 }
 
+/// Horizontal sums of a weighted continuous column: `(Σw, Σw·x, Σw·x²)`
+/// with `x = as_f64(ev)` — the whole-run reduction behind the continuous
+/// lifts' batch channel.  Accumulated in slice order, but note the batch
+/// path *reassociates* relative to per-row application (per-row folds each
+/// row fully into the slot before the next); exact for integer data,
+/// tolerance-covered for raw floats.
+fn continuous_sums(evs: &[EncodedValue], ws: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(evs.len(), ws.len());
+    let (mut sw, mut swx, mut swx2) = (0.0, 0.0, 0.0);
+    for (&ev, &w) in evs.iter().zip(ws) {
+        let x = ev.as_f64().unwrap_or(0.0);
+        sw += w;
+        swx += w * x;
+        swx2 += w * x * x;
+    }
+    (sw, swx, swx2)
+}
+
 /// Lift of a continuous attribute into the real ring: `g_X(x) = x`.
 pub fn real_value_lift(name: &str) -> LiftFn<f64> {
     LiftFn::new(format!("val({name})"), |v| v.as_f64().unwrap_or(0.0))
@@ -187,6 +239,10 @@ pub fn cofactor_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<Co
     .with_fma_encoded(move |ev, acc, scale, slot| {
         slot.fma_lift_continuous(acc, dim, idx, ev.as_f64().unwrap_or(0.0), scale);
     })
+    .with_fma_batch(move |evs, ws, slot| {
+        let (sw, swx, swx2) = continuous_sums(evs, ws);
+        slot.fma_lift_continuous_sums(dim, idx, sw, swx, swx2);
+    })
 }
 
 /// Lift of a continuous attribute into the generalized cofactor ring.
@@ -201,6 +257,10 @@ pub fn gen_continuous_lift(dim: usize, idx: usize, name: &str) -> LiftFn<GenCofa
     })
     .with_fma_encoded(move |ev, acc, scale, slot| {
         slot.fma_lift_continuous(acc, dim, idx, ev.as_f64().unwrap_or(0.0), scale);
+    })
+    .with_fma_batch(move |evs, ws, slot| {
+        let (sw, swx, swx2) = continuous_sums(evs, ws);
+        slot.fma_lift_continuous_sums(dim, idx, sw, swx, swx2);
     })
 }
 
@@ -232,6 +292,9 @@ pub fn gen_categorical_lift(
     .with_fma_encoded(move |ev, acc, scale, slot| {
         slot.fma_lift_categorical(acc, dim, idx, attr, ev, scale);
     })
+    .with_fma_batch(move |evs, ws, slot| {
+        slot.fma_lift_categorical_weighted(dim, idx, attr, evs, ws);
+    })
 }
 
 /// Lift of an attribute into the relation ring: `g_X(x) = {(X = x) -> 1}`.
@@ -252,6 +315,9 @@ pub fn relational_lift(attr: VarId, name: &str, ctx: &RingCtx) -> LiftFn<RelValu
     })
     .with_fma_encoded(move |ev, acc, scale, slot| {
         slot.fma_indicator(acc, attr as u32, ev, scale as f64);
+    })
+    .with_fma_batch(move |evs, ws, slot| {
+        slot.fma_indicator_weighted(attr as u32, evs, ws);
     })
 }
 
@@ -350,5 +416,38 @@ mod tests {
             .add(&RelValue::scalar(2.0));
         check(&relational_lift(1, "D", &ctx), &ctx, &Value::int(7), &rel_acc);
         check(&relational_lift(0, "A", &ctx), &ctx, &Value::str("red"), &rel_acc);
+    }
+
+    /// The batch channel must agree with the per-row encoded fma over runs
+    /// of scalar-weight rows: `batch(evs, ws)` ≡ `Σ_i fma(ev_i, w_i, 1)`.
+    #[test]
+    fn batch_channel_agrees_with_per_row_fma() {
+        let ctx = RingCtx::new();
+        fn check<R: Ring + ApproxEq>(lift: &LiftFn<R>, evs: &[EncodedValue], ws: &[f64]) {
+            let batch = lift.fma_batch().expect("lift carries a batch channel");
+            let mut via_batch = R::zero();
+            batch(evs, ws, &mut via_batch);
+            let mut per_row = R::zero();
+            for (&ev, &w) in evs.iter().zip(ws) {
+                // A scalar weight w is an accumulator R::one() scaled by w;
+                // integer test weights make the per-row reference exact.
+                let acc = R::one().scale_int(w as i64);
+                lift.fma_apply_encoded(ev, |_| unreachable!("encoded path"), &acc, 1, &mut per_row);
+            }
+            assert!(
+                via_batch.approx_eq(&per_row, 1e-12),
+                "batch channel diverges from per-row fma"
+            );
+        }
+        let ws = [1.0, -2.0, 3.0, 1.0];
+        let ints: Vec<EncodedValue> = [4i64, -1, 0, 7].iter().map(|&x| EncodedValue::int(x)).collect();
+        let cats: Vec<EncodedValue> = ["a", "b", "a", "c"]
+            .iter()
+            .map(|s| ctx.encode_value(&Value::str(s)))
+            .collect();
+        check(&cofactor_continuous_lift(3, 1, "B"), &ints, &ws);
+        check(&gen_continuous_lift(3, 2, "D"), &ints, &ws);
+        check(&gen_categorical_lift(3, 0, 0, "C", &ctx), &cats, &ws);
+        check(&relational_lift(2, "A", &ctx), &cats, &ws);
     }
 }

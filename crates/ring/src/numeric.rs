@@ -43,6 +43,16 @@ impl Ring for i64 {
     fn scale_int(&self, k: i64) -> Self {
         self * k
     }
+    #[inline]
+    fn scalar_weight(&self) -> Option<f64> {
+        // Counts above 2^53 would round in the f64 batch channel; such
+        // rows fall back to the per-row path instead.
+        if self.unsigned_abs() <= (1u64 << 53) {
+            Some(*self as f64)
+        } else {
+            None
+        }
+    }
 }
 
 impl Ring for f64 {
@@ -85,6 +95,10 @@ impl Ring for f64 {
     #[inline]
     fn scale_int(&self, k: i64) -> Self {
         self * (k as f64)
+    }
+    #[inline]
+    fn scalar_weight(&self) -> Option<f64> {
+        Some(*self)
     }
 }
 

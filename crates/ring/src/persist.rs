@@ -209,12 +209,19 @@ impl PersistRing for GenCofactor {
             GenCofactor::Elem(e) => {
                 put_u8(out, 1);
                 put_f64(out, e.count);
-                put_u32(out, e.dim() as u32);
-                for s in &e.sums {
-                    s.encode(out);
+                let dim = e.dim();
+                put_u32(out, dim as u32);
+                // Components travel in composed form (empty-key scalar mass
+                // folded back into each relation): the wire format predates
+                // the split in-memory representation and stays compatible
+                // with snapshots taken before it.
+                for i in 0..dim {
+                    e.sum(i).encode(out);
                 }
-                for q in &e.prods {
-                    q.encode(out);
+                for i in 0..dim {
+                    for j in i..dim {
+                        e.prod(i, j).encode(out);
+                    }
                 }
             }
         }
@@ -235,7 +242,12 @@ impl PersistRing for GenCofactor {
                 for _ in 0..tri {
                     prods.push(RelValue::decode(r)?);
                 }
-                Ok(GenCofactor::Elem(GenCofactorElem { count, sums, prods }))
+                // Split each composed component back into dense scalar mass
+                // + cats-only interior; the relations are reused in place,
+                // so the zero-growth-rehash restore property is preserved.
+                Ok(GenCofactor::Elem(GenCofactorElem::from_composed(
+                    count, sums, prods,
+                )))
             }
             _ => Err(WireError::Malformed("cofactor variant tag out of range")),
         }
@@ -295,13 +307,15 @@ mod tests {
 
     #[test]
     fn gen_cofactor_round_trips() {
-        let mut e = GenCofactorElem::zeros(2);
-        e.count = 4.0;
-        e.sums[0] = RelValue::scalar(3.0);
-        e.sums[1] = RelValue::weighted(7, EncodedValue::int(9), 1.25);
-        *e.prod_mut(0, 1) = RelValue::weighted(7, EncodedValue::int(9), -2.5);
-        let v = GenCofactor::Elem(e);
-        assert_eq!(round_trip(&v), v);
+        // Mixed continuous/categorical element: the wire form composes each
+        // component (empty-key mass folded in), decode splits it back.
+        let mut v = GenCofactor::lift_continuous(2, 0, 1.5)
+            .mul(&GenCofactor::lift_categorical(2, 1, 7, EncodedValue::int(9)));
+        v.fma_lift_continuous(&GenCofactor::scalar(2.5), 2, 0, -1.0, 1);
+        let restored = round_trip(&v);
+        assert_eq!(restored, v);
+        // Restored relational interiors are right-sized: zero growth rehashes.
+        assert_eq!(restored.table_rehashes(), 0);
         assert_eq!(
             round_trip(&GenCofactor::Scalar(1.0)),
             GenCofactor::Scalar(1.0)

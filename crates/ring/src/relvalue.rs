@@ -151,6 +151,23 @@ impl RelValue {
         self.get_key(&RelKey::empty())
     }
 
+    /// Removes the empty-tuple entry and returns its weight (0 if absent).
+    /// This is the *split* step of the generalized-cofactor decode path:
+    /// [`crate::GenCofactorElem`] stores continuous (empty-key) mass in
+    /// dense scalar fields, with the invariant that its interior relations
+    /// never contain the empty key.
+    pub fn take_scalar_part(&mut self) -> f64 {
+        let key = RelKey::empty();
+        match self.entries.find_idx(key.fx_hash(), |k, _| *k == key) {
+            Some(idx) => {
+                let w = *self.entries.value_at_mut(idx);
+                self.entries.remove_at(idx);
+                w
+            }
+            None => 0.0,
+        }
+    }
+
     /// Weight of a specific key, or 0 if absent.
     pub fn get_key(&self, key: &RelKey) -> f64 {
         self.entries
@@ -394,7 +411,23 @@ impl RelValue {
         }
     }
 
-    fn map_weights(&self, f: impl Fn(f64) -> f64) -> Self {
+    /// Batch form of the singleton-lift accumulate for runs of
+    /// **scalar-weight** accumulators: `self += Σ_i w_i · {attr = ev_i}` —
+    /// one prehashed upsert per row, with the per-row lift dispatch and
+    /// accumulator-table walk of [`RelValue::fma_indicator`] hoisted out of
+    /// the loop.  Rows are applied in slice order, so per-key accumulation
+    /// order matches the equivalent per-row sequence exactly.
+    pub fn fma_indicator_weighted(&mut self, attr: u32, evs: &[EncodedValue], ws: &[f64]) {
+        debug_assert_eq!(evs.len(), ws.len());
+        for (&ev, &w) in evs.iter().zip(ws) {
+            if w != 0.0 {
+                let key = RelKey::singleton(attr, ev);
+                self.upsert_owned(key.fx_hash(), key, w);
+            }
+        }
+    }
+
+    pub(crate) fn map_weights(&self, f: impl Fn(f64) -> f64) -> Self {
         let mut entries = RawTable::with_capacity(self.len());
         for (hash, k, &w) in self.entries.iter_hashed() {
             let nw = f(w);
@@ -506,6 +539,20 @@ impl Ring for RelValue {
 
     fn payload_bytes(&self) -> usize {
         self.allocated_bytes()
+    }
+
+    fn scalar_weight(&self) -> Option<f64> {
+        // Scalar shapes: the empty relation (zero) and the single
+        // empty-tuple entry `{() -> w}`.  Anything carrying a bound
+        // attribute is more than a count and must take the per-row path.
+        match self.len() {
+            0 => Some(0.0),
+            1 => {
+                let (k, w) = self.iter().next().expect("len checked");
+                (*k == RelKey::empty()).then_some(w)
+            }
+            _ => None,
+        }
     }
 }
 

@@ -138,6 +138,18 @@ pub trait Ring: Clone + Debug + PartialEq + Send + Sync + 'static {
         0
     }
 
+    /// The element's mass as a plain scalar, when the element is a *pure
+    /// scalar* (count-like) value; `None` for every shape that carries
+    /// more than a count.  The columnar kernel batches singleton-lift
+    /// FMAs over runs of delta rows whose payloads are all scalar: the
+    /// lift's batch channel (`LiftFn::with_fma_batch`) receives the
+    /// gathered weights as an `f64` slice instead of dispatching per row.
+    /// Returning `None` is always sound — the kernel falls back to the
+    /// per-row fused path — so the default never batches.
+    fn scalar_weight(&self) -> Option<f64> {
+        None
+    }
+
     /// Integer scaling `k · self` (i.e. `self` added to itself `k` times,
     /// with negative `k` meaning the inverse).  Used to apply tuple
     /// multiplicities from base relations.

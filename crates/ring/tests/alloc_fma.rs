@@ -137,6 +137,42 @@ fn gen_cofactor_singleton_lift_fma_does_not_allocate_when_warm() {
     );
 }
 
+/// The batch-fused lift channel must be allocation-free once warm: a run
+/// of scalar-weight rows applied over pooled columnar buffers reduces to
+/// dense scalar updates (continuous) or prehashed upserts into already-
+/// sized tables (categorical) — 0 allocations per row is the columnar
+/// kernel's steady-state contract.
+#[test]
+fn batch_lift_channels_do_not_allocate_when_warm() {
+    let dim = 6;
+    let evs: Vec<EncodedValue> = [3i64, 4, 3, 5, 4, 3]
+        .iter()
+        .map(|&v| EncodedValue::int(v))
+        .collect();
+    let ws = [1.0, 2.0, -1.0, 3.0, 1.0, -2.0];
+
+    // Continuous: horizontal sums into the dense scalar fields.
+    let mut cof = Cofactor::lift(dim, 1, 2.0).mul(&Cofactor::lift(dim, 2, 3.0));
+    let mut gen = GenCofactor::lift_continuous(dim, 0, 2.0)
+        .mul(&GenCofactor::lift_continuous(dim, 3, -1.0));
+    // Categorical / relational: warm the interior tables with the keys the
+    // batch touches.
+    let mut gen_cat = GenCofactor::zero();
+    gen_cat.fma_lift_categorical_weighted(dim, 2, 2, &evs, &ws);
+    let mut rel = RelValue::zero();
+    rel.fma_indicator_weighted(2, &evs, &ws);
+
+    let allocs = allocations_during(|| {
+        for _ in 0..4 {
+            cof.fma_lift_continuous_sums(dim, 1, 3.0, -1.5, 0.75);
+            gen.fma_lift_continuous_sums(dim, 0, -3.0, 1.5, -0.75);
+            gen_cat.fma_lift_categorical_weighted(dim, 2, 2, &evs, &ws);
+            rel.fma_indicator_weighted(2, &evs, &ws);
+        }
+    });
+    assert_eq!(allocs, 0, "warm batch lift channels allocated {allocs} times");
+}
+
 #[test]
 fn cofactor_mul_into_reuses_matching_accumulator() {
     let dim = 8;

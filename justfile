@@ -77,6 +77,20 @@ bench-dag:
     cargo build --release --bin exp_dag
     ./target/release/exp_dag
 
+# Kernel gate: the columnar/scalar seeded differential suite and the
+# batch-lift allocation assertions under clippy -D warnings, then the
+# per-kernel ablation experiment — merges RING-kernel-* records (dense
+# accumulate, continuous/categorical lift, paired scalar-vs-columnar
+# engine runs; medians of interleaved paired rounds) into BENCH_ivm.json
+# without touching other records.
+bench-kernels:
+    cargo clippy -p fivm-core --all-targets -- -D warnings
+    cargo clippy -p fivm-ring --all-targets -- -D warnings
+    cargo test -p fivm-bench -q --test kernel_differential
+    cargo test -p fivm-ring -q --test alloc_fma
+    cargo build --release --bin exp_ring
+    ./target/release/exp_ring
+
 # Quick hot-path diagnostic: allocations/row, ns/row and probe counters per
 # engine, plus allocs/probe and ns/probe for both key representations
 # (boxed Value tuples vs dictionary-encoded keys).
