@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Baseline maintenance strategies that F-IVM is compared against.
 //!
 //! The paper's performance claims are relative: maintaining the ring

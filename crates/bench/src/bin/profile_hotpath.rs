@@ -5,6 +5,8 @@
 //! trailing ablation compares allocs/probe and ns/probe between the boxed
 //! and dictionary-encoded key representations).
 
+// xlint:allow-file(unsafe-boundary): counting allocations requires implementing the unsafe GlobalAlloc trait — this is a diagnostic binary, not engine code; no engine data structure is touched with unsafe here.
+
 use fivm_bench::{ProbeAblation, Workload};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness code for the F-IVM experiments and benchmarks.
 //!
 //! The experiment binaries in `src/bin/` regenerate the paper's figures and

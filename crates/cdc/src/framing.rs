@@ -55,6 +55,14 @@ impl LogEnd {
     }
 }
 
+/// Little-endian `u32` at `pos`; the caller has already length-checked
+/// the slice, so indexing (never a panicking `try_into().expect`) reads
+/// the four bytes directly.
+#[inline]
+fn read_u32_le(bytes: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+}
+
 /// Appends the file header for `magic`/`version` to `out`.
 pub fn put_header(out: &mut Vec<u8>, magic: &[u8; 4], version: u32) {
     out.extend_from_slice(magic);
@@ -76,7 +84,7 @@ pub fn check_header(bytes: &[u8], magic: &[u8; 4], version: u32) -> CdcResult<us
             magic
         )));
     }
-    let got = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let got = read_u32_le(bytes, 4);
     if got != version {
         return Err(CdcError::Corrupt(format!(
             "unsupported format version {got} (expected {version})"
@@ -107,8 +115,8 @@ pub fn scan_records(bytes: &[u8], offset: usize) -> (Vec<&[u8]>, LogEnd) {
         if bytes.len() - pos < RECORD_OVERHEAD {
             return (records, LogEnd::TornTail { valid_len: pos });
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let len = read_u32_le(bytes, pos) as usize;
+        let crc = read_u32_le(bytes, pos + 4);
         if len > MAX_RECORD_LEN {
             return (records, LogEnd::Corrupt { valid_len: pos });
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Durability and fault tolerance for the F-IVM engine: CDC changelog
 //! ingestion, engine snapshots, crash recovery by replay, and a bounded
 //! ingest service with group commit.

@@ -50,7 +50,7 @@ use fivm_relation::{Database, Update};
 use fivm_ring::PersistRing;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -137,24 +137,30 @@ impl CommitGate {
 
     /// Opens the gate, releasing a stalled commit thread.
     pub fn open(&self) {
-        let (m, cv) = &*self.0;
-        *m.lock().expect("gate lock") = true;
+        let (_, cv) = &*self.0;
+        *self.flag() = true;
         cv.notify_all();
     }
 
     /// Closes the gate: the commit thread stalls before its *next* group
     /// (a group already past the gate finishes normally).
     pub fn close(&self) {
-        let (m, _) = &*self.0;
-        *m.lock().expect("gate lock") = false;
+        *self.flag() = false;
     }
 
     fn wait_open(&self) {
-        let (m, cv) = &*self.0;
-        let mut open = m.lock().expect("gate lock");
+        let (_, cv) = &*self.0;
+        let mut open = self.flag();
         while !*open {
-            open = cv.wait(open).expect("gate lock");
+            open = cv.wait(open).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// The gate flag, poison-tolerantly: the flag is a plain bool, so a
+    /// holder's panic cannot leave it inconsistent (same discipline as
+    /// `RingCtx::lock`).
+    fn flag(&self) -> MutexGuard<'_, bool> {
+        self.0 .0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -222,8 +228,17 @@ struct Shared {
 }
 
 impl Shared {
+    /// The queue state, poison-tolerantly.  Pipeline failures travel
+    /// through [`QueueState::poisoned`], which every wait loop checks —
+    /// the mutex's own poison bit adds nothing, so a panicked holder's
+    /// guard is recovered rather than cascading the panic into every
+    /// accessor (the `RingCtx::lock` discipline).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn poison(&self, msg: String) {
-        let mut st = self.state.lock().expect("service lock");
+        let mut st = self.lock_state();
         if st.poisoned.is_none() {
             st.poisoned = Some(msg);
         }
@@ -366,7 +381,7 @@ where
         let rows = update.len() as u64;
         let pending = Pending { update, rows };
         let deadline_start = Instant::now();
-        let mut st = self.shared.state.lock().expect("service lock");
+        let mut st = self.shared.lock_state();
         loop {
             if let Some(msg) = &st.poisoned {
                 return Err(poisoned_err(msg));
@@ -389,14 +404,20 @@ where
                     return Err(CdcError::Backpressure { queued: st.queue.len() });
                 }
                 BackpressurePolicy::ShedOldest => {
-                    st.queue.pop_front().expect("full queue has a front");
-                    st.stats.shed_batches += 1;
-                    // The shed batch is resolved (it will never be durable
-                    // or applied) — `flush` must not wait for it.
-                    st.completed += 1;
+                    // The queue is at capacity (≥ 1), so a front exists;
+                    // popping via `if let` keeps this path panic-free —
+                    // an (impossible) empty queue just loops back to the
+                    // now-satisfiable space check.
+                    if st.queue.pop_front().is_some() {
+                        st.stats.shed_batches += 1;
+                        // The shed batch is resolved (it will never be
+                        // durable or applied) — `flush` must not wait
+                        // for it.
+                        st.completed += 1;
+                    }
                     drop(st);
                     self.shared.ack_cv.notify_all();
-                    st = self.shared.state.lock().expect("service lock");
+                    st = self.shared.lock_state();
                     // Loop: there is space now (only producers add).
                 }
                 BackpressurePolicy::Block { deadline } => {
@@ -408,7 +429,7 @@ where
                         .shared
                         .submit_cv
                         .wait_timeout(st, deadline - elapsed)
-                        .expect("service lock");
+                        .unwrap_or_else(PoisonError::into_inner);
                     st = guard;
                 }
             }
@@ -420,40 +441,40 @@ where
     /// returns the highest durable sequence number.  Fails with
     /// [`CdcError::Poisoned`] if the pipeline failed before catching up.
     pub fn flush(&self) -> CdcResult<u64> {
-        let mut st = self.shared.state.lock().expect("service lock");
+        let mut st = self.shared.lock_state();
         let target = st.accepted;
         while st.completed < target {
             if let Some(msg) = &st.poisoned {
                 return Err(poisoned_err(msg));
             }
-            st = self.shared.ack_cv.wait(st).expect("service lock");
+            st = self.shared.ack_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         Ok(st.durable_seq)
     }
 
     /// Highest sequence number covered by a successful fsync.
     pub fn durable_seq(&self) -> u64 {
-        self.shared.state.lock().expect("service lock").durable_seq
+        self.shared.lock_state().durable_seq
     }
 
     /// Highest sequence number applied to the engine.
     pub fn applied_seq(&self) -> u64 {
-        self.shared.state.lock().expect("service lock").applied_seq
+        self.shared.lock_state().applied_seq
     }
 
     /// Current pending-queue depth (excludes any in-flight commit group).
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("service lock").queue.len()
+        self.shared.lock_state().queue.len()
     }
 
     /// Whether an earlier failure poisoned the pipeline.
     pub fn is_poisoned(&self) -> bool {
-        self.shared.state.lock().expect("service lock").poisoned.is_some()
+        self.shared.lock_state().poisoned.is_some()
     }
 
     /// A copy of the current counters and gauges.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.state.lock().expect("service lock").stats.clone()
+        self.shared.lock_state().stats.clone()
     }
 
     /// Stops accepting batches, drains everything already accepted
@@ -461,9 +482,14 @@ where
     /// joins the commit thread, and hands the engine back.
     pub fn shutdown(mut self) -> ServiceShutdown<R> {
         self.signal_shutdown();
+        // xlint:allow(no-panic): the commit thread owns the engine; if it
+        // panicked there is no engine to hand back, and the ~10 existing
+        // call sites consume `self` by value — a Result here cannot return
+        // the service either. A panicked pipeline is unrecoverable by
+        // design (recover from the durable artifacts instead).
         let handle = self.handle.take().expect("shutdown called once");
         let (engine, error) = handle.join().expect("cdc commit thread panicked");
-        let st = self.shared.state.lock().expect("service lock");
+        let st = self.shared.lock_state();
         ServiceShutdown {
             engine,
             stats: st.stats.clone(),
@@ -474,7 +500,7 @@ where
     }
 
     fn signal_shutdown(&self) {
-        let mut st = self.shared.state.lock().expect("service lock");
+        let mut st = self.shared.lock_state();
         st.shutdown = true;
         drop(st);
         self.shared.work_cv.notify_all();
@@ -507,9 +533,9 @@ fn commit_loop<R: PersistRing>(
     loop {
         // Wait for work (or a shutdown with an empty queue = drain done).
         {
-            let mut st = shared.state.lock().expect("service lock");
+            let mut st = shared.lock_state();
             while st.queue.is_empty() && !st.shutdown {
-                st = shared.work_cv.wait(st).expect("service lock");
+                st = shared.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             if st.queue.is_empty() {
                 return (engine, None);
@@ -522,7 +548,7 @@ fn commit_loop<R: PersistRing>(
         }
         // Drain one group; this frees queue space for producers.
         let group: Vec<Pending> = {
-            let mut st = shared.state.lock().expect("service lock");
+            let mut st = shared.lock_state();
             let n = st.queue.len().min(group_max);
             let group = st.queue.drain(..n).collect();
             drop(st);
@@ -562,7 +588,7 @@ fn commit_loop<R: PersistRing>(
         // Durable: the fsync covering `last_seq` succeeded — this is the
         // acknowledgement point.
         {
-            let mut st = shared.state.lock().expect("service lock");
+            let mut st = shared.lock_state();
             st.durable_seq = last_seq;
             st.stats.committed_groups += 1;
         }
@@ -576,7 +602,7 @@ fn commit_loop<R: PersistRing>(
             }
         }
         {
-            let mut st = shared.state.lock().expect("service lock");
+            let mut st = shared.lock_state();
             st.applied_seq = last_seq;
             st.completed += group.len() as u64;
             st.stats.changelog_bytes = log.total_bytes();
@@ -613,7 +639,7 @@ fn commit_loop<R: PersistRing>(
             } else {
                 0
             };
-            let mut st = shared.state.lock().expect("service lock");
+            let mut st = shared.lock_state();
             st.stats.snapshots += 1;
             st.stats.retired_segments += retired;
             st.stats.changelog_bytes = log.total_bytes();

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 //! Shared primitives used across the F-IVM workspace.
 //!
 //! This crate hosts the small, dependency-free building blocks every other

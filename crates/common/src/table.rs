@@ -1,3 +1,4 @@
+#![allow(unsafe_code)] // the one sanctioned unsafe module — see the memory contract in ROADMAP.md
 //! An open-addressing hash table keyed by **precomputed** 64-bit hashes.
 //!
 //! # Why `std::collections::HashMap` is not enough

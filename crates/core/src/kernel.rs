@@ -20,6 +20,95 @@ use crate::EngineStats;
 use fivm_common::{Dict, EncodedKey, EncodedValue, FivmError, Probe, RawTable, Result, Value};
 use fivm_ring::{LiftFn, Ring, RingCtx};
 
+/// Debug-only tally backing the hash-once contract: within one
+/// propagation level, the kernel may compute at most one hash per key it
+/// materializes.  [`hash_tally::LevelScope`] brackets a level
+/// ([`direct_level`] / [`probe_level`]); `note_key` marks every key
+/// materialization (project / gather / passthrough clone) and `note_hash`
+/// every `fx_hash` call.  The scope's drop asserts `hashes <= keys` — a
+/// second hash of an already-materialized key (the regression the
+/// contract forbids) pushes the tally over.  Outside a scope (ingestion's
+/// `group_row`, ad-hoc callers) the notes no-op; release builds compile
+/// the whole thing away.
+#[cfg(debug_assertions)]
+pub(crate) mod hash_tally {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ACTIVE: Cell<bool> = const { Cell::new(false) };
+        static KEYS: Cell<u64> = const { Cell::new(0) };
+        static HASHES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// RAII bracket around one propagation level.  `None` when a scope is
+    /// already active on this thread (a nested level keeps the outer
+    /// scope's tally — the contract is per outermost level).
+    pub(crate) struct LevelScope {
+        name: &'static str,
+    }
+
+    impl LevelScope {
+        pub(crate) fn enter(name: &'static str) -> Option<LevelScope> {
+            if ACTIVE.with(|a| a.replace(true)) {
+                return None;
+            }
+            KEYS.with(|k| k.set(0));
+            HASHES.with(|h| h.set(0));
+            Some(LevelScope { name })
+        }
+    }
+
+    impl Drop for LevelScope {
+        fn drop(&mut self) {
+            ACTIVE.with(|a| a.set(false));
+            if std::thread::panicking() {
+                return;
+            }
+            let keys = KEYS.with(Cell::get);
+            let hashes = HASHES.with(Cell::get);
+            assert!(
+                hashes <= keys,
+                "hash-once contract violated in {}: {hashes} hashes computed \
+                 for {keys} materialized keys",
+                self.name
+            );
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_key() {
+        if ACTIVE.with(Cell::get) {
+            KEYS.with(|k| k.set(k.get() + 1));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_hash() {
+        if ACTIVE.with(Cell::get) {
+            HASHES.with(|h| h.set(h.get() + 1));
+        }
+    }
+}
+
+/// Release builds: the tally is free.
+#[cfg(not(debug_assertions))]
+pub(crate) mod hash_tally {
+    pub(crate) struct LevelScope;
+
+    impl LevelScope {
+        #[inline(always)]
+        pub(crate) fn enter(_name: &'static str) -> Option<LevelScope> {
+            None
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn note_key() {}
+
+    #[inline(always)]
+    pub(crate) fn note_hash() {}
+}
+
 /// A memoized probe result for one probe depth, valid for the duration of
 /// one propagation level (views are immutable while a level's delta is
 /// being extended).  Grouped deltas on skewed data repeatedly probe the
@@ -338,6 +427,7 @@ pub fn group_row<R: Ring>(
         }
     };
     let hash = key.fx_hash();
+    // xlint:allow(probe-upsert): `delta` is the ingestion-side grouping accumulator, an upsert table by definition (every row either lands on its group or opens one) — the reserving probe is one walk per row.
     match delta.probe(hash, |k, _| *k == key) {
         Probe::Found(idx) => {
             delta.value_at_mut(idx).fma_scaled(one, one, mult);
@@ -369,6 +459,7 @@ pub fn emit<R: Ring>(
     pool: &mut Vec<R>,
     stats: &mut EngineStats,
 ) {
+    // xlint:allow(probe-upsert): `out` is the level-local delta table every caller drains per level — an upsert table where any lookup may insert, so the reserving probe is the single-walk discipline the kernel contract prescribes here.
     if lift.is_identity() {
         match out.probe(hash, |k, _| *k == key) {
             Probe::Found(idx) => {
@@ -456,6 +547,9 @@ pub fn direct_level<R: Ring>(
     mode: KernelMode,
     stats: &mut EngineStats,
 ) {
+    // xlint:allow(probe-upsert): `out` is the level-local delta upsert table — every lookup may insert, so the reserving probe is exactly one table walk per lookup (see the contract note in this function's doc).
+    // xlint:allow(no-panic): the expects guard run invariants established two lines above each site (`batchable` implies every `scalar_ws` is Some and `batch` is Some) — unreachable by construction, not error paths.
+    let _tally = hash_tally::LevelScope::enter("direct_level");
     let columnar = match mode {
         KernelMode::Scalar => false,
         KernelMode::Columnar => true,
@@ -490,10 +584,13 @@ pub fn direct_level<R: Ring>(
     cols.clear();
     for (i, (hash, key, payload)) in input.iter().enumerate() {
         let (out_key, out_hash) = if direct.passthrough {
+            hash_tally::note_key();
             (key.clone(), *hash)
         } else {
             let k = key.project(&direct.key_cols);
+            hash_tally::note_key();
             let h = k.fx_hash();
+            hash_tally::note_hash();
             (k, h)
         };
         cols.ord.push((out_hash, i as u32));
@@ -673,7 +770,9 @@ pub fn extend_assignment<R: Ring>(
         // under the node's output key (hashed once, reused by the upsert
         // and, via `drain_into`, by the view application and parent level).
         let key = EncodedKey::gather(assignment, &dp.key_positions);
+        hash_tally::note_key();
         let hash = key.fx_hash();
+        hash_tally::note_hash();
         emit(
             out,
             lift,
@@ -688,10 +787,13 @@ pub fn extend_assignment<R: Ring>(
         return;
     };
 
+    // xlint:allow(no-panic): `memo` and `partials` are sized to the plan's probe depth at construction and consumed one slot per recursion step — the split_first expects are compiled-plan invariants, and no caller-visible error state exists when they break.
     let (step_memo, memo_rest) = memo.split_first_mut().expect("probe depth memo");
     let view = &views[step.sibling_view];
     let probe = EncodedKey::gather(assignment, &step.probe_positions);
+    hash_tally::note_key();
     let hash = probe.fx_hash();
+    hash_tally::note_hash();
     stats.probes += 1;
 
     match &step.probe {
@@ -800,6 +902,9 @@ pub fn probe_level<R: Ring>(
     mode: KernelMode,
     stats: &mut EngineStats,
 ) {
+    // xlint:allow(probe-upsert): `out` is the level-local delta upsert table — every lookup may insert, so the reserving probe is the correct single-walk discipline (same rationale as `direct_level`; the kernel contract's find_idx-first rule targets long-lived read-mostly tables).
+    // xlint:allow(no-panic): the two expects guard the `batchable` run predicate established immediately above them (every `scalar_ws` Some, `batch` Some) — compile-time-style invariants, not error paths.
+    let _tally = hash_tally::LevelScope::enter("probe_level");
     assignment.iter_mut().for_each(|v| *v = EncodedValue::NULL);
     // Views are immutable for the whole level; probe memos reset at the
     // level boundary.
@@ -850,13 +955,17 @@ pub fn probe_level<R: Ring>(
         let mut run_hash = 0u64;
         for step in &dp.steps {
             let pk = EncodedKey::gather(assignment, &step.probe_positions);
+            hash_tally::note_key();
             let ph = pk.fx_hash();
+            hash_tally::note_hash();
             run_hash = mix_hash(run_hash, ph);
             cols.probe_keys.push(pk);
             cols.probe_hashes.push(ph);
         }
         let out_key = EncodedKey::gather(assignment, &dp.key_positions);
+        hash_tally::note_key();
         let out_hash = out_key.fx_hash();
+        hash_tally::note_hash();
         run_hash = mix_hash(run_hash, out_hash);
         cols.ord.push((run_hash, i as u32));
         cols.keys.push(out_key);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The F-IVM incremental view maintenance engine.
 //!
 //! This crate is the paper's primary contribution: maintenance of batches of

@@ -137,6 +137,7 @@ pub fn compile_delta_plan(
     updating_idx: usize,
     register_index: &mut dyn FnMut(usize, Vec<usize>) -> usize,
 ) -> Result<DeltaPlan> {
+    // xlint:allow(no-panic): the expects below state plan-compiler invariants over an already-validated view tree (`remaining` non-empty while steps are being chosen; no-step plans cover every local var) — a failure is a compiler bug, and callers hold no partial plan to recover.
     let pos_of = |v: VarId| -> Result<usize> {
         local_vars.iter().position(|&x| x == v).ok_or_else(|| {
             FivmError::InvalidVariableOrder(format!(
@@ -289,6 +290,7 @@ pub struct ExecutionPlan {
 impl ExecutionPlan {
     /// Compiles a view tree into an execution plan.
     pub fn compile(tree: ViewTree) -> Result<Self> {
+        // xlint:allow(no-panic): the expects below assert parent/child back-links of a validated ViewTree (a parent lists each child; an attachment node lists its relation) — structural invariants the tree constructor guarantees, not runtime error paths.
         let num_nodes = tree.len();
         let num_rels = tree.spec().num_relations();
         let num_views = num_nodes + num_rels;

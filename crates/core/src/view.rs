@@ -64,6 +64,13 @@ impl SecondaryIndex {
     fn insert(&mut self, full_key: &EncodedKey, slot: u32) {
         let sub = full_key.project(&self.positions);
         let hash = sub.fx_hash();
+        // Hit-path first: index buckets are long-lived, and `probe`
+        // reserves capacity even on hits (kernel contract) — an existing
+        // bucket must not grow the map.
+        if let Some(idx) = self.map.find_idx(hash, |k, _| *k == sub) {
+            self.map.value_at_mut(idx).push(slot);
+            return;
+        }
         match self.map.probe(hash, |k, _| *k == sub) {
             Probe::Found(idx) => self.map.value_at_mut(idx).push(slot),
             Probe::Vacant(idx) => self.map.occupy(idx, hash, sub, vec![slot]),
@@ -258,26 +265,32 @@ impl<R: Ring> MaterializedView<R> {
         if delta.is_zero() {
             return false;
         }
+        // Hit-path first: the primary map is the longest-lived table in
+        // the engine, and `probe` reserves capacity even on hits (kernel
+        // contract) — accumulating into an existing key must not grow it.
+        let (map, slots) = (&mut self.map, &self.slots);
+        if let Some(idx) = map.find_idx(hash, |&sid, _| slots[sid as usize].key == *key) {
+            let sid = *map.at(idx).0;
+            let slot = &mut self.slots[sid as usize];
+            slot.payload.add_assign(delta);
+            if slot.payload.is_zero() {
+                // Erase: unlink from the primary map and every index,
+                // then park the slot (its exactly-zero payload keeps
+                // its buffers for the next insert reusing this slot).
+                self.map.remove_at(idx);
+                for index in &mut self.indexes {
+                    if index.built {
+                        index.remove(key, sid);
+                    }
+                }
+                self.free.push(sid);
+            }
+            return true;
+        }
         let (map, slots) = (&mut self.map, &self.slots);
         match map.probe(hash, |&sid, _| slots[sid as usize].key == *key) {
-            Probe::Found(idx) => {
-                let sid = *map.at(idx).0;
-                let slot = &mut self.slots[sid as usize];
-                slot.payload.add_assign(delta);
-                if slot.payload.is_zero() {
-                    // Erase: unlink from the primary map and every index,
-                    // then park the slot (its exactly-zero payload keeps
-                    // its buffers for the next insert reusing this slot).
-                    self.map.remove_at(idx);
-                    for index in &mut self.indexes {
-                        if index.built {
-                            index.remove(key, sid);
-                        }
-                    }
-                    self.free.push(sid);
-                }
-                true
-            }
+            // `find_idx` just missed, so the key cannot be present.
+            Probe::Found(_) => unreachable!("key appeared between find_idx and probe"),
             Probe::Vacant(idx) => {
                 let sid = match self.free.pop() {
                     Some(sid) => {
@@ -289,6 +302,9 @@ impl<R: Ring> MaterializedView<R> {
                         sid
                     }
                     None => {
+                        // xlint:allow(no-panic): slot ids are u32 by layout contract; a
+                        // view exceeding 2^32 entries has exhausted the id space and no
+                        // typed error can make the caller's maintained state consistent.
                         let sid = u32::try_from(self.slots.len()).expect("view slot overflow");
                         self.slots.push(Slot {
                             key: key.clone(),

@@ -97,6 +97,20 @@ struct DagNode<R: Ring> {
     body: NodeBody<R>,
 }
 
+/// The live node in `nodes[id]`.  Liveness is a refcount invariant: every
+/// id handed out by `register` stays live until its last `unregister`, so
+/// a dead slot here is engine corruption, not a caller error — panicking
+/// in this private helper (not on the public surface) is the contract.
+/// Free functions rather than methods so call sites borrow only the
+/// `nodes` field, leaving `views`/`scratch`/`stats` free.
+fn live_node<R: Ring>(nodes: &[Option<DagNode<R>>], id: usize) -> &DagNode<R> {
+    nodes[id].as_ref().expect("node id points at a live slot")
+}
+
+fn live_node_mut<R: Ring>(nodes: &mut [Option<DagNode<R>>], id: usize) -> &mut DagNode<R> {
+    nodes[id].as_mut().expect("node id points at a live slot")
+}
+
 /// Per-registered-query bookkeeping.
 struct QueryState {
     #[allow(dead_code)]
@@ -365,7 +379,24 @@ impl<R: Ring> DagEngine<R> {
             let vnode = tree.node(idx);
             let key = DagKey::Inner(fps[idx].clone());
             let id = match self.by_key.get(&key) {
-                Some(&id) => id,
+                Some(&id) => {
+                    // Fingerprint hit: the DAG contract's "equal names ⟺
+                    // equal behavior" leap.  Debug builds verify the
+                    // checkable part — the unified node's lift must have
+                    // the same behavior shape as the one this query
+                    // supplied (backstops the lift-name-dup lint rule).
+                    #[cfg(debug_assertions)]
+                    if let NodeBody::Inner { lift, .. } = &live_node(&self.nodes, id).body {
+                        debug_assert!(
+                            lift.same_behavior_shape(&lifts[vnode.var]),
+                            "DAG fingerprint unified lift `{}` with `{}`, but their \
+                             checkable shapes (identity flag / fma channel set) differ",
+                            lifts[vnode.var].name(),
+                            lift.name(),
+                        );
+                    }
+                    id
+                }
                 None => {
                     let children_info: Vec<ChildInfo> = vnode
                         .children
@@ -416,11 +447,7 @@ impl<R: Ring> DagEngine<R> {
                     );
                     self.by_key.insert(key, id);
                     for (pos, &c) in children.iter().enumerate() {
-                        self.nodes[c]
-                            .as_mut()
-                            .expect("children of a new node are live")
-                            .parents
-                            .push((id, pos));
+                        live_node_mut(&mut self.nodes, c).parents.push((id, pos));
                     }
                     created.push(id);
                     id
@@ -434,7 +461,7 @@ impl<R: Ring> DagEngine<R> {
         let mut seen = vec![false; self.nodes.len()];
         owned.retain(|&id| !std::mem::replace(&mut seen[id], true));
         for &id in &owned {
-            self.nodes[id].as_mut().expect("owned node is live").refs += 1;
+            live_node_mut(&mut self.nodes, id).refs += 1;
         }
 
         // Grow the shared scratch to the new plan's depth/width.
@@ -456,11 +483,24 @@ impl<R: Ring> DagEngine<R> {
                 else {
                     continue;
                 };
-                let table = db.table(table).expect("pre-flighted above");
+                // Pre-flighted at the top of `register`, so these misses
+                // are unreachable; typed errors keep the public surface
+                // panic-free anyway.
+                let Some(table) = db.table(table) else {
+                    return Err(DagError::State(format!(
+                        "backfill table `{table}` disappeared between pre-flight and bind"
+                    )));
+                };
                 let cols: Vec<usize> = col_names
                     .iter()
-                    .map(|n| table.schema.position(n).expect("pre-flighted above"))
-                    .collect();
+                    .map(|n| {
+                        table.schema.position(n).ok_or_else(|| {
+                            DagError::State(format!(
+                                "backfill column `{n}` disappeared between pre-flight and bind"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
                 *binding = Some(cols.clone());
                 let one = R::one();
                 {
@@ -524,7 +564,7 @@ impl<R: Ring> DagEngine<R> {
                 input.push((hash, key.clone(), payload.clone()));
             }
             {
-                let node = self.nodes[id].as_ref().expect("created node is live");
+                let node = live_node(&self.nodes, id);
                 let NodeBody::Inner {
                     lift, delta_plans, ..
                 } = &node.body
@@ -591,15 +631,17 @@ impl<R: Ring> DagEngine<R> {
             .ok_or_else(|| DagError::State(format!("unknown query id {query}")))?;
         self.free_queries.push(query);
         for &id in &state.nodes {
-            self.nodes[id].as_mut().expect("owned node is live").refs -= 1;
+            live_node_mut(&mut self.nodes, id).refs -= 1;
         }
         // Reverse creation order = parents before children, so a retired
         // parent unlinks itself from still-live children.
         for &id in state.nodes.iter().rev() {
-            if self.nodes[id].as_ref().expect("owned node is live").refs > 0 {
+            if live_node(&self.nodes, id).refs > 0 {
                 continue;
             }
-            let node = self.nodes[id].take().expect("owned node is live");
+            let Some(node) = self.nodes[id].take() else {
+                unreachable!("slot checked live just above")
+            };
             self.by_key.remove(&node.key);
             if let NodeBody::Inner { children, .. } = &node.body {
                 for &c in children {
@@ -626,7 +668,7 @@ impl<R: Ring> DagEngine<R> {
             .map(|(i, _)| i)
             .collect();
         for leaf in leaves {
-            let (table_name, col_names) = match &self.nodes[leaf].as_ref().unwrap().body {
+            let (table_name, col_names) = match &live_node(&self.nodes, leaf).body {
                 NodeBody::Leaf {
                     table, col_names, ..
                 } => (table.clone(), col_names.clone()),
@@ -645,7 +687,7 @@ impl<R: Ring> DagEngine<R> {
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            match &mut self.nodes[leaf].as_mut().unwrap().body {
+            match &mut live_node_mut(&mut self.nodes, leaf).body {
                 NodeBody::Leaf { binding, .. } => *binding = Some(cols.clone()),
                 NodeBody::Inner { .. } => unreachable!("filtered to leaves"),
             }
@@ -695,7 +737,7 @@ impl<R: Ring> DagEngine<R> {
         }
         let mut outcome = UpdateOutcome::default();
         for leaf in leaves {
-            let (binding, arity) = match &self.nodes[leaf].as_ref().unwrap().body {
+            let (binding, arity) = match &live_node(&self.nodes, leaf).body {
                 NodeBody::Leaf {
                     binding, col_names, ..
                 } => (binding.clone(), col_names.len()),

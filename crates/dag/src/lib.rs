@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # fivm-dag — the multi-query maintenance DAG
 //!
 //! The single-tree engine (`fivm-core`) maintains *one* query. Real

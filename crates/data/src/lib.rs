@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Datasets and update streams for the F-IVM reproduction.
 //!
 //! The paper evaluates on two databases that we cannot redistribute: the

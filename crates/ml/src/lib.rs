@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Machine learning on top of F-IVM ring payloads.
 //!
 //! The F-IVM engine maintains compound aggregates — the COVAR matrix (plain

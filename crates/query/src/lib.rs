@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Query specifications and view-tree plans for F-IVM.
 //!
 //! The compilation pipeline mirrors the paper:

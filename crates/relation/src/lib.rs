@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Schemas, tuples and ring-payload relations for F-IVM.
 //!
 //! F-IVM generalizes relations to maps from key tuples to ring payloads: a

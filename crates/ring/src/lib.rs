@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Application-specific rings for F-IVM.
 //!
 //! F-IVM maintains aggregates over joins by storing, for every key of every

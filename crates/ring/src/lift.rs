@@ -146,6 +146,26 @@ impl<R: Ring> LiftFn<R> {
         self.is_identity
     }
 
+    /// Best-effort check that two lifts sharing a name are behaviorally
+    /// interchangeable — the checkable side of the DAG fingerprint
+    /// contract's "equal names ⟺ equal behavior" requirement.  Closure
+    /// *behavior* is not decidable, so this compares what is: the name,
+    /// the shared-closure fast path (`Arc::ptr_eq`), the identity flag,
+    /// and which fma channels are attached.  `DagEngine::register`
+    /// debug-asserts this when a fingerprint unifies two queries' lifts.
+    pub fn same_behavior_shape(&self, other: &LiftFn<R>) -> bool {
+        if self.name != other.name {
+            return false;
+        }
+        if Arc::ptr_eq(&self.f, &other.f) {
+            return true;
+        }
+        self.is_identity == other.is_identity
+            && self.fma.is_some() == other.fma.is_some()
+            && self.fma_encoded.is_some() == other.fma_encoded.is_some()
+            && self.fma_batch.is_some() == other.fma_batch.is_some()
+    }
+
     /// A short human-readable name, used when rendering plans.
     pub fn name(&self) -> &str {
         &self.name

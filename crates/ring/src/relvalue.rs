@@ -314,6 +314,7 @@ impl RelValue {
     /// (cloning the key only on fresh insert).
     #[inline]
     fn upsert(&mut self, hash: u64, key: &RelKey, w: f64) {
+        // xlint:allow(probe-upsert): the find_idx hit path ran first — it lives in `upsert_hit`, one call up, outside this function's lexical body; the reserving probe only runs on a confirmed miss.
         if w == 0.0 || self.upsert_hit(hash, key, w) {
             return;
         }
@@ -326,6 +327,7 @@ impl RelValue {
     /// Upserts `w` under an owned key (no clone on the fresh-insert path).
     #[inline]
     fn upsert_owned(&mut self, hash: u64, key: RelKey, w: f64) {
+        // xlint:allow(probe-upsert): same discipline as `upsert` — the find_idx hit path is `upsert_hit`, called first; the probe runs only on a confirmed miss.
         if w == 0.0 || self.upsert_hit(hash, &key, w) {
             return;
         }

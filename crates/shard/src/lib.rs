@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Partition-aware sharded maintenance: N independent [`fivm_core::Engine`]s
 //! on worker threads behind one [`ShardedEngine`] facade.
 //!

@@ -1,0 +1,346 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! contract rules in [`crate::rules`], with the classic trouble spots
+//! handled — nested block comments, every string flavor (`"…"`, `r"…"`,
+//! `r#"…"#`, `b"…"`, `br#"…"#`), char literals vs lifetime ticks — so a
+//! `probe(` or `unsafe` inside a comment or string never reaches a rule.
+//!
+//! Comments are not tokens; they are collected separately (with line
+//! numbers and text) because the waiver syntax lives in them.
+
+/// Kind of a lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `probe`, …).
+    Ident,
+    /// String literal of any flavor; `text` holds the *content* (quotes,
+    /// raw-string hashes and `b`/`r` prefixes stripped).
+    Str,
+    /// Character or byte-character literal (`'a'`, `'\n'`, `b'x'`).
+    Char,
+    /// Lifetime tick (`'a`, `'static`); `text` holds the name sans tick.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character (`{`, `.`, `=`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// One comment (line or block), carrying the full text so waiver
+/// annotations can be parsed out of it.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the right degradation for a lint (the compiler will reject
+/// the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0),
+                b'\'' => self.tick(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_string(),
+                _ => {
+                    self.push(TokKind::Punct, (c as char).to_string());
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String) {
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.b.len() && self.b[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line: self.line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.b[start..self.pos]).into_owned(),
+        });
+    }
+
+    /// Block comment; Rust block comments nest.
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.b.len() && depth > 0 {
+            if self.b[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if self.b[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.b[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text: String::from_utf8_lossy(&self.b[start..self.pos]).into_owned(),
+        });
+    }
+
+    /// Cooked string starting at the opening quote; `hashes` is 0 for
+    /// non-raw strings (escape sequences honored) — raw strings go
+    /// through [`Self::raw_string`] instead.
+    fn string(&mut self, _prefix_len: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        while self.pos < self.b.len() {
+            match self.b[self.pos] {
+                b'\\' => self.pos += 2, // skip escaped char (incl. \" and \\)
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let content = String::from_utf8_lossy(&self.b[content_start..self.pos.min(self.b.len())])
+            .into_owned();
+        self.pos += 1; // closing quote
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            text: content,
+            line: start_line,
+        });
+    }
+
+    /// Raw string: positioned at the first `#` or the `"` after an `r`
+    /// (or `br`) prefix. No escapes; closes at `"` followed by the same
+    /// number of hashes.
+    fn raw_string(&mut self) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        let content_end;
+        loop {
+            match self.peek(0) {
+                None => {
+                    content_end = self.b.len();
+                    break;
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'"') => {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != Some(b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        content_end = self.pos;
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+        self.out.toks.push(Tok {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&self.b[content_start..content_end]).into_owned(),
+            line: start_line,
+        });
+    }
+
+    /// `'` is either a char literal or a lifetime tick. Heuristic (the
+    /// one real lexers use): `'` + ident-start is a lifetime unless the
+    /// ident run is exactly one char long and followed by a closing `'`.
+    fn tick(&mut self) {
+        let next = self.peek(1);
+        match next {
+            Some(c) if is_ident_start(c) => {
+                // Find the end of the ident run after the tick.
+                let mut j = self.pos + 2;
+                while j < self.b.len() && is_ident_cont(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') && j == self.pos + 2 {
+                    // 'a' — a char literal.
+                    self.push(TokKind::Char, (c as char).to_string());
+                    self.pos = j + 1;
+                } else {
+                    // 'a / 'static / 'outer — a lifetime.
+                    let name =
+                        String::from_utf8_lossy(&self.b[self.pos + 1..j]).into_owned();
+                    self.push(TokKind::Lifetime, name);
+                    self.pos = j;
+                }
+            }
+            Some(b'\\') => {
+                // '\n', '\'', '\u{..}' — escaped char literal.
+                let mut j = self.pos + 2;
+                if j < self.b.len() {
+                    j += 1; // the escaped character itself
+                }
+                // \u{...}
+                if self.b.get(j - 1) == Some(&b'u') && self.b.get(j) == Some(&b'{') {
+                    while j < self.b.len() && self.b[j] != b'}' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                while j < self.b.len() && self.b[j] != b'\'' {
+                    j += 1;
+                }
+                self.push(TokKind::Char, String::new());
+                self.pos = (j + 1).min(self.b.len());
+            }
+            Some(_) => {
+                // 'x' for non-ascii-ident x (digits, punctuation, UTF-8).
+                let mut j = self.pos + 1;
+                while j < self.b.len() && self.b[j] != b'\'' && self.b[j] != b'\n' {
+                    j += 1;
+                }
+                self.push(TokKind::Char, String::new());
+                self.pos = (j + 1).min(self.b.len());
+            }
+            None => {
+                self.push(TokKind::Punct, "'".to_string());
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.b.len() && is_ident_cont(self.b[self.pos]) {
+            self.pos += 1;
+        }
+        // Fractional part — but not the `..` of a range expression.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.pos < self.b.len() && is_ident_cont(self.b[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text);
+    }
+
+    /// Identifier — unless it is an `r`/`b`/`br` prefix of a string
+    /// literal or a `b` prefix of a char literal.
+    fn ident_or_prefixed_string(&mut self) {
+        let start = self.pos;
+        while self.pos < self.b.len() && is_ident_cont(self.b[self.pos]) {
+            self.pos += 1;
+        }
+        let text = &self.b[start..self.pos];
+        match text {
+            b"r" | b"br" if matches!(self.peek(0), Some(b'"') | Some(b'#')) => {
+                self.raw_string();
+            }
+            b"b" if self.peek(0) == Some(b'"') => {
+                self.string(1);
+            }
+            b"b" if self.peek(0) == Some(b'\'') => {
+                self.tick();
+            }
+            _ => {
+                let text = String::from_utf8_lossy(text).into_owned();
+                self.push(TokKind::Ident, text);
+            }
+        }
+    }
+}

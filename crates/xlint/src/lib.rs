@@ -1,0 +1,131 @@
+#![forbid(unsafe_code)]
+//! # fivm-xlint — the in-tree contract lint
+//!
+//! An offline, dependency-free static analysis pass over the workspace's
+//! Rust sources: a hand-rolled lexer ([`lexer`]), scope recovery
+//! ([`scopes`]) and a rule engine ([`rules`]) that enforce the
+//! load-bearing invariants accumulated in ROADMAP.md — the unsafe
+//! boundary, the `find_idx`-first upsert discipline, the dict-lock
+//! deadlock rule, byte-denominated thresholds, panic-free public
+//! surfaces, lift-name uniqueness and `is_zero` discipline.
+//!
+//! Run as `just lint` (or `cargo run -p fivm-xlint`). Findings can be
+//! waived inline with `// xlint:allow(<rule>): <justification>`; a
+//! waiver without a justification is itself a finding. See the
+//! "Static-analysis contract" section of ROADMAP.md for the policy.
+
+pub mod lexer;
+pub mod rules;
+pub mod scopes;
+
+pub use rules::{Finding, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never walked: build output, VCS, test/bench sources
+/// (exempt from the source rules by policy) and lint fixtures.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "tests",
+    "benches",
+    "examples",
+    "fixtures",
+];
+
+/// Lints a single source string as if it lived at `rel` (workspace-
+/// relative, forward slashes). Includes intra-file duplicate-lift-name
+/// detection; cross-file aggregation needs [`lint_workspace`].
+pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
+    let report = rules::lint_file(rel, src);
+    let mut findings = report.findings;
+    let mut sites: Vec<(String, String, u32)> = report
+        .lift_names
+        .into_iter()
+        .map(|(name, line)| (name, rel.to_string(), line))
+        .collect();
+    findings.extend(rules::lift_dup_findings(&mut sites));
+    findings
+}
+
+/// Lints the whole workspace under `root`: every non-test `.rs` file,
+/// plus the cross-file rules — duplicate lift names anywhere in the
+/// tree, and the `#![forbid(unsafe_code)]` stamp on every crate root
+/// (`#![deny(unsafe_code)]` for `fivm-common`, whose `table.rs` is the
+/// one sanctioned unsafe file).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut lift_sites: Vec<(String, String, u32)> = Vec::new();
+    for path in &files {
+        let rel = rel_path(root, path);
+        let src = fs::read_to_string(path)?;
+        let report = rules::lint_file(&rel, &src);
+        findings.extend(report.findings);
+        for (name, line) in report.lift_names {
+            lift_sites.push((name, rel.clone(), line));
+        }
+        if let Some(expected) = crate_root_expectation(&rel) {
+            let ok = match expected {
+                "forbid" => report.has_forbid_unsafe,
+                _ => report.has_deny_unsafe,
+            };
+            if !ok {
+                findings.push(Finding {
+                    path: rel.clone(),
+                    line: 1,
+                    rule: "unsafe-boundary",
+                    msg: format!(
+                        "crate root is missing `#![{expected}(unsafe_code)]` — \
+                         every crate except fivm-common forbids unsafe at the \
+                         root (fivm-common denies it and re-allows in table.rs)"
+                    ),
+                });
+            }
+        }
+    }
+    findings.extend(rules::lift_dup_findings(&mut lift_sites));
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Which `#![…(unsafe_code)]` attribute a crate root must carry, if the
+/// path is a crate root at all.
+fn crate_root_expectation(rel: &str) -> Option<&'static str> {
+    if rel == "crates/common/src/lib.rs" {
+        return Some("deny");
+    }
+    let is_root = rel == "src/lib.rs"
+        || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"));
+    is_root.then_some("forbid")
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,96 @@
+#![forbid(unsafe_code)]
+//! CLI driver: `fivm-xlint [--json] [ROOT]`.
+//!
+//! Exit codes are deterministic: 0 clean, 1 findings, 2 usage or I/O
+//! error. Human output is one `path:line: [rule] message` per finding;
+//! `--json` emits a machine-readable array for CI tooling.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: fivm-xlint [--json] [ROOT]");
+                println!("contract lint over the workspace rooted at ROOT (default: .)");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("fivm-xlint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => {
+                eprintln!("fivm-xlint: more than one ROOT argument");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match fivm_xlint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fivm-xlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+        }
+        if findings.is_empty() {
+            println!("fivm-xlint: clean");
+        } else {
+            println!("fivm-xlint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn to_json(findings: &[fivm_xlint::Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&f.path),
+            f.line,
+            f.rule,
+            escape(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,576 @@
+//! The contract rules. Each rule enforces one load-bearing invariant
+//! from ROADMAP.md's "Contracts and notes" (see the static-analysis
+//! contract section there for the rule ↔ contract mapping and the
+//! waiver policy).
+
+use crate::lexer::{self, Comment, Tok, TokKind};
+use crate::scopes::{self, Scopes, Vis};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// Every rule name, for waiver validation.
+pub const RULES: &[&str] = &[
+    "unsafe-boundary",
+    "probe-upsert",
+    "dict-lock",
+    "byte-units",
+    "no-panic",
+    "lift-name-dup",
+    "ring-zero-eq",
+    "waiver-format",
+];
+
+/// Rules whose waivers apply to the whole enclosing function rather than
+/// a single line (they describe a property of the function body).
+const FN_SCOPED_RULES: &[&str] = &["probe-upsert", "no-panic"];
+
+/// Ring-op / lift entry points that must not be called while a
+/// `RingCtx`/`Dict` lock guard is live in the same scope (the PR 4
+/// deadlock rule: these may take the dictionary lock themselves).
+/// `group_row` and `rekey` are deliberately absent — both take
+/// `&mut Dict` and are the sanctioned way to work *under* the lock.
+const LOCKED_RING_OPS: &[&str] = &[
+    "mul_into",
+    "fma_scaled",
+    "fma_apply",
+    "fma_apply_encoded",
+    "fma_lift_continuous",
+    "fma_lift_categorical",
+    "fma_indicator",
+    "fma_batch",
+    "add_scaled",
+    "add_product_scaled",
+    "union_add",
+];
+
+/// An inline waiver parsed from a comment:
+/// `// xlint:allow(<rule>): <justification>` or
+/// `// xlint:allow-file(<rule>): <justification>`.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub rule: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub justification: String,
+    pub file_wide: bool,
+}
+
+/// Per-file lint output, with the cross-file facts the workspace driver
+/// aggregates (lift-name sites, crate-root attributes).
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    /// `(name literal, line)` of every `LiftFn::new` first string argument.
+    pub lift_names: Vec<(String, u32)>,
+    /// File carries `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+    /// File carries `#![deny(unsafe_code)]`.
+    pub has_deny_unsafe: bool,
+}
+
+/// Lints one file's source. `rel` is the workspace-relative path with
+/// forward slashes — several rules are path-scoped.
+pub fn lint_file(rel: &str, src: &str) -> FileReport {
+    let lexed = lexer::lex(src);
+    let scopes = scopes::scan(&lexed.toks);
+    let (waivers, mut findings) = parse_waivers(rel, &lexed.comments);
+
+    let ctx = Ctx {
+        rel,
+        toks: &lexed.toks,
+        scopes: &scopes,
+    };
+
+    rule_unsafe_boundary(&ctx, &mut findings);
+    rule_probe_upsert(&ctx, &mut findings);
+    rule_dict_lock(&ctx, &mut findings);
+    rule_byte_units(&ctx, &mut findings);
+    rule_no_panic(&ctx, &mut findings);
+    rule_ring_zero_eq(&ctx, &mut findings);
+
+    findings.retain(|f| !is_waived(f, &waivers, &scopes));
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    FileReport {
+        findings,
+        lift_names: collect_lift_names(&ctx),
+        has_forbid_unsafe: has_crate_attr(&lexed.toks, "forbid"),
+        has_deny_unsafe: has_crate_attr(&lexed.toks, "deny"),
+    }
+}
+
+struct Ctx<'a> {
+    rel: &'a str,
+    toks: &'a [Tok],
+    scopes: &'a Scopes,
+}
+
+impl Ctx<'_> {
+    fn finding(&self, line: u32, rule: &'static str, msg: String) -> Finding {
+        Finding {
+            path: self.rel.to_string(),
+            line,
+            rule,
+            msg,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------
+
+/// Parses waivers out of the comment stream; malformed waivers become
+/// `waiver-format` findings (a waiver without a written justification is
+/// itself a contract violation).
+fn parse_waivers(rel: &str, comments: &[Comment]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        // A waiver must be the first thing in its comment (after the
+        // `//` / `///` / `/*` leader) — prose that merely *mentions* the
+        // syntax, like this sentence, is not a waiver.
+        let body = c
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start();
+        for (marker, file_wide) in [("xlint:allow-file(", true), ("xlint:allow(", false)] {
+            if !body.starts_with(marker) {
+                continue;
+            }
+            let rest = &body[marker.len()..];
+            let Some(close) = rest.find(')') else {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: c.line,
+                    rule: "waiver-format",
+                    msg: "unterminated xlint:allow(...) waiver".to_string(),
+                });
+                break;
+            };
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let justification = after
+                .strip_prefix(':')
+                .map(|j| j.trim().to_string())
+                .unwrap_or_default();
+            if !RULES.contains(&rule.as_str()) || rule == "waiver-format" {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: c.line,
+                    rule: "waiver-format",
+                    msg: format!("waiver names unknown or unwaivable rule `{rule}`"),
+                });
+            } else if justification.is_empty() {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: c.line,
+                    rule: "waiver-format",
+                    msg: format!(
+                        "waiver for `{rule}` has no justification — write \
+                         `xlint:allow({rule}): <why this site is sound>`"
+                    ),
+                });
+            } else {
+                waivers.push(Waiver {
+                    rule,
+                    line: c.line,
+                    end_line: c.end_line,
+                    justification,
+                    file_wide,
+                });
+            }
+            break;
+        }
+    }
+    (waivers, findings)
+}
+
+fn is_waived(f: &Finding, waivers: &[Waiver], scopes: &Scopes) -> bool {
+    if f.rule == "waiver-format" {
+        return false;
+    }
+    waivers.iter().any(|w| {
+        if w.rule != f.rule {
+            return false;
+        }
+        if w.file_wide {
+            return true;
+        }
+        // A line waiver covers its own line(s) and the line right below
+        // the comment (the annotated statement).
+        if f.line >= w.line && f.line <= w.end_line + 1 {
+            return true;
+        }
+        // Function-property rules accept a waiver anywhere in the same fn.
+        FN_SCOPED_RULES.contains(&f.rule)
+            && scopes.fns.iter().any(|s| {
+                s.lines.0 <= f.line
+                    && f.line <= s.lines.1
+                    && s.lines.0 <= w.line
+                    && w.line <= s.lines.1
+            })
+    })
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: unsafe boundary (memory contract, PR 5)
+// ---------------------------------------------------------------------
+
+fn rule_unsafe_boundary(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if ctx.rel == "crates/common/src/table.rs" {
+        return; // the one sanctioned unsafe file
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.is_ident("unsafe") && !ctx.scopes.in_test(i) {
+            out.push(ctx.finding(
+                t.line,
+                "unsafe-boundary",
+                "`unsafe` outside crates/common/src/table.rs — the memory contract \
+                 confines unsafe to RawTable's control/slot arrays"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Detects `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]` crate
+/// attributes anywhere in the token stream.
+fn has_crate_attr(toks: &[Tok], level: &str) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident(level)
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: upsert discipline (kernel contract, PR 9)
+// ---------------------------------------------------------------------
+
+fn rule_probe_upsert(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len().saturating_sub(2) {
+        if ctx.toks[i].is_punct('.')
+            && ctx.toks[i + 1].is_ident("probe")
+            && ctx.toks[i + 2].is_punct('(')
+            && !ctx.scopes.in_test(i)
+        {
+            let line = ctx.toks[i + 1].line;
+            let hit_checked = match ctx.scopes.enclosing_fn(i) {
+                Some(f) => ctx.toks[f.body.0..=f.body.1]
+                    .iter()
+                    .any(|t| t.is_ident("find_idx")),
+                None => false,
+            };
+            if !hit_checked {
+                out.push(ctx.finding(
+                    line,
+                    "probe-upsert",
+                    "`.probe(` with no `find_idx` hit-path in the same function — \
+                     long-lived tables must check for a hit before reserving \
+                     (kernel contract); level-local delta tables may waive this"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: dict-lock discipline (ring-key contract, PR 4)
+// ---------------------------------------------------------------------
+
+fn rule_dict_lock(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        // Pattern A: a lock-guard binding — `… .lock()` / `.lock_arc()` in
+        // a let statement. The guard's scope runs from the statement's `;`
+        // to the end of the enclosing block.
+        if toks[i].is_ident("lock") || toks[i].is_ident("lock_arc") {
+            if i == 0 || !toks[i - 1].is_punct('.') || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                continue;
+            }
+            if ctx.scopes.in_test(i) {
+                continue;
+            }
+            // Find the end of this statement (`;` at relative depth 0).
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            let mut stmt_end = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break; // expression-position lock (e.g. inside a call): no binding
+                    }
+                } else if depth == 0 && t.is_punct(';') {
+                    stmt_end = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(stmt_end) = stmt_end else { continue };
+            // Guard scope: statement end → end of enclosing block.
+            let mut depth = 0isize;
+            let mut k = stmt_end + 1;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if depth == 0 {
+                    check_ring_op(ctx, k, toks[i].line, out);
+                }
+                k += 1;
+            }
+        }
+        // Pattern B: ring ops inside a `with_dict` / `with_dict_mut`
+        // closure — the dictionary lock is held for the whole call.
+        if (toks[i].is_ident("with_dict") || toks[i].is_ident("with_dict_mut"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !ctx.scopes.in_test(i)
+        {
+            let mut depth = 0isize;
+            let mut k = i + 1;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    check_ring_op(ctx, k, toks[i].line, out);
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Flags token `k` if it is a call to one of [`LOCKED_RING_OPS`]
+/// (a definition — `fn fma_scaled(` — is not a call).
+fn check_ring_op(ctx: &Ctx, k: usize, lock_line: u32, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    let t = &toks[k];
+    if t.kind != TokKind::Ident || !LOCKED_RING_OPS.contains(&t.text.as_str()) {
+        return;
+    }
+    if !toks.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+        return;
+    }
+    if k > 0 && toks[k - 1].is_ident("fn") {
+        return;
+    }
+    out.push(ctx.finding(
+        t.line,
+        "dict-lock",
+        format!(
+            "ring op `{}` called while the dict lock guard taken on line {} \
+             is live — ring ops may take the dictionary lock themselves \
+             (PR 4 deadlock rule); drop the guard or use the &mut Dict path",
+            t.text, lock_line
+        ),
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: byte-unit thresholds (memory contract, PR 5)
+// ---------------------------------------------------------------------
+
+fn rule_byte_units(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for i in 0..ctx.toks.len().saturating_sub(2) {
+        if ctx.toks[i].is_ident("const")
+            && ctx.toks[i + 1].kind == TokKind::Ident
+            && ctx.toks[i + 2].is_punct(':')
+            && !ctx.scopes.in_test(i)
+        {
+            let name = &ctx.toks[i + 1].text;
+            if name.ends_with("_SLOTS") || name.ends_with("_ENTRIES") {
+                out.push(ctx.finding(
+                    ctx.toks[i + 1].line,
+                    "byte-units",
+                    format!(
+                        "threshold constant `{name}` counts slots/entries — the \
+                         memory contract requires byte-denominated thresholds \
+                         (`*_BYTES`) so limits survive payload-size changes"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: no-panic public surfaces (service/durability contracts)
+// ---------------------------------------------------------------------
+
+const NO_PANIC_PATHS: &[&str] = &[
+    "crates/core/src/",
+    "crates/cdc/src/",
+    "crates/shard/src/",
+    "crates/dag/src/",
+];
+
+fn rule_no_panic(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if !NO_PANIC_PATHS.iter().any(|p| ctx.rel.starts_with(p)) {
+        return;
+    }
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let hit = (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            || t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if !hit || ctx.scopes.in_test(i) {
+            continue;
+        }
+        let Some(f) = ctx.scopes.enclosing_fn(i) else {
+            continue;
+        };
+        if f.vis != Vis::Pub {
+            continue;
+        }
+        out.push(ctx.finding(
+            t.line,
+            "no-panic",
+            format!(
+                "`{}` in public fn `{}` — public API surfaces of \
+                 core/cdc/shard/dag return typed errors instead of panicking; \
+                 waive only for internal invariants with a written argument",
+                t.text, f.name
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: lift-name uniqueness (DAG fingerprint contract, PR 8)
+// ---------------------------------------------------------------------
+
+/// The first string literal inside each `LiftFn::new(…)` call — the name
+/// (or `format!` template) the DAG fingerprints the lift by.
+fn collect_lift_names(ctx: &Ctx) -> Vec<(String, u32)> {
+    let toks = ctx.toks;
+    let mut names = Vec::new();
+    for i in 0..toks.len().saturating_sub(5) {
+        if toks[i].is_ident("LiftFn")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(')
+            && !ctx.scopes.in_test(i)
+        {
+            let mut depth = 0isize;
+            let mut j = i + 4;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.kind == TokKind::Str {
+                    names.push((t.text.clone(), t.line));
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    names
+}
+
+/// Builds duplicate-name findings from aggregated `(name, path, line)`
+/// sites (within one file or across the workspace). Every site after the
+/// first, in (path, line) order, is reported.
+pub fn lift_dup_findings(sites: &mut [(String, String, u32)]) -> Vec<Finding> {
+    sites.sort();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sites.len() {
+        let mut j = i + 1;
+        while j < sites.len() && sites[j].0 == sites[i].0 {
+            out.push(Finding {
+                path: sites[j].1.clone(),
+                line: sites[j].2,
+                rule: "lift-name-dup",
+                msg: format!(
+                    "LiftFn name literal \"{}\" duplicates {}:{} — the DAG \
+                     fingerprint contract requires equal names ⟺ equal \
+                     behavior; reuse the one constructor or rename",
+                    sites[i].0, sites[i].1, sites[i].2
+                ),
+            });
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: float-eq on ring values (ring axioms)
+// ---------------------------------------------------------------------
+
+fn rule_ring_zero_eq(ctx: &Ctx, out: &mut Vec<Finding>) {
+    let toks = ctx.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("zero")
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            || ctx.scopes.in_test(i)
+        {
+            continue;
+        }
+        // `… == R::zero()` — walk back over the path to the operator.
+        let mut k = i;
+        while k > 0
+            && (toks[k - 1].is_punct(':') || toks[k - 1].is_punct('.')
+                || toks[k - 1].kind == TokKind::Ident)
+        {
+            k -= 1;
+        }
+        let before = k >= 2
+            && toks[k - 1].is_punct('=')
+            && (toks[k - 2].is_punct('=') || toks[k - 2].is_punct('!'));
+        // `R::zero() == …`
+        let after = toks.get(i + 3).is_some_and(|t| t.is_punct('=') || t.is_punct('!'))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('='));
+        if before || after {
+            out.push(ctx.finding(
+                toks[i].line,
+                "ring-zero-eq",
+                "equality comparison against ring zero — use `is_zero()`; \
+                 `==` on float-carrying ring values misses -0.0/NaN and \
+                 accumulated representation differences"
+                    .to_string(),
+            ));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Scope structure recovered from the token stream: function spans (with
+//! visibility), and `#[cfg(test)]` item spans used by the exemption logic.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Visibility of an item, as the no-panic rule needs it: only
+/// *exactly-`pub`* functions are public API surface — `pub(crate)` and
+/// private functions are internal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    Scoped,
+    Private,
+}
+
+/// One `fn` item with a body.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub vis: Vis,
+    /// Token index of the `fn` keyword.
+    pub kw_tok: usize,
+    /// Token index of the body's opening `{` … its matching `}`
+    /// (inclusive range of body tokens).
+    pub body: (usize, usize),
+    /// 1-based source lines covered (signature through closing brace).
+    pub lines: (u32, u32),
+}
+
+/// Token/line spans of items annotated `#[cfg(test)]`.
+#[derive(Clone, Debug)]
+pub struct TestSpan {
+    pub toks: (usize, usize),
+    pub lines: (u32, u32),
+}
+
+/// Everything the rules need about a file's scope structure.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    pub fns: Vec<FnSpan>,
+    pub tests: Vec<TestSpan>,
+}
+
+impl Scopes {
+    /// The innermost function whose body contains token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= i && i <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    /// True if token `i` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.tests.iter().any(|t| t.toks.0 <= i && i <= t.toks.1)
+    }
+}
+
+/// Finds the matching `}` for the `{` at token `open`, or the last token
+/// if unbalanced (lint degradation, not an error).
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Scans a token stream into its scope structure.
+pub fn scan(toks: &[Tok]) -> Scopes {
+    let mut out = Scopes::default();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("fn") {
+            // `fn` in a function-pointer type (`fn(usize) -> bool`) has no
+            // name ident after it; only named items become spans.
+            let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            let vis = visibility_before(toks, i);
+            // Find the body `{`: skip the parameter list and any return
+            // type / where clause (neither can contain a brace at paren
+            // depth 0 in this codebase's Rust subset). A `;` first means
+            // a bodyless trait-method declaration.
+            let mut depth = 0isize;
+            let mut body_open = None;
+            for (j, u) in toks.iter().enumerate().skip(i + 2) {
+                if u.is_punct('(') || u.is_punct('[') {
+                    depth += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && u.is_punct('{') {
+                    body_open = Some(j);
+                    break;
+                } else if depth == 0 && u.is_punct(';') {
+                    break;
+                }
+            }
+            let Some(open) = body_open else { continue };
+            let close = match_brace(toks, open);
+            out.fns.push(FnSpan {
+                name: name.text.clone(),
+                vis,
+                kw_tok: i,
+                body: (open, close),
+                lines: (t.line, toks[close].line),
+            });
+        } else if t.is_punct('#') {
+            // `#[cfg(test)]` followed by an item: the item's brace block
+            // (module, fn, impl) is exempt from source rules.
+            if is_cfg_test_attr(toks, i) {
+                // The attribute closes at its `]`; the next `{` at paren
+                // depth 0 opens the annotated item's body.
+                let mut j = i + 2; // past `#[`
+                let mut bdepth = 1isize;
+                while j < toks.len() && bdepth > 0 {
+                    if toks[j].is_punct('[') {
+                        bdepth += 1;
+                    } else if toks[j].is_punct(']') {
+                        bdepth -= 1;
+                    }
+                    j += 1;
+                }
+                let mut depth = 0isize;
+                while j < toks.len() {
+                    let u = &toks[j];
+                    if u.is_punct('(') || u.is_punct('[') {
+                        depth += 1;
+                    } else if u.is_punct(')') || u.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && u.is_punct('{') {
+                        let close = match_brace(toks, j);
+                        out.tests.push(TestSpan {
+                            toks: (i, close),
+                            lines: (t.line, toks[close].line),
+                        });
+                        break;
+                    } else if depth == 0 && u.is_punct(';') {
+                        // `#[cfg(test)] use …;` — span is just the statement.
+                        out.tests.push(TestSpan {
+                            toks: (i, j),
+                            lines: (t.line, u.line),
+                        });
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `#[cfg(test)]` or `#[cfg(all(test, …))]`-style attributes: a `cfg`
+/// attribute whose predicate mentions the bare `test` flag.
+fn is_cfg_test_attr(toks: &[Tok], hash: usize) -> bool {
+    if !toks.get(hash + 1).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    if !toks.get(hash + 2).is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    // Scan the attribute tokens up to the closing `]` for the ident `test`.
+    let mut depth = 1isize;
+    let mut j = hash + 2;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+        } else if toks[j].is_ident("test") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Visibility of the item whose defining keyword is at token `kw`,
+/// determined by walking back over the qualifier keywords that may sit
+/// between `pub` and `fn` (`unsafe`, `const`, `async`, `extern "C"`).
+fn visibility_before(toks: &[Tok], kw: usize) -> Vis {
+    let mut j = kw;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        let qualifier = t.kind == TokKind::Str
+            || t.is_ident("unsafe")
+            || t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("extern");
+        if qualifier {
+            continue;
+        }
+        if t.is_punct(')') {
+            // Possibly the `(crate)` of `pub(crate)`: walk to the `(`.
+            let mut depth = 1isize;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    depth -= 1;
+                }
+            }
+            if j > 0 && toks[j - 1].is_ident("pub") {
+                return Vis::Scoped;
+            }
+            return Vis::Private;
+        }
+        if t.is_ident("pub") {
+            return Vis::Pub;
+        }
+        return Vis::Private;
+    }
+    Vis::Private
+}

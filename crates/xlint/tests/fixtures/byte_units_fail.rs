@@ -1,0 +1,4 @@
+// Fixture: a slot-denominated threshold constant — the memory contract
+// requires byte-denominated limits so they survive payload-size changes.
+pub const FLUSH_THRESHOLD_SLOTS: usize = 4096;
+pub const SPILL_LIMIT_ENTRIES: usize = 1 << 20;

@@ -1,0 +1,3 @@
+// Fixture: byte-denominated thresholds, as the memory contract requires.
+pub const FLUSH_THRESHOLD_BYTES: usize = 4096 * 64;
+pub const SPILL_LIMIT_BYTES: usize = 64 << 20;

@@ -1,0 +1,7 @@
+// Fixture: a ring op while the dict lock guard is live — the PR 4
+// deadlock rule (ring ops may take the dictionary lock themselves).
+pub fn bad(ctx: &RingCtx, a: &Elem, b: &Elem, dst: &mut Elem) {
+    let guard = ctx.dict.lock();
+    a.mul_into(b, dst);
+    drop(guard);
+}

@@ -1,0 +1,9 @@
+// Fixture: the guard's block ends before the ring op runs — no overlap,
+// no deadlock window.
+pub fn good(ctx: &RingCtx, a: &Elem, b: &Elem, dst: &mut Elem) {
+    {
+        let guard = ctx.dict.lock();
+        let _ = guard.len();
+    }
+    a.mul_into(b, dst);
+}

@@ -1,0 +1,9 @@
+// Fixture: two LiftFn constructors sharing one name literal — the DAG
+// fingerprint contract requires equal names ⟺ equal behavior.
+pub fn weight_lift() -> LiftFn<Scalar> {
+    LiftFn::new("weight", |v| Scalar::from(v))
+}
+
+pub fn other_weight_lift() -> LiftFn<Scalar> {
+    LiftFn::new("weight", |v| Scalar::from(v * 2.0))
+}

@@ -1,0 +1,8 @@
+// Fixture: distinct lift names — one constructor per behavior.
+pub fn weight_lift() -> LiftFn<Scalar> {
+    LiftFn::new("weight", |v| Scalar::from(v))
+}
+
+pub fn double_weight_lift() -> LiftFn<Scalar> {
+    LiftFn::new("weight_x2", |v| Scalar::from(v * 2.0))
+}

@@ -1,0 +1,10 @@
+// Fixture: unwrap/expect/panic! on a public fn of a no-panic path
+// (virtual path puts this in crates/cdc/src/).
+pub fn submit(queue: &Queue, item: Item) -> Ticket {
+    let slot = queue.reserve().unwrap();
+    slot.fill(item).expect("fill reserved slot");
+    if slot.is_poisoned() {
+        panic!("poisoned slot");
+    }
+    slot.ticket()
+}

@@ -1,0 +1,20 @@
+// Fixture: the public surface returns typed errors; unwraps live only in
+// private helpers and test code, which the rule exempts.
+pub fn submit(queue: &Queue, item: Item) -> Result<Ticket, CdcError> {
+    let slot = queue.reserve().ok_or(CdcError::Full)?;
+    slot.fill(item)?;
+    Ok(slot.ticket())
+}
+
+fn private_helper(queue: &Queue) -> Ticket {
+    queue.reserve().unwrap().ticket()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip() {
+        let q = Queue::new();
+        submit(&q, Item::default()).unwrap();
+    }
+}

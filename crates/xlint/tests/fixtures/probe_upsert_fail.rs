@@ -1,0 +1,8 @@
+// Fixture: a reserving probe with no find_idx hit path anywhere in the
+// same function — on a long-lived table this can rehash on a hit.
+pub fn accumulate(table: &mut RawTable<Key, V>, hash: u64, key: Key, v: V) {
+    match table.probe(hash, |k, _| *k == key) {
+        Probe::Found(idx) => table.value_at_mut(idx).add(v),
+        Probe::Vacant(idx) => table.occupy(idx, hash, key, v),
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: the find_idx-first discipline — hit path checked without
+// reserving, probe only on a confirmed miss.
+pub fn accumulate(table: &mut RawTable<Key, V>, hash: u64, key: Key, v: V) {
+    if let Some(idx) = table.find_idx(hash, |k, _| *k == key) {
+        table.value_at_mut(idx).add(v);
+        return;
+    }
+    match table.probe(hash, |k, _| *k == key) {
+        Probe::Found(_) => unreachable!("key was just absent"),
+        Probe::Vacant(idx) => table.occupy(idx, hash, key, v),
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: `==` against ring zero — misses -0.0/NaN and representation
+// differences in float-carrying payloads.
+pub fn prune(acc: &Elem) -> bool {
+    if *acc == Elem::zero() {
+        return true;
+    }
+    Elem::zero() != *acc
+}

@@ -1,0 +1,6 @@
+// Fixture: `is_zero()` is the sanctioned zero test; constructing a zero
+// without comparing it is also fine.
+pub fn prune(acc: &Elem) -> bool {
+    let _fresh = Elem::zero();
+    acc.is_zero()
+}

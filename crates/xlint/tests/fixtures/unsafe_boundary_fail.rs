@@ -1,0 +1,5 @@
+// Fixture: `unsafe` in ordinary engine code (virtual path puts this in
+// crates/ring) — the memory contract confines unsafe to table.rs.
+pub fn peek(values: &[u64], idx: usize) -> u64 {
+    unsafe { *values.get_unchecked(idx) }
+}

@@ -1,0 +1,5 @@
+// Fixture: the same unsafe code is sanctioned when the file *is*
+// crates/common/src/table.rs (the one allowed unsafe module).
+pub fn peek(values: &[u64], idx: usize) -> u64 {
+    unsafe { *values.get_unchecked(idx) }
+}

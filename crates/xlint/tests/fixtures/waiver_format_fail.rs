@@ -1,0 +1,6 @@
+// Fixture: malformed waivers — no justification, and an unknown rule.
+// xlint:allow(byte-units)
+pub const LEGACY_CAP_SLOTS: usize = 128;
+
+// xlint:allow(made-up-rule): sounds plausible
+pub fn nothing() {}

@@ -1,0 +1,5 @@
+// Fixture: a well-formed waiver — rule in parentheses, written
+// justification after the colon. The waived finding disappears and the
+// waiver itself is clean.
+// xlint:allow(byte-units): legacy constant kept verbatim so the MEM ablation stays comparable across releases; the byte-denominated twin lives beside it.
+pub const LEGACY_CAP_SLOTS: usize = 128;

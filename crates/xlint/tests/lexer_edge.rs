@@ -1,0 +1,149 @@
+//! Lexer and scope-recovery edge cases: the traps a hand-rolled Rust
+//! lexer must not fall into — nested block comments, raw strings whose
+//! *contents* look like violations, lifetime ticks vs char literals, and
+//! `#[cfg(test)]` span detection.
+
+use fivm_xlint::lexer::{lex, TokKind};
+use fivm_xlint::scopes;
+use fivm_xlint::lint_source;
+
+#[test]
+fn nested_block_comments_are_one_comment() {
+    let src = "/* outer /* inner */ still a comment */ fn after() {}";
+    let lexed = lex(src);
+    // Everything up to the real `fn` is comment, not tokens.
+    assert_eq!(lexed.comments.len(), 1);
+    assert!(lexed.toks[0].is_ident("fn"), "first token: {:?}", lexed.toks[0]);
+    assert!(lexed.comments[0].text.contains("inner"));
+}
+
+#[test]
+fn unterminated_nesting_swallows_the_rest() {
+    // `/* /* */` leaves one level open — the rest of the file is comment.
+    let src = "/* outer /* inner */ fn not_code() { unsafe {} }";
+    let lexed = lex(src);
+    assert!(lexed.toks.is_empty(), "tokens leaked: {:?}", lexed.toks);
+}
+
+#[test]
+fn raw_strings_hide_violations_from_the_rules() {
+    // The string *contents* mention unsafe and a reserving probe; neither
+    // may fire, and the `"#` terminator must be matched by hash count.
+    let src = r####"
+pub fn doc() -> &'static str {
+    r#"unsafe { table.probe(h, eq) } and "quotes" too"#
+}
+"####;
+    let lexed = lex(src);
+    let strs: Vec<_> = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].text.contains("unsafe"));
+    assert!(lint_source("crates/ring/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn byte_and_raw_byte_strings_lex_as_strings() {
+    let src = r####"const A: &[u8] = b"unsafe"; const B: &[u8] = br#"probe("#;"####;
+    let lexed = lex(src);
+    let strs = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .count();
+    assert_eq!(strs, 2);
+    assert!(!lexed.toks.iter().any(|t| t.is_ident("unsafe")));
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let u = '\\u{1F600}'; }";
+    let lexed = lex(src);
+    let lifetimes = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .count();
+    let chars = lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .count();
+    assert_eq!(lifetimes, 2, "two uses of 'a: {:?}", lexed.toks);
+    assert_eq!(chars, 3, "'x', '\\n', '\\u{{…}}': {:?}", lexed.toks);
+}
+
+#[test]
+fn string_escapes_do_not_end_the_string_early() {
+    let src = r#"let s = "he said \"unsafe\" twice"; fn g() {}"#;
+    let lexed = lex(src);
+    assert!(lexed.toks.iter().any(|t| t.is_ident("g")));
+    assert!(!lexed.toks.iter().any(|t| t.is_ident("unsafe")));
+}
+
+#[test]
+fn line_comments_track_their_line_numbers() {
+    let src = "fn a() {}\n// note one\nfn b() {}\n/// doc\nfn c() {}\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 2);
+    assert_eq!(lexed.comments[0].line, 2);
+    assert_eq!(lexed.comments[1].line, 4);
+}
+
+#[test]
+fn cfg_test_modules_are_detected() {
+    let src = r#"
+pub fn real(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper() {
+        real(None).unwrap();
+    }
+}
+"#;
+    let lexed = lex(src);
+    let sc = scopes::scan(&lexed.toks);
+    // The unwrap inside the test module is in-test; `real`'s body is not.
+    let unwrap_or_idx = lexed
+        .toks
+        .iter()
+        .position(|t| t.is_ident("unwrap_or"))
+        .expect("unwrap_or token");
+    assert!(!sc.in_test(unwrap_or_idx), "unwrap_or in real code");
+    let test_unwrap = lexed
+        .toks
+        .iter()
+        .rposition(|t| t.is_ident("unwrap"))
+        .expect("test unwrap token");
+    assert!(sc.in_test(test_unwrap), "unwrap in #[cfg(test)] mod");
+}
+
+#[test]
+fn cfg_test_fns_without_modules_are_detected() {
+    let src = r#"
+#[cfg(test)]
+pub fn fixture_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    assert!(lint_source("crates/cdc/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn visibility_is_recovered_for_no_panic() {
+    // pub(crate) is Scoped, not Pub — the no-panic rule only bites on
+    // exactly-`pub` fns.
+    let src = r#"
+pub(crate) fn internal(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    assert!(lint_source("crates/core/src/fixture.rs", src).is_empty());
+}

@@ -1,0 +1,233 @@
+//! Fixture-driven rule tests: every rule has at least one failing and
+//! one passing fixture under `tests/fixtures/` (a directory the
+//! workspace walker skips, so the failing fixtures never trip the real
+//! lint). Fixtures are linted under *virtual* paths because several
+//! rules are path-scoped.
+
+use fivm_xlint::lint_source;
+
+/// Rule names hit by linting `src` as if it lived at `rel`.
+fn rules_hit(rel: &str, src: &str) -> Vec<String> {
+    let mut rules: Vec<String> = lint_source(rel, src)
+        .into_iter()
+        .map(|f| f.rule.to_string())
+        .collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+fn assert_fires(rule: &str, rel: &str, src: &str) {
+    let hit = rules_hit(rel, src);
+    assert!(
+        hit.iter().any(|r| r == rule),
+        "expected `{rule}` to fire for {rel}, got {hit:?}"
+    );
+}
+
+fn assert_clean(rel: &str, src: &str) {
+    let findings = lint_source(rel, src);
+    assert!(
+        findings.is_empty(),
+        "expected no findings for {rel}, got {findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_boundary_fires_outside_table_rs() {
+    assert_fires(
+        "unsafe-boundary",
+        "crates/ring/src/fixture.rs",
+        include_str!("fixtures/unsafe_boundary_fail.rs"),
+    );
+}
+
+#[test]
+fn unsafe_boundary_sanctions_table_rs() {
+    assert_clean(
+        "crates/common/src/table.rs",
+        include_str!("fixtures/unsafe_boundary_pass.rs"),
+    );
+}
+
+#[test]
+fn probe_upsert_fires_without_find_idx() {
+    assert_fires(
+        "probe-upsert",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/probe_upsert_fail.rs"),
+    );
+}
+
+#[test]
+fn probe_upsert_accepts_find_idx_first() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/probe_upsert_pass.rs"),
+    );
+}
+
+#[test]
+fn dict_lock_fires_on_ring_op_under_guard() {
+    assert_fires(
+        "dict-lock",
+        "crates/ring/src/fixture.rs",
+        include_str!("fixtures/dict_lock_fail.rs"),
+    );
+}
+
+#[test]
+fn dict_lock_accepts_scoped_guard() {
+    assert_clean(
+        "crates/ring/src/fixture.rs",
+        include_str!("fixtures/dict_lock_pass.rs"),
+    );
+}
+
+#[test]
+fn byte_units_fires_on_slot_constants() {
+    let findings = lint_source(
+        "crates/common/src/fixture.rs",
+        include_str!("fixtures/byte_units_fail.rs"),
+    );
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "byte-units").collect();
+    assert_eq!(hits.len(), 2, "both *_SLOTS and *_ENTRIES flagged: {findings:?}");
+}
+
+#[test]
+fn byte_units_accepts_byte_constants() {
+    assert_clean(
+        "crates/common/src/fixture.rs",
+        include_str!("fixtures/byte_units_pass.rs"),
+    );
+}
+
+#[test]
+fn no_panic_fires_on_public_cdc_surface() {
+    let findings = lint_source(
+        "crates/cdc/src/fixture.rs",
+        include_str!("fixtures/no_panic_fail.rs"),
+    );
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "no-panic").collect();
+    assert_eq!(hits.len(), 3, "unwrap + expect + panic! all flagged: {findings:?}");
+}
+
+#[test]
+fn no_panic_exempts_private_fns_and_tests() {
+    assert_clean(
+        "crates/cdc/src/fixture.rs",
+        include_str!("fixtures/no_panic_pass.rs"),
+    );
+}
+
+#[test]
+fn no_panic_is_path_scoped() {
+    // The very source that fails in crates/cdc is fine in crates/bench.
+    assert_clean(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/no_panic_fail.rs"),
+    );
+}
+
+#[test]
+fn lift_name_dup_fires_within_a_file() {
+    assert_fires(
+        "lift-name-dup",
+        "crates/ml/src/fixture.rs",
+        include_str!("fixtures/lift_name_dup_fail.rs"),
+    );
+}
+
+#[test]
+fn lift_name_dup_accepts_distinct_names() {
+    assert_clean(
+        "crates/ml/src/fixture.rs",
+        include_str!("fixtures/lift_name_dup_pass.rs"),
+    );
+}
+
+#[test]
+fn ring_zero_eq_fires_on_both_operand_orders() {
+    let findings = lint_source(
+        "crates/ring/src/fixture.rs",
+        include_str!("fixtures/ring_zero_eq_fail.rs"),
+    );
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "ring-zero-eq").collect();
+    assert_eq!(hits.len(), 2, "`x == zero()` and `zero() != x`: {findings:?}");
+}
+
+#[test]
+fn ring_zero_eq_accepts_is_zero() {
+    assert_clean(
+        "crates/ring/src/fixture.rs",
+        include_str!("fixtures/ring_zero_eq_pass.rs"),
+    );
+}
+
+#[test]
+fn waiver_format_fires_on_missing_justification_and_unknown_rule() {
+    let findings = lint_source(
+        "crates/common/src/fixture.rs",
+        include_str!("fixtures/waiver_format_fail.rs"),
+    );
+    let fmt: Vec<_> = findings.iter().filter(|f| f.rule == "waiver-format").collect();
+    assert_eq!(fmt.len(), 2, "bare waiver + unknown rule: {findings:?}");
+    // The justification-less waiver does NOT suppress the byte-units
+    // finding it sits above.
+    assert!(
+        findings.iter().any(|f| f.rule == "byte-units"),
+        "malformed waiver must not waive: {findings:?}"
+    );
+}
+
+#[test]
+fn well_formed_waiver_suppresses_and_is_clean() {
+    assert_clean(
+        "crates/common/src/fixture.rs",
+        include_str!("fixtures/waiver_format_pass.rs"),
+    );
+}
+
+#[test]
+fn fn_scoped_waiver_covers_the_whole_function() {
+    // probe-upsert is a function-property rule: the waiver sits at the
+    // top of the fn, the probe several lines below.
+    let src = r#"
+pub fn accumulate(table: &mut RawTable<Key, V>, hash: u64, key: Key, v: V) {
+    // xlint:allow(probe-upsert): level-local delta table — every lookup may insert.
+    let other_work = v.weight();
+    match table.probe(hash, |k, _| *k == key) {
+        Probe::Found(idx) => table.value_at_mut(idx).add(other_work),
+        Probe::Vacant(idx) => table.occupy(idx, hash, key, v),
+    }
+}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+}
+
+#[test]
+fn file_wide_waiver_covers_every_site() {
+    let src = r#"
+// xlint:allow-file(unsafe-boundary): diagnostic allocator shim; not engine code.
+pub fn a() { unsafe { hook() } }
+pub fn b() { unsafe { hook() } }
+"#;
+    assert_clean("crates/bench/src/bin/fixture.rs", src);
+}
+
+#[test]
+fn line_waiver_does_not_leak_to_distant_lines() {
+    // ring-zero-eq is NOT fn-scoped: a waiver on one comparison leaves a
+    // later one flagged.
+    let src = r#"
+pub fn f(a: &Elem, b: &Elem) -> bool {
+    // xlint:allow(ring-zero-eq): comparing a freshly-constructed canonical zero.
+    let first = *a == Elem::zero();
+    let second = *b == Elem::zero();
+    first && second
+}
+"#;
+    let findings = lint_source("crates/ring/src/fixture.rs", src);
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "ring-zero-eq").collect();
+    assert_eq!(hits.len(), 1, "only the annotated line is waived: {findings:?}");
+}

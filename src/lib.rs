@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # F-IVM — learning over fast-evolving relational data
 //!
 //! A Rust reproduction of *F-IVM: Learning over Fast-Evolving Relational
